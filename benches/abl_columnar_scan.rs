@@ -1,0 +1,75 @@
+//! Ablation — §5 "Column Stores" / "Compressed Tables": one pass of the continuous
+//! fact-table scan over (a) the row store, (b) a columnar replica materialising every
+//! column, and (c) a columnar replica materialising only the four columns a typical
+//! SSB query mix touches. The projected scan should move a small fraction of the
+//! bytes and finish fastest; the experiment harness reports the byte volumes in
+//! EXPERIMENTS.md.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cjoin_repro::ssb::{SsbConfig, SsbDataSet};
+use cjoin_repro::storage::{
+    ColumnarContinuousScan, ColumnarTable, CompressionPolicy, ContinuousScan, ScanBatch,
+};
+
+fn bench(c: &mut Criterion) {
+    let data = SsbDataSet::generate(SsbConfig::new(0.005, 7));
+    let lineorder = data.catalog().fact_table().unwrap();
+    let rows = lineorder.len();
+    let columnar =
+        Arc::new(ColumnarTable::from_table(&lineorder, CompressionPolicy::Adaptive).unwrap());
+    let projection = columnar
+        .projection_of(&["lo_orderdate", "lo_discount", "lo_quantity", "lo_revenue"])
+        .unwrap();
+
+    let mut group = c.benchmark_group("abl_columnar_scan");
+    group.sample_size(10);
+
+    group.bench_function("row_store_all_columns", |b| {
+        b.iter(|| {
+            let mut scan = ContinuousScan::new(Arc::clone(&lineorder)).with_batch_rows(4096);
+            let mut batch = ScanBatch::default();
+            let mut seen = 0usize;
+            while seen < rows {
+                scan.next_batch(&mut batch);
+                seen += batch.len();
+            }
+            seen
+        });
+    });
+
+    group.bench_function("columnar_all_columns", |b| {
+        b.iter(|| {
+            let mut scan = ColumnarContinuousScan::new(Arc::clone(&columnar)).with_batch_rows(4096);
+            let mut batch = ScanBatch::default();
+            let mut seen = 0usize;
+            while seen < rows {
+                scan.next_batch(&mut batch);
+                seen += batch.len();
+            }
+            seen
+        });
+    });
+
+    group.bench_function("columnar_projected_4_columns", |b| {
+        b.iter(|| {
+            let mut scan =
+                ColumnarContinuousScan::with_projection(Arc::clone(&columnar), projection.clone())
+                    .with_batch_rows(4096);
+            let mut batch = ScanBatch::default();
+            let mut seen = 0usize;
+            while seen < rows {
+                scan.next_batch(&mut batch);
+                seen += batch.len();
+            }
+            seen
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation — the early-skip optimisation (§3.2.2): skipping the dimension hash-table
+//! probe when `bτ AND ¬bDj == 0`. The benefit shows on workloads where many queries
+//! ignore some dimensions, so the workload mixes 3-dimension and 4-dimension
+//! templates.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cjoin_repro::bench::run_closed_loop;
+use cjoin_repro::cjoin::{CjoinConfig, CjoinEngine};
+use cjoin_repro::ssb::{SsbConfig, SsbDataSet, Workload, WorkloadConfig};
+
+const CONCURRENCY: usize = 16;
+
+fn bench(c: &mut Criterion) {
+    let data = SsbDataSet::generate(SsbConfig::new(0.002, 111));
+    let catalog = data.catalog();
+    // The default template mix contains both flight-2/3 queries (3 dimensions) and
+    // flight-4 queries (4 dimensions), so dimension coverage differs across queries.
+    let workload = Workload::generate(&data, WorkloadConfig::new(CONCURRENCY, 0.02, 111));
+
+    let mut group = c.benchmark_group("abl_early_skip");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    for (label, early_skip) in [("enabled", true), ("disabled", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let config = CjoinConfig {
+                    early_skip,
+                    ..CjoinConfig::default().with_worker_threads(4).with_max_concurrency(32)
+                };
+                let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+                let report = run_closed_loop(&engine, workload.queries(), CONCURRENCY).unwrap();
+                engine.shutdown();
+                report.timings.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

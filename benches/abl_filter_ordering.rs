@@ -1,0 +1,67 @@
+//! Ablation — run-time filter ordering (§3.4): adaptive ordering vs. the admission
+//! (arrival) order, on a workload whose selectivities are skewed so that the arrival
+//! order is maximally wrong (the unselective date filter is admitted first, the
+//! highly selective part filter last).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cjoin_repro::bench::run_closed_loop;
+use cjoin_repro::cjoin::{CjoinConfig, CjoinEngine};
+use cjoin_repro::query::{AggregateSpec, Predicate};
+use cjoin_repro::ssb::{schema::join_columns, SsbConfig, SsbDataSet};
+
+use cjoin_repro::{AggFunc, ColumnRef, StarQuery};
+
+const CONCURRENCY: usize = 12;
+
+fn skewed_queries() -> Vec<StarQuery> {
+    let (d_key, d_fk) = join_columns("date").unwrap();
+    let (p_key, p_fk) = join_columns("part").unwrap();
+    let (s_key, s_fk) = join_columns("supplier").unwrap();
+    (0..CONCURRENCY)
+        .map(|i| {
+            StarQuery::builder(format!("skew#{i}"))
+                // Unselective date predicate, admitted as the first filter.
+                .join_dimension("date", d_fk, d_key, Predicate::True)
+                // Unselective supplier predicate.
+                .join_dimension("supplier", s_fk, s_key, Predicate::True)
+                // Extremely selective part predicate, admitted last.
+                .join_dimension("part", p_fk, p_key, Predicate::eq("p_partkey", (i + 1) as i64))
+                .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("lo_revenue")))
+                .build()
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let data = SsbDataSet::generate(SsbConfig::new(0.004, 112));
+    let catalog = data.catalog();
+    let queries = skewed_queries();
+
+    let mut group = c.benchmark_group("abl_filter_ordering");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    for (label, adaptive) in [("adaptive", true), ("arrival_order", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let config = CjoinConfig {
+                    adaptive_filter_ordering: adaptive,
+                    reorder_interval_ms: 5,
+                    ..CjoinConfig::default().with_worker_threads(4).with_max_concurrency(32)
+                };
+                let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+                let report = run_closed_loop(&engine, &queries, CONCURRENCY).unwrap();
+                engine.shutdown();
+                report.timings.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

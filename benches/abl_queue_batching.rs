@@ -1,0 +1,64 @@
+//! Ablation — tuple batching and the pooled batch allocator (§4): the pipeline hands
+//! tuples between threads in batches to amortise queue synchronisation, and recycles
+//! batch allocations through a pool. This benchmark varies the batch size and toggles
+//! the pool.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cjoin_repro::bench::run_closed_loop;
+use cjoin_repro::cjoin::{CjoinConfig, CjoinEngine};
+use cjoin_repro::ssb::{SsbConfig, SsbDataSet, Workload, WorkloadConfig};
+
+const CONCURRENCY: usize = 16;
+
+fn bench(c: &mut Criterion) {
+    let data = SsbDataSet::generate(SsbConfig::new(0.002, 113));
+    let catalog = data.catalog();
+    let workload = Workload::generate(&data, WorkloadConfig::new(CONCURRENCY, 0.02, 113));
+
+    let mut group = c.benchmark_group("abl_queue_batching");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    for batch_size in [32usize, 256, 2048] {
+        group.bench_with_input(
+            BenchmarkId::new("batch_size", batch_size),
+            &batch_size,
+            |b, &batch_size| {
+                b.iter(|| {
+                    let config = CjoinConfig::default()
+                        .with_worker_threads(4)
+                        .with_max_concurrency(32)
+                        .with_batch_size(batch_size);
+                    let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+                    let report =
+                        run_closed_loop(&engine, workload.queries(), CONCURRENCY).unwrap();
+                    engine.shutdown();
+                    report.timings.len()
+                });
+            },
+        );
+    }
+
+    for (label, use_pool) in [("pool_enabled", true), ("pool_disabled", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let config = CjoinConfig {
+                    use_batch_pool: use_pool,
+                    ..CjoinConfig::default().with_worker_threads(4).with_max_concurrency(32)
+                };
+                let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+                let report = run_closed_loop(&engine, workload.queries(), CONCURRENCY).unwrap();
+                engine.shutdown();
+                report.timings.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

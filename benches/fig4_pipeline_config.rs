@@ -1,0 +1,50 @@
+//! Figure 4 — horizontal vs. vertical pipeline configuration.
+//!
+//! Benchmarks one closed-loop workload run through the CJOIN pipeline for each stage
+//! layout and thread count, at a laptop-scale parameter point. The full sweep
+//! (the paper's 1–5 thread series) is produced by
+//! `cargo run --release -p cjoin-bench --bin experiments -- fig4`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cjoin_repro::bench::run_closed_loop;
+use cjoin_repro::cjoin::{CjoinConfig, CjoinEngine, StageLayout};
+use cjoin_repro::ssb::{SsbConfig, SsbDataSet, Workload, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    let data = SsbDataSet::generate(SsbConfig::new(0.002, 41));
+    let catalog = data.catalog();
+    let workload = Workload::generate(&data, WorkloadConfig::new(16, 0.02, 41));
+
+    let mut group = c.benchmark_group("fig4_pipeline_config");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    for threads in [1usize, 2, 4] {
+        for (label, layout) in [("horizontal", StageLayout::Horizontal), ("vertical", StageLayout::Vertical)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        let config = CjoinConfig::default()
+                            .with_worker_threads(threads)
+                            .with_max_concurrency(32)
+                            .with_stage_layout(layout.clone());
+                        let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+                        let report = run_closed_loop(&engine, workload.queries(), 16).unwrap();
+                        engine.shutdown();
+                        report.timings.len()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,332 @@
+//! The query-at-a-time engine.
+//!
+//! [`BaselineEngine::execute`] runs one star query with its own private plan: build
+//! per-query dimension hash tables, perform a full fact-table scan, probe, aggregate.
+//! Concurrency happens by calling `execute` from several client threads at once —
+//! exactly what a conventional DBMS does when many connections each run their own
+//! physical plan — and the engine only tracks how many scans are active so the I/O
+//! model can charge interleaved scans as random access in
+//! [`ScanSharing::Independent`] mode.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cjoin_common::Result;
+use cjoin_query::{QueryResult, StarQuery};
+use cjoin_storage::{AccessKind, Catalog, IoModel, IoStats};
+
+use crate::plan::HashJoinPlan;
+
+/// How concurrent fact-table scans behave on the modelled device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanSharing {
+    /// Each query scans independently; concurrent scans interleave and are charged as
+    /// random I/O (the conventional commercial-system behaviour, "System X").
+    Independent,
+    /// Concurrent scans piggyback on one sequential stream (PostgreSQL's synchronized
+    /// scans); I/O stays sequential but join work is still per-query.
+    Synchronized,
+}
+
+/// Baseline engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineConfig {
+    /// Scan-sharing behaviour.
+    pub scan_sharing: ScanSharing,
+    /// The I/O cost model used for modelled scan time.
+    pub io_model: IoModel,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        Self {
+            scan_sharing: ScanSharing::Independent,
+            io_model: IoModel::in_memory(),
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// Configuration for the "System X"-like baseline (independent scans).
+    pub fn system_x() -> Self {
+        Self {
+            scan_sharing: ScanSharing::Independent,
+            io_model: IoModel::in_memory(),
+        }
+    }
+
+    /// Configuration for the PostgreSQL-like baseline (synchronized scans).
+    pub fn postgres_like() -> Self {
+        Self {
+            scan_sharing: ScanSharing::Synchronized,
+            io_model: IoModel::in_memory(),
+        }
+    }
+
+    /// Replaces the I/O model (e.g. [`IoModel::spinning_disk`]).
+    pub fn with_io_model(mut self, io_model: IoModel) -> Self {
+        self.io_model = io_model;
+        self
+    }
+}
+
+/// Per-query execution metrics reported by the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryMetrics {
+    /// Time spent building the per-query dimension hash tables.
+    pub build_time: Duration,
+    /// Time spent in the probe/aggregate phase (the fact scan).
+    pub probe_time: Duration,
+    /// Total execution time (build + probe).
+    pub total_time: Duration,
+    /// Dimension rows held in this query's private hash tables.
+    pub hash_table_rows: usize,
+    /// Fact tuples scanned.
+    pub fact_tuples_scanned: u64,
+    /// Fact pages read, and whether they were charged as sequential or random.
+    pub pages_read: u64,
+    /// Access kind the scan was charged as.
+    pub access_kind: AccessKind,
+    /// Modelled I/O time for this query's scan under the engine's I/O model.
+    pub modelled_io: Duration,
+}
+
+/// The conventional query-at-a-time engine.
+#[derive(Debug)]
+pub struct BaselineEngine {
+    catalog: Arc<Catalog>,
+    config: BaselineConfig,
+    active_scans: AtomicUsize,
+    /// Aggregate I/O over all queries executed by this engine instance.
+    io: Arc<IoStats>,
+}
+
+impl BaselineEngine {
+    /// Creates an engine over `catalog`.
+    pub fn new(catalog: Arc<Catalog>, config: BaselineConfig) -> Self {
+        Self {
+            catalog,
+            config,
+            active_scans: AtomicUsize::new(0),
+            io: Arc::new(IoStats::new()),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &BaselineConfig {
+        &self.config
+    }
+
+    /// The catalog the engine runs over.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Cumulative I/O recorded across all queries run so far.
+    pub fn io_stats(&self) -> &Arc<IoStats> {
+        &self.io
+    }
+
+    /// Number of scans currently in flight (diagnostics).
+    pub fn active_scans(&self) -> usize {
+        self.active_scans.load(Ordering::Relaxed)
+    }
+
+    /// Executes one star query in the calling thread, query-at-a-time style.
+    ///
+    /// # Errors
+    /// Fails if the query does not bind against the catalog.
+    pub fn execute(&self, query: &StarQuery) -> Result<(QueryResult, QueryMetrics)> {
+        let snapshot = query.snapshot.unwrap_or_else(|| self.catalog.snapshots().current());
+        let bound = query.bind(&self.catalog)?;
+
+        let plan = HashJoinPlan::build(&self.catalog, bound, snapshot)?;
+        let build_time = plan.build_time;
+        let hash_table_rows = plan.hash_table_rows();
+
+        // Decide how this scan is charged: with independent scans, any concurrent
+        // scan activity turns the access pattern into random I/O for everyone.
+        let concurrent = self.active_scans.fetch_add(1, Ordering::AcqRel) + 1;
+        let access_kind = match self.config.scan_sharing {
+            ScanSharing::Independent if concurrent > 1 => AccessKind::Random,
+            _ => AccessKind::Sequential,
+        };
+        let query_io = Arc::new(IoStats::new());
+        let probe_started = Instant::now();
+        let result = plan.execute(&self.catalog, Arc::clone(&query_io), access_kind);
+        self.active_scans.fetch_sub(1, Ordering::AcqRel);
+        let (result, scanned) = result?;
+        let probe_time = probe_started.elapsed();
+
+        // Fold this query's I/O into the engine-wide stats.
+        self.io.record(AccessKind::Sequential, query_io.sequential_pages());
+        self.io.record(AccessKind::Random, query_io.random_pages());
+
+        let pages_read = query_io.total_pages();
+        let modelled_io =
+            Duration::from_secs_f64(self.config.io_model.modelled_time_us(&query_io) / 1e6);
+        let metrics = QueryMetrics {
+            build_time,
+            probe_time,
+            total_time: build_time + probe_time,
+            hash_table_rows,
+            fact_tuples_scanned: scanned,
+            pages_read,
+            access_kind,
+            modelled_io,
+        };
+        Ok((result, metrics))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjoin_query::{reference, AggFunc, AggValue, AggregateSpec, ColumnRef, Predicate};
+    use cjoin_storage::{Column, Row, Schema, SnapshotId, Table, Value};
+
+    fn catalog(rows: i64) -> Arc<Catalog> {
+        let catalog = Catalog::new();
+        let dim = Table::new(Schema::new("d", vec![Column::int("k"), Column::str("name")]));
+        for (k, name) in [(1, "a"), (2, "b"), (3, "c")] {
+            dim.insert(vec![Value::int(k), Value::str(name)], SnapshotId::INITIAL).unwrap();
+        }
+        let fact = Table::with_rows_per_page(
+            Schema::new("f", vec![Column::int("fk"), Column::int("v")]),
+            16,
+        );
+        fact.insert_batch_unchecked(
+            (0..rows).map(|i| Row::new(vec![Value::int(i % 4), Value::int(i)])),
+            SnapshotId::INITIAL,
+        );
+        catalog.add_table(Arc::new(dim));
+        catalog.add_fact_table(Arc::new(fact));
+        Arc::new(catalog)
+    }
+
+    fn query(name: &str) -> StarQuery {
+        StarQuery::builder(name)
+            .join_dimension("d", "fk", "k", Predicate::in_list("name", vec!["a", "c"]))
+            .group_by(ColumnRef::dim("d", "name"))
+            .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("v")))
+            .build()
+    }
+
+    #[test]
+    fn execute_matches_reference_and_reports_metrics() {
+        let catalog = catalog(200);
+        let engine = BaselineEngine::new(Arc::clone(&catalog), BaselineConfig::default());
+        let q = query("q");
+        let expected = reference::evaluate(&catalog, &q, SnapshotId::INITIAL).unwrap();
+        let (result, metrics) = engine.execute(&q).unwrap();
+        assert!(result.approx_eq(&expected), "{:?}", result.diff(&expected));
+        assert_eq!(metrics.fact_tuples_scanned, 200);
+        assert_eq!(metrics.hash_table_rows, 2);
+        assert!(metrics.pages_read > 0);
+        assert_eq!(metrics.access_kind, AccessKind::Sequential);
+        assert!(metrics.total_time >= metrics.build_time);
+        assert_eq!(engine.active_scans(), 0);
+        assert_eq!(engine.io_stats().total_pages(), metrics.pages_read);
+    }
+
+    #[test]
+    fn each_query_rebuilds_its_own_hash_tables() {
+        // The defining property of query-at-a-time: no sharing across executions.
+        let catalog = catalog(100);
+        let engine = BaselineEngine::new(Arc::clone(&catalog), BaselineConfig::default());
+        let (_, m1) = engine.execute(&query("q1")).unwrap();
+        let (_, m2) = engine.execute(&query("q2")).unwrap();
+        assert_eq!(m1.hash_table_rows, 2);
+        assert_eq!(m2.hash_table_rows, 2, "second query pays the build cost again");
+        assert_eq!(engine.io_stats().total_pages(), m1.pages_read + m2.pages_read);
+    }
+
+    #[test]
+    fn concurrent_independent_scans_are_charged_as_random_io() {
+        let catalog = catalog(200_000);
+        let engine = Arc::new(BaselineEngine::new(
+            Arc::clone(&catalog),
+            BaselineConfig::system_x().with_io_model(IoModel::spinning_disk()),
+        ));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || engine.execute(&query(&format!("q{i}"))).unwrap().1)
+            })
+            .collect();
+        let metrics: Vec<QueryMetrics> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // With 4 concurrent scans, at least some of them must have overlapped and been
+        // charged as random I/O.
+        assert!(
+            metrics.iter().any(|m| m.access_kind == AccessKind::Random),
+            "concurrent independent scans should interleave"
+        );
+        assert!(engine.io_stats().random_pages() > 0);
+        let random_metric = metrics.iter().find(|m| m.access_kind == AccessKind::Random).unwrap();
+        assert!(random_metric.modelled_io > Duration::ZERO);
+    }
+
+    #[test]
+    fn synchronized_scans_stay_sequential() {
+        let catalog = catalog(50_000);
+        let engine = Arc::new(BaselineEngine::new(
+            Arc::clone(&catalog),
+            BaselineConfig::postgres_like(),
+        ));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || engine.execute(&query(&format!("q{i}"))).unwrap().1)
+            })
+            .collect();
+        for h in handles {
+            let metrics = h.join().unwrap();
+            assert_eq!(metrics.access_kind, AccessKind::Sequential);
+        }
+        assert_eq!(engine.io_stats().random_pages(), 0);
+    }
+
+    #[test]
+    fn config_constructors() {
+        assert_eq!(BaselineConfig::system_x().scan_sharing, ScanSharing::Independent);
+        assert_eq!(BaselineConfig::postgres_like().scan_sharing, ScanSharing::Synchronized);
+        let with_disk = BaselineConfig::default().with_io_model(IoModel::spinning_disk());
+        assert_eq!(with_disk.io_model, IoModel::spinning_disk());
+        assert_eq!(BaselineConfig::default().scan_sharing, ScanSharing::Independent);
+    }
+
+    #[test]
+    fn unknown_dimension_is_an_error() {
+        let catalog = catalog(10);
+        let engine = BaselineEngine::new(catalog, BaselineConfig::default());
+        let bad = StarQuery::builder("bad")
+            .join_dimension("missing", "fk", "k", Predicate::True)
+            .aggregate(AggregateSpec::count_star())
+            .build();
+        assert!(engine.execute(&bad).is_err());
+    }
+
+    #[test]
+    fn snapshot_pinned_query_reads_consistently() {
+        let catalog = catalog(50);
+        let engine = BaselineEngine::new(Arc::clone(&catalog), BaselineConfig::default());
+        let snap = catalog.snapshots().commit();
+        catalog
+            .fact_table()
+            .unwrap()
+            .insert(vec![Value::int(1), Value::int(1_000)], snap)
+            .unwrap();
+        let pinned_old = StarQuery::builder("old")
+            .snapshot(SnapshotId::INITIAL)
+            .aggregate(AggregateSpec::count_star())
+            .build();
+        let (result, _) = engine.execute(&pinned_old).unwrap();
+        assert_eq!(result.rows().next().unwrap().1[0], AggValue::Int(50));
+        let current = StarQuery::builder("new")
+            .aggregate(AggregateSpec::count_star())
+            .build();
+        let (result, _) = engine.execute(&current).unwrap();
+        assert_eq!(result.rows().next().unwrap().1[0], AggValue::Int(51));
+    }
+}

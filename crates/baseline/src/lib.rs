@@ -1,0 +1,34 @@
+//! Conventional query-at-a-time baseline engine.
+//!
+//! The paper compares CJOIN against a commercial DBMS ("System X") and PostgreSQL,
+//! after verifying that both evaluate the experimental star queries with the same
+//! physical plan: *a pipeline of hash joins that filters a single scan of the fact
+//! table* (§6.1.1). This crate implements exactly that plan shape, once per query,
+//! with **no sharing between concurrent queries** — each query builds its own
+//! dimension hash tables and performs its own full pass over the fact table. That is
+//! the query-at-a-time behaviour whose contention CJOIN eliminates.
+//!
+//! Two scan-sharing modes model the two baselines:
+//!
+//! * [`ScanSharing::Independent`] — every concurrent query scans on its own; when
+//!   more than one scan is active the accesses are charged as *random* I/O to the
+//!   [`IoModel`], reflecting how mutually unaware scans on the same device degenerate
+//!   into seeks (the "System X" behaviour the paper describes in §1).
+//! * [`ScanSharing::Synchronized`] — concurrent scans piggyback on one sequential
+//!   stream (PostgreSQL's synchronized/shared scans, enabled in the paper's setup);
+//!   I/O stays sequential but all join computation remains per-query.
+//!
+//! The CPU work (hash-table builds, probes, aggregation) is real and measured; the
+//! I/O is accounted through [`IoStats`]/[`IoModel`] as described in DESIGN.md.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod plan;
+
+pub use engine::{BaselineConfig, BaselineEngine, QueryMetrics, ScanSharing};
+pub use plan::HashJoinPlan;
+
+#[doc(no_inline)]
+pub use cjoin_storage::{IoModel, IoStats};

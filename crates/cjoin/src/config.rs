@@ -1,0 +1,174 @@
+//! Pipeline configuration.
+
+use cjoin_common::{Error, Result};
+
+/// How Filters are boxed into Stages and Stages into threads (§4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageLayout {
+    /// One Stage containing the entire Filter sequence; `worker_threads` threads all
+    /// run the whole sequence on disjoint batches. This is the configuration the
+    /// paper converges on (Figure 4) and the default.
+    Horizontal,
+    /// One Stage per Filter, each with one thread; tuples are handed from stage to
+    /// stage through queues. Exists to reproduce Figure 4's comparison.
+    Vertical,
+    /// Explicit grouping: `groups[i]` is the number of consecutive Filters boxed into
+    /// Stage `i`; each stage gets one thread. Groups are matched to the filter chain
+    /// in order; a trailing group absorbs any extra filters.
+    Hybrid(Vec<usize>),
+}
+
+/// Configuration of a [`CjoinEngine`](crate::engine::CjoinEngine).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CjoinConfig {
+    /// Maximum number of concurrently registered queries (the paper's `maxConc`).
+    /// Determines the width of every query bit-vector.
+    pub max_concurrency: usize,
+    /// Number of worker threads executing Filter work.
+    pub worker_threads: usize,
+    /// Stage layout (horizontal / vertical / hybrid).
+    pub stage_layout: StageLayout,
+    /// Number of fact tuples per batch handed between pipeline threads.
+    pub batch_size: usize,
+    /// Capacity (in batches) of each inter-thread queue.
+    pub queue_capacity: usize,
+    /// Enable run-time reordering of the filter chain from observed drop rates (§3.4).
+    pub adaptive_filter_ordering: bool,
+    /// How often (in milliseconds) the pipeline manager re-evaluates the filter order.
+    pub reorder_interval_ms: u64,
+    /// Enable the early-skip optimisation (`bτ AND ¬bDj == 0` avoids the probe, §3.2.2).
+    pub early_skip: bool,
+    /// Enable the pooled batch allocator (§4); disable to measure its effect.
+    pub use_batch_pool: bool,
+    /// Enable partition-based early query termination (§5, Fact Table Partitioning):
+    /// queries whose fact predicate restricts the partitioning column finish as soon
+    /// as the scan has covered every partition they need.
+    pub partition_pruning: bool,
+    /// Microseconds the preprocessor sleeps when no query is registered (the
+    /// continuous scan idles instead of spinning).
+    pub idle_sleep_us: u64,
+}
+
+impl Default for CjoinConfig {
+    fn default() -> Self {
+        Self {
+            max_concurrency: 512,
+            worker_threads: 4,
+            stage_layout: StageLayout::Horizontal,
+            batch_size: 1024,
+            queue_capacity: 8,
+            adaptive_filter_ordering: true,
+            reorder_interval_ms: 50,
+            early_skip: true,
+            use_batch_pool: true,
+            partition_pruning: false,
+            idle_sleep_us: 200,
+        }
+    }
+}
+
+impl CjoinConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_concurrency == 0 {
+            return Err(Error::invalid_config("max_concurrency must be positive"));
+        }
+        if self.worker_threads == 0 {
+            return Err(Error::invalid_config("worker_threads must be positive"));
+        }
+        if self.batch_size == 0 {
+            return Err(Error::invalid_config("batch_size must be positive"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(Error::invalid_config("queue_capacity must be positive"));
+        }
+        if let StageLayout::Hybrid(groups) = &self.stage_layout {
+            if groups.is_empty() || groups.iter().any(|&g| g == 0) {
+                return Err(Error::invalid_config(
+                    "hybrid stage groups must be non-empty and positive",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: a configuration with the given number of worker threads.
+    pub fn with_worker_threads(mut self, n: usize) -> Self {
+        self.worker_threads = n;
+        self
+    }
+
+    /// Convenience: a configuration with the given stage layout.
+    pub fn with_stage_layout(mut self, layout: StageLayout) -> Self {
+        self.stage_layout = layout;
+        self
+    }
+
+    /// Convenience: a configuration with the given `maxConc`.
+    pub fn with_max_concurrency(mut self, n: usize) -> Self {
+        self.max_concurrency = n;
+        self
+    }
+
+    /// Convenience: a configuration with the given batch size.
+    pub fn with_batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_horizontal() {
+        let c = CjoinConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.stage_layout, StageLayout::Horizontal);
+        assert!(c.max_concurrency >= 256, "paper evaluates up to 256 queries");
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(CjoinConfig { max_concurrency: 0, ..CjoinConfig::default() }.validate().is_err());
+        assert!(CjoinConfig { worker_threads: 0, ..CjoinConfig::default() }.validate().is_err());
+        assert!(CjoinConfig { batch_size: 0, ..CjoinConfig::default() }.validate().is_err());
+        assert!(CjoinConfig { queue_capacity: 0, ..CjoinConfig::default() }.validate().is_err());
+        assert!(CjoinConfig {
+            stage_layout: StageLayout::Hybrid(vec![]),
+            ..CjoinConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CjoinConfig {
+            stage_layout: StageLayout::Hybrid(vec![2, 0]),
+            ..CjoinConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CjoinConfig {
+            stage_layout: StageLayout::Hybrid(vec![2, 2]),
+            ..CjoinConfig::default()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let c = CjoinConfig::default()
+            .with_worker_threads(2)
+            .with_max_concurrency(64)
+            .with_batch_size(128)
+            .with_stage_layout(StageLayout::Vertical);
+        assert_eq!(c.worker_threads, 2);
+        assert_eq!(c.max_concurrency, 64);
+        assert_eq!(c.batch_size, 128);
+        assert_eq!(c.stage_layout, StageLayout::Vertical);
+        c.validate().unwrap();
+    }
+}

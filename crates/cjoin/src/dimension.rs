@@ -1,0 +1,418 @@
+//! Dimension hash tables (§3.2.1).
+//!
+//! Each dimension table `Dj` referenced by at least one in-flight query is mapped to
+//! a [`DimensionTable`]: a hash table keyed by the dimension's primary key that
+//! stores the **union** of the dimension tuples selected by any registered query.
+//! Every stored tuple carries a query bit-vector `bδ` (`bδ[i] = 1` iff query `i`
+//! selects the tuple, or does not reference `Dj` at all), and the table keeps one
+//! complement bitmap `bDj` (`bDj[i] = 1` iff query `i` does **not** reference `Dj`) —
+//! the bit-vector implicitly associated with every dimension tuple *not* present in
+//! the hash table.
+//!
+//! The filtering step (§3.2.2) is therefore: probe by foreign key; if found, AND the
+//! fact tuple's bit-vector with the entry's `bδ`, otherwise with `bDj`.
+//!
+//! Concurrency: entries are inserted/removed only by the Pipeline Manager (query
+//! admission and finalization, Algorithms 1 and 2) under a write lock, while Filter
+//! workers probe under a read lock taken once per batch. Bit flips on existing
+//! entries and on the complement bitmap are atomic and require no lock, mirroring the
+//! paper's argument that concurrent bit updates are safe because a query's bit only
+//! appears in fact-tuple bit-vectors after the query is installed in the
+//! Preprocessor (§3.3.1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use cjoin_common::{AtomicQuerySet, FxHashMap, QueryId, QuerySet};
+use cjoin_storage::{ColumnId, Row};
+
+/// One stored dimension tuple with its query bit-vector.
+#[derive(Debug)]
+pub struct DimEntry {
+    /// The dimension row (shared with in-flight fact tuples that join with it).
+    pub row: Row,
+    /// `bδ`: which queries select this tuple (or do not reference the dimension).
+    pub bits: AtomicQuerySet,
+}
+
+/// Statistics of one Filter, used for run-time ordering (§3.4) and the experiments.
+#[derive(Debug, Default)]
+pub struct FilterStats {
+    /// Fact tuples that entered this Filter with a non-zero bit-vector.
+    pub tuples_in: AtomicU64,
+    /// Fact tuples whose bit-vector became zero at this Filter (dropped).
+    pub tuples_dropped: AtomicU64,
+    /// Hash-table probes actually performed.
+    pub probes: AtomicU64,
+    /// Probes avoided by the early-skip optimisation.
+    pub skips: AtomicU64,
+}
+
+impl FilterStats {
+    /// Observed drop rate (dropped / in); 0 when no tuple has been seen.
+    pub fn drop_rate(&self) -> f64 {
+        let tuples_in = self.tuples_in.load(Ordering::Relaxed);
+        if tuples_in == 0 {
+            0.0
+        } else {
+            self.tuples_dropped.load(Ordering::Relaxed) as f64 / tuples_in as f64
+        }
+    }
+
+    /// Snapshot of (in, dropped, probes, skips).
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.tuples_in.load(Ordering::Relaxed),
+            self.tuples_dropped.load(Ordering::Relaxed),
+            self.probes.load(Ordering::Relaxed),
+            self.skips.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Resets all counters (done after each reordering decision so the order tracks
+    /// the current query mix rather than the whole history).
+    pub fn reset(&self) {
+        self.tuples_in.store(0, Ordering::Relaxed);
+        self.tuples_dropped.store(0, Ordering::Relaxed);
+        self.probes.store(0, Ordering::Relaxed);
+        self.skips.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The shared hash table for one dimension table.
+#[derive(Debug)]
+pub struct DimensionTable {
+    /// Name of the dimension table this filter covers.
+    pub name: String,
+    /// Dimension slot index: position in the in-flight tuple's `dims` vector where
+    /// this filter attaches the joining dimension row.
+    pub slot: usize,
+    /// Fact-table column holding the foreign key into this dimension.
+    pub fact_fk_column: ColumnId,
+    /// Dimension column holding the primary key.
+    pub dim_key_column: ColumnId,
+    /// `bDj`: queries that do **not** reference this dimension.
+    pub complement: AtomicQuerySet,
+    entries: RwLock<FxHashMap<i64, Arc<DimEntry>>>,
+    /// Per-filter statistics.
+    pub stats: FilterStats,
+    max_concurrency: usize,
+}
+
+impl DimensionTable {
+    /// Creates an empty dimension hash table.
+    ///
+    /// `initial_complement` must be the set of currently registered queries — none of
+    /// them references this dimension (otherwise the table would already exist), so
+    /// they all get a 1 in `bDj`.
+    pub fn new(
+        name: impl Into<String>,
+        slot: usize,
+        fact_fk_column: ColumnId,
+        dim_key_column: ColumnId,
+        max_concurrency: usize,
+        initial_complement: &QuerySet,
+    ) -> Self {
+        let complement = AtomicQuerySet::new(max_concurrency);
+        complement.store_from(initial_complement);
+        Self {
+            name: name.into(),
+            slot,
+            fact_fk_column,
+            dim_key_column,
+            complement,
+            entries: RwLock::new(FxHashMap::default()),
+            stats: FilterStats::default(),
+            max_concurrency,
+        }
+    }
+
+    /// The `maxConc` this table was created for.
+    pub fn max_concurrency(&self) -> usize {
+        self.max_concurrency
+    }
+
+    /// Number of stored dimension tuples.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether no dimension tuple is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Admission / finalization (Pipeline Manager side)
+    // ------------------------------------------------------------------
+
+    /// Registers that query `id` **references** this dimension and selects `rows`
+    /// (the result of `σ_cij(Dj)`, Algorithm 1 lines 11–16).
+    pub fn register_query(&self, id: QueryId, rows: &[(i64, Row)]) {
+        // The query references Dj, so it must not be in the complement bitmap.
+        self.complement.unset(id.index());
+        let mut entries = self.entries.write();
+        for (key, row) in rows {
+            match entries.get(key) {
+                Some(entry) => entry.bits.set(id.index()),
+                None => {
+                    // New entry: bits start as bDj (queries that ignore this dimension
+                    // accept every tuple), plus the registering query's bit.
+                    let bits = self.complement.clone();
+                    bits.set(id.index());
+                    entries.insert(
+                        *key,
+                        Arc::new(DimEntry {
+                            row: row.clone(),
+                            bits,
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Registers that query `id` does **not** reference this dimension
+    /// (Algorithm 1 line 10): every tuple of `Dj` is implicitly acceptable to it.
+    pub fn register_unreferencing_query(&self, id: QueryId) {
+        self.complement.set(id.index());
+        // Existing entries must also accept the query, otherwise fact tuples joining
+        // with a stored dimension tuple would wrongly drop the query's bit.
+        let entries = self.entries.read();
+        for entry in entries.values() {
+            entry.bits.set(id.index());
+        }
+    }
+
+    /// Removes query `id` from this dimension table (Algorithm 2). Entries whose
+    /// bit-vector becomes empty are garbage-collected. Returns `true` if the table is
+    /// empty afterwards (its Filter can be removed from the pipeline).
+    ///
+    /// The freed id's bit is cleared everywhere — in the complement bitmap *and* in
+    /// every stored entry — so that entries inserted while the id is unused never
+    /// inherit it and a later query reusing the id starts from a clean slate.
+    /// (The paper's Algorithm 2 sets `bDj[n] = 1` instead, treating a freed id as
+    /// "does not reference"; that convention leaks the bit into entries inserted
+    /// before the id is reused by a query that *does* reference the dimension, so we
+    /// use the all-zero convention — equivalent while the id is unused, because no
+    /// fact tuple carries the bit, and safe at reuse.)
+    pub fn unregister_query(&self, id: QueryId, referenced: bool) -> bool {
+        self.complement.unset(id.index());
+        let mut entries = self.entries.write();
+        if referenced {
+            entries.retain(|_, entry| {
+                entry.bits.unset(id.index());
+                !entry.bits.is_empty()
+            });
+        } else {
+            // The id's bit was set on every entry by register_unreferencing_query;
+            // clearing it keeps the remaining entries' bits consistent for id reuse.
+            for entry in entries.values() {
+                entry.bits.unset(id.index());
+            }
+            entries.retain(|_, entry| !entry.bits.is_empty());
+        }
+        entries.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Probe (Filter worker side)
+    // ------------------------------------------------------------------
+
+    /// Probes the table for `key` and returns the matching entry, if present.
+    ///
+    /// The caller combines the fact tuple's bit-vector with the entry's `bδ` (hit) or
+    /// with [`DimensionTable::complement`] (miss) — see
+    /// [`FilterChain::process_batch`](crate::filter::FilterChain::process_batch).
+    #[inline]
+    pub fn probe(&self, key: i64) -> Option<Arc<DimEntry>> {
+        self.entries.read().get(&key).cloned()
+    }
+
+    /// Returns a point-in-time snapshot of an entry's bit-vector (test helper).
+    pub fn entry_bits(&self, key: i64) -> Option<QuerySet> {
+        self.entries.read().get(&key).map(|e| e.bits.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjoin_storage::Value;
+
+    fn row(key: i64, name: &str) -> Row {
+        Row::new(vec![Value::int(key), Value::str(name)])
+    }
+
+    fn table_with_no_queries() -> DimensionTable {
+        DimensionTable::new("color", 0, 1, 0, 8, &QuerySet::new(8))
+    }
+
+    #[test]
+    fn register_query_inserts_selected_rows() {
+        let t = table_with_no_queries();
+        t.register_query(QueryId(0), &[(1, row(1, "red")), (2, row(2, "green"))]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert!(t.entry_bits(1).unwrap().get(0));
+        assert!(!t.entry_bits(1).unwrap().get(1));
+        assert!(t.probe(3).is_none());
+        assert!(!t.complement.get(0), "registering query references the dimension");
+    }
+
+    #[test]
+    fn second_query_shares_existing_entries() {
+        let t = table_with_no_queries();
+        t.register_query(QueryId(0), &[(1, row(1, "red")), (2, row(2, "green"))]);
+        t.register_query(QueryId(1), &[(2, row(2, "green")), (3, row(3, "blue"))]);
+        assert_eq!(t.len(), 3, "union of both selections");
+        let bits2 = t.entry_bits(2).unwrap();
+        assert!(bits2.get(0) && bits2.get(1), "tuple 2 selected by both queries");
+        let bits1 = t.entry_bits(1).unwrap();
+        assert!(bits1.get(0) && !bits1.get(1));
+        let bits3 = t.entry_bits(3).unwrap();
+        assert!(!bits3.get(0) && bits3.get(1));
+    }
+
+    #[test]
+    fn unreferencing_query_accepts_all_tuples() {
+        let t = table_with_no_queries();
+        t.register_query(QueryId(0), &[(1, row(1, "red"))]);
+        t.register_unreferencing_query(QueryId(1));
+        assert!(t.complement.get(1));
+        assert!(!t.complement.get(0));
+        // Existing entry must also carry query 1's bit.
+        let bits = t.entry_bits(1).unwrap();
+        assert!(bits.get(0) && bits.get(1));
+        // New entries inserted later also carry it (they clone the complement).
+        t.register_query(QueryId(2), &[(5, row(5, "cyan"))]);
+        let bits5 = t.entry_bits(5).unwrap();
+        assert!(bits5.get(1), "query 1 ignores the dimension, accepts tuple 5");
+        assert!(bits5.get(2));
+        assert!(!bits5.get(0), "query 0 references the dimension but did not select tuple 5");
+    }
+
+    #[test]
+    fn new_entry_bits_follow_paper_initialisation() {
+        // Paper: bδ ← bDj; bδ[n] ← 1.
+        let t = table_with_no_queries();
+        t.register_unreferencing_query(QueryId(3));
+        t.register_query(QueryId(4), &[(9, row(9, "x"))]);
+        let bits = t.entry_bits(9).unwrap();
+        assert_eq!(bits.iter().collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn unregister_referenced_query_garbage_collects() {
+        let t = table_with_no_queries();
+        t.register_query(QueryId(0), &[(1, row(1, "red")), (2, row(2, "green"))]);
+        t.register_query(QueryId(1), &[(2, row(2, "green"))]);
+        let empty = t.unregister_query(QueryId(0), true);
+        assert!(!empty);
+        assert_eq!(t.len(), 1, "tuple 1 had only query 0's bit and is collected");
+        assert!(t.probe(1).is_none());
+        assert!(t.probe(2).is_some());
+        assert!(!t.complement.get(0), "freed ids are cleared everywhere");
+
+        let empty = t.unregister_query(QueryId(1), true);
+        assert!(empty);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn unregister_unreferencing_query_clears_its_bits() {
+        let t = table_with_no_queries();
+        t.register_query(QueryId(0), &[(1, row(1, "red"))]);
+        t.register_unreferencing_query(QueryId(1));
+        assert!(t.entry_bits(1).unwrap().get(1));
+        t.unregister_query(QueryId(1), false);
+        assert!(!t.entry_bits(1).unwrap().get(1));
+        assert!(!t.complement.get(1), "freed ids are cleared from the complement too");
+        assert_eq!(t.len(), 1, "entry still selected by query 0");
+    }
+
+    #[test]
+    fn id_reuse_does_not_inherit_stale_bits() {
+        // Regression: query 0 finishes, another query inserts new entries while id 0
+        // is free, then a new query reuses id 0 and references the dimension. The
+        // interim entries must NOT carry bit 0.
+        let t = table_with_no_queries();
+        t.register_query(QueryId(0), &[(1, row(1, "red"))]);
+        t.unregister_query(QueryId(0), true);
+        // Interim admission by another query while id 0 is unused.
+        t.register_query(QueryId(1), &[(2, row(2, "green"))]);
+        assert!(!t.entry_bits(2).unwrap().get(0), "free id must not appear on new entries");
+        // Id 0 is reused by a query selecting only key 3.
+        t.register_query(QueryId(0), &[(3, row(3, "blue"))]);
+        assert!(!t.entry_bits(2).unwrap().get(0), "reused id must not select unrelated entries");
+        assert!(t.entry_bits(3).unwrap().get(0));
+    }
+
+    #[test]
+    fn probe_returns_shared_entry() {
+        let t = table_with_no_queries();
+        t.register_query(QueryId(0), &[(1, row(1, "red"))]);
+        let a = t.probe(1).unwrap();
+        let b = t.probe(1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.row.get(1).as_str().unwrap(), "red");
+    }
+
+    #[test]
+    fn filter_stats_drop_rate_and_reset() {
+        let s = FilterStats::default();
+        assert_eq!(s.drop_rate(), 0.0);
+        s.tuples_in.store(100, Ordering::Relaxed);
+        s.tuples_dropped.store(25, Ordering::Relaxed);
+        s.probes.store(80, Ordering::Relaxed);
+        s.skips.store(20, Ordering::Relaxed);
+        assert!((s.drop_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(s.snapshot(), (100, 25, 80, 20));
+        s.reset();
+        assert_eq!(s.snapshot(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let t = DimensionTable::new("part", 3, 5, 0, 16, &QuerySet::from_bits(16, [2]));
+        assert_eq!(t.name, "part");
+        assert_eq!(t.slot, 3);
+        assert_eq!(t.fact_fk_column, 5);
+        assert_eq!(t.dim_key_column, 0);
+        assert_eq!(t.max_concurrency(), 16);
+        assert!(t.complement.get(2), "pre-existing query 2 does not reference 'part'");
+    }
+
+    #[test]
+    fn concurrent_probes_and_registrations() {
+        use std::sync::Arc as StdArc;
+        let t = StdArc::new(table_with_no_queries());
+        t.register_query(QueryId(0), &[(1, row(1, "red"))]);
+        let probers: Vec<_> = (0..4)
+            .map(|_| {
+                let t = StdArc::clone(&t);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        let _ = t.probe(1);
+                        let _ = t.probe(999);
+                    }
+                })
+            })
+            .collect();
+        let writer = {
+            let t = StdArc::clone(&t);
+            std::thread::spawn(move || {
+                for i in 1..5u32 {
+                    t.register_query(QueryId(i), &[(i64::from(i) + 10, row(i64::from(i) + 10, "x"))]);
+                }
+            })
+        };
+        for p in probers {
+            p.join().unwrap();
+        }
+        writer.join().unwrap();
+        assert_eq!(t.len(), 5);
+    }
+}

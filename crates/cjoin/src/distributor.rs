@@ -1,0 +1,311 @@
+//! The Distributor (§3.2.2).
+//!
+//! The Distributor consumes the pipeline's output: for each surviving fact tuple it
+//! inspects the query bit-vector and routes the tuple to the aggregation operator of
+//! every query whose bit is set. Group-by columns and aggregate inputs that live on
+//! dimension tables are read through the dimension rows the Filters attached to the
+//! tuple, so no re-probing is necessary.
+//!
+//! Control tuples drive query lifecycle: *query start* creates the aggregation
+//! operator before any of the query's tuples can arrive, *query end* finalizes it,
+//! delivers the result on the query's result channel, and notifies the engine's
+//! manager so Algorithm 2 (dimension-table cleanup and id recycling) can run.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use cjoin_common::QueryId;
+use cjoin_query::GroupedAggregator;
+use cjoin_storage::Row;
+
+use crate::pool::BatchPool;
+use crate::stats::SharedCounters;
+use crate::tuple::{Batch, ControlTuple, Message, QueryRuntime};
+
+/// Aggregation state of one registered query.
+struct QueryAggregation {
+    runtime: Arc<QueryRuntime>,
+    aggregator: GroupedAggregator,
+}
+
+/// The Distributor: single-threaded consumer of the pipeline's output.
+pub struct Distributor {
+    input: Receiver<Message>,
+    in_flight: Arc<AtomicI64>,
+    pool: Arc<BatchPool>,
+    counters: Arc<SharedCounters>,
+    /// Notifies the engine's manager thread that a query finished (for Algorithm 2).
+    finished_tx: Sender<QueryId>,
+    queries: Vec<Option<QueryAggregation>>,
+    /// Reusable scratch buffer mapping a query's dimension clauses to attached rows.
+    dim_scratch: Vec<Option<Row>>,
+}
+
+impl Distributor {
+    /// Creates a Distributor for a pipeline with the given `maxConc`.
+    pub fn new(
+        input: Receiver<Message>,
+        in_flight: Arc<AtomicI64>,
+        pool: Arc<BatchPool>,
+        counters: Arc<SharedCounters>,
+        finished_tx: Sender<QueryId>,
+        max_concurrency: usize,
+    ) -> Self {
+        Self {
+            input,
+            in_flight,
+            pool,
+            counters,
+            finished_tx,
+            queries: (0..max_concurrency).map(|_| None).collect(),
+            dim_scratch: Vec::new(),
+        }
+    }
+
+    /// Runs the Distributor loop until a shutdown message arrives or every sender is
+    /// dropped.
+    pub fn run(&mut self) {
+        while let Ok(msg) = self.input.recv() {
+            match msg {
+                Message::Data(batch) => self.handle_batch(batch),
+                Message::Control(control) => self.handle_control(control),
+                Message::Shutdown => break,
+            }
+        }
+    }
+
+    fn handle_batch(&mut self, batch: Batch) {
+        SharedCounters::add(&self.counters.tuples_distributed, batch.len() as u64);
+        let mut routings = 0u64;
+        for tuple in &batch {
+            for bit in tuple.bits.iter() {
+                let Some(Some(state)) = self.queries.get_mut(bit) else {
+                    continue;
+                };
+                routings += 1;
+                // Map the query's dimension clauses to the rows attached by the
+                // Filters (slot_map[k] = pipeline slot of the k-th clause).
+                self.dim_scratch.clear();
+                for &slot in &state.runtime.slot_map {
+                    self.dim_scratch
+                        .push(tuple.dims.get(slot).cloned().flatten());
+                }
+                let dims: Vec<Option<&Row>> = self.dim_scratch.iter().map(Option::as_ref).collect();
+                state.aggregator.accumulate(&tuple.row, &dims);
+            }
+        }
+        SharedCounters::add(&self.counters.routings, routings);
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.pool.put(batch);
+    }
+
+    fn handle_control(&mut self, control: ControlTuple) {
+        match control {
+            ControlTuple::QueryStart(runtime) => {
+                let bit = runtime.id.index();
+                let aggregator = GroupedAggregator::new(&runtime.bound);
+                self.queries[bit] = Some(QueryAggregation { runtime, aggregator });
+            }
+            ControlTuple::QueryEnd(id) => {
+                if let Some(state) = self.queries[id.index()].take() {
+                    let result = state.aggregator.finalize();
+                    // The receiver may have been dropped (caller lost interest); the
+                    // query still completes and is cleaned up.
+                    let _ = state.runtime.result_tx.send(result);
+                    SharedCounters::add(&self.counters.queries_completed, 1);
+                    let _ = self.finished_tx.send(id);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::InFlightTuple;
+    use cjoin_common::QuerySet;
+    use cjoin_query::{AggFunc, AggValue, AggregateSpec, ColumnRef, Predicate, StarQuery};
+    use cjoin_storage::{Catalog, Column, RowId, Schema, SnapshotId, Table, Value};
+    use crossbeam::channel::{bounded, unbounded};
+    use std::time::Instant;
+
+    /// Catalog: fact(fk, amount) + dim color(k, name).
+    fn catalog() -> Catalog {
+        let catalog = Catalog::new();
+        let fact = Table::new(Schema::new("fact", vec![Column::int("fk"), Column::int("amount")]));
+        let dim = Table::new(Schema::new("color", vec![Column::int("k"), Column::str("name")]));
+        dim.insert(vec![Value::int(1), Value::str("red")], SnapshotId::INITIAL).unwrap();
+        dim.insert(vec![Value::int(2), Value::str("green")], SnapshotId::INITIAL).unwrap();
+        catalog.add_fact_table(Arc::new(fact));
+        catalog.add_table(Arc::new(dim));
+        catalog
+    }
+
+    fn runtime(
+        catalog: &Catalog,
+        bit: u32,
+        group_by_dim: bool,
+    ) -> (Arc<QueryRuntime>, Receiver<cjoin_query::QueryResult>) {
+        let mut builder = StarQuery::builder(format!("q{bit}"))
+            .join_dimension("color", "fk", "k", Predicate::True)
+            .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("amount")));
+        if group_by_dim {
+            builder = builder.group_by(ColumnRef::dim("color", "name"));
+        }
+        let bound = builder.build().bind(catalog).unwrap();
+        let (tx, rx) = bounded(1);
+        (
+            Arc::new(QueryRuntime {
+                id: QueryId(bit),
+                name: format!("q{bit}"),
+                bound: Arc::new(bound),
+                slot_map: vec![0],
+                result_tx: tx,
+                admitted_at: Instant::now(),
+                progress: Arc::new(crate::progress::QueryProgress::new(0)),
+            }),
+            rx,
+        )
+    }
+
+    fn tuple(bits: &[usize], fk: i64, amount: i64, dim_name: Option<&str>) -> InFlightTuple {
+        let mut t = InFlightTuple::new(
+            RowId(0),
+            Row::new(vec![Value::int(fk), Value::int(amount)]),
+            QuerySet::from_bits(8, bits.iter().copied()),
+            1,
+        );
+        if let Some(name) = dim_name {
+            t.dims[0] = Some(Row::new(vec![Value::int(fk), Value::str(name)]));
+        }
+        t
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn harness() -> (
+        Distributor,
+        Sender<Message>,
+        Receiver<QueryId>,
+        Arc<AtomicI64>,
+    ) {
+        let (tx, rx) = unbounded();
+        let (fin_tx, fin_rx) = unbounded();
+        let in_flight = Arc::new(AtomicI64::new(0));
+        let d = Distributor::new(
+            rx,
+            Arc::clone(&in_flight),
+            BatchPool::new(4, true),
+            SharedCounters::new(),
+            fin_tx,
+            8,
+        );
+        (d, tx, fin_rx, in_flight)
+    }
+
+    #[test]
+    fn routes_tuples_to_registered_queries_and_finalizes() {
+        let catalog = catalog();
+        let (mut d, tx, fin_rx, in_flight) = harness();
+        let (rt, result_rx) = runtime(&catalog, 0, true);
+
+        tx.send(Message::Control(ControlTuple::QueryStart(rt))).unwrap();
+        in_flight.fetch_add(1, Ordering::AcqRel);
+        tx.send(Message::Data(vec![
+            tuple(&[0], 1, 10, Some("red")),
+            tuple(&[0], 2, 20, Some("green")),
+            tuple(&[0], 1, 5, Some("red")),
+        ]))
+        .unwrap();
+        tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(0)))).unwrap();
+        tx.send(Message::Shutdown).unwrap();
+        d.run();
+
+        let result = result_rx.try_recv().unwrap();
+        assert_eq!(result.num_rows(), 2);
+        assert_eq!(
+            result.aggregate_for(&[Value::str("red")]).unwrap()[0],
+            AggValue::Int(15)
+        );
+        assert_eq!(
+            result.aggregate_for(&[Value::str("green")]).unwrap()[0],
+            AggValue::Int(20)
+        );
+        assert_eq!(fin_rx.try_recv().unwrap(), QueryId(0));
+        assert_eq!(in_flight.load(Ordering::Acquire), 0, "data batch acknowledged");
+    }
+
+    #[test]
+    fn tuples_for_unregistered_bits_are_ignored() {
+        let catalog = catalog();
+        let (mut d, tx, _fin_rx, in_flight) = harness();
+        let (rt, result_rx) = runtime(&catalog, 1, false);
+        tx.send(Message::Control(ControlTuple::QueryStart(rt))).unwrap();
+        in_flight.fetch_add(1, Ordering::AcqRel);
+        // Bit 5 has no registered aggregation; bit 1 does.
+        tx.send(Message::Data(vec![tuple(&[1, 5], 1, 7, Some("red"))])).unwrap();
+        tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(1)))).unwrap();
+        tx.send(Message::Shutdown).unwrap();
+        d.run();
+        let result = result_rx.try_recv().unwrap();
+        assert_eq!(result.rows().next().unwrap().1[0], AggValue::Int(7));
+    }
+
+    #[test]
+    fn multiple_concurrent_queries_share_one_tuple() {
+        let catalog = catalog();
+        let (mut d, tx, fin_rx, in_flight) = harness();
+        let (rt0, rx0) = runtime(&catalog, 0, false);
+        let (rt1, rx1) = runtime(&catalog, 1, true);
+        tx.send(Message::Control(ControlTuple::QueryStart(rt0))).unwrap();
+        tx.send(Message::Control(ControlTuple::QueryStart(rt1))).unwrap();
+        in_flight.fetch_add(1, Ordering::AcqRel);
+        tx.send(Message::Data(vec![tuple(&[0, 1], 1, 100, Some("red"))])).unwrap();
+        tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(0)))).unwrap();
+        tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(1)))).unwrap();
+        tx.send(Message::Shutdown).unwrap();
+        d.run();
+        assert_eq!(rx0.try_recv().unwrap().rows().next().unwrap().1[0], AggValue::Int(100));
+        assert_eq!(
+            rx1.try_recv().unwrap().aggregate_for(&[Value::str("red")]).unwrap()[0],
+            AggValue::Int(100)
+        );
+        let finished: Vec<_> = fin_rx.try_iter().collect();
+        assert_eq!(finished, vec![QueryId(0), QueryId(1)]);
+    }
+
+    #[test]
+    fn query_with_no_matching_tuples_still_delivers_a_result() {
+        let catalog = catalog();
+        let (mut d, tx, _fin, _in_flight) = harness();
+        let (rt, result_rx) = runtime(&catalog, 0, true);
+        tx.send(Message::Control(ControlTuple::QueryStart(rt))).unwrap();
+        tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(0)))).unwrap();
+        tx.send(Message::Shutdown).unwrap();
+        d.run();
+        let result = result_rx.try_recv().unwrap();
+        assert!(result.is_empty(), "grouped query with no input has no groups");
+    }
+
+    #[test]
+    fn dropped_result_receiver_does_not_wedge_the_pipeline() {
+        let catalog = catalog();
+        let (mut d, tx, fin_rx, _in_flight) = harness();
+        let (rt, result_rx) = runtime(&catalog, 0, false);
+        drop(result_rx);
+        tx.send(Message::Control(ControlTuple::QueryStart(rt))).unwrap();
+        tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(0)))).unwrap();
+        tx.send(Message::Shutdown).unwrap();
+        d.run();
+        assert_eq!(fin_rx.try_recv().unwrap(), QueryId(0), "cleanup still notified");
+    }
+
+    #[test]
+    fn exits_when_senders_disconnect() {
+        let (mut d, tx, _fin, _inf) = harness();
+        drop(tx);
+        d.run(); // must return immediately rather than block forever
+    }
+}

@@ -1,0 +1,864 @@
+//! The public CJOIN engine: query admission, finalization and pipeline lifecycle.
+//!
+//! [`CjoinEngine::start`] builds the always-on pipeline (continuous scan →
+//! Preprocessor → Stages → Distributor) and the manager thread. Queries are
+//! registered at any time with [`CjoinEngine::submit`], which performs Algorithm 1 of
+//! the paper on the caller's thread (the Pipeline Manager work runs concurrently with
+//! the pipeline, which keeps flowing while dimension hash tables are updated) and
+//! returns a [`QueryHandle`] whose [`QueryHandle::wait`] blocks until the continuous
+//! scan has wrapped around the query's starting tuple and its result is complete.
+//!
+//! The manager thread performs the asynchronous work of §3.3.2 and §3.4: cleaning up
+//! dimension hash tables after queries finish (Algorithm 2), recycling query ids, and
+//! periodically re-optimising the Filter order from observed selectivities.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use cjoin_common::{Error, FxHashMap, QueryId, QueryIdAllocator, QuerySet, Result};
+use cjoin_query::{QueryResult, StarQuery};
+use cjoin_storage::{Catalog, ContinuousScan, PartitionScheme, Row, SnapshotId};
+
+use crate::config::CjoinConfig;
+use crate::dimension::DimensionTable;
+use crate::distributor::Distributor;
+use crate::filter::FilterChain;
+use crate::optimizer::reorder_filters;
+use crate::pipeline::{run_stage_worker, StagePlan};
+use crate::pool::BatchPool;
+use crate::preprocessor::{PartitionPlan, Preprocessor, PreprocessorCommand};
+use crate::progress::QueryProgress;
+use crate::queue::TupleQueue;
+use crate::stats::{FilterStatsSnapshot, PipelineStats, SharedCounters};
+use crate::tuple::{Message, QueryRuntime};
+
+/// A registered query's admission-side bookkeeping (used by Algorithm 2 at cleanup).
+#[derive(Debug)]
+struct Registered {
+    referenced_dims: Vec<String>,
+}
+
+/// State shared between admissions (caller threads) and the manager thread.
+#[derive(Debug)]
+struct AdmissionState {
+    allocator: QueryIdAllocator,
+    registered: FxHashMap<u32, Registered>,
+}
+
+/// Handle to a query registered with the CJOIN pipeline.
+#[derive(Debug)]
+pub struct QueryHandle {
+    id: QueryId,
+    name: String,
+    result_rx: Receiver<QueryResult>,
+    submitted_at: Instant,
+    submission_time: Duration,
+    progress: Arc<QueryProgress>,
+}
+
+impl QueryHandle {
+    /// The CJOIN-internal id assigned to the query.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// The query's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Time spent in admission: from submission until the query-start control tuple
+    /// entered the pipeline (the paper's "submission time", Tables 1–3).
+    pub fn submission_time(&self) -> Duration {
+        self.submission_time
+    }
+
+    /// Blocks until the query completes and returns its result.
+    ///
+    /// # Errors
+    /// Fails if the pipeline shuts down before the query completes.
+    pub fn wait(self) -> Result<QueryResult> {
+        self.result_rx
+            .recv()
+            .map_err(|_| Error::invalid_state("pipeline shut down before the query completed"))
+    }
+
+    /// Blocks until the query completes, returning the result together with the
+    /// total response time (submission to completion).
+    ///
+    /// # Errors
+    /// Fails if the pipeline shuts down before the query completes.
+    pub fn wait_with_time(self) -> Result<(QueryResult, Duration)> {
+        let started = self.submitted_at;
+        let result = self.wait()?;
+        Ok((result, started.elapsed()))
+    }
+
+    /// Returns the result if it is already available, without blocking.
+    pub fn try_result(&self) -> Option<QueryResult> {
+        self.result_rx.try_recv().ok()
+    }
+
+    /// The query's progress tracker (§3.2.3): the continuous scan position serves as
+    /// a reliable progress indicator, and the observed rate gives an estimated time
+    /// of completion.
+    pub fn progress(&self) -> &Arc<QueryProgress> {
+        &self.progress
+    }
+}
+
+struct PipelineThreads {
+    preprocessor: JoinHandle<()>,
+    workers: Vec<Vec<JoinHandle<()>>>,
+    distributor: JoinHandle<()>,
+    manager: JoinHandle<()>,
+}
+
+/// The CJOIN engine: one always-on pipeline over a catalog's fact table.
+pub struct CjoinEngine {
+    catalog: Arc<Catalog>,
+    config: CjoinConfig,
+    chain: Arc<FilterChain>,
+    slot_count: Arc<AtomicUsize>,
+    counters: Arc<SharedCounters>,
+    pool: Arc<BatchPool>,
+    admission: Arc<Mutex<AdmissionState>>,
+    cmd_tx: Sender<PreprocessorCommand>,
+    stage_queues: Vec<TupleQueue>,
+    distributor_queue: TupleQueue,
+    stage_plan: StagePlan,
+    partition_info: Option<PartitionInfo>,
+    shutdown_flag: Arc<AtomicBool>,
+    threads: Mutex<Option<PipelineThreads>>,
+}
+
+#[derive(Debug, Clone)]
+struct PartitionInfo {
+    scheme: PartitionScheme,
+    column_name: String,
+    rows_per_partition: Vec<u64>,
+}
+
+impl CjoinEngine {
+    /// Starts the always-on pipeline over `catalog`'s fact table.
+    ///
+    /// # Errors
+    /// Fails if the configuration is invalid or the catalog has no fact table.
+    pub fn start(catalog: Arc<Catalog>, config: CjoinConfig) -> Result<Self> {
+        config.validate()?;
+        let fact = catalog.fact_table()?;
+
+        let stage_plan = StagePlan::derive(&config.stage_layout, config.worker_threads);
+        let chain = Arc::new(FilterChain::new());
+        let slot_count = Arc::new(AtomicUsize::new(0));
+        let counters = SharedCounters::new();
+        let in_flight = Arc::new(AtomicI64::new(0));
+        // Enough pooled batches for every queue position plus the threads working on one.
+        let pool_capacity =
+            (stage_plan.num_stages() + 1) * config.queue_capacity + stage_plan.total_threads() + 2;
+        let pool = BatchPool::new(pool_capacity, config.use_batch_pool);
+        let shutdown_flag = Arc::new(AtomicBool::new(false));
+
+        // Partition pruning needs per-partition row counts to know when a query has
+        // covered all the partitions it cares about.
+        let partition_info = if config.partition_pruning {
+            catalog.fact_partitioning().map(|scheme| {
+                let column_name = fact.schema().column(scheme.column).name.clone();
+                let mut rows_per_partition = vec![0u64; scheme.num_partitions()];
+                fact.for_each_visible(SnapshotId(u64::MAX), |_, row| {
+                    let pid = scheme.partition_of(row.int(scheme.column)).index();
+                    rows_per_partition[pid] += 1;
+                });
+                PartitionInfo {
+                    scheme,
+                    column_name,
+                    rows_per_partition,
+                }
+            })
+        } else {
+            None
+        };
+
+        // Queues: one per stage plus the distributor's.
+        let stage_queues: Vec<TupleQueue> = (0..stage_plan.num_stages())
+            .map(|_| TupleQueue::new(config.queue_capacity))
+            .collect();
+        let distributor_queue = TupleQueue::new(config.queue_capacity.max(4));
+
+        // Preprocessor thread.
+        let (cmd_tx, cmd_rx) = unbounded();
+        let scan = ContinuousScan::new(Arc::clone(&fact)).with_batch_rows(config.batch_size);
+        let mut preprocessor = Preprocessor::new(
+            scan,
+            cmd_rx,
+            stage_queues[0].sender(),
+            distributor_queue.sender(),
+            Arc::clone(&in_flight),
+            Arc::clone(&pool),
+            Arc::clone(&slot_count),
+            Arc::clone(&counters),
+            config.clone(),
+            partition_info
+                .as_ref()
+                .map(|p| (p.scheme.clone(), p.scheme.column)),
+        );
+        let preprocessor_handle = std::thread::Builder::new()
+            .name("cjoin-preprocessor".into())
+            .spawn(move || preprocessor.run())
+            .map_err(|e| Error::invalid_state(format!("failed to spawn preprocessor: {e}")))?;
+
+        // Stage worker threads.
+        let num_stages = stage_plan.num_stages();
+        let mut workers: Vec<Vec<JoinHandle<()>>> = Vec::with_capacity(num_stages);
+        for (stage_index, &threads) in stage_plan.threads_per_stage.iter().enumerate() {
+            let mut stage_workers = Vec::with_capacity(threads);
+            for worker_index in 0..threads {
+                let input = stage_queues[stage_index].receiver();
+                let output = if stage_index + 1 < num_stages {
+                    stage_queues[stage_index + 1].sender()
+                } else {
+                    distributor_queue.sender()
+                };
+                let chain = Arc::clone(&chain);
+                let early_skip = config.early_skip;
+                let handle = std::thread::Builder::new()
+                    .name(format!("cjoin-stage{stage_index}-w{worker_index}"))
+                    .spawn(move || {
+                        run_stage_worker(stage_index, num_stages, input, output, chain, early_skip)
+                    })
+                    .map_err(|e| Error::invalid_state(format!("failed to spawn worker: {e}")))?;
+                stage_workers.push(handle);
+            }
+            workers.push(stage_workers);
+        }
+
+        // Distributor thread.
+        let (finished_tx, finished_rx) = unbounded();
+        let mut distributor = Distributor::new(
+            distributor_queue.receiver(),
+            Arc::clone(&in_flight),
+            Arc::clone(&pool),
+            Arc::clone(&counters),
+            finished_tx,
+            config.max_concurrency,
+        );
+        let distributor_handle = std::thread::Builder::new()
+            .name("cjoin-distributor".into())
+            .spawn(move || distributor.run())
+            .map_err(|e| Error::invalid_state(format!("failed to spawn distributor: {e}")))?;
+
+        // Manager thread: Algorithm 2 cleanup + adaptive filter ordering.
+        let admission = Arc::new(Mutex::new(AdmissionState {
+            allocator: QueryIdAllocator::new(config.max_concurrency),
+            registered: FxHashMap::default(),
+        }));
+        let manager_handle = {
+            let chain = Arc::clone(&chain);
+            let admission = Arc::clone(&admission);
+            let counters = Arc::clone(&counters);
+            let config = config.clone();
+            let shutdown_flag = Arc::clone(&shutdown_flag);
+            std::thread::Builder::new()
+                .name("cjoin-manager".into())
+                .spawn(move || {
+                    run_manager(finished_rx, chain, admission, counters, config, shutdown_flag)
+                })
+                .map_err(|e| Error::invalid_state(format!("failed to spawn manager: {e}")))?
+        };
+
+        Ok(Self {
+            catalog,
+            config,
+            chain,
+            slot_count,
+            counters,
+            pool,
+            admission,
+            cmd_tx,
+            stage_queues,
+            distributor_queue,
+            stage_plan,
+            partition_info,
+            shutdown_flag,
+            threads: Mutex::new(Some(PipelineThreads {
+                preprocessor: preprocessor_handle,
+                workers,
+                distributor: distributor_handle,
+                manager: manager_handle,
+            })),
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &CjoinConfig {
+        &self.config
+    }
+
+    /// The catalog the engine runs over.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Number of currently registered queries.
+    pub fn active_queries(&self) -> usize {
+        self.admission.lock().registered.len()
+    }
+
+    /// Registers a star query with the always-on pipeline (Algorithm 1) and returns a
+    /// handle to wait for its result.
+    ///
+    /// # Errors
+    /// Fails if the engine is shut down, the query does not bind against the catalog,
+    /// the `maxConc` limit is reached, or the query joins a dimension through
+    /// different key columns than an earlier query (role-playing dimensions are not
+    /// supported by a single CJOIN operator).
+    pub fn submit(&self, query: StarQuery) -> Result<QueryHandle> {
+        if self.shutdown_flag.load(Ordering::Acquire) {
+            return Err(Error::invalid_state("engine is shut down"));
+        }
+        let submitted_at = Instant::now();
+        let bound = query.bind(&self.catalog)?;
+        let snapshot = bound.snapshot.unwrap_or_else(|| self.catalog.snapshots().current());
+
+        // ---- Algorithm 1, lines 1–16: update dimension hash tables -------------
+        let mut admission = self.admission.lock();
+        let id = admission.allocator.allocate()?;
+        let others = QuerySet::from_bits(
+            self.config.max_concurrency,
+            admission.registered.keys().map(|&k| k as usize),
+        );
+
+        let mut referenced_dims = Vec::with_capacity(bound.dimensions.len());
+        let mut slot_map = Vec::with_capacity(bound.dimensions.len());
+        let mut admit = || -> Result<()> {
+            for clause in &bound.dimensions {
+                let dim_table = match self.chain.find(&clause.table) {
+                    Some(existing) => {
+                        if existing.fact_fk_column != clause.fact_fk_column
+                            || existing.dim_key_column != clause.dim_key_column
+                        {
+                            return Err(Error::invalid_state(format!(
+                                "dimension '{}' is already registered with different join columns",
+                                clause.table
+                            )));
+                        }
+                        existing
+                    }
+                    None => {
+                        let slot = self.slot_count.fetch_add(1, Ordering::AcqRel);
+                        let table = Arc::new(DimensionTable::new(
+                            clause.table.clone(),
+                            slot,
+                            clause.fact_fk_column,
+                            clause.dim_key_column,
+                            self.config.max_concurrency,
+                            &others,
+                        ));
+                        self.chain.push(Arc::clone(&table));
+                        table
+                    }
+                };
+                // Evaluate σ_cij(Dj) against the dimension table and load the result.
+                let dimension = self.catalog.table(&clause.table)?;
+                let rows: Vec<(i64, Row)> = dimension
+                    .select(snapshot, |row| clause.predicate.eval(row))
+                    .into_iter()
+                    .map(|(_, row)| (row.int(clause.dim_key_column), row))
+                    .collect();
+                dim_table.register_query(id, &rows);
+                referenced_dims.push(clause.table.clone());
+                slot_map.push(dim_table.slot);
+            }
+            Ok(())
+        };
+        if let Err(e) = admit() {
+            // Roll back: clear whatever this query managed to register.
+            for dim in self.chain.snapshot() {
+                let referenced = referenced_dims.contains(&dim.name);
+                let empty = dim.unregister_query(id, referenced);
+                if empty {
+                    self.chain.remove(&dim.name);
+                }
+            }
+            let _ = admission.allocator.release(id);
+            return Err(e);
+        }
+        // Dimensions in the pipeline that this query does not reference implicitly
+        // accept every tuple for it.
+        for dim in self.chain.snapshot() {
+            if !referenced_dims.contains(&dim.name) {
+                dim.register_unreferencing_query(id);
+            }
+        }
+        admission.registered.insert(id.0, Registered { referenced_dims });
+        drop(admission);
+
+        // ---- Partition pruning plan (§5) ----------------------------------------
+        let partition = self.partition_info.as_ref().and_then(|info| {
+            let (lo, hi) = bound.fact_column_range(&info.column_name)?;
+            let covering = info.scheme.covering(lo, hi);
+            let mut needed = vec![false; info.scheme.num_partitions()];
+            let mut remaining_rows = 0u64;
+            for pid in covering {
+                needed[pid.index()] = true;
+                remaining_rows += info.rows_per_partition[pid.index()];
+            }
+            Some(PartitionPlan { needed, remaining_rows })
+        });
+
+        // ---- Algorithm 1, lines 17–22: install in Preprocessor & Distributor ----
+        let fact_predicate = if bound.fact_predicate_is_true {
+            None
+        } else {
+            Some(bound.fact_predicate.clone())
+        };
+        let (result_tx, result_rx) = bounded(1);
+        let progress = Arc::new(QueryProgress::new(self.catalog.fact_table()?.len() as u64));
+        let runtime = Arc::new(QueryRuntime {
+            id,
+            name: query.name.clone(),
+            bound: Arc::new(bound),
+            slot_map,
+            result_tx,
+            admitted_at: submitted_at,
+            progress: Arc::clone(&progress),
+        });
+        let (ack_tx, ack_rx) = bounded(1);
+        self.cmd_tx
+            .send(PreprocessorCommand::Install {
+                runtime,
+                fact_predicate,
+                snapshot,
+                partition,
+                ack: ack_tx,
+            })
+            .map_err(|_| Error::invalid_state("pipeline is not running"))?;
+        ack_rx
+            .recv()
+            .map_err(|_| Error::invalid_state("pipeline stopped during query installation"))?;
+        let submission_time = submitted_at.elapsed();
+
+        Ok(QueryHandle {
+            id,
+            name: query.name,
+            result_rx,
+            submitted_at,
+            submission_time,
+            progress,
+        })
+    }
+
+    /// Convenience: submits a query and blocks until its result is available.
+    ///
+    /// # Errors
+    /// Propagates submission and wait errors.
+    pub fn execute(&self, query: StarQuery) -> Result<QueryResult> {
+        self.submit(query)?.wait()
+    }
+
+    /// A point-in-time snapshot of pipeline statistics.
+    pub fn stats(&self) -> PipelineStats {
+        let filters = self
+            .chain
+            .snapshot()
+            .iter()
+            .map(|f| {
+                let (tuples_in, tuples_dropped, probes, skips) = f.stats.snapshot();
+                FilterStatsSnapshot {
+                    dimension: f.name.clone(),
+                    entries: f.len(),
+                    tuples_in,
+                    tuples_dropped,
+                    probes,
+                    skips,
+                }
+            })
+            .collect();
+        PipelineStats {
+            tuples_scanned: self.counters.tuples_scanned.load(Ordering::Relaxed),
+            batches_sent: self.counters.batches_sent.load(Ordering::Relaxed),
+            tuples_distributed: self.counters.tuples_distributed.load(Ordering::Relaxed),
+            routings: self.counters.routings.load(Ordering::Relaxed),
+            scan_passes: self.counters.scan_passes.load(Ordering::Relaxed),
+            queries_admitted: self.counters.queries_admitted.load(Ordering::Relaxed),
+            queries_completed: self.counters.queries_completed.load(Ordering::Relaxed),
+            active_queries: self.active_queries(),
+            filter_reorders: self.counters.filter_reorders.load(Ordering::Relaxed),
+            control_barriers: self.counters.control_barriers.load(Ordering::Relaxed),
+            filters,
+            pool_hits: self.pool.hits(),
+            pool_misses: self.pool.misses(),
+        }
+    }
+
+    /// Current filter order (dimension names), for diagnostics and tests.
+    pub fn filter_order(&self) -> Vec<String> {
+        self.chain.order()
+    }
+
+    /// Shuts the pipeline down and joins all threads. Idempotent.
+    pub fn shutdown(&self) {
+        let Some(threads) = self.threads.lock().take() else {
+            return;
+        };
+        self.shutdown_flag.store(true, Ordering::Release);
+        // Stop the producer first so no new data enters the pipeline.
+        let _ = self.cmd_tx.send(PreprocessorCommand::Shutdown);
+        let _ = threads.preprocessor.join();
+        // Stop each stage in order; downstream stages are still draining while
+        // upstream workers finish their last batches.
+        for (stage_index, stage_workers) in threads.workers.into_iter().enumerate() {
+            for _ in 0..stage_workers.len() {
+                let _ = self.stage_queues[stage_index].send(Message::Shutdown);
+            }
+            for handle in stage_workers {
+                let _ = handle.join();
+            }
+        }
+        let _ = self.distributor_queue.send(Message::Shutdown);
+        let _ = threads.distributor.join();
+        // The Distributor dropping its side of the finished-query channel lets the
+        // manager observe the disconnect and exit.
+        let _ = threads.manager.join();
+    }
+
+    /// The derived stage plan (diagnostics / tests).
+    pub fn stage_plan(&self) -> &StagePlan {
+        &self.stage_plan
+    }
+}
+
+impl Drop for CjoinEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The manager thread body: query cleanup (Algorithm 2) and adaptive filter ordering.
+fn run_manager(
+    finished_rx: Receiver<QueryId>,
+    chain: Arc<FilterChain>,
+    admission: Arc<Mutex<AdmissionState>>,
+    counters: Arc<SharedCounters>,
+    config: CjoinConfig,
+    shutdown_flag: Arc<AtomicBool>,
+) {
+    let interval = Duration::from_millis(config.reorder_interval_ms.max(1));
+    let mut last_reorder = Instant::now();
+    loop {
+        match finished_rx.recv_timeout(interval) {
+            Ok(id) => cleanup_query(id, &chain, &admission),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        if shutdown_flag.load(Ordering::Acquire) {
+            // Drain any remaining notifications before exiting so ids are recycled.
+            while let Ok(id) = finished_rx.try_recv() {
+                cleanup_query(id, &chain, &admission);
+            }
+            break;
+        }
+        if config.adaptive_filter_ordering && last_reorder.elapsed() >= interval {
+            reorder_filters(&chain, &counters);
+            last_reorder = Instant::now();
+        }
+    }
+}
+
+/// Algorithm 2: remove a finished query from every dimension hash table, drop empty
+/// Filters, and recycle the query id.
+fn cleanup_query(id: QueryId, chain: &Arc<FilterChain>, admission: &Arc<Mutex<AdmissionState>>) {
+    let mut admission = admission.lock();
+    let Some(registered) = admission.registered.remove(&id.0) else {
+        return;
+    };
+    for dim in chain.snapshot() {
+        let referenced = registered.referenced_dims.contains(&dim.name);
+        let empty = dim.unregister_query(id, referenced);
+        if empty {
+            chain.remove(&dim.name);
+        }
+    }
+    let _ = admission.allocator.release(id);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjoin_query::{reference, AggFunc, AggValue, AggregateSpec, ColumnRef, Predicate};
+    use cjoin_storage::{Column, Schema, Table, Value};
+
+    /// A small synthetic star schema: fact(sales) with two dimensions.
+    fn small_catalog(fact_rows: i64) -> Arc<Catalog> {
+        let catalog = Catalog::new();
+        let color = Table::new(Schema::new("color", vec![Column::int("k"), Column::str("name")]));
+        for (k, name) in [(1, "red"), (2, "green"), (3, "blue")] {
+            color.insert(vec![Value::int(k), Value::str(name)], SnapshotId::INITIAL).unwrap();
+        }
+        let size = Table::new(Schema::new("size", vec![Column::int("k"), Column::str("label")]));
+        for (k, label) in [(1, "small"), (2, "large")] {
+            size.insert(vec![Value::int(k), Value::str(label)], SnapshotId::INITIAL).unwrap();
+        }
+        let fact = Table::with_rows_per_page(
+            Schema::new(
+                "sales",
+                vec![
+                    Column::int("colorkey"),
+                    Column::int("sizekey"),
+                    Column::int("amount"),
+                ],
+            ),
+            32,
+        );
+        fact.insert_batch_unchecked(
+            (0..fact_rows).map(|i| {
+                Row::new(vec![
+                    Value::int(i % 3 + 1),
+                    Value::int(i % 2 + 1),
+                    Value::int(i),
+                ])
+            }),
+            SnapshotId::INITIAL,
+        );
+        catalog.add_table(Arc::new(color));
+        catalog.add_table(Arc::new(size));
+        catalog.add_fact_table(Arc::new(fact));
+        Arc::new(catalog)
+    }
+
+    fn test_config() -> CjoinConfig {
+        CjoinConfig::default()
+            .with_max_concurrency(32)
+            .with_worker_threads(2)
+            .with_batch_size(64)
+    }
+
+    fn red_sum_query(name: &str) -> StarQuery {
+        StarQuery::builder(name)
+            .join_dimension("color", "colorkey", "k", Predicate::eq("name", "red"))
+            .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("amount")))
+            .aggregate(AggregateSpec::count_star())
+            .build()
+    }
+
+    #[test]
+    fn single_query_matches_reference() {
+        let catalog = small_catalog(300);
+        let engine = CjoinEngine::start(Arc::clone(&catalog), test_config()).unwrap();
+        let query = red_sum_query("red_sum");
+        let expected = reference::evaluate(&catalog, &query, SnapshotId::INITIAL).unwrap();
+        let result = engine.execute(query).unwrap();
+        assert!(result.approx_eq(&expected), "diff: {:?}", result.diff(&expected));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn concurrent_queries_share_the_pipeline_and_all_match_reference() {
+        let catalog = small_catalog(600);
+        let engine = CjoinEngine::start(Arc::clone(&catalog), test_config()).unwrap();
+        let queries: Vec<StarQuery> = vec![
+            red_sum_query("q_red"),
+            StarQuery::builder("q_by_color")
+                .join_dimension("color", "colorkey", "k", Predicate::True)
+                .group_by(ColumnRef::dim("color", "name"))
+                .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("amount")))
+                .build(),
+            StarQuery::builder("q_two_dims")
+                .join_dimension("color", "colorkey", "k", Predicate::in_list("name", vec!["red", "blue"]))
+                .join_dimension("size", "sizekey", "k", Predicate::eq("label", "large"))
+                .group_by(ColumnRef::dim("size", "label"))
+                .aggregate(AggregateSpec::count_star())
+                .build(),
+            StarQuery::builder("q_fact_only")
+                .aggregate(AggregateSpec::over(AggFunc::Max, ColumnRef::fact("amount")))
+                .build(),
+        ];
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| reference::evaluate(&catalog, q, SnapshotId::INITIAL).unwrap())
+            .collect();
+        let handles: Vec<_> = queries
+            .into_iter()
+            .map(|q| engine.submit(q).unwrap())
+            .collect();
+        assert!(engine.active_queries() >= 1);
+        for (handle, expected) in handles.into_iter().zip(expected) {
+            let name = handle.name().to_string();
+            let result = handle.wait().unwrap();
+            assert!(
+                result.approx_eq(&expected),
+                "{name} diverges from reference: {:?}",
+                result.diff(&expected)
+            );
+        }
+        // After completion the manager cleans everything up.
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(engine.active_queries(), 0);
+        let stats = engine.stats();
+        assert_eq!(stats.queries_admitted, 4);
+        assert_eq!(stats.queries_completed, 4);
+        assert!(stats.tuples_scanned >= 600);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn query_ids_are_recycled_after_completion() {
+        let catalog = small_catalog(120);
+        let config = CjoinConfig::default()
+            .with_max_concurrency(2)
+            .with_worker_threads(1)
+            .with_batch_size(32);
+        let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+        // More sequential queries than maxConc: ids must be recycled.
+        for i in 0..5 {
+            let result = engine.execute(red_sum_query(&format!("q{i}"))).unwrap();
+            assert_eq!(result.num_rows(), 1);
+            // Allow the manager to clean up before the next submission needs an id.
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while engine.active_queries() > 0 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn max_concurrency_is_enforced() {
+        let catalog = small_catalog(50_000);
+        let config = CjoinConfig::default()
+            .with_max_concurrency(2)
+            .with_worker_threads(1)
+            .with_batch_size(128);
+        let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+        let _h1 = engine.submit(red_sum_query("a")).unwrap();
+        let _h2 = engine.submit(red_sum_query("b")).unwrap();
+        let err = engine.submit(red_sum_query("c")).unwrap_err();
+        assert!(matches!(err, Error::TooManyConcurrentQueries { .. }));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn vertical_layout_produces_identical_results() {
+        let catalog = small_catalog(400);
+        let config = test_config().with_stage_layout(crate::config::StageLayout::Vertical);
+        let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+        let query = StarQuery::builder("two_dims")
+            .join_dimension("color", "colorkey", "k", Predicate::eq("name", "green"))
+            .join_dimension("size", "sizekey", "k", Predicate::True)
+            .group_by(ColumnRef::dim("size", "label"))
+            .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("amount")))
+            .build();
+        let expected = reference::evaluate(&catalog, &query, SnapshotId::INITIAL).unwrap();
+        let result = engine.execute(query).unwrap();
+        assert!(result.approx_eq(&expected), "{:?}", result.diff(&expected));
+        assert_eq!(engine.stage_plan().num_stages(), 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn unknown_table_is_rejected_and_id_released() {
+        let catalog = small_catalog(50);
+        let engine = CjoinEngine::start(Arc::clone(&catalog), test_config()).unwrap();
+        let bad = StarQuery::builder("bad")
+            .join_dimension("nonexistent", "colorkey", "k", Predicate::True)
+            .aggregate(AggregateSpec::count_star())
+            .build();
+        assert!(engine.submit(bad).is_err());
+        // The failed admission must not leak a query id.
+        let good = engine.execute(red_sum_query("good")).unwrap();
+        assert_eq!(good.num_rows(), 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails_cleanly() {
+        let catalog = small_catalog(50);
+        let engine = CjoinEngine::start(Arc::clone(&catalog), test_config()).unwrap();
+        engine.shutdown();
+        engine.shutdown(); // idempotent
+        assert!(engine.submit(red_sum_query("late")).is_err());
+    }
+
+    #[test]
+    fn snapshot_queries_see_consistent_data() {
+        let catalog = small_catalog(100);
+        let engine = CjoinEngine::start(Arc::clone(&catalog), test_config()).unwrap();
+        // Commit an update that adds 10 more "red" rows at a later snapshot.
+        let snap_before = catalog.snapshots().current();
+        let fact = catalog.fact_table().unwrap();
+        let snap_after = catalog.snapshots().commit();
+        for i in 0..10 {
+            fact.insert(
+                vec![Value::int(1), Value::int(1), Value::int(1000 + i)],
+                snap_after,
+            )
+            .unwrap();
+        }
+        let old = StarQuery::builder("old_snapshot")
+            .snapshot(snap_before)
+            .join_dimension("color", "colorkey", "k", Predicate::eq("name", "red"))
+            .aggregate(AggregateSpec::count_star())
+            .build();
+        let new = StarQuery::builder("new_snapshot")
+            .snapshot(snap_after)
+            .join_dimension("color", "colorkey", "k", Predicate::eq("name", "red"))
+            .aggregate(AggregateSpec::count_star())
+            .build();
+        let expected_old = reference::evaluate(&catalog, &old, snap_before).unwrap();
+        let expected_new = reference::evaluate(&catalog, &new, snap_after).unwrap();
+        let got_old = engine.execute(old).unwrap();
+        let got_new = engine.execute(new).unwrap();
+        assert!(got_old.approx_eq(&expected_old));
+        assert!(got_new.approx_eq(&expected_new));
+        // And they differ from each other by exactly the 10 inserted rows.
+        let count = |r: &QueryResult| match r.rows().next().unwrap().1[0] {
+            AggValue::Int(c) => c,
+            _ => panic!("expected count"),
+        };
+        assert_eq!(count(&got_new) - count(&got_old), 10);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn progress_reaches_completion_and_is_monotonic() {
+        let catalog = small_catalog(5_000);
+        let engine = CjoinEngine::start(Arc::clone(&catalog), test_config()).unwrap();
+        let handle = engine.submit(red_sum_query("tracked")).unwrap();
+        let progress = Arc::clone(handle.progress());
+        assert_eq!(progress.rows_total(), 5_000);
+
+        let mut last = 0.0f64;
+        for _ in 0..200 {
+            let f = progress.fraction();
+            assert!(f >= last - 1e-9, "progress must not go backwards ({f} < {last})");
+            last = f;
+            if progress.is_completed() {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let _ = handle.wait().unwrap();
+        assert!(progress.is_completed());
+        assert_eq!(progress.fraction(), 1.0);
+        assert_eq!(progress.estimated_remaining(), Some(Duration::ZERO));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn submission_time_is_recorded() {
+        let catalog = small_catalog(200);
+        let engine = CjoinEngine::start(Arc::clone(&catalog), test_config()).unwrap();
+        let handle = engine.submit(red_sum_query("timed")).unwrap();
+        assert!(handle.submission_time() > Duration::ZERO);
+        assert_eq!(handle.name(), "timed");
+        let (result, response_time) = handle.wait_with_time().unwrap();
+        assert_eq!(result.num_rows(), 1);
+        assert!(response_time >= Duration::ZERO);
+        engine.shutdown();
+    }
+}

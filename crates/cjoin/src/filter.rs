@@ -1,0 +1,335 @@
+//! The Filter step and the ordered filter chain (§3.2.2).
+//!
+//! A Filter takes a batch of in-flight fact tuples and, for each tuple, probes its
+//! dimension hash table with the tuple's foreign key, combines the tuple's bit-vector
+//! with the matching entry's bit-vector (or with the dimension's complement bitmap on
+//! a miss), attaches the joining dimension row for downstream aggregation, and drops
+//! the tuple if its bit-vector became zero.
+//!
+//! [`FilterChain`] holds the current *order* of Filters. The order is shared by all
+//! worker threads and can be changed at run time by the optimizer (§3.4); workers
+//! take a snapshot of the order once per batch, so a reordering simply applies from
+//! the next batch onwards.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::dimension::DimensionTable;
+use crate::tuple::{Batch, InFlightTuple};
+
+/// Applies one Filter to a single tuple.
+///
+/// Returns `true` if the tuple survives (non-zero bit-vector). `early_skip` enables
+/// the §3.2.2 optimisation: when every query the tuple is still relevant to ignores
+/// this dimension (`bτ AND ¬bDj == 0`), the probe is skipped entirely.
+#[inline]
+pub fn apply_filter(dim: &DimensionTable, tuple: &mut InFlightTuple, early_skip: bool) -> bool {
+    let stats = &dim.stats;
+    stats.tuples_in.fetch_add(1, Ordering::Relaxed);
+
+    if early_skip && dim.complement.contains_all(&tuple.bits) {
+        // No live query for this tuple references the dimension: forward as-is.
+        stats.skips.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+
+    stats.probes.fetch_add(1, Ordering::Relaxed);
+    let fk = tuple.row.int(dim.fact_fk_column);
+    match dim.probe(fk) {
+        Some(entry) => {
+            entry.bits.and_into(&mut tuple.bits);
+            if tuple.bits.is_empty() {
+                stats.tuples_dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            } else {
+                tuple.ensure_slots(dim.slot + 1);
+                tuple.dims[dim.slot] = Some(entry.row.clone());
+                true
+            }
+        }
+        None => {
+            // The joining dimension tuple is not stored: it satisfies no registered
+            // predicate, so only queries that ignore this dimension may keep the tuple.
+            dim.complement.and_into(&mut tuple.bits);
+            if tuple.bits.is_empty() {
+                stats.tuples_dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            } else {
+                true
+            }
+        }
+    }
+}
+
+/// The ordered sequence of Filters shared by all worker threads.
+#[derive(Debug, Default)]
+pub struct FilterChain {
+    filters: RwLock<Vec<Arc<DimensionTable>>>,
+}
+
+impl FilterChain {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of Filters currently in the chain.
+    pub fn len(&self) -> usize {
+        self.filters.read().len()
+    }
+
+    /// Whether the chain has no Filters.
+    pub fn is_empty(&self) -> bool {
+        self.filters.read().is_empty()
+    }
+
+    /// Returns the Filter covering `dimension`, if present.
+    pub fn find(&self, dimension: &str) -> Option<Arc<DimensionTable>> {
+        self.filters.read().iter().find(|f| f.name == dimension).cloned()
+    }
+
+    /// Appends a Filter (new Filters are appended; the optimizer may move them later,
+    /// §3.3.1).
+    pub fn push(&self, filter: Arc<DimensionTable>) {
+        self.filters.write().push(filter);
+    }
+
+    /// Removes the Filter covering `dimension` (used when its hash table becomes
+    /// empty after a query finishes, Algorithm 2).
+    pub fn remove(&self, dimension: &str) -> bool {
+        let mut filters = self.filters.write();
+        let before = filters.len();
+        filters.retain(|f| f.name != dimension);
+        filters.len() != before
+    }
+
+    /// A point-in-time snapshot of the chain order.
+    pub fn snapshot(&self) -> Vec<Arc<DimensionTable>> {
+        self.filters.read().clone()
+    }
+
+    /// Current order as dimension names (diagnostics / tests).
+    pub fn order(&self) -> Vec<String> {
+        self.filters.read().iter().map(|f| f.name.clone()).collect()
+    }
+
+    /// Replaces the order with `new_order` (a permutation expressed as dimension
+    /// names). Names not present in the chain are ignored; filters missing from
+    /// `new_order` keep their relative order at the end. Returns `true` if the order
+    /// changed.
+    pub fn reorder(&self, new_order: &[String]) -> bool {
+        let mut filters = self.filters.write();
+        let old_names: Vec<String> = filters.iter().map(|f| f.name.clone()).collect();
+        let mut remaining = std::mem::take(&mut *filters);
+        let mut reordered: Vec<Arc<DimensionTable>> = Vec::with_capacity(remaining.len());
+        for name in new_order {
+            if let Some(pos) = remaining.iter().position(|f| &f.name == name) {
+                reordered.push(remaining.remove(pos));
+            }
+        }
+        // Whatever remains (not mentioned in new_order) keeps its old relative order.
+        reordered.append(&mut remaining);
+        let changed = reordered.iter().map(|f| f.name.as_str()).ne(old_names.iter().map(String::as_str));
+        *filters = reordered;
+        changed
+    }
+
+    /// Runs a batch through the given filter sequence in order, dropping tuples whose
+    /// bit-vector becomes zero. Returns the number of tuples dropped.
+    ///
+    /// This is the body of a Stage worker: it is deliberately a free function over a
+    /// snapshot of the order so that vertical configurations can run a sub-sequence.
+    pub fn process_batch(
+        filters: &[Arc<DimensionTable>],
+        batch: &mut Batch,
+        early_skip: bool,
+    ) -> usize {
+        let before = batch.len();
+        batch.retain_mut(|tuple| {
+            for dim in filters {
+                if !apply_filter(dim, tuple, early_skip) {
+                    return false;
+                }
+            }
+            true
+        });
+        before - batch.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjoin_common::{QueryId, QuerySet};
+    use cjoin_storage::{Row, RowId, Value};
+
+    /// Builds a dimension table named `name` at `slot`, reading the foreign key from
+    /// fact column `fk_col`, with query 0 selecting the given keys and query 1 not
+    /// referencing the dimension.
+    fn dim(name: &str, slot: usize, fk_col: usize, selected_by_q0: &[i64]) -> Arc<DimensionTable> {
+        let t = DimensionTable::new(name, slot, fk_col, 0, 8, &QuerySet::new(8));
+        let rows: Vec<(i64, Row)> = selected_by_q0
+            .iter()
+            .map(|&k| (k, Row::new(vec![Value::int(k), Value::str(format!("{name}-{k}"))])))
+            .collect();
+        t.register_query(QueryId(0), &rows);
+        t.register_unreferencing_query(QueryId(1));
+        Arc::new(t)
+    }
+
+    fn fact_tuple(fk1: i64, fk2: i64) -> InFlightTuple {
+        InFlightTuple::new(
+            RowId(0),
+            Row::new(vec![Value::int(fk1), Value::int(fk2), Value::int(100)]),
+            QuerySet::from_bits(8, [0, 1]),
+            2,
+        )
+    }
+
+    #[test]
+    fn hit_keeps_selected_queries_and_attaches_row() {
+        let d = dim("color", 0, 0, &[7]);
+        let mut t = fact_tuple(7, 0);
+        assert!(apply_filter(&d, &mut t, false));
+        assert_eq!(t.bits.iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert!(t.dims[0].is_some());
+        assert_eq!(t.dims[0].as_ref().unwrap().get(1).as_str().unwrap(), "color-7");
+    }
+
+    #[test]
+    fn miss_keeps_only_unreferencing_queries() {
+        let d = dim("color", 0, 0, &[7]);
+        let mut t = fact_tuple(9, 0); // key 9 not selected by query 0
+        assert!(apply_filter(&d, &mut t, false));
+        assert_eq!(t.bits.iter().collect::<Vec<_>>(), vec![1], "only the ignoring query survives");
+        assert!(t.dims[0].is_none());
+    }
+
+    #[test]
+    fn tuple_dropped_when_no_query_remains() {
+        let d = DimensionTable::new("color", 0, 0, 0, 8, &QuerySet::new(8));
+        d.register_query(QueryId(0), &[(7, Row::new(vec![Value::int(7)]))]);
+        // Only query 0 is registered and it selects key 7 only.
+        let mut t = InFlightTuple::new(
+            RowId(0),
+            Row::new(vec![Value::int(9)]),
+            QuerySet::from_bits(8, [0]),
+            1,
+        );
+        assert!(!apply_filter(&d, &mut t, false));
+        assert!(t.bits.is_empty());
+        assert_eq!(d.stats.tuples_dropped.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn early_skip_avoids_probe_when_no_live_query_references_dimension() {
+        let d = dim("color", 0, 0, &[7]);
+        // Tuple only relevant to query 1, which ignores the dimension.
+        let mut t = InFlightTuple::new(
+            RowId(0),
+            Row::new(vec![Value::int(9)]),
+            QuerySet::from_bits(8, [1]),
+            1,
+        );
+        assert!(apply_filter(&d, &mut t, true));
+        let (_, _, probes, skips) = d.stats.snapshot();
+        assert_eq!(probes, 0);
+        assert_eq!(skips, 1);
+        // Without early skip the probe happens but the outcome is identical.
+        let mut t2 = InFlightTuple::new(
+            RowId(0),
+            Row::new(vec![Value::int(9)]),
+            QuerySet::from_bits(8, [1]),
+            1,
+        );
+        assert!(apply_filter(&d, &mut t2, false));
+        assert_eq!(t2.bits.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn chain_processes_filters_in_sequence() {
+        let d1 = dim("color", 0, 0, &[7]);
+        let d2 = dim("size", 1, 1, &[3]);
+        let chain = FilterChain::new();
+        chain.push(Arc::clone(&d1));
+        chain.push(Arc::clone(&d2));
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain.order(), vec!["color", "size"]);
+
+        let mut batch: Batch = vec![
+            fact_tuple(7, 3),  // joins both selected tuples: stays relevant to q0 and q1
+            fact_tuple(7, 9),  // second dimension miss: only q1 remains
+            fact_tuple(9, 9),  // both miss: only q1 remains
+        ];
+        let dropped = FilterChain::process_batch(&chain.snapshot(), &mut batch, true);
+        assert_eq!(dropped, 0, "query 1 ignores both dimensions so nothing is dropped");
+        assert_eq!(batch[0].bits.iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(batch[1].bits.iter().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(batch[2].bits.iter().collect::<Vec<_>>(), vec![1]);
+        assert!(batch[0].dims[0].is_some() && batch[0].dims[1].is_some());
+    }
+
+    #[test]
+    fn chain_drops_tuples_relevant_to_no_query() {
+        let d1 = DimensionTable::new("color", 0, 0, 0, 8, &QuerySet::new(8));
+        d1.register_query(QueryId(0), &[(7, Row::new(vec![Value::int(7)]))]);
+        let chain = FilterChain::new();
+        chain.push(Arc::new(d1));
+        let mut batch: Batch = vec![InFlightTuple::new(
+            RowId(0),
+            Row::new(vec![Value::int(9)]),
+            QuerySet::from_bits(8, [0]),
+            1,
+        )];
+        let dropped = FilterChain::process_batch(&chain.snapshot(), &mut batch, true);
+        assert_eq!(dropped, 1);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn find_push_remove() {
+        let chain = FilterChain::new();
+        assert!(chain.is_empty());
+        chain.push(dim("color", 0, 0, &[1]));
+        chain.push(dim("size", 1, 1, &[1]));
+        assert!(chain.find("color").is_some());
+        assert!(chain.find("shape").is_none());
+        assert!(chain.remove("color"));
+        assert!(!chain.remove("color"));
+        assert_eq!(chain.order(), vec!["size"]);
+    }
+
+    #[test]
+    fn reorder_applies_permutation_and_keeps_unmentioned_filters() {
+        let chain = FilterChain::new();
+        chain.push(dim("a", 0, 0, &[1]));
+        chain.push(dim("b", 1, 1, &[1]));
+        chain.push(dim("c", 2, 2, &[1]));
+        let changed = chain.reorder(&["c".into(), "a".into()]);
+        assert!(changed);
+        assert_eq!(chain.order(), vec!["c", "a", "b"]);
+        // Unknown names are ignored.
+        chain.reorder(&["zzz".into(), "b".into()]);
+        assert_eq!(chain.order(), vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    fn filter_order_does_not_change_surviving_bits() {
+        // The filtering invariant (§3.2.2) is order-independent; verify on a batch.
+        let d1 = dim("color", 0, 0, &[7, 8]);
+        let d2 = dim("size", 1, 1, &[3]);
+        let make_batch = || -> Batch {
+            vec![fact_tuple(7, 3), fact_tuple(8, 9), fact_tuple(1, 3), fact_tuple(2, 2)]
+        };
+        let mut b1 = make_batch();
+        FilterChain::process_batch(&[Arc::clone(&d1), Arc::clone(&d2)], &mut b1, true);
+        let mut b2 = make_batch();
+        FilterChain::process_batch(&[Arc::clone(&d2), Arc::clone(&d1)], &mut b2, true);
+        let bits = |b: &Batch| -> Vec<Vec<usize>> {
+            b.iter().map(|t| t.bits.iter().collect()).collect()
+        };
+        assert_eq!(bits(&b1), bits(&b2));
+    }
+}

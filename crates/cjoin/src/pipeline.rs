@@ -1,0 +1,244 @@
+//! Stage layout and worker threads (§4).
+//!
+//! The Filters of the CJOIN pipeline are boxed into *Stages*; each Stage has its own
+//! input queue and one or more worker threads. The paper studies three layouts:
+//!
+//! * **horizontal** — a single Stage containing the whole Filter sequence, with all
+//!   worker threads assigned to it (each thread runs every Filter on disjoint
+//!   batches). Best in the paper's measurements (Figure 4) and our default.
+//! * **vertical** — one Stage per Filter with one thread each; batches hop from queue
+//!   to queue, trading cache locality of the hash tables for inter-thread traffic.
+//! * **hybrid** — several Stages, each covering a contiguous run of Filters.
+//!
+//! Because queries (and therefore Filters) come and go at run time, a Stage does not
+//! own a fixed set of Filters; instead each worker snapshots the current filter chain
+//! per batch and processes the contiguous slice assigned to its Stage. With a single
+//! Stage this is the entire chain.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use crate::config::StageLayout;
+use crate::dimension::DimensionTable;
+use crate::filter::FilterChain;
+use crate::tuple::Message;
+
+/// The thread layout derived from a [`StageLayout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagePlan {
+    /// Number of worker threads per Stage; `threads_per_stage.len()` is the number of
+    /// Stages.
+    pub threads_per_stage: Vec<usize>,
+}
+
+impl StagePlan {
+    /// Derives the plan from the configured layout and total worker-thread budget.
+    pub fn derive(layout: &StageLayout, worker_threads: usize) -> Self {
+        let threads_per_stage = match layout {
+            StageLayout::Horizontal => vec![worker_threads.max(1)],
+            StageLayout::Vertical => vec![1; worker_threads.max(1)],
+            StageLayout::Hybrid(groups) => {
+                if groups.is_empty() {
+                    vec![worker_threads.max(1)]
+                } else {
+                    groups.clone()
+                }
+            }
+        };
+        Self { threads_per_stage }
+    }
+
+    /// Number of Stages.
+    pub fn num_stages(&self) -> usize {
+        self.threads_per_stage.len()
+    }
+
+    /// Total number of worker threads.
+    pub fn total_threads(&self) -> usize {
+        self.threads_per_stage.iter().sum()
+    }
+}
+
+/// Returns the contiguous slice of the filter chain snapshot that Stage
+/// `stage_index` (of `num_stages`) is responsible for.
+pub fn stage_slice(
+    filters: &[Arc<DimensionTable>],
+    stage_index: usize,
+    num_stages: usize,
+) -> &[Arc<DimensionTable>] {
+    let len = filters.len();
+    if num_stages <= 1 {
+        return filters;
+    }
+    let lo = stage_index * len / num_stages;
+    let hi = ((stage_index + 1) * len / num_stages).min(len);
+    &filters[lo..hi]
+}
+
+/// Body of one Stage worker thread.
+///
+/// Data batches are run through the Stage's slice of the filter chain and forwarded —
+/// even when they end up empty, so the Distributor's in-flight accounting (used by
+/// the control-tuple drain barrier) stays exact. Control tuples do not travel through
+/// Stages (they take the direct Preprocessor → Distributor path) but are forwarded
+/// defensively if ever seen. A `Shutdown` message stops the worker without being
+/// forwarded; the engine shuts each Stage down explicitly.
+pub fn run_stage_worker(
+    stage_index: usize,
+    num_stages: usize,
+    input: Receiver<Message>,
+    output: Sender<Message>,
+    chain: Arc<FilterChain>,
+    early_skip: bool,
+) {
+    while let Ok(msg) = input.recv() {
+        match msg {
+            Message::Data(mut batch) => {
+                let filters = chain.snapshot();
+                let slice = stage_slice(&filters, stage_index, num_stages);
+                FilterChain::process_batch(slice, &mut batch, early_skip);
+                if output.send(Message::Data(batch)).is_err() {
+                    return;
+                }
+            }
+            Message::Control(control) => {
+                if output.send(Message::Control(control)).is_err() {
+                    return;
+                }
+            }
+            Message::Shutdown => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::InFlightTuple;
+    use cjoin_common::{QueryId, QuerySet};
+    use cjoin_storage::{Row, RowId, Value};
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn horizontal_plan_has_one_stage() {
+        let p = StagePlan::derive(&StageLayout::Horizontal, 5);
+        assert_eq!(p.num_stages(), 1);
+        assert_eq!(p.total_threads(), 5);
+    }
+
+    #[test]
+    fn vertical_plan_has_one_thread_per_stage() {
+        let p = StagePlan::derive(&StageLayout::Vertical, 4);
+        assert_eq!(p.num_stages(), 4);
+        assert_eq!(p.threads_per_stage, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn hybrid_plan_uses_explicit_groups() {
+        let p = StagePlan::derive(&StageLayout::Hybrid(vec![2, 3]), 99);
+        assert_eq!(p.num_stages(), 2);
+        assert_eq!(p.total_threads(), 5);
+        // Degenerate empty hybrid falls back to horizontal.
+        let p = StagePlan::derive(&StageLayout::Hybrid(vec![]), 3);
+        assert_eq!(p.num_stages(), 1);
+        assert_eq!(p.total_threads(), 3);
+    }
+
+    #[test]
+    fn zero_threads_still_yields_a_worker() {
+        let p = StagePlan::derive(&StageLayout::Horizontal, 0);
+        assert_eq!(p.total_threads(), 1);
+    }
+
+    #[test]
+    fn stage_slices_partition_the_chain() {
+        let filters: Vec<Arc<DimensionTable>> = (0..5)
+            .map(|i| {
+                Arc::new(DimensionTable::new(
+                    format!("d{i}"),
+                    i,
+                    0,
+                    0,
+                    4,
+                    &QuerySet::new(4),
+                ))
+            })
+            .collect();
+        // Union of slices over all stages covers the chain exactly once, in order.
+        for num_stages in 1..=6 {
+            let mut covered = Vec::new();
+            for s in 0..num_stages {
+                covered.extend(stage_slice(&filters, s, num_stages).iter().map(|f| f.name.clone()));
+            }
+            assert_eq!(covered, vec!["d0", "d1", "d2", "d3", "d4"], "stages={num_stages}");
+        }
+    }
+
+    #[test]
+    fn worker_forwards_filtered_batches_and_stops_on_shutdown() {
+        let chain = Arc::new(FilterChain::new());
+        // One filter that drops everything (no query registered => every bit cleared).
+        let dim = DimensionTable::new("d", 0, 0, 0, 4, &QuerySet::new(4));
+        dim.register_query(QueryId(0), &[(42, Row::new(vec![Value::int(42)]))]);
+        chain.push(Arc::new(dim));
+
+        let (in_tx, in_rx) = unbounded();
+        let (out_tx, out_rx) = unbounded();
+        let worker = {
+            let chain = Arc::clone(&chain);
+            std::thread::spawn(move || run_stage_worker(0, 1, in_rx, out_tx, chain, true))
+        };
+
+        // A tuple relevant to query 0 whose fk misses the dimension table: dropped.
+        let miss = InFlightTuple::new(
+            RowId(0),
+            Row::new(vec![Value::int(7)]),
+            QuerySet::from_bits(4, [0]),
+            1,
+        );
+        // A tuple that hits: survives.
+        let hit = InFlightTuple::new(
+            RowId(1),
+            Row::new(vec![Value::int(42)]),
+            QuerySet::from_bits(4, [0]),
+            1,
+        );
+        in_tx.send(Message::Data(vec![miss, hit])).unwrap();
+        in_tx.send(Message::Shutdown).unwrap();
+        worker.join().unwrap();
+
+        match out_rx.try_recv().unwrap() {
+            Message::Data(batch) => {
+                assert_eq!(batch.len(), 1);
+                assert_eq!(batch[0].row_id, RowId(1));
+            }
+            other => panic!("expected data, got {other:?}"),
+        }
+        assert!(out_rx.try_recv().is_err(), "shutdown is not forwarded");
+    }
+
+    #[test]
+    fn worker_forwards_empty_batches_for_in_flight_accounting() {
+        let chain = Arc::new(FilterChain::new());
+        let dim = DimensionTable::new("d", 0, 0, 0, 4, &QuerySet::new(4));
+        dim.register_query(QueryId(0), &[(42, Row::new(vec![Value::int(42)]))]);
+        chain.push(Arc::new(dim));
+        let (in_tx, in_rx) = unbounded();
+        let (out_tx, out_rx) = unbounded();
+        let worker = std::thread::spawn(move || run_stage_worker(0, 1, in_rx, out_tx, chain, true));
+        let miss = InFlightTuple::new(
+            RowId(0),
+            Row::new(vec![Value::int(7)]),
+            QuerySet::from_bits(4, [0]),
+            1,
+        );
+        in_tx.send(Message::Data(vec![miss])).unwrap();
+        in_tx.send(Message::Shutdown).unwrap();
+        worker.join().unwrap();
+        assert!(
+            matches!(out_rx.try_recv().unwrap(), Message::Data(b) if b.is_empty()),
+            "empty batch still forwarded"
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Pooled batch allocator.
+//!
+//! §4 notes that CJOIN "reduce[s] the cost of memory management synchronization by
+//! using a specialized allocator for fact tuples": all in-flight tuple structures are
+//! preallocated and recycled. We implement the equivalent at batch granularity: the
+//! Distributor returns spent batches to a lock-free pool and the Preprocessor reuses
+//! them (including the per-tuple bit-vector and dimension-slot allocations, which are
+//! cleared rather than freed). The pool is bounded by the number of batches that can
+//! be in flight at once, which is itself bounded by the queue capacities.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::queue::ArrayQueue;
+
+use crate::tuple::Batch;
+
+/// A lock-free pool of reusable tuple batches.
+#[derive(Debug)]
+pub struct BatchPool {
+    slots: ArrayQueue<Batch>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    enabled: bool,
+}
+
+impl BatchPool {
+    /// Creates a pool holding at most `capacity` spare batches. A disabled pool
+    /// always allocates fresh batches (used to measure the pool's effect).
+    pub fn new(capacity: usize, enabled: bool) -> Arc<Self> {
+        Arc::new(Self {
+            slots: ArrayQueue::new(capacity.max(1)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            enabled,
+        })
+    }
+
+    /// Takes a cleared batch from the pool, or allocates a new one.
+    pub fn take(&self, capacity_hint: usize) -> Batch {
+        if self.enabled {
+            if let Some(mut batch) = self.slots.pop() {
+                batch.clear();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return batch;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Batch::with_capacity(capacity_hint)
+    }
+
+    /// Returns a spent batch to the pool (dropped if the pool is full or disabled).
+    pub fn put(&self, mut batch: Batch) {
+        if !self.enabled {
+            return;
+        }
+        batch.clear();
+        // If the pool is full the batch is simply dropped.
+        let _ = self.slots.push(batch);
+    }
+
+    /// Number of takes served from the pool.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of takes that had to allocate.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Whether pooling is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::InFlightTuple;
+    use cjoin_common::QuerySet;
+    use cjoin_storage::{Row, RowId, Value};
+
+    #[test]
+    fn reuses_returned_batches() {
+        let pool = BatchPool::new(4, true);
+        let mut b = pool.take(16);
+        assert_eq!(pool.misses(), 1);
+        b.push(InFlightTuple::new(
+            RowId(0),
+            Row::new(vec![Value::int(1)]),
+            QuerySet::new(4),
+            0,
+        ));
+        let cap = b.capacity();
+        pool.put(b);
+        let b2 = pool.take(16);
+        assert_eq!(pool.hits(), 1);
+        assert!(b2.is_empty(), "recycled batches are cleared");
+        assert!(b2.capacity() >= cap.min(1), "capacity is retained");
+    }
+
+    #[test]
+    fn disabled_pool_always_allocates() {
+        let pool = BatchPool::new(4, false);
+        assert!(!pool.enabled());
+        let b = pool.take(8);
+        pool.put(b);
+        let _ = pool.take(8);
+        assert_eq!(pool.hits(), 0);
+        assert_eq!(pool.misses(), 2);
+    }
+
+    #[test]
+    fn overflow_is_dropped_not_an_error() {
+        let pool = BatchPool::new(1, true);
+        pool.put(Batch::new());
+        pool.put(Batch::new()); // exceeds capacity; silently dropped
+        assert_eq!(pool.hits(), 0);
+        let _ = pool.take(1);
+        let _ = pool.take(1);
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(pool.misses(), 1);
+    }
+
+    #[test]
+    fn concurrent_take_put() {
+        let pool = BatchPool::new(16, true);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        let b = pool.take(4);
+                        pool.put(b);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(pool.hits() + pool.misses(), 4000);
+    }
+}

@@ -1,0 +1,705 @@
+//! The Preprocessor (§3.2.2, §3.3).
+//!
+//! The Preprocessor owns the continuous scan. For every fact tuple it:
+//!
+//! 1. initialises the query bit-vector `bτ` from the registered queries' fact-table
+//!    predicates and snapshot visibility (§3.5 treats snapshot membership as a
+//!    virtual fact predicate);
+//! 2. detects query completion: when the scan wraps around a query's starting tuple,
+//!    the query's bit is switched off and an *end-of-query* control tuple is emitted
+//!    ahead of that tuple (§3.3.2);
+//! 3. applies pending admissions: a newly registered query is installed at a batch
+//!    boundary — its starting position is recorded, its bit joins the active mask,
+//!    and a *query-start* control tuple is emitted (§3.3.1, Algorithm 1 lines 17–22);
+//! 4. batches surviving tuples and pushes them into the filter stage.
+//!
+//! ## Control-tuple ordering
+//!
+//! §3.3.3 requires that a control tuple enqueued before (after) a fact tuple is never
+//! processed by the Distributor after (before) that tuple. Data tuples travel through
+//! the worker stages while control tuples take a direct path to the Distributor's
+//! queue, so ordering is enforced with a *drain barrier*: before emitting a control
+//! tuple the Preprocessor stops sending data and waits until every batch it has
+//! already sent has been fully processed by the Distributor (an atomic in-flight
+//! counter reaches zero). Only then is the control tuple enqueued. Admissions and
+//! completions are rare relative to tuple flow, so the stall is negligible — it is
+//! the same "stall the pipeline" step the paper describes.
+
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, Sender, TryRecvError};
+
+use cjoin_common::{QueryId, QuerySet};
+use cjoin_query::BoundPredicate;
+use cjoin_storage::{ContinuousScan, PartitionScheme, RowVersion, ScanBatch, SnapshotId};
+
+use crate::config::CjoinConfig;
+use crate::pool::BatchPool;
+use crate::progress::QueryProgress;
+use crate::stats::SharedCounters;
+use crate::tuple::{Batch, ControlTuple, InFlightTuple, Message, QueryRuntime};
+
+/// Partition-pruning plan attached to a query at admission (§5, Fact Table
+/// Partitioning): the set of partitions the query needs and how many fact rows of
+/// those partitions remain to be seen.
+#[derive(Debug, Clone)]
+pub struct PartitionPlan {
+    /// `needed[p]` is true iff partition `p` overlaps the query's fact-predicate range.
+    pub needed: Vec<bool>,
+    /// Rows of needed partitions not yet seen since the query was installed.
+    pub remaining_rows: u64,
+}
+
+/// A command sent from the engine (acting as the Pipeline Manager) to the
+/// Preprocessor thread.
+#[derive(Debug)]
+pub enum PreprocessorCommand {
+    /// Install a freshly admitted query (Algorithm 1, lines 17–22).
+    Install {
+        /// Everything the Distributor needs to run the query.
+        runtime: Arc<QueryRuntime>,
+        /// The query's fact-table predicate, if it has a non-trivial one.
+        fact_predicate: Option<BoundPredicate>,
+        /// Snapshot the query reads.
+        snapshot: SnapshotId,
+        /// Partition-pruning plan, if partition pruning applies to this query.
+        partition: Option<PartitionPlan>,
+        /// Acknowledged once the query-start control tuple has been enqueued; the
+        /// elapsed time up to this point is the paper's "submission time" metric.
+        ack: Sender<()>,
+    },
+    /// Shut the pipeline down: forward shutdown messages and exit.
+    Shutdown,
+}
+
+/// Per-query state kept by the Preprocessor while the query is active.
+#[derive(Debug)]
+struct ActiveQuery {
+    progress: Arc<QueryProgress>,
+    fact_predicate: Option<BoundPredicate>,
+    snapshot: SnapshotId,
+    /// Row position at which the query entered the operator; the query completes when
+    /// the scan next reaches this position.
+    start_position: u64,
+    /// False until the scan has produced the starting tuple once (the moment of
+    /// registration), true afterwards; the second encounter is the wrap-around.
+    passed_start: bool,
+    partition: Option<PartitionPlan>,
+}
+
+/// The Preprocessor: owns the continuous scan and the active-query bookkeeping.
+pub struct Preprocessor {
+    scan: ContinuousScan,
+    commands: Receiver<PreprocessorCommand>,
+    stage_tx: Sender<Message>,
+    distributor_tx: Sender<Message>,
+    in_flight: Arc<AtomicI64>,
+    pool: Arc<BatchPool>,
+    slot_count: Arc<AtomicUsize>,
+    counters: Arc<SharedCounters>,
+    config: CjoinConfig,
+    partition_scheme: Option<(PartitionScheme, usize)>,
+
+    active_mask: QuerySet,
+    queries: Vec<Option<ActiveQuery>>,
+    /// Bits of queries with a fact predicate, a non-default snapshot or a partition
+    /// plan — the slow path of bit initialisation.
+    special_bits: Vec<usize>,
+    scan_buffer: ScanBatch,
+    shutdown: bool,
+}
+
+impl Preprocessor {
+    /// Creates a Preprocessor.
+    ///
+    /// `partition_scheme` carries the fact table's partitioning metadata together
+    /// with the fact column it partitions on, when partition pruning is enabled.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        scan: ContinuousScan,
+        commands: Receiver<PreprocessorCommand>,
+        stage_tx: Sender<Message>,
+        distributor_tx: Sender<Message>,
+        in_flight: Arc<AtomicI64>,
+        pool: Arc<BatchPool>,
+        slot_count: Arc<AtomicUsize>,
+        counters: Arc<SharedCounters>,
+        config: CjoinConfig,
+        partition_scheme: Option<(PartitionScheme, usize)>,
+    ) -> Self {
+        let max = config.max_concurrency;
+        Self {
+            scan,
+            commands,
+            stage_tx,
+            distributor_tx,
+            in_flight,
+            pool,
+            slot_count,
+            counters,
+            config,
+            partition_scheme,
+            active_mask: QuerySet::new(max),
+            queries: (0..max).map(|_| None).collect(),
+            special_bits: Vec::new(),
+            scan_buffer: ScanBatch::default(),
+            shutdown: false,
+        }
+    }
+
+    /// Number of currently active queries (test/diagnostic helper).
+    pub fn active_queries(&self) -> usize {
+        self.active_mask.count()
+    }
+
+    /// Runs the Preprocessor loop until shutdown.
+    ///
+    /// On shutdown the Preprocessor simply stops producing; the engine is responsible
+    /// for shutting down the downstream stages and the Distributor afterwards.
+    pub fn run(&mut self) {
+        loop {
+            self.apply_commands();
+            if self.shutdown {
+                return;
+            }
+            if self.active_mask.is_empty() {
+                // The operator is "always on" but idles cheaply when no query is
+                // registered instead of burning a scan.
+                std::thread::sleep(Duration::from_micros(self.config.idle_sleep_us));
+                continue;
+            }
+            self.process_next_scan_batch();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Command handling (admission / shutdown)
+    // ------------------------------------------------------------------
+
+    fn apply_commands(&mut self) {
+        loop {
+            match self.commands.try_recv() {
+                Ok(PreprocessorCommand::Install {
+                    runtime,
+                    fact_predicate,
+                    snapshot,
+                    partition,
+                    ack,
+                }) => {
+                    self.install_query(runtime, fact_predicate, snapshot, partition);
+                    let _ = ack.send(());
+                }
+                Ok(PreprocessorCommand::Shutdown) => {
+                    self.shutdown = true;
+                    return;
+                }
+                Err(TryRecvError::Empty) => return,
+                Err(TryRecvError::Disconnected) => {
+                    self.shutdown = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn install_query(
+        &mut self,
+        runtime: Arc<QueryRuntime>,
+        fact_predicate: Option<BoundPredicate>,
+        snapshot: SnapshotId,
+        partition: Option<PartitionPlan>,
+    ) {
+        let bit = runtime.id.index();
+        let table_len = self.scan.table().len() as u64;
+        let start_position = if table_len == 0 {
+            0
+        } else {
+            self.scan.position() % table_len
+        };
+        // The query-start control tuple must precede any tuple carrying the query's
+        // bit. Data tuples with the bit are only produced after this method returns,
+        // and they reach the Distributor's queue strictly later than this control
+        // tuple, so no drain barrier is needed here.
+        let _ = self
+            .distributor_tx
+            .send(Message::Control(ControlTuple::QueryStart(Arc::clone(&runtime))));
+
+        let special = fact_predicate.is_some() || snapshot != SnapshotId::INITIAL || partition.is_some();
+        self.queries[bit] = Some(ActiveQuery {
+            progress: Arc::clone(&runtime.progress),
+            fact_predicate,
+            snapshot,
+            start_position,
+            passed_start: false,
+            partition,
+        });
+        self.active_mask.set(bit);
+        if special {
+            self.special_bits.push(bit);
+        }
+        SharedCounters::add(&self.counters.queries_admitted, 1);
+    }
+
+    fn finalize_query(&mut self, bit: usize) {
+        let Some(query) = &self.queries[bit] else {
+            return;
+        };
+        query.progress.mark_completed();
+        self.active_mask.unset(bit);
+        self.special_bits.retain(|&b| b != bit);
+        self.queries[bit] = None;
+        // Everything sent so far may still carry the query's bit: drain before the
+        // end-of-query control tuple so its aggregation operator neither misses
+        // tuples nor sees them twice.
+        self.drain_barrier();
+        let _ = self
+            .distributor_tx
+            .send(Message::Control(ControlTuple::QueryEnd(QueryId(bit as u32))));
+    }
+
+    fn drain_barrier(&self) {
+        SharedCounters::add(&self.counters.control_barriers, 1);
+        while self.in_flight.load(Ordering::Acquire) > 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scan processing
+    // ------------------------------------------------------------------
+
+    fn process_next_scan_batch(&mut self) {
+        let mut scan_buffer = std::mem::take(&mut self.scan_buffer);
+        self.scan.next_batch(&mut scan_buffer);
+        if scan_buffer.wrapped {
+            SharedCounters::add(&self.counters.scan_passes, 1);
+        }
+        if scan_buffer.is_empty() {
+            // Empty fact table: nothing will ever complete the registered queries by
+            // wrap-around, so finalize them all immediately (their results are empty).
+            let bits: Vec<usize> = self.active_mask.iter().collect();
+            for bit in bits {
+                self.finalize_query(bit);
+            }
+            self.scan_buffer = scan_buffer;
+            std::thread::sleep(Duration::from_micros(self.config.idle_sleep_us));
+            return;
+        }
+        SharedCounters::add(&self.counters.tuples_scanned, scan_buffer.len() as u64);
+        // Every active query sees every scanned row exactly once per pass; the batch
+        // length is therefore each query's progress increment (§3.2.3).
+        for bit in self.active_mask.iter() {
+            if let Some(q) = &self.queries[bit] {
+                q.progress.advance(scan_buffer.len() as u64);
+            }
+        }
+
+        let num_slots = self.slot_count.load(Ordering::Acquire);
+        let mut out: Batch = self.pool.take(self.config.batch_size);
+        // Queries that exhausted their needed partitions on this batch; finalized
+        // after their last relevant tuple has been emitted.
+        let mut partition_done: Vec<usize> = Vec::new();
+
+        for (row_id, row, version) in scan_buffer.rows.drain(..) {
+            // Wrap-around detection: a query ends right before its starting tuple is
+            // seen for the second time.
+            let position = row_id.0;
+            let ending: Vec<usize> = self
+                .active_mask
+                .iter()
+                .filter(|&bit| {
+                    self.queries[bit]
+                        .as_ref()
+                        .is_some_and(|q| q.start_position == position && q.passed_start)
+                })
+                .collect();
+            if !ending.is_empty() {
+                // Flush tuples produced so far so the barrier covers them.
+                out = self.flush(out);
+                for bit in ending {
+                    self.finalize_query(bit);
+                }
+                if self.active_mask.is_empty() {
+                    // No query left; the rest of the scan batch is irrelevant.
+                    break;
+                }
+            }
+            for bit in self.active_mask.iter() {
+                if let Some(q) = &mut self.queries[bit] {
+                    if q.start_position == position {
+                        q.passed_start = true;
+                    }
+                }
+            }
+
+            // Initialise the tuple's bit-vector.
+            let mut bits = QuerySet::new(self.config.max_concurrency);
+            bits.copy_from(&self.active_mask);
+            if version != RowVersion::ALWAYS_VISIBLE {
+                // The row carries update history: snapshot visibility is a virtual
+                // fact predicate for every registered query (§3.5).
+                for bit in self.active_mask.iter() {
+                    if let Some(q) = &self.queries[bit] {
+                        if !version.visible_at(q.snapshot) {
+                            bits.unset(bit);
+                        }
+                    }
+                }
+            }
+            if !self.special_bits.is_empty() {
+                self.apply_special_predicates(&row, &mut bits, &mut partition_done);
+            }
+
+            if !bits.is_empty() {
+                out.push(InFlightTuple::new(row_id, row, bits, num_slots));
+                if out.len() >= self.config.batch_size {
+                    out = self.flush(out);
+                }
+            }
+
+            if !partition_done.is_empty() {
+                out = self.flush(out);
+                for bit in partition_done.drain(..) {
+                    self.finalize_query(bit);
+                }
+            }
+        }
+        let leftover = self.flush(out);
+        self.pool.put(leftover);
+        self.scan_buffer = scan_buffer;
+    }
+
+    /// Applies fact predicates and partition accounting for the queries that need
+    /// them (snapshot visibility has already been handled by the caller).
+    fn apply_special_predicates(
+        &mut self,
+        row: &cjoin_storage::Row,
+        bits: &mut QuerySet,
+        partition_done: &mut Vec<usize>,
+    ) {
+        let partition_of = self
+            .partition_scheme
+            .as_ref()
+            .map(|(scheme, column)| scheme.partition_of(row.int(*column)).index());
+        for &bit in &self.special_bits {
+            let Some(q) = &mut self.queries[bit] else { continue };
+            if let Some(pred) = &q.fact_predicate {
+                if !pred.eval(row) {
+                    bits.unset(bit);
+                    // Note: the row still counts towards partition coverage below —
+                    // coverage is about having *seen* the partition's rows.
+                }
+            }
+            if let (Some(plan), Some(pid)) = (&mut q.partition, partition_of) {
+                if plan.needed.get(pid).copied().unwrap_or(false) {
+                    plan.remaining_rows = plan.remaining_rows.saturating_sub(1);
+                    if plan.remaining_rows == 0 {
+                        partition_done.push(bit);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends a non-empty batch to the filter stage and returns a fresh batch.
+    fn flush(&self, batch: Batch) -> Batch {
+        if batch.is_empty() {
+            return batch;
+        }
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        SharedCounters::add(&self.counters.batches_sent, 1);
+        if self.stage_tx.send(Message::Data(batch)).is_err() {
+            // Pipeline tearing down; undo the in-flight accounting so barriers do not
+            // hang during shutdown.
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        }
+        self.pool.take(self.config.batch_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::{bounded, unbounded};
+    use cjoin_query::{AggregateSpec, StarQuery};
+    use cjoin_storage::{Catalog, Column, Row, Schema, Table, Value};
+    use std::time::Instant;
+
+    fn fact_table(rows: i64) -> Arc<Table> {
+        let t = Table::with_rows_per_page(
+            Schema::new("fact", vec![Column::int("fk"), Column::int("v")]),
+            16,
+        );
+        t.insert_batch_unchecked(
+            (0..rows).map(|i| Row::new(vec![Value::int(i % 3), Value::int(i)])),
+            SnapshotId::INITIAL,
+        );
+        Arc::new(t)
+    }
+
+    /// Builds a Preprocessor wired to in-memory channels, returning the pieces the
+    /// test drives directly.
+    #[allow(clippy::type_complexity)]
+    fn harness(
+        rows: i64,
+        config: CjoinConfig,
+    ) -> (
+        Preprocessor,
+        Sender<PreprocessorCommand>,
+        Receiver<Message>,
+        Receiver<Message>,
+        Arc<AtomicI64>,
+    ) {
+        let table = fact_table(rows);
+        let scan = ContinuousScan::new(table).with_batch_rows(config.batch_size);
+        let (cmd_tx, cmd_rx) = unbounded();
+        let (stage_tx, stage_rx) = unbounded();
+        let (dist_tx, dist_rx) = unbounded();
+        let in_flight = Arc::new(AtomicI64::new(0));
+        let pre = Preprocessor::new(
+            scan,
+            cmd_rx,
+            stage_tx,
+            dist_tx,
+            Arc::clone(&in_flight),
+            BatchPool::new(8, true),
+            Arc::new(AtomicUsize::new(1)),
+            SharedCounters::new(),
+            config,
+            None,
+        );
+        (pre, cmd_tx, stage_rx, dist_rx, in_flight)
+    }
+
+    fn dummy_runtime(bit: u32) -> (Arc<QueryRuntime>, Receiver<cjoin_query::QueryResult>) {
+        // A minimal bound query against a catalog with a fact table only.
+        let catalog = Catalog::new();
+        let fact = Table::new(Schema::new("fact", vec![Column::int("fk"), Column::int("v")]));
+        catalog.add_fact_table(Arc::new(fact));
+        let bound = StarQuery::builder(format!("q{bit}"))
+            .aggregate(AggregateSpec::count_star())
+            .build()
+            .bind(&catalog)
+            .unwrap();
+        let (tx, rx) = bounded(1);
+        (
+            Arc::new(QueryRuntime {
+                id: QueryId(bit),
+                name: format!("q{bit}"),
+                bound: Arc::new(bound),
+                slot_map: vec![],
+                result_tx: tx,
+                admitted_at: Instant::now(),
+                progress: Arc::new(QueryProgress::new(0)),
+            }),
+            rx,
+        )
+    }
+
+    fn install(cmd_tx: &Sender<PreprocessorCommand>, runtime: Arc<QueryRuntime>) {
+        let (ack_tx, _ack_rx) = bounded(1);
+        cmd_tx
+            .send(PreprocessorCommand::Install {
+                runtime,
+                fact_predicate: None,
+                snapshot: SnapshotId::INITIAL,
+                partition: None,
+                ack: ack_tx,
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn install_emits_query_start_control() {
+        let config = CjoinConfig::default().with_max_concurrency(8).with_batch_size(10);
+        let (mut pre, cmd_tx, _stage_rx, dist_rx, _) = harness(25, config);
+        let (rt, _res) = dummy_runtime(0);
+        install(&cmd_tx, rt);
+        pre.apply_commands();
+        assert_eq!(pre.active_queries(), 1);
+        match dist_rx.try_recv().unwrap() {
+            Message::Control(ControlTuple::QueryStart(rt)) => assert_eq!(rt.id, QueryId(0)),
+            other => panic!("expected QueryStart, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_full_pass_then_query_end() {
+        let config = CjoinConfig::default().with_max_concurrency(8).with_batch_size(10);
+        let (mut pre, cmd_tx, stage_rx, dist_rx, in_flight) = harness(25, config);
+        let (rt, _res) = dummy_runtime(0);
+        install(&cmd_tx, rt);
+        pre.apply_commands();
+        let _ = dist_rx.try_recv(); // QueryStart
+
+        // Drive scan batches; acknowledge data batches by decrementing in-flight as
+        // the distributor would, so drain barriers complete.
+        let mut data_tuples = 0usize;
+        let mut saw_end = false;
+        for _ in 0..10 {
+            pre.process_next_scan_batch();
+            while let Ok(msg) = stage_rx.try_recv() {
+                if let Message::Data(batch) = msg {
+                    data_tuples += batch.len();
+                    in_flight.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            if let Ok(Message::Control(ControlTuple::QueryEnd(id))) = dist_rx.try_recv() {
+                assert_eq!(id, QueryId(0));
+                saw_end = true;
+                break;
+            }
+        }
+        assert!(saw_end, "query must finalize after one full pass");
+        assert_eq!(data_tuples, 25, "exactly one pass worth of tuples had the query's bit");
+        assert_eq!(pre.active_queries(), 0);
+    }
+
+    #[test]
+    fn query_registered_mid_scan_sees_exactly_one_pass() {
+        let config = CjoinConfig::default().with_max_concurrency(8).with_batch_size(10);
+        let (mut pre, cmd_tx, stage_rx, dist_rx, in_flight) = harness(30, config);
+
+        // First query keeps the scan busy.
+        let (rt0, _r0) = dummy_runtime(0);
+        install(&cmd_tx, rt0);
+        pre.apply_commands();
+        let _ = dist_rx.try_recv();
+        pre.process_next_scan_batch(); // rows 0..10 for q0
+
+        // Second query arrives mid-scan (position 10).
+        let (rt1, _r1) = dummy_runtime(1);
+        install(&cmd_tx, rt1);
+        pre.apply_commands();
+        let _ = dist_rx.try_recv();
+
+        let mut q1_tuples = 0usize;
+        let mut q1_ended = false;
+        for _ in 0..20 {
+            pre.process_next_scan_batch();
+            while let Ok(msg) = stage_rx.try_recv() {
+                if let Message::Data(batch) = msg {
+                    q1_tuples += batch.iter().filter(|t| t.bits.get(1)).count();
+                    in_flight.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            while let Ok(msg) = dist_rx.try_recv() {
+                if let Message::Control(ControlTuple::QueryEnd(QueryId(1))) = msg {
+                    q1_ended = true;
+                }
+            }
+            if q1_ended {
+                break;
+            }
+        }
+        assert!(q1_ended);
+        assert_eq!(q1_tuples, 30, "the mid-scan query sees each fact tuple exactly once");
+    }
+
+    #[test]
+    fn fact_predicate_clears_bits() {
+        let config = CjoinConfig::default().with_max_concurrency(8).with_batch_size(100);
+        let (mut pre, cmd_tx, stage_rx, dist_rx, in_flight) = harness(30, config);
+        let (rt, _r) = dummy_runtime(0);
+        // Predicate: fk = 1 (10 of 30 rows).
+        let catalog = Catalog::new();
+        let fact = Table::new(Schema::new("fact", vec![Column::int("fk"), Column::int("v")]));
+        catalog.add_fact_table(Arc::new(fact));
+        let pred = cjoin_query::Predicate::eq("fk", 1)
+            .bind(catalog.fact_table().unwrap().schema())
+            .unwrap();
+        let (ack_tx, _ack) = bounded(1);
+        cmd_tx
+            .send(PreprocessorCommand::Install {
+                runtime: rt,
+                fact_predicate: Some(pred),
+                snapshot: SnapshotId::INITIAL,
+                partition: None,
+                ack: ack_tx,
+            })
+            .unwrap();
+        pre.apply_commands();
+        let _ = dist_rx.try_recv();
+
+        let mut relevant = 0usize;
+        for _ in 0..3 {
+            pre.process_next_scan_batch();
+            while let Ok(Message::Data(batch)) = stage_rx.try_recv() {
+                relevant += batch.len();
+                in_flight.fetch_sub(1, Ordering::AcqRel);
+            }
+            if pre.active_queries() == 0 {
+                break;
+            }
+        }
+        assert_eq!(relevant, 10, "only rows satisfying the fact predicate are forwarded");
+    }
+
+    #[test]
+    fn shutdown_command_stops_the_loop() {
+        let config = CjoinConfig::default().with_max_concurrency(4);
+        let (mut pre, cmd_tx, stage_rx, dist_rx, _) = harness(5, config);
+        cmd_tx.send(PreprocessorCommand::Shutdown).unwrap();
+        pre.run(); // returns instead of scanning forever
+        assert!(stage_rx.try_recv().is_err(), "no data produced after shutdown");
+        assert!(dist_rx.try_recv().is_err(), "no control produced after shutdown");
+    }
+
+    #[test]
+    fn snapshot_visibility_is_a_virtual_predicate() {
+        let config = CjoinConfig::default().with_max_concurrency(8).with_batch_size(100);
+        // Build a table where 5 rows are visible at snapshot 0 and 5 more at snapshot 1.
+        let t = Table::new(Schema::new("fact", vec![Column::int("fk"), Column::int("v")]));
+        for i in 0..5 {
+            t.insert(vec![Value::int(i), Value::int(i)], SnapshotId(0)).unwrap();
+        }
+        for i in 5..10 {
+            t.insert(vec![Value::int(i), Value::int(i)], SnapshotId(1)).unwrap();
+        }
+        let scan = ContinuousScan::new(Arc::new(t)).with_batch_rows(100);
+        let (cmd_tx, cmd_rx) = unbounded();
+        let (stage_tx, stage_rx) = unbounded();
+        let (dist_tx, dist_rx) = unbounded();
+        let in_flight = Arc::new(AtomicI64::new(0));
+        let mut pre = Preprocessor::new(
+            scan,
+            cmd_rx,
+            stage_tx,
+            dist_tx,
+            Arc::clone(&in_flight),
+            BatchPool::new(4, true),
+            Arc::new(AtomicUsize::new(0)),
+            SharedCounters::new(),
+            config,
+            None,
+        );
+        // Query pinned at snapshot 0 must only see the first 5 rows.
+        let (rt, _r) = dummy_runtime(0);
+        let (ack_tx, _ack) = bounded(1);
+        cmd_tx
+            .send(PreprocessorCommand::Install {
+                runtime: rt,
+                fact_predicate: None,
+                snapshot: SnapshotId(0),
+                partition: None,
+                ack: ack_tx,
+            })
+            .unwrap();
+        pre.apply_commands();
+        let _ = dist_rx.try_recv();
+        let mut forwarded = 0usize;
+        for _ in 0..3 {
+            pre.process_next_scan_batch();
+            while let Ok(Message::Data(batch)) = stage_rx.try_recv() {
+                forwarded += batch.len();
+                in_flight.fetch_sub(1, Ordering::AcqRel);
+            }
+            if pre.active_queries() == 0 {
+                break;
+            }
+        }
+        assert_eq!(forwarded, 5);
+    }
+}

@@ -1,0 +1,155 @@
+//! Per-query progress tracking (§3.2.3).
+//!
+//! Because a CJOIN query completes exactly when the continuous scan wraps around its
+//! starting tuple, the scan position is a reliable progress indicator: the fraction of
+//! the fact table seen since registration is the fraction of the query that is done,
+//! and the current processing rate gives an estimated time to completion. The paper
+//! highlights this as a practical benefit for long-running ad-hoc analytics ("both of
+//! these metrics can provide valuable feedback to users").
+//!
+//! A [`QueryProgress`] handle is created at admission, updated by the Preprocessor as
+//! the scan advances, and readable at any time through
+//! [`QueryHandle::progress`](crate::engine::QueryHandle::progress).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Progress of one registered query.
+#[derive(Debug)]
+pub struct QueryProgress {
+    /// Fact rows the scan has produced since the query was installed.
+    rows_seen: AtomicU64,
+    /// Fact rows one full pass needs to cover (table size at admission).
+    rows_total: u64,
+    /// Set when the query's end-of-query control tuple has been emitted.
+    completed: AtomicBool,
+    /// When the query was installed.
+    started: Instant,
+}
+
+impl QueryProgress {
+    /// Creates a tracker for a query whose pass must cover `rows_total` fact rows.
+    pub fn new(rows_total: u64) -> Self {
+        Self {
+            rows_seen: AtomicU64::new(0),
+            rows_total,
+            completed: AtomicBool::new(false),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records that the scan produced `rows` more fact rows for this query.
+    #[inline]
+    pub fn advance(&self, rows: u64) {
+        self.rows_seen.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Marks the query as completed.
+    pub fn mark_completed(&self) {
+        self.completed.store(true, Ordering::Release);
+    }
+
+    /// Fact rows seen so far.
+    pub fn rows_seen(&self) -> u64 {
+        self.rows_seen.load(Ordering::Relaxed)
+    }
+
+    /// Fact rows a full pass must cover.
+    pub fn rows_total(&self) -> u64 {
+        self.rows_total
+    }
+
+    /// Whether the query has completed.
+    pub fn is_completed(&self) -> bool {
+        self.completed.load(Ordering::Acquire)
+    }
+
+    /// Progress as a fraction in `[0, 1]`. Returns 1 once completed (also for
+    /// partition-pruned queries that finish before seeing the whole table).
+    pub fn fraction(&self) -> f64 {
+        if self.is_completed() {
+            return 1.0;
+        }
+        if self.rows_total == 0 {
+            return 0.0;
+        }
+        (self.rows_seen() as f64 / self.rows_total as f64).clamp(0.0, 1.0)
+    }
+
+    /// Time since the query was installed.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Estimated time remaining, extrapolated from the observed scan rate.
+    ///
+    /// Returns `None` until some progress has been observed, and `Some(ZERO)` once
+    /// the query has completed.
+    pub fn estimated_remaining(&self) -> Option<Duration> {
+        if self.is_completed() {
+            return Some(Duration::ZERO);
+        }
+        let seen = self.rows_seen();
+        if seen == 0 || self.rows_total == 0 {
+            return None;
+        }
+        let remaining_rows = self.rows_total.saturating_sub(seen);
+        let rate = seen as f64 / self.elapsed().as_secs_f64().max(1e-9);
+        Some(Duration::from_secs_f64(remaining_rows as f64 / rate.max(1e-9)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let p = QueryProgress::new(100);
+        assert_eq!(p.fraction(), 0.0);
+        assert_eq!(p.rows_seen(), 0);
+        assert_eq!(p.rows_total(), 100);
+        assert!(!p.is_completed());
+        assert!(p.estimated_remaining().is_none());
+
+        p.advance(25);
+        assert!((p.fraction() - 0.25).abs() < 1e-12);
+        p.advance(25);
+        assert!((p.fraction() - 0.5).abs() < 1e-12);
+        assert!(p.estimated_remaining().is_some());
+    }
+
+    #[test]
+    fn fraction_is_clamped_and_completion_wins() {
+        let p = QueryProgress::new(10);
+        p.advance(50); // over-counting (e.g. table grew) must not exceed 1.0
+        assert_eq!(p.fraction(), 1.0);
+
+        let q = QueryProgress::new(1_000_000);
+        q.advance(1);
+        q.mark_completed();
+        assert_eq!(q.fraction(), 1.0);
+        assert!(q.is_completed());
+        assert_eq!(q.estimated_remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn empty_table_has_zero_progress_until_completed() {
+        let p = QueryProgress::new(0);
+        assert_eq!(p.fraction(), 0.0);
+        assert!(p.estimated_remaining().is_none());
+        p.mark_completed();
+        assert_eq!(p.fraction(), 1.0);
+    }
+
+    #[test]
+    fn estimated_remaining_shrinks_with_progress() {
+        let p = QueryProgress::new(1000);
+        p.advance(100);
+        std::thread::sleep(Duration::from_millis(5));
+        let early = p.estimated_remaining().unwrap();
+        p.advance(800);
+        let late = p.estimated_remaining().unwrap();
+        assert!(late < early, "{late:?} should be below {early:?}");
+    }
+}

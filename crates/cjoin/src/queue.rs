@@ -1,0 +1,193 @@
+//! Bounded queues linking pipeline threads.
+//!
+//! Tuples are handed between threads in batches (§4: "reduce the overhead of queue
+//! synchronization by having each thread retrieve or deposit tuples in batches") over
+//! bounded channels, which gives the pipeline natural back-pressure: a slow stage
+//! blocks its producer instead of letting queues grow without bound.
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendError, Sender};
+use std::time::Duration;
+
+use crate::tuple::Message;
+
+/// A bounded, multi-producer multi-consumer queue of pipeline messages.
+#[derive(Debug, Clone)]
+pub struct TupleQueue {
+    tx: Sender<Message>,
+    rx: Receiver<Message>,
+    capacity: usize,
+}
+
+impl TupleQueue {
+    /// Creates a queue that holds at most `capacity` messages (batches).
+    pub fn new(capacity: usize) -> Self {
+        let (tx, rx) = bounded(capacity.max(1));
+        Self {
+            tx,
+            rx,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The queue's capacity in messages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+
+    /// Sends a message, blocking while the queue is full.
+    ///
+    /// # Errors
+    /// Returns the message back if every receiver has been dropped.
+    pub fn send(&self, msg: Message) -> Result<(), SendError<Message>> {
+        self.tx.send(msg)
+    }
+
+    /// Receives the next message, blocking up to `timeout`.
+    ///
+    /// Returns `Ok(None)` on timeout, and `Err(())` when every sender has been
+    /// dropped (the pipeline is tearing down).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>, ()> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(msg) => Ok(Some(msg)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(()),
+        }
+    }
+
+    /// Receives the next message, blocking indefinitely. Returns `None` when every
+    /// sender has been dropped.
+    pub fn recv(&self) -> Option<Message> {
+        self.rx.recv().ok()
+    }
+
+    /// A clone of the sending half (e.g. for the Preprocessor to push control tuples
+    /// directly to the Distributor's queue).
+    pub fn sender(&self) -> Sender<Message> {
+        self.tx.clone()
+    }
+
+    /// A clone of the receiving half (e.g. for each worker thread of a Stage).
+    pub fn receiver(&self) -> Receiver<Message> {
+        self.rx.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::{ControlTuple, InFlightTuple};
+    use cjoin_common::{QueryId, QuerySet};
+    use cjoin_storage::{Row, RowId, Value};
+
+    fn data_message(n: usize) -> Message {
+        Message::Data(
+            (0..n)
+                .map(|i| {
+                    InFlightTuple::new(
+                        RowId(i as u64),
+                        Row::new(vec![Value::int(i as i64)]),
+                        QuerySet::new(4),
+                        0,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let q = TupleQueue::new(4);
+        q.send(data_message(1)).unwrap();
+        q.send(Message::Control(ControlTuple::QueryEnd(QueryId(7)))).unwrap();
+        q.send(data_message(2)).unwrap();
+
+        assert!(matches!(q.recv().unwrap(), Message::Data(b) if b.len() == 1));
+        assert!(matches!(
+            q.recv().unwrap(),
+            Message::Control(ControlTuple::QueryEnd(QueryId(7)))
+        ));
+        assert!(matches!(q.recv().unwrap(), Message::Data(b) if b.len() == 2));
+    }
+
+    #[test]
+    fn len_and_capacity() {
+        let q = TupleQueue::new(3);
+        assert_eq!(q.capacity(), 3);
+        assert!(q.is_empty());
+        q.send(data_message(1)).unwrap();
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_empty() {
+        let q = TupleQueue::new(2);
+        let r = q.recv_timeout(Duration::from_millis(5)).unwrap();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn send_blocks_until_consumer_drains() {
+        let q = TupleQueue::new(1);
+        q.send(data_message(1)).unwrap();
+        let q2 = q.clone();
+        let producer = std::thread::spawn(move || {
+            // This send blocks until the main thread drains one message.
+            q2.send(data_message(2)).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(q.len(), 1, "second send is still blocked");
+        let _ = q.recv().unwrap();
+        producer.join().unwrap();
+        assert!(matches!(q.recv().unwrap(), Message::Data(b) if b.len() == 2));
+    }
+
+    #[test]
+    fn shutdown_flows_through() {
+        let q = TupleQueue::new(2);
+        q.send(Message::Shutdown).unwrap();
+        assert!(matches!(q.recv().unwrap(), Message::Shutdown));
+    }
+
+    #[test]
+    fn mpmc_usage_across_threads() {
+        let q = TupleQueue::new(64);
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        q.send(data_message(1)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut count = 0usize;
+                    while let Ok(Some(_)) = q.recv_timeout(Duration::from_millis(100)) {
+                        count += 1;
+                    }
+                    count
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 400);
+    }
+}

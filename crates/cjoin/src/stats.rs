@@ -1,0 +1,172 @@
+//! Operator statistics.
+//!
+//! The experiments of §6 need visibility into what the pipeline is doing: tuples
+//! scanned, tuples reaching the Distributor, per-Filter probe/drop counts, scan
+//! passes, and query lifecycle counts. Counters are updated with relaxed atomics on
+//! the hot path and snapshotted on demand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared atomic counters updated by the pipeline threads.
+#[derive(Debug, Default)]
+pub struct SharedCounters {
+    /// Fact tuples read from the continuous scan.
+    pub tuples_scanned: AtomicU64,
+    /// Data batches sent into the filter stage(s).
+    pub batches_sent: AtomicU64,
+    /// Tuples that reached the Distributor with a non-zero bit-vector.
+    pub tuples_distributed: AtomicU64,
+    /// (tuple, query) routing events performed by the Distributor.
+    pub routings: AtomicU64,
+    /// Completed passes over the fact table.
+    pub scan_passes: AtomicU64,
+    /// Queries admitted (Algorithm 1 completed).
+    pub queries_admitted: AtomicU64,
+    /// Queries finalized (results delivered).
+    pub queries_completed: AtomicU64,
+    /// Filter-order changes applied by the run-time optimizer.
+    pub filter_reorders: AtomicU64,
+    /// Pipeline stalls taken to emit control tuples (drain barriers).
+    pub control_barriers: AtomicU64,
+}
+
+impl SharedCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time statistics of one Filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterStatsSnapshot {
+    /// Dimension table the Filter covers.
+    pub dimension: String,
+    /// Dimension tuples currently stored in its hash table.
+    pub entries: usize,
+    /// Tuples that entered the Filter.
+    pub tuples_in: u64,
+    /// Tuples dropped by the Filter.
+    pub tuples_dropped: u64,
+    /// Hash probes performed.
+    pub probes: u64,
+    /// Probes avoided by the early-skip optimisation.
+    pub skips: u64,
+}
+
+impl FilterStatsSnapshot {
+    /// Observed drop rate.
+    pub fn drop_rate(&self) -> f64 {
+        if self.tuples_in == 0 {
+            0.0
+        } else {
+            self.tuples_dropped as f64 / self.tuples_in as f64
+        }
+    }
+}
+
+/// Point-in-time statistics of the whole pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineStats {
+    /// Fact tuples read from the continuous scan.
+    pub tuples_scanned: u64,
+    /// Data batches sent into the filter stage(s).
+    pub batches_sent: u64,
+    /// Tuples that reached the Distributor.
+    pub tuples_distributed: u64,
+    /// (tuple, query) routing events.
+    pub routings: u64,
+    /// Completed passes over the fact table.
+    pub scan_passes: u64,
+    /// Queries admitted so far.
+    pub queries_admitted: u64,
+    /// Queries completed so far.
+    pub queries_completed: u64,
+    /// Queries currently registered.
+    pub active_queries: usize,
+    /// Filter-order changes applied.
+    pub filter_reorders: u64,
+    /// Drain barriers taken for control tuples.
+    pub control_barriers: u64,
+    /// Current filter order with per-filter statistics.
+    pub filters: Vec<FilterStatsSnapshot>,
+    /// Batch-pool hits (recycled batches).
+    pub pool_hits: u64,
+    /// Batch-pool misses (fresh allocations).
+    pub pool_misses: u64,
+}
+
+impl PipelineStats {
+    /// Fraction of scanned tuples that survived all Filters.
+    pub fn survival_rate(&self) -> f64 {
+        if self.tuples_scanned == 0 {
+            0.0
+        } else {
+            self.tuples_distributed as f64 / self.tuples_scanned as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_counters_accumulate() {
+        let c = SharedCounters::new();
+        SharedCounters::add(&c.tuples_scanned, 10);
+        SharedCounters::add(&c.tuples_scanned, 5);
+        assert_eq!(c.tuples_scanned.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn filter_snapshot_drop_rate() {
+        let s = FilterStatsSnapshot {
+            dimension: "date".into(),
+            entries: 10,
+            tuples_in: 200,
+            tuples_dropped: 50,
+            probes: 180,
+            skips: 20,
+        };
+        assert!((s.drop_rate() - 0.25).abs() < 1e-12);
+        let empty = FilterStatsSnapshot {
+            dimension: "date".into(),
+            entries: 0,
+            tuples_in: 0,
+            tuples_dropped: 0,
+            probes: 0,
+            skips: 0,
+        };
+        assert_eq!(empty.drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn pipeline_stats_survival_rate() {
+        let stats = PipelineStats {
+            tuples_scanned: 1000,
+            batches_sent: 10,
+            tuples_distributed: 250,
+            routings: 400,
+            scan_passes: 2,
+            queries_admitted: 3,
+            queries_completed: 1,
+            active_queries: 2,
+            filter_reorders: 1,
+            control_barriers: 4,
+            filters: vec![],
+            pool_hits: 5,
+            pool_misses: 5,
+        };
+        assert!((stats.survival_rate() - 0.25).abs() < 1e-12);
+        let zero = PipelineStats { tuples_scanned: 0, ..stats };
+        assert_eq!(zero.survival_rate(), 0.0);
+    }
+}

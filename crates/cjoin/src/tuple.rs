@@ -1,0 +1,145 @@
+//! In-flight tuples, batches and control tuples.
+//!
+//! The Preprocessor augments every fact tuple with a query bit-vector `bτ` (§3.2.2)
+//! and, as the tuple passes through the Filters, pointers to its joining dimension
+//! tuples are attached so the aggregation operators can read dimension attributes
+//! without re-probing (§3.2.2, last paragraph). Tuples travel through the pipeline in
+//! batches to amortise queue synchronisation (§4).
+//!
+//! Control tuples (`query start` / `query end`, §3.3) carry query lifecycle events
+//! from the Preprocessor to the Distributor. The pipeline guarantees they are never
+//! reordered relative to data tuples (§3.3.3); see
+//! [`Pipeline`](crate::pipeline::Pipeline) for how that ordering is enforced.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::Sender;
+
+use cjoin_common::{QueryId, QuerySet};
+use cjoin_query::{BoundStarQuery, QueryResult};
+use cjoin_storage::{Row, RowId};
+
+use crate::progress::QueryProgress;
+
+/// A fact tuple flowing through the pipeline.
+#[derive(Debug, Clone)]
+pub struct InFlightTuple {
+    /// Position of the tuple in the fact table.
+    pub row_id: RowId,
+    /// The fact row itself (cheap `Arc` clone of the stored row).
+    pub row: Row,
+    /// The query bit-vector `bτ`: bit `i` is set while the tuple is still relevant to
+    /// query `i`.
+    pub bits: QuerySet,
+    /// Joining dimension rows attached by the Filters, indexed by dimension *slot*
+    /// (see [`crate::dimension::DimensionTable::slot`]).
+    pub dims: Vec<Option<Row>>,
+}
+
+impl InFlightTuple {
+    /// Creates a tuple with no dimension rows attached.
+    pub fn new(row_id: RowId, row: Row, bits: QuerySet, num_slots: usize) -> Self {
+        Self {
+            row_id,
+            row,
+            bits,
+            dims: vec![None; num_slots],
+        }
+    }
+
+    /// Ensures the dimension-slot vector can hold `num_slots` entries (slots are only
+    /// ever appended while a pipeline is running).
+    pub fn ensure_slots(&mut self, num_slots: usize) {
+        if self.dims.len() < num_slots {
+            self.dims.resize(num_slots, None);
+        }
+    }
+}
+
+/// A batch of data tuples.
+pub type Batch = Vec<InFlightTuple>;
+
+/// Everything the Distributor needs to run one registered query: its bound form, the
+/// mapping from its dimension clauses to pipeline dimension slots, and the channel the
+/// final result is delivered on.
+#[derive(Debug)]
+pub struct QueryRuntime {
+    /// The CJOIN-internal query id (bit-vector index).
+    pub id: QueryId,
+    /// Query name (for diagnostics).
+    pub name: String,
+    /// The schema-bound query.
+    pub bound: Arc<BoundStarQuery>,
+    /// `slot_map[k]` = dimension slot holding the row joined by the query's `k`-th
+    /// dimension clause.
+    pub slot_map: Vec<usize>,
+    /// Channel on which the Distributor delivers the final result.
+    pub result_tx: Sender<QueryResult>,
+    /// When the query was admitted (start of Algorithm 1), for statistics.
+    pub admitted_at: Instant,
+    /// Progress tracker shared with the query's [`QueryHandle`](crate::engine::QueryHandle).
+    pub progress: Arc<QueryProgress>,
+}
+
+/// A lifecycle event travelling from the Preprocessor to the Distributor.
+#[derive(Debug)]
+pub enum ControlTuple {
+    /// A new query has been installed; the Distributor must set up its aggregation
+    /// operator before any of its result tuples arrive (§3.3.1).
+    QueryStart(Arc<QueryRuntime>),
+    /// The continuous scan has wrapped around the query's starting tuple; the
+    /// Distributor finalizes the aggregation and emits the result (§3.3.2).
+    QueryEnd(QueryId),
+}
+
+/// A message travelling through pipeline queues.
+#[derive(Debug)]
+pub enum Message {
+    /// A batch of data tuples.
+    Data(Batch),
+    /// A control tuple (only ever enqueued when no data is in flight ahead of it).
+    Control(ControlTuple),
+    /// Orderly shutdown: each worker forwards it once and exits.
+    Shutdown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjoin_storage::Value;
+
+    fn row() -> Row {
+        Row::new(vec![Value::int(1), Value::int(2)])
+    }
+
+    #[test]
+    fn new_tuple_has_empty_slots() {
+        let t = InFlightTuple::new(RowId(3), row(), QuerySet::new(8), 2);
+        assert_eq!(t.row_id, RowId(3));
+        assert_eq!(t.dims.len(), 2);
+        assert!(t.dims.iter().all(Option::is_none));
+        assert!(t.bits.is_empty());
+    }
+
+    #[test]
+    fn ensure_slots_grows_but_never_shrinks() {
+        let mut t = InFlightTuple::new(RowId(0), row(), QuerySet::new(8), 1);
+        t.dims[0] = Some(row());
+        t.ensure_slots(3);
+        assert_eq!(t.dims.len(), 3);
+        assert!(t.dims[0].is_some());
+        t.ensure_slots(2);
+        assert_eq!(t.dims.len(), 3);
+    }
+
+    #[test]
+    fn message_variants_are_constructible() {
+        let batch: Batch = vec![InFlightTuple::new(RowId(0), row(), QuerySet::new(4), 0)];
+        let m = Message::Data(batch);
+        assert!(matches!(m, Message::Data(b) if b.len() == 1));
+        assert!(matches!(Message::Control(ControlTuple::QueryEnd(QueryId(2))),
+            Message::Control(ControlTuple::QueryEnd(QueryId(2)))));
+        assert!(matches!(Message::Shutdown, Message::Shutdown));
+    }
+}

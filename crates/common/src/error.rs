@@ -1,0 +1,127 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias for results carrying [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the CJOIN reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The system-wide `maxConc` limit on concurrent queries was reached.
+    TooManyConcurrentQueries {
+        /// The configured limit.
+        max_concurrency: usize,
+    },
+    /// A query id was used that is not currently registered.
+    UnknownQuery {
+        /// The offending id.
+        id: u32,
+    },
+    /// A referenced table does not exist in the catalog.
+    UnknownTable {
+        /// The table name.
+        name: String,
+    },
+    /// A referenced column does not exist in a table's schema.
+    UnknownColumn {
+        /// The table name.
+        table: String,
+        /// The column name.
+        column: String,
+    },
+    /// A value had an unexpected type for the operation performed on it.
+    TypeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// The pipeline was asked to do something in a state that does not allow it
+    /// (e.g. registering a query after shutdown).
+    InvalidState {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A configuration value was out of range or inconsistent.
+    InvalidConfig {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TooManyConcurrentQueries { max_concurrency } => write!(
+                f,
+                "too many concurrent queries: the maxConc limit of {max_concurrency} is reached"
+            ),
+            Error::UnknownQuery { id } => write!(f, "unknown query id Q{id}"),
+            Error::UnknownTable { name } => write!(f, "unknown table '{name}'"),
+            Error::UnknownColumn { table, column } => {
+                write!(f, "unknown column '{column}' in table '{table}'")
+            }
+            Error::TypeMismatch { detail } => write!(f, "type mismatch: {detail}"),
+            Error::InvalidState { detail } => write!(f, "invalid state: {detail}"),
+            Error::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Builds an [`Error::InvalidState`] from anything displayable.
+    pub fn invalid_state(detail: impl fmt::Display) -> Self {
+        Error::InvalidState {
+            detail: detail.to_string(),
+        }
+    }
+
+    /// Builds an [`Error::InvalidConfig`] from anything displayable.
+    pub fn invalid_config(detail: impl fmt::Display) -> Self {
+        Error::InvalidConfig {
+            detail: detail.to_string(),
+        }
+    }
+
+    /// Builds an [`Error::TypeMismatch`] from anything displayable.
+    pub fn type_mismatch(detail: impl fmt::Display) -> Self {
+        Error::TypeMismatch {
+            detail: detail.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::TooManyConcurrentQueries { max_concurrency: 256 };
+        assert!(e.to_string().contains("256"));
+        let e = Error::UnknownQuery { id: 9 };
+        assert!(e.to_string().contains("Q9"));
+        let e = Error::UnknownTable { name: "part".into() };
+        assert!(e.to_string().contains("part"));
+        let e = Error::UnknownColumn {
+            table: "customer".into(),
+            column: "c_region".into(),
+        };
+        assert!(e.to_string().contains("c_region") && e.to_string().contains("customer"));
+    }
+
+    #[test]
+    fn helpers_build_expected_variants() {
+        assert!(matches!(Error::invalid_state("x"), Error::InvalidState { .. }));
+        assert!(matches!(Error::invalid_config("x"), Error::InvalidConfig { .. }));
+        assert!(matches!(Error::type_mismatch("x"), Error::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&Error::UnknownQuery { id: 1 });
+    }
+}

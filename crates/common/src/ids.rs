@@ -1,0 +1,207 @@
+//! Query identifiers and their allocation.
+//!
+//! CJOIN assigns each registered query a small integer id that indexes the query
+//! bit-vectors. The paper (§3, Notation) requires ids to be unique among in-flight
+//! queries, bounded by the system parameter `maxConc`, and reusable after a query
+//! finishes. [`QueryIdAllocator`] implements exactly that: a free-list backed
+//! allocator that always hands out the lowest free id (so `maxId(Q)` stays small and
+//! bit-vector scans stay short).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// A CJOIN-internal query identifier.
+///
+/// Query ids are dense small integers in `[0, max_concurrency)`; they are *not*
+/// stable across the lifetime of a workload, since ids are recycled once a query
+/// finalizes (paper §3: "an identifier can be reused after a query finishes").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct QueryId(pub u32);
+
+impl QueryId {
+    /// Returns the id as a bit-vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+impl From<QueryId> for usize {
+    fn from(q: QueryId) -> usize {
+        q.index()
+    }
+}
+
+/// Allocates query ids in `[0, max_concurrency)`, recycling released ids.
+///
+/// Always returns the smallest free id so that `maxId(Q)` (and therefore the number
+/// of bit-vector words that carry live information) grows only with the actual
+/// concurrency level.
+#[derive(Debug, Clone)]
+pub struct QueryIdAllocator {
+    max_concurrency: usize,
+    /// `used[i]` is true iff id `i` is currently assigned.
+    used: Vec<bool>,
+    live: usize,
+}
+
+impl QueryIdAllocator {
+    /// Creates an allocator with the given `maxConc` bound.
+    pub fn new(max_concurrency: usize) -> Self {
+        Self {
+            max_concurrency,
+            used: vec![false; max_concurrency],
+            live: 0,
+        }
+    }
+
+    /// The `maxConc` bound this allocator was created with.
+    pub fn max_concurrency(&self) -> usize {
+        self.max_concurrency
+    }
+
+    /// Number of ids currently assigned.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Returns the largest assigned id plus one (the paper's `maxId(Q)`), or 0 when
+    /// no query is registered.
+    pub fn max_id(&self) -> usize {
+        self.used
+            .iter()
+            .rposition(|&u| u)
+            .map(|p| p + 1)
+            .unwrap_or(0)
+    }
+
+    /// Allocates the lowest free id.
+    ///
+    /// # Errors
+    /// Returns [`Error::TooManyConcurrentQueries`] when all `maxConc` ids are in use.
+    pub fn allocate(&mut self) -> Result<QueryId> {
+        match self.used.iter().position(|&u| !u) {
+            Some(i) => {
+                self.used[i] = true;
+                self.live += 1;
+                Ok(QueryId(i as u32))
+            }
+            None => Err(Error::TooManyConcurrentQueries {
+                max_concurrency: self.max_concurrency,
+            }),
+        }
+    }
+
+    /// Releases an id for reuse.
+    ///
+    /// # Errors
+    /// Returns [`Error::UnknownQuery`] if the id is not currently assigned.
+    pub fn release(&mut self, id: QueryId) -> Result<()> {
+        let i = id.index();
+        if i >= self.max_concurrency || !self.used[i] {
+            return Err(Error::UnknownQuery { id: id.0 });
+        }
+        self.used[i] = false;
+        self.live -= 1;
+        Ok(())
+    }
+
+    /// Returns whether `id` is currently assigned.
+    pub fn is_live(&self, id: QueryId) -> bool {
+        id.index() < self.max_concurrency && self.used[id.index()]
+    }
+
+    /// Iterates over currently assigned ids in ascending order.
+    pub fn live_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.used
+            .iter()
+            .enumerate()
+            .filter(|(_, &u)| u)
+            .map(|(i, _)| QueryId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_lowest_free_id() {
+        let mut a = QueryIdAllocator::new(4);
+        assert_eq!(a.allocate().unwrap(), QueryId(0));
+        assert_eq!(a.allocate().unwrap(), QueryId(1));
+        assert_eq!(a.allocate().unwrap(), QueryId(2));
+        a.release(QueryId(1)).unwrap();
+        // Lowest free id (1) is reused before 3.
+        assert_eq!(a.allocate().unwrap(), QueryId(1));
+        assert_eq!(a.allocate().unwrap(), QueryId(3));
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let mut a = QueryIdAllocator::new(2);
+        a.allocate().unwrap();
+        a.allocate().unwrap();
+        let err = a.allocate().unwrap_err();
+        assert!(matches!(err, Error::TooManyConcurrentQueries { max_concurrency: 2 }));
+    }
+
+    #[test]
+    fn release_unknown_id_is_an_error() {
+        let mut a = QueryIdAllocator::new(2);
+        assert!(a.release(QueryId(0)).is_err());
+        assert!(a.release(QueryId(5)).is_err());
+        let id = a.allocate().unwrap();
+        a.release(id).unwrap();
+        assert!(a.release(id).is_err(), "double release rejected");
+    }
+
+    #[test]
+    fn max_id_tracks_highest_live_id() {
+        let mut a = QueryIdAllocator::new(8);
+        assert_eq!(a.max_id(), 0);
+        let q0 = a.allocate().unwrap();
+        let _q1 = a.allocate().unwrap();
+        let q2 = a.allocate().unwrap();
+        assert_eq!(a.max_id(), 3);
+        a.release(q2).unwrap();
+        assert_eq!(a.max_id(), 2);
+        a.release(q0).unwrap();
+        assert_eq!(a.max_id(), 2, "q1 still holds id 1");
+        assert_eq!(a.live(), 1);
+    }
+
+    #[test]
+    fn live_ids_iterates_in_order() {
+        let mut a = QueryIdAllocator::new(8);
+        let ids: Vec<_> = (0..4).map(|_| a.allocate().unwrap()).collect();
+        a.release(ids[2]).unwrap();
+        let live: Vec<_> = a.live_ids().collect();
+        assert_eq!(live, vec![QueryId(0), QueryId(1), QueryId(3)]);
+        assert!(a.is_live(QueryId(0)));
+        assert!(!a.is_live(QueryId(2)));
+        assert!(!a.is_live(QueryId(100)));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", QueryId(7)), "Q7");
+        assert_eq!(format!("{:?}", QueryId(7)), "Q7");
+        assert_eq!(usize::from(QueryId(7)), 7);
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared utilities for the CJOIN reproduction.
+//!
+//! This crate hosts the small, dependency-free building blocks used by every other
+//! crate in the workspace:
+//!
+//! * [`QuerySet`] — the fixed-capacity query bit-vector that CJOIN attaches to fact
+//!   tuples and dimension hash-table entries (the `bτ` / `bδ` / `bDj` vectors of the
+//!   paper, §3.1–§3.2).
+//! * [`FxHasher`]/[`FxHashMap`] — a fast, non-cryptographic hasher in the style of
+//!   `rustc-hash`, used for the dimension hash tables where SipHash would dominate the
+//!   probe cost.
+//! * [`QueryId`] and id-allocation helpers — CJOIN assigns each in-flight query a small
+//!   integer identifier in `[0, max_concurrency)` that indexes the bit-vectors.
+//! * [`Error`] — the workspace-wide error type.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bitvec;
+pub mod error;
+pub mod hash;
+pub mod ids;
+
+pub use bitvec::{AtomicQuerySet, QuerySet};
+pub use error::{Error, Result};
+pub use hash::{fx_hash_u64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use ids::{QueryId, QueryIdAllocator};

@@ -1,0 +1,505 @@
+//! The galaxy (two-fact-table) query model and its decomposition into star sub-queries.
+
+use cjoin_common::{Error, Result};
+use cjoin_query::{AggFunc, AggregateSpec, ColumnRef, Predicate, StarQuery};
+use cjoin_storage::SnapshotId;
+
+use crate::merge::{MergeAgg, MergeGroupColumn, MergePlan};
+
+/// Which of the two fact tables (and its star) a column or aggregate refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The first fact table.
+    A,
+    /// The second fact table.
+    B,
+}
+
+impl Side {
+    /// Index of the side (`A` → 0, `B` → 1).
+    pub fn index(self) -> usize {
+        match self {
+            Side::A => 0,
+            Side::B => 1,
+        }
+    }
+
+    /// Short label used in generated column names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Side::A => "a",
+            Side::B => "b",
+        }
+    }
+}
+
+/// A column reference qualified with the side it belongs to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GalaxyColumnRef {
+    /// Which star the column lives in.
+    pub side: Side,
+    /// The column within that star (fact column or a joined dimension's column).
+    pub column: ColumnRef,
+}
+
+impl GalaxyColumnRef {
+    /// A column on side `side`.
+    pub fn new(side: Side, column: ColumnRef) -> Self {
+        Self { side, column }
+    }
+
+    /// Display name, e.g. `a.customer.c_region` or `b.lo_revenue`.
+    pub fn display(&self) -> String {
+        format!("{}.{}", self.side.label(), self.column)
+    }
+}
+
+/// One aggregate in a galaxy query's SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GalaxyAggregateSpec {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Input column; `None` means `COUNT(*)` over the joined rows.
+    pub input: Option<GalaxyColumnRef>,
+}
+
+impl GalaxyAggregateSpec {
+    /// `COUNT(*)` over the fact-to-fact join result.
+    pub fn count_star() -> Self {
+        Self {
+            func: AggFunc::Count,
+            input: None,
+        }
+    }
+
+    /// An aggregate over a column of one side.
+    pub fn over(func: AggFunc, side: Side, column: ColumnRef) -> Self {
+        Self {
+            func,
+            input: Some(GalaxyColumnRef::new(side, column)),
+        }
+    }
+
+    /// Label used in the result header, e.g. `SUM(b.lo_revenue)`.
+    pub fn label(&self) -> String {
+        match &self.input {
+            Some(col) => format!("{}({})", self.func, col.display()),
+            None => format!("{}(*)", self.func),
+        }
+    }
+}
+
+/// One side of a galaxy query: a star sub-query over one fact table, plus the
+/// foreign-key column used as the fact-to-fact pivot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SideSpec {
+    /// The fact table at the centre of this star.
+    pub fact_table: String,
+    /// The fact column holding the fact-to-fact join key (§5's "pivot").
+    pub pivot_column: String,
+    /// Selection predicate on the fact table (`c_i0`).
+    pub fact_predicate: Predicate,
+    /// Fact-to-dimension joins: `(dimension table, fact FK column, dimension key
+    /// column, dimension predicate)`.
+    pub dimensions: Vec<(String, String, String, Predicate)>,
+}
+
+impl SideSpec {
+    /// Creates a side over `fact_table`, joined to the other side through
+    /// `pivot_column`.
+    pub fn new(fact_table: impl Into<String>, pivot_column: impl Into<String>) -> Self {
+        Self {
+            fact_table: fact_table.into(),
+            pivot_column: pivot_column.into(),
+            fact_predicate: Predicate::True,
+            dimensions: Vec::new(),
+        }
+    }
+
+    /// Sets the fact-table predicate.
+    pub fn fact_predicate(mut self, predicate: Predicate) -> Self {
+        self.fact_predicate = predicate;
+        self
+    }
+
+    /// Adds a fact-to-dimension join with a selection predicate on the dimension.
+    pub fn join_dimension(
+        mut self,
+        table: impl Into<String>,
+        fact_fk_column: impl Into<String>,
+        dim_key_column: impl Into<String>,
+        predicate: Predicate,
+    ) -> Self {
+        self.dimensions.push((
+            table.into(),
+            fact_fk_column.into(),
+            dim_key_column.into(),
+            predicate,
+        ));
+        self
+    }
+}
+
+/// A galaxy query: the equi-join of two star sub-queries on their pivot columns, with
+/// group-by columns and aggregates drawn from either side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GalaxyQuery {
+    /// Human-readable name.
+    pub name: String,
+    /// The two star sides, indexed by [`Side::index`].
+    pub sides: [SideSpec; 2],
+    /// GROUP BY columns (each on one side).
+    pub group_by: Vec<GalaxyColumnRef>,
+    /// Aggregates over the joined rows.
+    pub aggregates: Vec<GalaxyAggregateSpec>,
+    /// Snapshot the query reads; `None` means "latest at submission time".
+    pub snapshot: Option<SnapshotId>,
+}
+
+impl GalaxyQuery {
+    /// Starts building a galaxy query.
+    pub fn builder(name: impl Into<String>) -> GalaxyQueryBuilder {
+        GalaxyQueryBuilder::new(name)
+    }
+
+    /// The side specification for `side`.
+    pub fn side(&self, side: Side) -> &SideSpec {
+        &self.sides[side.index()]
+    }
+
+    /// Decomposes the query into one star sub-query per fact table plus the plan that
+    /// joins and finalises their partially aggregated outputs.
+    ///
+    /// Each star sub-query groups by `(pivot key, this side's group-by columns)` and
+    /// computes, per group, the side-local partial aggregates plus the group's row
+    /// multiplicity (`COUNT(*)`). The [`MergePlan`] records how the fact-to-fact join
+    /// operator combines those partials into the final aggregates.
+    ///
+    /// # Errors
+    /// Fails if the query has no aggregates (the general case of §2.1 assumes at
+    /// least one).
+    pub fn decompose(&self) -> Result<DecomposedGalaxy> {
+        if self.aggregates.is_empty() {
+            return Err(Error::invalid_config(format!(
+                "galaxy query '{}' has no aggregates",
+                self.name
+            )));
+        }
+
+        // Per-side builders: group-by lists and partial aggregate lists.
+        let mut side_group_cols: [Vec<ColumnRef>; 2] = [Vec::new(), Vec::new()];
+        let mut side_partials: [Vec<AggregateSpec>; 2] = [Vec::new(), Vec::new()];
+
+        let mut group_columns = Vec::with_capacity(self.group_by.len());
+        for col in &self.group_by {
+            let side = col.side;
+            let list = &mut side_group_cols[side.index()];
+            let position = match list.iter().position(|c| c == &col.column) {
+                Some(p) => p,
+                None => {
+                    list.push(col.column.clone());
+                    list.len() - 1
+                }
+            };
+            group_columns.push(MergeGroupColumn {
+                side,
+                // Position 0 of the star sub-query's group key is the pivot.
+                key_position: 1 + position,
+                name: col.display(),
+            });
+        }
+
+        // Registers a partial aggregate on `side`, reusing an identical existing one.
+        let mut add_partial = |side: Side, func: AggFunc, input: &ColumnRef| -> usize {
+            let list = &mut side_partials[side.index()];
+            let candidate = AggregateSpec::over(func, input.clone());
+            match list.iter().position(|a| a == &candidate) {
+                Some(p) => p,
+                None => {
+                    list.push(candidate);
+                    list.len() - 1
+                }
+            }
+        };
+
+        let mut merge_aggs = Vec::with_capacity(self.aggregates.len());
+        let mut labels = Vec::with_capacity(self.aggregates.len());
+        for agg in &self.aggregates {
+            labels.push(agg.label());
+            let merge = match (&agg.input, agg.func) {
+                (None, AggFunc::Count) => MergeAgg::CountStar,
+                (None, func) => {
+                    return Err(Error::invalid_config(format!(
+                        "galaxy query '{}': {func} requires an input column",
+                        self.name
+                    )))
+                }
+                (Some(col), AggFunc::Count) => MergeAgg::CountColumn {
+                    side: col.side,
+                    partial: add_partial(col.side, AggFunc::Count, &col.column),
+                },
+                (Some(col), AggFunc::Sum) => MergeAgg::Sum {
+                    side: col.side,
+                    partial: add_partial(col.side, AggFunc::Sum, &col.column),
+                },
+                (Some(col), AggFunc::Min) => MergeAgg::Min {
+                    side: col.side,
+                    partial: add_partial(col.side, AggFunc::Min, &col.column),
+                },
+                (Some(col), AggFunc::Max) => MergeAgg::Max {
+                    side: col.side,
+                    partial: add_partial(col.side, AggFunc::Max, &col.column),
+                },
+                (Some(col), AggFunc::Avg) => MergeAgg::Avg {
+                    side: col.side,
+                    sum_partial: add_partial(col.side, AggFunc::Sum, &col.column),
+                    count_partial: add_partial(col.side, AggFunc::Count, &col.column),
+                },
+            };
+            merge_aggs.push(merge);
+        }
+
+        let partial_counts = [side_partials[0].len(), side_partials[1].len()];
+
+        let build_star = |side: Side| -> StarQuery {
+            let spec = self.side(side);
+            let mut builder = StarQuery::builder(format!("{}#{}", self.name, side.label()))
+                .fact_predicate(spec.fact_predicate.clone())
+                // The pivot key is the first group-by column of the star sub-query.
+                .group_by(ColumnRef::fact(spec.pivot_column.clone()));
+            for (table, fk, key, pred) in &spec.dimensions {
+                builder = builder.join_dimension(table.clone(), fk.clone(), key.clone(), pred.clone());
+            }
+            for col in &side_group_cols[side.index()] {
+                builder = builder.group_by(col.clone());
+            }
+            for partial in &side_partials[side.index()] {
+                builder = builder.aggregate(partial.clone());
+            }
+            // The group's multiplicity is always the last aggregate.
+            builder = builder.aggregate(AggregateSpec::count_star());
+            if let Some(snapshot) = self.snapshot {
+                builder = builder.snapshot(snapshot);
+            }
+            builder.build()
+        };
+
+        Ok(DecomposedGalaxy {
+            star_a: build_star(Side::A),
+            star_b: build_star(Side::B),
+            plan: MergePlan {
+                group_columns,
+                aggregates: merge_aggs,
+                aggregate_labels: labels,
+                partial_counts,
+            },
+        })
+    }
+}
+
+/// Builder for [`GalaxyQuery`].
+#[derive(Debug, Clone)]
+pub struct GalaxyQueryBuilder {
+    name: String,
+    side_a: Option<SideSpec>,
+    side_b: Option<SideSpec>,
+    group_by: Vec<GalaxyColumnRef>,
+    aggregates: Vec<GalaxyAggregateSpec>,
+    snapshot: Option<SnapshotId>,
+}
+
+impl GalaxyQueryBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            side_a: None,
+            side_b: None,
+            group_by: Vec::new(),
+            aggregates: Vec::new(),
+            snapshot: None,
+        }
+    }
+
+    /// Sets the first star side.
+    pub fn side_a(mut self, side: SideSpec) -> Self {
+        self.side_a = Some(side);
+        self
+    }
+
+    /// Sets the second star side.
+    pub fn side_b(mut self, side: SideSpec) -> Self {
+        self.side_b = Some(side);
+        self
+    }
+
+    /// Adds a GROUP BY column on `side`.
+    pub fn group_by(mut self, side: Side, column: ColumnRef) -> Self {
+        self.group_by.push(GalaxyColumnRef::new(side, column));
+        self
+    }
+
+    /// Adds an aggregate.
+    pub fn aggregate(mut self, spec: GalaxyAggregateSpec) -> Self {
+        self.aggregates.push(spec);
+        self
+    }
+
+    /// Pins the query to a snapshot.
+    pub fn snapshot(mut self, snapshot: SnapshotId) -> Self {
+        self.snapshot = Some(snapshot);
+        self
+    }
+
+    /// Finishes the query.
+    ///
+    /// # Panics
+    /// Panics if either side was not provided — a galaxy query is by definition
+    /// two-sided.
+    pub fn build(self) -> GalaxyQuery {
+        GalaxyQuery {
+            name: self.name,
+            sides: [
+                self.side_a.expect("galaxy query requires side A"),
+                self.side_b.expect("galaxy query requires side B"),
+            ],
+            group_by: self.group_by,
+            aggregates: self.aggregates,
+            snapshot: self.snapshot,
+        }
+    }
+}
+
+/// The result of [`GalaxyQuery::decompose`]: one star sub-query per fact table plus
+/// the plan for joining their partially aggregated results.
+#[derive(Debug, Clone)]
+pub struct DecomposedGalaxy {
+    /// The star sub-query registered with side A's CJOIN operator.
+    pub star_a: StarQuery,
+    /// The star sub-query registered with side B's CJOIN operator.
+    pub star_b: StarQuery,
+    /// The fact-to-fact join / finalisation plan.
+    pub plan: MergePlan,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> GalaxyQuery {
+        GalaxyQuery::builder("cross_sell")
+            .side_a(
+                SideSpec::new("orders", "o_custkey")
+                    .fact_predicate(Predicate::between("o_orderdate", 19940101, 19941231))
+                    .join_dimension("customer", "o_custkey", "c_custkey", Predicate::eq("c_region", "ASIA")),
+            )
+            .side_b(SideSpec::new("returns", "r_custkey"))
+            .group_by(Side::A, ColumnRef::dim("customer", "c_nation"))
+            .aggregate(GalaxyAggregateSpec::count_star())
+            .aggregate(GalaxyAggregateSpec::over(AggFunc::Sum, Side::B, ColumnRef::fact("r_amount")))
+            .aggregate(GalaxyAggregateSpec::over(AggFunc::Avg, Side::B, ColumnRef::fact("r_amount")))
+            .build()
+    }
+
+    #[test]
+    fn builder_populates_fields() {
+        let q = sample_query();
+        assert_eq!(q.name, "cross_sell");
+        assert_eq!(q.side(Side::A).fact_table, "orders");
+        assert_eq!(q.side(Side::B).fact_table, "returns");
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.aggregates.len(), 3);
+        assert_eq!(q.aggregates[1].label(), "SUM(b.r_amount)");
+        assert_eq!(q.aggregates[0].label(), "COUNT(*)");
+        assert!(q.snapshot.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "side B")]
+    fn builder_requires_both_sides() {
+        let _ = GalaxyQuery::builder("incomplete")
+            .side_a(SideSpec::new("orders", "o_custkey"))
+            .aggregate(GalaxyAggregateSpec::count_star())
+            .build();
+    }
+
+    #[test]
+    fn decompose_builds_pivot_grouped_star_queries() {
+        let q = sample_query();
+        let d = q.decompose().unwrap();
+
+        // Side A: groups by pivot + c_nation, carries only the multiplicity count.
+        assert_eq!(d.star_a.name, "cross_sell#a");
+        assert_eq!(d.star_a.group_by.len(), 2);
+        assert_eq!(d.star_a.group_by[0], ColumnRef::fact("o_custkey"));
+        assert_eq!(d.star_a.group_by[1], ColumnRef::dim("customer", "c_nation"));
+        assert_eq!(d.star_a.aggregates.len(), 1, "only COUNT(*) on side A");
+        assert_eq!(d.star_a.dimensions.len(), 1);
+        assert!(!d.star_a.fact_predicate.is_true());
+
+        // Side B: groups by pivot only, carries SUM + COUNT partials + multiplicity.
+        assert_eq!(d.star_b.name, "cross_sell#b");
+        assert_eq!(d.star_b.group_by.len(), 1);
+        assert_eq!(d.star_b.aggregates.len(), 3);
+        assert_eq!(d.plan.partial_counts, [0, 2]);
+
+        // Merge plan: one group column from side A, three aggregates.
+        assert_eq!(d.plan.group_columns.len(), 1);
+        assert_eq!(d.plan.group_columns[0].side, Side::A);
+        assert_eq!(d.plan.group_columns[0].key_position, 1);
+        assert_eq!(d.plan.aggregates.len(), 3);
+        assert!(matches!(d.plan.aggregates[0], MergeAgg::CountStar));
+        assert!(matches!(d.plan.aggregates[1], MergeAgg::Sum { side: Side::B, partial: 0 }));
+        assert!(matches!(
+            d.plan.aggregates[2],
+            MergeAgg::Avg { side: Side::B, sum_partial: 0, count_partial: 1 }
+        ));
+    }
+
+    #[test]
+    fn decompose_deduplicates_partials_and_group_columns() {
+        let q = GalaxyQuery::builder("dedup")
+            .side_a(SideSpec::new("f1", "k"))
+            .side_b(SideSpec::new("f2", "k"))
+            .group_by(Side::A, ColumnRef::fact("x"))
+            .group_by(Side::A, ColumnRef::fact("x"))
+            .aggregate(GalaxyAggregateSpec::over(AggFunc::Sum, Side::A, ColumnRef::fact("v")))
+            .aggregate(GalaxyAggregateSpec::over(AggFunc::Avg, Side::A, ColumnRef::fact("v")))
+            .aggregate(GalaxyAggregateSpec::over(AggFunc::Sum, Side::A, ColumnRef::fact("v")))
+            .build();
+        let d = q.decompose().unwrap();
+        // SUM(v) shared by the two SUMs and the AVG; COUNT(v) added once for the AVG.
+        assert_eq!(d.plan.partial_counts, [2, 0]);
+        assert_eq!(d.star_a.aggregates.len(), 3, "SUM, COUNT partials + multiplicity");
+        // The duplicated group-by column maps to the same key position.
+        assert_eq!(d.plan.group_columns[0].key_position, d.plan.group_columns[1].key_position);
+        assert_eq!(d.star_a.group_by.len(), 2, "pivot + deduplicated x");
+    }
+
+    #[test]
+    fn decompose_rejects_aggregate_free_queries() {
+        let q = GalaxyQuery::builder("no_aggs")
+            .side_a(SideSpec::new("f1", "k"))
+            .side_b(SideSpec::new("f2", "k"))
+            .build();
+        assert!(q.decompose().is_err());
+    }
+
+    #[test]
+    fn snapshot_is_propagated_to_both_sides() {
+        let mut q = sample_query();
+        q.snapshot = Some(SnapshotId(7));
+        let d = q.decompose().unwrap();
+        assert_eq!(d.star_a.snapshot, Some(SnapshotId(7)));
+        assert_eq!(d.star_b.snapshot, Some(SnapshotId(7)));
+    }
+
+    #[test]
+    fn side_helpers() {
+        assert_eq!(Side::A.index(), 0);
+        assert_eq!(Side::B.index(), 1);
+        assert_eq!(Side::A.label(), "a");
+        assert_eq!(Side::B.label(), "b");
+        let col = GalaxyColumnRef::new(Side::B, ColumnRef::dim("date", "d_year"));
+        assert_eq!(col.display(), "b.date.d_year");
+    }
+}

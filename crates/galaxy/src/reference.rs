@@ -1,0 +1,446 @@
+//! Reference oracle for galaxy queries.
+//!
+//! Evaluates a [`GalaxyQuery`] the slow, obviously-correct way: materialise the
+//! qualifying rows of each star side (fact row + joined dimension rows), hash-join
+//! them on the pivot key, and aggregate over the joined row pairs. The executor tests
+//! and the integration suite compare [`crate::GalaxyEngine`]'s partial-aggregation
+//! plan against this oracle.
+
+use cjoin_common::{Error, FxHashMap, Result};
+use cjoin_query::{AggFunc, AggValue, QueryResult};
+use cjoin_storage::{Catalog, Row, SnapshotId, Value};
+
+use crate::query::{GalaxyColumnRef, GalaxyQuery, Side, SideSpec};
+
+/// Where a referenced column reads from within one side's materialised record.
+#[derive(Debug, Clone, Copy)]
+enum ResolvedSource {
+    Fact(usize),
+    Dimension { clause: usize, column: usize },
+}
+
+/// One qualifying fact row of a side, with its joined dimension rows.
+#[derive(Debug, Clone)]
+struct SideRecord {
+    pivot: i64,
+    fact: Row,
+    dims: Vec<Row>,
+}
+
+impl SideRecord {
+    fn value(&self, source: ResolvedSource) -> &Value {
+        match source {
+            ResolvedSource::Fact(idx) => self.fact.get(idx),
+            ResolvedSource::Dimension { clause, column } => self.dims[clause].get(column),
+        }
+    }
+}
+
+/// Resolves a galaxy column reference against its side's schemas.
+fn resolve(
+    catalog: &Catalog,
+    side_spec: &SideSpec,
+    column: &GalaxyColumnRef,
+) -> Result<ResolvedSource> {
+    let fact = catalog.table(&side_spec.fact_table)?;
+    match &column.column.table {
+        cjoin_query::TableRef::Fact => Ok(ResolvedSource::Fact(
+            fact.schema().column_index(&column.column.column)?,
+        )),
+        cjoin_query::TableRef::Dimension(table) => {
+            let clause = side_spec
+                .dimensions
+                .iter()
+                .position(|(t, _, _, _)| t == table)
+                .ok_or_else(|| {
+                    Error::invalid_state(format!(
+                        "column {} references dimension '{}' not joined by side {}",
+                        column.display(),
+                        table,
+                        column.side.label()
+                    ))
+                })?;
+            let dim = catalog.table(table)?;
+            Ok(ResolvedSource::Dimension {
+                clause,
+                column: dim.schema().column_index(&column.column.column)?,
+            })
+        }
+    }
+}
+
+/// Materialises the qualifying records of one star side at `snapshot`.
+fn materialise_side(catalog: &Catalog, spec: &SideSpec, snapshot: SnapshotId) -> Result<Vec<SideRecord>> {
+    let fact = catalog.table(&spec.fact_table)?;
+    let fact_schema = fact.schema();
+    let fact_predicate = spec.fact_predicate.bind(fact_schema)?;
+    let pivot_column = fact_schema.column_index(&spec.pivot_column)?;
+
+    // Per dimension clause: FK column index on the fact table plus a key -> row map of
+    // the dimension rows that satisfy the clause's predicate.
+    let mut dim_lookups: Vec<(usize, FxHashMap<i64, Row>)> = Vec::with_capacity(spec.dimensions.len());
+    for (table, fk, key, predicate) in &spec.dimensions {
+        let dim = catalog.table(table)?;
+        let dim_schema = dim.schema();
+        let bound = predicate.bind(dim_schema)?;
+        let key_column = dim_schema.column_index(key)?;
+        let mut lookup = FxHashMap::default();
+        dim.for_each_visible(snapshot, |_, row| {
+            if bound.eval(row) {
+                if let Ok(k) = row.get(key_column).as_int() {
+                    lookup.insert(k, row.clone());
+                }
+            }
+        });
+        dim_lookups.push((fact_schema.column_index(fk)?, lookup));
+    }
+
+    let mut records = Vec::new();
+    fact.for_each_visible(snapshot, |_, row| {
+        if !fact_predicate.eval(row) {
+            return;
+        }
+        let Ok(pivot) = row.get(pivot_column).as_int() else {
+            return; // NULL pivot keys never join.
+        };
+        let mut dims = Vec::with_capacity(dim_lookups.len());
+        for (fk_column, lookup) in &dim_lookups {
+            let Ok(fk) = row.get(*fk_column).as_int() else {
+                return;
+            };
+            match lookup.get(&fk) {
+                Some(dim_row) => dims.push(dim_row.clone()),
+                None => return, // dimension predicate filters this fact row out
+            }
+        }
+        records.push(SideRecord {
+            pivot,
+            fact: row.clone(),
+            dims,
+        });
+    });
+    Ok(records)
+}
+
+/// Running state of one output aggregate in the oracle.
+#[derive(Debug, Clone)]
+enum RefAgg {
+    Count(i128),
+    Sum { sum: i128, seen: bool },
+    Extreme { current: Option<Value>, is_min: bool },
+    Avg { sum: i128, count: i128 },
+}
+
+impl RefAgg {
+    fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Count => RefAgg::Count(0),
+            AggFunc::Sum => RefAgg::Sum { sum: 0, seen: false },
+            AggFunc::Min => RefAgg::Extreme { current: None, is_min: true },
+            AggFunc::Max => RefAgg::Extreme { current: None, is_min: false },
+            AggFunc::Avg => RefAgg::Avg { sum: 0, count: 0 },
+        }
+    }
+
+    fn update(&mut self, value: Option<&Value>) {
+        match self {
+            RefAgg::Count(c) => match value {
+                None => *c += 1,
+                Some(v) if !v.is_null() => *c += 1,
+                Some(_) => {}
+            },
+            RefAgg::Sum { sum, seen } => {
+                if let Some(Value::Int(i)) = value {
+                    *sum += i128::from(*i);
+                    *seen = true;
+                }
+            }
+            RefAgg::Extreme { current, is_min } => {
+                if let Some(v) = value {
+                    if !v.is_null() {
+                        let replace = current.as_ref().map_or(true, |cur| {
+                            if *is_min {
+                                v < cur
+                            } else {
+                                v > cur
+                            }
+                        });
+                        if replace {
+                            *current = Some(v.clone());
+                        }
+                    }
+                }
+            }
+            RefAgg::Avg { sum, count } => {
+                if let Some(Value::Int(i)) = value {
+                    *sum += i128::from(*i);
+                    *count += 1;
+                }
+            }
+        }
+    }
+
+    fn finalize(&self) -> AggValue {
+        match self {
+            RefAgg::Count(c) => AggValue::Int(*c),
+            RefAgg::Sum { sum, seen } => {
+                if *seen {
+                    AggValue::Int(*sum)
+                } else {
+                    AggValue::Null
+                }
+            }
+            RefAgg::Extreme { current, .. } => match current {
+                Some(Value::Int(i)) => AggValue::Int(i128::from(*i)),
+                Some(Value::Str(s)) => AggValue::Str(s.to_string()),
+                Some(Value::Null) | None => AggValue::Null,
+            },
+            RefAgg::Avg { sum, count } => {
+                if *count == 0 {
+                    AggValue::Null
+                } else {
+                    AggValue::Float(*sum as f64 / *count as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates `query` at `snapshot` by materialising both star sides and joining them
+/// row by row.
+///
+/// # Errors
+/// Fails if a referenced table or column does not exist, or a column references a
+/// dimension its side does not join.
+pub fn evaluate(catalog: &Catalog, query: &GalaxyQuery, snapshot: SnapshotId) -> Result<QueryResult> {
+    let snapshot = query.snapshot.unwrap_or(snapshot);
+
+    // Resolve every referenced column up front.
+    let group_sources: Vec<(Side, ResolvedSource)> = query
+        .group_by
+        .iter()
+        .map(|col| Ok((col.side, resolve(catalog, query.side(col.side), col)?)))
+        .collect::<Result<_>>()?;
+    let agg_sources: Vec<Option<(Side, ResolvedSource)>> = query
+        .aggregates
+        .iter()
+        .map(|agg| {
+            agg.input
+                .as_ref()
+                .map(|col| Ok((col.side, resolve(catalog, query.side(col.side), col)?)))
+                .transpose()
+        })
+        .collect::<Result<_>>()?;
+
+    let side_a = materialise_side(catalog, query.side(Side::A), snapshot)?;
+    let side_b = materialise_side(catalog, query.side(Side::B), snapshot)?;
+
+    // Hash join on the pivot key.
+    let mut b_by_pivot: FxHashMap<i64, Vec<&SideRecord>> = FxHashMap::default();
+    for record in &side_b {
+        b_by_pivot.entry(record.pivot).or_default().push(record);
+    }
+
+    let mut groups: std::collections::BTreeMap<Vec<Value>, Vec<RefAgg>> = std::collections::BTreeMap::new();
+    for record_a in &side_a {
+        let Some(matches) = b_by_pivot.get(&record_a.pivot) else {
+            continue;
+        };
+        for record_b in matches {
+            let pick = |side: Side| -> &SideRecord {
+                match side {
+                    Side::A => record_a,
+                    Side::B => record_b,
+                }
+            };
+            let key: Vec<Value> = group_sources
+                .iter()
+                .map(|(side, source)| pick(*side).value(*source).clone())
+                .collect();
+            let states = groups.entry(key).or_insert_with(|| {
+                query.aggregates.iter().map(|a| RefAgg::new(a.func)).collect()
+            });
+            for (state, source) in states.iter_mut().zip(&agg_sources) {
+                match source {
+                    None => state.update(None),
+                    Some((side, resolved)) => state.update(Some(pick(*side).value(*resolved))),
+                }
+            }
+        }
+    }
+
+    let mut result = QueryResult::new(
+        query.group_by.iter().map(GalaxyColumnRef::display).collect(),
+        query.aggregates.iter().map(|a| a.label()).collect(),
+    );
+    for (key, states) in groups {
+        result.insert(key, states.iter().map(RefAgg::finalize).collect());
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use cjoin_query::{ColumnRef, Predicate};
+    use cjoin_storage::{Column, Schema, Table};
+
+    use crate::query::{GalaxyAggregateSpec, SideSpec};
+
+    /// Tiny hand-checkable galaxy: 3 orders, 3 shipments, 2 customers.
+    fn tiny_catalog() -> Arc<Catalog> {
+        let catalog = Catalog::new();
+        let customer = Table::new(Schema::new(
+            "customer",
+            vec![Column::int("c_custkey"), Column::str("c_region")],
+        ));
+        customer.insert(vec![Value::int(1), Value::str("ASIA")], SnapshotId::INITIAL).unwrap();
+        customer.insert(vec![Value::int(2), Value::str("EUROPE")], SnapshotId::INITIAL).unwrap();
+        catalog.add_table(Arc::new(customer));
+
+        let orders = Table::new(Schema::new(
+            "orders",
+            vec![Column::int("o_custkey"), Column::int("o_amount")],
+        ));
+        // Customer 1: amounts 10, 20. Customer 2: amount 100.
+        orders.insert(vec![Value::int(1), Value::int(10)], SnapshotId::INITIAL).unwrap();
+        orders.insert(vec![Value::int(1), Value::int(20)], SnapshotId::INITIAL).unwrap();
+        orders.insert(vec![Value::int(2), Value::int(100)], SnapshotId::INITIAL).unwrap();
+        catalog.add_table(Arc::new(orders));
+
+        let shipments = Table::new(Schema::new(
+            "shipments",
+            vec![Column::int("s_custkey"), Column::int("s_weight")],
+        ));
+        // Customer 1: weights 3, 4. Customer 3 (no orders): weight 9.
+        shipments.insert(vec![Value::int(1), Value::int(3)], SnapshotId::INITIAL).unwrap();
+        shipments.insert(vec![Value::int(1), Value::int(4)], SnapshotId::INITIAL).unwrap();
+        shipments.insert(vec![Value::int(3), Value::int(9)], SnapshotId::INITIAL).unwrap();
+        catalog.add_table(Arc::new(shipments));
+        Arc::new(catalog)
+    }
+
+    fn base_query() -> GalaxyQuery {
+        GalaxyQuery::builder("tiny")
+            .side_a(SideSpec::new("orders", "o_custkey").join_dimension(
+                "customer",
+                "o_custkey",
+                "c_custkey",
+                Predicate::True,
+            ))
+            .side_b(SideSpec::new("shipments", "s_custkey"))
+            .group_by(Side::A, ColumnRef::dim("customer", "c_region"))
+            .aggregate(GalaxyAggregateSpec::count_star())
+            .aggregate(GalaxyAggregateSpec::over(AggFunc::Sum, Side::A, ColumnRef::fact("o_amount")))
+            .aggregate(GalaxyAggregateSpec::over(AggFunc::Sum, Side::B, ColumnRef::fact("s_weight")))
+            .aggregate(GalaxyAggregateSpec::over(AggFunc::Avg, Side::B, ColumnRef::fact("s_weight")))
+            .aggregate(GalaxyAggregateSpec::over(AggFunc::Min, Side::A, ColumnRef::fact("o_amount")))
+            .aggregate(GalaxyAggregateSpec::over(AggFunc::Max, Side::B, ColumnRef::fact("s_weight")))
+            .build()
+    }
+
+    #[test]
+    fn hand_checked_join_aggregates() {
+        // Joined rows: only customer 1 appears on both sides -> 2 orders x 2 shipments
+        // = 4 joined rows, all in region ASIA.
+        let catalog = tiny_catalog();
+        let result = evaluate(&catalog, &base_query(), SnapshotId::INITIAL).unwrap();
+        assert_eq!(result.num_rows(), 1);
+        let aggs = result.aggregate_for(&[Value::str("ASIA")]).unwrap();
+        assert_eq!(aggs[0], AggValue::Int(4)); // COUNT(*)
+        assert_eq!(aggs[1], AggValue::Int(60)); // SUM(o_amount): (10+20) x 2 shipments
+        assert_eq!(aggs[2], AggValue::Int(14)); // SUM(s_weight): (3+4) x 2 orders
+        assert!(aggs[3].approx_eq(&AggValue::Float(3.5))); // AVG(s_weight)
+        assert_eq!(aggs[4], AggValue::Int(10)); // MIN(o_amount)
+        assert_eq!(aggs[5], AggValue::Int(4)); // MAX(s_weight)
+    }
+
+    #[test]
+    fn reference_matches_merged_decomposition() {
+        // The oracle and the decomposition + merge path must agree.
+        let catalog = tiny_catalog();
+        let query = base_query();
+        let expected = evaluate(&catalog, &query, SnapshotId::INITIAL).unwrap();
+
+        let decomposed = query.decompose().unwrap();
+        let partial_a =
+            cjoin_query::reference::evaluate(&catalog_with_fact(&catalog, "orders"), &decomposed.star_a, SnapshotId::INITIAL)
+                .unwrap();
+        let partial_b =
+            cjoin_query::reference::evaluate(&catalog_with_fact(&catalog, "shipments"), &decomposed.star_b, SnapshotId::INITIAL)
+                .unwrap();
+        let merged = crate::merge::merge_results(&partial_a, &partial_b, &decomposed.plan);
+        assert!(merged.approx_eq(&expected), "diff: {:?}", merged.diff(&expected));
+    }
+
+    fn catalog_with_fact(source: &Arc<Catalog>, fact: &str) -> Catalog {
+        let view = Catalog::new();
+        for name in source.table_names() {
+            if name == fact {
+                view.add_fact_table(source.table(&name).unwrap());
+            } else {
+                view.add_table(source.table(&name).unwrap());
+            }
+        }
+        view
+    }
+
+    #[test]
+    fn dimension_predicate_restricts_the_join() {
+        let catalog = tiny_catalog();
+        let query = GalaxyQuery::builder("filtered")
+            .side_a(SideSpec::new("orders", "o_custkey").join_dimension(
+                "customer",
+                "o_custkey",
+                "c_custkey",
+                Predicate::eq("c_region", "EUROPE"),
+            ))
+            .side_b(SideSpec::new("shipments", "s_custkey"))
+            .aggregate(GalaxyAggregateSpec::count_star())
+            .build();
+        // Customer 2 (EUROPE) has an order but no shipments: the join is empty.
+        let result = evaluate(&catalog, &query, SnapshotId::INITIAL).unwrap();
+        assert!(result.is_empty());
+    }
+
+    #[test]
+    fn unknown_columns_are_rejected() {
+        let catalog = tiny_catalog();
+        let bad = GalaxyQuery::builder("bad")
+            .side_a(SideSpec::new("orders", "o_custkey"))
+            .side_b(SideSpec::new("shipments", "s_custkey"))
+            .aggregate(GalaxyAggregateSpec::over(AggFunc::Sum, Side::A, ColumnRef::fact("missing")))
+            .build();
+        assert!(evaluate(&catalog, &bad, SnapshotId::INITIAL).is_err());
+
+        let bad_dim = GalaxyQuery::builder("bad_dim")
+            .side_a(SideSpec::new("orders", "o_custkey"))
+            .side_b(SideSpec::new("shipments", "s_custkey"))
+            .group_by(Side::A, ColumnRef::dim("customer", "c_region"))
+            .aggregate(GalaxyAggregateSpec::count_star())
+            .build();
+        // Side A does not join `customer`, so the group-by column cannot be resolved.
+        assert!(evaluate(&catalog, &bad_dim, SnapshotId::INITIAL).is_err());
+    }
+
+    #[test]
+    fn snapshot_pinning_excludes_later_inserts() {
+        let catalog = tiny_catalog();
+        let orders = catalog.table("orders").unwrap();
+        let later = catalog.snapshots().commit();
+        orders.insert(vec![Value::int(1), Value::int(1000)], later).unwrap();
+
+        let mut query = base_query();
+        let before = evaluate(&catalog, &query, SnapshotId::INITIAL).unwrap();
+        query.snapshot = Some(later);
+        let after = evaluate(&catalog, &query, SnapshotId::INITIAL).unwrap();
+        let count = |r: &QueryResult| match r.aggregate_for(&[Value::str("ASIA")]).unwrap()[0] {
+            AggValue::Int(c) => c,
+            _ => panic!("expected count"),
+        };
+        assert_eq!(count(&before), 4);
+        assert_eq!(count(&after), 6, "one more order x two shipments");
+    }
+}

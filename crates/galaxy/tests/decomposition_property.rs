@@ -1,0 +1,206 @@
+//! Property test: the eager-aggregation decomposition of a galaxy query (two star
+//! sub-queries partially aggregated by pivot key, joined by the merge operator) is
+//! answer-preserving for randomly generated schemas, data and queries.
+//!
+//! The star sub-queries are evaluated with the star reference evaluator (no threads),
+//! so the property isolates the rewrite + merge logic; the executor integration tests
+//! cover the same equivalence through the live CJOIN pipelines.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use cjoin_galaxy::{merge_results, reference, GalaxyAggregateSpec, GalaxyQuery, Side, SideSpec};
+use cjoin_query::{AggFunc, ColumnRef, Predicate};
+use cjoin_storage::{Catalog, Column, Row, Schema, SnapshotId, Table, Value};
+
+const REGIONS: [&str; 3] = ["ASIA", "EUROPE", "AMERICA"];
+
+/// A randomly generated two-fact galaxy instance.
+#[derive(Debug, Clone)]
+struct GalaxyData {
+    /// `(custkey, region index)` pairs.
+    customers: Vec<(i64, usize)>,
+    /// Fact A rows: `(custkey, amount)`.
+    fact_a: Vec<(i64, i64)>,
+    /// Fact B rows: `(custkey, weight)`.
+    fact_b: Vec<(i64, i64)>,
+}
+
+fn data_strategy() -> impl Strategy<Value = GalaxyData> {
+    let customers = proptest::collection::vec(0..3usize, 1..12).prop_map(|regions| {
+        regions
+            .into_iter()
+            .enumerate()
+            .map(|(k, r)| (k as i64, r))
+            .collect::<Vec<_>>()
+    });
+    customers.prop_flat_map(|customers| {
+        let num_customers = customers.len() as i64;
+        // Foreign keys may dangle (reference customers that do not exist) to exercise
+        // the inner-join semantics of the dimension probe.
+        let fact_row = (0..num_customers + 2, -20i64..100);
+        let fact_a = proptest::collection::vec(fact_row.clone(), 0..40);
+        let fact_b = proptest::collection::vec(fact_row, 0..40);
+        (Just(customers), fact_a, fact_b).prop_map(|(customers, fact_a, fact_b)| GalaxyData {
+            customers,
+            fact_a,
+            fact_b,
+        })
+    })
+}
+
+/// A randomly shaped galaxy query over the generated schema.
+#[derive(Debug, Clone)]
+struct QueryShape {
+    filter_region_a: Option<usize>,
+    amount_threshold: Option<i64>,
+    group_by_region: bool,
+    aggregates: Vec<(AggFunc, Side)>,
+}
+
+fn query_strategy() -> impl Strategy<Value = QueryShape> {
+    let agg = (
+        prop_oneof![
+            Just(AggFunc::Sum),
+            Just(AggFunc::Count),
+            Just(AggFunc::Min),
+            Just(AggFunc::Max),
+            Just(AggFunc::Avg),
+        ],
+        prop_oneof![Just(Side::A), Just(Side::B)],
+    );
+    (
+        proptest::option::of(0..3usize),
+        proptest::option::of(-10i64..60),
+        any::<bool>(),
+        proptest::collection::vec(agg, 1..5),
+    )
+        .prop_map(|(filter_region_a, amount_threshold, group_by_region, aggregates)| QueryShape {
+            filter_region_a,
+            amount_threshold,
+            group_by_region,
+            aggregates,
+        })
+}
+
+fn build_catalog(data: &GalaxyData) -> Arc<Catalog> {
+    let catalog = Catalog::new();
+    let customer = Table::new(Schema::new(
+        "customer",
+        vec![Column::int("c_custkey"), Column::str("c_region")],
+    ));
+    for (key, region) in &data.customers {
+        customer
+            .insert(vec![Value::int(*key), Value::str(REGIONS[*region])], SnapshotId::INITIAL)
+            .unwrap();
+    }
+    catalog.add_table(Arc::new(customer));
+
+    let fact_a = Table::new(Schema::new(
+        "purchases",
+        vec![Column::int("p_custkey"), Column::int("p_amount")],
+    ));
+    fact_a.insert_batch_unchecked(
+        data.fact_a.iter().map(|(k, v)| Row::new(vec![Value::int(*k), Value::int(*v)])),
+        SnapshotId::INITIAL,
+    );
+    catalog.add_table(Arc::new(fact_a));
+
+    let fact_b = Table::new(Schema::new(
+        "shipments",
+        vec![Column::int("s_custkey"), Column::int("s_weight")],
+    ));
+    fact_b.insert_batch_unchecked(
+        data.fact_b.iter().map(|(k, v)| Row::new(vec![Value::int(*k), Value::int(*v)])),
+        SnapshotId::INITIAL,
+    );
+    catalog.add_table(Arc::new(fact_b));
+    Arc::new(catalog)
+}
+
+fn build_query(shape: &QueryShape) -> GalaxyQuery {
+    let mut side_a = SideSpec::new("purchases", "p_custkey").join_dimension(
+        "customer",
+        "p_custkey",
+        "c_custkey",
+        match shape.filter_region_a {
+            Some(r) => Predicate::eq("c_region", REGIONS[r]),
+            None => Predicate::True,
+        },
+    );
+    if let Some(threshold) = shape.amount_threshold {
+        side_a = side_a.fact_predicate(Predicate::Compare {
+            column: "p_amount".into(),
+            op: cjoin_query::CompareOp::Ge,
+            value: Value::int(threshold),
+        });
+    }
+    let side_b = SideSpec::new("shipments", "s_custkey");
+
+    let mut builder = GalaxyQuery::builder("prop").side_a(side_a).side_b(side_b);
+    if shape.group_by_region {
+        builder = builder.group_by(Side::A, ColumnRef::dim("customer", "c_region"));
+    }
+    for (func, side) in &shape.aggregates {
+        let column = match side {
+            Side::A => ColumnRef::fact("p_amount"),
+            Side::B => ColumnRef::fact("s_weight"),
+        };
+        builder = builder.aggregate(GalaxyAggregateSpec::over(*func, *side, column));
+    }
+    // Always include COUNT(*) so even aggregate-only shapes have a stable anchor.
+    builder.aggregate(GalaxyAggregateSpec::count_star()).build()
+}
+
+/// Builds a catalog view designating `fact` as the fact table (shares all `Arc`s).
+fn view_with_fact(source: &Arc<Catalog>, fact: &str) -> Catalog {
+    let view = Catalog::new();
+    for name in source.table_names() {
+        if name == fact {
+            view.add_fact_table(source.table(&name).unwrap());
+        } else {
+            view.add_table(source.table(&name).unwrap());
+        }
+    }
+    view
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn decomposition_plus_merge_matches_the_oracle(
+        data in data_strategy(),
+        shape in query_strategy(),
+    ) {
+        let catalog = build_catalog(&data);
+        let query = build_query(&shape);
+
+        let expected = reference::evaluate(&catalog, &query, SnapshotId::INITIAL).unwrap();
+
+        let decomposed = query.decompose().unwrap();
+        let partial_a = cjoin_query::reference::evaluate(
+            &view_with_fact(&catalog, "purchases"),
+            &decomposed.star_a,
+            SnapshotId::INITIAL,
+        )
+        .unwrap();
+        let partial_b = cjoin_query::reference::evaluate(
+            &view_with_fact(&catalog, "shipments"),
+            &decomposed.star_b,
+            SnapshotId::INITIAL,
+        )
+        .unwrap();
+        let merged = merge_results(&partial_a, &partial_b, &decomposed.plan);
+
+        prop_assert!(
+            merged.approx_eq(&expected),
+            "query {:?}\nmerged:\n{}\nexpected:\n{}\ndiff: {:?}",
+            shape,
+            merged,
+            expected,
+            merged.diff(&expected)
+        );
+    }
+}

@@ -1,0 +1,437 @@
+//! Aggregate functions and grouped aggregation.
+//!
+//! The Distributor pipes each surviving fact tuple to the aggregation operators of
+//! the queries whose bit is set (§3.2.2); those operators are ordinary hash-based
+//! GROUP BY / aggregate evaluators. The same [`GroupedAggregator`] is used by the
+//! CJOIN distributor, the query-at-a-time baseline, and the reference oracle, so
+//! result comparisons across engines exercise identical aggregation code.
+
+use std::fmt;
+
+use cjoin_common::FxHashMap;
+use cjoin_storage::{Row, Value};
+
+use crate::result::QueryResult;
+use crate::star::{BoundAggregateSpec, BoundColumnRef, BoundStarQuery};
+
+/// SQL aggregate functions supported by the star-query template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)` or `COUNT(col)` (NULLs excluded for the column form).
+    Count,
+    /// `SUM(col)`
+    Sum,
+    /// `MIN(col)`
+    Min,
+    /// `MAX(col)`
+    Max,
+    /// `AVG(col)`
+    Avg,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A finalized aggregate value.
+///
+/// Sums are carried in 128-bit integers internally (SSB revenue sums overflow `i64`
+/// at larger scale factors when many rows share a group), and averages finalize to
+/// floating point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggValue {
+    /// Integer result (COUNT, SUM, MIN, MAX over integer columns).
+    Int(i128),
+    /// Floating-point result (AVG).
+    Float(f64),
+    /// String result (MIN/MAX over string columns).
+    Str(String),
+    /// No qualifying input rows.
+    Null,
+}
+
+impl AggValue {
+    /// Approximate equality: exact for integers/strings/null, relative tolerance
+    /// `1e-9` for floats. Used when comparing results across engines.
+    pub fn approx_eq(&self, other: &AggValue) -> bool {
+        match (self, other) {
+            (AggValue::Int(a), AggValue::Int(b)) => a == b,
+            (AggValue::Str(a), AggValue::Str(b)) => a == b,
+            (AggValue::Null, AggValue::Null) => true,
+            (AggValue::Float(a), AggValue::Float(b)) => {
+                let scale = a.abs().max(b.abs()).max(1.0);
+                (a - b).abs() <= 1e-9 * scale
+            }
+            // Int/Float cross comparisons occur when one engine keeps an average of an
+            // exact integer; treat them as comparable.
+            (AggValue::Int(a), AggValue::Float(b)) | (AggValue::Float(b), AggValue::Int(a)) => {
+                let a = *a as f64;
+                let scale = a.abs().max(b.abs()).max(1.0);
+                (a - b).abs() <= 1e-9 * scale
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for AggValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggValue::Int(i) => write!(f, "{i}"),
+            AggValue::Float(x) => write!(f, "{x}"),
+            AggValue::Str(s) => write!(f, "{s}"),
+            AggValue::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// Running state of a single aggregate.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(u64),
+    Sum { sum: i128, seen: bool },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: i128, count: u64 },
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum { sum: 0, seen: false },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Avg => AggState::Avg { sum: 0, count: 0 },
+        }
+    }
+
+    fn update(&mut self, value: Option<&Value>) {
+        match self {
+            AggState::Count(c) => {
+                // COUNT(*) passes None; COUNT(col) passes Some and skips NULLs.
+                match value {
+                    None => *c += 1,
+                    Some(v) if !v.is_null() => *c += 1,
+                    Some(_) => {}
+                }
+            }
+            AggState::Sum { sum, seen } => {
+                if let Some(Value::Int(i)) = value {
+                    *sum += i128::from(*i);
+                    *seen = true;
+                }
+            }
+            AggState::Min(cur) => {
+                if let Some(v) = value {
+                    if !v.is_null() && cur.as_ref().map_or(true, |c| v < c) {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if let Some(v) = value {
+                    if !v.is_null() && cur.as_ref().map_or(true, |c| v > c) {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if let Some(Value::Int(i)) = value {
+                    *sum += i128::from(*i);
+                    *count += 1;
+                }
+            }
+        }
+    }
+
+    fn merge(&mut self, other: &AggState) {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::Sum { sum: a, seen: sa }, AggState::Sum { sum: b, seen: sb }) => {
+                *a += b;
+                *sa |= sb;
+            }
+            (AggState::Min(a), AggState::Min(b)) => {
+                if let Some(bv) = b {
+                    if a.as_ref().map_or(true, |av| bv < av) {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (AggState::Max(a), AggState::Max(b)) => {
+                if let Some(bv) = b {
+                    if a.as_ref().map_or(true, |av| bv > av) {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (AggState::Avg { sum: a, count: ca }, AggState::Avg { sum: b, count: cb }) => {
+                *a += b;
+                *ca += cb;
+            }
+            _ => panic!("cannot merge mismatched aggregate states"),
+        }
+    }
+
+    fn finalize(&self) -> AggValue {
+        match self {
+            AggState::Count(c) => AggValue::Int(i128::from(*c)),
+            AggState::Sum { sum, seen } => {
+                if *seen {
+                    AggValue::Int(*sum)
+                } else {
+                    AggValue::Null
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => match v {
+                Some(Value::Int(i)) => AggValue::Int(i128::from(*i)),
+                Some(Value::Str(s)) => AggValue::Str(s.to_string()),
+                Some(Value::Null) | None => AggValue::Null,
+            },
+            AggState::Avg { sum, count } => {
+                if *count == 0 {
+                    AggValue::Null
+                } else {
+                    AggValue::Float(*sum as f64 / *count as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Hash-based GROUP BY / aggregate evaluator for one star query.
+///
+/// The accumulator receives, per qualifying fact tuple, the fact row plus the joining
+/// dimension rows (in the order of the query's dimension clauses); group-by columns
+/// and aggregate inputs may refer to either side.
+#[derive(Debug)]
+pub struct GroupedAggregator {
+    group_by: Vec<BoundColumnRef>,
+    aggregates: Vec<BoundAggregateSpec>,
+    groups: FxHashMap<Vec<Value>, Vec<AggState>>,
+    /// For queries with no GROUP BY we still must output a single row (of NULL/0
+    /// aggregates) even when no tuple qualifies, like SQL does.
+    scalar: bool,
+}
+
+impl GroupedAggregator {
+    /// Creates an aggregator for the given bound query.
+    pub fn new(query: &BoundStarQuery) -> Self {
+        let mut agg = Self {
+            group_by: query.group_by.clone(),
+            aggregates: query.aggregates.clone(),
+            groups: FxHashMap::default(),
+            scalar: query.group_by.is_empty(),
+        };
+        if agg.scalar {
+            agg.groups.insert(Vec::new(), agg.fresh_states());
+        }
+        agg
+    }
+
+    fn fresh_states(&self) -> Vec<AggState> {
+        self.aggregates.iter().map(|a| AggState::new(a.func)).collect()
+    }
+
+    /// Number of groups accumulated so far.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Accumulates one qualifying fact tuple.
+    ///
+    /// `dims[k]` must be the joining row of the query's `k`-th dimension clause;
+    /// `None` is only acceptable if no group-by column or aggregate input refers to
+    /// that dimension.
+    pub fn accumulate(&mut self, fact: &Row, dims: &[Option<&Row>]) {
+        let key: Vec<Value> = self
+            .group_by
+            .iter()
+            .map(|c| c.value(fact, dims).clone())
+            .collect();
+        let states = self
+            .groups
+            .entry(key)
+            .or_insert_with(|| self.aggregates.iter().map(|a| AggState::new(a.func)).collect());
+        for (state, spec) in states.iter_mut().zip(&self.aggregates) {
+            let input = spec.input.as_ref().map(|c| c.value(fact, dims));
+            state.update(input);
+        }
+    }
+
+    /// Merges another aggregator (same query) into this one; used if aggregation is
+    /// ever parallelised per worker.
+    pub fn merge(&mut self, other: GroupedAggregator) {
+        for (key, other_states) in other.groups {
+            match self.groups.get_mut(&key) {
+                Some(states) => {
+                    for (s, o) in states.iter_mut().zip(&other_states) {
+                        s.merge(o);
+                    }
+                }
+                None => {
+                    self.groups.insert(key, other_states);
+                }
+            }
+        }
+    }
+
+    /// Finalizes into a deterministic [`QueryResult`].
+    pub fn finalize(&self) -> QueryResult {
+        let mut result = QueryResult::new(
+            self.group_by.iter().map(|c| c.name.clone()).collect(),
+            self.aggregates.iter().map(|a| a.label()).collect(),
+        );
+        for (key, states) in &self.groups {
+            result.insert(key.clone(), states.iter().map(AggState::finalize).collect());
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::star::tests_support::simple_bound_query;
+
+    fn fact(a: i64, b: i64) -> Row {
+        Row::new(vec![Value::int(a), Value::int(b)])
+    }
+
+    #[test]
+    fn count_sum_min_max_avg_single_group() {
+        // simple_bound_query: group by nothing, aggregates over fact col 1
+        let q = simple_bound_query(vec![], vec![AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg]);
+        let mut agg = GroupedAggregator::new(&q);
+        for v in [10, 20, 30] {
+            agg.accumulate(&fact(1, v), &[]);
+        }
+        let result = agg.finalize();
+        let row = result.rows().next().unwrap();
+        assert_eq!(row.1[0], AggValue::Int(3));
+        assert_eq!(row.1[1], AggValue::Int(60));
+        assert_eq!(row.1[2], AggValue::Int(10));
+        assert_eq!(row.1[3], AggValue::Int(30));
+        assert!(row.1[4].approx_eq(&AggValue::Float(20.0)));
+    }
+
+    #[test]
+    fn group_by_partitions_rows() {
+        // group by fact col 0, SUM(fact col 1)
+        let q = simple_bound_query(vec![0], vec![AggFunc::Sum]);
+        let mut agg = GroupedAggregator::new(&q);
+        agg.accumulate(&fact(1, 10), &[]);
+        agg.accumulate(&fact(2, 5), &[]);
+        agg.accumulate(&fact(1, 7), &[]);
+        let result = agg.finalize();
+        assert_eq!(result.num_rows(), 2);
+        assert_eq!(result.aggregate_for(&[Value::int(1)]).unwrap()[0], AggValue::Int(17));
+        assert_eq!(result.aggregate_for(&[Value::int(2)]).unwrap()[0], AggValue::Int(5));
+        assert_eq!(agg.num_groups(), 2);
+    }
+
+    #[test]
+    fn scalar_query_with_no_input_produces_one_row() {
+        let q = simple_bound_query(vec![], vec![AggFunc::Count, AggFunc::Sum, AggFunc::Avg]);
+        let agg = GroupedAggregator::new(&q);
+        let result = agg.finalize();
+        assert_eq!(result.num_rows(), 1);
+        let row = result.rows().next().unwrap();
+        assert_eq!(row.1[0], AggValue::Int(0));
+        assert_eq!(row.1[1], AggValue::Null);
+        assert_eq!(row.1[2], AggValue::Null);
+    }
+
+    #[test]
+    fn grouped_query_with_no_input_is_empty() {
+        let q = simple_bound_query(vec![0], vec![AggFunc::Count]);
+        let agg = GroupedAggregator::new(&q);
+        assert_eq!(agg.finalize().num_rows(), 0);
+    }
+
+    #[test]
+    fn merge_combines_partial_states() {
+        let q = simple_bound_query(vec![0], vec![AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg]);
+        let mut a = GroupedAggregator::new(&q);
+        let mut b = GroupedAggregator::new(&q);
+        a.accumulate(&fact(1, 10), &[]);
+        a.accumulate(&fact(2, 1), &[]);
+        b.accumulate(&fact(1, 30), &[]);
+        b.accumulate(&fact(3, 7), &[]);
+        a.merge(b);
+        let r = a.finalize();
+        assert_eq!(r.num_rows(), 3);
+        let g1 = r.aggregate_for(&[Value::int(1)]).unwrap();
+        assert_eq!(g1[0], AggValue::Int(2));
+        assert_eq!(g1[1], AggValue::Int(40));
+        assert_eq!(g1[2], AggValue::Int(10));
+        assert_eq!(g1[3], AggValue::Int(30));
+        assert!(g1[4].approx_eq(&AggValue::Float(20.0)));
+        assert_eq!(r.aggregate_for(&[Value::int(3)]).unwrap()[0], AggValue::Int(1));
+    }
+
+    #[test]
+    fn approx_eq_semantics() {
+        assert!(AggValue::Int(5).approx_eq(&AggValue::Int(5)));
+        assert!(!AggValue::Int(5).approx_eq(&AggValue::Int(6)));
+        assert!(AggValue::Float(1.0).approx_eq(&AggValue::Float(1.0 + 1e-12)));
+        assert!(!AggValue::Float(1.0).approx_eq(&AggValue::Float(1.1)));
+        assert!(AggValue::Int(2).approx_eq(&AggValue::Float(2.0)));
+        assert!(AggValue::Null.approx_eq(&AggValue::Null));
+        assert!(!AggValue::Null.approx_eq(&AggValue::Int(0)));
+        assert!(AggValue::Str("a".into()).approx_eq(&AggValue::Str("a".into())));
+        assert!(!AggValue::Str("a".into()).approx_eq(&AggValue::Str("b".into())));
+    }
+
+    #[test]
+    fn agg_func_display() {
+        assert_eq!(AggFunc::Count.to_string(), "COUNT");
+        assert_eq!(AggFunc::Avg.to_string(), "AVG");
+    }
+
+    #[test]
+    fn agg_value_display() {
+        assert_eq!(AggValue::Int(3).to_string(), "3");
+        assert_eq!(AggValue::Null.to_string(), "NULL");
+        assert_eq!(AggValue::Str("x".into()).to_string(), "x");
+    }
+
+    #[test]
+    fn min_max_over_strings() {
+        let q = simple_bound_query(vec![], vec![AggFunc::Min, AggFunc::Max]);
+        // Override aggregate inputs to target a string column: use a custom fact row
+        // where column 1 is a string. simple_bound_query's aggregates read column 1.
+        let mut agg = GroupedAggregator::new(&q);
+        let r1 = Row::new(vec![Value::int(1), Value::str("EUROPE")]);
+        let r2 = Row::new(vec![Value::int(1), Value::str("ASIA")]);
+        agg.accumulate(&r1, &[]);
+        agg.accumulate(&r2, &[]);
+        let result = agg.finalize();
+        let row = result.rows().next().unwrap();
+        assert_eq!(row.1[0], AggValue::Str("ASIA".into()));
+        assert_eq!(row.1[1], AggValue::Str("EUROPE".into()));
+    }
+
+    #[test]
+    fn count_column_skips_nulls_and_sum_ignores_nulls() {
+        let q = simple_bound_query(vec![], vec![AggFunc::Count, AggFunc::Sum]);
+        let mut agg = GroupedAggregator::new(&q);
+        agg.accumulate(&Row::new(vec![Value::int(1), Value::Null]), &[]);
+        agg.accumulate(&Row::new(vec![Value::int(1), Value::int(4)]), &[]);
+        let result = agg.finalize();
+        let row = result.rows().next().unwrap();
+        // COUNT(col) counts only non-null inputs.
+        assert_eq!(row.1[0], AggValue::Int(1));
+        assert_eq!(row.1[1], AggValue::Int(4));
+    }
+}

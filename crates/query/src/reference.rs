@@ -1,0 +1,246 @@
+//! Reference (oracle) evaluator.
+//!
+//! A deliberately simple, single-threaded star-query evaluator used as the
+//! correctness oracle for both engines: build one filtered hash table per referenced
+//! dimension, scan the fact table once, probe, group, aggregate. This is also the
+//! physical plan shape the paper verified both commercial systems use ("a pipeline of
+//! hash joins that filter a single scan of the fact table", §6.1.1) — but here without
+//! any instrumentation, concurrency or I/O accounting, so it stays obviously correct.
+
+use std::sync::Arc;
+
+use cjoin_common::{FxHashMap, Result};
+use cjoin_storage::{Catalog, Row, SnapshotId, TableScan};
+
+use crate::aggregate::GroupedAggregator;
+use crate::result::QueryResult;
+use crate::star::{BoundStarQuery, StarQuery};
+
+/// Evaluates a star query against the catalog at the given default snapshot,
+/// returning its result.
+///
+/// The query's own snapshot (if set) takes precedence over `default_snapshot`.
+///
+/// # Errors
+/// Fails if the query does not bind against the catalog.
+pub fn evaluate(catalog: &Catalog, query: &StarQuery, default_snapshot: SnapshotId) -> Result<QueryResult> {
+    let bound = query.bind(catalog)?;
+    evaluate_bound(catalog, &bound, default_snapshot)
+}
+
+/// Evaluates an already-bound star query.
+///
+/// # Errors
+/// Fails if a referenced table has disappeared from the catalog.
+pub fn evaluate_bound(
+    catalog: &Catalog,
+    query: &BoundStarQuery,
+    default_snapshot: SnapshotId,
+) -> Result<QueryResult> {
+    let snapshot = query.snapshot.unwrap_or(default_snapshot);
+
+    // Build one key -> row hash table per referenced dimension, containing only the
+    // rows that satisfy the query's dimension predicate.
+    let mut dim_tables: Vec<FxHashMap<i64, Row>> = Vec::with_capacity(query.dimensions.len());
+    for clause in &query.dimensions {
+        let table = catalog.table(&clause.table)?;
+        let mut map = FxHashMap::default();
+        table.for_each_visible(snapshot, |_, row| {
+            if clause.predicate.eval(row) {
+                map.insert(row.int(clause.dim_key_column), row.clone());
+            }
+        });
+        dim_tables.push(map);
+    }
+
+    let fact = catalog.fact_table()?;
+    let mut aggregator = GroupedAggregator::new(query);
+    let mut scan = TableScan::new(Arc::clone(&fact), snapshot);
+    let mut dims: Vec<Option<&Row>> = Vec::with_capacity(query.dimensions.len());
+
+    while let Some(batch) = scan.next_batch() {
+        'tuple: for (_, fact_row) in &batch {
+            if !query.fact_predicate_is_true && !query.fact_predicate.eval(fact_row) {
+                continue;
+            }
+            dims.clear();
+            for (clause, table) in query.dimensions.iter().zip(&dim_tables) {
+                let fk = fact_row.int(clause.fact_fk_column);
+                match table.get(&fk) {
+                    Some(dim_row) => dims.push(Some(dim_row)),
+                    None => continue 'tuple,
+                }
+            }
+            aggregator.accumulate(fact_row, &dims);
+        }
+    }
+
+    Ok(aggregator.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{AggFunc, AggValue};
+    use crate::expr::Predicate;
+    use crate::star::{AggregateSpec, ColumnRef};
+    use cjoin_storage::{Column, Schema, Table, Value};
+
+    /// A tiny hand-checkable warehouse:
+    ///   dim_color: 1=red, 2=green, 3=blue
+    ///   fact rows: (fk, amount): (1,10) (1,20) (2,5) (3,7) (2,100)
+    fn tiny_catalog() -> Catalog {
+        let catalog = Catalog::new();
+        let dim = Table::new(Schema::new(
+            "color",
+            vec![Column::int("col_key"), Column::str("col_name")],
+        ));
+        for (k, name) in [(1, "red"), (2, "green"), (3, "blue")] {
+            dim.insert(vec![Value::int(k), Value::str(name)], SnapshotId::INITIAL)
+                .unwrap();
+        }
+        let fact = Table::new(Schema::new(
+            "sales",
+            vec![Column::int("s_colorkey"), Column::int("s_amount")],
+        ));
+        for (fk, amount) in [(1, 10), (1, 20), (2, 5), (3, 7), (2, 100)] {
+            fact.insert(vec![Value::int(fk), Value::int(amount)], SnapshotId::INITIAL)
+                .unwrap();
+        }
+        catalog.add_fact_table(Arc::new(fact));
+        catalog.add_table(Arc::new(dim));
+        catalog
+    }
+
+    #[test]
+    fn grouped_join_aggregation() {
+        let catalog = tiny_catalog();
+        let q = StarQuery::builder("by_color")
+            .join_dimension("color", "s_colorkey", "col_key", Predicate::True)
+            .group_by(ColumnRef::dim("color", "col_name"))
+            .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("s_amount")))
+            .aggregate(AggregateSpec::count_star())
+            .build();
+        let r = evaluate(&catalog, &q, SnapshotId::INITIAL).unwrap();
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(
+            r.aggregate_for(&[Value::str("red")]).unwrap(),
+            &vec![AggValue::Int(30), AggValue::Int(2)]
+        );
+        assert_eq!(
+            r.aggregate_for(&[Value::str("green")]).unwrap(),
+            &vec![AggValue::Int(105), AggValue::Int(2)]
+        );
+        assert_eq!(
+            r.aggregate_for(&[Value::str("blue")]).unwrap(),
+            &vec![AggValue::Int(7), AggValue::Int(1)]
+        );
+    }
+
+    #[test]
+    fn dimension_predicate_filters_fact_tuples() {
+        let catalog = tiny_catalog();
+        let q = StarQuery::builder("only_green")
+            .join_dimension(
+                "color",
+                "s_colorkey",
+                "col_key",
+                Predicate::eq("col_name", "green"),
+            )
+            .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("s_amount")))
+            .build();
+        let r = evaluate(&catalog, &q, SnapshotId::INITIAL).unwrap();
+        assert_eq!(r.num_rows(), 1);
+        let row = r.rows().next().unwrap();
+        assert_eq!(row.1[0], AggValue::Int(105));
+    }
+
+    #[test]
+    fn fact_predicate_applies() {
+        let catalog = tiny_catalog();
+        let q = StarQuery::builder("large_sales")
+            .fact_predicate(Predicate::Compare {
+                column: "s_amount".into(),
+                op: crate::expr::CompareOp::Ge,
+                value: Value::int(10),
+            })
+            .aggregate(AggregateSpec::count_star())
+            .build();
+        let r = evaluate(&catalog, &q, SnapshotId::INITIAL).unwrap();
+        assert_eq!(r.rows().next().unwrap().1[0], AggValue::Int(3));
+    }
+
+    #[test]
+    fn unreferenced_dimension_does_not_filter() {
+        let catalog = tiny_catalog();
+        // No dimension joins at all: a pure fact aggregate over all 5 rows.
+        let q = StarQuery::builder("all")
+            .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("s_amount")))
+            .aggregate(AggregateSpec::over(AggFunc::Min, ColumnRef::fact("s_amount")))
+            .aggregate(AggregateSpec::over(AggFunc::Max, ColumnRef::fact("s_amount")))
+            .build();
+        let r = evaluate(&catalog, &q, SnapshotId::INITIAL).unwrap();
+        let row = r.rows().next().unwrap();
+        assert_eq!(row.1[0], AggValue::Int(142));
+        assert_eq!(row.1[1], AggValue::Int(5));
+        assert_eq!(row.1[2], AggValue::Int(100));
+    }
+
+    #[test]
+    fn dangling_foreign_keys_are_dropped_by_the_join() {
+        let catalog = tiny_catalog();
+        // Add a fact row whose fk points to no dimension row; an inner join drops it.
+        catalog
+            .fact_table()
+            .unwrap()
+            .insert(vec![Value::int(99), Value::int(1000)], SnapshotId::INITIAL)
+            .unwrap();
+        let q = StarQuery::builder("joined_count")
+            .join_dimension("color", "s_colorkey", "col_key", Predicate::True)
+            .aggregate(AggregateSpec::count_star())
+            .build();
+        let r = evaluate(&catalog, &q, SnapshotId::INITIAL).unwrap();
+        assert_eq!(r.rows().next().unwrap().1[0], AggValue::Int(5));
+    }
+
+    #[test]
+    fn snapshot_isolation_respected() {
+        let catalog = tiny_catalog();
+        let fact = catalog.fact_table().unwrap();
+        // New row visible only from snapshot 5.
+        fact.insert(vec![Value::int(1), Value::int(1000)], SnapshotId(5)).unwrap();
+
+        let q = StarQuery::builder("count_all")
+            .aggregate(AggregateSpec::count_star())
+            .build();
+        let before = evaluate(&catalog, &q, SnapshotId::INITIAL).unwrap();
+        assert_eq!(before.rows().next().unwrap().1[0], AggValue::Int(5));
+        let after = evaluate(&catalog, &q, SnapshotId(5)).unwrap();
+        assert_eq!(after.rows().next().unwrap().1[0], AggValue::Int(6));
+
+        // Query pinned to an explicit snapshot overrides the default.
+        let pinned = StarQuery::builder("pinned")
+            .snapshot(SnapshotId(5))
+            .aggregate(AggregateSpec::count_star())
+            .build();
+        let r = evaluate(&catalog, &pinned, SnapshotId::INITIAL).unwrap();
+        assert_eq!(r.rows().next().unwrap().1[0], AggValue::Int(6));
+    }
+
+    #[test]
+    fn empty_result_for_impossible_dimension_predicate() {
+        let catalog = tiny_catalog();
+        let q = StarQuery::builder("none")
+            .join_dimension(
+                "color",
+                "s_colorkey",
+                "col_key",
+                Predicate::eq("col_name", "magenta"),
+            )
+            .group_by(ColumnRef::dim("color", "col_name"))
+            .aggregate(AggregateSpec::count_star())
+            .build();
+        let r = evaluate(&catalog, &q, SnapshotId::INITIAL).unwrap();
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! Minimal calendar arithmetic for the SSB `date` dimension.
+//!
+//! SSB's `date` dimension covers exactly seven calendar years (1992-01-01 to
+//! 1998-12-31, 2 557 days). The dimension's attributes (day of week, week number,
+//! selling season, ...) only need simple proleptic-Gregorian arithmetic, implemented
+//! here without external dependencies.
+
+/// A calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CivilDate {
+    /// Four-digit year.
+    pub year: i32,
+    /// Month, 1–12.
+    pub month: u32,
+    /// Day of month, 1–31.
+    pub day: u32,
+}
+
+/// English month names, index 0 = January.
+pub const MONTH_NAMES: [&str; 12] = [
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+
+/// English weekday names, index 0 = Monday.
+pub const WEEKDAY_NAMES: [&str; 7] = [
+    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday",
+];
+
+/// Returns whether `year` is a leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in the given month.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("invalid month {month}"),
+    }
+}
+
+impl CivilDate {
+    /// Creates a date, panicking on out-of-range components.
+    pub fn new(year: i32, month: u32, day: u32) -> Self {
+        assert!((1..=12).contains(&month), "invalid month {month}");
+        assert!(day >= 1 && day <= days_in_month(year, month), "invalid day {day}");
+        Self { year, month, day }
+    }
+
+    /// Encodes the date as the SSB `yyyymmdd` integer key.
+    pub fn to_datekey(self) -> i64 {
+        i64::from(self.year) * 10_000 + i64::from(self.month) * 100 + i64::from(self.day)
+    }
+
+    /// Decodes an SSB `yyyymmdd` integer key.
+    pub fn from_datekey(key: i64) -> Self {
+        let year = (key / 10_000) as i32;
+        let month = ((key / 100) % 100) as u32;
+        let day = (key % 100) as u32;
+        Self::new(year, month, day)
+    }
+
+    /// Day number since 1970-01-01 (can be negative).
+    pub fn days_from_epoch(self) -> i64 {
+        // Howard Hinnant's days_from_civil algorithm.
+        let y = i64::from(self.year) - i64::from(self.month <= 2);
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let m = i64::from(self.month);
+        let d = i64::from(self.day);
+        let doy = (153 * (m + if m > 2 { -3 } else { 9 }) + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Day of week, 0 = Monday … 6 = Sunday.
+    pub fn weekday(self) -> u32 {
+        // 1970-01-01 was a Thursday (index 3).
+        ((self.days_from_epoch() + 3).rem_euclid(7)) as u32
+    }
+
+    /// The next calendar day.
+    pub fn succ(self) -> Self {
+        if self.day < days_in_month(self.year, self.month) {
+            Self { day: self.day + 1, ..self }
+        } else if self.month < 12 {
+            Self {
+                year: self.year,
+                month: self.month + 1,
+                day: 1,
+            }
+        } else {
+            Self {
+                year: self.year + 1,
+                month: 1,
+                day: 1,
+            }
+        }
+    }
+
+    /// 1-based day number within the year.
+    pub fn day_of_year(self) -> u32 {
+        (1..self.month).map(|m| days_in_month(self.year, m)).sum::<u32>() + self.day
+    }
+
+    /// Week number within the year (1-based, week 1 starts on January 1st).
+    pub fn week_of_year(self) -> u32 {
+        (self.day_of_year() - 1) / 7 + 1
+    }
+}
+
+/// Iterates every day from `start` to `end` inclusive.
+pub fn date_range(start: CivilDate, end: CivilDate) -> impl Iterator<Item = CivilDate> {
+    let mut current = Some(start);
+    std::iter::from_fn(move || {
+        let date = current?;
+        if date > end {
+            current = None;
+            return None;
+        }
+        current = Some(date.succ());
+        Some(date)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(1992));
+        assert!(is_leap_year(1996));
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(1995));
+    }
+
+    #[test]
+    fn month_lengths() {
+        assert_eq!(days_in_month(1992, 2), 29);
+        assert_eq!(days_in_month(1993, 2), 28);
+        assert_eq!(days_in_month(1995, 4), 30);
+        assert_eq!(days_in_month(1995, 12), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid month")]
+    fn invalid_month_panics() {
+        days_in_month(1992, 13);
+    }
+
+    #[test]
+    fn datekey_roundtrip() {
+        let d = CivilDate::new(1994, 7, 15);
+        assert_eq!(d.to_datekey(), 19940715);
+        assert_eq!(CivilDate::from_datekey(19940715), d);
+    }
+
+    #[test]
+    fn weekday_of_known_dates() {
+        // 1992-01-01 was a Wednesday, 1998-12-31 a Thursday, 1970-01-01 a Thursday.
+        assert_eq!(CivilDate::new(1992, 1, 1).weekday(), 2);
+        assert_eq!(CivilDate::new(1998, 12, 31).weekday(), 3);
+        assert_eq!(CivilDate::new(1970, 1, 1).weekday(), 3);
+        assert_eq!(WEEKDAY_NAMES[CivilDate::new(1995, 6, 13).weekday() as usize], "Tuesday");
+    }
+
+    #[test]
+    fn succ_handles_month_and_year_boundaries() {
+        assert_eq!(CivilDate::new(1992, 1, 31).succ(), CivilDate::new(1992, 2, 1));
+        assert_eq!(CivilDate::new(1992, 12, 31).succ(), CivilDate::new(1993, 1, 1));
+        assert_eq!(CivilDate::new(1992, 2, 28).succ(), CivilDate::new(1992, 2, 29));
+        assert_eq!(CivilDate::new(1993, 2, 28).succ(), CivilDate::new(1993, 3, 1));
+    }
+
+    #[test]
+    fn ssb_date_range_has_2557_days() {
+        let count = date_range(CivilDate::new(1992, 1, 1), CivilDate::new(1998, 12, 31)).count();
+        assert_eq!(count, 2557);
+    }
+
+    #[test]
+    fn day_and_week_of_year() {
+        assert_eq!(CivilDate::new(1995, 1, 1).day_of_year(), 1);
+        assert_eq!(CivilDate::new(1995, 12, 31).day_of_year(), 365);
+        assert_eq!(CivilDate::new(1992, 12, 31).day_of_year(), 366);
+        assert_eq!(CivilDate::new(1995, 1, 1).week_of_year(), 1);
+        assert_eq!(CivilDate::new(1995, 1, 8).week_of_year(), 2);
+        assert!(CivilDate::new(1995, 12, 31).week_of_year() <= 53);
+    }
+
+    #[test]
+    fn days_from_epoch_matches_known_values() {
+        assert_eq!(CivilDate::new(1970, 1, 1).days_from_epoch(), 0);
+        assert_eq!(CivilDate::new(1970, 1, 2).days_from_epoch(), 1);
+        assert_eq!(CivilDate::new(1969, 12, 31).days_from_epoch(), -1);
+        assert_eq!(CivilDate::new(2000, 1, 1).days_from_epoch(), 10957);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid day")]
+    fn invalid_day_panics() {
+        CivilDate::new(1993, 2, 29);
+    }
+
+    #[test]
+    fn date_ordering_follows_calendar() {
+        assert!(CivilDate::new(1992, 1, 31) < CivilDate::new(1992, 2, 1));
+        assert!(CivilDate::new(1992, 12, 31) < CivilDate::new(1993, 1, 1));
+    }
+}

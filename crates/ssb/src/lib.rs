@@ -1,0 +1,34 @@
+//! Star Schema Benchmark (SSB) substrate.
+//!
+//! The paper's evaluation (§6) is built entirely on the Star Schema Benchmark of
+//! O'Neil et al.: a `lineorder` fact table joined to `date`, `customer`, `supplier`
+//! and `part` dimensions, with 13 standard queries grouped in 4 flights. This crate
+//! reproduces the pieces the experiments need:
+//!
+//! * [`schema`] — the five SSB table schemas.
+//! * [`dates`] — minimal proleptic-Gregorian calendar arithmetic used to populate the
+//!   `date` dimension.
+//! * [`data`] — a deterministic, seeded generator ([`SsbDataSet`]) parameterised by a
+//!   (possibly fractional) scale factor, mirroring `dbgen`'s cardinalities:
+//!   `lineorder ≈ 6,000,000 × sf`, `customer = 30,000 × sf`, `supplier = 2,000 × sf`,
+//!   `part = 200,000 × (1 + log2(sf))`, `date = 2,557` (7 years).
+//! * [`templates`] — the SSB queries expressed as [`StarQuery`](cjoin_query::StarQuery)
+//!   values. As in the paper, flight 1 (Q1.1–Q1.3) is excluded from workload
+//!   generation because those queries filter the fact table directly and have no
+//!   GROUP BY.
+//! * [`workload`] — the paper's workload generator: templates are turned into
+//!   *abstract* range templates and instantiated with a selectivity parameter `s`
+//!   that controls the fraction of each referenced dimension selected (§6.1.2).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod data;
+pub mod dates;
+pub mod schema;
+pub mod templates;
+pub mod workload;
+
+pub use data::{SsbConfig, SsbDataSet};
+pub use templates::{classic_queries, QueryFlight, SsbTemplate};
+pub use workload::{Workload, WorkloadConfig};

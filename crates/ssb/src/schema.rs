@@ -1,0 +1,191 @@
+//! The five SSB table schemas.
+//!
+//! Column names and order follow the Star Schema Benchmark specification (O'Neil,
+//! O'Neil & Chen). Dates are stored as `yyyymmdd` integers (as `dbgen` emits them),
+//! money amounts as integer cents-free values (SSB uses whole currency units), and
+//! low-cardinality text attributes as strings.
+
+use cjoin_storage::{Column, Schema};
+
+/// Names of the four dimension tables, in the order used throughout the workspace.
+pub const DIMENSION_TABLES: [&str; 4] = ["date", "customer", "supplier", "part"];
+
+/// Name of the fact table.
+pub const FACT_TABLE: &str = "lineorder";
+
+/// Schema of the `lineorder` fact table (17 columns).
+pub fn lineorder_schema() -> Schema {
+    Schema::new(
+        FACT_TABLE,
+        vec![
+            Column::int("lo_orderkey"),
+            Column::int("lo_linenumber"),
+            Column::int("lo_custkey"),
+            Column::int("lo_partkey"),
+            Column::int("lo_suppkey"),
+            Column::int("lo_orderdate"),
+            Column::str("lo_orderpriority"),
+            Column::int("lo_shippriority"),
+            Column::int("lo_quantity"),
+            Column::int("lo_extendedprice"),
+            Column::int("lo_ordtotalprice"),
+            Column::int("lo_discount"),
+            Column::int("lo_revenue"),
+            Column::int("lo_supplycost"),
+            Column::int("lo_tax"),
+            Column::int("lo_commitdate"),
+            Column::str("lo_shipmode"),
+        ],
+    )
+}
+
+/// Schema of the `date` dimension (17 columns).
+pub fn date_schema() -> Schema {
+    Schema::new(
+        "date",
+        vec![
+            Column::int("d_datekey"),
+            Column::str("d_date"),
+            Column::str("d_dayofweek"),
+            Column::str("d_month"),
+            Column::int("d_year"),
+            Column::int("d_yearmonthnum"),
+            Column::str("d_yearmonth"),
+            Column::int("d_daynuminweek"),
+            Column::int("d_daynuminmonth"),
+            Column::int("d_daynuminyear"),
+            Column::int("d_monthnuminyear"),
+            Column::int("d_weeknuminyear"),
+            Column::str("d_sellingseason"),
+            Column::int("d_lastdayinweekfl"),
+            Column::int("d_lastdayinmonthfl"),
+            Column::int("d_holidayfl"),
+            Column::int("d_weekdayfl"),
+        ],
+    )
+}
+
+/// Schema of the `customer` dimension (8 columns).
+pub fn customer_schema() -> Schema {
+    Schema::new(
+        "customer",
+        vec![
+            Column::int("c_custkey"),
+            Column::str("c_name"),
+            Column::str("c_address"),
+            Column::str("c_city"),
+            Column::str("c_nation"),
+            Column::str("c_region"),
+            Column::str("c_phone"),
+            Column::str("c_mktsegment"),
+        ],
+    )
+}
+
+/// Schema of the `supplier` dimension (7 columns).
+pub fn supplier_schema() -> Schema {
+    Schema::new(
+        "supplier",
+        vec![
+            Column::int("s_suppkey"),
+            Column::str("s_name"),
+            Column::str("s_address"),
+            Column::str("s_city"),
+            Column::str("s_nation"),
+            Column::str("s_region"),
+            Column::str("s_phone"),
+        ],
+    )
+}
+
+/// Schema of the `part` dimension (9 columns).
+pub fn part_schema() -> Schema {
+    Schema::new(
+        "part",
+        vec![
+            Column::int("p_partkey"),
+            Column::str("p_name"),
+            Column::str("p_mfgr"),
+            Column::str("p_category"),
+            Column::str("p_brand1"),
+            Column::str("p_color"),
+            Column::str("p_type"),
+            Column::int("p_size"),
+            Column::str("p_container"),
+        ],
+    )
+}
+
+/// Key (dimension primary key, fact foreign key) column-name pairs for each
+/// dimension, used when building star queries over SSB.
+pub fn join_columns(dimension: &str) -> Option<(&'static str, &'static str)> {
+    match dimension {
+        "date" => Some(("d_datekey", "lo_orderdate")),
+        "customer" => Some(("c_custkey", "lo_custkey")),
+        "supplier" => Some(("s_suppkey", "lo_suppkey")),
+        "part" => Some(("p_partkey", "lo_partkey")),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_arities_match_ssb_spec() {
+        assert_eq!(lineorder_schema().arity(), 17);
+        assert_eq!(date_schema().arity(), 17);
+        assert_eq!(customer_schema().arity(), 8);
+        assert_eq!(supplier_schema().arity(), 7);
+        assert_eq!(part_schema().arity(), 9);
+    }
+
+    #[test]
+    fn key_columns_exist_in_schemas() {
+        for dim in DIMENSION_TABLES {
+            let (dim_key, fact_fk) = join_columns(dim).unwrap();
+            let dim_schema = match dim {
+                "date" => date_schema(),
+                "customer" => customer_schema(),
+                "supplier" => supplier_schema(),
+                "part" => part_schema(),
+                _ => unreachable!(),
+            };
+            assert!(dim_schema.column_index(dim_key).is_ok(), "{dim}.{dim_key}");
+            assert!(lineorder_schema().column_index(fact_fk).is_ok(), "{fact_fk}");
+        }
+        assert!(join_columns("nonexistent").is_none());
+    }
+
+    #[test]
+    fn fact_table_name_constant() {
+        assert_eq!(lineorder_schema().table, FACT_TABLE);
+        assert_eq!(DIMENSION_TABLES.len(), 4);
+    }
+
+    #[test]
+    fn query_columns_used_by_templates_exist() {
+        // Spot-check the columns the SSB query flights reference.
+        let d = date_schema();
+        for c in ["d_year", "d_yearmonth", "d_yearmonthnum", "d_weeknuminyear"] {
+            assert!(d.column_index(c).is_ok(), "{c}");
+        }
+        let c = customer_schema();
+        for col in ["c_region", "c_nation", "c_city", "c_mktsegment"] {
+            assert!(c.column_index(col).is_ok(), "{col}");
+        }
+        let s = supplier_schema();
+        for col in ["s_region", "s_nation", "s_city"] {
+            assert!(s.column_index(col).is_ok(), "{col}");
+        }
+        let p = part_schema();
+        for col in ["p_mfgr", "p_category", "p_brand1"] {
+            assert!(p.column_index(col).is_ok(), "{col}");
+        }
+        let lo = lineorder_schema();
+        for col in ["lo_revenue", "lo_supplycost", "lo_discount", "lo_quantity", "lo_extendedprice"] {
+            assert!(lo.column_index(col).is_ok(), "{col}");
+        }
+    }
+}

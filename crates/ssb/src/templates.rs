@@ -1,0 +1,340 @@
+//! The SSB query flights expressed as star queries.
+//!
+//! Two forms are provided:
+//!
+//! * [`classic_queries`] — the benchmark's queries Q2.1–Q4.3 with their original
+//!   literal predicates (useful for examples and correctness tests). Flight 1
+//!   (Q1.1–Q1.3) is omitted, exactly as in the paper's workload generation (§6.1.2):
+//!   those queries filter the fact table directly and have no GROUP BY.
+//! * [`SsbTemplate`] — the abstract templates the workload generator instantiates:
+//!   the join/group-by/aggregate structure of each query with the range predicates
+//!   replaced by abstract ranges whose width is chosen from the selectivity
+//!   parameter `s`.
+//!
+//! One small deviation: flight 4 computes `SUM(lo_revenue - lo_supplycost)`; our
+//! aggregate model evaluates single-column aggregates, so those queries carry two
+//! aggregates (`SUM(lo_revenue)`, `SUM(lo_supplycost)`) instead. The amount of work
+//! per tuple is identical and the profit is the difference of the two columns.
+
+use cjoin_query::{AggFunc, AggregateSpec, ColumnRef, Predicate, StarQuery};
+
+/// The SSB query flights used in the paper's workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryFlight {
+    /// Flight 2: part/supplier drill-down.
+    Flight2,
+    /// Flight 3: customer/supplier geography.
+    Flight3,
+    /// Flight 4: profit queries over all four dimensions.
+    Flight4,
+}
+
+/// An abstract SSB query template: the structure of one benchmark query with
+/// parameterisable dimension predicates.
+#[derive(Debug, Clone)]
+pub struct SsbTemplate {
+    /// Template identifier, e.g. `"Q4.2"`.
+    pub id: &'static str,
+    /// The flight this template belongs to.
+    pub flight: QueryFlight,
+    /// Names of the dimension tables the template joins.
+    pub dimensions: &'static [&'static str],
+    /// GROUP BY columns.
+    pub group_by: Vec<ColumnRef>,
+    /// Aggregates.
+    pub aggregates: Vec<AggregateSpec>,
+}
+
+fn revenue_sum() -> Vec<AggregateSpec> {
+    vec![AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("lo_revenue"))]
+}
+
+fn profit_sums() -> Vec<AggregateSpec> {
+    vec![
+        AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("lo_revenue")),
+        AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("lo_supplycost")),
+    ]
+}
+
+/// Returns the ten workload templates (Q2.1–Q4.3), in benchmark order.
+pub fn workload_templates() -> Vec<SsbTemplate> {
+    vec![
+        SsbTemplate {
+            id: "Q2.1",
+            flight: QueryFlight::Flight2,
+            dimensions: &["date", "part", "supplier"],
+            group_by: vec![ColumnRef::dim("date", "d_year"), ColumnRef::dim("part", "p_brand1")],
+            aggregates: revenue_sum(),
+        },
+        SsbTemplate {
+            id: "Q2.2",
+            flight: QueryFlight::Flight2,
+            dimensions: &["date", "part", "supplier"],
+            group_by: vec![ColumnRef::dim("date", "d_year"), ColumnRef::dim("part", "p_brand1")],
+            aggregates: revenue_sum(),
+        },
+        SsbTemplate {
+            id: "Q2.3",
+            flight: QueryFlight::Flight2,
+            dimensions: &["date", "part", "supplier"],
+            group_by: vec![ColumnRef::dim("date", "d_year"), ColumnRef::dim("part", "p_brand1")],
+            aggregates: revenue_sum(),
+        },
+        SsbTemplate {
+            id: "Q3.1",
+            flight: QueryFlight::Flight3,
+            dimensions: &["customer", "supplier", "date"],
+            group_by: vec![
+                ColumnRef::dim("customer", "c_nation"),
+                ColumnRef::dim("supplier", "s_nation"),
+                ColumnRef::dim("date", "d_year"),
+            ],
+            aggregates: revenue_sum(),
+        },
+        SsbTemplate {
+            id: "Q3.2",
+            flight: QueryFlight::Flight3,
+            dimensions: &["customer", "supplier", "date"],
+            group_by: vec![
+                ColumnRef::dim("customer", "c_city"),
+                ColumnRef::dim("supplier", "s_city"),
+                ColumnRef::dim("date", "d_year"),
+            ],
+            aggregates: revenue_sum(),
+        },
+        SsbTemplate {
+            id: "Q3.3",
+            flight: QueryFlight::Flight3,
+            dimensions: &["customer", "supplier", "date"],
+            group_by: vec![
+                ColumnRef::dim("customer", "c_city"),
+                ColumnRef::dim("supplier", "s_city"),
+                ColumnRef::dim("date", "d_year"),
+            ],
+            aggregates: revenue_sum(),
+        },
+        SsbTemplate {
+            id: "Q3.4",
+            flight: QueryFlight::Flight3,
+            dimensions: &["customer", "supplier", "date"],
+            group_by: vec![
+                ColumnRef::dim("customer", "c_city"),
+                ColumnRef::dim("supplier", "s_city"),
+                ColumnRef::dim("date", "d_year"),
+            ],
+            aggregates: revenue_sum(),
+        },
+        SsbTemplate {
+            id: "Q4.1",
+            flight: QueryFlight::Flight4,
+            dimensions: &["customer", "supplier", "part", "date"],
+            group_by: vec![
+                ColumnRef::dim("date", "d_year"),
+                ColumnRef::dim("customer", "c_nation"),
+            ],
+            aggregates: profit_sums(),
+        },
+        SsbTemplate {
+            id: "Q4.2",
+            flight: QueryFlight::Flight4,
+            dimensions: &["customer", "supplier", "part", "date"],
+            group_by: vec![
+                ColumnRef::dim("date", "d_year"),
+                ColumnRef::dim("supplier", "s_nation"),
+                ColumnRef::dim("part", "p_category"),
+            ],
+            aggregates: profit_sums(),
+        },
+        SsbTemplate {
+            id: "Q4.3",
+            flight: QueryFlight::Flight4,
+            dimensions: &["customer", "supplier", "part", "date"],
+            group_by: vec![
+                ColumnRef::dim("date", "d_year"),
+                ColumnRef::dim("supplier", "s_city"),
+                ColumnRef::dim("part", "p_brand1"),
+            ],
+            aggregates: profit_sums(),
+        },
+    ]
+}
+
+/// Looks up a workload template by id (e.g. `"Q4.2"`).
+pub fn template_by_id(id: &str) -> Option<SsbTemplate> {
+    workload_templates().into_iter().find(|t| t.id == id)
+}
+
+fn builder_for(template: &SsbTemplate, name: String) -> cjoin_query::StarQueryBuilder {
+    let mut b = StarQuery::builder(name);
+    for g in &template.group_by {
+        b = b.group_by(g.clone());
+    }
+    for a in &template.aggregates {
+        b = b.aggregate(a.clone());
+    }
+    b
+}
+
+/// Builds the ten classic SSB queries (original literal predicates).
+pub fn classic_queries() -> Vec<StarQuery> {
+    let templates = workload_templates();
+    let t = |id: &str| templates.iter().find(|t| t.id == id).expect("template").clone();
+
+    let join = |b: cjoin_query::StarQueryBuilder, dim: &str, pred: Predicate| {
+        let (dim_key, fact_fk) = crate::schema::join_columns(dim).expect("known dimension");
+        b.join_dimension(dim, fact_fk, dim_key, pred)
+    };
+
+    let mut queries = Vec::new();
+
+    // Flight 2 — part category / brand drill-down with a supplier region filter.
+    {
+        let tmpl = t("Q2.1");
+        let b = builder_for(&tmpl, "Q2.1".into());
+        let b = join(b, "date", Predicate::True);
+        let b = join(b, "part", Predicate::eq("p_category", "MFGR#12"));
+        let b = join(b, "supplier", Predicate::eq("s_region", "AMERICA"));
+        queries.push(b.build());
+
+        let tmpl = t("Q2.2");
+        let b = builder_for(&tmpl, "Q2.2".into());
+        let b = join(b, "date", Predicate::True);
+        let b = join(b, "part", Predicate::between("p_brand1", "MFGR#2221", "MFGR#2228"));
+        let b = join(b, "supplier", Predicate::eq("s_region", "ASIA"));
+        queries.push(b.build());
+
+        let tmpl = t("Q2.3");
+        let b = builder_for(&tmpl, "Q2.3".into());
+        let b = join(b, "date", Predicate::True);
+        let b = join(b, "part", Predicate::eq("p_brand1", "MFGR#2239"));
+        let b = join(b, "supplier", Predicate::eq("s_region", "EUROPE"));
+        queries.push(b.build());
+    }
+
+    // Flight 3 — customer/supplier geography over a date range.
+    {
+        let tmpl = t("Q3.1");
+        let b = builder_for(&tmpl, "Q3.1".into());
+        let b = join(b, "customer", Predicate::eq("c_region", "ASIA"));
+        let b = join(b, "supplier", Predicate::eq("s_region", "ASIA"));
+        let b = join(b, "date", Predicate::between("d_year", 1992, 1997));
+        queries.push(b.build());
+
+        let tmpl = t("Q3.2");
+        let b = builder_for(&tmpl, "Q3.2".into());
+        let b = join(b, "customer", Predicate::eq("c_nation", "UNITED STATES"));
+        let b = join(b, "supplier", Predicate::eq("s_nation", "UNITED STATES"));
+        let b = join(b, "date", Predicate::between("d_year", 1992, 1997));
+        queries.push(b.build());
+
+        let tmpl = t("Q3.3");
+        let b = builder_for(&tmpl, "Q3.3".into());
+        let cities = vec!["UNITED KI1", "UNITED KI5"];
+        let b = join(b, "customer", Predicate::in_list("c_city", cities.clone()));
+        let b = join(b, "supplier", Predicate::in_list("s_city", cities));
+        let b = join(b, "date", Predicate::between("d_year", 1992, 1997));
+        queries.push(b.build());
+
+        let tmpl = t("Q3.4");
+        let b = builder_for(&tmpl, "Q3.4".into());
+        let cities = vec!["UNITED KI1", "UNITED KI5"];
+        let b = join(b, "customer", Predicate::in_list("c_city", cities.clone()));
+        let b = join(b, "supplier", Predicate::in_list("s_city", cities));
+        let b = join(b, "date", Predicate::eq("d_yearmonth", "Dec1997"));
+        queries.push(b.build());
+    }
+
+    // Flight 4 — profit queries over all four dimensions.
+    {
+        let tmpl = t("Q4.1");
+        let b = builder_for(&tmpl, "Q4.1".into());
+        let b = join(b, "customer", Predicate::eq("c_region", "AMERICA"));
+        let b = join(b, "supplier", Predicate::eq("s_region", "AMERICA"));
+        let b = join(b, "part", Predicate::in_list("p_mfgr", vec!["MFGR#1", "MFGR#2"]));
+        let b = join(b, "date", Predicate::True);
+        queries.push(b.build());
+
+        let tmpl = t("Q4.2");
+        let b = builder_for(&tmpl, "Q4.2".into());
+        let b = join(b, "customer", Predicate::eq("c_region", "AMERICA"));
+        let b = join(b, "supplier", Predicate::eq("s_region", "AMERICA"));
+        let b = join(b, "part", Predicate::in_list("p_mfgr", vec!["MFGR#1", "MFGR#2"]));
+        let b = join(b, "date", Predicate::in_list("d_year", vec![1997i64, 1998]));
+        queries.push(b.build());
+
+        let tmpl = t("Q4.3");
+        let b = builder_for(&tmpl, "Q4.3".into());
+        let b = join(b, "customer", Predicate::eq("c_region", "AMERICA"));
+        let b = join(b, "supplier", Predicate::eq("s_nation", "UNITED STATES"));
+        let b = join(b, "part", Predicate::eq("p_category", "MFGR#14"));
+        let b = join(b, "date", Predicate::in_list("d_year", vec![1997i64, 1998]));
+        queries.push(b.build());
+    }
+
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{SsbConfig, SsbDataSet};
+    use cjoin_storage::SnapshotId;
+
+    #[test]
+    fn ten_workload_templates_in_flights_2_to_4() {
+        let ts = workload_templates();
+        assert_eq!(ts.len(), 10);
+        assert_eq!(ts.iter().filter(|t| t.flight == QueryFlight::Flight2).count(), 3);
+        assert_eq!(ts.iter().filter(|t| t.flight == QueryFlight::Flight3).count(), 4);
+        assert_eq!(ts.iter().filter(|t| t.flight == QueryFlight::Flight4).count(), 3);
+        // Every template joins 3 or 4 dimensions and has at least one aggregate.
+        for t in &ts {
+            assert!((3..=4).contains(&t.dimensions.len()), "{}", t.id);
+            assert!(!t.aggregates.is_empty(), "{}", t.id);
+            assert!(!t.group_by.is_empty(), "{}", t.id);
+        }
+    }
+
+    #[test]
+    fn template_lookup_by_id() {
+        assert_eq!(template_by_id("Q4.2").unwrap().dimensions.len(), 4);
+        assert!(template_by_id("Q1.1").is_none());
+        assert!(template_by_id("nope").is_none());
+    }
+
+    #[test]
+    fn classic_queries_bind_against_generated_data() {
+        let ds = SsbDataSet::generate(SsbConfig::new(0.001, 3));
+        let catalog = ds.catalog();
+        let queries = classic_queries();
+        assert_eq!(queries.len(), 10);
+        for q in &queries {
+            q.bind(&catalog).unwrap_or_else(|e| panic!("{} does not bind: {e}", q.name));
+        }
+    }
+
+    #[test]
+    fn classic_queries_produce_plausible_results() {
+        let ds = SsbDataSet::generate(SsbConfig::new(0.002, 3));
+        let catalog = ds.catalog();
+        // Q3.1 (region = ASIA on both sides, 6 of 7 years) must select a reasonable
+        // number of groups; Q2.1 groups by (year, brand) and must produce rows too.
+        for q in classic_queries().iter().filter(|q| q.name == "Q2.1" || q.name == "Q3.1") {
+            let result = cjoin_query::reference::evaluate(&catalog, q, SnapshotId::INITIAL).unwrap();
+            assert!(
+                !result.is_empty(),
+                "{} returned an empty result on generated data",
+                q.name
+            );
+        }
+    }
+
+    #[test]
+    fn flight4_queries_group_by_year() {
+        for q in classic_queries().iter().filter(|q| q.name.starts_with("Q4")) {
+            assert_eq!(q.group_by[0], ColumnRef::dim("date", "d_year"));
+            assert_eq!(q.aggregates.len(), 2, "profit = SUM(revenue) - SUM(supplycost)");
+            assert_eq!(q.dimensions.len(), 4);
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Selectivity-controlled workload generation.
+//!
+//! The paper's methodology (§6.1.2): each benchmark query is turned into a template
+//! by replacing its range predicates with abstract ranges; a workload query is
+//! created by sampling a template and substituting concrete ranges chosen so that a
+//! fraction `s` of each referenced dimension is selected. The parameter `s` thereby
+//! controls how many dimension tuples each query loads into CJOIN's dimension hash
+//! tables (and how large the baseline's per-query hash tables become).
+//!
+//! Concretely, for every dimension a template joins we generate a contiguous range
+//! predicate over the dimension's primary-key space whose width is `⌈s × |D|⌉`,
+//! placed uniformly at random. The template's join structure, GROUP BY columns and
+//! aggregates are kept verbatim.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cjoin_query::{Predicate, StarQuery};
+
+use crate::data::SsbDataSet;
+use crate::schema::join_columns;
+use crate::templates::{workload_templates, SsbTemplate};
+
+/// Configuration of a generated workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of queries to generate.
+    pub num_queries: usize,
+    /// Fraction of each referenced dimension selected by each query (the paper's
+    /// `s`, e.g. `0.01` for 1 %).
+    pub selectivity: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Restrict generation to these template ids (e.g. `["Q4.2"]` for the
+    /// predictability experiment). Empty means "all ten templates".
+    pub template_ids: Vec<&'static str>,
+}
+
+impl WorkloadConfig {
+    /// A workload of `num_queries` queries at the given selectivity.
+    pub fn new(num_queries: usize, selectivity: f64, seed: u64) -> Self {
+        Self {
+            num_queries,
+            selectivity,
+            seed,
+            template_ids: Vec::new(),
+        }
+    }
+
+    /// Restricts the workload to a single template (e.g. `"Q4.2"`).
+    pub fn with_template(mut self, id: &'static str) -> Self {
+        self.template_ids = vec![id];
+        self
+    }
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self::new(32, 0.01, 0xC01)
+    }
+}
+
+/// A generated workload: star queries plus the template each one came from.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    queries: Vec<StarQuery>,
+    template_ids: Vec<&'static str>,
+    config: WorkloadConfig,
+}
+
+impl Workload {
+    /// Generates a workload against the given data set.
+    pub fn generate(data: &SsbDataSet, config: WorkloadConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let all_templates = workload_templates();
+        let templates: Vec<SsbTemplate> = if config.template_ids.is_empty() {
+            all_templates
+        } else {
+            all_templates
+                .into_iter()
+                .filter(|t| config.template_ids.contains(&t.id))
+                .collect()
+        };
+        assert!(!templates.is_empty(), "no matching workload templates");
+
+        let mut queries = Vec::with_capacity(config.num_queries);
+        let mut template_ids = Vec::with_capacity(config.num_queries);
+        for i in 0..config.num_queries {
+            let template = &templates[rng.gen_range(0..templates.len())];
+            queries.push(instantiate(template, data, config.selectivity, i, &mut rng));
+            template_ids.push(template.id);
+        }
+        Self {
+            queries,
+            template_ids,
+            config,
+        }
+    }
+
+    /// The generated queries, in submission order.
+    pub fn queries(&self) -> &[StarQuery] {
+        &self.queries
+    }
+
+    /// The template id each query was instantiated from (parallel to
+    /// [`Workload::queries`]).
+    pub fn template_ids(&self) -> &[&'static str] {
+        &self.template_ids
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The configuration used to generate the workload.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+}
+
+/// Instantiates one query from a template at the given selectivity.
+fn instantiate(
+    template: &SsbTemplate,
+    data: &SsbDataSet,
+    selectivity: f64,
+    index: usize,
+    rng: &mut StdRng,
+) -> StarQuery {
+    let selectivity = selectivity.clamp(0.0, 1.0);
+    let mut builder = StarQuery::builder(format!("{}#{index}", template.id));
+    for dim in template.dimensions {
+        let (dim_key, fact_fk) = join_columns(dim).expect("known dimension");
+        let predicate = dimension_range_predicate(dim, dim_key, data, selectivity, rng);
+        builder = builder.join_dimension(*dim, fact_fk, dim_key, predicate);
+    }
+    for g in &template.group_by {
+        builder = builder.group_by(g.clone());
+    }
+    for a in &template.aggregates {
+        builder = builder.aggregate(a.clone());
+    }
+    builder.build()
+}
+
+/// Builds a contiguous key-range predicate selecting ≈ `selectivity` of `dim`.
+fn dimension_range_predicate(
+    dim: &str,
+    key_column: &str,
+    data: &SsbDataSet,
+    selectivity: f64,
+    rng: &mut StdRng,
+) -> Predicate {
+    if selectivity >= 1.0 {
+        return Predicate::True;
+    }
+    match dim {
+        // Date keys are not dense integers (yyyymmdd), so the window is chosen over
+        // the sorted key list and expressed as a BETWEEN over its endpoints.
+        "date" => {
+            let keys = data.date_keys();
+            let width = ((keys.len() as f64 * selectivity).ceil() as usize).clamp(1, keys.len());
+            let start = rng.gen_range(0..=keys.len() - width);
+            Predicate::between("d_datekey", keys[start], keys[start + width - 1])
+        }
+        // Customer, supplier and part keys are dense 1..=N.
+        _ => {
+            let n = match dim {
+                "customer" => data.num_customers(),
+                "supplier" => data.num_suppliers(),
+                "part" => data.num_parts(),
+                other => panic!("unknown dimension {other}"),
+            } as i64;
+            let width = ((n as f64 * selectivity).ceil() as i64).clamp(1, n);
+            let start = rng.gen_range(1..=n - width + 1);
+            Predicate::between(key_column, start, start + width - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SsbConfig;
+    use cjoin_storage::SnapshotId;
+
+    fn data() -> SsbDataSet {
+        SsbDataSet::generate(SsbConfig::new(0.001, 11))
+    }
+
+    #[test]
+    fn generates_requested_number_of_queries() {
+        let ds = data();
+        let w = Workload::generate(&ds, WorkloadConfig::new(17, 0.01, 1));
+        assert_eq!(w.len(), 17);
+        assert_eq!(w.queries().len(), 17);
+        assert_eq!(w.template_ids().len(), 17);
+        assert!(!w.is_empty());
+        assert_eq!(w.config().num_queries, 17);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let ds = data();
+        let a = Workload::generate(&ds, WorkloadConfig::new(8, 0.05, 99));
+        let b = Workload::generate(&ds, WorkloadConfig::new(8, 0.05, 99));
+        assert_eq!(a.queries(), b.queries());
+        let c = Workload::generate(&ds, WorkloadConfig::new(8, 0.05, 100));
+        assert_ne!(a.queries(), c.queries());
+    }
+
+    #[test]
+    fn all_generated_queries_bind() {
+        let ds = data();
+        let catalog = ds.catalog();
+        let w = Workload::generate(&ds, WorkloadConfig::new(32, 0.02, 5));
+        for q in w.queries() {
+            q.bind(&catalog).unwrap_or_else(|e| panic!("{} does not bind: {e}", q.name));
+        }
+    }
+
+    #[test]
+    fn template_restriction_is_honoured() {
+        let ds = data();
+        let w = Workload::generate(&ds, WorkloadConfig::new(12, 0.01, 2).with_template("Q4.2"));
+        assert!(w.template_ids().iter().all(|id| *id == "Q4.2"));
+        assert!(w.queries().iter().all(|q| q.name.starts_with("Q4.2#")));
+        assert!(w.queries().iter().all(|q| q.dimensions.len() == 4));
+    }
+
+    #[test]
+    fn selectivity_controls_dimension_fraction() {
+        let ds = data();
+        let catalog = ds.catalog();
+        let count_selected = |selectivity: f64| -> f64 {
+            let w = Workload::generate(
+                &ds,
+                WorkloadConfig::new(20, selectivity, 7).with_template("Q3.1"),
+            );
+            let mut fractions = Vec::new();
+            for q in w.queries() {
+                let clause = q.dimension("customer").unwrap();
+                let table = catalog.table("customer").unwrap();
+                let bound = clause.predicate.bind(table.schema()).unwrap();
+                let selected = table.select(SnapshotId::INITIAL, |row| bound.eval(row)).len();
+                fractions.push(selected as f64 / table.len() as f64);
+            }
+            fractions.iter().sum::<f64>() / fractions.len() as f64
+        };
+        let low = count_selected(0.01);
+        let high = count_selected(0.10);
+        assert!(low < high, "higher s must select more tuples ({low} vs {high})");
+        assert!((0.001..=0.05).contains(&low), "s=1% actual {low}");
+        assert!((0.05..=0.20).contains(&high), "s=10% actual {high}");
+    }
+
+    #[test]
+    fn full_selectivity_means_no_filtering() {
+        let ds = data();
+        let w = Workload::generate(&ds, WorkloadConfig::new(5, 1.0, 3));
+        for q in w.queries() {
+            for clause in &q.dimensions {
+                assert!(clause.predicate.is_true());
+            }
+        }
+    }
+
+    #[test]
+    fn queries_have_unique_names() {
+        let ds = data();
+        let w = Workload::generate(&ds, WorkloadConfig::new(64, 0.01, 4));
+        let mut names: Vec<_> = w.queries().iter().map(|q| q.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 64);
+    }
+
+    #[test]
+    fn default_config_is_reasonable() {
+        let c = WorkloadConfig::default();
+        assert_eq!(c.num_queries, 32);
+        assert!((c.selectivity - 0.01).abs() < 1e-12);
+        assert!(c.template_ids.is_empty());
+    }
+}

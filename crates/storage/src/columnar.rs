@@ -1,0 +1,696 @@
+//! Columnar storage of a table, with optional per-column compression.
+//!
+//! §5 of the paper ("Column Stores") points out that CJOIN adapts naturally to a
+//! columnar warehouse: the continuous fact-table scan becomes a continuous scan/merge
+//! of *only those columns that the current query mix accesses*, which reduces the
+//! volume of data the shared scan moves. This module provides that substrate:
+//!
+//! * [`ColumnarTable`] — a column-oriented, read-optimised copy of a [`Table`]
+//!   snapshot. String columns are dictionary-encoded and integer columns are
+//!   run-length encoded when beneficial (see [`CompressionPolicy`]).
+//! * [`ColumnarContinuousScan`] — the circular scan over a columnar table. It has the
+//!   same wrap-around semantics as [`crate::ContinuousScan`] (stable row order,
+//!   batches never cross the wrap point) but materialises only a projected subset of
+//!   the columns; the untouched columns are returned as NULL and their bytes are never
+//!   read.
+//! * [`ScanVolume`] — accounting of the bytes each scan actually touched, so the
+//!   experiment harness can compare row-store and column-store scan volume.
+//!
+//! The columnar table is a *read-optimised replica*: it captures the rows visible in
+//! the source table at build time (all versions, with their visibility metadata), the
+//! way a column-store warehouse would maintain a read-optimised partition alongside a
+//! write-optimised store.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cjoin_common::{Error, Result};
+
+use crate::compress::{DictColumn, RleVec};
+use crate::row::{Row, RowId};
+use crate::schema::{ColumnId, ColumnType, Schema};
+use crate::scan::ScanBatch;
+use crate::snapshot::{RowVersion, SnapshotId};
+use crate::table::Table;
+use crate::value::Value;
+
+/// How aggressively [`ColumnarTable::from_table`] compresses each column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompressionPolicy {
+    /// Store integer columns as plain vectors and string columns dictionary-encoded
+    /// (dictionary encoding is always a win for the `Arc<str>`-based row model).
+    #[default]
+    Plain,
+    /// Additionally run-length encode integer columns when RLE actually shrinks them
+    /// (fewer than half as many runs as rows).
+    Adaptive,
+}
+
+/// One column of a [`ColumnarTable`].
+#[derive(Debug, Clone)]
+enum ColumnData {
+    /// Plain integer column with an optional null bitmap (allocated only when the
+    /// column actually contains NULLs).
+    IntPlain { values: Vec<i64>, nulls: Option<Vec<bool>> },
+    /// Run-length encoded integer column (only used when the column has no NULLs).
+    IntRle(RleVec),
+    /// Dictionary-encoded string column with an optional null bitmap.
+    Str { codes: DictColumn, nulls: Option<Vec<bool>> },
+}
+
+fn is_null(nulls: &Option<Vec<bool>>, row: usize) -> bool {
+    nulls.as_ref().is_some_and(|n| n.get(row).copied().unwrap_or(false))
+}
+
+fn null_bitmap_bytes(nulls: &Option<Vec<bool>>) -> u64 {
+    nulls.as_ref().map_or(0, |n| n.len() as u64 / 8)
+}
+
+impl ColumnData {
+    fn value(&self, row: usize) -> Value {
+        match self {
+            ColumnData::IntPlain { values, nulls } => {
+                if is_null(nulls, row) {
+                    Value::Null
+                } else {
+                    Value::Int(values[row])
+                }
+            }
+            ColumnData::IntRle(v) => v.get(row).map_or(Value::Null, Value::Int),
+            ColumnData::Str { codes, nulls } => {
+                if is_null(nulls, row) {
+                    Value::Null
+                } else {
+                    codes.get(row).map_or(Value::Null, Value::Str)
+                }
+            }
+        }
+    }
+
+    /// Approximate heap footprint of the encoded column.
+    fn encoded_bytes(&self) -> u64 {
+        match self {
+            ColumnData::IntPlain { values, nulls } => {
+                (values.len() * std::mem::size_of::<i64>()) as u64 + null_bitmap_bytes(nulls)
+            }
+            ColumnData::IntRle(v) => v.encoded_bytes(),
+            ColumnData::Str { codes, nulls } => codes.encoded_bytes() + null_bitmap_bytes(nulls),
+        }
+    }
+
+    /// Heap footprint of the same data in the row-store representation.
+    fn plain_bytes(&self) -> u64 {
+        match self {
+            ColumnData::IntPlain { values, .. } => (values.len() * std::mem::size_of::<i64>()) as u64,
+            ColumnData::IntRle(v) => v.plain_bytes(),
+            ColumnData::Str { codes, .. } => codes.plain_bytes(),
+        }
+    }
+}
+
+/// A read-optimised, column-oriented copy of a table.
+#[derive(Debug)]
+pub struct ColumnarTable {
+    schema: Schema,
+    columns: Vec<ColumnData>,
+    versions: Vec<RowVersion>,
+    policy: CompressionPolicy,
+}
+
+impl ColumnarTable {
+    /// Builds a columnar replica of `table`, capturing every stored row version.
+    ///
+    /// # Errors
+    /// Returns a type-mismatch error if a stored row does not match the schema (which
+    /// indicates a corrupted source table).
+    pub fn from_table(table: &Table, policy: CompressionPolicy) -> Result<Self> {
+        let schema = table.schema().clone();
+        let arity = schema.arity();
+        let len = table.len();
+
+        // Gather all rows once, in RowId order (the order every scan uses).
+        let mut rows = Vec::with_capacity(len);
+        let mut buffer = Vec::new();
+        let mut position = 0u64;
+        loop {
+            buffer.clear();
+            let read = table.read_range(position, 8192, &mut buffer);
+            if read == 0 {
+                break;
+            }
+            position += read as u64;
+            rows.append(&mut buffer);
+        }
+
+        let versions: Vec<RowVersion> = rows.iter().map(|(_, _, v)| *v).collect();
+
+        let mut columns = Vec::with_capacity(arity);
+        for (col_idx, column) in schema.columns().iter().enumerate() {
+            let data = match column.ty {
+                ColumnType::Int => {
+                    let mut values: Vec<i64> = Vec::with_capacity(len);
+                    let mut nulls: Option<Vec<bool>> = None;
+                    for (i, (_, row, _)) in rows.iter().enumerate() {
+                        match row.get(col_idx) {
+                            Value::Int(v) => values.push(*v),
+                            Value::Null => {
+                                nulls.get_or_insert_with(|| vec![false; len])[i] = true;
+                                values.push(0);
+                            }
+                            other => {
+                                return Err(Error::type_mismatch(format!(
+                                    "column {} of table {}: expected Int, found {other:?}",
+                                    column.name, schema.table
+                                )))
+                            }
+                        }
+                    }
+                    if policy == CompressionPolicy::Adaptive && nulls.is_none() {
+                        let rle = RleVec::from_slice(&values);
+                        if rle.num_runs() * 2 < rle.len().max(1) {
+                            ColumnData::IntRle(rle)
+                        } else {
+                            ColumnData::IntPlain { values, nulls }
+                        }
+                    } else {
+                        ColumnData::IntPlain { values, nulls }
+                    }
+                }
+                ColumnType::Str => {
+                    let mut codes = DictColumn::new();
+                    let mut nulls: Option<Vec<bool>> = None;
+                    for (i, (_, row, _)) in rows.iter().enumerate() {
+                        match row.get(col_idx) {
+                            Value::Str(s) => codes.push(s),
+                            Value::Null => {
+                                nulls.get_or_insert_with(|| vec![false; len])[i] = true;
+                                codes.push("");
+                            }
+                            other => {
+                                return Err(Error::type_mismatch(format!(
+                                    "column {} of table {}: expected Str, found {other:?}",
+                                    column.name, schema.table
+                                )))
+                            }
+                        }
+                    }
+                    ColumnData::Str { codes, nulls }
+                }
+            };
+            columns.push(data);
+        }
+
+        Ok(Self {
+            schema,
+            columns,
+            versions,
+            policy,
+        })
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.schema.table
+    }
+
+    /// The compression policy the table was built with.
+    pub fn policy(&self) -> CompressionPolicy {
+        self.policy
+    }
+
+    /// Number of stored rows (all versions).
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Whether the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Returns the value of `column` at `row`, or `None` when the row is out of range.
+    ///
+    /// # Panics
+    /// Panics if `column` is out of range for the schema.
+    pub fn value(&self, row: usize, column: ColumnId) -> Option<Value> {
+        if row >= self.len() {
+            return None;
+        }
+        Some(self.columns[column].value(row))
+    }
+
+    /// Materialises the full-width row at `row`, or `None` when out of range.
+    pub fn row(&self, row: usize) -> Option<Row> {
+        if row >= self.len() {
+            return None;
+        }
+        Some(Row::new(
+            (0..self.schema.arity()).map(|c| self.columns[c].value(row)).collect(),
+        ))
+    }
+
+    /// Visibility metadata of the row at `row`.
+    pub fn version(&self, row: usize) -> Option<RowVersion> {
+        self.versions.get(row).copied()
+    }
+
+    /// Visits every row visible at `snapshot`, materialising only the projected
+    /// columns (the rest read as NULL). Used by admission-time dimension loading when
+    /// dimensions are stored columnar.
+    pub fn for_each_visible_projected<F: FnMut(RowId, &Row)>(
+        &self,
+        snapshot: SnapshotId,
+        projection: &[ColumnId],
+        mut f: F,
+    ) {
+        for i in 0..self.len() {
+            if self.versions[i].visible_at(snapshot) {
+                let row = self.project_row(i, projection);
+                f(RowId(i as u64), &row);
+            }
+        }
+    }
+
+    /// Materialises a row with only the projected columns populated; all other
+    /// columns are NULL. Column positions are preserved so bound column indices keep
+    /// working.
+    pub fn project_row(&self, row: usize, projection: &[ColumnId]) -> Row {
+        let mut values = vec![Value::Null; self.schema.arity()];
+        for &c in projection {
+            values[c] = self.columns[c].value(row);
+        }
+        Row::new(values)
+    }
+
+    /// Approximate encoded heap footprint of one column, in bytes.
+    pub fn column_encoded_bytes(&self, column: ColumnId) -> u64 {
+        self.columns[column].encoded_bytes()
+    }
+
+    /// Approximate heap footprint of one column in the row-store representation.
+    pub fn column_plain_bytes(&self, column: ColumnId) -> u64 {
+        self.columns[column].plain_bytes()
+    }
+
+    /// Total encoded footprint across all columns.
+    pub fn total_encoded_bytes(&self) -> u64 {
+        self.columns.iter().map(ColumnData::encoded_bytes).sum()
+    }
+
+    /// Total row-store footprint across all columns.
+    pub fn total_plain_bytes(&self) -> u64 {
+        self.columns.iter().map(ColumnData::plain_bytes).sum()
+    }
+
+    /// Overall compression ratio (`plain / encoded`); 1.0 for an empty table.
+    pub fn compression_ratio(&self) -> f64 {
+        let encoded = self.total_encoded_bytes();
+        if encoded == 0 {
+            return 1.0;
+        }
+        self.total_plain_bytes() as f64 / encoded as f64
+    }
+
+    /// Resolves column names into a projection list.
+    ///
+    /// # Errors
+    /// Returns [`Error::UnknownColumn`] for any name not in the schema.
+    pub fn projection_of(&self, columns: &[&str]) -> Result<Vec<ColumnId>> {
+        columns.iter().map(|name| self.schema.column_index(name)).collect()
+    }
+}
+
+/// Byte-level accounting of what a columnar scan actually read.
+#[derive(Debug, Default)]
+pub struct ScanVolume {
+    bytes_scanned: AtomicU64,
+    rows_scanned: AtomicU64,
+}
+
+impl ScanVolume {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes of column data touched so far.
+    pub fn bytes_scanned(&self) -> u64 {
+        self.bytes_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Rows produced so far.
+    pub fn rows_scanned(&self) -> u64 {
+        self.rows_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Resets both counters.
+    pub fn reset(&self) {
+        self.bytes_scanned.store(0, Ordering::Relaxed);
+        self.rows_scanned.store(0, Ordering::Relaxed);
+    }
+
+    fn record(&self, rows: u64, bytes: u64) {
+        self.rows_scanned.fetch_add(rows, Ordering::Relaxed);
+        self.bytes_scanned.fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+/// The circular, projected scan over a [`ColumnarTable`].
+///
+/// Mirrors [`crate::ContinuousScan`]: rows come back in stable [`RowId`] order,
+/// batches never cross the wrap point, and `wrapped` marks the start of a new pass.
+/// Only the projected columns are materialised (and accounted in [`ScanVolume`]); all
+/// other columns are NULL, which is exactly the §5 "scan/merge of only those fact
+/// table columns that are accessed by the current query mix".
+#[derive(Debug)]
+pub struct ColumnarContinuousScan {
+    table: Arc<ColumnarTable>,
+    projection: Vec<ColumnId>,
+    bytes_per_row: u64,
+    position: u64,
+    batch_rows: usize,
+    passes: u64,
+    volume: Option<Arc<ScanVolume>>,
+}
+
+impl ColumnarContinuousScan {
+    /// Creates a scan that materialises every column.
+    pub fn new(table: Arc<ColumnarTable>) -> Self {
+        let all: Vec<ColumnId> = (0..table.schema().arity()).collect();
+        Self::with_projection(table, all)
+    }
+
+    /// Creates a scan that materialises only `projection` (column indices).
+    pub fn with_projection(table: Arc<ColumnarTable>, projection: Vec<ColumnId>) -> Self {
+        let len = table.len().max(1) as u64;
+        let bytes_per_row = projection
+            .iter()
+            .map(|&c| table.column_encoded_bytes(c).div_ceil(len))
+            .sum();
+        Self {
+            table,
+            projection,
+            bytes_per_row,
+            position: 0,
+            batch_rows: crate::scan::DEFAULT_SCAN_BATCH_ROWS,
+            passes: 0,
+            volume: None,
+        }
+    }
+
+    /// Overrides the number of rows per batch.
+    pub fn with_batch_rows(mut self, rows: usize) -> Self {
+        assert!(rows > 0, "batch_rows must be positive");
+        self.batch_rows = rows;
+        self
+    }
+
+    /// Records scanned volume into `volume`.
+    pub fn with_volume(mut self, volume: Arc<ScanVolume>) -> Self {
+        self.volume = Some(volume);
+        self
+    }
+
+    /// The projected column indices.
+    pub fn projection(&self) -> &[ColumnId] {
+        &self.projection
+    }
+
+    /// Average encoded bytes touched per produced row.
+    pub fn bytes_per_row(&self) -> u64 {
+        self.bytes_per_row
+    }
+
+    /// Number of completed passes over the table.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// Current scan position (the row index the next batch starts at).
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// Fills `batch` with the next run of rows; see [`crate::ContinuousScan::next_batch`].
+    pub fn next_batch(&mut self, batch: &mut ScanBatch) {
+        batch.clear();
+        let len = self.table.len() as u64;
+        if len == 0 {
+            batch.wrapped = true;
+            return;
+        }
+        if self.position >= len {
+            self.position = 0;
+            self.passes += 1;
+        }
+        batch.wrapped = self.position == 0;
+        let remaining = (len - self.position) as usize;
+        let to_read = remaining.min(self.batch_rows);
+        let start = self.position as usize;
+        for i in start..start + to_read {
+            let row = self.table.project_row(i, &self.projection);
+            let version = self.table.version(i).expect("row index in range");
+            batch.rows.push((RowId(i as u64), row, version));
+        }
+        if let Some(volume) = &self.volume {
+            volume.record(to_read as u64, to_read as u64 * self.bytes_per_row);
+        }
+        self.position += to_read as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+
+    fn source_table(rows: i64) -> Table {
+        let schema = Schema::new(
+            "lineorder",
+            vec![
+                Column::int("lo_orderkey"),
+                Column::int("lo_orderdate"),
+                Column::str("lo_shipmode"),
+                Column::int("lo_revenue"),
+            ],
+        );
+        let table = Table::with_rows_per_page(schema, 16);
+        table.insert_batch_unchecked(
+            (0..rows).map(|i| {
+                Row::new(vec![
+                    Value::int(i),
+                    Value::int(19940101 + i / 50), // long runs: loaded in date order
+                    Value::str(if i % 3 == 0 { "AIR" } else { "TRUCK" }),
+                    Value::int(i * 7 % 1000),
+                ])
+            }),
+            SnapshotId::INITIAL,
+        );
+        table
+    }
+
+    #[test]
+    fn columnar_roundtrip_matches_row_store() {
+        let table = source_table(200);
+        for policy in [CompressionPolicy::Plain, CompressionPolicy::Adaptive] {
+            let columnar = ColumnarTable::from_table(&table, policy).unwrap();
+            assert_eq!(columnar.len(), 200);
+            assert_eq!(columnar.name(), "lineorder");
+            assert_eq!(columnar.policy(), policy);
+            for i in 0..200 {
+                assert_eq!(columnar.row(i).unwrap(), table.row(RowId(i as u64)).unwrap(), "row {i}, {policy:?}");
+            }
+            assert!(columnar.row(200).is_none());
+            assert!(columnar.value(200, 0).is_none());
+        }
+    }
+
+    #[test]
+    fn adaptive_policy_rle_encodes_sorted_date_column() {
+        let table = source_table(500);
+        let plain = ColumnarTable::from_table(&table, CompressionPolicy::Plain).unwrap();
+        let adaptive = ColumnarTable::from_table(&table, CompressionPolicy::Adaptive).unwrap();
+        let date_col = 1;
+        assert!(
+            adaptive.column_encoded_bytes(date_col) < plain.column_encoded_bytes(date_col) / 4,
+            "RLE should shrink the sorted date column: {} vs {}",
+            adaptive.column_encoded_bytes(date_col),
+            plain.column_encoded_bytes(date_col)
+        );
+        // The high-cardinality orderkey column must stay plain (RLE would double it).
+        assert_eq!(adaptive.column_encoded_bytes(0), plain.column_encoded_bytes(0));
+        assert!(adaptive.compression_ratio() > plain.compression_ratio());
+    }
+
+    #[test]
+    fn dictionary_encoding_shrinks_string_columns() {
+        let table = source_table(1000);
+        let columnar = ColumnarTable::from_table(&table, CompressionPolicy::Plain).unwrap();
+        let shipmode = 2;
+        assert!(
+            columnar.column_encoded_bytes(shipmode) < columnar.column_plain_bytes(shipmode) / 3,
+            "2-value string column should compress well"
+        );
+    }
+
+    #[test]
+    fn nulls_roundtrip() {
+        let schema = Schema::new("t", vec![Column::int("a"), Column::str("b")]);
+        let table = Table::new(schema);
+        table.insert(vec![Value::int(1), Value::str("x")], SnapshotId::INITIAL).unwrap();
+        table.insert(vec![Value::Null, Value::Null], SnapshotId::INITIAL).unwrap();
+        table.insert(vec![Value::int(3), Value::str("y")], SnapshotId::INITIAL).unwrap();
+        for policy in [CompressionPolicy::Plain, CompressionPolicy::Adaptive] {
+            let columnar = ColumnarTable::from_table(&table, policy).unwrap();
+            assert_eq!(columnar.value(1, 0).unwrap(), Value::Null);
+            assert_eq!(columnar.value(1, 1).unwrap(), Value::Null);
+            assert_eq!(columnar.value(2, 0).unwrap(), Value::int(3));
+            assert_eq!(columnar.value(2, 1).unwrap(), Value::str("y"));
+        }
+    }
+
+    #[test]
+    fn project_row_nulls_out_unprojected_columns() {
+        let table = source_table(10);
+        let columnar = ColumnarTable::from_table(&table, CompressionPolicy::Plain).unwrap();
+        let projection = columnar.projection_of(&["lo_orderkey", "lo_revenue"]).unwrap();
+        let row = columnar.project_row(3, &projection);
+        assert_eq!(row.arity(), 4);
+        assert_eq!(row.get(0), &Value::int(3));
+        assert!(row.get(1).is_null());
+        assert!(row.get(2).is_null());
+        assert_eq!(row.get(3), &Value::int(21));
+        assert!(columnar.projection_of(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn for_each_visible_projected_respects_snapshots() {
+        let schema = Schema::new("t", vec![Column::int("a")]);
+        let table = Table::new(schema);
+        let early = table.insert(vec![Value::int(1)], SnapshotId(0)).unwrap();
+        table.insert(vec![Value::int(2)], SnapshotId(5)).unwrap();
+        table.delete(early, SnapshotId(3));
+        let columnar = ColumnarTable::from_table(&table, CompressionPolicy::Plain).unwrap();
+
+        let collect = |snap: SnapshotId| {
+            let mut seen = Vec::new();
+            columnar.for_each_visible_projected(snap, &[0], |_, row| seen.push(row.int(0)));
+            seen
+        };
+        assert_eq!(collect(SnapshotId(0)), vec![1]);
+        assert_eq!(collect(SnapshotId(4)), Vec::<i64>::new());
+        assert_eq!(collect(SnapshotId(5)), vec![2]);
+    }
+
+    #[test]
+    fn continuous_scan_wraps_like_row_scan() {
+        let table = source_table(25);
+        let columnar = Arc::new(ColumnarTable::from_table(&table, CompressionPolicy::Adaptive).unwrap());
+        let mut scan = ColumnarContinuousScan::new(Arc::clone(&columnar)).with_batch_rows(10);
+        let mut batch = ScanBatch::default();
+
+        scan.next_batch(&mut batch);
+        assert!(batch.wrapped);
+        assert_eq!(batch.len(), 10);
+        assert_eq!(batch.rows[0].0, RowId(0));
+        scan.next_batch(&mut batch);
+        assert!(!batch.wrapped);
+        scan.next_batch(&mut batch);
+        assert_eq!(batch.len(), 5);
+        assert_eq!(scan.passes(), 0);
+        scan.next_batch(&mut batch);
+        assert!(batch.wrapped);
+        assert_eq!(scan.passes(), 1);
+        assert_eq!(scan.position(), 10);
+    }
+
+    #[test]
+    fn projected_scan_reduces_bytes_touched() {
+        let table = source_table(2000);
+        let columnar = Arc::new(ColumnarTable::from_table(&table, CompressionPolicy::Adaptive).unwrap());
+
+        let full_volume = Arc::new(ScanVolume::new());
+        let mut full = ColumnarContinuousScan::new(Arc::clone(&columnar))
+            .with_batch_rows(512)
+            .with_volume(Arc::clone(&full_volume));
+
+        let projection = columnar.projection_of(&["lo_orderdate", "lo_revenue"]).unwrap();
+        let narrow_volume = Arc::new(ScanVolume::new());
+        let mut narrow = ColumnarContinuousScan::with_projection(Arc::clone(&columnar), projection)
+            .with_batch_rows(512)
+            .with_volume(Arc::clone(&narrow_volume));
+
+        let mut batch = ScanBatch::default();
+        // One full pass each.
+        let mut rows = 0;
+        while rows < 2000 {
+            full.next_batch(&mut batch);
+            rows += batch.len();
+        }
+        rows = 0;
+        while rows < 2000 {
+            narrow.next_batch(&mut batch);
+            rows += batch.len();
+        }
+
+        assert_eq!(full_volume.rows_scanned(), 2000);
+        assert_eq!(narrow_volume.rows_scanned(), 2000);
+        assert!(
+            narrow_volume.bytes_scanned() < full_volume.bytes_scanned() / 2,
+            "projection should cut scan volume: {} vs {}",
+            narrow_volume.bytes_scanned(),
+            full_volume.bytes_scanned()
+        );
+        assert!(narrow.bytes_per_row() < full.bytes_per_row());
+
+        narrow_volume.reset();
+        assert_eq!(narrow_volume.bytes_scanned(), 0);
+        assert_eq!(narrow_volume.rows_scanned(), 0);
+    }
+
+    #[test]
+    fn projected_rows_preserve_projected_values() {
+        let table = source_table(100);
+        let columnar = Arc::new(ColumnarTable::from_table(&table, CompressionPolicy::Adaptive).unwrap());
+        let projection = columnar.projection_of(&["lo_shipmode"]).unwrap();
+        let mut scan =
+            ColumnarContinuousScan::with_projection(Arc::clone(&columnar), projection).with_batch_rows(64);
+        let mut batch = ScanBatch::default();
+        let mut seen = 0;
+        while seen < 100 {
+            scan.next_batch(&mut batch);
+            for (id, row, _) in &batch.rows {
+                let expected = table.row(*id).unwrap();
+                assert_eq!(row.get(2), expected.get(2));
+                assert!(row.get(0).is_null());
+                seen += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_table_scan_reports_wrapped_empty_batches() {
+        let schema = Schema::new("empty", vec![Column::int("a")]);
+        let table = Table::new(schema);
+        let columnar = Arc::new(ColumnarTable::from_table(&table, CompressionPolicy::Plain).unwrap());
+        assert!(columnar.is_empty());
+        let mut scan = ColumnarContinuousScan::new(columnar);
+        let mut batch = ScanBatch::default();
+        scan.next_batch(&mut batch);
+        assert!(batch.is_empty());
+        assert!(batch.wrapped);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_rows")]
+    fn zero_batch_rows_panics() {
+        let table = source_table(1);
+        let columnar = Arc::new(ColumnarTable::from_table(&table, CompressionPolicy::Plain).unwrap());
+        let _ = ColumnarContinuousScan::new(columnar).with_batch_rows(0);
+    }
+}

@@ -1,0 +1,396 @@
+//! Lightweight column compression: dictionary encoding and run-length encoding.
+//!
+//! §5 of the paper ("Compressed Tables") observes that data warehouses compress
+//! tables to reduce the I/O and memory bandwidth spent moving tuples, and that CJOIN
+//! is agnostic to the physical representation as long as predicates can be evaluated
+//! and fields extracted. This module provides the two encodings the columnar store
+//! ([`crate::columnar`]) uses:
+//!
+//! * [`Dictionary`] / [`DictColumn`] — dictionary encoding for string columns. Star
+//!   schema dimension attributes (regions, nations, brands, …) and even many fact
+//!   columns have tiny domains, so storing a `u32` code per row plus one copy of each
+//!   distinct string is a large win.
+//! * [`RleVec`] — run-length encoding for integer columns. Fact tables loaded in date
+//!   order have long runs of identical values in the date/partition columns.
+//!
+//! Both encodings support random access by row position (`get`), which is what the
+//! scan needs to materialise only the columns a query mix touches, and both report
+//! their heap footprint so the experiment harness can quantify the saved scan volume.
+
+use std::sync::Arc;
+
+use cjoin_common::FxHashMap;
+
+/// A run-length encoded vector of `i64` values.
+///
+/// Values are stored as `(value, run_length)` pairs plus a prefix-sum index of run
+/// end positions, so `get` is a binary search over the runs (`O(log runs)`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RleVec {
+    /// `(value, end_position_exclusive)` for each run, end positions strictly increasing.
+    runs: Vec<(i64, u64)>,
+    len: u64,
+}
+
+impl RleVec {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an [`RleVec`] from a slice of plain values.
+    pub fn from_slice(values: &[i64]) -> Self {
+        let mut rle = Self::new();
+        for &v in values {
+            rle.push(v);
+        }
+        rle
+    }
+
+    /// Appends a value, extending the last run when it matches.
+    pub fn push(&mut self, value: i64) {
+        self.len += 1;
+        match self.runs.last_mut() {
+            Some((last, end)) if *last == value => *end = self.len,
+            _ => self.runs.push((value, self.len)),
+        }
+    }
+
+    /// Number of logical values.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the vector holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of runs (the compressed length).
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Returns the value at logical position `index`, or `None` when out of range.
+    pub fn get(&self, index: usize) -> Option<i64> {
+        let index = index as u64;
+        if index >= self.len {
+            return None;
+        }
+        // First run whose exclusive end is greater than `index`.
+        let run = self.runs.partition_point(|&(_, end)| end <= index);
+        Some(self.runs[run].0)
+    }
+
+    /// Iterates the logical values in order.
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        self.runs.iter().scan(0u64, |prev_end, &(value, end)| {
+            let count = end - *prev_end;
+            *prev_end = end;
+            Some(std::iter::repeat(value).take(count as usize))
+        })
+        .flatten()
+    }
+
+    /// Decodes the whole vector back into plain values.
+    pub fn decode(&self) -> Vec<i64> {
+        self.iter().collect()
+    }
+
+    /// Approximate heap footprint in bytes of the encoded form.
+    pub fn encoded_bytes(&self) -> u64 {
+        (self.runs.len() * std::mem::size_of::<(i64, u64)>()) as u64
+    }
+
+    /// Heap footprint the same data would occupy as a plain `Vec<i64>`.
+    pub fn plain_bytes(&self) -> u64 {
+        self.len * std::mem::size_of::<i64>() as u64
+    }
+
+    /// Compression ratio (`plain / encoded`); 1.0 for an empty vector.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.encoded_bytes() == 0 {
+            return 1.0;
+        }
+        self.plain_bytes() as f64 / self.encoded_bytes() as f64
+    }
+}
+
+impl FromIterator<i64> for RleVec {
+    fn from_iter<T: IntoIterator<Item = i64>>(iter: T) -> Self {
+        let mut rle = RleVec::new();
+        for v in iter {
+            rle.push(v);
+        }
+        rle
+    }
+}
+
+/// An append-only string dictionary mapping distinct strings to dense `u32` codes.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    by_code: Vec<Arc<str>>,
+    by_value: FxHashMap<Arc<str>, u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the code for `value`, interning it if it is new.
+    pub fn intern(&mut self, value: &str) -> u32 {
+        if let Some(&code) = self.by_value.get(value) {
+            return code;
+        }
+        let code = u32::try_from(self.by_code.len()).expect("dictionary exceeds u32 codes");
+        let owned: Arc<str> = Arc::from(value);
+        self.by_code.push(Arc::clone(&owned));
+        self.by_value.insert(owned, code);
+        code
+    }
+
+    /// Looks up an existing code without interning.
+    pub fn code_of(&self, value: &str) -> Option<u32> {
+        self.by_value.get(value).copied()
+    }
+
+    /// Returns the string for `code`, or `None` if the code was never issued.
+    pub fn value_of(&self, code: u32) -> Option<&Arc<str>> {
+        self.by_code.get(code as usize)
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.by_code.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_code.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes (string payloads plus the code table).
+    pub fn encoded_bytes(&self) -> u64 {
+        let strings: usize = self.by_code.iter().map(|s| s.len()).sum();
+        (strings + self.by_code.len() * std::mem::size_of::<Arc<str>>()) as u64
+    }
+}
+
+/// A dictionary-encoded string column: one `u32` code per row plus the dictionary.
+#[derive(Debug, Clone, Default)]
+pub struct DictColumn {
+    codes: Vec<u32>,
+    dictionary: Dictionary,
+}
+
+impl DictColumn {
+    /// Creates an empty column.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a dictionary column from an iterator of strings.
+    pub fn from_values<'a, I: IntoIterator<Item = &'a str>>(values: I) -> Self {
+        let mut col = Self::new();
+        for v in values {
+            col.push(v);
+        }
+        col
+    }
+
+    /// Appends a value.
+    pub fn push(&mut self, value: &str) {
+        let code = self.dictionary.intern(value);
+        self.codes.push(code);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Number of distinct values.
+    pub fn cardinality(&self) -> usize {
+        self.dictionary.len()
+    }
+
+    /// Returns the string at row `index`, or `None` when out of range.
+    ///
+    /// The returned `Arc<str>` shares the dictionary's single copy of the string, so
+    /// materialising a [`crate::Value`] from it does not allocate.
+    pub fn get(&self, index: usize) -> Option<Arc<str>> {
+        let code = *self.codes.get(index)?;
+        self.dictionary.value_of(code).cloned()
+    }
+
+    /// Returns the code at row `index` (useful for predicate evaluation directly on
+    /// codes, the partial-decompression trick BLINK uses).
+    pub fn code(&self, index: usize) -> Option<u32> {
+        self.codes.get(index).copied()
+    }
+
+    /// The underlying dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+
+    /// Approximate heap footprint in bytes of the encoded form.
+    pub fn encoded_bytes(&self) -> u64 {
+        (self.codes.len() * std::mem::size_of::<u32>()) as u64 + self.dictionary.encoded_bytes()
+    }
+
+    /// Heap footprint the same data would occupy as one owned `String` per row.
+    pub fn plain_bytes(&self) -> u64 {
+        self.codes
+            .iter()
+            .map(|&c| {
+                self.dictionary
+                    .value_of(c)
+                    .map_or(0, |s| s.len() + std::mem::size_of::<String>())
+            })
+            .sum::<usize>() as u64
+    }
+
+    /// Compression ratio (`plain / encoded`); 1.0 for an empty column.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.encoded_bytes() == 0 {
+            return 1.0;
+        }
+        self.plain_bytes() as f64 / self.encoded_bytes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rle_roundtrip_simple() {
+        let values = vec![1, 1, 1, 2, 2, 3, 3, 3, 3, 1];
+        let rle = RleVec::from_slice(&values);
+        assert_eq!(rle.len(), values.len());
+        assert_eq!(rle.num_runs(), 4);
+        assert_eq!(rle.decode(), values);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(rle.get(i), Some(v));
+        }
+        assert_eq!(rle.get(values.len()), None);
+    }
+
+    #[test]
+    fn rle_empty() {
+        let rle = RleVec::new();
+        assert!(rle.is_empty());
+        assert_eq!(rle.len(), 0);
+        assert_eq!(rle.num_runs(), 0);
+        assert_eq!(rle.get(0), None);
+        assert_eq!(rle.decode(), Vec::<i64>::new());
+        assert_eq!(rle.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn rle_single_run_compresses_well() {
+        let rle: RleVec = std::iter::repeat(42).take(10_000).collect();
+        assert_eq!(rle.num_runs(), 1);
+        assert_eq!(rle.len(), 10_000);
+        assert_eq!(rle.get(9_999), Some(42));
+        assert!(rle.compression_ratio() > 1_000.0);
+    }
+
+    #[test]
+    fn rle_incompressible_data_costs_double() {
+        // Strictly alternating values: one run per value, each run is 16 bytes vs 8.
+        let values: Vec<i64> = (0..100).map(|i| i % 2).collect();
+        let rle = RleVec::from_slice(&values);
+        assert_eq!(rle.num_runs(), 100);
+        assert!(rle.compression_ratio() < 1.0);
+        assert_eq!(rle.decode(), values);
+    }
+
+    #[test]
+    fn rle_iter_matches_decode() {
+        let values = vec![5, 5, -1, -1, -1, 0];
+        let rle = RleVec::from_slice(&values);
+        let collected: Vec<i64> = rle.iter().collect();
+        assert_eq!(collected, values);
+    }
+
+    #[test]
+    fn dictionary_interns_and_reuses_codes() {
+        let mut dict = Dictionary::new();
+        let a = dict.intern("ASIA");
+        let b = dict.intern("EUROPE");
+        let a2 = dict.intern("ASIA");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(dict.len(), 2);
+        assert!(!dict.is_empty());
+        assert_eq!(dict.value_of(a).unwrap().as_ref(), "ASIA");
+        assert_eq!(dict.code_of("EUROPE"), Some(b));
+        assert_eq!(dict.code_of("AFRICA"), None);
+        assert_eq!(dict.value_of(99), None);
+    }
+
+    #[test]
+    fn dict_column_roundtrip_and_cardinality() {
+        let values = ["ASIA", "ASIA", "EUROPE", "AMERICA", "ASIA"];
+        let col = DictColumn::from_values(values.iter().copied());
+        assert_eq!(col.len(), 5);
+        assert_eq!(col.cardinality(), 3);
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(col.get(i).unwrap().as_ref(), *v);
+        }
+        assert_eq!(col.get(5), None);
+        assert_eq!(col.code(0), col.code(1));
+        assert_ne!(col.code(0), col.code(2));
+        assert_eq!(col.code(9), None);
+    }
+
+    #[test]
+    fn dict_column_low_cardinality_compresses_well() {
+        let col = DictColumn::from_values((0..10_000).map(|i| if i % 2 == 0 { "MFGR#1" } else { "MFGR#2" }));
+        assert_eq!(col.cardinality(), 2);
+        assert!(col.compression_ratio() > 5.0, "ratio {}", col.compression_ratio());
+    }
+
+    #[test]
+    fn dict_column_empty() {
+        let col = DictColumn::new();
+        assert!(col.is_empty());
+        assert_eq!(col.compression_ratio(), 1.0);
+        assert_eq!(col.dictionary().len(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rle_roundtrip(values in proptest::collection::vec(-50i64..50, 0..400)) {
+            let rle = RleVec::from_slice(&values);
+            prop_assert_eq!(rle.decode(), values.clone());
+            prop_assert_eq!(rle.len(), values.len());
+            for (i, &v) in values.iter().enumerate() {
+                prop_assert_eq!(rle.get(i), Some(v));
+            }
+            prop_assert!(rle.num_runs() <= values.len());
+        }
+
+        #[test]
+        fn prop_dict_roundtrip(values in proptest::collection::vec("[A-E]{1,3}", 0..200)) {
+            let col = DictColumn::from_values(values.iter().map(String::as_str));
+            prop_assert_eq!(col.len(), values.len());
+            for (i, v) in values.iter().enumerate() {
+                let got = col.get(i).unwrap();
+                prop_assert_eq!(got.as_ref(), v.as_str());
+            }
+            let distinct: std::collections::BTreeSet<&str> = values.iter().map(String::as_str).collect();
+            prop_assert_eq!(col.cardinality(), distinct.len());
+        }
+    }
+}

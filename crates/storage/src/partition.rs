@@ -1,0 +1,184 @@
+//! Range partitioning of the fact table.
+//!
+//! §5 ("Fact Table Partitioning") describes how CJOIN exploits a fact table that is
+//! range-partitioned — typically by the date column used to load new data: a query
+//! whose fact predicate restricts the partitioning column only needs to scan the
+//! partitions that overlap its range, and the Preprocessor can emit its end-of-query
+//! control tuple as soon as its partitions have been covered, letting the query
+//! terminate early.
+//!
+//! [`PartitionScheme`] captures the partitioning metadata: the partitioning column
+//! and the ordered list of boundary values.
+
+use serde::{Deserialize, Serialize};
+
+use cjoin_common::{Error, Result};
+
+use crate::schema::ColumnId;
+
+/// Identifier of a partition (0-based, ordered by range).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PartitionId(pub u32);
+
+impl PartitionId {
+    /// Returns the partition number as an index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Range partitioning over an integer column.
+///
+/// Partition `i` covers values in `[lower_i, upper_i)` where the bounds come from the
+/// boundary list; the first partition is open below and the last open above, so every
+/// value maps to exactly one partition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionScheme {
+    /// Column the fact table is partitioned on (e.g. `lo_orderdate`).
+    pub column: ColumnId,
+    /// Interior boundaries, strictly increasing. `boundaries.len() + 1` partitions.
+    boundaries: Vec<i64>,
+}
+
+impl PartitionScheme {
+    /// Creates a scheme from explicit interior boundaries.
+    ///
+    /// # Errors
+    /// Returns an error if the boundaries are not strictly increasing.
+    pub fn new(column: ColumnId, boundaries: Vec<i64>) -> Result<Self> {
+        if boundaries.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Error::invalid_config(
+                "partition boundaries must be strictly increasing",
+            ));
+        }
+        Ok(Self { column, boundaries })
+    }
+
+    /// Creates a scheme that splits `[min, max]` into `partitions` equal-width ranges.
+    ///
+    /// # Errors
+    /// Returns an error if `partitions == 0` or `min >= max`.
+    pub fn equal_width(column: ColumnId, min: i64, max: i64, partitions: u32) -> Result<Self> {
+        if partitions == 0 {
+            return Err(Error::invalid_config("partitions must be positive"));
+        }
+        if min >= max {
+            return Err(Error::invalid_config("partition range must be non-empty"));
+        }
+        let width = (max - min) as f64 / f64::from(partitions);
+        let mut boundaries = Vec::with_capacity(partitions as usize - 1);
+        for i in 1..partitions {
+            let b = min + (width * f64::from(i)).round() as i64;
+            if boundaries.last().is_some_and(|&last| last >= b) {
+                continue; // degenerate width; skip duplicate boundary
+            }
+            boundaries.push(b);
+        }
+        Self::new(column, boundaries)
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// Interior boundaries.
+    pub fn boundaries(&self) -> &[i64] {
+        &self.boundaries
+    }
+
+    /// Maps a value of the partitioning column to its partition.
+    pub fn partition_of(&self, value: i64) -> PartitionId {
+        // partition_point returns the count of boundaries <= value, i.e. the number of
+        // range starts at or before the value.
+        let idx = self.boundaries.partition_point(|&b| b <= value);
+        PartitionId(idx as u32)
+    }
+
+    /// Returns the partitions that may contain values in `[min, max]` (inclusive).
+    ///
+    /// Returns an empty vector for an empty range (`min > max`).
+    pub fn covering(&self, min: i64, max: i64) -> Vec<PartitionId> {
+        if min > max {
+            return Vec::new();
+        }
+        let lo = self.partition_of(min).0;
+        let hi = self.partition_of(max).0;
+        (lo..=hi).map(PartitionId).collect()
+    }
+
+    /// Returns every partition id.
+    pub fn all(&self) -> Vec<PartitionId> {
+        (0..self.num_partitions() as u32).map(PartitionId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_of_respects_boundaries() {
+        // 3 partitions: (-inf, 10), [10, 20), [20, +inf)
+        let p = PartitionScheme::new(0, vec![10, 20]).unwrap();
+        assert_eq!(p.num_partitions(), 3);
+        assert_eq!(p.partition_of(-5), PartitionId(0));
+        assert_eq!(p.partition_of(9), PartitionId(0));
+        assert_eq!(p.partition_of(10), PartitionId(1));
+        assert_eq!(p.partition_of(19), PartitionId(1));
+        assert_eq!(p.partition_of(20), PartitionId(2));
+        assert_eq!(p.partition_of(1000), PartitionId(2));
+    }
+
+    #[test]
+    fn covering_returns_overlapping_partitions() {
+        let p = PartitionScheme::new(0, vec![10, 20, 30]).unwrap();
+        assert_eq!(p.covering(12, 18), vec![PartitionId(1)]);
+        assert_eq!(p.covering(5, 25), vec![PartitionId(0), PartitionId(1), PartitionId(2)]);
+        assert_eq!(p.covering(30, 99), vec![PartitionId(3)]);
+        assert_eq!(p.covering(50, 40), Vec::<PartitionId>::new());
+        assert_eq!(p.all().len(), 4);
+    }
+
+    #[test]
+    fn boundaries_must_increase() {
+        assert!(PartitionScheme::new(0, vec![10, 10]).is_err());
+        assert!(PartitionScheme::new(0, vec![20, 10]).is_err());
+        assert!(PartitionScheme::new(0, vec![]).is_ok());
+    }
+
+    #[test]
+    fn equal_width_covers_range() {
+        // SSB order dates: 1992-01-01 .. 1998-08-02 as yyyymmdd integers, 7 partitions
+        // (one per year).
+        let p = PartitionScheme::equal_width(5, 19920101, 19980802, 7).unwrap();
+        assert_eq!(p.num_partitions(), 7);
+        // Every date maps to some partition and partition ids are monotone in value.
+        let mut prev = p.partition_of(19920101);
+        for date in [19930101, 19940601, 19951231, 19970704, 19980802] {
+            let cur = p.partition_of(date);
+            assert!(cur >= prev);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn equal_width_rejects_bad_input() {
+        assert!(PartitionScheme::equal_width(0, 0, 100, 0).is_err());
+        assert!(PartitionScheme::equal_width(0, 100, 100, 4).is_err());
+        assert!(PartitionScheme::equal_width(0, 200, 100, 4).is_err());
+    }
+
+    #[test]
+    fn single_partition_scheme() {
+        let p = PartitionScheme::equal_width(0, 0, 10, 1).unwrap();
+        assert_eq!(p.num_partitions(), 1);
+        assert_eq!(p.partition_of(-100), PartitionId(0));
+        assert_eq!(p.partition_of(100), PartitionId(0));
+    }
+
+    #[test]
+    fn partition_id_index() {
+        assert_eq!(PartitionId(3).index(), 3);
+    }
+}

@@ -1,0 +1,182 @@
+//! Table schemas.
+
+use serde::{Deserialize, Serialize};
+
+use cjoin_common::{Error, Result};
+
+use crate::value::Value;
+
+/// Index of a column within a schema.
+pub type ColumnId = usize;
+
+/// Logical column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// 64-bit integer (also used for keys and `yyyymmdd` dates).
+    Int,
+    /// UTF-8 string.
+    Str,
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (lower-case, SSB style, e.g. `lo_orderdate`).
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+impl Column {
+    /// Creates a column.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        Self { name: name.into(), ty }
+    }
+
+    /// Shorthand for an integer column.
+    pub fn int(name: impl Into<String>) -> Self {
+        Self::new(name, ColumnType::Int)
+    }
+
+    /// Shorthand for a string column.
+    pub fn str(name: impl Into<String>) -> Self {
+        Self::new(name, ColumnType::Str)
+    }
+}
+
+/// An ordered list of columns describing a table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Table name.
+    pub table: String,
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Creates a schema for `table` with the given columns.
+    pub fn new(table: impl Into<String>, columns: Vec<Column>) -> Self {
+        Self { table: table.into(), columns }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns, in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Returns the index of a column by name.
+    ///
+    /// # Errors
+    /// Returns [`Error::UnknownColumn`] if no column has that name.
+    pub fn column_index(&self, name: &str) -> Result<ColumnId> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| Error::UnknownColumn {
+                table: self.table.clone(),
+                column: name.to_string(),
+            })
+    }
+
+    /// Returns the column at `idx`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn column(&self, idx: ColumnId) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Checks that a row of values matches the schema's arity and types
+    /// (NULL is accepted for any type).
+    ///
+    /// # Errors
+    /// Returns a type-mismatch error describing the first offending column.
+    pub fn validate_row(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.arity() {
+            return Err(Error::type_mismatch(format!(
+                "table {}: expected {} values, got {}",
+                self.table,
+                self.arity(),
+                values.len()
+            )));
+        }
+        for (i, (v, c)) in values.iter().zip(&self.columns).enumerate() {
+            let ok = match (v, c.ty) {
+                (Value::Null, _) => true,
+                (Value::Int(_), ColumnType::Int) => true,
+                (Value::Str(_), ColumnType::Str) => true,
+                _ => false,
+            };
+            if !ok {
+                return Err(Error::type_mismatch(format!(
+                    "table {}: column {} ({}) expects {:?}, got {:?}",
+                    self.table, i, c.name, c.ty, v
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "customer",
+            vec![
+                Column::int("c_custkey"),
+                Column::str("c_name"),
+                Column::str("c_region"),
+            ],
+        )
+    }
+
+    #[test]
+    fn column_index_lookup() {
+        let s = schema();
+        assert_eq!(s.column_index("c_custkey").unwrap(), 0);
+        assert_eq!(s.column_index("c_region").unwrap(), 2);
+        assert!(matches!(
+            s.column_index("c_missing"),
+            Err(Error::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_and_accessors() {
+        let s = schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.column(1).name, "c_name");
+        assert_eq!(s.columns().len(), 3);
+        assert_eq!(s.table, "customer");
+    }
+
+    #[test]
+    fn validate_row_accepts_matching_types_and_nulls() {
+        let s = schema();
+        s.validate_row(&[Value::int(1), Value::str("Customer#1"), Value::str("ASIA")])
+            .unwrap();
+        s.validate_row(&[Value::int(1), Value::Null, Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn validate_row_rejects_wrong_arity_and_type() {
+        let s = schema();
+        assert!(s.validate_row(&[Value::int(1)]).is_err());
+        assert!(s
+            .validate_row(&[Value::str("oops"), Value::str("x"), Value::str("y")])
+            .is_err());
+    }
+
+    #[test]
+    fn column_shorthands() {
+        assert_eq!(Column::int("k").ty, ColumnType::Int);
+        assert_eq!(Column::str("s").ty, ColumnType::Str);
+    }
+}

@@ -1,0 +1,192 @@
+//! Typed column values.
+//!
+//! The data model intentionally stays small: the Star Schema Benchmark (and star
+//! schemas generally) only needs 64-bit integers, dates (stored as `yyyymmdd`
+//! integers, as SSB's generator does) and short strings. Strings are stored behind an
+//! `Arc<str>` so that copying a [`Value`] — which happens whenever a dimension tuple
+//! is loaded into a CJOIN dimension hash table — does not allocate.
+
+use std::fmt;
+use std::sync::Arc;
+
+use cjoin_common::{Error, Result};
+
+/// A single column value.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// 64-bit signed integer; also used for surrogate/foreign keys and dates
+    /// encoded as `yyyymmdd`.
+    Int(i64),
+    /// Interned UTF-8 string.
+    Str(Arc<str>),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Builds an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Returns the integer payload.
+    ///
+    /// # Errors
+    /// Returns a type-mismatch error if the value is not an [`Value::Int`].
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(Error::type_mismatch(format!("expected Int, found {other:?}"))),
+        }
+    }
+
+    /// Returns the string payload.
+    ///
+    /// # Errors
+    /// Returns a type-mismatch error if the value is not a [`Value::Str`].
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::type_mismatch(format!("expected Str, found {other:?}"))),
+        }
+    }
+
+    /// Returns `true` if the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the integer payload or panics; reserved for hot paths where the
+    /// schema guarantees the type (e.g. foreign-key extraction in the Filters).
+    #[inline]
+    pub fn expect_int(&self) -> i64 {
+        match self {
+            Value::Int(i) => *i,
+            other => panic!("expected Int, found {other:?}"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_accessors() {
+        let v = Value::int(42);
+        assert_eq!(v.as_int().unwrap(), 42);
+        assert_eq!(v.expect_int(), 42);
+        assert!(v.as_str().is_err());
+        assert!(!v.is_null());
+    }
+
+    #[test]
+    fn str_accessors() {
+        let v = Value::str("ASIA");
+        assert_eq!(v.as_str().unwrap(), "ASIA");
+        assert!(v.as_int().is_err());
+    }
+
+    #[test]
+    fn null_behaviour() {
+        let v = Value::Null;
+        assert!(v.is_null());
+        assert!(v.as_int().is_err());
+        assert!(v.as_str().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn expect_int_panics_on_str() {
+        Value::str("x").expect_int();
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(3u32), Value::Int(3));
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("a"), Value::str("a"));
+        assert_eq!(Value::from(String::from("a")), Value::str("a"));
+    }
+
+    #[test]
+    fn ordering_within_same_type() {
+        assert!(Value::int(1) < Value::int(2));
+        assert!(Value::str("ASIA") < Value::str("EUROPE"));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(Value::int(5).to_string(), "5");
+        assert_eq!(Value::str("x").to_string(), "x");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(format!("{:?}", Value::str("x")), "\"x\"");
+    }
+
+    #[test]
+    fn clone_of_str_shares_allocation() {
+        let a = Value::str("shared");
+        let b = a.clone();
+        if let (Value::Str(x), Value::Str(y)) = (&a, &b) {
+            assert!(Arc::ptr_eq(x, y));
+        } else {
+            unreachable!();
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Column stores and compressed tables (§5): build a columnar, compressed replica of
+//! the SSB fact table and show how a projected continuous scan moves only the bytes
+//! the current query mix actually needs.
+//!
+//! ```text
+//! cargo run --release --example columnar_compression
+//! ```
+
+use std::sync::Arc;
+
+use cjoin_repro::ssb::{SsbConfig, SsbDataSet};
+use cjoin_repro::storage::{
+    ColumnarContinuousScan, ColumnarTable, CompressionPolicy, ScanBatch, ScanVolume,
+};
+
+fn main() -> cjoin_repro::Result<()> {
+    // ------------------------------------------------------------------
+    // 1. Generate an SSB instance and take its lineorder fact table.
+    // ------------------------------------------------------------------
+    let data = SsbDataSet::generate(SsbConfig::new(0.01, 42));
+    let catalog = data.catalog();
+    let lineorder = catalog.fact_table()?;
+    println!("lineorder: {} rows, {} columns\n", lineorder.len(), lineorder.schema().arity());
+
+    // ------------------------------------------------------------------
+    // 2. Build columnar replicas under both compression policies.
+    // ------------------------------------------------------------------
+    let plain = Arc::new(ColumnarTable::from_table(&lineorder, CompressionPolicy::Plain)?);
+    let adaptive = Arc::new(ColumnarTable::from_table(&lineorder, CompressionPolicy::Adaptive)?);
+
+    println!("per-column footprint (bytes), row-store vs. columnar:");
+    println!("{:<18} {:>12} {:>12} {:>12}", "column", "row-store", "dict/plain", "dict+RLE");
+    for (idx, column) in lineorder.schema().columns().iter().enumerate() {
+        println!(
+            "{:<18} {:>12} {:>12} {:>12}",
+            column.name,
+            plain.column_plain_bytes(idx),
+            plain.column_encoded_bytes(idx),
+            adaptive.column_encoded_bytes(idx),
+        );
+    }
+    println!(
+        "\ntotal: {} bytes row-store, {} bytes columnar (x{:.1}), {} bytes compressed (x{:.1})\n",
+        plain.total_plain_bytes(),
+        plain.total_encoded_bytes(),
+        plain.compression_ratio(),
+        adaptive.total_encoded_bytes(),
+        adaptive.compression_ratio(),
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Compare one full pass of the continuous scan: all columns vs. only the
+    //    columns a typical query mix touches (date, discount, quantity, revenue).
+    // ------------------------------------------------------------------
+    let rows = adaptive.len();
+    let run_pass = |scan: &mut ColumnarContinuousScan| {
+        let mut batch = ScanBatch::default();
+        let mut seen = 0usize;
+        while seen < rows {
+            scan.next_batch(&mut batch);
+            seen += batch.len();
+        }
+    };
+
+    let full_volume = Arc::new(ScanVolume::new());
+    let mut full_scan = ColumnarContinuousScan::new(Arc::clone(&adaptive))
+        .with_batch_rows(4096)
+        .with_volume(Arc::clone(&full_volume));
+    run_pass(&mut full_scan);
+
+    let projection = adaptive.projection_of(&["lo_orderdate", "lo_discount", "lo_quantity", "lo_revenue"])?;
+    let narrow_volume = Arc::new(ScanVolume::new());
+    let mut narrow_scan = ColumnarContinuousScan::with_projection(Arc::clone(&adaptive), projection)
+        .with_batch_rows(4096)
+        .with_volume(Arc::clone(&narrow_volume));
+    run_pass(&mut narrow_scan);
+
+    println!("one continuous-scan pass over {} rows:", rows);
+    println!(
+        "  all {} columns:        {:>12} bytes touched",
+        adaptive.schema().arity(),
+        full_volume.bytes_scanned()
+    );
+    println!(
+        "  4 projected columns:   {:>12} bytes touched ({:.1}% of the full scan)",
+        narrow_volume.bytes_scanned(),
+        100.0 * narrow_volume.bytes_scanned() as f64 / full_volume.bytes_scanned().max(1) as f64
+    );
+    println!(
+        "\nThe CJOIN continuous scan over a column store therefore moves only the columns\n\
+         referenced by the in-flight query mix, exactly as §5 describes."
+    );
+    Ok(())
+}

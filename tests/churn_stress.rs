@@ -1,0 +1,102 @@
+//! Churn stress test: sustained admission/finalization traffic with interleaved
+//! updates, exercising query-id recycling, dimension-table garbage collection,
+//! progress reporting and non-blocking result polling under load.
+//!
+//! This is the workload pattern the paper's always-on design targets: queries keep
+//! arriving while others finish, the warehouse keeps growing, and the shared pipeline
+//! must never return a stale or partial answer.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cjoin_repro::cjoin::{CjoinConfig, CjoinEngine};
+use cjoin_repro::query::reference;
+use cjoin_repro::ssb::{SsbConfig, SsbDataSet, Workload, WorkloadConfig};
+use cjoin_repro::storage::{Row, RowId};
+
+#[test]
+fn sustained_query_churn_with_interleaved_updates_stays_correct() {
+    let data = SsbDataSet::generate(SsbConfig::new(0.001, 401));
+    let catalog = data.catalog();
+    // A small maxConc forces heavy id recycling across the churn.
+    let config = CjoinConfig::default()
+        .with_worker_threads(2)
+        .with_max_concurrency(16)
+        .with_batch_size(256);
+    let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+    let fact = catalog.fact_table().unwrap();
+    let template_row = fact.row(RowId(0)).unwrap();
+
+    // Three waves of queries; between waves the warehouse grows by an update batch.
+    // Every query is pinned to the snapshot current at its submission so the expected
+    // answer is well defined even though the table keeps growing.
+    let mut wave_seed = 77;
+    for wave in 0..3u64 {
+        let snapshot = catalog.snapshots().current();
+        let workload = Workload::generate(&data, WorkloadConfig::new(10, 0.05, wave_seed));
+        wave_seed += 1;
+
+        let queries: Vec<_> = workload
+            .queries()
+            .iter()
+            .map(|q| {
+                let mut q = q.clone();
+                q.snapshot = Some(snapshot);
+                q.name = format!("wave{wave}-{}", q.name);
+                q
+            })
+            .collect();
+
+        // Submit the whole wave, then immediately start the next load batch so the
+        // updates overlap with the in-flight queries.
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|q| engine.submit(q.clone()).unwrap())
+            .collect();
+
+        let load_snapshot = catalog.snapshots().commit();
+        fact.insert_batch_unchecked(
+            (0..200).map(|_| Row::new(template_row.values().to_vec())),
+            load_snapshot,
+        );
+
+        for (query, handle) in queries.iter().zip(handles) {
+            // Exercise the non-blocking and progress APIs while waiting.
+            let progress = Arc::clone(handle.progress());
+            let mut polled_result = None;
+            for _ in 0..10_000 {
+                assert!(progress.fraction() <= 1.0);
+                if let Some(result) = handle.try_result() {
+                    polled_result = Some(result);
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            let result = match polled_result {
+                Some(r) => r,
+                None => handle.wait().unwrap(),
+            };
+            assert!(progress.is_completed());
+
+            let expected = reference::evaluate(&catalog, query, snapshot).unwrap();
+            assert!(
+                result.approx_eq(&expected),
+                "{} diverged under churn: {:?}",
+                query.name,
+                result.diff(&expected)
+            );
+        }
+    }
+
+    let stats = engine.stats();
+    assert_eq!(stats.queries_admitted, 30);
+    assert_eq!(stats.queries_completed, 30);
+    // Give the manager a moment to finish Algorithm 2 for the last wave, then the
+    // pipeline must be fully clean: no registered queries left behind.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while engine.active_queries() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(engine.active_queries(), 0, "all ids recycled after the churn");
+    engine.shutdown();
+}

@@ -1,0 +1,147 @@
+//! The central correctness oracle: for generated SSB workloads, every query answered
+//! by the shared CJOIN pipeline must produce exactly the same result as (a) the
+//! query-at-a-time baseline engine and (b) the single-threaded reference evaluator.
+//!
+//! This is the cross-engine equivalent of the paper's implicit claim that CJOIN is a
+//! drop-in physical operator: sharing changes performance, never answers.
+
+use std::sync::Arc;
+
+use cjoin_repro::baseline::{BaselineConfig, BaselineEngine};
+use cjoin_repro::cjoin::{CjoinConfig, CjoinEngine};
+use cjoin_repro::query::reference;
+use cjoin_repro::ssb::{classic_queries, SsbConfig, SsbDataSet, Workload, WorkloadConfig};
+use cjoin_repro::{SnapshotId, StarQuery};
+
+fn data(sf: f64, seed: u64) -> SsbDataSet {
+    SsbDataSet::generate(SsbConfig::new(sf, seed))
+}
+
+fn cjoin_config() -> CjoinConfig {
+    CjoinConfig::default()
+        .with_worker_threads(3)
+        .with_max_concurrency(64)
+        .with_batch_size(512)
+}
+
+/// Runs `queries` through all three evaluation paths and asserts agreement.
+fn assert_all_engines_agree(data: &SsbDataSet, queries: &[StarQuery]) {
+    let catalog = data.catalog();
+    let baseline = BaselineEngine::new(Arc::clone(&catalog), BaselineConfig::default());
+    let cjoin = CjoinEngine::start(Arc::clone(&catalog), cjoin_config()).unwrap();
+
+    // Submit everything to CJOIN first so the queries genuinely share the pipeline.
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|q| cjoin.submit(q.clone()).unwrap())
+        .collect();
+
+    for (query, handle) in queries.iter().zip(handles) {
+        let expected = reference::evaluate(&catalog, query, SnapshotId::INITIAL).unwrap();
+        let (baseline_result, _) = baseline.execute(query).unwrap();
+        let cjoin_result = handle.wait().unwrap();
+        assert!(
+            baseline_result.approx_eq(&expected),
+            "{}: baseline vs reference: {:?}",
+            query.name,
+            baseline_result.diff(&expected)
+        );
+        assert!(
+            cjoin_result.approx_eq(&expected),
+            "{}: cjoin vs reference: {:?}",
+            query.name,
+            cjoin_result.diff(&expected)
+        );
+    }
+    cjoin.shutdown();
+}
+
+#[test]
+fn classic_ssb_queries_agree_across_engines() {
+    let data = data(0.002, 101);
+    assert_all_engines_agree(&data, &classic_queries());
+}
+
+#[test]
+fn generated_workload_agrees_across_engines() {
+    let data = data(0.002, 102);
+    let workload = Workload::generate(&data, WorkloadConfig::new(24, 0.03, 55));
+    assert_all_engines_agree(&data, workload.queries());
+}
+
+#[test]
+fn high_selectivity_workload_agrees_across_engines() {
+    // 20 % selectivity loads many more dimension tuples into the shared hash tables.
+    let data = data(0.002, 103);
+    let workload = Workload::generate(&data, WorkloadConfig::new(12, 0.20, 56));
+    assert_all_engines_agree(&data, workload.queries());
+}
+
+#[test]
+fn single_template_workload_agrees_across_engines() {
+    let data = data(0.002, 104);
+    let workload =
+        Workload::generate(&data, WorkloadConfig::new(16, 0.05, 57).with_template("Q4.2"));
+    assert_all_engines_agree(&data, workload.queries());
+}
+
+#[test]
+fn sequential_resubmission_reuses_ids_and_stays_correct() {
+    // Run the same workload twice through one engine instance: query-id recycling,
+    // dimension-table garbage collection and re-admission must not corrupt results.
+    let data = data(0.001, 105);
+    let catalog = data.catalog();
+    let workload = Workload::generate(&data, WorkloadConfig::new(8, 0.05, 58));
+    let cjoin = CjoinEngine::start(Arc::clone(&catalog), cjoin_config()).unwrap();
+
+    for round in 0..2 {
+        for query in workload.queries() {
+            let expected = reference::evaluate(&catalog, query, SnapshotId::INITIAL).unwrap();
+            let result = cjoin.execute(query.clone()).unwrap();
+            assert!(
+                result.approx_eq(&expected),
+                "round {round}, {}: {:?}",
+                query.name,
+                result.diff(&expected)
+            );
+        }
+    }
+    // The completion counter is bumped by the Distributor just after the result is
+    // delivered, so give the pipeline a moment to finish its bookkeeping.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    while cjoin.stats().queries_completed < 16 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(cjoin.stats().queries_completed, 16);
+    cjoin.shutdown();
+}
+
+#[test]
+fn queries_arriving_mid_scan_get_complete_answers() {
+    // Stagger submissions so later queries latch onto a scan that is already moving;
+    // each must still see exactly one full pass (§3.3.1).
+    let data = data(0.002, 106);
+    let catalog = data.catalog();
+    let workload = Workload::generate(&data, WorkloadConfig::new(10, 0.05, 59));
+    let cjoin = CjoinEngine::start(Arc::clone(&catalog), cjoin_config()).unwrap();
+
+    let mut handles = Vec::new();
+    for (i, query) in workload.queries().iter().enumerate() {
+        handles.push(cjoin.submit(query.clone()).unwrap());
+        if i % 3 == 0 {
+            // Give the scan time to advance so admissions land mid-pass.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+    for (query, handle) in workload.queries().iter().zip(handles) {
+        let expected = reference::evaluate(&catalog, query, SnapshotId::INITIAL).unwrap();
+        let result = handle.wait().unwrap();
+        assert!(
+            result.approx_eq(&expected),
+            "{}: {:?}",
+            query.name,
+            result.diff(&expected)
+        );
+    }
+    cjoin.shutdown();
+}

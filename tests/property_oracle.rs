@@ -1,0 +1,289 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * For arbitrary small star-schema universes and arbitrary star queries, the CJOIN
+//!   pipeline, the query-at-a-time baseline and the reference evaluator agree — the
+//!   filtering invariant of §3.2.2 made executable.
+//! * Query bit-vector algebra obeys the set laws the Filters rely on.
+//! * Aggregate state merging is equivalent to single-pass accumulation.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use cjoin_repro::baseline::{BaselineConfig, BaselineEngine};
+use cjoin_repro::cjoin::{CjoinConfig, CjoinEngine};
+use cjoin_repro::common::QuerySet;
+use cjoin_repro::query::{reference, AggValue, AggregateSpec, GroupedAggregator, Predicate};
+use cjoin_repro::storage::{Catalog, Column, Row, Schema, Table, Value};
+use cjoin_repro::{AggFunc, ColumnRef, SnapshotId, StarQuery};
+
+// ---------------------------------------------------------------------------
+// Random star-schema universes and queries
+// ---------------------------------------------------------------------------
+
+/// A generated warehouse: 2 dimensions ("alpha", "beta") and a fact table whose rows
+/// reference them by key, plus a measure column.
+#[derive(Debug, Clone)]
+struct Universe {
+    alpha_names: Vec<String>,
+    beta_sizes: Vec<i64>,
+    fact: Vec<(i64, i64, i64)>, // (alpha_key, beta_key, amount); keys may dangle
+}
+
+fn universe_strategy() -> impl Strategy<Value = Universe> {
+    let alpha = prop::collection::vec("[a-d]{1,3}", 1..6);
+    let beta = prop::collection::vec(1i64..50, 1..5);
+    (alpha, beta).prop_flat_map(|(alpha_names, beta_sizes)| {
+        let a_max = alpha_names.len() as i64 + 1; // +1 allows dangling keys
+        let b_max = beta_sizes.len() as i64 + 1;
+        prop::collection::vec((1..=a_max, 1..=b_max, 0i64..1000), 1..120).prop_map(
+            move |fact| Universe {
+                alpha_names: alpha_names.clone(),
+                beta_sizes: beta_sizes.clone(),
+                fact,
+            },
+        )
+    })
+}
+
+/// A generated query over the universe: optional predicates on either dimension,
+/// optional fact predicate, group-by choice and a couple of aggregates.
+#[derive(Debug, Clone)]
+struct GeneratedQuery {
+    alpha_pred_letter: Option<char>,
+    beta_min_size: Option<i64>,
+    fact_min_amount: Option<i64>,
+    join_alpha: bool,
+    join_beta: bool,
+    group_by_alpha: bool,
+}
+
+fn query_strategy() -> impl Strategy<Value = GeneratedQuery> {
+    (
+        prop::option::of(prop::char::range('a', 'd')),
+        prop::option::of(1i64..50),
+        prop::option::of(0i64..1000),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(alpha_pred_letter, beta_min_size, fact_min_amount, join_alpha, join_beta, group_by_alpha)| {
+                GeneratedQuery {
+                    alpha_pred_letter,
+                    beta_min_size,
+                    fact_min_amount,
+                    join_alpha,
+                    join_beta,
+                    group_by_alpha,
+                }
+            },
+        )
+}
+
+fn build_catalog(universe: &Universe) -> Arc<Catalog> {
+    let catalog = Catalog::new();
+    let alpha = Table::new(Schema::new("alpha", vec![Column::int("a_key"), Column::str("a_name")]));
+    for (i, name) in universe.alpha_names.iter().enumerate() {
+        alpha
+            .insert(vec![Value::int(i as i64 + 1), Value::str(name)], SnapshotId::INITIAL)
+            .unwrap();
+    }
+    let beta = Table::new(Schema::new("beta", vec![Column::int("b_key"), Column::int("b_size")]));
+    for (i, size) in universe.beta_sizes.iter().enumerate() {
+        beta.insert(vec![Value::int(i as i64 + 1), Value::int(*size)], SnapshotId::INITIAL)
+            .unwrap();
+    }
+    let fact = Table::with_rows_per_page(
+        Schema::new(
+            "facts",
+            vec![Column::int("f_alpha"), Column::int("f_beta"), Column::int("f_amount")],
+        ),
+        16,
+    );
+    fact.insert_batch_unchecked(
+        universe
+            .fact
+            .iter()
+            .map(|(a, b, amount)| Row::new(vec![Value::int(*a), Value::int(*b), Value::int(*amount)])),
+        SnapshotId::INITIAL,
+    );
+    catalog.add_table(Arc::new(alpha));
+    catalog.add_table(Arc::new(beta));
+    catalog.add_fact_table(Arc::new(fact));
+    Arc::new(catalog)
+}
+
+fn build_query(spec: &GeneratedQuery, index: usize) -> StarQuery {
+    let mut builder = StarQuery::builder(format!("prop#{index}"));
+    if let Some(min) = spec.fact_min_amount {
+        builder = builder.fact_predicate(Predicate::Compare {
+            column: "f_amount".into(),
+            op: cjoin_repro::query::CompareOp::Ge,
+            value: Value::int(min),
+        });
+    }
+    if spec.join_alpha {
+        let pred = match spec.alpha_pred_letter {
+            Some(letter) => Predicate::between("a_name", letter.to_string(), format!("{letter}zzz")),
+            None => Predicate::True,
+        };
+        builder = builder.join_dimension("alpha", "f_alpha", "a_key", pred);
+    }
+    if spec.join_beta {
+        let pred = match spec.beta_min_size {
+            Some(min) => Predicate::Compare {
+                column: "b_size".into(),
+                op: cjoin_repro::query::CompareOp::Ge,
+                value: Value::int(min),
+            },
+            None => Predicate::True,
+        };
+        builder = builder.join_dimension("beta", "f_beta", "b_key", pred);
+    }
+    if spec.group_by_alpha && spec.join_alpha {
+        builder = builder.group_by(ColumnRef::dim("alpha", "a_name"));
+    }
+    builder
+        .aggregate(AggregateSpec::count_star())
+        .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("f_amount")))
+        .aggregate(AggregateSpec::over(AggFunc::Min, ColumnRef::fact("f_amount")))
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// CJOIN and the baseline agree with the reference evaluator on arbitrary
+    /// universes and concurrent query mixes.
+    #[test]
+    fn engines_agree_on_random_workloads(
+        universe in universe_strategy(),
+        specs in prop::collection::vec(query_strategy(), 1..5),
+    ) {
+        let catalog = build_catalog(&universe);
+        let queries: Vec<StarQuery> = specs.iter().enumerate().map(|(i, s)| build_query(s, i)).collect();
+
+        let baseline = BaselineEngine::new(Arc::clone(&catalog), BaselineConfig::default());
+        let engine = CjoinEngine::start(
+            Arc::clone(&catalog),
+            CjoinConfig::default()
+                .with_worker_threads(2)
+                .with_max_concurrency(16)
+                .with_batch_size(32),
+        )
+        .unwrap();
+
+        // All queries run concurrently in the shared pipeline.
+        let handles: Vec<_> = queries.iter().map(|q| engine.submit(q.clone()).unwrap()).collect();
+        for (query, handle) in queries.iter().zip(handles) {
+            let expected = reference::evaluate(&catalog, query, SnapshotId::INITIAL).unwrap();
+            let (baseline_result, _) = baseline.execute(query).unwrap();
+            let cjoin_result = handle.wait().unwrap();
+            prop_assert!(
+                baseline_result.approx_eq(&expected),
+                "baseline diverged on {}: {:?}", query.name, baseline_result.diff(&expected)
+            );
+            prop_assert!(
+                cjoin_result.approx_eq(&expected),
+                "cjoin diverged on {}: {:?}", query.name, cjoin_result.diff(&expected)
+            );
+        }
+        engine.shutdown();
+    }
+
+    /// Bit-vector AND/OR/subset behave like the corresponding set operations.
+    #[test]
+    fn query_set_obeys_set_algebra(
+        capacity in 1usize..200,
+        a_bits in prop::collection::vec(0usize..200, 0..32),
+        b_bits in prop::collection::vec(0usize..200, 0..32),
+    ) {
+        let a_bits: Vec<usize> = a_bits.into_iter().filter(|&b| b < capacity).collect();
+        let b_bits: Vec<usize> = b_bits.into_iter().filter(|&b| b < capacity).collect();
+        let a = QuerySet::from_bits(capacity, a_bits.iter().copied());
+        let b = QuerySet::from_bits(capacity, b_bits.iter().copied());
+
+        use std::collections::BTreeSet;
+        let sa: BTreeSet<usize> = a_bits.iter().copied().collect();
+        let sb: BTreeSet<usize> = b_bits.iter().copied().collect();
+
+        let mut and = a.clone();
+        and.and_assign(&b);
+        prop_assert_eq!(and.iter().collect::<Vec<_>>(),
+            sa.intersection(&sb).copied().collect::<Vec<_>>());
+
+        let mut or = a.clone();
+        or.or_assign(&b);
+        prop_assert_eq!(or.iter().collect::<Vec<_>>(),
+            sa.union(&sb).copied().collect::<Vec<_>>());
+
+        let mut and_not = a.clone();
+        and_not.and_not_assign(&b);
+        prop_assert_eq!(and_not.iter().collect::<Vec<_>>(),
+            sa.difference(&sb).copied().collect::<Vec<_>>());
+
+        prop_assert_eq!(a.is_subset_of(&b), sa.is_subset(&sb));
+        prop_assert_eq!(a.intersects(&b), !sa.is_disjoint(&sb));
+        prop_assert_eq!(a.count(), sa.len());
+        prop_assert_eq!(a.is_empty(), sa.is_empty());
+    }
+
+    /// Merging partial aggregation states is equivalent to accumulating everything in
+    /// one pass (the property that would let the Distributor be parallelised).
+    #[test]
+    fn aggregate_merge_matches_single_pass(
+        values in prop::collection::vec((0i64..5, -1000i64..1000), 1..80),
+        split in 0usize..80,
+    ) {
+        // Group by fact column 0; aggregate COUNT / SUM / MIN / MAX / AVG over column 1.
+        let query = cjoin_repro::query::star::tests_support::simple_bound_query(
+            vec![0],
+            vec![AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg],
+        );
+        let split = split.min(values.len());
+
+        let mut single = GroupedAggregator::new(&query);
+        for (group, amount) in &values {
+            single.accumulate(&Row::new(vec![Value::int(*group), Value::int(*amount)]), &[]);
+        }
+
+        let mut left = GroupedAggregator::new(&query);
+        let mut right = GroupedAggregator::new(&query);
+        for (group, amount) in &values[..split] {
+            left.accumulate(&Row::new(vec![Value::int(*group), Value::int(*amount)]), &[]);
+        }
+        for (group, amount) in &values[split..] {
+            right.accumulate(&Row::new(vec![Value::int(*group), Value::int(*amount)]), &[]);
+        }
+        left.merge(right);
+
+        let a = single.finalize();
+        let b = left.finalize();
+        prop_assert!(a.approx_eq(&b), "merged aggregation diverged: {:?}", a.diff(&b));
+    }
+
+    /// COUNT(*) through the full CJOIN pipeline equals the number of fact rows
+    /// whatever the (dangling-key) fact content is, when no dimension is joined.
+    #[test]
+    fn unfiltered_count_equals_fact_cardinality(universe in universe_strategy()) {
+        let catalog = build_catalog(&universe);
+        let engine = CjoinEngine::start(
+            Arc::clone(&catalog),
+            CjoinConfig::default().with_worker_threads(1).with_max_concurrency(4).with_batch_size(16),
+        ).unwrap();
+        let query = StarQuery::builder("count_all")
+            .aggregate(AggregateSpec::count_star())
+            .build();
+        let result = engine.execute(query).unwrap();
+        let count = match result.rows().next().unwrap().1[0] {
+            AggValue::Int(c) => c,
+            ref other => panic!("unexpected {other:?}"),
+        };
+        prop_assert_eq!(count, universe.fact.len() as i128);
+        engine.shutdown();
+    }
+}
