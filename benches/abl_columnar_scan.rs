@@ -3,7 +3,7 @@
 //! column, and (c) a columnar replica materialising only the four columns a typical
 //! SSB query mix touches. The projected scan should move a small fraction of the
 //! bytes and finish fastest; the experiment harness reports the byte volumes in
-//! EXPERIMENTS.md.
+//! the experiments binary (`io` subcommand).
 
 use std::sync::Arc;
 

@@ -30,7 +30,9 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let config = CjoinConfig {
                     early_skip,
-                    ..CjoinConfig::default().with_worker_threads(4).with_max_concurrency(32)
+                    ..CjoinConfig::default()
+                        .with_worker_threads(4)
+                        .with_max_concurrency(32)
                 };
                 let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
                 let report = run_closed_loop(&engine, workload.queries(), CONCURRENCY).unwrap();

@@ -29,8 +29,16 @@ fn skewed_queries() -> Vec<StarQuery> {
                 // Unselective supplier predicate.
                 .join_dimension("supplier", s_fk, s_key, Predicate::True)
                 // Extremely selective part predicate, admitted last.
-                .join_dimension("part", p_fk, p_key, Predicate::eq("p_partkey", (i + 1) as i64))
-                .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("lo_revenue")))
+                .join_dimension(
+                    "part",
+                    p_fk,
+                    p_key,
+                    Predicate::eq("p_partkey", (i + 1) as i64),
+                )
+                .aggregate(AggregateSpec::over(
+                    AggFunc::Sum,
+                    ColumnRef::fact("lo_revenue"),
+                ))
                 .build()
         })
         .collect()
@@ -51,7 +59,9 @@ fn bench(c: &mut Criterion) {
                 let config = CjoinConfig {
                     adaptive_filter_ordering: adaptive,
                     reorder_interval_ms: 5,
-                    ..CjoinConfig::default().with_worker_threads(4).with_max_concurrency(32)
+                    ..CjoinConfig::default()
+                        .with_worker_threads(4)
+                        .with_max_concurrency(32)
                 };
                 let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
                 let report = run_closed_loop(&engine, &queries, CONCURRENCY).unwrap();

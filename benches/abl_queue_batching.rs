@@ -34,8 +34,7 @@ fn bench(c: &mut Criterion) {
                         .with_max_concurrency(32)
                         .with_batch_size(batch_size);
                     let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
-                    let report =
-                        run_closed_loop(&engine, workload.queries(), CONCURRENCY).unwrap();
+                    let report = run_closed_loop(&engine, workload.queries(), CONCURRENCY).unwrap();
                     engine.shutdown();
                     report.timings.len()
                 });
@@ -48,7 +47,9 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let config = CjoinConfig {
                     use_batch_pool: use_pool,
-                    ..CjoinConfig::default().with_worker_threads(4).with_max_concurrency(32)
+                    ..CjoinConfig::default()
+                        .with_worker_threads(4)
+                        .with_max_concurrency(32)
                 };
                 let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
                 let report = run_closed_loop(&engine, workload.queries(), CONCURRENCY).unwrap();

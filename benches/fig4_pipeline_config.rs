@@ -24,23 +24,22 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
 
     for threads in [1usize, 2, 4] {
-        for (label, layout) in [("horizontal", StageLayout::Horizontal), ("vertical", StageLayout::Vertical)] {
-            group.bench_with_input(
-                BenchmarkId::new(label, threads),
-                &threads,
-                |b, &threads| {
-                    b.iter(|| {
-                        let config = CjoinConfig::default()
-                            .with_worker_threads(threads)
-                            .with_max_concurrency(32)
-                            .with_stage_layout(layout.clone());
-                        let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
-                        let report = run_closed_loop(&engine, workload.queries(), 16).unwrap();
-                        engine.shutdown();
-                        report.timings.len()
-                    });
-                },
-            );
+        for (label, layout) in [
+            ("horizontal", StageLayout::Horizontal),
+            ("vertical", StageLayout::Vertical),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+                b.iter(|| {
+                    let config = CjoinConfig::default()
+                        .with_worker_threads(threads)
+                        .with_max_concurrency(32)
+                        .with_stage_layout(layout.clone());
+                    let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+                    let report = run_closed_loop(&engine, workload.queries(), 16).unwrap();
+                    engine.shutdown();
+                    report.timings.len()
+                });
+            });
         }
     }
     group.finish();

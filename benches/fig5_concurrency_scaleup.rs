@@ -28,7 +28,9 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let engine = CjoinEngine::start(
                     Arc::clone(&catalog),
-                    CjoinConfig::default().with_worker_threads(4).with_max_concurrency(n.max(4)),
+                    CjoinConfig::default()
+                        .with_worker_threads(4)
+                        .with_max_concurrency(n.max(4)),
                 )
                 .unwrap();
                 let report = run_closed_loop(&engine, workload.queries(), n).unwrap();
@@ -40,7 +42,10 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("system_x", n), &n, |b, &n| {
             b.iter(|| {
                 let engine = BaselineEngine::new(Arc::clone(&catalog), BaselineConfig::system_x());
-                run_closed_loop(&engine, workload.queries(), n).unwrap().timings.len()
+                run_closed_loop(&engine, workload.queries(), n)
+                    .unwrap()
+                    .timings
+                    .len()
             });
         });
 
@@ -48,7 +53,10 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let engine =
                     BaselineEngine::new(Arc::clone(&catalog), BaselineConfig::postgres_like());
-                run_closed_loop(&engine, workload.queries(), n).unwrap().timings.len()
+                run_closed_loop(&engine, workload.queries(), n)
+                    .unwrap()
+                    .timings
+                    .len()
             });
         });
     }

@@ -23,15 +23,14 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
 
     for (label, selectivity) in [("0.1%", 0.001), ("1%", 0.01), ("10%", 0.10)] {
-        let workload = Workload::generate(
-            &data,
-            WorkloadConfig::new(CONCURRENCY, selectivity, 81),
-        );
+        let workload = Workload::generate(&data, WorkloadConfig::new(CONCURRENCY, selectivity, 81));
         group.bench_with_input(BenchmarkId::new("cjoin", label), &selectivity, |b, _| {
             b.iter(|| {
                 let engine = CjoinEngine::start(
                     Arc::clone(&catalog),
-                    CjoinConfig::default().with_worker_threads(4).with_max_concurrency(32),
+                    CjoinConfig::default()
+                        .with_worker_threads(4)
+                        .with_max_concurrency(32),
                 )
                 .unwrap();
                 let report = run_closed_loop(&engine, workload.queries(), CONCURRENCY).unwrap();
@@ -42,7 +41,10 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("system_x", label), &selectivity, |b, _| {
             b.iter(|| {
                 let engine = BaselineEngine::new(Arc::clone(&catalog), BaselineConfig::system_x());
-                run_closed_loop(&engine, workload.queries(), CONCURRENCY).unwrap().timings.len()
+                run_closed_loop(&engine, workload.queries(), CONCURRENCY)
+                    .unwrap()
+                    .timings
+                    .len()
             });
         });
     }

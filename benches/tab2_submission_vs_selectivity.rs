@@ -23,23 +23,29 @@ fn bench(c: &mut Criterion) {
             &data,
             WorkloadConfig::new(64, selectivity, 91).with_template("Q4.2"),
         );
-        group.bench_with_input(BenchmarkId::new("admission", label), &selectivity, |b, _| {
-            let engine = CjoinEngine::start(
-                Arc::clone(&catalog),
-                CjoinConfig::default().with_worker_threads(2).with_max_concurrency(256),
-            )
-            .unwrap();
-            let mut next = 0usize;
-            b.iter(|| {
-                let query = &workload.queries()[next % workload.len()];
-                next += 1;
-                let handle = engine.submit(query.clone()).unwrap();
-                let submission = handle.submission_time();
-                let _ = handle.wait().unwrap();
-                submission
-            });
-            engine.shutdown();
-        });
+        group.bench_with_input(
+            BenchmarkId::new("admission", label),
+            &selectivity,
+            |b, _| {
+                let engine = CjoinEngine::start(
+                    Arc::clone(&catalog),
+                    CjoinConfig::default()
+                        .with_worker_threads(2)
+                        .with_max_concurrency(256),
+                )
+                .unwrap();
+                let mut next = 0usize;
+                b.iter(|| {
+                    let query = &workload.queries()[next % workload.len()];
+                    next += 1;
+                    let handle = engine.submit(query.clone()).unwrap();
+                    let submission = handle.submission_time();
+                    let _ = handle.wait().unwrap();
+                    submission
+                });
+                engine.shutdown();
+            },
+        );
     }
     group.finish();
 }

@@ -8,12 +8,12 @@
 //! model can charge interleaved scans as random access in
 //! [`ScanSharing::Independent`] mode.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cjoin_common::Result;
-use cjoin_query::{QueryResult, StarQuery};
+use cjoin_query::{EngineStats, JoinEngine, QueryResult, QueryTicket, ReadyTicket, StarQuery};
 use cjoin_storage::{AccessKind, Catalog, IoModel, IoStats};
 
 use crate::plan::HashJoinPlan;
@@ -100,6 +100,13 @@ pub struct BaselineEngine {
     active_scans: AtomicUsize,
     /// Aggregate I/O over all queries executed by this engine instance.
     io: Arc<IoStats>,
+    /// Queries accepted (execution started) since the engine was created.
+    queries_submitted: AtomicU64,
+    /// Queries that ran to completion.
+    queries_completed: AtomicU64,
+    /// Cumulative fact tuples scanned across all queries (each query pays for
+    /// its own full scan — the defining query-at-a-time cost).
+    tuples_scanned: AtomicU64,
 }
 
 impl BaselineEngine {
@@ -110,6 +117,9 @@ impl BaselineEngine {
             config,
             active_scans: AtomicUsize::new(0),
             io: Arc::new(IoStats::new()),
+            queries_submitted: AtomicU64::new(0),
+            queries_completed: AtomicU64::new(0),
+            tuples_scanned: AtomicU64::new(0),
         }
     }
 
@@ -138,8 +148,11 @@ impl BaselineEngine {
     /// # Errors
     /// Fails if the query does not bind against the catalog.
     pub fn execute(&self, query: &StarQuery) -> Result<(QueryResult, QueryMetrics)> {
-        let snapshot = query.snapshot.unwrap_or_else(|| self.catalog.snapshots().current());
+        let snapshot = query
+            .snapshot
+            .unwrap_or_else(|| self.catalog.snapshots().current());
         let bound = query.bind(&self.catalog)?;
+        self.queries_submitted.fetch_add(1, Ordering::Relaxed);
 
         let plan = HashJoinPlan::build(&self.catalog, bound, snapshot)?;
         let build_time = plan.build_time;
@@ -160,7 +173,8 @@ impl BaselineEngine {
         let probe_time = probe_started.elapsed();
 
         // Fold this query's I/O into the engine-wide stats.
-        self.io.record(AccessKind::Sequential, query_io.sequential_pages());
+        self.io
+            .record(AccessKind::Sequential, query_io.sequential_pages());
         self.io.record(AccessKind::Random, query_io.random_pages());
 
         let pages_read = query_io.total_pages();
@@ -176,8 +190,43 @@ impl BaselineEngine {
             access_kind,
             modelled_io,
         };
+        self.tuples_scanned.fetch_add(scanned, Ordering::Relaxed);
+        self.queries_completed.fetch_add(1, Ordering::Relaxed);
         Ok((result, metrics))
     }
+}
+
+impl JoinEngine for BaselineEngine {
+    fn name(&self) -> &str {
+        match self.config.scan_sharing {
+            ScanSharing::Independent => "System X (query-at-a-time)",
+            ScanSharing::Synchronized => "PostgreSQL (sync scans)",
+        }
+    }
+
+    /// Evaluates the query synchronously on the calling thread — exactly the
+    /// blocking behaviour of a conventional query-at-a-time DBMS connection —
+    /// and returns a pre-resolved ticket.
+    fn submit(&self, query: StarQuery) -> Result<Box<dyn QueryTicket>> {
+        // Admission failures (binding errors) must surface here, per the trait
+        // contract — a returned ticket means the query was accepted. The
+        // redundant bind is cheap next to the fact scan that follows.
+        query.bind(&self.catalog)?;
+        let outcome = self.execute(&query).map(|(result, _)| result);
+        Ok(Box::new(ReadyTicket::new(outcome)))
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            queries_submitted: self.queries_submitted.load(Ordering::Relaxed),
+            queries_completed: self.queries_completed.load(Ordering::Relaxed),
+            active_queries: self.active_scans(),
+            fact_tuples_scanned: self.tuples_scanned.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The baseline holds no long-lived resources; shutdown is a no-op.
+    fn shutdown(&self) {}
 }
 
 #[cfg(test)]
@@ -188,9 +237,13 @@ mod tests {
 
     fn catalog(rows: i64) -> Arc<Catalog> {
         let catalog = Catalog::new();
-        let dim = Table::new(Schema::new("d", vec![Column::int("k"), Column::str("name")]));
+        let dim = Table::new(Schema::new(
+            "d",
+            vec![Column::int("k"), Column::str("name")],
+        ));
         for (k, name) in [(1, "a"), (2, "b"), (3, "c")] {
-            dim.insert(vec![Value::int(k), Value::str(name)], SnapshotId::INITIAL).unwrap();
+            dim.insert(vec![Value::int(k), Value::str(name)], SnapshotId::INITIAL)
+                .unwrap();
         }
         let fact = Table::with_rows_per_page(
             Schema::new("f", vec![Column::int("fk"), Column::int("v")]),
@@ -238,8 +291,14 @@ mod tests {
         let (_, m1) = engine.execute(&query("q1")).unwrap();
         let (_, m2) = engine.execute(&query("q2")).unwrap();
         assert_eq!(m1.hash_table_rows, 2);
-        assert_eq!(m2.hash_table_rows, 2, "second query pays the build cost again");
-        assert_eq!(engine.io_stats().total_pages(), m1.pages_read + m2.pages_read);
+        assert_eq!(
+            m2.hash_table_rows, 2,
+            "second query pays the build cost again"
+        );
+        assert_eq!(
+            engine.io_stats().total_pages(),
+            m1.pages_read + m2.pages_read
+        );
     }
 
     #[test]
@@ -263,7 +322,10 @@ mod tests {
             "concurrent independent scans should interleave"
         );
         assert!(engine.io_stats().random_pages() > 0);
-        let random_metric = metrics.iter().find(|m| m.access_kind == AccessKind::Random).unwrap();
+        let random_metric = metrics
+            .iter()
+            .find(|m| m.access_kind == AccessKind::Random)
+            .unwrap();
         assert!(random_metric.modelled_io > Duration::ZERO);
     }
 
@@ -289,11 +351,20 @@ mod tests {
 
     #[test]
     fn config_constructors() {
-        assert_eq!(BaselineConfig::system_x().scan_sharing, ScanSharing::Independent);
-        assert_eq!(BaselineConfig::postgres_like().scan_sharing, ScanSharing::Synchronized);
+        assert_eq!(
+            BaselineConfig::system_x().scan_sharing,
+            ScanSharing::Independent
+        );
+        assert_eq!(
+            BaselineConfig::postgres_like().scan_sharing,
+            ScanSharing::Synchronized
+        );
         let with_disk = BaselineConfig::default().with_io_model(IoModel::spinning_disk());
         assert_eq!(with_disk.io_model, IoModel::spinning_disk());
-        assert_eq!(BaselineConfig::default().scan_sharing, ScanSharing::Independent);
+        assert_eq!(
+            BaselineConfig::default().scan_sharing,
+            ScanSharing::Independent
+        );
     }
 
     #[test]
@@ -305,6 +376,10 @@ mod tests {
             .aggregate(AggregateSpec::count_star())
             .build();
         assert!(engine.execute(&bad).is_err());
+        // The trait path must reject at submit, not smuggle the error into the
+        // ticket: Ok(ticket) means "admitted" to harness code.
+        assert!(JoinEngine::submit(&engine, bad).is_err());
+        assert_eq!(JoinEngine::stats(&engine).queries_submitted, 0);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //!   I/O stays sequential but all join computation remains per-query.
 //!
 //! The CPU work (hash-table builds, probes, aggregation) is real and measured; the
-//! I/O is accounted through [`IoStats`]/[`IoModel`] as described in DESIGN.md.
+//! I/O is accounted through [`IoStats`]/[`IoModel`] as described in the `cjoin-storage` crate docs.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

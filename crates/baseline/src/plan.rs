@@ -99,14 +99,20 @@ impl HashJoinPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cjoin_query::{reference, AggFunc, AggValue, AggregateSpec, ColumnRef, Predicate, StarQuery};
+    use cjoin_query::{
+        reference, AggFunc, AggValue, AggregateSpec, ColumnRef, Predicate, StarQuery,
+    };
     use cjoin_storage::{Column, Schema, Table, Value};
 
     fn catalog() -> Catalog {
         let catalog = Catalog::new();
-        let dim = Table::new(Schema::new("d", vec![Column::int("k"), Column::str("name")]));
+        let dim = Table::new(Schema::new(
+            "d",
+            vec![Column::int("k"), Column::str("name")],
+        ));
         for (k, name) in [(1, "a"), (2, "b"), (3, "c")] {
-            dim.insert(vec![Value::int(k), Value::str(name)], SnapshotId::INITIAL).unwrap();
+            dim.insert(vec![Value::int(k), Value::str(name)], SnapshotId::INITIAL)
+                .unwrap();
         }
         let fact = Table::with_rows_per_page(
             Schema::new("f", vec![Column::int("fk"), Column::int("v")]),
@@ -157,7 +163,8 @@ mod tests {
         let bound = query().bind(&catalog).unwrap();
         let plan = HashJoinPlan::build(&catalog, bound, SnapshotId::INITIAL).unwrap();
         let io = Arc::new(IoStats::new());
-        plan.execute(&catalog, Arc::clone(&io), AccessKind::Random).unwrap();
+        plan.execute(&catalog, Arc::clone(&io), AccessKind::Random)
+            .unwrap();
         assert_eq!(io.random_pages(), 13, "100 rows at 8 rows/page = 13 pages");
         assert_eq!(io.sequential_pages(), 0);
     }
@@ -182,7 +189,8 @@ mod tests {
     fn snapshot_is_respected() {
         let catalog = catalog();
         let fact = catalog.fact_table().unwrap();
-        fact.insert(vec![Value::int(1), Value::int(100_000)], SnapshotId(5)).unwrap();
+        fact.insert(vec![Value::int(1), Value::int(100_000)], SnapshotId(5))
+            .unwrap();
         let q = StarQuery::builder("count")
             .aggregate(AggregateSpec::count_star())
             .build();

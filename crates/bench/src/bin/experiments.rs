@@ -63,7 +63,11 @@ fn parse_args() -> std::result::Result<Options, String> {
                 let list = args.next().ok_or("--concurrency needs a value")?;
                 concurrency = list
                     .split(',')
-                    .map(|s| s.trim().parse().map_err(|e| format!("invalid concurrency '{s}': {e}")))
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .map_err(|e| format!("invalid concurrency '{s}': {e}"))
+                    })
                     .collect::<std::result::Result<Vec<usize>, String>>()?;
             }
             "--markdown" => markdown = true,
@@ -98,7 +102,11 @@ fn run(options: &Options) -> Result<Vec<Table>> {
     let want = |name: &str| experiment == "all" || experiment == name;
 
     if want("fig4") {
-        tables.push(fig4_pipeline_config(p, &[1, 2, 3, 4, 5], 32.min(mid_concurrency * 2))?);
+        tables.push(fig4_pipeline_config(
+            p,
+            &[1, 2, 3, 4, 5],
+            32.min(mid_concurrency * 2),
+        )?);
     }
     if want("fig5") {
         tables.push(fig5_concurrency_scaleup(p, n)?);
@@ -113,7 +121,11 @@ fn run(options: &Options) -> Result<Vec<Table>> {
         tables.push(fig7_selectivity(p, &selectivities, mid_concurrency)?);
     }
     if want("tab2") {
-        tables.push(tab2_submission_vs_selectivity(p, &selectivities, mid_concurrency)?);
+        tables.push(tab2_submission_vs_selectivity(
+            p,
+            &selectivities,
+            mid_concurrency,
+        )?);
     }
     if want("fig8") {
         tables.push(fig8_data_scale(p, &scale_factors, mid_concurrency)?);

@@ -4,52 +4,18 @@
 //! the workload as a batch and then submits the next query whenever an outstanding
 //! query finishes, so exactly `n` queries execute concurrently at all times. We model
 //! that with `n` client threads pulling queries from a shared cursor — the effect is
-//! identical (always `n` in flight) and it works unchanged for both engines: each
+//! identical (always `n` in flight) and it works unchanged for every engine: each
 //! CJOIN client registers its query with the shared pipeline and blocks on the
 //! result, each baseline client runs its own private plan.
+//!
+//! The driver is written against [`JoinEngine`], so any engine — current or future —
+//! plugs into the same harness without driver changes.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use cjoin_baseline::BaselineEngine;
 use cjoin_common::Result;
-use cjoin_core::CjoinEngine;
-use cjoin_query::{QueryResult, StarQuery};
-
-/// Anything that can execute a star query to completion.
-pub trait QueryExecutor: Sync {
-    /// Executes one query and returns its result.
-    ///
-    /// # Errors
-    /// Propagates engine-specific failures (binding errors, shutdown, ...).
-    fn execute_query(&self, query: &StarQuery) -> Result<QueryResult>;
-
-    /// Short display name used in experiment tables.
-    fn executor_name(&self) -> &str;
-}
-
-impl QueryExecutor for CjoinEngine {
-    fn execute_query(&self, query: &StarQuery) -> Result<QueryResult> {
-        self.submit(query.clone())?.wait()
-    }
-
-    fn executor_name(&self) -> &str {
-        "CJOIN"
-    }
-}
-
-impl QueryExecutor for BaselineEngine {
-    fn execute_query(&self, query: &StarQuery) -> Result<QueryResult> {
-        self.execute(query).map(|(result, _)| result)
-    }
-
-    fn executor_name(&self) -> &str {
-        match self.config().scan_sharing {
-            cjoin_baseline::ScanSharing::Independent => "System X (query-at-a-time)",
-            cjoin_baseline::ScanSharing::Synchronized => "PostgreSQL (sync scans)",
-        }
-    }
-}
+use cjoin_query::{JoinEngine, StarQuery};
 
 /// Timing of one executed query.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,14 +92,14 @@ impl RunReport {
     }
 }
 
-/// Runs `queries` at a fixed concurrency level against `executor` and reports
+/// Runs `queries` at a fixed concurrency level against `engine` and reports
 /// per-query and aggregate timings.
 ///
 /// # Errors
 /// Returns the first query-execution error encountered (remaining clients finish
 /// their current query and stop).
-pub fn run_closed_loop<E: QueryExecutor>(
-    executor: &E,
+pub fn run_closed_loop(
+    engine: &dyn JoinEngine,
     queries: &[StarQuery],
     concurrency: usize,
 ) -> Result<RunReport> {
@@ -153,7 +119,7 @@ pub fn run_closed_loop<E: QueryExecutor>(
                             return Ok(timings);
                         };
                         let submit = Instant::now();
-                        let result = executor.execute_query(query)?;
+                        let result = engine.execute(query)?;
                         timings.push(QueryTiming {
                             name: query.name.clone(),
                             response_time: submit.elapsed(),
@@ -163,7 +129,10 @@ pub fn run_closed_loop<E: QueryExecutor>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
     });
 
     let wall_time = started.elapsed();
@@ -181,13 +150,13 @@ pub fn run_closed_loop<E: QueryExecutor>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cjoin_baseline::BaselineConfig;
-    use cjoin_core::CjoinConfig;
+    use cjoin_baseline::{BaselineConfig, BaselineEngine};
+    use cjoin_core::{CjoinConfig, CjoinEngine};
     use cjoin_ssb::{SsbConfig, SsbDataSet, Workload, WorkloadConfig};
     use std::sync::Arc;
 
     fn tiny_data() -> SsbDataSet {
-        SsbDataSet::generate(SsbConfig::new(0.0005, 21))
+        SsbDataSet::generate(SsbConfig::for_tests(0.0005, 21))
     }
 
     #[test]
@@ -214,23 +183,37 @@ mod tests {
     }
 
     #[test]
-    fn cjoin_and_baseline_executors_agree_on_results() {
+    fn cjoin_and_baseline_engines_agree_on_results() {
         let data = tiny_data();
         let catalog = data.catalog();
         let workload = Workload::generate(&data, WorkloadConfig::new(6, 0.05, 9));
         let baseline = BaselineEngine::new(Arc::clone(&catalog), BaselineConfig::default());
         let cjoin = CjoinEngine::start(
             Arc::clone(&catalog),
-            CjoinConfig::default().with_worker_threads(2).with_max_concurrency(16),
+            CjoinConfig::default()
+                .with_worker_threads(2)
+                .with_max_concurrency(16),
         )
         .unwrap();
+        // Drive both engines through the shared trait, the way the harness does.
+        let engines: [&dyn JoinEngine; 2] = [&baseline, &cjoin];
         for query in workload.queries() {
-            let expected = baseline.execute_query(query).unwrap();
-            let got = cjoin.execute_query(query).unwrap();
-            assert!(got.approx_eq(&expected), "{}: {:?}", query.name, got.diff(&expected));
+            let expected = engines[0].execute(query).unwrap();
+            let got = engines[1].execute(query).unwrap();
+            assert!(
+                got.approx_eq(&expected),
+                "{}: {:?}",
+                query.name,
+                got.diff(&expected)
+            );
         }
-        assert_eq!(cjoin.executor_name(), "CJOIN");
-        assert!(baseline.executor_name().contains("System X"));
+        assert_eq!(engines[1].name(), "CJOIN");
+        assert!(engines[0].name().contains("System X"));
+        let cjoin_stats = engines[1].stats();
+        assert_eq!(cjoin_stats.queries_completed, 6);
+        let baseline_stats = engines[0].stats();
+        assert_eq!(baseline_stats.queries_submitted, 6);
+        assert_eq!(baseline_stats.queries_completed, 6);
         cjoin.shutdown();
     }
 
@@ -238,18 +221,37 @@ mod tests {
     fn per_template_statistics() {
         let report = RunReport {
             timings: vec![
-                QueryTiming { name: "Q4.2#0".into(), response_time: Duration::from_millis(10), result_rows: 1 },
-                QueryTiming { name: "Q4.2#1".into(), response_time: Duration::from_millis(30), result_rows: 1 },
-                QueryTiming { name: "Q3.1#2".into(), response_time: Duration::from_millis(50), result_rows: 1 },
+                QueryTiming {
+                    name: "Q4.2#0".into(),
+                    response_time: Duration::from_millis(10),
+                    result_rows: 1,
+                },
+                QueryTiming {
+                    name: "Q4.2#1".into(),
+                    response_time: Duration::from_millis(30),
+                    result_rows: 1,
+                },
+                QueryTiming {
+                    name: "Q3.1#2".into(),
+                    response_time: Duration::from_millis(50),
+                    result_rows: 1,
+                },
             ],
             wall_time: Duration::from_millis(60),
             concurrency: 2,
         };
-        assert_eq!(report.mean_response_of("Q4.2").unwrap(), Duration::from_millis(20));
+        assert_eq!(
+            report.mean_response_of("Q4.2").unwrap(),
+            Duration::from_millis(20)
+        );
         assert_eq!(report.mean_response_of("Q1"), None);
         let rel = report.response_rel_stddev_of("Q4.2").unwrap();
         assert!(rel > 0.0 && rel < 1.0);
-        assert_eq!(report.response_rel_stddev_of("Q3.1"), None, "one sample has no spread");
+        assert_eq!(
+            report.response_rel_stddev_of("Q3.1"),
+            None,
+            "one sample has no spread"
+        );
         assert!((report.throughput_qph() - 3.0 * 3600.0 / 0.06).abs() < 1.0);
     }
 }

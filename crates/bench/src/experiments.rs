@@ -6,7 +6,7 @@
 //! Absolute numbers differ from the paper — the substrate is an in-memory row store
 //! on laptop-scale data — but the *shapes* (who wins, how each system scales with
 //! concurrency / selectivity / data volume) are the reproduction target; see
-//! EXPERIMENTS.md for the side-by-side reading.
+//! the README for how to run the sweeps.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -88,7 +88,7 @@ fn start_cjoin(catalog: Arc<Catalog>, config: CjoinConfig) -> Result<CjoinEngine
 }
 
 /// Modelled disk-resident scan time for `passes` sequential passes over the fact
-/// table (used to report the "with modelled disk" column; see DESIGN.md §3).
+/// table (used to report the "with modelled disk" column; see the `cjoin-storage` `io` module).
 fn modelled_scan_time(catalog: &Catalog, passes: f64, io: &IoModel) -> Duration {
     let pages = catalog.fact_table().map(|t| t.num_pages()).unwrap_or(0) as f64;
     Duration::from_secs_f64(pages * passes * io.sequential_page_us / 1e6)
@@ -103,7 +103,11 @@ fn modelled_scan_time(catalog: &Catalog, passes: f64, io: &IoModel) -> Duration 
 ///
 /// # Errors
 /// Propagates engine errors.
-pub fn fig4_pipeline_config(params: &ExperimentParams, thread_counts: &[usize], concurrency: usize) -> Result<Table> {
+pub fn fig4_pipeline_config(
+    params: &ExperimentParams,
+    thread_counts: &[usize],
+    concurrency: usize,
+) -> Result<Table> {
     let data = params.data();
     let catalog = data.catalog();
     let workload = params.workload(&data, concurrency * params.queries_per_level_factor);
@@ -139,7 +143,10 @@ pub fn fig4_pipeline_config(params: &ExperimentParams, thread_counts: &[usize], 
 ///
 /// # Errors
 /// Propagates engine errors.
-pub fn fig5_concurrency_scaleup(params: &ExperimentParams, concurrency_levels: &[usize]) -> Result<Table> {
+pub fn fig5_concurrency_scaleup(
+    params: &ExperimentParams,
+    concurrency_levels: &[usize],
+) -> Result<Table> {
     let data = params.data();
     let catalog = data.catalog();
 
@@ -179,13 +186,24 @@ pub fn fig5_concurrency_scaleup(params: &ExperimentParams, concurrency_levels: &
 ///
 /// # Errors
 /// Propagates engine errors.
-pub fn fig6_predictability(params: &ExperimentParams, concurrency_levels: &[usize]) -> Result<Table> {
+pub fn fig6_predictability(
+    params: &ExperimentParams,
+    concurrency_levels: &[usize],
+) -> Result<Table> {
     let data = params.data();
     let catalog = data.catalog();
 
     let mut table = Table::new(
         "Figure 6: Q4.2 response time vs. concurrent queries (milliseconds; rel. std-dev in %)",
-        vec!["n", "CJOIN", "System X", "PostgreSQL", "CJOIN stddev%", "SysX stddev%", "PG stddev%"],
+        vec![
+            "n",
+            "CJOIN",
+            "System X",
+            "PostgreSQL",
+            "CJOIN stddev%",
+            "SysX stddev%",
+            "PG stddev%",
+        ],
     );
     for &n in concurrency_levels {
         let workload = Workload::generate(
@@ -279,7 +297,10 @@ pub fn cjoin_submission_stats(
 ///
 /// # Errors
 /// Propagates engine errors.
-pub fn tab1_submission_vs_concurrency(params: &ExperimentParams, concurrency_levels: &[usize]) -> Result<Table> {
+pub fn tab1_submission_vs_concurrency(
+    params: &ExperimentParams,
+    concurrency_levels: &[usize],
+) -> Result<Table> {
     let data = params.data();
     let catalog = data.catalog();
     let mut table = Table::new(
@@ -289,8 +310,12 @@ pub fn tab1_submission_vs_concurrency(params: &ExperimentParams, concurrency_lev
     for &n in concurrency_levels {
         let workload = Workload::generate(
             &data,
-            WorkloadConfig::new(n * params.queries_per_level_factor, params.selectivity, params.seed)
-                .with_template("Q4.2"),
+            WorkloadConfig::new(
+                n * params.queries_per_level_factor,
+                params.selectivity,
+                params.seed,
+            )
+            .with_template("Q4.2"),
         );
         let engine = start_cjoin(Arc::clone(&catalog), params.cjoin_config(n))?;
         let stats = cjoin_submission_stats(&engine, workload.queries(), n)?;
@@ -322,8 +347,12 @@ pub fn tab2_submission_vs_selectivity(
     for &s in selectivities {
         let workload = Workload::generate(
             &data,
-            WorkloadConfig::new(concurrency * params.queries_per_level_factor, s, params.seed)
-                .with_template("Q4.2"),
+            WorkloadConfig::new(
+                concurrency * params.queries_per_level_factor,
+                s,
+                params.seed,
+            )
+            .with_template("Q4.2"),
         );
         let engine = start_cjoin(Arc::clone(&catalog), params.cjoin_config(concurrency))?;
         let stats = cjoin_submission_stats(&engine, workload.queries(), concurrency)?;
@@ -357,8 +386,12 @@ pub fn tab3_submission_vs_sf(
         let catalog = data.catalog();
         let workload = Workload::generate(
             &data,
-            WorkloadConfig::new(concurrency * p.queries_per_level_factor, p.selectivity, p.seed)
-                .with_template("Q4.2"),
+            WorkloadConfig::new(
+                concurrency * p.queries_per_level_factor,
+                p.selectivity,
+                p.seed,
+            )
+            .with_template("Q4.2"),
         );
         let engine = start_cjoin(Arc::clone(&catalog), p.cjoin_config(concurrency))?;
         let stats = cjoin_submission_stats(&engine, workload.queries(), concurrency)?;
@@ -395,7 +428,11 @@ pub fn fig7_selectivity(
     for &s in selectivities {
         let workload = Workload::generate(
             &data,
-            WorkloadConfig::new(concurrency * params.queries_per_level_factor, s, params.seed ^ 7),
+            WorkloadConfig::new(
+                concurrency * params.queries_per_level_factor,
+                s,
+                params.seed ^ 7,
+            ),
         );
         let cjoin = start_cjoin(Arc::clone(&catalog), params.cjoin_config(concurrency))?;
         let cjoin_report = run_closed_loop(&cjoin, workload.queries(), concurrency)?;
@@ -492,7 +529,10 @@ pub fn ablations(params: &ExperimentParams, concurrency: usize) -> Result<Table>
             c.use_batch_pool = false;
             c
         }),
-        ("single worker thread", params.cjoin_config(concurrency).with_worker_threads(1)),
+        (
+            "single worker thread",
+            params.cjoin_config(concurrency).with_worker_threads(1),
+        ),
     ];
     for (name, config) in variants {
         let engine = start_cjoin(Arc::clone(&catalog), config)?;
@@ -507,7 +547,10 @@ pub fn ablations(params: &ExperimentParams, concurrency: usize) -> Result<Table>
 /// circular scan pass takes vs. `n` independent (random-access) scans under the
 /// spinning-disk I/O model. Complements Figure 5 with the I/O story that an
 /// in-memory run cannot show directly.
-pub fn modelled_io_comparison(params: &ExperimentParams, concurrency_levels: &[usize]) -> Result<Table> {
+pub fn modelled_io_comparison(
+    params: &ExperimentParams,
+    concurrency_levels: &[usize],
+) -> Result<Table> {
     let data = params.data();
     let catalog = data.catalog();
     let io = IoModel::spinning_disk();
@@ -520,7 +563,11 @@ pub fn modelled_io_comparison(params: &ExperimentParams, concurrency_levels: &[u
         let cjoin_io = modelled_scan_time(&catalog, 2.0, &io);
         // Query-at-a-time: n full scans, degraded to random access once n > 1.
         let pages = catalog.fact_table()?.num_pages() as f64;
-        let per_page = if n > 1 { io.random_page_us } else { io.sequential_page_us };
+        let per_page = if n > 1 {
+            io.random_page_us
+        } else {
+            io.sequential_page_us
+        };
         let baseline_io = Duration::from_secs_f64(pages * n as f64 * per_page / 1e6);
         let ratio = if cjoin_io.as_secs_f64() > 0.0 {
             baseline_io.as_secs_f64() / cjoin_io.as_secs_f64()
@@ -571,7 +618,10 @@ mod tests {
         let response_ms: f64 = table.rows[0][2].parse().unwrap();
         assert!(submission_ms >= 0.0);
         assert!(response_ms > 0.0);
-        assert!(submission_ms < response_ms, "admission is cheaper than a full pass");
+        assert!(
+            submission_ms < response_ms,
+            "admission is cheaper than a full pass"
+        );
     }
 
     #[test]
@@ -581,7 +631,10 @@ mod tests {
         assert_eq!(table.num_rows(), 2);
         let ratio_1: f64 = table.rows[0][3].parse().unwrap();
         let ratio_32: f64 = table.rows[1][3].parse().unwrap();
-        assert!(ratio_32 > ratio_1, "sharing advantage grows with concurrency");
+        assert!(
+            ratio_32 > ratio_1,
+            "sharing advantage grows with concurrency"
+        );
         assert!(ratio_32 > 10.0);
     }
 

@@ -31,5 +31,8 @@ pub mod driver;
 pub mod experiments;
 pub mod report;
 
-pub use driver::{run_closed_loop, QueryExecutor, QueryTiming, RunReport};
+pub use driver::{run_closed_loop, QueryTiming, RunReport};
 pub use report::Table;
+
+#[doc(no_inline)]
+pub use cjoin_query::{EngineStats, JoinEngine, QueryTicket};

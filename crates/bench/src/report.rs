@@ -2,7 +2,7 @@
 //!
 //! Every experiment produces a [`Table`]: a header plus rows of cells. Tables render
 //! both as aligned plain text (for the terminal) and as Markdown (for
-//! EXPERIMENTS.md).
+//! experiment reports).
 
 use std::fmt;
 
@@ -83,7 +83,15 @@ impl fmt::Display for Table {
             .map(|(c, w)| format!("{c:>w$}"))
             .collect();
         writeln!(f, "  {}", header.join("  "))?;
-        writeln!(f, "  {}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "))?;
+        writeln!(
+            f,
+            "  {}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
         for row in &self.rows {
             let cells: Vec<String> = row
                 .iter()

@@ -86,7 +86,7 @@ impl CjoinConfig {
             return Err(Error::invalid_config("queue_capacity must be positive"));
         }
         if let StageLayout::Hybrid(groups) = &self.stage_layout {
-            if groups.is_empty() || groups.iter().any(|&g| g == 0) {
+            if groups.is_empty() || groups.contains(&0) {
                 return Err(Error::invalid_config(
                     "hybrid stage groups must be non-empty and positive",
                 ));
@@ -129,15 +129,38 @@ mod tests {
         let c = CjoinConfig::default();
         c.validate().unwrap();
         assert_eq!(c.stage_layout, StageLayout::Horizontal);
-        assert!(c.max_concurrency >= 256, "paper evaluates up to 256 queries");
+        assert!(
+            c.max_concurrency >= 256,
+            "paper evaluates up to 256 queries"
+        );
     }
 
     #[test]
     fn invalid_configurations_are_rejected() {
-        assert!(CjoinConfig { max_concurrency: 0, ..CjoinConfig::default() }.validate().is_err());
-        assert!(CjoinConfig { worker_threads: 0, ..CjoinConfig::default() }.validate().is_err());
-        assert!(CjoinConfig { batch_size: 0, ..CjoinConfig::default() }.validate().is_err());
-        assert!(CjoinConfig { queue_capacity: 0, ..CjoinConfig::default() }.validate().is_err());
+        assert!(CjoinConfig {
+            max_concurrency: 0,
+            ..CjoinConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CjoinConfig {
+            worker_threads: 0,
+            ..CjoinConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CjoinConfig {
+            batch_size: 0,
+            ..CjoinConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CjoinConfig {
+            queue_capacity: 0,
+            ..CjoinConfig::default()
+        }
+        .validate()
+        .is_err());
         assert!(CjoinConfig {
             stage_layout: StageLayout::Hybrid(vec![]),
             ..CjoinConfig::default()

@@ -95,6 +95,11 @@ pub struct DimensionTable {
     pub dim_key_column: ColumnId,
     /// `bDj`: queries that do **not** reference this dimension.
     pub complement: AtomicQuerySet,
+    /// Queries that **reference** this dimension (joined it at admission). Kept in
+    /// addition to the complement because a referencing query whose predicate selects
+    /// zero dimension rows leaves no trace in `entries` — yet its Filter must stay in
+    /// the pipeline to clear the query's bit from every fact tuple.
+    referencing: AtomicQuerySet,
     entries: RwLock<FxHashMap<i64, Arc<DimEntry>>>,
     /// Per-filter statistics.
     pub stats: FilterStats,
@@ -123,6 +128,7 @@ impl DimensionTable {
             fact_fk_column,
             dim_key_column,
             complement,
+            referencing: AtomicQuerySet::new(max_concurrency),
             entries: RwLock::new(FxHashMap::default()),
             stats: FilterStats::default(),
             max_concurrency,
@@ -153,6 +159,7 @@ impl DimensionTable {
     pub fn register_query(&self, id: QueryId, rows: &[(i64, Row)]) {
         // The query references Dj, so it must not be in the complement bitmap.
         self.complement.unset(id.index());
+        self.referencing.set(id.index());
         let mut entries = self.entries.write();
         for (key, row) in rows {
             match entries.get(key) {
@@ -187,8 +194,12 @@ impl DimensionTable {
     }
 
     /// Removes query `id` from this dimension table (Algorithm 2). Entries whose
-    /// bit-vector becomes empty are garbage-collected. Returns `true` if the table is
-    /// empty afterwards (its Filter can be removed from the pipeline).
+    /// bit-vector becomes empty are garbage-collected. Returns `true` if the Filter
+    /// can be removed from the pipeline: no stored entries *and* no live query
+    /// references the dimension. The second condition matters when a referencing
+    /// query's predicate selected zero dimension rows — its hash-table footprint is
+    /// empty but its Filter must keep clearing the query's bit from fact tuples
+    /// until the query finishes.
     ///
     /// The freed id's bit is cleared everywhere — in the complement bitmap *and* in
     /// every stored entry — so that entries inserted while the id is unused never
@@ -202,6 +213,7 @@ impl DimensionTable {
         self.complement.unset(id.index());
         let mut entries = self.entries.write();
         if referenced {
+            self.referencing.unset(id.index());
             entries.retain(|_, entry| {
                 entry.bits.unset(id.index());
                 !entry.bits.is_empty()
@@ -214,7 +226,12 @@ impl DimensionTable {
             }
             entries.retain(|_, entry| !entry.bits.is_empty());
         }
-        entries.is_empty()
+        entries.is_empty() && self.referencing.is_empty()
+    }
+
+    /// Number of live queries that reference this dimension (diagnostics/tests).
+    pub fn referencing_queries(&self) -> usize {
+        self.referencing.count()
     }
 
     // ------------------------------------------------------------------
@@ -259,7 +276,10 @@ mod tests {
         assert!(t.entry_bits(1).unwrap().get(0));
         assert!(!t.entry_bits(1).unwrap().get(1));
         assert!(t.probe(3).is_none());
-        assert!(!t.complement.get(0), "registering query references the dimension");
+        assert!(
+            !t.complement.get(0),
+            "registering query references the dimension"
+        );
     }
 
     #[test]
@@ -269,7 +289,10 @@ mod tests {
         t.register_query(QueryId(1), &[(2, row(2, "green")), (3, row(3, "blue"))]);
         assert_eq!(t.len(), 3, "union of both selections");
         let bits2 = t.entry_bits(2).unwrap();
-        assert!(bits2.get(0) && bits2.get(1), "tuple 2 selected by both queries");
+        assert!(
+            bits2.get(0) && bits2.get(1),
+            "tuple 2 selected by both queries"
+        );
         let bits1 = t.entry_bits(1).unwrap();
         assert!(bits1.get(0) && !bits1.get(1));
         let bits3 = t.entry_bits(3).unwrap();
@@ -289,9 +312,15 @@ mod tests {
         // New entries inserted later also carry it (they clone the complement).
         t.register_query(QueryId(2), &[(5, row(5, "cyan"))]);
         let bits5 = t.entry_bits(5).unwrap();
-        assert!(bits5.get(1), "query 1 ignores the dimension, accepts tuple 5");
+        assert!(
+            bits5.get(1),
+            "query 1 ignores the dimension, accepts tuple 5"
+        );
         assert!(bits5.get(2));
-        assert!(!bits5.get(0), "query 0 references the dimension but did not select tuple 5");
+        assert!(
+            !bits5.get(0),
+            "query 0 references the dimension but did not select tuple 5"
+        );
     }
 
     #[test]
@@ -311,7 +340,11 @@ mod tests {
         t.register_query(QueryId(1), &[(2, row(2, "green"))]);
         let empty = t.unregister_query(QueryId(0), true);
         assert!(!empty);
-        assert_eq!(t.len(), 1, "tuple 1 had only query 0's bit and is collected");
+        assert_eq!(
+            t.len(),
+            1,
+            "tuple 1 had only query 0's bit and is collected"
+        );
         assert!(t.probe(1).is_none());
         assert!(t.probe(2).is_some());
         assert!(!t.complement.get(0), "freed ids are cleared everywhere");
@@ -329,7 +362,10 @@ mod tests {
         assert!(t.entry_bits(1).unwrap().get(1));
         t.unregister_query(QueryId(1), false);
         assert!(!t.entry_bits(1).unwrap().get(1));
-        assert!(!t.complement.get(1), "freed ids are cleared from the complement too");
+        assert!(
+            !t.complement.get(1),
+            "freed ids are cleared from the complement too"
+        );
         assert_eq!(t.len(), 1, "entry still selected by query 0");
     }
 
@@ -343,11 +379,39 @@ mod tests {
         t.unregister_query(QueryId(0), true);
         // Interim admission by another query while id 0 is unused.
         t.register_query(QueryId(1), &[(2, row(2, "green"))]);
-        assert!(!t.entry_bits(2).unwrap().get(0), "free id must not appear on new entries");
+        assert!(
+            !t.entry_bits(2).unwrap().get(0),
+            "free id must not appear on new entries"
+        );
         // Id 0 is reused by a query selecting only key 3.
         t.register_query(QueryId(0), &[(3, row(3, "blue"))]);
-        assert!(!t.entry_bits(2).unwrap().get(0), "reused id must not select unrelated entries");
+        assert!(
+            !t.entry_bits(2).unwrap().get(0),
+            "reused id must not select unrelated entries"
+        );
         assert!(t.entry_bits(3).unwrap().get(0));
+    }
+
+    #[test]
+    fn empty_selection_keeps_the_filter_alive() {
+        // Regression: query 1's predicate selects zero dimension rows. When query 0
+        // (whose entries were the table's whole content) finishes first, the table's
+        // hash map empties — but the Filter must NOT become removable, or query 1's
+        // bit would never be cleared from fact tuples and its result would contain
+        // rows instead of being empty.
+        let t = table_with_no_queries();
+        t.register_query(QueryId(0), &[(1, row(1, "red"))]);
+        t.register_query(QueryId(1), &[]); // predicate matched nothing
+        assert_eq!(t.referencing_queries(), 2);
+        let removable = t.unregister_query(QueryId(0), true);
+        assert!(!removable, "query 1 still references the dimension");
+        assert!(t.is_empty(), "hash table itself is empty");
+        // Probing any key misses and the complement lacks bit 1, so the Filter
+        // clears query 1's bit — exactly why it has to stay.
+        assert!(t.probe(1).is_none());
+        assert!(!t.complement.get(1));
+        let removable = t.unregister_query(QueryId(1), true);
+        assert!(removable, "last referencing query gone");
     }
 
     #[test]
@@ -382,7 +446,10 @@ mod tests {
         assert_eq!(t.fact_fk_column, 5);
         assert_eq!(t.dim_key_column, 0);
         assert_eq!(t.max_concurrency(), 16);
-        assert!(t.complement.get(2), "pre-existing query 2 does not reference 'part'");
+        assert!(
+            t.complement.get(2),
+            "pre-existing query 2 does not reference 'part'"
+        );
     }
 
     #[test]
@@ -405,7 +472,10 @@ mod tests {
             let t = StdArc::clone(&t);
             std::thread::spawn(move || {
                 for i in 1..5u32 {
-                    t.register_query(QueryId(i), &[(i64::from(i) + 10, row(i64::from(i) + 10, "x"))]);
+                    t.register_query(
+                        QueryId(i),
+                        &[(i64::from(i) + 10, row(i64::from(i) + 10, "x"))],
+                    );
                 }
             })
         };

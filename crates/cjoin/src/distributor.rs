@@ -106,15 +106,21 @@ impl Distributor {
             ControlTuple::QueryStart(runtime) => {
                 let bit = runtime.id.index();
                 let aggregator = GroupedAggregator::new(&runtime.bound);
-                self.queries[bit] = Some(QueryAggregation { runtime, aggregator });
+                self.queries[bit] = Some(QueryAggregation {
+                    runtime,
+                    aggregator,
+                });
             }
             ControlTuple::QueryEnd(id) => {
                 if let Some(state) = self.queries[id.index()].take() {
                     let result = state.aggregator.finalize();
+                    // Count completion before delivering the result: a client that
+                    // wakes on the result channel must observe its own query in
+                    // `queries_completed`.
+                    SharedCounters::add(&self.counters.queries_completed, 1);
                     // The receiver may have been dropped (caller lost interest); the
                     // query still completes and is cleaned up.
                     let _ = state.runtime.result_tx.send(result);
-                    SharedCounters::add(&self.counters.queries_completed, 1);
                     let _ = self.finished_tx.send(id);
                 }
             }
@@ -135,10 +141,21 @@ mod tests {
     /// Catalog: fact(fk, amount) + dim color(k, name).
     fn catalog() -> Catalog {
         let catalog = Catalog::new();
-        let fact = Table::new(Schema::new("fact", vec![Column::int("fk"), Column::int("amount")]));
-        let dim = Table::new(Schema::new("color", vec![Column::int("k"), Column::str("name")]));
-        dim.insert(vec![Value::int(1), Value::str("red")], SnapshotId::INITIAL).unwrap();
-        dim.insert(vec![Value::int(2), Value::str("green")], SnapshotId::INITIAL).unwrap();
+        let fact = Table::new(Schema::new(
+            "fact",
+            vec![Column::int("fk"), Column::int("amount")],
+        ));
+        let dim = Table::new(Schema::new(
+            "color",
+            vec![Column::int("k"), Column::str("name")],
+        ));
+        dim.insert(vec![Value::int(1), Value::str("red")], SnapshotId::INITIAL)
+            .unwrap();
+        dim.insert(
+            vec![Value::int(2), Value::str("green")],
+            SnapshotId::INITIAL,
+        )
+        .unwrap();
         catalog.add_fact_table(Arc::new(fact));
         catalog.add_table(Arc::new(dim));
         catalog
@@ -211,7 +228,8 @@ mod tests {
         let (mut d, tx, fin_rx, in_flight) = harness();
         let (rt, result_rx) = runtime(&catalog, 0, true);
 
-        tx.send(Message::Control(ControlTuple::QueryStart(rt))).unwrap();
+        tx.send(Message::Control(ControlTuple::QueryStart(rt)))
+            .unwrap();
         in_flight.fetch_add(1, Ordering::AcqRel);
         tx.send(Message::Data(vec![
             tuple(&[0], 1, 10, Some("red")),
@@ -219,7 +237,8 @@ mod tests {
             tuple(&[0], 1, 5, Some("red")),
         ]))
         .unwrap();
-        tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(0)))).unwrap();
+        tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(0))))
+            .unwrap();
         tx.send(Message::Shutdown).unwrap();
         d.run();
 
@@ -234,7 +253,11 @@ mod tests {
             AggValue::Int(20)
         );
         assert_eq!(fin_rx.try_recv().unwrap(), QueryId(0));
-        assert_eq!(in_flight.load(Ordering::Acquire), 0, "data batch acknowledged");
+        assert_eq!(
+            in_flight.load(Ordering::Acquire),
+            0,
+            "data batch acknowledged"
+        );
     }
 
     #[test]
@@ -242,11 +265,14 @@ mod tests {
         let catalog = catalog();
         let (mut d, tx, _fin_rx, in_flight) = harness();
         let (rt, result_rx) = runtime(&catalog, 1, false);
-        tx.send(Message::Control(ControlTuple::QueryStart(rt))).unwrap();
+        tx.send(Message::Control(ControlTuple::QueryStart(rt)))
+            .unwrap();
         in_flight.fetch_add(1, Ordering::AcqRel);
         // Bit 5 has no registered aggregation; bit 1 does.
-        tx.send(Message::Data(vec![tuple(&[1, 5], 1, 7, Some("red"))])).unwrap();
-        tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(1)))).unwrap();
+        tx.send(Message::Data(vec![tuple(&[1, 5], 1, 7, Some("red"))]))
+            .unwrap();
+        tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(1))))
+            .unwrap();
         tx.send(Message::Shutdown).unwrap();
         d.run();
         let result = result_rx.try_recv().unwrap();
@@ -259,17 +285,28 @@ mod tests {
         let (mut d, tx, fin_rx, in_flight) = harness();
         let (rt0, rx0) = runtime(&catalog, 0, false);
         let (rt1, rx1) = runtime(&catalog, 1, true);
-        tx.send(Message::Control(ControlTuple::QueryStart(rt0))).unwrap();
-        tx.send(Message::Control(ControlTuple::QueryStart(rt1))).unwrap();
+        tx.send(Message::Control(ControlTuple::QueryStart(rt0)))
+            .unwrap();
+        tx.send(Message::Control(ControlTuple::QueryStart(rt1)))
+            .unwrap();
         in_flight.fetch_add(1, Ordering::AcqRel);
-        tx.send(Message::Data(vec![tuple(&[0, 1], 1, 100, Some("red"))])).unwrap();
-        tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(0)))).unwrap();
-        tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(1)))).unwrap();
+        tx.send(Message::Data(vec![tuple(&[0, 1], 1, 100, Some("red"))]))
+            .unwrap();
+        tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(0))))
+            .unwrap();
+        tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(1))))
+            .unwrap();
         tx.send(Message::Shutdown).unwrap();
         d.run();
-        assert_eq!(rx0.try_recv().unwrap().rows().next().unwrap().1[0], AggValue::Int(100));
         assert_eq!(
-            rx1.try_recv().unwrap().aggregate_for(&[Value::str("red")]).unwrap()[0],
+            rx0.try_recv().unwrap().rows().next().unwrap().1[0],
+            AggValue::Int(100)
+        );
+        assert_eq!(
+            rx1.try_recv()
+                .unwrap()
+                .aggregate_for(&[Value::str("red")])
+                .unwrap()[0],
             AggValue::Int(100)
         );
         let finished: Vec<_> = fin_rx.try_iter().collect();
@@ -281,12 +318,17 @@ mod tests {
         let catalog = catalog();
         let (mut d, tx, _fin, _in_flight) = harness();
         let (rt, result_rx) = runtime(&catalog, 0, true);
-        tx.send(Message::Control(ControlTuple::QueryStart(rt))).unwrap();
-        tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(0)))).unwrap();
+        tx.send(Message::Control(ControlTuple::QueryStart(rt)))
+            .unwrap();
+        tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(0))))
+            .unwrap();
         tx.send(Message::Shutdown).unwrap();
         d.run();
         let result = result_rx.try_recv().unwrap();
-        assert!(result.is_empty(), "grouped query with no input has no groups");
+        assert!(
+            result.is_empty(),
+            "grouped query with no input has no groups"
+        );
     }
 
     #[test]
@@ -295,11 +337,17 @@ mod tests {
         let (mut d, tx, fin_rx, _in_flight) = harness();
         let (rt, result_rx) = runtime(&catalog, 0, false);
         drop(result_rx);
-        tx.send(Message::Control(ControlTuple::QueryStart(rt))).unwrap();
-        tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(0)))).unwrap();
+        tx.send(Message::Control(ControlTuple::QueryStart(rt)))
+            .unwrap();
+        tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(0))))
+            .unwrap();
         tx.send(Message::Shutdown).unwrap();
         d.run();
-        assert_eq!(fin_rx.try_recv().unwrap(), QueryId(0), "cleanup still notified");
+        assert_eq!(
+            fin_rx.try_recv().unwrap(),
+            QueryId(0),
+            "cleanup still notified"
+        );
     }
 
     #[test]

@@ -266,7 +266,14 @@ impl CjoinEngine {
             std::thread::Builder::new()
                 .name("cjoin-manager".into())
                 .spawn(move || {
-                    run_manager(finished_rx, chain, admission, counters, config, shutdown_flag)
+                    run_manager(
+                        finished_rx,
+                        chain,
+                        admission,
+                        counters,
+                        config,
+                        shutdown_flag,
+                    )
                 })
                 .map_err(|e| Error::invalid_state(format!("failed to spawn manager: {e}")))?
         };
@@ -323,7 +330,9 @@ impl CjoinEngine {
         }
         let submitted_at = Instant::now();
         let bound = query.bind(&self.catalog)?;
-        let snapshot = bound.snapshot.unwrap_or_else(|| self.catalog.snapshots().current());
+        let snapshot = bound
+            .snapshot
+            .unwrap_or_else(|| self.catalog.snapshots().current());
 
         // ---- Algorithm 1, lines 1–16: update dimension hash tables -------------
         let mut admission = self.admission.lock();
@@ -395,7 +404,9 @@ impl CjoinEngine {
                 dim.register_unreferencing_query(id);
             }
         }
-        admission.registered.insert(id.0, Registered { referenced_dims });
+        admission
+            .registered
+            .insert(id.0, Registered { referenced_dims });
         drop(admission);
 
         // ---- Partition pruning plan (§5) ----------------------------------------
@@ -408,7 +419,10 @@ impl CjoinEngine {
                 needed[pid.index()] = true;
                 remaining_rows += info.rows_per_partition[pid.index()];
             }
-            Some(PartitionPlan { needed, remaining_rows })
+            Some(PartitionPlan {
+                needed,
+                remaining_rows,
+            })
         });
 
         // ---- Algorithm 1, lines 17–22: install in Preprocessor & Distributor ----
@@ -539,6 +553,37 @@ impl Drop for CjoinEngine {
     }
 }
 
+impl cjoin_query::QueryTicket for QueryHandle {
+    fn wait(self: Box<Self>) -> Result<QueryResult> {
+        QueryHandle::wait(*self)
+    }
+}
+
+impl cjoin_query::JoinEngine for CjoinEngine {
+    fn name(&self) -> &str {
+        "CJOIN"
+    }
+
+    fn submit(&self, query: StarQuery) -> Result<Box<dyn cjoin_query::QueryTicket>> {
+        let handle = CjoinEngine::submit(self, query)?;
+        Ok(Box::new(handle))
+    }
+
+    fn stats(&self) -> cjoin_query::EngineStats {
+        let stats = CjoinEngine::stats(self);
+        cjoin_query::EngineStats {
+            queries_submitted: stats.queries_admitted,
+            queries_completed: stats.queries_completed,
+            active_queries: stats.active_queries,
+            fact_tuples_scanned: stats.tuples_scanned,
+        }
+    }
+
+    fn shutdown(&self) {
+        CjoinEngine::shutdown(self);
+    }
+}
+
 /// The manager thread body: query cleanup (Algorithm 2) and adaptive filter ordering.
 fn run_manager(
     finished_rx: Receiver<QueryId>,
@@ -596,13 +641,22 @@ mod tests {
     /// A small synthetic star schema: fact(sales) with two dimensions.
     fn small_catalog(fact_rows: i64) -> Arc<Catalog> {
         let catalog = Catalog::new();
-        let color = Table::new(Schema::new("color", vec![Column::int("k"), Column::str("name")]));
+        let color = Table::new(Schema::new(
+            "color",
+            vec![Column::int("k"), Column::str("name")],
+        ));
         for (k, name) in [(1, "red"), (2, "green"), (3, "blue")] {
-            color.insert(vec![Value::int(k), Value::str(name)], SnapshotId::INITIAL).unwrap();
+            color
+                .insert(vec![Value::int(k), Value::str(name)], SnapshotId::INITIAL)
+                .unwrap();
         }
-        let size = Table::new(Schema::new("size", vec![Column::int("k"), Column::str("label")]));
+        let size = Table::new(Schema::new(
+            "size",
+            vec![Column::int("k"), Column::str("label")],
+        ));
         for (k, label) in [(1, "small"), (2, "large")] {
-            size.insert(vec![Value::int(k), Value::str(label)], SnapshotId::INITIAL).unwrap();
+            size.insert(vec![Value::int(k), Value::str(label)], SnapshotId::INITIAL)
+                .unwrap();
         }
         let fact = Table::with_rows_per_page(
             Schema::new(
@@ -653,7 +707,11 @@ mod tests {
         let query = red_sum_query("red_sum");
         let expected = reference::evaluate(&catalog, &query, SnapshotId::INITIAL).unwrap();
         let result = engine.execute(query).unwrap();
-        assert!(result.approx_eq(&expected), "diff: {:?}", result.diff(&expected));
+        assert!(
+            result.approx_eq(&expected),
+            "diff: {:?}",
+            result.diff(&expected)
+        );
         engine.shutdown();
     }
 
@@ -669,7 +727,12 @@ mod tests {
                 .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("amount")))
                 .build(),
             StarQuery::builder("q_two_dims")
-                .join_dimension("color", "colorkey", "k", Predicate::in_list("name", vec!["red", "blue"]))
+                .join_dimension(
+                    "color",
+                    "colorkey",
+                    "k",
+                    Predicate::in_list("name", vec!["red", "blue"]),
+                )
                 .join_dimension("size", "sizekey", "k", Predicate::eq("label", "large"))
                 .group_by(ColumnRef::dim("size", "label"))
                 .aggregate(AggregateSpec::count_star())
@@ -835,7 +898,10 @@ mod tests {
         let mut last = 0.0f64;
         for _ in 0..200 {
             let f = progress.fraction();
-            assert!(f >= last - 1e-9, "progress must not go backwards ({f} < {last})");
+            assert!(
+                f >= last - 1e-9,
+                "progress must not go backwards ({f} < {last})"
+            );
             last = f;
             if progress.is_completed() {
                 break;

@@ -87,7 +87,11 @@ impl FilterChain {
 
     /// Returns the Filter covering `dimension`, if present.
     pub fn find(&self, dimension: &str) -> Option<Arc<DimensionTable>> {
-        self.filters.read().iter().find(|f| f.name == dimension).cloned()
+        self.filters
+            .read()
+            .iter()
+            .find(|f| f.name == dimension)
+            .cloned()
     }
 
     /// Appends a Filter (new Filters are appended; the optimizer may move them later,
@@ -131,7 +135,10 @@ impl FilterChain {
         }
         // Whatever remains (not mentioned in new_order) keeps its old relative order.
         reordered.append(&mut remaining);
-        let changed = reordered.iter().map(|f| f.name.as_str()).ne(old_names.iter().map(String::as_str));
+        let changed = reordered
+            .iter()
+            .map(|f| f.name.as_str())
+            .ne(old_names.iter().map(String::as_str));
         *filters = reordered;
         changed
     }
@@ -172,7 +179,12 @@ mod tests {
         let t = DimensionTable::new(name, slot, fk_col, 0, 8, &QuerySet::new(8));
         let rows: Vec<(i64, Row)> = selected_by_q0
             .iter()
-            .map(|&k| (k, Row::new(vec![Value::int(k), Value::str(format!("{name}-{k}"))])))
+            .map(|&k| {
+                (
+                    k,
+                    Row::new(vec![Value::int(k), Value::str(format!("{name}-{k}"))]),
+                )
+            })
             .collect();
         t.register_query(QueryId(0), &rows);
         t.register_unreferencing_query(QueryId(1));
@@ -195,7 +207,10 @@ mod tests {
         assert!(apply_filter(&d, &mut t, false));
         assert_eq!(t.bits.iter().collect::<Vec<_>>(), vec![0, 1]);
         assert!(t.dims[0].is_some());
-        assert_eq!(t.dims[0].as_ref().unwrap().get(1).as_str().unwrap(), "color-7");
+        assert_eq!(
+            t.dims[0].as_ref().unwrap().get(1).as_str().unwrap(),
+            "color-7"
+        );
     }
 
     #[test]
@@ -203,7 +218,11 @@ mod tests {
         let d = dim("color", 0, 0, &[7]);
         let mut t = fact_tuple(9, 0); // key 9 not selected by query 0
         assert!(apply_filter(&d, &mut t, false));
-        assert_eq!(t.bits.iter().collect::<Vec<_>>(), vec![1], "only the ignoring query survives");
+        assert_eq!(
+            t.bits.iter().collect::<Vec<_>>(),
+            vec![1],
+            "only the ignoring query survives"
+        );
         assert!(t.dims[0].is_none());
     }
 
@@ -259,12 +278,15 @@ mod tests {
         assert_eq!(chain.order(), vec!["color", "size"]);
 
         let mut batch: Batch = vec![
-            fact_tuple(7, 3),  // joins both selected tuples: stays relevant to q0 and q1
-            fact_tuple(7, 9),  // second dimension miss: only q1 remains
-            fact_tuple(9, 9),  // both miss: only q1 remains
+            fact_tuple(7, 3), // joins both selected tuples: stays relevant to q0 and q1
+            fact_tuple(7, 9), // second dimension miss: only q1 remains
+            fact_tuple(9, 9), // both miss: only q1 remains
         ];
         let dropped = FilterChain::process_batch(&chain.snapshot(), &mut batch, true);
-        assert_eq!(dropped, 0, "query 1 ignores both dimensions so nothing is dropped");
+        assert_eq!(
+            dropped, 0,
+            "query 1 ignores both dimensions so nothing is dropped"
+        );
         assert_eq!(batch[0].bits.iter().collect::<Vec<_>>(), vec![0, 1]);
         assert_eq!(batch[1].bits.iter().collect::<Vec<_>>(), vec![1]);
         assert_eq!(batch[2].bits.iter().collect::<Vec<_>>(), vec![1]);
@@ -321,15 +343,19 @@ mod tests {
         let d1 = dim("color", 0, 0, &[7, 8]);
         let d2 = dim("size", 1, 1, &[3]);
         let make_batch = || -> Batch {
-            vec![fact_tuple(7, 3), fact_tuple(8, 9), fact_tuple(1, 3), fact_tuple(2, 2)]
+            vec![
+                fact_tuple(7, 3),
+                fact_tuple(8, 9),
+                fact_tuple(1, 3),
+                fact_tuple(2, 2),
+            ]
         };
         let mut b1 = make_batch();
         FilterChain::process_batch(&[Arc::clone(&d1), Arc::clone(&d2)], &mut b1, true);
         let mut b2 = make_batch();
         FilterChain::process_batch(&[Arc::clone(&d2), Arc::clone(&d1)], &mut b2, true);
-        let bits = |b: &Batch| -> Vec<Vec<usize>> {
-            b.iter().map(|t| t.bits.iter().collect()).collect()
-        };
+        let bits =
+            |b: &Batch| -> Vec<Vec<usize>> { b.iter().map(|t| t.bits.iter().collect()).collect() };
         assert_eq!(bits(&b1), bits(&b2));
     }
 }

@@ -76,7 +76,7 @@ mod tests {
     #[test]
     fn orders_by_decreasing_drop_rate() {
         let chain = FilterChain::new();
-        chain.push(filter("weak", 0, 1000, 10));    // 1 % drop
+        chain.push(filter("weak", 0, 1000, 10)); // 1 % drop
         chain.push(filter("strong", 1, 1000, 900)); // 90 % drop
         chain.push(filter("medium", 2, 1000, 400)); // 40 % drop
         let counters = SharedCounters::new();

@@ -169,9 +169,17 @@ mod tests {
         for num_stages in 1..=6 {
             let mut covered = Vec::new();
             for s in 0..num_stages {
-                covered.extend(stage_slice(&filters, s, num_stages).iter().map(|f| f.name.clone()));
+                covered.extend(
+                    stage_slice(&filters, s, num_stages)
+                        .iter()
+                        .map(|f| f.name.clone()),
+                );
             }
-            assert_eq!(covered, vec!["d0", "d1", "d2", "d3", "d4"], "stages={num_stages}");
+            assert_eq!(
+                covered,
+                vec!["d0", "d1", "d2", "d3", "d4"],
+                "stages={num_stages}"
+            );
         }
     }
 

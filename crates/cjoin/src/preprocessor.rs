@@ -224,9 +224,12 @@ impl Preprocessor {
         // tuple, so no drain barrier is needed here.
         let _ = self
             .distributor_tx
-            .send(Message::Control(ControlTuple::QueryStart(Arc::clone(&runtime))));
+            .send(Message::Control(ControlTuple::QueryStart(Arc::clone(
+                &runtime,
+            ))));
 
-        let special = fact_predicate.is_some() || snapshot != SnapshotId::INITIAL || partition.is_some();
+        let special =
+            fact_predicate.is_some() || snapshot != SnapshotId::INITIAL || partition.is_some();
         self.queries[bit] = Some(ActiveQuery {
             progress: Arc::clone(&runtime.progress),
             fact_predicate,
@@ -256,7 +259,9 @@ impl Preprocessor {
         self.drain_barrier();
         let _ = self
             .distributor_tx
-            .send(Message::Control(ControlTuple::QueryEnd(QueryId(bit as u32))));
+            .send(Message::Control(ControlTuple::QueryEnd(QueryId(
+                bit as u32,
+            ))));
     }
 
     fn drain_barrier(&self) {
@@ -384,7 +389,9 @@ impl Preprocessor {
             .as_ref()
             .map(|(scheme, column)| scheme.partition_of(row.int(*column)).index());
         for &bit in &self.special_bits {
-            let Some(q) = &mut self.queries[bit] else { continue };
+            let Some(q) = &mut self.queries[bit] else {
+                continue;
+            };
             if let Some(pred) = &q.fact_predicate {
                 if !pred.eval(row) {
                     bits.unset(bit);
@@ -422,9 +429,9 @@ impl Preprocessor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::{bounded, unbounded};
     use cjoin_query::{AggregateSpec, StarQuery};
     use cjoin_storage::{Catalog, Column, Row, Schema, Table, Value};
+    use crossbeam::channel::{bounded, unbounded};
     use std::time::Instant;
 
     fn fact_table(rows: i64) -> Arc<Table> {
@@ -476,7 +483,10 @@ mod tests {
     fn dummy_runtime(bit: u32) -> (Arc<QueryRuntime>, Receiver<cjoin_query::QueryResult>) {
         // A minimal bound query against a catalog with a fact table only.
         let catalog = Catalog::new();
-        let fact = Table::new(Schema::new("fact", vec![Column::int("fk"), Column::int("v")]));
+        let fact = Table::new(Schema::new(
+            "fact",
+            vec![Column::int("fk"), Column::int("v")],
+        ));
         catalog.add_fact_table(Arc::new(fact));
         let bound = StarQuery::builder(format!("q{bit}"))
             .aggregate(AggregateSpec::count_star())
@@ -513,7 +523,9 @@ mod tests {
 
     #[test]
     fn install_emits_query_start_control() {
-        let config = CjoinConfig::default().with_max_concurrency(8).with_batch_size(10);
+        let config = CjoinConfig::default()
+            .with_max_concurrency(8)
+            .with_batch_size(10);
         let (mut pre, cmd_tx, _stage_rx, dist_rx, _) = harness(25, config);
         let (rt, _res) = dummy_runtime(0);
         install(&cmd_tx, rt);
@@ -527,7 +539,9 @@ mod tests {
 
     #[test]
     fn one_full_pass_then_query_end() {
-        let config = CjoinConfig::default().with_max_concurrency(8).with_batch_size(10);
+        let config = CjoinConfig::default()
+            .with_max_concurrency(8)
+            .with_batch_size(10);
         let (mut pre, cmd_tx, stage_rx, dist_rx, in_flight) = harness(25, config);
         let (rt, _res) = dummy_runtime(0);
         install(&cmd_tx, rt);
@@ -553,13 +567,18 @@ mod tests {
             }
         }
         assert!(saw_end, "query must finalize after one full pass");
-        assert_eq!(data_tuples, 25, "exactly one pass worth of tuples had the query's bit");
+        assert_eq!(
+            data_tuples, 25,
+            "exactly one pass worth of tuples had the query's bit"
+        );
         assert_eq!(pre.active_queries(), 0);
     }
 
     #[test]
     fn query_registered_mid_scan_sees_exactly_one_pass() {
-        let config = CjoinConfig::default().with_max_concurrency(8).with_batch_size(10);
+        let config = CjoinConfig::default()
+            .with_max_concurrency(8)
+            .with_batch_size(10);
         let (mut pre, cmd_tx, stage_rx, dist_rx, in_flight) = harness(30, config);
 
         // First query keeps the scan busy.
@@ -595,17 +614,25 @@ mod tests {
             }
         }
         assert!(q1_ended);
-        assert_eq!(q1_tuples, 30, "the mid-scan query sees each fact tuple exactly once");
+        assert_eq!(
+            q1_tuples, 30,
+            "the mid-scan query sees each fact tuple exactly once"
+        );
     }
 
     #[test]
     fn fact_predicate_clears_bits() {
-        let config = CjoinConfig::default().with_max_concurrency(8).with_batch_size(100);
+        let config = CjoinConfig::default()
+            .with_max_concurrency(8)
+            .with_batch_size(100);
         let (mut pre, cmd_tx, stage_rx, dist_rx, in_flight) = harness(30, config);
         let (rt, _r) = dummy_runtime(0);
         // Predicate: fk = 1 (10 of 30 rows).
         let catalog = Catalog::new();
-        let fact = Table::new(Schema::new("fact", vec![Column::int("fk"), Column::int("v")]));
+        let fact = Table::new(Schema::new(
+            "fact",
+            vec![Column::int("fk"), Column::int("v")],
+        ));
         catalog.add_fact_table(Arc::new(fact));
         let pred = cjoin_query::Predicate::eq("fk", 1)
             .bind(catalog.fact_table().unwrap().schema())
@@ -634,7 +661,10 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(relevant, 10, "only rows satisfying the fact predicate are forwarded");
+        assert_eq!(
+            relevant, 10,
+            "only rows satisfying the fact predicate are forwarded"
+        );
     }
 
     #[test]
@@ -643,20 +673,33 @@ mod tests {
         let (mut pre, cmd_tx, stage_rx, dist_rx, _) = harness(5, config);
         cmd_tx.send(PreprocessorCommand::Shutdown).unwrap();
         pre.run(); // returns instead of scanning forever
-        assert!(stage_rx.try_recv().is_err(), "no data produced after shutdown");
-        assert!(dist_rx.try_recv().is_err(), "no control produced after shutdown");
+        assert!(
+            stage_rx.try_recv().is_err(),
+            "no data produced after shutdown"
+        );
+        assert!(
+            dist_rx.try_recv().is_err(),
+            "no control produced after shutdown"
+        );
     }
 
     #[test]
     fn snapshot_visibility_is_a_virtual_predicate() {
-        let config = CjoinConfig::default().with_max_concurrency(8).with_batch_size(100);
+        let config = CjoinConfig::default()
+            .with_max_concurrency(8)
+            .with_batch_size(100);
         // Build a table where 5 rows are visible at snapshot 0 and 5 more at snapshot 1.
-        let t = Table::new(Schema::new("fact", vec![Column::int("fk"), Column::int("v")]));
+        let t = Table::new(Schema::new(
+            "fact",
+            vec![Column::int("fk"), Column::int("v")],
+        ));
         for i in 0..5 {
-            t.insert(vec![Value::int(i), Value::int(i)], SnapshotId(0)).unwrap();
+            t.insert(vec![Value::int(i), Value::int(i)], SnapshotId(0))
+                .unwrap();
         }
         for i in 5..10 {
-            t.insert(vec![Value::int(i), Value::int(i)], SnapshotId(1)).unwrap();
+            t.insert(vec![Value::int(i), Value::int(i)], SnapshotId(1))
+                .unwrap();
         }
         let scan = ContinuousScan::new(Arc::new(t)).with_batch_rows(100);
         let (cmd_tx, cmd_rx) = unbounded();

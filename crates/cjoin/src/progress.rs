@@ -95,7 +95,9 @@ impl QueryProgress {
         }
         let remaining_rows = self.rows_total.saturating_sub(seen);
         let rate = seen as f64 / self.elapsed().as_secs_f64().max(1e-9);
-        Some(Duration::from_secs_f64(remaining_rows as f64 / rate.max(1e-9)))
+        Some(Duration::from_secs_f64(
+            remaining_rows as f64 / rate.max(1e-9),
+        ))
     }
 }
 

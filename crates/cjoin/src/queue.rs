@@ -10,6 +10,11 @@ use std::time::Duration;
 
 use crate::tuple::Message;
 
+/// Error returned by [`TupleQueue::recv_timeout`] when every sender has been
+/// dropped (the pipeline is tearing down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
 /// A bounded, multi-producer multi-consumer queue of pipeline messages.
 #[derive(Debug, Clone)]
 pub struct TupleQueue {
@@ -54,13 +59,13 @@ impl TupleQueue {
 
     /// Receives the next message, blocking up to `timeout`.
     ///
-    /// Returns `Ok(None)` on timeout, and `Err(())` when every sender has been
-    /// dropped (the pipeline is tearing down).
-    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>, ()> {
+    /// Returns `Ok(None)` on timeout, and `Err(Disconnected)` when every sender
+    /// has been dropped (the pipeline is tearing down).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>, Disconnected> {
         match self.rx.recv_timeout(timeout) {
             Ok(msg) => Ok(Some(msg)),
             Err(RecvTimeoutError::Timeout) => Ok(None),
-            Err(RecvTimeoutError::Disconnected) => Err(()),
+            Err(RecvTimeoutError::Disconnected) => Err(Disconnected),
         }
     }
 
@@ -108,7 +113,8 @@ mod tests {
     fn fifo_order_is_preserved() {
         let q = TupleQueue::new(4);
         q.send(data_message(1)).unwrap();
-        q.send(Message::Control(ControlTuple::QueryEnd(QueryId(7)))).unwrap();
+        q.send(Message::Control(ControlTuple::QueryEnd(QueryId(7))))
+            .unwrap();
         q.send(data_message(2)).unwrap();
 
         assert!(matches!(q.recv().unwrap(), Message::Data(b) if b.len() == 1));

@@ -166,7 +166,10 @@ mod tests {
             pool_misses: 5,
         };
         assert!((stats.survival_rate() - 0.25).abs() < 1e-12);
-        let zero = PipelineStats { tuples_scanned: 0, ..stats };
+        let zero = PipelineStats {
+            tuples_scanned: 0,
+            ..stats
+        };
         assert_eq!(zero.survival_rate(), 0.0);
     }
 }

@@ -138,8 +138,10 @@ mod tests {
         let batch: Batch = vec![InFlightTuple::new(RowId(0), row(), QuerySet::new(4), 0)];
         let m = Message::Data(batch);
         assert!(matches!(m, Message::Data(b) if b.len() == 1));
-        assert!(matches!(Message::Control(ControlTuple::QueryEnd(QueryId(2))),
-            Message::Control(ControlTuple::QueryEnd(QueryId(2)))));
+        assert!(matches!(
+            Message::Control(ControlTuple::QueryEnd(QueryId(2))),
+            Message::Control(ControlTuple::QueryEnd(QueryId(2)))
+        ));
         assert!(matches!(Message::Shutdown, Message::Shutdown));
     }
 }

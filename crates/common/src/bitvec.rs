@@ -86,7 +86,11 @@ impl QuerySet {
     /// Panics if `i >= capacity`.
     #[inline]
     pub fn set(&mut self, i: usize) {
-        assert!(i < self.capacity, "query id {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "query id {i} out of capacity {}",
+            self.capacity
+        );
         let (w, m) = word_and_mask(i);
         self.words[w] |= m;
     }
@@ -97,7 +101,11 @@ impl QuerySet {
     /// Panics if `i >= capacity`.
     #[inline]
     pub fn unset(&mut self, i: usize) {
-        assert!(i < self.capacity, "query id {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "query id {i} out of capacity {}",
+            self.capacity
+        );
         let (w, m) = word_and_mask(i);
         self.words[w] &= !m;
     }
@@ -172,7 +180,10 @@ impl QuerySet {
     #[inline]
     pub fn is_subset_of(&self, other: &QuerySet) -> bool {
         assert_eq!(self.capacity, other.capacity, "QuerySet capacity mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Returns `true` if `self` and `other` share at least one set bit.
@@ -265,7 +276,9 @@ impl AtomicQuerySet {
     /// Creates an empty atomic bit-vector with the given query-id capacity.
     pub fn new(capacity: usize) -> Self {
         Self {
-            words: (0..word_count(capacity)).map(|_| AtomicU64::new(0)).collect(),
+            words: (0..word_count(capacity))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             capacity,
         }
     }
@@ -287,7 +300,11 @@ impl AtomicQuerySet {
     /// Atomically sets bit `i`.
     #[inline]
     pub fn set(&self, i: usize) {
-        assert!(i < self.capacity, "query id {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "query id {i} out of capacity {}",
+            self.capacity
+        );
         let (w, m) = word_and_mask(i);
         self.words[w].fetch_or(m, Ordering::Release);
     }
@@ -295,7 +312,11 @@ impl AtomicQuerySet {
     /// Atomically clears bit `i`.
     #[inline]
     pub fn unset(&self, i: usize) {
-        assert!(i < self.capacity, "query id {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "query id {i} out of capacity {}",
+            self.capacity
+        );
         let (w, m) = word_and_mask(i);
         self.words[w].fetch_and(!m, Ordering::Release);
     }
@@ -361,7 +382,11 @@ impl AtomicQuerySet {
     /// path, where allocating a snapshot per fact tuple would dominate the saving.
     #[inline]
     pub fn contains_all(&self, other: &QuerySet) -> bool {
-        assert_eq!(self.capacity, other.capacity(), "QuerySet capacity mismatch");
+        assert_eq!(
+            self.capacity,
+            other.capacity(),
+            "QuerySet capacity mismatch"
+        );
         self.words
             .iter()
             .zip(other.words())
@@ -536,7 +561,10 @@ mod tests {
         complement.set(64);
         assert!(complement.contains_all(&QuerySet::from_bits(128, [1])));
         assert!(complement.contains_all(&QuerySet::from_bits(128, [1, 64])));
-        assert!(complement.contains_all(&QuerySet::new(128)), "empty set always contained");
+        assert!(
+            complement.contains_all(&QuerySet::new(128)),
+            "empty set always contained"
+        );
         assert!(!complement.contains_all(&QuerySet::from_bits(128, [2])));
         assert!(!complement.contains_all(&QuerySet::from_bits(128, [1, 2])));
     }

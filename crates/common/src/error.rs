@@ -99,11 +99,15 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = Error::TooManyConcurrentQueries { max_concurrency: 256 };
+        let e = Error::TooManyConcurrentQueries {
+            max_concurrency: 256,
+        };
         assert!(e.to_string().contains("256"));
         let e = Error::UnknownQuery { id: 9 };
         assert!(e.to_string().contains("Q9"));
-        let e = Error::UnknownTable { name: "part".into() };
+        let e = Error::UnknownTable {
+            name: "part".into(),
+        };
         assert!(e.to_string().contains("part"));
         let e = Error::UnknownColumn {
             table: "customer".into(),
@@ -114,9 +118,18 @@ mod tests {
 
     #[test]
     fn helpers_build_expected_variants() {
-        assert!(matches!(Error::invalid_state("x"), Error::InvalidState { .. }));
-        assert!(matches!(Error::invalid_config("x"), Error::InvalidConfig { .. }));
-        assert!(matches!(Error::type_mismatch("x"), Error::TypeMismatch { .. }));
+        assert!(matches!(
+            Error::invalid_state("x"),
+            Error::InvalidState { .. }
+        ));
+        assert!(matches!(
+            Error::invalid_config("x"),
+            Error::InvalidConfig { .. }
+        ));
+        assert!(matches!(
+            Error::type_mismatch("x"),
+            Error::TypeMismatch { .. }
+        ));
     }
 
     #[test]

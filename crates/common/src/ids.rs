@@ -158,7 +158,10 @@ mod tests {
         a.allocate().unwrap();
         a.allocate().unwrap();
         let err = a.allocate().unwrap_err();
-        assert!(matches!(err, Error::TooManyConcurrentQueries { max_concurrency: 2 }));
+        assert!(matches!(
+            err,
+            Error::TooManyConcurrentQueries { max_concurrency: 2 }
+        ));
     }
 
     #[test]

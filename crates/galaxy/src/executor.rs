@@ -189,6 +189,45 @@ impl GalaxyEngine {
     }
 }
 
+impl cjoin_query::JoinEngine for GalaxyEngine {
+    fn name(&self) -> &str {
+        "GALAXY (2×CJOIN)"
+    }
+
+    /// Routes a plain star query to the side pipeline whose catalog it binds
+    /// against, so star and galaxy queries share the same always-on operators.
+    /// A query that binds against both sides (e.g. a fact-predicate-free
+    /// `COUNT(*)` with no dimension joins) is ambiguous in a galaxy schema and
+    /// is deterministically routed to side A.
+    fn submit(&self, query: StarQuery) -> Result<Box<dyn cjoin_query::QueryTicket>> {
+        let side = if query.bind(self.engines[Side::A.index()].catalog()).is_ok() {
+            Side::A
+        } else {
+            Side::B
+        };
+        let handle = self.submit_side(side, query)?;
+        Ok(Box::new(handle))
+    }
+
+    /// Sums the two side pipelines' counters. Galaxy queries contribute two
+    /// submissions/completions each (one star sub-query per side).
+    fn stats(&self) -> cjoin_query::EngineStats {
+        let mut total = cjoin_query::EngineStats::default();
+        for engine in &self.engines {
+            let stats = engine.stats();
+            total.queries_submitted += stats.queries_admitted;
+            total.queries_completed += stats.queries_completed;
+            total.active_queries += stats.active_queries;
+            total.fact_tuples_scanned += stats.tuples_scanned;
+        }
+        total
+    }
+
+    fn shutdown(&self) {
+        GalaxyEngine::shutdown(self);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,18 +284,20 @@ mod tests {
 
     fn cross_query() -> GalaxyQuery {
         GalaxyQuery::builder("orders_x_shipments")
-            .side_a(
-                SideSpec::new("orders", "o_custkey").join_dimension(
-                    "customer",
-                    "o_custkey",
-                    "c_custkey",
-                    Predicate::eq("c_region", "ASIA"),
-                ),
-            )
+            .side_a(SideSpec::new("orders", "o_custkey").join_dimension(
+                "customer",
+                "o_custkey",
+                "c_custkey",
+                Predicate::eq("c_region", "ASIA"),
+            ))
             .side_b(SideSpec::new("shipments", "s_custkey"))
             .group_by(Side::A, ColumnRef::dim("customer", "c_region"))
             .aggregate(GalaxyAggregateSpec::count_star())
-            .aggregate(GalaxyAggregateSpec::over(AggFunc::Sum, Side::B, ColumnRef::fact("s_weight")))
+            .aggregate(GalaxyAggregateSpec::over(
+                AggFunc::Sum,
+                Side::B,
+                ColumnRef::fact("s_weight"),
+            ))
             .build()
     }
 
@@ -276,12 +317,17 @@ mod tests {
     #[test]
     fn galaxy_engine_matches_reference_oracle() {
         let catalog = galaxy_catalog();
-        let engine = GalaxyEngine::start(Arc::clone(&catalog), "orders", "shipments", test_config()).unwrap();
+        let engine =
+            GalaxyEngine::start(Arc::clone(&catalog), "orders", "shipments", test_config())
+                .unwrap();
         let query = cross_query();
-        let expected =
-            crate::reference::evaluate(&catalog, &query, SnapshotId::INITIAL).unwrap();
+        let expected = crate::reference::evaluate(&catalog, &query, SnapshotId::INITIAL).unwrap();
         let result = engine.execute(query).unwrap();
-        assert!(result.approx_eq(&expected), "diff: {:?}", result.diff(&expected));
+        assert!(
+            result.approx_eq(&expected),
+            "diff: {:?}",
+            result.diff(&expected)
+        );
         assert!(!result.is_empty());
         engine.shutdown();
     }
@@ -289,9 +335,13 @@ mod tests {
     #[test]
     fn rejects_mismatched_fact_tables_and_duplicate_facts() {
         let catalog = galaxy_catalog();
-        assert!(GalaxyEngine::start(Arc::clone(&catalog), "orders", "orders", test_config()).is_err());
+        assert!(
+            GalaxyEngine::start(Arc::clone(&catalog), "orders", "orders", test_config()).is_err()
+        );
 
-        let engine = GalaxyEngine::start(Arc::clone(&catalog), "orders", "shipments", test_config()).unwrap();
+        let engine =
+            GalaxyEngine::start(Arc::clone(&catalog), "orders", "shipments", test_config())
+                .unwrap();
         let swapped = GalaxyQuery::builder("swapped")
             .side_a(SideSpec::new("shipments", "s_custkey"))
             .side_b(SideSpec::new("orders", "o_custkey"))
@@ -306,16 +356,26 @@ mod tests {
     #[test]
     fn plain_star_queries_share_the_side_pipelines() {
         let catalog = galaxy_catalog();
-        let engine = GalaxyEngine::start(Arc::clone(&catalog), "orders", "shipments", test_config()).unwrap();
+        let engine =
+            GalaxyEngine::start(Arc::clone(&catalog), "orders", "shipments", test_config())
+                .unwrap();
 
         // A plain star query on side A's engine runs alongside the galaxy query.
         let star = cjoin_query::StarQuery::builder("plain_star")
-            .join_dimension("customer", "o_custkey", "c_custkey", Predicate::eq("c_region", "EUROPE"))
+            .join_dimension(
+                "customer",
+                "o_custkey",
+                "c_custkey",
+                Predicate::eq("c_region", "EUROPE"),
+            )
             .aggregate(cjoin_query::AggregateSpec::count_star())
             .build();
-        let star_expected =
-            cjoin_query::reference::evaluate(engine.engine(Side::A).catalog(), &star, SnapshotId::INITIAL)
-                .unwrap();
+        let star_expected = cjoin_query::reference::evaluate(
+            engine.engine(Side::A).catalog(),
+            &star,
+            SnapshotId::INITIAL,
+        )
+        .unwrap();
 
         let galaxy_handle = engine.submit(cross_query()).unwrap();
         let star_handle = engine.engine(Side::A).submit(star).unwrap();
@@ -330,7 +390,9 @@ mod tests {
     #[test]
     fn handles_expose_names_and_side_progress() {
         let catalog = galaxy_catalog();
-        let engine = GalaxyEngine::start(Arc::clone(&catalog), "orders", "shipments", test_config()).unwrap();
+        let engine =
+            GalaxyEngine::start(Arc::clone(&catalog), "orders", "shipments", test_config())
+                .unwrap();
         let handle = engine.submit(cross_query()).unwrap();
         assert_eq!(handle.name(), "orders_x_shipments");
         let (a, b) = handle.side_handles();

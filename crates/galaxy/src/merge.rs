@@ -97,18 +97,36 @@ pub struct MergePlan {
 #[derive(Debug, Clone)]
 enum MergeAcc {
     Count(i128),
-    Sum { sum: i128, seen: bool },
-    Extreme { current: Option<AggValue>, is_min: bool },
-    Avg { sum: i128, count: i128 },
+    Sum {
+        sum: i128,
+        seen: bool,
+    },
+    Extreme {
+        current: Option<AggValue>,
+        is_min: bool,
+    },
+    Avg {
+        sum: i128,
+        count: i128,
+    },
 }
 
 impl MergeAcc {
     fn new(agg: &MergeAgg) -> Self {
         match agg {
             MergeAgg::CountStar | MergeAgg::CountColumn { .. } => MergeAcc::Count(0),
-            MergeAgg::Sum { .. } => MergeAcc::Sum { sum: 0, seen: false },
-            MergeAgg::Min { .. } => MergeAcc::Extreme { current: None, is_min: true },
-            MergeAgg::Max { .. } => MergeAcc::Extreme { current: None, is_min: false },
+            MergeAgg::Sum { .. } => MergeAcc::Sum {
+                sum: 0,
+                seen: false,
+            },
+            MergeAgg::Min { .. } => MergeAcc::Extreme {
+                current: None,
+                is_min: true,
+            },
+            MergeAgg::Max { .. } => MergeAcc::Extreme {
+                current: None,
+                is_min: false,
+            },
             MergeAgg::Avg { .. } => MergeAcc::Avg { sum: 0, count: 0 },
         }
     }
@@ -170,16 +188,20 @@ fn better(candidate: &AggValue, current: &AggValue, is_min: bool) -> bool {
 ///
 /// `result_a` / `result_b` must be the outputs of the star sub-queries produced by
 /// [`crate::GalaxyQuery::decompose`] for the same plan.
-pub fn merge_results(result_a: &QueryResult, result_b: &QueryResult, plan: &MergePlan) -> QueryResult {
+pub fn merge_results(
+    result_a: &QueryResult,
+    result_b: &QueryResult,
+    plan: &MergePlan,
+) -> QueryResult {
+    /// One partially aggregated group row: `(group key, aggregate states)`.
+    type GroupRow<'a> = (&'a Vec<Value>, &'a Vec<AggValue>);
     // Index side B by pivot value (position 0 of its group key).
-    let mut b_by_pivot: FxHashMap<&Value, Vec<(&Vec<Value>, &Vec<AggValue>)>> = FxHashMap::default();
+    let mut b_by_pivot: FxHashMap<&Value, Vec<GroupRow<'_>>> = FxHashMap::default();
     for (key, aggs) in result_b.rows() {
         b_by_pivot.entry(&key[0]).or_default().push((key, aggs));
     }
 
-    let multiplicity = |aggs: &[AggValue]| -> i128 {
-        aggs.last().and_then(as_int).unwrap_or(0)
-    };
+    let multiplicity = |aggs: &[AggValue]| -> i128 { aggs.last().and_then(as_int).unwrap_or(0) };
 
     let mut groups: std::collections::BTreeMap<Vec<Value>, Vec<MergeAcc>> =
         std::collections::BTreeMap::new();
@@ -237,12 +259,21 @@ pub fn merge_results(result_a: &QueryResult, result_b: &QueryResult, plan: &Merg
                         let (aggs, _) = side_aggs(*side);
                         let candidate = &aggs[*partial];
                         if !matches!(candidate, AggValue::Null)
-                            && current.as_ref().map_or(true, |cur| better(candidate, cur, *is_min))
+                            && current
+                                .as_ref()
+                                .is_none_or(|cur| better(candidate, cur, *is_min))
                         {
                             *current = Some(candidate.clone());
                         }
                     }
-                    (MergeAcc::Avg { sum, count }, MergeAgg::Avg { side, sum_partial, count_partial }) => {
+                    (
+                        MergeAcc::Avg { sum, count },
+                        MergeAgg::Avg {
+                            side,
+                            sum_partial,
+                            count_partial,
+                        },
+                    ) => {
                         let (aggs, other) = side_aggs(*side);
                         if let Some(s) = as_int(&aggs[*sum_partial]) {
                             *sum += s * other;
@@ -321,7 +352,10 @@ mod tests {
         // Side A carries SUM partial 100 over 2 rows at pivot 1; side B has 3 rows.
         let plan = MergePlan {
             group_columns: vec![],
-            aggregates: vec![MergeAgg::Sum { side: Side::A, partial: 0 }],
+            aggregates: vec![MergeAgg::Sum {
+                side: Side::A,
+                partial: 0,
+            }],
             aggregate_labels: vec!["SUM(a.v)".into()],
             partial_counts: [1, 0],
         };
@@ -338,8 +372,16 @@ mod tests {
     fn group_columns_come_from_their_side() {
         let plan = MergePlan {
             group_columns: vec![
-                MergeGroupColumn { side: Side::A, key_position: 1, name: "a.g".into() },
-                MergeGroupColumn { side: Side::B, key_position: 1, name: "b.h".into() },
+                MergeGroupColumn {
+                    side: Side::A,
+                    key_position: 1,
+                    name: "a.g".into(),
+                },
+                MergeGroupColumn {
+                    side: Side::B,
+                    key_position: 1,
+                    name: "b.h".into(),
+                },
             ],
             aggregates: vec![MergeAgg::CountStar],
             aggregate_labels: vec!["COUNT(*)".into()],
@@ -355,13 +397,20 @@ mod tests {
         ]);
         let merged = merge_results(&a, &b, &plan);
         assert_eq!(merged.num_rows(), 4);
-        assert_eq!(merged.group_columns(), &["a.g".to_string(), "b.h".to_string()]);
         assert_eq!(
-            merged.aggregate_for(&[Value::str("y"), Value::str("q")]).unwrap()[0],
+            merged.group_columns(),
+            &["a.g".to_string(), "b.h".to_string()]
+        );
+        assert_eq!(
+            merged
+                .aggregate_for(&[Value::str("y"), Value::str("q")])
+                .unwrap()[0],
             AggValue::Int(8)
         );
         assert_eq!(
-            merged.aggregate_for(&[Value::str("x"), Value::str("p")]).unwrap()[0],
+            merged
+                .aggregate_for(&[Value::str("x"), Value::str("p")])
+                .unwrap()[0],
             AggValue::Int(1)
         );
     }
@@ -371,18 +420,33 @@ mod tests {
         let plan = MergePlan {
             group_columns: vec![],
             aggregates: vec![
-                MergeAgg::Min { side: Side::A, partial: 0 },
-                MergeAgg::Max { side: Side::A, partial: 0 },
+                MergeAgg::Min {
+                    side: Side::A,
+                    partial: 0,
+                },
+                MergeAgg::Max {
+                    side: Side::A,
+                    partial: 0,
+                },
             ],
             aggregate_labels: vec!["MIN(a.v)".into(), "MAX(a.v)".into()],
             partial_counts: [1, 0],
         };
         let a = side_result(vec![
-            (vec![Value::int(1)], vec![AggValue::Int(5), AggValue::Int(10)]),
-            (vec![Value::int(2)], vec![AggValue::Int(-3), AggValue::Int(1)]),
+            (
+                vec![Value::int(1)],
+                vec![AggValue::Int(5), AggValue::Int(10)],
+            ),
+            (
+                vec![Value::int(2)],
+                vec![AggValue::Int(-3), AggValue::Int(1)],
+            ),
             (vec![Value::int(3)], vec![AggValue::Null, AggValue::Int(1)]),
             // Pivot 4 has a larger value but no join partner: must not influence MAX.
-            (vec![Value::int(4)], vec![AggValue::Int(999), AggValue::Int(1)]),
+            (
+                vec![Value::int(4)],
+                vec![AggValue::Int(999), AggValue::Int(1)],
+            ),
         ]);
         let b = side_result(vec![
             (vec![Value::int(1)], vec![AggValue::Int(7)]),
@@ -399,7 +463,11 @@ mod tests {
     fn avg_combines_sum_and_count_partials() {
         let plan = MergePlan {
             group_columns: vec![],
-            aggregates: vec![MergeAgg::Avg { side: Side::B, sum_partial: 0, count_partial: 1 }],
+            aggregates: vec![MergeAgg::Avg {
+                side: Side::B,
+                sum_partial: 0,
+                count_partial: 1,
+            }],
             aggregate_labels: vec!["AVG(b.v)".into()],
             partial_counts: [0, 2],
         };
@@ -410,8 +478,14 @@ mod tests {
             (vec![Value::int(2)], vec![AggValue::Int(1)]),
         ]);
         let b = side_result(vec![
-            (vec![Value::int(1)], vec![AggValue::Int(30), AggValue::Int(3), AggValue::Int(3)]),
-            (vec![Value::int(2)], vec![AggValue::Int(10), AggValue::Int(1), AggValue::Int(1)]),
+            (
+                vec![Value::int(1)],
+                vec![AggValue::Int(30), AggValue::Int(3), AggValue::Int(3)],
+            ),
+            (
+                vec![Value::int(2)],
+                vec![AggValue::Int(10), AggValue::Int(1), AggValue::Int(1)],
+            ),
         ]);
         let merged = merge_results(&a, &b, &plan);
         let avg = &merged.aggregate_for(&[]).unwrap()[0];
@@ -422,11 +496,17 @@ mod tests {
     fn sum_of_all_null_partials_is_null() {
         let plan = MergePlan {
             group_columns: vec![],
-            aggregates: vec![MergeAgg::Sum { side: Side::A, partial: 0 }],
+            aggregates: vec![MergeAgg::Sum {
+                side: Side::A,
+                partial: 0,
+            }],
             aggregate_labels: vec!["SUM(a.v)".into()],
             partial_counts: [1, 0],
         };
-        let a = side_result(vec![(vec![Value::int(1)], vec![AggValue::Null, AggValue::Int(2)])]);
+        let a = side_result(vec![(
+            vec![Value::int(1)],
+            vec![AggValue::Null, AggValue::Int(2)],
+        )]);
         let b = side_result(vec![(vec![Value::int(1)], vec![AggValue::Int(3)])]);
         let merged = merge_results(&a, &b, &plan);
         assert_eq!(merged.aggregate_for(&[]).unwrap()[0], AggValue::Null);
@@ -435,8 +515,15 @@ mod tests {
     #[test]
     fn string_group_keys_and_string_extremes() {
         let plan = MergePlan {
-            group_columns: vec![MergeGroupColumn { side: Side::B, key_position: 1, name: "b.city".into() }],
-            aggregates: vec![MergeAgg::Min { side: Side::B, partial: 0 }],
+            group_columns: vec![MergeGroupColumn {
+                side: Side::B,
+                key_position: 1,
+                name: "b.city".into(),
+            }],
+            aggregates: vec![MergeAgg::Min {
+                side: Side::B,
+                partial: 0,
+            }],
             aggregate_labels: vec!["MIN(b.name)".into()],
             partial_counts: [0, 1],
         };

@@ -268,7 +268,8 @@ impl GalaxyQuery {
                 // The pivot key is the first group-by column of the star sub-query.
                 .group_by(ColumnRef::fact(spec.pivot_column.clone()));
             for (table, fk, key, pred) in &spec.dimensions {
-                builder = builder.join_dimension(table.clone(), fk.clone(), key.clone(), pred.clone());
+                builder =
+                    builder.join_dimension(table.clone(), fk.clone(), key.clone(), pred.clone());
             }
             for col in &side_group_cols[side.index()] {
                 builder = builder.group_by(col.clone());
@@ -390,13 +391,26 @@ mod tests {
             .side_a(
                 SideSpec::new("orders", "o_custkey")
                     .fact_predicate(Predicate::between("o_orderdate", 19940101, 19941231))
-                    .join_dimension("customer", "o_custkey", "c_custkey", Predicate::eq("c_region", "ASIA")),
+                    .join_dimension(
+                        "customer",
+                        "o_custkey",
+                        "c_custkey",
+                        Predicate::eq("c_region", "ASIA"),
+                    ),
             )
             .side_b(SideSpec::new("returns", "r_custkey"))
             .group_by(Side::A, ColumnRef::dim("customer", "c_nation"))
             .aggregate(GalaxyAggregateSpec::count_star())
-            .aggregate(GalaxyAggregateSpec::over(AggFunc::Sum, Side::B, ColumnRef::fact("r_amount")))
-            .aggregate(GalaxyAggregateSpec::over(AggFunc::Avg, Side::B, ColumnRef::fact("r_amount")))
+            .aggregate(GalaxyAggregateSpec::over(
+                AggFunc::Sum,
+                Side::B,
+                ColumnRef::fact("r_amount"),
+            ))
+            .aggregate(GalaxyAggregateSpec::over(
+                AggFunc::Avg,
+                Side::B,
+                ColumnRef::fact("r_amount"),
+            ))
             .build()
     }
 
@@ -448,10 +462,20 @@ mod tests {
         assert_eq!(d.plan.group_columns[0].key_position, 1);
         assert_eq!(d.plan.aggregates.len(), 3);
         assert!(matches!(d.plan.aggregates[0], MergeAgg::CountStar));
-        assert!(matches!(d.plan.aggregates[1], MergeAgg::Sum { side: Side::B, partial: 0 }));
+        assert!(matches!(
+            d.plan.aggregates[1],
+            MergeAgg::Sum {
+                side: Side::B,
+                partial: 0
+            }
+        ));
         assert!(matches!(
             d.plan.aggregates[2],
-            MergeAgg::Avg { side: Side::B, sum_partial: 0, count_partial: 1 }
+            MergeAgg::Avg {
+                side: Side::B,
+                sum_partial: 0,
+                count_partial: 1
+            }
         ));
     }
 
@@ -462,16 +486,35 @@ mod tests {
             .side_b(SideSpec::new("f2", "k"))
             .group_by(Side::A, ColumnRef::fact("x"))
             .group_by(Side::A, ColumnRef::fact("x"))
-            .aggregate(GalaxyAggregateSpec::over(AggFunc::Sum, Side::A, ColumnRef::fact("v")))
-            .aggregate(GalaxyAggregateSpec::over(AggFunc::Avg, Side::A, ColumnRef::fact("v")))
-            .aggregate(GalaxyAggregateSpec::over(AggFunc::Sum, Side::A, ColumnRef::fact("v")))
+            .aggregate(GalaxyAggregateSpec::over(
+                AggFunc::Sum,
+                Side::A,
+                ColumnRef::fact("v"),
+            ))
+            .aggregate(GalaxyAggregateSpec::over(
+                AggFunc::Avg,
+                Side::A,
+                ColumnRef::fact("v"),
+            ))
+            .aggregate(GalaxyAggregateSpec::over(
+                AggFunc::Sum,
+                Side::A,
+                ColumnRef::fact("v"),
+            ))
             .build();
         let d = q.decompose().unwrap();
         // SUM(v) shared by the two SUMs and the AVG; COUNT(v) added once for the AVG.
         assert_eq!(d.plan.partial_counts, [2, 0]);
-        assert_eq!(d.star_a.aggregates.len(), 3, "SUM, COUNT partials + multiplicity");
+        assert_eq!(
+            d.star_a.aggregates.len(),
+            3,
+            "SUM, COUNT partials + multiplicity"
+        );
         // The duplicated group-by column maps to the same key position.
-        assert_eq!(d.plan.group_columns[0].key_position, d.plan.group_columns[1].key_position);
+        assert_eq!(
+            d.plan.group_columns[0].key_position,
+            d.plan.group_columns[1].key_position
+        );
         assert_eq!(d.star_a.group_by.len(), 2, "pivot + deduplicated x");
     }
 

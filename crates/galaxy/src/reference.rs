@@ -70,7 +70,11 @@ fn resolve(
 }
 
 /// Materialises the qualifying records of one star side at `snapshot`.
-fn materialise_side(catalog: &Catalog, spec: &SideSpec, snapshot: SnapshotId) -> Result<Vec<SideRecord>> {
+fn materialise_side(
+    catalog: &Catalog,
+    spec: &SideSpec,
+    snapshot: SnapshotId,
+) -> Result<Vec<SideRecord>> {
     let fact = catalog.table(&spec.fact_table)?;
     let fact_schema = fact.schema();
     let fact_predicate = spec.fact_predicate.bind(fact_schema)?;
@@ -78,7 +82,8 @@ fn materialise_side(catalog: &Catalog, spec: &SideSpec, snapshot: SnapshotId) ->
 
     // Per dimension clause: FK column index on the fact table plus a key -> row map of
     // the dimension rows that satisfy the clause's predicate.
-    let mut dim_lookups: Vec<(usize, FxHashMap<i64, Row>)> = Vec::with_capacity(spec.dimensions.len());
+    let mut dim_lookups: Vec<(usize, FxHashMap<i64, Row>)> =
+        Vec::with_capacity(spec.dimensions.len());
     for (table, fk, key, predicate) in &spec.dimensions {
         let dim = catalog.table(table)?;
         let dim_schema = dim.schema();
@@ -126,18 +131,36 @@ fn materialise_side(catalog: &Catalog, spec: &SideSpec, snapshot: SnapshotId) ->
 #[derive(Debug, Clone)]
 enum RefAgg {
     Count(i128),
-    Sum { sum: i128, seen: bool },
-    Extreme { current: Option<Value>, is_min: bool },
-    Avg { sum: i128, count: i128 },
+    Sum {
+        sum: i128,
+        seen: bool,
+    },
+    Extreme {
+        current: Option<Value>,
+        is_min: bool,
+    },
+    Avg {
+        sum: i128,
+        count: i128,
+    },
 }
 
 impl RefAgg {
     fn new(func: AggFunc) -> Self {
         match func {
             AggFunc::Count => RefAgg::Count(0),
-            AggFunc::Sum => RefAgg::Sum { sum: 0, seen: false },
-            AggFunc::Min => RefAgg::Extreme { current: None, is_min: true },
-            AggFunc::Max => RefAgg::Extreme { current: None, is_min: false },
+            AggFunc::Sum => RefAgg::Sum {
+                sum: 0,
+                seen: false,
+            },
+            AggFunc::Min => RefAgg::Extreme {
+                current: None,
+                is_min: true,
+            },
+            AggFunc::Max => RefAgg::Extreme {
+                current: None,
+                is_min: false,
+            },
             AggFunc::Avg => RefAgg::Avg { sum: 0, count: 0 },
         }
     }
@@ -158,13 +181,16 @@ impl RefAgg {
             RefAgg::Extreme { current, is_min } => {
                 if let Some(v) = value {
                     if !v.is_null() {
-                        let replace = current.as_ref().map_or(true, |cur| {
-                            if *is_min {
-                                v < cur
-                            } else {
-                                v > cur
-                            }
-                        });
+                        let replace =
+                            current.as_ref().is_none_or(
+                                |cur| {
+                                    if *is_min {
+                                        v < cur
+                                    } else {
+                                        v > cur
+                                    }
+                                },
+                            );
                         if replace {
                             *current = Some(v.clone());
                         }
@@ -212,7 +238,11 @@ impl RefAgg {
 /// # Errors
 /// Fails if a referenced table or column does not exist, or a column references a
 /// dimension its side does not join.
-pub fn evaluate(catalog: &Catalog, query: &GalaxyQuery, snapshot: SnapshotId) -> Result<QueryResult> {
+pub fn evaluate(
+    catalog: &Catalog,
+    query: &GalaxyQuery,
+    snapshot: SnapshotId,
+) -> Result<QueryResult> {
     let snapshot = query.snapshot.unwrap_or(snapshot);
 
     // Resolve every referenced column up front.
@@ -241,7 +271,8 @@ pub fn evaluate(catalog: &Catalog, query: &GalaxyQuery, snapshot: SnapshotId) ->
         b_by_pivot.entry(record.pivot).or_default().push(record);
     }
 
-    let mut groups: std::collections::BTreeMap<Vec<Value>, Vec<RefAgg>> = std::collections::BTreeMap::new();
+    let mut groups: std::collections::BTreeMap<Vec<Value>, Vec<RefAgg>> =
+        std::collections::BTreeMap::new();
     for record_a in &side_a {
         let Some(matches) = b_by_pivot.get(&record_a.pivot) else {
             continue;
@@ -258,7 +289,11 @@ pub fn evaluate(catalog: &Catalog, query: &GalaxyQuery, snapshot: SnapshotId) ->
                 .map(|(side, source)| pick(*side).value(*source).clone())
                 .collect();
             let states = groups.entry(key).or_insert_with(|| {
-                query.aggregates.iter().map(|a| RefAgg::new(a.func)).collect()
+                query
+                    .aggregates
+                    .iter()
+                    .map(|a| RefAgg::new(a.func))
+                    .collect()
             });
             for (state, source) in states.iter_mut().zip(&agg_sources) {
                 match source {
@@ -270,7 +305,11 @@ pub fn evaluate(catalog: &Catalog, query: &GalaxyQuery, snapshot: SnapshotId) ->
     }
 
     let mut result = QueryResult::new(
-        query.group_by.iter().map(GalaxyColumnRef::display).collect(),
+        query
+            .group_by
+            .iter()
+            .map(GalaxyColumnRef::display)
+            .collect(),
         query.aggregates.iter().map(|a| a.label()).collect(),
     );
     for (key, states) in groups {
@@ -296,8 +335,15 @@ mod tests {
             "customer",
             vec![Column::int("c_custkey"), Column::str("c_region")],
         ));
-        customer.insert(vec![Value::int(1), Value::str("ASIA")], SnapshotId::INITIAL).unwrap();
-        customer.insert(vec![Value::int(2), Value::str("EUROPE")], SnapshotId::INITIAL).unwrap();
+        customer
+            .insert(vec![Value::int(1), Value::str("ASIA")], SnapshotId::INITIAL)
+            .unwrap();
+        customer
+            .insert(
+                vec![Value::int(2), Value::str("EUROPE")],
+                SnapshotId::INITIAL,
+            )
+            .unwrap();
         catalog.add_table(Arc::new(customer));
 
         let orders = Table::new(Schema::new(
@@ -305,9 +351,15 @@ mod tests {
             vec![Column::int("o_custkey"), Column::int("o_amount")],
         ));
         // Customer 1: amounts 10, 20. Customer 2: amount 100.
-        orders.insert(vec![Value::int(1), Value::int(10)], SnapshotId::INITIAL).unwrap();
-        orders.insert(vec![Value::int(1), Value::int(20)], SnapshotId::INITIAL).unwrap();
-        orders.insert(vec![Value::int(2), Value::int(100)], SnapshotId::INITIAL).unwrap();
+        orders
+            .insert(vec![Value::int(1), Value::int(10)], SnapshotId::INITIAL)
+            .unwrap();
+        orders
+            .insert(vec![Value::int(1), Value::int(20)], SnapshotId::INITIAL)
+            .unwrap();
+        orders
+            .insert(vec![Value::int(2), Value::int(100)], SnapshotId::INITIAL)
+            .unwrap();
         catalog.add_table(Arc::new(orders));
 
         let shipments = Table::new(Schema::new(
@@ -315,9 +367,15 @@ mod tests {
             vec![Column::int("s_custkey"), Column::int("s_weight")],
         ));
         // Customer 1: weights 3, 4. Customer 3 (no orders): weight 9.
-        shipments.insert(vec![Value::int(1), Value::int(3)], SnapshotId::INITIAL).unwrap();
-        shipments.insert(vec![Value::int(1), Value::int(4)], SnapshotId::INITIAL).unwrap();
-        shipments.insert(vec![Value::int(3), Value::int(9)], SnapshotId::INITIAL).unwrap();
+        shipments
+            .insert(vec![Value::int(1), Value::int(3)], SnapshotId::INITIAL)
+            .unwrap();
+        shipments
+            .insert(vec![Value::int(1), Value::int(4)], SnapshotId::INITIAL)
+            .unwrap();
+        shipments
+            .insert(vec![Value::int(3), Value::int(9)], SnapshotId::INITIAL)
+            .unwrap();
         catalog.add_table(Arc::new(shipments));
         Arc::new(catalog)
     }
@@ -333,11 +391,31 @@ mod tests {
             .side_b(SideSpec::new("shipments", "s_custkey"))
             .group_by(Side::A, ColumnRef::dim("customer", "c_region"))
             .aggregate(GalaxyAggregateSpec::count_star())
-            .aggregate(GalaxyAggregateSpec::over(AggFunc::Sum, Side::A, ColumnRef::fact("o_amount")))
-            .aggregate(GalaxyAggregateSpec::over(AggFunc::Sum, Side::B, ColumnRef::fact("s_weight")))
-            .aggregate(GalaxyAggregateSpec::over(AggFunc::Avg, Side::B, ColumnRef::fact("s_weight")))
-            .aggregate(GalaxyAggregateSpec::over(AggFunc::Min, Side::A, ColumnRef::fact("o_amount")))
-            .aggregate(GalaxyAggregateSpec::over(AggFunc::Max, Side::B, ColumnRef::fact("s_weight")))
+            .aggregate(GalaxyAggregateSpec::over(
+                AggFunc::Sum,
+                Side::A,
+                ColumnRef::fact("o_amount"),
+            ))
+            .aggregate(GalaxyAggregateSpec::over(
+                AggFunc::Sum,
+                Side::B,
+                ColumnRef::fact("s_weight"),
+            ))
+            .aggregate(GalaxyAggregateSpec::over(
+                AggFunc::Avg,
+                Side::B,
+                ColumnRef::fact("s_weight"),
+            ))
+            .aggregate(GalaxyAggregateSpec::over(
+                AggFunc::Min,
+                Side::A,
+                ColumnRef::fact("o_amount"),
+            ))
+            .aggregate(GalaxyAggregateSpec::over(
+                AggFunc::Max,
+                Side::B,
+                ColumnRef::fact("s_weight"),
+            ))
             .build()
     }
 
@@ -365,14 +443,24 @@ mod tests {
         let expected = evaluate(&catalog, &query, SnapshotId::INITIAL).unwrap();
 
         let decomposed = query.decompose().unwrap();
-        let partial_a =
-            cjoin_query::reference::evaluate(&catalog_with_fact(&catalog, "orders"), &decomposed.star_a, SnapshotId::INITIAL)
-                .unwrap();
-        let partial_b =
-            cjoin_query::reference::evaluate(&catalog_with_fact(&catalog, "shipments"), &decomposed.star_b, SnapshotId::INITIAL)
-                .unwrap();
+        let partial_a = cjoin_query::reference::evaluate(
+            &catalog_with_fact(&catalog, "orders"),
+            &decomposed.star_a,
+            SnapshotId::INITIAL,
+        )
+        .unwrap();
+        let partial_b = cjoin_query::reference::evaluate(
+            &catalog_with_fact(&catalog, "shipments"),
+            &decomposed.star_b,
+            SnapshotId::INITIAL,
+        )
+        .unwrap();
         let merged = crate::merge::merge_results(&partial_a, &partial_b, &decomposed.plan);
-        assert!(merged.approx_eq(&expected), "diff: {:?}", merged.diff(&expected));
+        assert!(
+            merged.approx_eq(&expected),
+            "diff: {:?}",
+            merged.diff(&expected)
+        );
     }
 
     fn catalog_with_fact(source: &Arc<Catalog>, fact: &str) -> Catalog {
@@ -411,7 +499,11 @@ mod tests {
         let bad = GalaxyQuery::builder("bad")
             .side_a(SideSpec::new("orders", "o_custkey"))
             .side_b(SideSpec::new("shipments", "s_custkey"))
-            .aggregate(GalaxyAggregateSpec::over(AggFunc::Sum, Side::A, ColumnRef::fact("missing")))
+            .aggregate(GalaxyAggregateSpec::over(
+                AggFunc::Sum,
+                Side::A,
+                ColumnRef::fact("missing"),
+            ))
             .build();
         assert!(evaluate(&catalog, &bad, SnapshotId::INITIAL).is_err());
 
@@ -430,7 +522,9 @@ mod tests {
         let catalog = tiny_catalog();
         let orders = catalog.table("orders").unwrap();
         let later = catalog.snapshots().commit();
-        orders.insert(vec![Value::int(1), Value::int(1000)], later).unwrap();
+        orders
+            .insert(vec![Value::int(1), Value::int(1000)], later)
+            .unwrap();
 
         let mut query = base_query();
         let before = evaluate(&catalog, &query, SnapshotId::INITIAL).unwrap();

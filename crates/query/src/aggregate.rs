@@ -108,7 +108,10 @@ impl AggState {
     fn new(func: AggFunc) -> Self {
         match func {
             AggFunc::Count => AggState::Count(0),
-            AggFunc::Sum => AggState::Sum { sum: 0, seen: false },
+            AggFunc::Sum => AggState::Sum {
+                sum: 0,
+                seen: false,
+            },
             AggFunc::Min => AggState::Min(None),
             AggFunc::Max => AggState::Max(None),
             AggFunc::Avg => AggState::Avg { sum: 0, count: 0 },
@@ -133,14 +136,14 @@ impl AggState {
             }
             AggState::Min(cur) => {
                 if let Some(v) = value {
-                    if !v.is_null() && cur.as_ref().map_or(true, |c| v < c) {
+                    if !v.is_null() && cur.as_ref().is_none_or(|c| v < c) {
                         *cur = Some(v.clone());
                     }
                 }
             }
             AggState::Max(cur) => {
                 if let Some(v) = value {
-                    if !v.is_null() && cur.as_ref().map_or(true, |c| v > c) {
+                    if !v.is_null() && cur.as_ref().is_none_or(|c| v > c) {
                         *cur = Some(v.clone());
                     }
                 }
@@ -163,14 +166,14 @@ impl AggState {
             }
             (AggState::Min(a), AggState::Min(b)) => {
                 if let Some(bv) = b {
-                    if a.as_ref().map_or(true, |av| bv < av) {
+                    if a.as_ref().is_none_or(|av| bv < av) {
                         *a = Some(bv.clone());
                     }
                 }
             }
             (AggState::Max(a), AggState::Max(b)) => {
                 if let Some(bv) = b {
-                    if a.as_ref().map_or(true, |av| bv > av) {
+                    if a.as_ref().is_none_or(|av| bv > av) {
                         *a = Some(bv.clone());
                     }
                 }
@@ -240,7 +243,10 @@ impl GroupedAggregator {
     }
 
     fn fresh_states(&self) -> Vec<AggState> {
-        self.aggregates.iter().map(|a| AggState::new(a.func)).collect()
+        self.aggregates
+            .iter()
+            .map(|a| AggState::new(a.func))
+            .collect()
     }
 
     /// Number of groups accumulated so far.
@@ -259,10 +265,12 @@ impl GroupedAggregator {
             .iter()
             .map(|c| c.value(fact, dims).clone())
             .collect();
-        let states = self
-            .groups
-            .entry(key)
-            .or_insert_with(|| self.aggregates.iter().map(|a| AggState::new(a.func)).collect());
+        let states = self.groups.entry(key).or_insert_with(|| {
+            self.aggregates
+                .iter()
+                .map(|a| AggState::new(a.func))
+                .collect()
+        });
         for (state, spec) in states.iter_mut().zip(&self.aggregates) {
             let input = spec.input.as_ref().map(|c| c.value(fact, dims));
             state.update(input);
@@ -311,7 +319,16 @@ mod tests {
     #[test]
     fn count_sum_min_max_avg_single_group() {
         // simple_bound_query: group by nothing, aggregates over fact col 1
-        let q = simple_bound_query(vec![], vec![AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg]);
+        let q = simple_bound_query(
+            vec![],
+            vec![
+                AggFunc::Count,
+                AggFunc::Sum,
+                AggFunc::Min,
+                AggFunc::Max,
+                AggFunc::Avg,
+            ],
+        );
         let mut agg = GroupedAggregator::new(&q);
         for v in [10, 20, 30] {
             agg.accumulate(&fact(1, v), &[]);
@@ -335,8 +352,14 @@ mod tests {
         agg.accumulate(&fact(1, 7), &[]);
         let result = agg.finalize();
         assert_eq!(result.num_rows(), 2);
-        assert_eq!(result.aggregate_for(&[Value::int(1)]).unwrap()[0], AggValue::Int(17));
-        assert_eq!(result.aggregate_for(&[Value::int(2)]).unwrap()[0], AggValue::Int(5));
+        assert_eq!(
+            result.aggregate_for(&[Value::int(1)]).unwrap()[0],
+            AggValue::Int(17)
+        );
+        assert_eq!(
+            result.aggregate_for(&[Value::int(2)]).unwrap()[0],
+            AggValue::Int(5)
+        );
         assert_eq!(agg.num_groups(), 2);
     }
 
@@ -361,7 +384,16 @@ mod tests {
 
     #[test]
     fn merge_combines_partial_states() {
-        let q = simple_bound_query(vec![0], vec![AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg]);
+        let q = simple_bound_query(
+            vec![0],
+            vec![
+                AggFunc::Count,
+                AggFunc::Sum,
+                AggFunc::Min,
+                AggFunc::Max,
+                AggFunc::Avg,
+            ],
+        );
         let mut a = GroupedAggregator::new(&q);
         let mut b = GroupedAggregator::new(&q);
         a.accumulate(&fact(1, 10), &[]);
@@ -377,7 +409,10 @@ mod tests {
         assert_eq!(g1[2], AggValue::Int(10));
         assert_eq!(g1[3], AggValue::Int(30));
         assert!(g1[4].approx_eq(&AggValue::Float(20.0)));
-        assert_eq!(r.aggregate_for(&[Value::int(3)]).unwrap()[0], AggValue::Int(1));
+        assert_eq!(
+            r.aggregate_for(&[Value::int(3)]).unwrap()[0],
+            AggValue::Int(1)
+        );
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! The [`JoinEngine`] abstraction: one operator interface, many engines.
+//!
+//! Every engine in the workspace — the shared always-on CJOIN pipeline, the
+//! query-at-a-time baseline, and the galaxy executor that composes two CJOIN
+//! pipelines — answers the same class of star queries. This module defines the
+//! contract they share, so harness code (the closed-loop workload driver, the
+//! correctness-oracle tests, the examples) is written once against
+//! `&dyn JoinEngine` and future engines (partitioned, async, multi-backend) drop
+//! in without touching it. Robustness-oriented join work compares strategies the
+//! same way: a single harness over interchangeable operators.
+//!
+//! The lifecycle is **submit → wait → shutdown**:
+//!
+//! * [`JoinEngine::submit`] admits a query and returns a [`QueryTicket`] — the
+//!   engine-independent completion handle. Engines with an admission pipeline
+//!   (CJOIN) return immediately and evaluate in the background; engines without
+//!   one (the baseline) may evaluate synchronously and return a pre-resolved
+//!   ticket, which preserves exactly the blocking behaviour a conventional
+//!   query-at-a-time DBMS exhibits on its connection thread.
+//! * [`QueryTicket::wait`] blocks until the result is available.
+//! * [`JoinEngine::shutdown`] releases engine resources; it must be idempotent.
+//!
+//! [`JoinEngine::stats`] reports the engine-independent [`EngineStats`] counters
+//! the harness uses for sanity checks and throughput accounting.
+
+use cjoin_common::Result;
+
+use crate::result::QueryResult;
+use crate::star::StarQuery;
+
+/// Completion handle for one submitted query.
+///
+/// Tickets are single-use: [`QueryTicket::wait`] consumes the ticket and yields
+/// the query's result (or the engine's failure).
+pub trait QueryTicket: Send {
+    /// Blocks until the query completes and returns its result.
+    ///
+    /// # Errors
+    /// Fails if the engine shut down (or otherwise failed) before the query
+    /// completed.
+    fn wait(self: Box<Self>) -> Result<QueryResult>;
+}
+
+/// A ticket whose result was already computed at submission time, used by
+/// engines that evaluate synchronously (e.g. the query-at-a-time baseline).
+pub struct ReadyTicket(Result<QueryResult>);
+
+impl ReadyTicket {
+    /// Wraps an already-computed outcome.
+    pub fn new(outcome: Result<QueryResult>) -> Self {
+        Self(outcome)
+    }
+}
+
+impl QueryTicket for ReadyTicket {
+    fn wait(self: Box<Self>) -> Result<QueryResult> {
+        self.0
+    }
+}
+
+/// Engine-independent execution statistics.
+///
+/// Engines with richer internal telemetry (e.g. CJOIN's per-filter pipeline
+/// stats) expose it through inherent methods; these are the counters every
+/// engine can report and the harness relies on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries accepted by the engine since it started.
+    pub queries_submitted: u64,
+    /// Queries that ran to completion and delivered a result.
+    pub queries_completed: u64,
+    /// Queries currently admitted and not yet completed.
+    pub active_queries: usize,
+    /// Fact tuples read by the engine's scans (shared scans count each tuple
+    /// once; per-query scans count it once per query).
+    pub fact_tuples_scanned: u64,
+}
+
+/// The shared join-engine interface: submit / wait / shutdown / stats.
+pub trait JoinEngine: Send + Sync {
+    /// Short display name used in experiment tables and reports.
+    fn name(&self) -> &str;
+
+    /// Admits `query` and returns its completion ticket.
+    ///
+    /// # Errors
+    /// Propagates engine-specific admission failures: binding errors, the
+    /// engine's concurrency limit, or submission after shutdown.
+    fn submit(&self, query: StarQuery) -> Result<Box<dyn QueryTicket>>;
+
+    /// Convenience: submits `query` and blocks until its result is available.
+    ///
+    /// # Errors
+    /// Propagates submission and wait errors.
+    fn execute(&self, query: &StarQuery) -> Result<QueryResult> {
+        self.submit(query.clone())?.wait()
+    }
+
+    /// Engine-independent execution counters.
+    fn stats(&self) -> EngineStats;
+
+    /// Releases the engine's resources (threads, pipelines). Idempotent; after
+    /// shutdown, [`JoinEngine::submit`] fails.
+    fn shutdown(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cjoin_common::Error;
+
+    #[test]
+    fn ready_ticket_returns_its_outcome() {
+        let ok: Box<dyn QueryTicket> = Box::new(ReadyTicket::new(Ok(QueryResult::default())));
+        assert!(ok.wait().is_ok());
+        let err: Box<dyn QueryTicket> =
+            Box::new(ReadyTicket::new(Err(Error::invalid_state("boom"))));
+        assert!(err.wait().is_err());
+    }
+
+    #[test]
+    fn engine_stats_default_is_zeroed() {
+        let s = EngineStats::default();
+        assert_eq!(s.queries_submitted, 0);
+        assert_eq!(s.queries_completed, 0);
+        assert_eq!(s.active_queries, 0);
+        assert_eq!(s.fact_tuples_scanned, 0);
+    }
+}

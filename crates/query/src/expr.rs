@@ -114,7 +114,11 @@ impl Predicate {
     }
 
     /// Convenience constructor: `column BETWEEN low AND high`.
-    pub fn between(column: impl Into<String>, low: impl Into<Value>, high: impl Into<Value>) -> Self {
+    pub fn between(
+        column: impl Into<String>,
+        low: impl Into<Value>,
+        high: impl Into<Value>,
+    ) -> Self {
         Predicate::Between {
             column: column.into(),
             low: low.into(),
@@ -211,10 +215,14 @@ impl Predicate {
                 values: values.clone(),
             },
             Predicate::And(ps) => BoundNode::And(
-                ps.iter().map(|p| p.bind_node(schema)).collect::<Result<Vec<_>>>()?,
+                ps.iter()
+                    .map(|p| p.bind_node(schema))
+                    .collect::<Result<Vec<_>>>()?,
             ),
             Predicate::Or(ps) => BoundNode::Or(
-                ps.iter().map(|p| p.bind_node(schema)).collect::<Result<Vec<_>>>()?,
+                ps.iter()
+                    .map(|p| p.bind_node(schema))
+                    .collect::<Result<Vec<_>>>()?,
             ),
             Predicate::Not(p) => BoundNode::Not(Box::new(p.bind_node(schema)?)),
         })
@@ -282,7 +290,9 @@ impl BoundPredicate {
 
     /// A bound predicate that accepts every row.
     pub fn always_true() -> Self {
-        BoundPredicate { node: BoundNode::True }
+        BoundPredicate {
+            node: BoundNode::True,
+        }
     }
 }
 
@@ -350,8 +360,7 @@ mod tests {
     #[test]
     fn boolean_combinators() {
         let s = schema();
-        let p = Predicate::eq("d_year", 1994)
-            .and(Predicate::in_list("d_month", vec!["January"]));
+        let p = Predicate::eq("d_year", 1994).and(Predicate::in_list("d_month", vec!["January"]));
         let b = p.bind(&s).unwrap();
         assert!(b.eval(&row(1, 1994, "January")));
         assert!(!b.eval(&row(1, 1994, "July")));
@@ -373,15 +382,23 @@ mod tests {
     #[test]
     fn empty_and_or_identities() {
         let s = schema();
-        assert!(Predicate::And(vec![]).bind(&s).unwrap().eval(&row(1, 1, "x")));
-        assert!(!Predicate::Or(vec![]).bind(&s).unwrap().eval(&row(1, 1, "x")));
+        assert!(Predicate::And(vec![])
+            .bind(&s)
+            .unwrap()
+            .eval(&row(1, 1, "x")));
+        assert!(!Predicate::Or(vec![])
+            .bind(&s)
+            .unwrap()
+            .eval(&row(1, 1, "x")));
     }
 
     #[test]
     fn and_flattens_and_absorbs_true() {
         let p = Predicate::True.and(Predicate::eq("d_year", 1994));
         assert_eq!(p, Predicate::eq("d_year", 1994));
-        let p = Predicate::eq("a", 1).and(Predicate::eq("b", 2)).and(Predicate::eq("c", 3));
+        let p = Predicate::eq("a", 1)
+            .and(Predicate::eq("b", 2))
+            .and(Predicate::eq("c", 3));
         match p {
             Predicate::And(ps) => assert_eq!(ps.len(), 3),
             other => panic!("expected flattened And, got {other:?}"),
@@ -396,7 +413,10 @@ mod tests {
         assert!(!Predicate::between("a", 0, 10).bind(&s).unwrap().eval(&r));
         assert!(!Predicate::in_list("a", vec![1]).bind(&s).unwrap().eval(&r));
         // NOT of an unknown comparison is true under our 2VL simplification.
-        assert!(Predicate::Not(Box::new(Predicate::eq("a", 1))).bind(&s).unwrap().eval(&r));
+        assert!(Predicate::Not(Box::new(Predicate::eq("a", 1)))
+            .bind(&s)
+            .unwrap()
+            .eval(&r));
     }
 
     #[test]
@@ -423,7 +443,9 @@ mod tests {
     fn bind_unknown_column_fails() {
         let s = schema();
         assert!(Predicate::eq("missing", 1).bind(&s).is_err());
-        assert!(Predicate::And(vec![Predicate::eq("missing", 1)]).bind(&s).is_err());
+        assert!(Predicate::And(vec![Predicate::eq("missing", 1)])
+            .bind(&s)
+            .is_err());
     }
 
     #[test]

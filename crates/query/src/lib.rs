@@ -13,6 +13,8 @@
 //!   workspace (CJOIN, the query-at-a-time baseline, and the reference oracle).
 //! * [`AggFunc`] / [`GroupedAggregator`] — SQL aggregate evaluation with group-by.
 //! * [`QueryResult`] — deterministic, comparable result sets.
+//! * [`JoinEngine`] — the submit/wait/shutdown/stats contract shared by every
+//!   engine in the workspace, so harnesses drive engines through `&dyn JoinEngine`.
 //! * [`reference::evaluate`] — a deliberately simple single-threaded evaluator used
 //!   as the correctness oracle in tests.
 
@@ -20,12 +22,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod aggregate;
+pub mod engine;
 pub mod expr;
 pub mod reference;
 pub mod result;
 pub mod star;
 
 pub use aggregate::{AggFunc, AggValue, GroupedAggregator};
+pub use engine::{EngineStats, JoinEngine, QueryTicket, ReadyTicket};
 pub use expr::{BoundPredicate, CompareOp, Predicate};
 pub use result::QueryResult;
 pub use star::{

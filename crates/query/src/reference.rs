@@ -23,7 +23,11 @@ use crate::star::{BoundStarQuery, StarQuery};
 ///
 /// # Errors
 /// Fails if the query does not bind against the catalog.
-pub fn evaluate(catalog: &Catalog, query: &StarQuery, default_snapshot: SnapshotId) -> Result<QueryResult> {
+pub fn evaluate(
+    catalog: &Catalog,
+    query: &StarQuery,
+    default_snapshot: SnapshotId,
+) -> Result<QueryResult> {
     let bound = query.bind(catalog)?;
     evaluate_bound(catalog, &bound, default_snapshot)
 }
@@ -104,8 +108,11 @@ mod tests {
             vec![Column::int("s_colorkey"), Column::int("s_amount")],
         ));
         for (fk, amount) in [(1, 10), (1, 20), (2, 5), (3, 7), (2, 100)] {
-            fact.insert(vec![Value::int(fk), Value::int(amount)], SnapshotId::INITIAL)
-                .unwrap();
+            fact.insert(
+                vec![Value::int(fk), Value::int(amount)],
+                SnapshotId::INITIAL,
+            )
+            .unwrap();
         }
         catalog.add_fact_table(Arc::new(fact));
         catalog.add_table(Arc::new(dim));
@@ -118,7 +125,10 @@ mod tests {
         let q = StarQuery::builder("by_color")
             .join_dimension("color", "s_colorkey", "col_key", Predicate::True)
             .group_by(ColumnRef::dim("color", "col_name"))
-            .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("s_amount")))
+            .aggregate(AggregateSpec::over(
+                AggFunc::Sum,
+                ColumnRef::fact("s_amount"),
+            ))
             .aggregate(AggregateSpec::count_star())
             .build();
         let r = evaluate(&catalog, &q, SnapshotId::INITIAL).unwrap();
@@ -147,7 +157,10 @@ mod tests {
                 "col_key",
                 Predicate::eq("col_name", "green"),
             )
-            .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("s_amount")))
+            .aggregate(AggregateSpec::over(
+                AggFunc::Sum,
+                ColumnRef::fact("s_amount"),
+            ))
             .build();
         let r = evaluate(&catalog, &q, SnapshotId::INITIAL).unwrap();
         assert_eq!(r.num_rows(), 1);
@@ -175,9 +188,18 @@ mod tests {
         let catalog = tiny_catalog();
         // No dimension joins at all: a pure fact aggregate over all 5 rows.
         let q = StarQuery::builder("all")
-            .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("s_amount")))
-            .aggregate(AggregateSpec::over(AggFunc::Min, ColumnRef::fact("s_amount")))
-            .aggregate(AggregateSpec::over(AggFunc::Max, ColumnRef::fact("s_amount")))
+            .aggregate(AggregateSpec::over(
+                AggFunc::Sum,
+                ColumnRef::fact("s_amount"),
+            ))
+            .aggregate(AggregateSpec::over(
+                AggFunc::Min,
+                ColumnRef::fact("s_amount"),
+            ))
+            .aggregate(AggregateSpec::over(
+                AggFunc::Max,
+                ColumnRef::fact("s_amount"),
+            ))
             .build();
         let r = evaluate(&catalog, &q, SnapshotId::INITIAL).unwrap();
         let row = r.rows().next().unwrap();
@@ -208,7 +230,8 @@ mod tests {
         let catalog = tiny_catalog();
         let fact = catalog.fact_table().unwrap();
         // New row visible only from snapshot 5.
-        fact.insert(vec![Value::int(1), Value::int(1000)], SnapshotId(5)).unwrap();
+        fact.insert(vec![Value::int(1), Value::int(1000)], SnapshotId(5))
+            .unwrap();
 
         let q = StarQuery::builder("count_all")
             .aggregate(AggregateSpec::count_star())

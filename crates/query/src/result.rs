@@ -72,9 +72,12 @@ impl QueryResult {
         if self.rows.len() != other.rows.len() {
             return false;
         }
-        self.rows.iter().zip(other.rows.iter()).all(|((ka, va), (kb, vb))| {
-            ka == kb && va.len() == vb.len() && va.iter().zip(vb).all(|(a, b)| a.approx_eq(b))
-        })
+        self.rows
+            .iter()
+            .zip(other.rows.iter())
+            .all(|((ka, va), (kb, vb))| {
+                ka == kb && va.len() == vb.len() && va.iter().zip(vb).all(|(a, b)| a.approx_eq(b))
+            })
     }
 
     /// Describes the first difference from `other`, for test failure messages.
@@ -141,7 +144,10 @@ mod tests {
         let r = result_with(&[(1, 10), (2, 20)]);
         assert_eq!(r.num_rows(), 2);
         assert!(!r.is_empty());
-        assert_eq!(r.aggregate_for(&[Value::int(2)]).unwrap()[0], AggValue::Int(20));
+        assert_eq!(
+            r.aggregate_for(&[Value::int(2)]).unwrap()[0],
+            AggValue::Int(20)
+        );
         assert!(r.aggregate_for(&[Value::int(3)]).is_none());
         assert_eq!(r.group_columns(), &["g".to_string()]);
         assert_eq!(r.aggregate_columns(), &["SUM(x)".to_string()]);
@@ -195,6 +201,9 @@ mod tests {
         let mut r = result_with(&[(1, 10)]);
         r.insert(vec![Value::int(1)], vec![AggValue::Int(99)]);
         assert_eq!(r.num_rows(), 1);
-        assert_eq!(r.aggregate_for(&[Value::int(1)]).unwrap()[0], AggValue::Int(99));
+        assert_eq!(
+            r.aggregate_for(&[Value::int(1)]).unwrap()[0],
+            AggValue::Int(99)
+        );
     }
 }

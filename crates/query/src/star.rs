@@ -330,10 +330,12 @@ impl BoundColumnRef {
     pub fn value<'a>(&self, fact: &'a Row, dims: &[Option<&'a Row>]) -> &'a Value {
         match &self.source {
             ColumnSource::Fact(idx) => fact.get(*idx),
-            ColumnSource::Dimension { clause, column } => match dims.get(*clause).copied().flatten() {
-                Some(row) => row.get(*column),
-                None => &NULL_VALUE,
-            },
+            ColumnSource::Dimension { clause, column } => {
+                match dims.get(*clause).copied().flatten() {
+                    Some(row) => row.get(*column),
+                    None => &NULL_VALUE,
+                }
+            }
         }
     }
 }
@@ -406,10 +408,16 @@ impl BoundStarQuery {
     pub fn fact_column_range(&self, column_name: &str) -> Option<(i64, i64)> {
         fn analyse(pred: &Predicate, column: &str) -> Option<(i64, i64)> {
             match pred {
-                Predicate::Between { column: c, low, high } if c == column => {
-                    Some((low.as_int().ok()?, high.as_int().ok()?))
-                }
-                Predicate::Compare { column: c, op, value } if c == column => {
+                Predicate::Between {
+                    column: c,
+                    low,
+                    high,
+                } if c == column => Some((low.as_int().ok()?, high.as_int().ok()?)),
+                Predicate::Compare {
+                    column: c,
+                    op,
+                    value,
+                } if c == column => {
                     let v = value.as_int().ok()?;
                     match op {
                         crate::expr::CompareOp::Eq => Some((v, v)),
@@ -446,7 +454,10 @@ pub mod tests_support {
 
     /// Builds a [`BoundStarQuery`] with no dimensions whose group-by columns are the
     /// given fact column indices and whose aggregates all read fact column 1.
-    pub fn simple_bound_query(group_by_fact_cols: Vec<usize>, aggs: Vec<AggFunc>) -> BoundStarQuery {
+    pub fn simple_bound_query(
+        group_by_fact_cols: Vec<usize>,
+        aggs: Vec<AggFunc>,
+    ) -> BoundStarQuery {
         BoundStarQuery {
             name: "test".into(),
             snapshot: None,
@@ -516,7 +527,10 @@ mod tests {
                 Predicate::eq("c_region", "ASIA"),
             )
             .group_by(ColumnRef::dim("customer", "c_nation"))
-            .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("lo_revenue")))
+            .aggregate(AggregateSpec::over(
+                AggFunc::Sum,
+                ColumnRef::fact("lo_revenue"),
+            ))
             .aggregate(AggregateSpec::count_star())
             .build()
     }
@@ -562,7 +576,12 @@ mod tests {
         assert!(q.bind(&c).is_err());
 
         let q = StarQuery::builder("bad2")
-            .join_dimension("customer", "lo_custkey", "c_custkey", Predicate::eq("c_missing", 1))
+            .join_dimension(
+                "customer",
+                "lo_custkey",
+                "c_custkey",
+                Predicate::eq("c_missing", 1),
+            )
             .aggregate(AggregateSpec::count_star())
             .build();
         assert!(q.bind(&c).is_err());
@@ -591,7 +610,13 @@ mod tests {
         assert_eq!(group_val.as_str().unwrap(), "CHINA");
 
         let agg_input = b.aggregates[0].input.as_ref().unwrap();
-        assert_eq!(agg_input.value(&fact_row, &[Some(&dim_row)]).as_int().unwrap(), 500);
+        assert_eq!(
+            agg_input
+                .value(&fact_row, &[Some(&dim_row)])
+                .as_int()
+                .unwrap(),
+            500
+        );
 
         // Missing dimension row reads as NULL rather than panicking.
         assert!(b.group_by[0].value(&fact_row, &[None]).is_null());
@@ -602,7 +627,10 @@ mod tests {
     fn fact_column_range_extraction() {
         let c = catalog();
         let b = query().bind(&c).unwrap();
-        assert_eq!(b.fact_column_range("lo_orderdate"), Some((19940101, 19941231)));
+        assert_eq!(
+            b.fact_column_range("lo_orderdate"),
+            Some((19940101, 19941231))
+        );
         assert_eq!(b.fact_column_range("lo_revenue"), None);
 
         let q2 = StarQuery::builder("range2")
@@ -622,7 +650,10 @@ mod tests {
             .build()
             .bind(&c)
             .unwrap();
-        assert_eq!(q2.fact_column_range("lo_orderdate"), Some((19950000, 19959999)));
+        assert_eq!(
+            q2.fact_column_range("lo_orderdate"),
+            Some((19950000, 19959999))
+        );
 
         // Disjunctions are not analysed: conservatively None.
         let q3 = StarQuery::builder("range3")
@@ -640,7 +671,10 @@ mod tests {
     #[test]
     fn column_ref_display() {
         assert_eq!(ColumnRef::fact("lo_revenue").to_string(), "lo_revenue");
-        assert_eq!(ColumnRef::dim("customer", "c_city").to_string(), "customer.c_city");
+        assert_eq!(
+            ColumnRef::dim("customer", "c_city").to_string(),
+            "customer.c_city"
+        );
     }
 
     #[test]

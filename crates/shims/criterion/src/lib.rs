@@ -1,0 +1,339 @@
+//! Offline shim for `criterion`.
+//!
+//! The build environment has no registry access, so this crate implements the
+//! subset of the criterion API the workspace's benches use — benchmark groups,
+//! `bench_function` / `bench_with_input`, `sample_size`, `measurement_time`,
+//! `throughput`, and the `criterion_group!` / `criterion_main!` macros — as a
+//! straightforward walltime sampler with a text report:
+//!
+//! ```text
+//! fig5_concurrency_scaleup/cjoin/16
+//!                         time: [mean 12.345 ms] min 11.9 ms max 13.1 ms (10 samples)
+//! ```
+//!
+//! No statistical outlier analysis, no HTML reports, no comparison to saved
+//! baselines. Each sample is one invocation of the `iter` closure; the closure
+//! result is passed through [`black_box`]. Swap in the real crate via the root
+//! `[workspace.dependencies]` when a registry is available.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement configuration and report sink. Create with `Criterion::default()`.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; this shim has no configurable CLI.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Overrides the default number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the default measurement-time budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.default_measurement_time = t;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        let measurement_time = self.default_measurement_time;
+        run_benchmark(
+            &id.into().render(None),
+            sample_size,
+            measurement_time,
+            None,
+            f,
+        );
+    }
+}
+
+/// Identifies one benchmark within a group: a function name plus an optional
+/// parameter rendered as `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            function_name: function_name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter (criterion's `from_parameter`).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            function_name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, group: Option<&str>) -> String {
+        let mut parts: Vec<&str> = Vec::with_capacity(3);
+        if let Some(g) = group {
+            parts.push(g);
+        }
+        if !self.function_name.is_empty() {
+            parts.push(&self.function_name);
+        }
+        if let Some(p) = self.parameter.as_deref() {
+            parts.push(p);
+        }
+        parts.join("/")
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            function_name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self {
+            function_name: name,
+            parameter: None,
+        }
+    }
+}
+
+/// Units the per-sample time is normalized by in the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples collected per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark; sampling stops early when exceeded.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the per-iteration throughput used to report a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            &id.into().render(Some(&self.name)),
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(
+            &id.render(Some(&self.name)),
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group. (Reports are printed as benchmarks run.)
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code under
+/// measurement.
+pub struct Bencher {
+    sample: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times one invocation of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let started = Instant::now();
+        black_box(routine());
+        self.sample = Some(started.elapsed());
+    }
+}
+
+fn run_benchmark<F>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // One warm-up invocation, not measured.
+    let mut bencher = Bencher { sample: None };
+    f(&mut bencher);
+
+    let budget_start = Instant::now();
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher { sample: None };
+        f(&mut bencher);
+        samples.push(bencher.sample.unwrap_or_default());
+        if budget_start.elapsed() > measurement_time {
+            break;
+        }
+    }
+    report(label, &samples, throughput);
+}
+
+fn report(label: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{label}: no samples collected");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = *samples.iter().min().expect("non-empty");
+    let max = *samples.iter().max().expect("non-empty");
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(
+            " thrpt: {:.1} elem/s",
+            n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE)
+        ),
+        Throughput::Bytes(n) => format!(
+            " thrpt: {:.1} B/s",
+            n as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE)
+        ),
+    });
+    println!(
+        "{label}\n    time: [mean {mean:?}] min {min:?} max {max:?} ({} samples){}",
+        samples.len(),
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_secs(1));
+        let mut ran = 0usize;
+        {
+            let mut group = c.benchmark_group("shim_smoke");
+            group.sample_size(3).throughput(Throughput::Elements(1));
+            group.bench_with_input(BenchmarkId::new("inc", 1), &1usize, |b, &x| {
+                b.iter(|| x + 1);
+                ran += 1;
+            });
+            group.finish();
+        }
+        // warm-up + up to 3 samples
+        assert!(ran >= 2);
+    }
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 3).render(Some("g")), "g/f/3");
+        assert_eq!(BenchmarkId::from("plain").render(None), "plain");
+        assert_eq!(BenchmarkId::from_parameter(7).render(Some("g")), "g/7");
+    }
+}

@@ -1,0 +1,517 @@
+//! MPMC channels with crossbeam's API over `Mutex` + `Condvar`.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// `None` for unbounded channels.
+    capacity: Option<usize>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn disconnected_for_recv(&self) -> bool {
+        self.senders.load(Ordering::Acquire) == 0
+    }
+
+    fn disconnected_for_send(&self) -> bool {
+        self.receivers.load(Ordering::Acquire) == 0
+    }
+}
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Creates a bounded MPMC channel with space for `cap` messages.
+///
+/// Unlike crossbeam, `cap = 0` (a rendezvous channel) is approximated with a
+/// capacity of one; the workspace never creates zero-capacity channels.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap.max(1)))
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        capacity,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Error returned by [`Sender::send`] when every receiver has been dropped.
+/// Carries the unsent message.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T: Send> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Sender::try_send`].
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum TrySendError<T> {
+    /// The channel is full.
+    Full(T),
+    /// Every receiver has been dropped.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender has been dropped.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+/// The sending half of a channel. Cloneable; the channel disconnects for
+/// receivers when the last clone is dropped.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Sends `msg`, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    /// Returns the message if every receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut queue = self.shared.queue.lock().unwrap();
+        if let Some(cap) = self.shared.capacity {
+            while queue.len() >= cap {
+                if self.shared.disconnected_for_send() {
+                    return Err(SendError(msg));
+                }
+                let (q, timeout) = self
+                    .shared
+                    .not_full
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap();
+                queue = q;
+                // Re-check disconnection periodically even without a wakeup, so
+                // senders blocked on a full channel notice dropped receivers.
+                let _ = timeout;
+            }
+        }
+        if self.shared.disconnected_for_send() {
+            return Err(SendError(msg));
+        }
+        queue.push_back(msg);
+        drop(queue);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Attempts to send without blocking.
+    ///
+    /// # Errors
+    /// [`TrySendError::Full`] when a bounded channel is at capacity,
+    /// [`TrySendError::Disconnected`] when every receiver is gone.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut queue = self.shared.queue.lock().unwrap();
+        if self.shared.disconnected_for_send() {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if let Some(cap) = self.shared.capacity {
+            if queue.len() >= cap {
+                return Err(TrySendError::Full(msg));
+            }
+        }
+        queue.push_back(msg);
+        drop(queue);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().unwrap().len()
+    }
+
+    /// Whether the channel currently buffers no messages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The channel's capacity (`None` when unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.capacity
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::AcqRel);
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: wake all blocked receivers so they observe the
+            // disconnect. Acquiring (and releasing) the queue mutex before
+            // notifying closes the missed-wakeup window: a receiver that read a
+            // stale sender count did so under this lock, so by the time we hold
+            // it the receiver is parked in `wait()` and will get the
+            // notification; any receiver that locks after us re-reads the
+            // count and sees the disconnect.
+            drop(self.shared.queue.lock().unwrap());
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+/// The receiving half of a channel. Cloneable; each message is delivered to
+/// exactly one receiver.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Receives a message, blocking until one is available.
+    ///
+    /// # Errors
+    /// Returns [`RecvError`] once the channel is empty and every sender has
+    /// been dropped (buffered messages are still delivered first).
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.shared.queue.lock().unwrap();
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                drop(queue);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if self.shared.disconnected_for_recv() {
+                return Err(RecvError);
+            }
+            queue = self.shared.not_empty.wait(queue).unwrap();
+        }
+    }
+
+    /// Attempts to receive without blocking.
+    ///
+    /// # Errors
+    /// [`TryRecvError::Empty`] when no message is buffered,
+    /// [`TryRecvError::Disconnected`] when additionally every sender is gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.shared.queue.lock().unwrap();
+        if let Some(msg) = queue.pop_front() {
+            drop(queue);
+            self.shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if self.shared.disconnected_for_recv() {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Receives a message, blocking for at most `timeout`.
+    ///
+    /// # Errors
+    /// [`RecvTimeoutError::Timeout`] when no message arrived in time,
+    /// [`RecvTimeoutError::Disconnected`] when the channel is empty and every
+    /// sender has been dropped.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.shared.queue.lock().unwrap();
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                drop(queue);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if self.shared.disconnected_for_recv() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (q, _timed_out) = self
+                .shared
+                .not_empty
+                .wait_timeout(queue, remaining)
+                .unwrap();
+            queue = q;
+        }
+    }
+
+    /// Drains currently buffered messages without blocking.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { receiver: self }
+    }
+
+    /// Blocking iterator over incoming messages; ends when the channel
+    /// disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+
+    /// Number of messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().unwrap().len()
+    }
+
+    /// Whether the channel currently buffers no messages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The channel's capacity (`None` when unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.capacity
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last receiver gone: wake all blocked senders so they observe the
+            // disconnect. Mutex-fenced for the same missed-wakeup reason as
+            // `Sender::drop` (senders additionally re-check on a periodic
+            // timeout, but the fence makes the wakeup prompt).
+            drop(self.shared.queue.lock().unwrap());
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Iterator returned by [`Receiver::try_iter`].
+pub struct TryIter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+/// Iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_blocks_until_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn drop_all_senders_disconnects_after_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7), "buffered message survives disconnect");
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn blocked_recv_wakes_when_last_sender_drops() {
+        // Regression: the disconnect notification must not be lost when the
+        // receiver is already parked in an untimed recv().
+        let (tx, rx) = unbounded::<u8>();
+        let receiver = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(Duration::from_millis(30));
+        drop(tx);
+        assert_eq!(receiver.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn drop_all_receivers_fails_sends() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_delivers() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(3));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn mpmc_delivers_every_message_exactly_once() {
+        let (tx, rx) = bounded(4);
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || rx.iter().collect::<Vec<_>>())
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<i32> = (0..4)
+            .flat_map(|p| (0..100).map(move |i| p * 1000 + i))
+            .collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn try_iter_drains_without_blocking() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let drained: Vec<_> = rx.try_iter().collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        assert!(rx.is_empty());
+    }
+}

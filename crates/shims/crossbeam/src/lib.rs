@@ -1,0 +1,19 @@
+//! Offline shim for `crossbeam`.
+//!
+//! The build environment has no registry access, so this crate implements the
+//! subset of the crossbeam API the workspace uses:
+//!
+//! * [`channel`] — MPMC channels ([`channel::bounded`] / [`channel::unbounded`])
+//!   with cloneable senders *and* receivers, matching crossbeam's semantics:
+//!   `recv` on a channel whose senders are all dropped drains buffered messages
+//!   before reporting disconnection, and `send` fails only once every receiver
+//!   is gone.
+//! * [`queue`] — a fixed-capacity [`queue::ArrayQueue`].
+//!
+//! Built on `Mutex` + `Condvar` rather than lock-free rings: correctness over
+//! peak throughput. The pipeline moves batches (thousands of tuples per
+//! message), so per-message overhead is amortized. Swap in the real crate via
+//! the root `[workspace.dependencies]` when a registry is available.
+
+pub mod channel;
+pub mod queue;

@@ -1,0 +1,107 @@
+//! Fixed-capacity concurrent queue with crossbeam's `ArrayQueue` API.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+/// A bounded MPMC queue. `push` fails (returning the value) when full instead
+/// of blocking, `pop` returns `None` when empty — crossbeam's `ArrayQueue`
+/// contract, implemented with a mutexed ring buffer.
+pub struct ArrayQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+    capacity: usize,
+}
+
+impl<T> ArrayQueue<T> {
+    /// Creates a queue with space for `capacity` elements.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero (matching crossbeam).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        Self {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    /// Attempts to push `value`.
+    ///
+    /// # Errors
+    /// Returns `value` back when the queue is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut q = self.inner.lock().unwrap();
+        if q.len() >= self.capacity {
+            Err(value)
+        } else {
+            q.push_back(value);
+            Ok(())
+        }
+    }
+
+    /// Pops the oldest element, or `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_front()
+    }
+
+    /// Number of elements currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the queue holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity
+    }
+
+    /// The fixed capacity the queue was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl<T> fmt::Debug for ArrayQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArrayQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = ArrayQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(3), "full queue rejects");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn len_and_capacity() {
+        let q = ArrayQueue::new(3);
+        assert!(q.is_empty());
+        q.push("a").unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.capacity(), 3);
+        assert!(!q.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        let _ = ArrayQueue::<u8>::new(0);
+    }
+}

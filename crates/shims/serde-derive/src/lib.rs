@@ -1,0 +1,22 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment for this workspace has no registry access, so the real
+//! `serde_derive` cannot be fetched. The workspace only uses serde derives as
+//! annotations (no serialization is performed at runtime yet), so these derive
+//! macros expand to nothing. When a registry is available, replace the `serde`
+//! and `serde_derive` entries in the root `[workspace.dependencies]` with the
+//! real crates — no source change needed.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,20 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment has no registry access. The workspace currently uses
+//! serde only for `#[derive(Serialize, Deserialize)]` annotations on plain data
+//! types — nothing serializes at runtime — so this facade provides marker traits
+//! and re-exports the no-op derives from the sibling `serde_derive` shim.
+//!
+//! Blanket impls make every type "serializable" so generic bounds written
+//! against these traits keep compiling. When a registry is available, point the
+//! root `[workspace.dependencies]` at the real crates instead.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}

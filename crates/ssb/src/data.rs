@@ -59,25 +59,58 @@ pub const NATIONS: [(&str, &str); 25] = [
 /// The five SSB regions.
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
-const MKT_SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const MKT_SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 const ORDER_PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const PART_COLORS: [&str; 10] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
     "blush",
 ];
 const PART_TYPES: [&str; 6] = [
-    "ECONOMY ANODIZED", "LARGE BRUSHED", "MEDIUM POLISHED", "PROMO BURNISHED", "SMALL PLATED",
+    "ECONOMY ANODIZED",
+    "LARGE BRUSHED",
+    "MEDIUM POLISHED",
+    "PROMO BURNISHED",
+    "SMALL PLATED",
     "STANDARD BURNISHED",
 ];
 const PART_CONTAINERS: [&str; 8] = [
-    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP JAR",
+    "SM CASE",
+    "SM BOX",
+    "MED BAG",
+    "MED BOX",
+    "LG CASE",
+    "LG BOX",
+    "JUMBO PACK",
+    "WRAP JAR",
 ];
 
 /// The first SSB calendar day.
-pub const FIRST_DATE: CivilDate = CivilDate { year: 1992, month: 1, day: 1 };
+pub const FIRST_DATE: CivilDate = CivilDate {
+    year: 1992,
+    month: 1,
+    day: 1,
+};
 /// The last SSB calendar day.
-pub const LAST_DATE: CivilDate = CivilDate { year: 1998, month: 12, day: 31 };
+pub const LAST_DATE: CivilDate = CivilDate {
+    year: 1998,
+    month: 12,
+    day: 31,
+};
 
 /// Configuration for SSB data generation.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,6 +148,42 @@ impl SsbConfig {
             seed,
             ..Self::default()
         }
+    }
+
+    /// The scale-factor ceiling for data generated inside `cargo test`.
+    ///
+    /// Tests must keep data generation a rounding error in the suite's runtime
+    /// (`cargo test -q` finishes in seconds); paper-shaped scale factors belong
+    /// to the benches and the `experiments` binary, which opt into them
+    /// explicitly via [`SsbConfig::new`].
+    pub const MAX_TEST_SCALE_FACTOR: f64 = 0.01;
+
+    /// Test-gated constructor: like [`SsbConfig::new`] but panics when
+    /// `scale_factor` exceeds [`SsbConfig::MAX_TEST_SCALE_FACTOR`]. Tests that
+    /// generate data must come through here (or [`SsbConfig::tiny_for_tests`])
+    /// so the "datagen stays a rounding error in the suite" invariant is
+    /// enforced rather than merely documented.
+    ///
+    /// # Panics
+    /// Panics if `scale_factor > MAX_TEST_SCALE_FACTOR`.
+    pub fn for_tests(scale_factor: f64, seed: u64) -> Self {
+        assert!(
+            scale_factor <= Self::MAX_TEST_SCALE_FACTOR,
+            "test scale factor {scale_factor} exceeds MAX_TEST_SCALE_FACTOR \
+             ({}); paper-shaped scales belong to benches and the experiments \
+             binary",
+            Self::MAX_TEST_SCALE_FACTOR
+        );
+        Self::new(scale_factor, seed)
+    }
+
+    /// A tiny instance for unit and integration tests (~6k `lineorder` rows):
+    /// generation stays well under a second so `cargo test -q` never waits on
+    /// data generation. Use this in tests instead of [`SsbConfig::new`] unless
+    /// the test specifically needs a different (still tiny) shape — then use
+    /// [`SsbConfig::for_tests`].
+    pub fn tiny_for_tests(seed: u64) -> Self {
+        Self::for_tests(0.001, seed)
     }
 
     /// Enables physical clustering of the fact table by order date.
@@ -173,7 +242,9 @@ impl SsbDataSet {
 
         // Declare the natural range partitioning on the order date (one partition per
         // calendar year), used by the §5 partitioning extension.
-        let orderdate_col = schema::lineorder_schema().column_index("lo_orderdate").expect("schema");
+        let orderdate_col = schema::lineorder_schema()
+            .column_index("lo_orderdate")
+            .expect("schema");
         let boundaries = (1993..=1998).map(|y| y * 10_000 + 101).collect();
         catalog.set_fact_partitioning(
             PartitionScheme::new(orderdate_col, boundaries).expect("valid boundaries"),
@@ -246,7 +317,9 @@ impl SsbDataSet {
                 Value::int(i64::from(d.week_of_year())),
                 Value::str(season),
                 Value::int(i64::from(weekday == 6)),
-                Value::int(i64::from(d.day == crate::dates::days_in_month(d.year, d.month))),
+                Value::int(i64::from(
+                    d.day == crate::dates::days_in_month(d.year, d.month),
+                )),
                 Value::int(i64::from(d.month == 12 && d.day >= 25)),
                 Value::int(i64::from(weekday < 5)),
             ])
@@ -338,8 +411,14 @@ impl SsbDataSet {
         catalog.add_table(Arc::new(table));
     }
 
-    fn generate_lineorder(catalog: &Catalog, config: &SsbConfig, date_keys: &[i64], rng: &mut StdRng) {
-        let table = Table::with_rows_per_page(schema::lineorder_schema(), config.fact_rows_per_page);
+    fn generate_lineorder(
+        catalog: &Catalog,
+        config: &SsbConfig,
+        date_keys: &[i64],
+        rng: &mut StdRng,
+    ) {
+        let table =
+            Table::with_rows_per_page(schema::lineorder_schema(), config.fact_rows_per_page);
         let n = config.num_lineorders();
         let customers = config.num_customers() as i64;
         let suppliers = config.num_suppliers() as i64;
@@ -407,7 +486,7 @@ mod tests {
     use cjoin_common::FxHashSet;
 
     fn tiny() -> SsbDataSet {
-        SsbDataSet::generate(SsbConfig::new(0.001, 42))
+        SsbDataSet::generate(SsbConfig::tiny_for_tests(42))
     }
 
     #[test]
@@ -445,8 +524,8 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = SsbDataSet::generate(SsbConfig::new(0.001, 7));
-        let b = SsbDataSet::generate(SsbConfig::new(0.001, 7));
+        let a = SsbDataSet::generate(SsbConfig::for_tests(0.001, 7));
+        let b = SsbDataSet::generate(SsbConfig::for_tests(0.001, 7));
         let fa = a.catalog().fact_table().unwrap();
         let fb = b.catalog().fact_table().unwrap();
         assert_eq!(fa.len(), fb.len());
@@ -458,7 +537,7 @@ mod tests {
             );
         }
 
-        let c = SsbDataSet::generate(SsbConfig::new(0.001, 8));
+        let c = SsbDataSet::generate(SsbConfig::for_tests(0.001, 8));
         let fc = c.catalog().fact_table().unwrap();
         let differs = (0..100u64).any(|i| {
             fa.row(cjoin_storage::RowId(i)).unwrap() != fc.row(cjoin_storage::RowId(i)).unwrap()
@@ -559,10 +638,12 @@ mod tests {
 
     #[test]
     fn clustering_orders_fact_rows_by_orderdate() {
-        let ds = SsbDataSet::generate(SsbConfig::new(0.001, 42).with_clustering());
+        let ds = SsbDataSet::generate(SsbConfig::for_tests(0.001, 42).with_clustering());
         let catalog = ds.catalog();
         let fact = catalog.fact_table().unwrap();
-        let col = schema::lineorder_schema().column_index("lo_orderdate").unwrap();
+        let col = schema::lineorder_schema()
+            .column_index("lo_orderdate")
+            .unwrap();
         let mut prev = i64::MIN;
         fact.for_each_visible(SnapshotId::INITIAL, |_, row| {
             let date = row.int(col);

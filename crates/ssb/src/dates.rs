@@ -18,13 +18,29 @@ pub struct CivilDate {
 
 /// English month names, index 0 = January.
 pub const MONTH_NAMES: [&str; 12] = [
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 /// English weekday names, index 0 = Monday.
 pub const WEEKDAY_NAMES: [&str; 7] = [
-    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday",
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
+    "Sunday",
 ];
 
 /// Returns whether `year` is a leap year.
@@ -52,7 +68,10 @@ impl CivilDate {
     /// Creates a date, panicking on out-of-range components.
     pub fn new(year: i32, month: u32, day: u32) -> Self {
         assert!((1..=12).contains(&month), "invalid month {month}");
-        assert!(day >= 1 && day <= days_in_month(year, month), "invalid day {day}");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "invalid day {day}"
+        );
         Self { year, month, day }
     }
 
@@ -91,7 +110,10 @@ impl CivilDate {
     /// The next calendar day.
     pub fn succ(self) -> Self {
         if self.day < days_in_month(self.year, self.month) {
-            Self { day: self.day + 1, ..self }
+            Self {
+                day: self.day + 1,
+                ..self
+            }
         } else if self.month < 12 {
             Self {
                 year: self.year,
@@ -109,7 +131,10 @@ impl CivilDate {
 
     /// 1-based day number within the year.
     pub fn day_of_year(self) -> u32 {
-        (1..self.month).map(|m| days_in_month(self.year, m)).sum::<u32>() + self.day
+        (1..self.month)
+            .map(|m| days_in_month(self.year, m))
+            .sum::<u32>()
+            + self.day
     }
 
     /// Week number within the year (1-based, week 1 starts on January 1st).
@@ -172,15 +197,30 @@ mod tests {
         assert_eq!(CivilDate::new(1992, 1, 1).weekday(), 2);
         assert_eq!(CivilDate::new(1998, 12, 31).weekday(), 3);
         assert_eq!(CivilDate::new(1970, 1, 1).weekday(), 3);
-        assert_eq!(WEEKDAY_NAMES[CivilDate::new(1995, 6, 13).weekday() as usize], "Tuesday");
+        assert_eq!(
+            WEEKDAY_NAMES[CivilDate::new(1995, 6, 13).weekday() as usize],
+            "Tuesday"
+        );
     }
 
     #[test]
     fn succ_handles_month_and_year_boundaries() {
-        assert_eq!(CivilDate::new(1992, 1, 31).succ(), CivilDate::new(1992, 2, 1));
-        assert_eq!(CivilDate::new(1992, 12, 31).succ(), CivilDate::new(1993, 1, 1));
-        assert_eq!(CivilDate::new(1992, 2, 28).succ(), CivilDate::new(1992, 2, 29));
-        assert_eq!(CivilDate::new(1993, 2, 28).succ(), CivilDate::new(1993, 3, 1));
+        assert_eq!(
+            CivilDate::new(1992, 1, 31).succ(),
+            CivilDate::new(1992, 2, 1)
+        );
+        assert_eq!(
+            CivilDate::new(1992, 12, 31).succ(),
+            CivilDate::new(1993, 1, 1)
+        );
+        assert_eq!(
+            CivilDate::new(1992, 2, 28).succ(),
+            CivilDate::new(1992, 2, 29)
+        );
+        assert_eq!(
+            CivilDate::new(1993, 2, 28).succ(),
+            CivilDate::new(1993, 3, 1)
+        );
     }
 
     #[test]

@@ -153,7 +153,10 @@ mod tests {
                 _ => unreachable!(),
             };
             assert!(dim_schema.column_index(dim_key).is_ok(), "{dim}.{dim_key}");
-            assert!(lineorder_schema().column_index(fact_fk).is_ok(), "{fact_fk}");
+            assert!(
+                lineorder_schema().column_index(fact_fk).is_ok(),
+                "{fact_fk}"
+            );
         }
         assert!(join_columns("nonexistent").is_none());
     }
@@ -184,7 +187,13 @@ mod tests {
             assert!(p.column_index(col).is_ok(), "{col}");
         }
         let lo = lineorder_schema();
-        for col in ["lo_revenue", "lo_supplycost", "lo_discount", "lo_quantity", "lo_extendedprice"] {
+        for col in [
+            "lo_revenue",
+            "lo_supplycost",
+            "lo_discount",
+            "lo_quantity",
+            "lo_extendedprice",
+        ] {
             assert!(lo.column_index(col).is_ok(), "{col}");
         }
     }

@@ -46,7 +46,10 @@ pub struct SsbTemplate {
 }
 
 fn revenue_sum() -> Vec<AggregateSpec> {
-    vec![AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("lo_revenue"))]
+    vec![AggregateSpec::over(
+        AggFunc::Sum,
+        ColumnRef::fact("lo_revenue"),
+    )]
 }
 
 fn profit_sums() -> Vec<AggregateSpec> {
@@ -63,21 +66,30 @@ pub fn workload_templates() -> Vec<SsbTemplate> {
             id: "Q2.1",
             flight: QueryFlight::Flight2,
             dimensions: &["date", "part", "supplier"],
-            group_by: vec![ColumnRef::dim("date", "d_year"), ColumnRef::dim("part", "p_brand1")],
+            group_by: vec![
+                ColumnRef::dim("date", "d_year"),
+                ColumnRef::dim("part", "p_brand1"),
+            ],
             aggregates: revenue_sum(),
         },
         SsbTemplate {
             id: "Q2.2",
             flight: QueryFlight::Flight2,
             dimensions: &["date", "part", "supplier"],
-            group_by: vec![ColumnRef::dim("date", "d_year"), ColumnRef::dim("part", "p_brand1")],
+            group_by: vec![
+                ColumnRef::dim("date", "d_year"),
+                ColumnRef::dim("part", "p_brand1"),
+            ],
             aggregates: revenue_sum(),
         },
         SsbTemplate {
             id: "Q2.3",
             flight: QueryFlight::Flight2,
             dimensions: &["date", "part", "supplier"],
-            group_by: vec![ColumnRef::dim("date", "d_year"), ColumnRef::dim("part", "p_brand1")],
+            group_by: vec![
+                ColumnRef::dim("date", "d_year"),
+                ColumnRef::dim("part", "p_brand1"),
+            ],
             aggregates: revenue_sum(),
         },
         SsbTemplate {
@@ -178,7 +190,13 @@ fn builder_for(template: &SsbTemplate, name: String) -> cjoin_query::StarQueryBu
 /// Builds the ten classic SSB queries (original literal predicates).
 pub fn classic_queries() -> Vec<StarQuery> {
     let templates = workload_templates();
-    let t = |id: &str| templates.iter().find(|t| t.id == id).expect("template").clone();
+    let t = |id: &str| {
+        templates
+            .iter()
+            .find(|t| t.id == id)
+            .expect("template")
+            .clone()
+    };
 
     let join = |b: cjoin_query::StarQueryBuilder, dim: &str, pred: Predicate| {
         let (dim_key, fact_fk) = crate::schema::join_columns(dim).expect("known dimension");
@@ -199,7 +217,11 @@ pub fn classic_queries() -> Vec<StarQuery> {
         let tmpl = t("Q2.2");
         let b = builder_for(&tmpl, "Q2.2".into());
         let b = join(b, "date", Predicate::True);
-        let b = join(b, "part", Predicate::between("p_brand1", "MFGR#2221", "MFGR#2228"));
+        let b = join(
+            b,
+            "part",
+            Predicate::between("p_brand1", "MFGR#2221", "MFGR#2228"),
+        );
         let b = join(b, "supplier", Predicate::eq("s_region", "ASIA"));
         queries.push(b.build());
 
@@ -250,7 +272,11 @@ pub fn classic_queries() -> Vec<StarQuery> {
         let b = builder_for(&tmpl, "Q4.1".into());
         let b = join(b, "customer", Predicate::eq("c_region", "AMERICA"));
         let b = join(b, "supplier", Predicate::eq("s_region", "AMERICA"));
-        let b = join(b, "part", Predicate::in_list("p_mfgr", vec!["MFGR#1", "MFGR#2"]));
+        let b = join(
+            b,
+            "part",
+            Predicate::in_list("p_mfgr", vec!["MFGR#1", "MFGR#2"]),
+        );
         let b = join(b, "date", Predicate::True);
         queries.push(b.build());
 
@@ -258,7 +284,11 @@ pub fn classic_queries() -> Vec<StarQuery> {
         let b = builder_for(&tmpl, "Q4.2".into());
         let b = join(b, "customer", Predicate::eq("c_region", "AMERICA"));
         let b = join(b, "supplier", Predicate::eq("s_region", "AMERICA"));
-        let b = join(b, "part", Predicate::in_list("p_mfgr", vec!["MFGR#1", "MFGR#2"]));
+        let b = join(
+            b,
+            "part",
+            Predicate::in_list("p_mfgr", vec!["MFGR#1", "MFGR#2"]),
+        );
         let b = join(b, "date", Predicate::in_list("d_year", vec![1997i64, 1998]));
         queries.push(b.build());
 
@@ -284,9 +314,24 @@ mod tests {
     fn ten_workload_templates_in_flights_2_to_4() {
         let ts = workload_templates();
         assert_eq!(ts.len(), 10);
-        assert_eq!(ts.iter().filter(|t| t.flight == QueryFlight::Flight2).count(), 3);
-        assert_eq!(ts.iter().filter(|t| t.flight == QueryFlight::Flight3).count(), 4);
-        assert_eq!(ts.iter().filter(|t| t.flight == QueryFlight::Flight4).count(), 3);
+        assert_eq!(
+            ts.iter()
+                .filter(|t| t.flight == QueryFlight::Flight2)
+                .count(),
+            3
+        );
+        assert_eq!(
+            ts.iter()
+                .filter(|t| t.flight == QueryFlight::Flight3)
+                .count(),
+            4
+        );
+        assert_eq!(
+            ts.iter()
+                .filter(|t| t.flight == QueryFlight::Flight4)
+                .count(),
+            3
+        );
         // Every template joins 3 or 4 dimensions and has at least one aggregate.
         for t in &ts {
             assert!((3..=4).contains(&t.dimensions.len()), "{}", t.id);
@@ -304,23 +349,28 @@ mod tests {
 
     #[test]
     fn classic_queries_bind_against_generated_data() {
-        let ds = SsbDataSet::generate(SsbConfig::new(0.001, 3));
+        let ds = SsbDataSet::generate(SsbConfig::for_tests(0.001, 3));
         let catalog = ds.catalog();
         let queries = classic_queries();
         assert_eq!(queries.len(), 10);
         for q in &queries {
-            q.bind(&catalog).unwrap_or_else(|e| panic!("{} does not bind: {e}", q.name));
+            q.bind(&catalog)
+                .unwrap_or_else(|e| panic!("{} does not bind: {e}", q.name));
         }
     }
 
     #[test]
     fn classic_queries_produce_plausible_results() {
-        let ds = SsbDataSet::generate(SsbConfig::new(0.002, 3));
+        let ds = SsbDataSet::generate(SsbConfig::for_tests(0.002, 3));
         let catalog = ds.catalog();
         // Q3.1 (region = ASIA on both sides, 6 of 7 years) must select a reasonable
         // number of groups; Q2.1 groups by (year, brand) and must produce rows too.
-        for q in classic_queries().iter().filter(|q| q.name == "Q2.1" || q.name == "Q3.1") {
-            let result = cjoin_query::reference::evaluate(&catalog, q, SnapshotId::INITIAL).unwrap();
+        for q in classic_queries()
+            .iter()
+            .filter(|q| q.name == "Q2.1" || q.name == "Q3.1")
+        {
+            let result =
+                cjoin_query::reference::evaluate(&catalog, q, SnapshotId::INITIAL).unwrap();
             assert!(
                 !result.is_empty(),
                 "{} returned an empty result on generated data",
@@ -331,9 +381,16 @@ mod tests {
 
     #[test]
     fn flight4_queries_group_by_year() {
-        for q in classic_queries().iter().filter(|q| q.name.starts_with("Q4")) {
+        for q in classic_queries()
+            .iter()
+            .filter(|q| q.name.starts_with("Q4"))
+        {
             assert_eq!(q.group_by[0], ColumnRef::dim("date", "d_year"));
-            assert_eq!(q.aggregates.len(), 2, "profit = SUM(revenue) - SUM(supplycost)");
+            assert_eq!(
+                q.aggregates.len(),
+                2,
+                "profit = SUM(revenue) - SUM(supplycost)"
+            );
             assert_eq!(q.dimensions.len(), 4);
         }
     }

@@ -190,7 +190,7 @@ mod tests {
     use cjoin_storage::SnapshotId;
 
     fn data() -> SsbDataSet {
-        SsbDataSet::generate(SsbConfig::new(0.001, 11))
+        SsbDataSet::generate(SsbConfig::for_tests(0.001, 11))
     }
 
     #[test]
@@ -220,7 +220,8 @@ mod tests {
         let catalog = ds.catalog();
         let w = Workload::generate(&ds, WorkloadConfig::new(32, 0.02, 5));
         for q in w.queries() {
-            q.bind(&catalog).unwrap_or_else(|e| panic!("{} does not bind: {e}", q.name));
+            q.bind(&catalog)
+                .unwrap_or_else(|e| panic!("{} does not bind: {e}", q.name));
         }
     }
 
@@ -247,14 +248,19 @@ mod tests {
                 let clause = q.dimension("customer").unwrap();
                 let table = catalog.table("customer").unwrap();
                 let bound = clause.predicate.bind(table.schema()).unwrap();
-                let selected = table.select(SnapshotId::INITIAL, |row| bound.eval(row)).len();
+                let selected = table
+                    .select(SnapshotId::INITIAL, |row| bound.eval(row))
+                    .len();
                 fractions.push(selected as f64 / table.len() as f64);
             }
             fractions.iter().sum::<f64>() / fractions.len() as f64
         };
         let low = count_selected(0.01);
         let high = count_selected(0.10);
-        assert!(low < high, "higher s must select more tuples ({low} vs {high})");
+        assert!(
+            low < high,
+            "higher s must select more tuples ({low} vs {high})"
+        );
         assert!((0.001..=0.05).contains(&low), "s=1% actual {low}");
         assert!((0.05..=0.20).contains(&high), "s=10% actual {high}");
     }

@@ -62,7 +62,9 @@ impl Catalog {
             .read()
             .get(name)
             .cloned()
-            .ok_or_else(|| Error::UnknownTable { name: name.to_string() })
+            .ok_or_else(|| Error::UnknownTable {
+                name: name.to_string(),
+            })
     }
 
     /// Returns the designated fact table.

@@ -28,8 +28,8 @@ use cjoin_common::{Error, Result};
 
 use crate::compress::{DictColumn, RleVec};
 use crate::row::{Row, RowId};
-use crate::schema::{ColumnId, ColumnType, Schema};
 use crate::scan::ScanBatch;
+use crate::schema::{ColumnId, ColumnType, Schema};
 use crate::snapshot::{RowVersion, SnapshotId};
 use crate::table::Table;
 use crate::value::Value;
@@ -51,15 +51,23 @@ pub enum CompressionPolicy {
 enum ColumnData {
     /// Plain integer column with an optional null bitmap (allocated only when the
     /// column actually contains NULLs).
-    IntPlain { values: Vec<i64>, nulls: Option<Vec<bool>> },
+    IntPlain {
+        values: Vec<i64>,
+        nulls: Option<Vec<bool>>,
+    },
     /// Run-length encoded integer column (only used when the column has no NULLs).
     IntRle(RleVec),
     /// Dictionary-encoded string column with an optional null bitmap.
-    Str { codes: DictColumn, nulls: Option<Vec<bool>> },
+    Str {
+        codes: DictColumn,
+        nulls: Option<Vec<bool>>,
+    },
 }
 
 fn is_null(nulls: &Option<Vec<bool>>, row: usize) -> bool {
-    nulls.as_ref().is_some_and(|n| n.get(row).copied().unwrap_or(false))
+    nulls
+        .as_ref()
+        .is_some_and(|n| n.get(row).copied().unwrap_or(false))
 }
 
 fn null_bitmap_bytes(nulls: &Option<Vec<bool>>) -> u64 {
@@ -101,7 +109,9 @@ impl ColumnData {
     /// Heap footprint of the same data in the row-store representation.
     fn plain_bytes(&self) -> u64 {
         match self {
-            ColumnData::IntPlain { values, .. } => (values.len() * std::mem::size_of::<i64>()) as u64,
+            ColumnData::IntPlain { values, .. } => {
+                (values.len() * std::mem::size_of::<i64>()) as u64
+            }
             ColumnData::IntRle(v) => v.plain_bytes(),
             ColumnData::Str { codes, .. } => codes.plain_bytes(),
         }
@@ -250,7 +260,9 @@ impl ColumnarTable {
             return None;
         }
         Some(Row::new(
-            (0..self.schema.arity()).map(|c| self.columns[c].value(row)).collect(),
+            (0..self.schema.arity())
+                .map(|c| self.columns[c].value(row))
+                .collect(),
         ))
     }
 
@@ -321,7 +333,10 @@ impl ColumnarTable {
     /// # Errors
     /// Returns [`Error::UnknownColumn`] for any name not in the schema.
     pub fn projection_of(&self, columns: &[&str]) -> Result<Vec<ColumnId>> {
-        columns.iter().map(|name| self.schema.column_index(name)).collect()
+        columns
+            .iter()
+            .map(|name| self.schema.column_index(name))
+            .collect()
     }
 }
 
@@ -503,7 +518,11 @@ mod tests {
             assert_eq!(columnar.name(), "lineorder");
             assert_eq!(columnar.policy(), policy);
             for i in 0..200 {
-                assert_eq!(columnar.row(i).unwrap(), table.row(RowId(i as u64)).unwrap(), "row {i}, {policy:?}");
+                assert_eq!(
+                    columnar.row(i).unwrap(),
+                    table.row(RowId(i as u64)).unwrap(),
+                    "row {i}, {policy:?}"
+                );
             }
             assert!(columnar.row(200).is_none());
             assert!(columnar.value(200, 0).is_none());
@@ -523,7 +542,10 @@ mod tests {
             plain.column_encoded_bytes(date_col)
         );
         // The high-cardinality orderkey column must stay plain (RLE would double it).
-        assert_eq!(adaptive.column_encoded_bytes(0), plain.column_encoded_bytes(0));
+        assert_eq!(
+            adaptive.column_encoded_bytes(0),
+            plain.column_encoded_bytes(0)
+        );
         assert!(adaptive.compression_ratio() > plain.compression_ratio());
     }
 
@@ -542,9 +564,15 @@ mod tests {
     fn nulls_roundtrip() {
         let schema = Schema::new("t", vec![Column::int("a"), Column::str("b")]);
         let table = Table::new(schema);
-        table.insert(vec![Value::int(1), Value::str("x")], SnapshotId::INITIAL).unwrap();
-        table.insert(vec![Value::Null, Value::Null], SnapshotId::INITIAL).unwrap();
-        table.insert(vec![Value::int(3), Value::str("y")], SnapshotId::INITIAL).unwrap();
+        table
+            .insert(vec![Value::int(1), Value::str("x")], SnapshotId::INITIAL)
+            .unwrap();
+        table
+            .insert(vec![Value::Null, Value::Null], SnapshotId::INITIAL)
+            .unwrap();
+        table
+            .insert(vec![Value::int(3), Value::str("y")], SnapshotId::INITIAL)
+            .unwrap();
         for policy in [CompressionPolicy::Plain, CompressionPolicy::Adaptive] {
             let columnar = ColumnarTable::from_table(&table, policy).unwrap();
             assert_eq!(columnar.value(1, 0).unwrap(), Value::Null);
@@ -558,7 +586,9 @@ mod tests {
     fn project_row_nulls_out_unprojected_columns() {
         let table = source_table(10);
         let columnar = ColumnarTable::from_table(&table, CompressionPolicy::Plain).unwrap();
-        let projection = columnar.projection_of(&["lo_orderkey", "lo_revenue"]).unwrap();
+        let projection = columnar
+            .projection_of(&["lo_orderkey", "lo_revenue"])
+            .unwrap();
         let row = columnar.project_row(3, &projection);
         assert_eq!(row.arity(), 4);
         assert_eq!(row.get(0), &Value::int(3));
@@ -590,7 +620,8 @@ mod tests {
     #[test]
     fn continuous_scan_wraps_like_row_scan() {
         let table = source_table(25);
-        let columnar = Arc::new(ColumnarTable::from_table(&table, CompressionPolicy::Adaptive).unwrap());
+        let columnar =
+            Arc::new(ColumnarTable::from_table(&table, CompressionPolicy::Adaptive).unwrap());
         let mut scan = ColumnarContinuousScan::new(Arc::clone(&columnar)).with_batch_rows(10);
         let mut batch = ScanBatch::default();
 
@@ -612,14 +643,17 @@ mod tests {
     #[test]
     fn projected_scan_reduces_bytes_touched() {
         let table = source_table(2000);
-        let columnar = Arc::new(ColumnarTable::from_table(&table, CompressionPolicy::Adaptive).unwrap());
+        let columnar =
+            Arc::new(ColumnarTable::from_table(&table, CompressionPolicy::Adaptive).unwrap());
 
         let full_volume = Arc::new(ScanVolume::new());
         let mut full = ColumnarContinuousScan::new(Arc::clone(&columnar))
             .with_batch_rows(512)
             .with_volume(Arc::clone(&full_volume));
 
-        let projection = columnar.projection_of(&["lo_orderdate", "lo_revenue"]).unwrap();
+        let projection = columnar
+            .projection_of(&["lo_orderdate", "lo_revenue"])
+            .unwrap();
         let narrow_volume = Arc::new(ScanVolume::new());
         let mut narrow = ColumnarContinuousScan::with_projection(Arc::clone(&columnar), projection)
             .with_batch_rows(512)
@@ -656,10 +690,11 @@ mod tests {
     #[test]
     fn projected_rows_preserve_projected_values() {
         let table = source_table(100);
-        let columnar = Arc::new(ColumnarTable::from_table(&table, CompressionPolicy::Adaptive).unwrap());
+        let columnar =
+            Arc::new(ColumnarTable::from_table(&table, CompressionPolicy::Adaptive).unwrap());
         let projection = columnar.projection_of(&["lo_shipmode"]).unwrap();
-        let mut scan =
-            ColumnarContinuousScan::with_projection(Arc::clone(&columnar), projection).with_batch_rows(64);
+        let mut scan = ColumnarContinuousScan::with_projection(Arc::clone(&columnar), projection)
+            .with_batch_rows(64);
         let mut batch = ScanBatch::default();
         let mut seen = 0;
         while seen < 100 {
@@ -677,7 +712,8 @@ mod tests {
     fn empty_table_scan_reports_wrapped_empty_batches() {
         let schema = Schema::new("empty", vec![Column::int("a")]);
         let table = Table::new(schema);
-        let columnar = Arc::new(ColumnarTable::from_table(&table, CompressionPolicy::Plain).unwrap());
+        let columnar =
+            Arc::new(ColumnarTable::from_table(&table, CompressionPolicy::Plain).unwrap());
         assert!(columnar.is_empty());
         let mut scan = ColumnarContinuousScan::new(columnar);
         let mut batch = ScanBatch::default();
@@ -690,7 +726,8 @@ mod tests {
     #[should_panic(expected = "batch_rows")]
     fn zero_batch_rows_panics() {
         let table = source_table(1);
-        let columnar = Arc::new(ColumnarTable::from_table(&table, CompressionPolicy::Plain).unwrap());
+        let columnar =
+            Arc::new(ColumnarTable::from_table(&table, CompressionPolicy::Plain).unwrap());
         let _ = ColumnarContinuousScan::new(columnar).with_batch_rows(0);
     }
 }

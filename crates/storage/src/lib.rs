@@ -12,7 +12,7 @@
 //!   (sequential vs. random page costs). The paper's experiments run against a 100 GB
 //!   table on spinning disks; we run in memory and *account* for the I/O that each
 //!   access pattern would have generated, so the experiment harness can report
-//!   modelled scan times alongside measured CPU times (see DESIGN.md §3).
+//!   modelled scan times alongside measured CPU times (see the `io` module docs).
 //! * [`PartitionScheme`] — range partitioning of the fact table, used by the §5
 //!   "Fact Table Partitioning" extension (queries scan only the partitions they need).
 //! * [`SnapshotManager`] — snapshot-isolation bookkeeping for the §3.5 mixed

@@ -134,7 +134,10 @@ mod tests {
     fn covering_returns_overlapping_partitions() {
         let p = PartitionScheme::new(0, vec![10, 20, 30]).unwrap();
         assert_eq!(p.covering(12, 18), vec![PartitionId(1)]);
-        assert_eq!(p.covering(5, 25), vec![PartitionId(0), PartitionId(1), PartitionId(2)]);
+        assert_eq!(
+            p.covering(5, 25),
+            vec![PartitionId(0), PartitionId(1), PartitionId(2)]
+        );
         assert_eq!(p.covering(30, 99), vec![PartitionId(3)]);
         assert_eq!(p.covering(50, 40), Vec::<PartitionId>::new());
         assert_eq!(p.all().len(), 4);

@@ -39,7 +39,9 @@ pub struct Row {
 impl Row {
     /// Creates a row from a vector of values.
     pub fn new(values: Vec<Value>) -> Self {
-        Self { values: values.into() }
+        Self {
+            values: values.into(),
+        }
     }
 
     /// Number of columns.

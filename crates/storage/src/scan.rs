@@ -120,7 +120,9 @@ impl TableScan {
             self.buffer.clear();
             let remaining = (self.end - self.position) as usize;
             let to_read = remaining.min(self.batch_rows);
-            let read = self.table.read_range(self.position, to_read, &mut self.buffer);
+            let read = self
+                .table
+                .read_range(self.position, to_read, &mut self.buffer);
             if read == 0 {
                 break;
             }
@@ -236,7 +238,9 @@ impl ContinuousScan {
         batch.wrapped = self.position == 0;
         let remaining = (len - self.position) as usize;
         let to_read = remaining.min(self.batch_rows);
-        let read = self.table.read_range(self.position, to_read, &mut batch.rows);
+        let read = self
+            .table
+            .read_range(self.position, to_read, &mut batch.rows);
         if let Some(io) = &self.io {
             let pages = (read as u64).div_ceil(self.table.rows_per_page() as u64);
             io.record(AccessKind::Sequential, pages);
@@ -377,7 +381,10 @@ mod tests {
             scan.next_batch(&mut batch);
             pass2.extend(batch.rows.iter().map(|(id, _, _)| *id));
         }
-        assert_eq!(pass1, pass2, "continuous scan must be order-stable across passes");
+        assert_eq!(
+            pass1, pass2,
+            "continuous scan must be order-stable across passes"
+        );
     }
 
     #[test]
@@ -416,7 +423,9 @@ mod tests {
     fn continuous_scan_records_sequential_io() {
         let t = fact_table(100); // 10 pages
         let io = Arc::new(IoStats::new());
-        let mut scan = ContinuousScan::new(t).with_io(Arc::clone(&io)).with_batch_rows(50);
+        let mut scan = ContinuousScan::new(t)
+            .with_io(Arc::clone(&io))
+            .with_batch_rows(50);
         let mut batch = ScanBatch::default();
         for _ in 0..4 {
             scan.next_batch(&mut batch);
@@ -429,7 +438,11 @@ mod tests {
     fn scan_batch_helpers() {
         let mut b = ScanBatch::with_capacity(8);
         assert!(b.is_empty());
-        b.rows.push((RowId(0), Row::new(vec![Value::int(1)]), RowVersion::ALWAYS_VISIBLE));
+        b.rows.push((
+            RowId(0),
+            Row::new(vec![Value::int(1)]),
+            RowVersion::ALWAYS_VISIBLE,
+        ));
         b.wrapped = true;
         assert_eq!(b.len(), 1);
         b.clear();

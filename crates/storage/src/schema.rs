@@ -30,7 +30,10 @@ pub struct Column {
 impl Column {
     /// Creates a column.
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
-        Self { name: name.into(), ty }
+        Self {
+            name: name.into(),
+            ty,
+        }
     }
 
     /// Shorthand for an integer column.
@@ -55,7 +58,10 @@ pub struct Schema {
 impl Schema {
     /// Creates a schema for `table` with the given columns.
     pub fn new(table: impl Into<String>, columns: Vec<Column>) -> Self {
-        Self { table: table.into(), columns }
+        Self {
+            table: table.into(),
+            columns,
+        }
     }
 
     /// Number of columns.
@@ -105,12 +111,12 @@ impl Schema {
             )));
         }
         for (i, (v, c)) in values.iter().zip(&self.columns).enumerate() {
-            let ok = match (v, c.ty) {
-                (Value::Null, _) => true,
-                (Value::Int(_), ColumnType::Int) => true,
-                (Value::Str(_), ColumnType::Str) => true,
-                _ => false,
-            };
+            let ok = matches!(
+                (v, c.ty),
+                (Value::Null, _)
+                    | (Value::Int(_), ColumnType::Int)
+                    | (Value::Str(_), ColumnType::Str)
+            );
             if !ok {
                 return Err(Error::type_mismatch(format!(
                     "table {}: column {} ({}) expects {:?}, got {:?}",
@@ -162,7 +168,8 @@ mod tests {
         let s = schema();
         s.validate_row(&[Value::int(1), Value::str("Customer#1"), Value::str("ASIA")])
             .unwrap();
-        s.validate_row(&[Value::int(1), Value::Null, Value::Null]).unwrap();
+        s.validate_row(&[Value::int(1), Value::Null, Value::Null])
+            .unwrap();
     }
 
     #[test]

@@ -51,7 +51,7 @@ impl RowVersion {
     /// deleted at or before it.
     #[inline]
     pub fn visible_at(&self, snapshot: SnapshotId) -> bool {
-        self.xmin <= snapshot && self.xmax.map_or(true, |xmax| xmax > snapshot)
+        self.xmin <= snapshot && self.xmax.is_none_or(|xmax| xmax > snapshot)
     }
 }
 
@@ -70,7 +70,9 @@ pub struct SnapshotManager {
 impl SnapshotManager {
     /// Creates a manager whose current snapshot is [`SnapshotId::INITIAL`].
     pub fn new() -> Self {
-        Self { current: AtomicU64::new(0) }
+        Self {
+            current: AtomicU64::new(0),
+        }
     }
 
     /// Returns the latest committed snapshot (what a newly admitted read-only query

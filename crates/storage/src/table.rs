@@ -131,7 +131,11 @@ impl Table {
 
     /// Returns the row with the given id (regardless of visibility).
     pub fn row(&self, id: RowId) -> Option<Row> {
-        self.inner.read().rows.get(id.index()).map(|s| s.row.clone())
+        self.inner
+            .read()
+            .rows
+            .get(id.index())
+            .map(|s| s.row.clone())
     }
 
     /// Returns the row and its version metadata.
@@ -161,7 +165,11 @@ impl Table {
         let end = (start + max_rows).min(inner.rows.len());
         out.reserve(end - start);
         for (offset, stored) in inner.rows[start..end].iter().enumerate() {
-            out.push((RowId((start + offset) as u64), stored.row.clone(), stored.version));
+            out.push((
+                RowId((start + offset) as u64),
+                stored.row.clone(),
+                stored.version,
+            ));
         }
         end - start
     }
@@ -201,10 +209,7 @@ mod tests {
     use crate::schema::Column;
 
     fn test_table() -> Table {
-        let schema = Schema::new(
-            "dim",
-            vec![Column::int("d_key"), Column::str("d_name")],
-        );
+        let schema = Schema::new("dim", vec![Column::int("d_key"), Column::str("d_name")]);
         Table::with_rows_per_page(schema, 4)
     }
 
@@ -229,7 +234,10 @@ mod tests {
     fn insert_validates_schema() {
         let t = test_table();
         assert!(t
-            .insert(vec![Value::str("wrong"), Value::str("a")], SnapshotId::INITIAL)
+            .insert(
+                vec![Value::str("wrong"), Value::str("a")],
+                SnapshotId::INITIAL
+            )
             .is_err());
         assert!(t.insert(vec![Value::int(1)], SnapshotId::INITIAL).is_err());
         assert_eq!(t.len(), 0);
@@ -283,9 +291,12 @@ mod tests {
     #[test]
     fn select_applies_snapshot_and_predicate() {
         let t = test_table();
-        t.insert(vec![Value::int(1), Value::str("keep")], SnapshotId(0)).unwrap();
-        t.insert(vec![Value::int(2), Value::str("drop")], SnapshotId(0)).unwrap();
-        t.insert(vec![Value::int(3), Value::str("keep")], SnapshotId(5)).unwrap();
+        t.insert(vec![Value::int(1), Value::str("keep")], SnapshotId(0))
+            .unwrap();
+        t.insert(vec![Value::int(2), Value::str("drop")], SnapshotId(0))
+            .unwrap();
+        t.insert(vec![Value::int(3), Value::str("keep")], SnapshotId(5))
+            .unwrap();
 
         let visible_now = t.select(SnapshotId(0), |r| r.get(1).as_str().unwrap() == "keep");
         assert_eq!(visible_now.len(), 1);
@@ -301,7 +312,8 @@ mod tests {
         let id = t
             .insert(vec![Value::int(1), Value::str("a")], SnapshotId(0))
             .unwrap();
-        t.insert(vec![Value::int(2), Value::str("b")], SnapshotId(0)).unwrap();
+        t.insert(vec![Value::int(2), Value::str("b")], SnapshotId(0))
+            .unwrap();
         t.delete(id, SnapshotId(1));
         let mut seen = Vec::new();
         t.for_each_visible(SnapshotId(2), |_, r| seen.push(r.int(0)));
@@ -351,7 +363,8 @@ mod tests {
             let t = Arc::clone(&t);
             std::thread::spawn(move || {
                 for i in 100..200 {
-                    t.insert(vec![Value::int(i), Value::str("y")], SnapshotId(1)).unwrap();
+                    t.insert(vec![Value::int(i), Value::str("y")], SnapshotId(1))
+                        .unwrap();
                 }
             })
         };

@@ -41,7 +41,9 @@ impl Value {
     pub fn as_int(&self) -> Result<i64> {
         match self {
             Value::Int(i) => Ok(*i),
-            other => Err(Error::type_mismatch(format!("expected Int, found {other:?}"))),
+            other => Err(Error::type_mismatch(format!(
+                "expected Int, found {other:?}"
+            ))),
         }
     }
 
@@ -52,7 +54,9 @@ impl Value {
     pub fn as_str(&self) -> Result<&str> {
         match self {
             Value::Str(s) => Ok(s),
-            other => Err(Error::type_mismatch(format!("expected Str, found {other:?}"))),
+            other => Err(Error::type_mismatch(format!(
+                "expected Str, found {other:?}"
+            ))),
         }
     }
 

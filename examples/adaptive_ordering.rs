@@ -26,11 +26,19 @@ fn skewed_query(index: usize, num_parts: usize, date_keys: &[i64]) -> StarQuery 
     let (p_key, p_fk) = join_columns("part").unwrap();
     let (s_key, s_fk) = join_columns("supplier").unwrap();
     StarQuery::builder(format!("skewed#{index}"))
-        .join_dimension("date", d_fk, d_key, Predicate::between("d_datekey", date_keys[0], date_hi))
+        .join_dimension(
+            "date",
+            d_fk,
+            d_key,
+            Predicate::between("d_datekey", date_keys[0], date_hi),
+        )
         .join_dimension("part", p_fk, p_key, Predicate::eq("p_partkey", part_key))
         .join_dimension("supplier", s_fk, s_key, Predicate::True)
         .group_by(ColumnRef::dim("date", "d_year"))
-        .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("lo_revenue")))
+        .aggregate(AggregateSpec::over(
+            AggFunc::Sum,
+            ColumnRef::fact("lo_revenue"),
+        ))
         .build()
 }
 

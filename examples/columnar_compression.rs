@@ -20,16 +20,29 @@ fn main() -> cjoin_repro::Result<()> {
     let data = SsbDataSet::generate(SsbConfig::new(0.01, 42));
     let catalog = data.catalog();
     let lineorder = catalog.fact_table()?;
-    println!("lineorder: {} rows, {} columns\n", lineorder.len(), lineorder.schema().arity());
+    println!(
+        "lineorder: {} rows, {} columns\n",
+        lineorder.len(),
+        lineorder.schema().arity()
+    );
 
     // ------------------------------------------------------------------
     // 2. Build columnar replicas under both compression policies.
     // ------------------------------------------------------------------
-    let plain = Arc::new(ColumnarTable::from_table(&lineorder, CompressionPolicy::Plain)?);
-    let adaptive = Arc::new(ColumnarTable::from_table(&lineorder, CompressionPolicy::Adaptive)?);
+    let plain = Arc::new(ColumnarTable::from_table(
+        &lineorder,
+        CompressionPolicy::Plain,
+    )?);
+    let adaptive = Arc::new(ColumnarTable::from_table(
+        &lineorder,
+        CompressionPolicy::Adaptive,
+    )?);
 
     println!("per-column footprint (bytes), row-store vs. columnar:");
-    println!("{:<18} {:>12} {:>12} {:>12}", "column", "row-store", "dict/plain", "dict+RLE");
+    println!(
+        "{:<18} {:>12} {:>12} {:>12}",
+        "column", "row-store", "dict/plain", "dict+RLE"
+    );
     for (idx, column) in lineorder.schema().columns().iter().enumerate() {
         println!(
             "{:<18} {:>12} {:>12} {:>12}",
@@ -68,11 +81,13 @@ fn main() -> cjoin_repro::Result<()> {
         .with_volume(Arc::clone(&full_volume));
     run_pass(&mut full_scan);
 
-    let projection = adaptive.projection_of(&["lo_orderdate", "lo_discount", "lo_quantity", "lo_revenue"])?;
+    let projection =
+        adaptive.projection_of(&["lo_orderdate", "lo_discount", "lo_quantity", "lo_revenue"])?;
     let narrow_volume = Arc::new(ScanVolume::new());
-    let mut narrow_scan = ColumnarContinuousScan::with_projection(Arc::clone(&adaptive), projection)
-        .with_batch_rows(4096)
-        .with_volume(Arc::clone(&narrow_volume));
+    let mut narrow_scan =
+        ColumnarContinuousScan::with_projection(Arc::clone(&adaptive), projection)
+            .with_batch_rows(4096)
+            .with_volume(Arc::clone(&narrow_volume));
     run_pass(&mut narrow_scan);
 
     println!("one continuous-scan pass over {} rows:", rows);

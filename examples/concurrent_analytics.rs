@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use cjoin_repro::baseline::{BaselineConfig, BaselineEngine};
-use cjoin_repro::bench::{run_closed_loop, QueryExecutor};
+use cjoin_repro::bench::{run_closed_loop, JoinEngine};
 use cjoin_repro::cjoin::{CjoinConfig, CjoinEngine};
 use cjoin_repro::ssb::{SsbConfig, SsbDataSet, Workload, WorkloadConfig};
 
@@ -56,9 +56,9 @@ fn main() -> cjoin_repro::Result<()> {
         "engine", "throughput", "mean response", "wall time"
     );
     for (name, report) in [
-        (cjoin.executor_name(), &cjoin_report),
-        (system_x.executor_name(), &system_x_report),
-        (postgres.executor_name(), &postgres_report),
+        (JoinEngine::name(&cjoin), &cjoin_report),
+        (JoinEngine::name(&system_x), &system_x_report),
+        (JoinEngine::name(&postgres), &postgres_report),
     ] {
         println!(
             "{:<28} {:>10.0} q/h {:>13.1} ms {:>13.1} ms",
@@ -76,12 +76,21 @@ fn main() -> cjoin_repro::Result<()> {
         TOTAL_QUERIES * 2,
         TOTAL_QUERIES
     );
-    println!("  fact tuples scanned once, filtered for all queries: {}", stats.tuples_scanned);
-    println!("  (tuple, query) routings at the distributor:          {}", stats.routings);
-    println!("  filter order chosen at run time:                     {:?}", stats
-        .filters
-        .iter()
-        .map(|f| format!("{} ({:.0}% drop)", f.dimension, f.drop_rate() * 100.0))
-        .collect::<Vec<_>>());
+    println!(
+        "  fact tuples scanned once, filtered for all queries: {}",
+        stats.tuples_scanned
+    );
+    println!(
+        "  (tuple, query) routings at the distributor:          {}",
+        stats.routings
+    );
+    println!(
+        "  filter order chosen at run time:                     {:?}",
+        stats
+            .filters
+            .iter()
+            .map(|f| format!("{} ({:.0}% drop)", f.dimension, f.drop_rate() * 100.0))
+            .collect::<Vec<_>>()
+    );
     Ok(())
 }

@@ -22,7 +22,11 @@ fn main() -> cjoin_repro::Result<()> {
 
     let customer = Table::new(Schema::new(
         "customer",
-        vec![Column::int("c_custkey"), Column::str("c_region"), Column::str("c_segment")],
+        vec![
+            Column::int("c_custkey"),
+            Column::str("c_region"),
+            Column::str("c_segment"),
+        ],
     ));
     for k in 0..200i64 {
         let region = ["ASIA", "EUROPE", "AMERICA"][(k % 3) as usize];
@@ -37,7 +41,11 @@ fn main() -> cjoin_repro::Result<()> {
     // Fact table 1: orders placed by customers.
     let orders = Table::new(Schema::new(
         "orders",
-        vec![Column::int("o_custkey"), Column::int("o_orderdate"), Column::int("o_amount")],
+        vec![
+            Column::int("o_custkey"),
+            Column::int("o_orderdate"),
+            Column::int("o_amount"),
+        ],
     ));
     orders.insert_batch_unchecked(
         (0..50_000i64).map(|i| {
@@ -54,11 +62,19 @@ fn main() -> cjoin_repro::Result<()> {
     // Fact table 2: shipments delivered to customers.
     let shipments = Table::new(Schema::new(
         "shipments",
-        vec![Column::int("sh_custkey"), Column::int("sh_weight"), Column::int("sh_delay_days")],
+        vec![
+            Column::int("sh_custkey"),
+            Column::int("sh_weight"),
+            Column::int("sh_delay_days"),
+        ],
     ));
     shipments.insert_batch_unchecked(
         (0..30_000i64).map(|i| {
-            Row::new(vec![Value::int(i % 150), Value::int(1 + i % 40), Value::int(i % 9)])
+            Row::new(vec![
+                Value::int(i % 150),
+                Value::int(1 + i % 40),
+                Value::int(i % 9),
+            ])
         }),
         SnapshotId::INITIAL,
     );
@@ -87,14 +103,31 @@ fn main() -> cjoin_repro::Result<()> {
         .side_a(
             SideSpec::new("orders", "o_custkey")
                 .fact_predicate(Predicate::between("o_orderdate", 19940101, 19940199))
-                .join_dimension("customer", "o_custkey", "c_custkey", Predicate::eq("c_segment", "consumer")),
+                .join_dimension(
+                    "customer",
+                    "o_custkey",
+                    "c_custkey",
+                    Predicate::eq("c_segment", "consumer"),
+                ),
         )
         .side_b(SideSpec::new("shipments", "sh_custkey"))
         .group_by(Side::A, ColumnRef::dim("customer", "c_region"))
         .aggregate(GalaxyAggregateSpec::count_star())
-        .aggregate(GalaxyAggregateSpec::over(AggFunc::Sum, Side::A, ColumnRef::fact("o_amount")))
-        .aggregate(GalaxyAggregateSpec::over(AggFunc::Avg, Side::B, ColumnRef::fact("sh_delay_days")))
-        .aggregate(GalaxyAggregateSpec::over(AggFunc::Max, Side::B, ColumnRef::fact("sh_weight")))
+        .aggregate(GalaxyAggregateSpec::over(
+            AggFunc::Sum,
+            Side::A,
+            ColumnRef::fact("o_amount"),
+        ))
+        .aggregate(GalaxyAggregateSpec::over(
+            AggFunc::Avg,
+            Side::B,
+            ColumnRef::fact("sh_delay_days"),
+        ))
+        .aggregate(GalaxyAggregateSpec::over(
+            AggFunc::Max,
+            Side::B,
+            ColumnRef::fact("sh_weight"),
+        ))
         .build();
 
     // A plain star query over the orders fact table, submitted alongside: it shares
@@ -102,7 +135,10 @@ fn main() -> cjoin_repro::Result<()> {
     let star_query = StarQuery::builder("order_volume_by_segment")
         .join_dimension("customer", "o_custkey", "c_custkey", Predicate::True)
         .group_by(ColumnRef::dim("customer", "c_segment"))
-        .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("o_amount")))
+        .aggregate(AggregateSpec::over(
+            AggFunc::Sum,
+            ColumnRef::fact("o_amount"),
+        ))
         .aggregate(AggregateSpec::count_star())
         .build();
 

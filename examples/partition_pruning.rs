@@ -22,13 +22,24 @@ fn revenue_in_1994(name: &str) -> StarQuery {
         // The fact predicate is what partition pruning analyses...
         .fact_predicate(Predicate::between("lo_orderdate", 19940101, 19941231))
         // ...while the date join provides the grouping attribute.
-        .join_dimension("date", d_fk, d_key, Predicate::between("d_year", 1994, 1994))
+        .join_dimension(
+            "date",
+            d_fk,
+            d_key,
+            Predicate::between("d_year", 1994, 1994),
+        )
         .group_by(ColumnRef::dim("date", "d_yearmonthnum"))
-        .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("lo_revenue")))
+        .aggregate(AggregateSpec::over(
+            AggFunc::Sum,
+            ColumnRef::fact("lo_revenue"),
+        ))
         .build()
 }
 
-fn run(with_pruning: bool, catalog: &Arc<cjoin_repro::Catalog>) -> cjoin_repro::Result<(std::time::Duration, u64)> {
+fn run(
+    with_pruning: bool,
+    catalog: &Arc<cjoin_repro::Catalog>,
+) -> cjoin_repro::Result<(std::time::Duration, u64)> {
     let config = CjoinConfig {
         partition_pruning: with_pruning,
         ..CjoinConfig::default()
@@ -42,7 +53,12 @@ fn run(with_pruning: bool, catalog: &Arc<cjoin_repro::Catalog>) -> cjoin_repro::
     let (result, elapsed) = handle.wait_with_time()?;
     let scanned = engine.stats().tuples_scanned;
     engine.shutdown();
-    println!("  {} result groups, {} fact tuples scanned, {:?} response time", result.num_rows(), scanned, elapsed);
+    println!(
+        "  {} result groups, {} fact tuples scanned, {:?} response time",
+        result.num_rows(),
+        scanned,
+        elapsed
+    );
     Ok((elapsed, scanned))
 }
 
@@ -51,7 +67,9 @@ fn main() -> cjoin_repro::Result<()> {
     // fact tables are in practice.
     let data = SsbDataSet::generate(SsbConfig::new(0.01, 13).with_clustering());
     let catalog = data.catalog();
-    let scheme = catalog.fact_partitioning().expect("SSB declares yearly partitioning");
+    let scheme = catalog
+        .fact_partitioning()
+        .expect("SSB declares yearly partitioning");
     println!(
         "lineorder: {} rows in {} yearly partitions\n",
         catalog.fact_table()?.len(),

@@ -29,7 +29,12 @@ fn main() -> cjoin_repro::Result<()> {
         "product",
         vec![Column::int("p_key"), Column::str("p_category")],
     ));
-    for (k, cat) in [(1, "widgets"), (2, "gadgets"), (3, "gizmos"), (4, "widgets")] {
+    for (k, cat) in [
+        (1, "widgets"),
+        (2, "gadgets"),
+        (3, "gizmos"),
+        (4, "widgets"),
+    ] {
         product.insert(vec![Value::int(k), Value::str(cat)], SnapshotId::INITIAL)?;
     }
 
@@ -60,7 +65,10 @@ fn main() -> cjoin_repro::Result<()> {
     // 2. Start the always-on CJOIN pipeline.
     // ------------------------------------------------------------------
     let engine = CjoinEngine::start(Arc::clone(&catalog), CjoinConfig::default())?;
-    println!("CJOIN pipeline started over {} fact rows\n", catalog.fact_table()?.len());
+    println!(
+        "CJOIN pipeline started over {} fact rows\n",
+        catalog.fact_table()?.len()
+    );
 
     // ------------------------------------------------------------------
     // 3. Register several star queries; they all share one fact-table scan.
@@ -68,15 +76,34 @@ fn main() -> cjoin_repro::Result<()> {
     let revenue_by_region = StarQuery::builder("revenue_by_region")
         .join_dimension("region", "s_regionkey", "r_key", Predicate::True)
         .group_by(ColumnRef::dim("region", "r_name"))
-        .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("s_amount")))
+        .aggregate(AggregateSpec::over(
+            AggFunc::Sum,
+            ColumnRef::fact("s_amount"),
+        ))
         .aggregate(AggregateSpec::count_star())
         .build();
 
     let widget_sales_in_europe = StarQuery::builder("widget_sales_in_europe")
-        .join_dimension("region", "s_regionkey", "r_key", Predicate::eq("r_name", "EUROPE"))
-        .join_dimension("product", "s_productkey", "p_key", Predicate::eq("p_category", "widgets"))
-        .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("s_amount")))
-        .aggregate(AggregateSpec::over(AggFunc::Avg, ColumnRef::fact("s_amount")))
+        .join_dimension(
+            "region",
+            "s_regionkey",
+            "r_key",
+            Predicate::eq("r_name", "EUROPE"),
+        )
+        .join_dimension(
+            "product",
+            "s_productkey",
+            "p_key",
+            Predicate::eq("p_category", "widgets"),
+        )
+        .aggregate(AggregateSpec::over(
+            AggFunc::Sum,
+            ColumnRef::fact("s_amount"),
+        ))
+        .aggregate(AggregateSpec::over(
+            AggFunc::Avg,
+            ColumnRef::fact("s_amount"),
+        ))
         .build();
 
     let sales_by_category = StarQuery::builder("sales_by_category")

@@ -22,7 +22,10 @@ fn count_asia_revenue(name: &str, snapshot: Option<cjoin_repro::SnapshotId>) -> 
     let mut builder = StarQuery::builder(name)
         .join_dimension("customer", c_fk, c_key, Predicate::eq("c_region", "ASIA"))
         .aggregate(AggregateSpec::count_star())
-        .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("lo_revenue")));
+        .aggregate(AggregateSpec::over(
+            AggFunc::Sum,
+            ColumnRef::fact("lo_revenue"),
+        ));
     if let Some(snapshot) = snapshot {
         builder = builder.snapshot(snapshot);
     }
@@ -36,7 +39,10 @@ fn main() -> cjoin_repro::Result<()> {
 
     // A long-running report pinned to the current snapshot.
     let initial_snapshot = catalog.snapshots().current();
-    let before = engine.submit(count_asia_revenue("report_before_load", Some(initial_snapshot)))?;
+    let before = engine.submit(count_asia_revenue(
+        "report_before_load",
+        Some(initial_snapshot),
+    ))?;
 
     // Meanwhile, the nightly load commits a new batch of fact rows (an update
     // transaction): 5 000 extra lineorder rows for customer 1 become visible only to

@@ -20,8 +20,8 @@
 //! | [`galaxy`] | `cjoin-galaxy` | fact-to-fact join queries over two CJOIN pipelines (§5) |
 //! | [`bench`] | `cjoin-bench` | experiment harness (figures 4–8, tables 1–3, ablations) |
 //!
-//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory and
-//! `EXPERIMENTS.md` for paper-vs-measured results.
+//! See `README.md` for a quickstart, the workspace layout, and how to reproduce
+//! the paper's evaluation with the `experiments` binary.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -72,6 +72,9 @@ pub use cjoin_baseline::{BaselineConfig, BaselineEngine};
 pub use cjoin_common::{Error, Result};
 pub use cjoin_core::{CjoinConfig, CjoinEngine, QueryHandle};
 pub use cjoin_galaxy::{GalaxyEngine, GalaxyQuery};
-pub use cjoin_query::{AggFunc, AggregateSpec, ColumnRef, Predicate, QueryResult, StarQuery};
+pub use cjoin_query::{
+    AggFunc, AggregateSpec, ColumnRef, EngineStats, JoinEngine, Predicate, QueryResult,
+    QueryTicket, StarQuery,
+};
 pub use cjoin_ssb::{SsbConfig, SsbDataSet, Workload, WorkloadConfig};
 pub use cjoin_storage::{Catalog, SnapshotId};

@@ -16,7 +16,7 @@ use cjoin_repro::storage::{Row, RowId};
 
 #[test]
 fn sustained_query_churn_with_interleaved_updates_stays_correct() {
-    let data = SsbDataSet::generate(SsbConfig::new(0.001, 401));
+    let data = SsbDataSet::generate(SsbConfig::for_tests(0.001, 401));
     let catalog = data.catalog();
     // A small maxConc forces heavy id recycling across the churn.
     let config = CjoinConfig::default()
@@ -30,11 +30,9 @@ fn sustained_query_churn_with_interleaved_updates_stays_correct() {
     // Three waves of queries; between waves the warehouse grows by an update batch.
     // Every query is pinned to the snapshot current at its submission so the expected
     // answer is well defined even though the table keeps growing.
-    let mut wave_seed = 77;
     for wave in 0..3u64 {
         let snapshot = catalog.snapshots().current();
-        let workload = Workload::generate(&data, WorkloadConfig::new(10, 0.05, wave_seed));
-        wave_seed += 1;
+        let workload = Workload::generate(&data, WorkloadConfig::new(10, 0.05, 77 + wave));
 
         let queries: Vec<_> = workload
             .queries()
@@ -97,6 +95,10 @@ fn sustained_query_churn_with_interleaved_updates_stays_correct() {
     while engine.active_queries() > 0 && std::time::Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(5));
     }
-    assert_eq!(engine.active_queries(), 0, "all ids recycled after the churn");
+    assert_eq!(
+        engine.active_queries(),
+        0,
+        "all ids recycled after the churn"
+    );
     engine.shutdown();
 }

@@ -4,17 +4,21 @@
 //!
 //! This is the cross-engine equivalent of the paper's implicit claim that CJOIN is a
 //! drop-in physical operator: sharing changes performance, never answers.
+//!
+//! Both engines are driven exclusively through the shared [`JoinEngine`] trait —
+//! the oracle harness does not know which engine it is talking to, so any future
+//! engine plugs into the same assertions.
 
 use std::sync::Arc;
 
 use cjoin_repro::baseline::{BaselineConfig, BaselineEngine};
 use cjoin_repro::cjoin::{CjoinConfig, CjoinEngine};
-use cjoin_repro::query::reference;
+use cjoin_repro::query::{reference, JoinEngine};
 use cjoin_repro::ssb::{classic_queries, SsbConfig, SsbDataSet, Workload, WorkloadConfig};
 use cjoin_repro::{SnapshotId, StarQuery};
 
 fn data(sf: f64, seed: u64) -> SsbDataSet {
-    SsbDataSet::generate(SsbConfig::new(sf, seed))
+    SsbDataSet::generate(SsbConfig::for_tests(sf, seed))
 }
 
 fn cjoin_config() -> CjoinConfig {
@@ -24,22 +28,25 @@ fn cjoin_config() -> CjoinConfig {
         .with_batch_size(512)
 }
 
-/// Runs `queries` through all three evaluation paths and asserts agreement.
+/// Runs `queries` through all three evaluation paths and asserts agreement. The
+/// engines are consumed only as `&dyn JoinEngine`.
 fn assert_all_engines_agree(data: &SsbDataSet, queries: &[StarQuery]) {
     let catalog = data.catalog();
     let baseline = BaselineEngine::new(Arc::clone(&catalog), BaselineConfig::default());
     let cjoin = CjoinEngine::start(Arc::clone(&catalog), cjoin_config()).unwrap();
+    let shared: &dyn JoinEngine = &cjoin;
+    let oracle: &dyn JoinEngine = &baseline;
 
     // Submit everything to CJOIN first so the queries genuinely share the pipeline.
-    let handles: Vec<_> = queries
+    let tickets: Vec<_> = queries
         .iter()
-        .map(|q| cjoin.submit(q.clone()).unwrap())
+        .map(|q| shared.submit(q.clone()).unwrap())
         .collect();
 
-    for (query, handle) in queries.iter().zip(handles) {
+    for (query, ticket) in queries.iter().zip(tickets) {
         let expected = reference::evaluate(&catalog, query, SnapshotId::INITIAL).unwrap();
-        let (baseline_result, _) = baseline.execute(query).unwrap();
-        let cjoin_result = handle.wait().unwrap();
+        let baseline_result = oracle.execute(query).unwrap();
+        let cjoin_result = ticket.wait().unwrap();
         assert!(
             baseline_result.approx_eq(&expected),
             "{}: baseline vs reference: {:?}",
@@ -53,7 +60,7 @@ fn assert_all_engines_agree(data: &SsbDataSet, queries: &[StarQuery]) {
             cjoin_result.diff(&expected)
         );
     }
-    cjoin.shutdown();
+    shared.shutdown();
 }
 
 #[test]
@@ -80,8 +87,10 @@ fn high_selectivity_workload_agrees_across_engines() {
 #[test]
 fn single_template_workload_agrees_across_engines() {
     let data = data(0.002, 104);
-    let workload =
-        Workload::generate(&data, WorkloadConfig::new(16, 0.05, 57).with_template("Q4.2"));
+    let workload = Workload::generate(
+        &data,
+        WorkloadConfig::new(16, 0.05, 57).with_template("Q4.2"),
+    );
     assert_all_engines_agree(&data, workload.queries());
 }
 
@@ -93,11 +102,12 @@ fn sequential_resubmission_reuses_ids_and_stays_correct() {
     let catalog = data.catalog();
     let workload = Workload::generate(&data, WorkloadConfig::new(8, 0.05, 58));
     let cjoin = CjoinEngine::start(Arc::clone(&catalog), cjoin_config()).unwrap();
+    let engine: &dyn JoinEngine = &cjoin;
 
     for round in 0..2 {
         for query in workload.queries() {
             let expected = reference::evaluate(&catalog, query, SnapshotId::INITIAL).unwrap();
-            let result = cjoin.execute(query.clone()).unwrap();
+            let result = engine.execute(query).unwrap();
             assert!(
                 result.approx_eq(&expected),
                 "round {round}, {}: {:?}",
@@ -106,14 +116,8 @@ fn sequential_resubmission_reuses_ids_and_stays_correct() {
             );
         }
     }
-    // The completion counter is bumped by the Distributor just after the result is
-    // delivered, so give the pipeline a moment to finish its bookkeeping.
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
-    while cjoin.stats().queries_completed < 16 && std::time::Instant::now() < deadline {
-        std::thread::sleep(std::time::Duration::from_millis(5));
-    }
-    assert_eq!(cjoin.stats().queries_completed, 16);
-    cjoin.shutdown();
+    assert_eq!(engine.stats().queries_completed, 16);
+    engine.shutdown();
 }
 
 #[test]
@@ -124,18 +128,19 @@ fn queries_arriving_mid_scan_get_complete_answers() {
     let catalog = data.catalog();
     let workload = Workload::generate(&data, WorkloadConfig::new(10, 0.05, 59));
     let cjoin = CjoinEngine::start(Arc::clone(&catalog), cjoin_config()).unwrap();
+    let engine: &dyn JoinEngine = &cjoin;
 
-    let mut handles = Vec::new();
+    let mut tickets = Vec::new();
     for (i, query) in workload.queries().iter().enumerate() {
-        handles.push(cjoin.submit(query.clone()).unwrap());
+        tickets.push(engine.submit(query.clone()).unwrap());
         if i % 3 == 0 {
             // Give the scan time to advance so admissions land mid-pass.
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
     }
-    for (query, handle) in workload.queries().iter().zip(handles) {
+    for (query, ticket) in workload.queries().iter().zip(tickets) {
         let expected = reference::evaluate(&catalog, query, SnapshotId::INITIAL).unwrap();
-        let result = handle.wait().unwrap();
+        let result = ticket.wait().unwrap();
         assert!(
             result.approx_eq(&expected),
             "{}: {:?}",
@@ -143,5 +148,5 @@ fn queries_arriving_mid_scan_get_complete_answers() {
             result.diff(&expected)
         );
     }
-    cjoin.shutdown();
+    engine.shutdown();
 }

@@ -43,7 +43,10 @@ fn random_galaxy(seed: u64, purchases_rows: usize, calls_rows: usize) -> Arc<Cat
     ));
     for (k, name) in CHANNELS.iter().enumerate() {
         channel
-            .insert(vec![Value::int(k as i64), Value::str(*name)], SnapshotId::INITIAL)
+            .insert(
+                vec![Value::int(k as i64), Value::str(*name)],
+                SnapshotId::INITIAL,
+            )
             .unwrap();
     }
     catalog.add_table(Arc::new(channel));
@@ -113,7 +116,12 @@ fn query_pool(seed: u64) -> Vec<GalaxyQuery> {
 
         let side_a = SideSpec::new("purchases", "p_custkey")
             .fact_predicate(Predicate::between("p_day", day_lo, day_hi))
-            .join_dimension("customer", "p_custkey", "c_custkey", Predicate::eq("c_region", region));
+            .join_dimension(
+                "customer",
+                "p_custkey",
+                "c_custkey",
+                Predicate::eq("c_region", region),
+            );
         let side_b = if i % 2 == 0 {
             SideSpec::new("support_calls", "sc_custkey").join_dimension(
                 "channel",
@@ -129,10 +137,26 @@ fn query_pool(seed: u64) -> Vec<GalaxyQuery> {
             .side_a(side_a)
             .side_b(side_b)
             .aggregate(GalaxyAggregateSpec::count_star())
-            .aggregate(GalaxyAggregateSpec::over(AggFunc::Sum, Side::A, ColumnRef::fact("p_amount")))
-            .aggregate(GalaxyAggregateSpec::over(AggFunc::Avg, Side::B, ColumnRef::fact("sc_minutes")))
-            .aggregate(GalaxyAggregateSpec::over(AggFunc::Max, Side::B, ColumnRef::fact("sc_minutes")))
-            .aggregate(GalaxyAggregateSpec::over(AggFunc::Min, Side::A, ColumnRef::fact("p_amount")));
+            .aggregate(GalaxyAggregateSpec::over(
+                AggFunc::Sum,
+                Side::A,
+                ColumnRef::fact("p_amount"),
+            ))
+            .aggregate(GalaxyAggregateSpec::over(
+                AggFunc::Avg,
+                Side::B,
+                ColumnRef::fact("sc_minutes"),
+            ))
+            .aggregate(GalaxyAggregateSpec::over(
+                AggFunc::Max,
+                Side::B,
+                ColumnRef::fact("sc_minutes"),
+            ))
+            .aggregate(GalaxyAggregateSpec::over(
+                AggFunc::Min,
+                Side::A,
+                ColumnRef::fact("p_amount"),
+            ));
         if i % 3 == 0 {
             builder = builder.group_by(Side::A, ColumnRef::dim("customer", "c_region"));
         }
@@ -147,7 +171,8 @@ fn query_pool(seed: u64) -> Vec<GalaxyQuery> {
 #[test]
 fn concurrent_galaxy_queries_match_the_oracle() {
     let catalog = random_galaxy(7, 4_000, 2_500);
-    let engine = GalaxyEngine::start(Arc::clone(&catalog), "purchases", "support_calls", config()).unwrap();
+    let engine =
+        GalaxyEngine::start(Arc::clone(&catalog), "purchases", "support_calls", config()).unwrap();
 
     let queries = query_pool(11);
     let expected: Vec<_> = queries
@@ -157,7 +182,10 @@ fn concurrent_galaxy_queries_match_the_oracle() {
 
     // Submit everything before waiting so the star sub-queries genuinely share the
     // two always-on pipelines.
-    let handles: Vec<_> = queries.iter().map(|q| engine.submit(q.clone()).unwrap()).collect();
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|q| engine.submit(q.clone()).unwrap())
+        .collect();
     for ((query, handle), expected) in queries.iter().zip(handles).zip(expected) {
         let result = handle.wait().unwrap();
         assert!(
@@ -177,22 +205,30 @@ fn concurrent_galaxy_queries_match_the_oracle() {
 #[test]
 fn galaxy_and_star_queries_share_the_same_pipelines() {
     let catalog = random_galaxy(23, 3_000, 2_000);
-    let engine = GalaxyEngine::start(Arc::clone(&catalog), "purchases", "support_calls", config()).unwrap();
+    let engine =
+        GalaxyEngine::start(Arc::clone(&catalog), "purchases", "support_calls", config()).unwrap();
 
     let galaxy_query = query_pool(29).remove(0);
     let star_a = StarQuery::builder("purchases_by_region")
         .join_dimension("customer", "p_custkey", "c_custkey", Predicate::True)
         .group_by(ColumnRef::dim("customer", "c_region"))
-        .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("p_amount")))
+        .aggregate(AggregateSpec::over(
+            AggFunc::Sum,
+            ColumnRef::fact("p_amount"),
+        ))
         .build();
     let star_b = StarQuery::builder("calls_by_channel")
         .join_dimension("channel", "sc_chkey", "ch_key", Predicate::True)
         .group_by(ColumnRef::dim("channel", "ch_name"))
-        .aggregate(AggregateSpec::over(AggFunc::Avg, ColumnRef::fact("sc_minutes")))
+        .aggregate(AggregateSpec::over(
+            AggFunc::Avg,
+            ColumnRef::fact("sc_minutes"),
+        ))
         .aggregate(AggregateSpec::count_star())
         .build();
 
-    let expected_galaxy = reference::evaluate(&catalog, &galaxy_query, SnapshotId::INITIAL).unwrap();
+    let expected_galaxy =
+        reference::evaluate(&catalog, &galaxy_query, SnapshotId::INITIAL).unwrap();
     let expected_a = cjoin_repro::query::reference::evaluate(
         engine.engine(Side::A).catalog(),
         &star_a,
@@ -219,7 +255,8 @@ fn galaxy_and_star_queries_share_the_same_pipelines() {
 #[test]
 fn galaxy_queries_respect_snapshot_isolation() {
     let catalog = random_galaxy(41, 1_500, 1_000);
-    let engine = GalaxyEngine::start(Arc::clone(&catalog), "purchases", "support_calls", config()).unwrap();
+    let engine =
+        GalaxyEngine::start(Arc::clone(&catalog), "purchases", "support_calls", config()).unwrap();
     let query = query_pool(43).remove(1);
 
     // Result pinned to the initial snapshot.
@@ -264,7 +301,8 @@ fn resubmission_recycles_ids_across_both_pipelines() {
         .with_worker_threads(1)
         .with_max_concurrency(4)
         .with_batch_size(128);
-    let engine = GalaxyEngine::start(Arc::clone(&catalog), "purchases", "support_calls", tight).unwrap();
+    let engine =
+        GalaxyEngine::start(Arc::clone(&catalog), "purchases", "support_calls", tight).unwrap();
 
     // More sequential galaxy queries than maxConc on either side: ids must recycle.
     let queries = query_pool(59);

@@ -23,7 +23,7 @@ fn engine_config() -> CjoinConfig {
 fn concurrent_queries_share_scan_passes() {
     // 16 concurrent queries must complete in far fewer passes than 16 independent
     // scans — the headline sharing claim.
-    let data = SsbDataSet::generate(SsbConfig::new(0.002, 301));
+    let data = SsbDataSet::generate(SsbConfig::for_tests(0.002, 301));
     let catalog = data.catalog();
     let workload = Workload::generate(&data, WorkloadConfig::new(16, 0.02, 61));
     let engine = CjoinEngine::start(Arc::clone(&catalog), engine_config()).unwrap();
@@ -55,7 +55,7 @@ fn response_time_degrades_gracefully_with_concurrency() {
     // The predictability claim (Figure 6): going from 1 to 16 concurrent queries must
     // not blow response time up by anything near 16x. We allow a generous factor to
     // keep the test robust on loaded CI machines.
-    let data = SsbDataSet::generate(SsbConfig::new(0.004, 302));
+    let data = SsbDataSet::generate(SsbConfig::for_tests(0.004, 302));
     let catalog = data.catalog();
 
     let measure = |n: usize| -> Duration {
@@ -81,7 +81,7 @@ fn response_time_degrades_gracefully_with_concurrency() {
 
 #[test]
 fn filter_order_adapts_to_the_query_mix() {
-    let data = SsbDataSet::generate(SsbConfig::new(0.01, 303));
+    let data = SsbDataSet::generate(SsbConfig::for_tests(0.01, 303));
     let catalog = data.catalog();
     let config = CjoinConfig {
         reorder_interval_ms: 10,
@@ -97,9 +97,17 @@ fn filter_order_adapts_to_the_query_mix() {
         .map(|i| {
             StarQuery::builder(format!("skew#{i}"))
                 .join_dimension("date", d_fk, d_key, Predicate::True)
-                .join_dimension("part", p_fk, p_key, Predicate::eq("p_partkey", (i + 1) as i64))
+                .join_dimension(
+                    "part",
+                    p_fk,
+                    p_key,
+                    Predicate::eq("p_partkey", (i + 1) as i64),
+                )
                 .join_dimension("supplier", s_fk, s_key, Predicate::True)
-                .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("lo_revenue")))
+                .aggregate(AggregateSpec::over(
+                    AggFunc::Sum,
+                    ColumnRef::fact("lo_revenue"),
+                ))
                 .build()
         })
         .collect();
@@ -133,15 +141,23 @@ fn filter_order_adapts_to_the_query_mix() {
 
 #[test]
 fn partition_pruning_reduces_scanned_tuples_and_matches_results() {
-    let data = SsbDataSet::generate(SsbConfig::new(0.004, 304).with_clustering());
+    let data = SsbDataSet::generate(SsbConfig::for_tests(0.004, 304).with_clustering());
     let catalog = data.catalog();
 
     let (d_key, d_fk) = join_columns("date").unwrap();
     let query = StarQuery::builder("year_1995")
         .fact_predicate(Predicate::between("lo_orderdate", 19950101, 19951231))
-        .join_dimension("date", d_fk, d_key, Predicate::between("d_year", 1995, 1995))
+        .join_dimension(
+            "date",
+            d_fk,
+            d_key,
+            Predicate::between("d_year", 1995, 1995),
+        )
         .group_by(ColumnRef::dim("date", "d_monthnuminyear"))
-        .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("lo_revenue")))
+        .aggregate(AggregateSpec::over(
+            AggFunc::Sum,
+            ColumnRef::fact("lo_revenue"),
+        ))
         .aggregate(AggregateSpec::count_star())
         .build();
     let expected = reference::evaluate(&catalog, &query, SnapshotId::INITIAL).unwrap();
@@ -174,7 +190,7 @@ fn partition_pruning_reduces_scanned_tuples_and_matches_results() {
 
 #[test]
 fn mixed_updates_and_queries_respect_snapshots() {
-    let data = SsbDataSet::generate(SsbConfig::new(0.002, 305));
+    let data = SsbDataSet::generate(SsbConfig::for_tests(0.002, 305));
     let catalog = data.catalog();
     let engine = CjoinEngine::start(Arc::clone(&catalog), engine_config()).unwrap();
     let fact = catalog.fact_table().unwrap();
@@ -206,7 +222,11 @@ fn mixed_updates_and_queries_respect_snapshots() {
     let handles: Vec<_> = snapshots
         .iter()
         .enumerate()
-        .map(|(i, &snapshot)| engine.submit(count_query(&format!("count@{i}"), snapshot)).unwrap())
+        .map(|(i, &snapshot)| {
+            engine
+                .submit(count_query(&format!("count@{i}"), snapshot))
+                .unwrap()
+        })
         .collect();
     for (handle, expected) in handles.into_iter().zip(expected_counts) {
         let result = handle.wait().unwrap();
@@ -221,7 +241,7 @@ fn mixed_updates_and_queries_respect_snapshots() {
 
 #[test]
 fn stats_are_internally_consistent_after_a_workload() {
-    let data = SsbDataSet::generate(SsbConfig::new(0.002, 306));
+    let data = SsbDataSet::generate(SsbConfig::for_tests(0.002, 306));
     let catalog = data.catalog();
     let workload = Workload::generate(&data, WorkloadConfig::new(12, 0.02, 63));
     let engine = CjoinEngine::start(Arc::clone(&catalog), engine_config()).unwrap();
@@ -235,7 +255,10 @@ fn stats_are_internally_consistent_after_a_workload() {
     assert!(stats.batches_sent > 0);
     assert!(stats.tuples_distributed <= stats.tuples_scanned);
     assert!(stats.survival_rate() <= 1.0);
-    assert!(stats.control_barriers >= 12, "every completion takes a drain barrier");
+    assert!(
+        stats.control_barriers >= 12,
+        "every completion takes a drain barrier"
+    );
     // Every filter's drop count is bounded by its input count.
     for f in &stats.filters {
         assert!(f.tuples_dropped <= f.tuples_in, "{f:?}");
@@ -248,7 +271,7 @@ fn stats_are_internally_consistent_after_a_workload() {
 fn baseline_contention_grows_with_concurrency_while_cjoin_stays_flat() {
     // Shape check behind Figure 5: total work of the baseline grows ~linearly with
     // the number of queries while CJOIN's scan work stays nearly constant.
-    let data = SsbDataSet::generate(SsbConfig::new(0.002, 307));
+    let data = SsbDataSet::generate(SsbConfig::for_tests(0.002, 307));
     let catalog = data.catalog();
 
     let cjoin_tuples = |n: usize| {

@@ -1,14 +1,19 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Randomized property tests over the core invariants:
 //!
 //! * For arbitrary small star-schema universes and arbitrary star queries, the CJOIN
 //!   pipeline, the query-at-a-time baseline and the reference evaluator agree — the
 //!   filtering invariant of §3.2.2 made executable.
 //! * Query bit-vector algebra obeys the set laws the Filters rely on.
 //! * Aggregate state merging is equivalent to single-pass accumulation.
+//!
+//! Cases are generated from a fixed-seed [`StdRng`], so every run explores the same
+//! (broad) input space deterministically; on failure the assertion message carries
+//! the case index, which pins down the failing input exactly.
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use cjoin_repro::baseline::{BaselineConfig, BaselineEngine};
 use cjoin_repro::cjoin::{CjoinConfig, CjoinEngine};
@@ -30,20 +35,37 @@ struct Universe {
     fact: Vec<(i64, i64, i64)>, // (alpha_key, beta_key, amount); keys may dangle
 }
 
-fn universe_strategy() -> impl Strategy<Value = Universe> {
-    let alpha = prop::collection::vec("[a-d]{1,3}", 1..6);
-    let beta = prop::collection::vec(1i64..50, 1..5);
-    (alpha, beta).prop_flat_map(|(alpha_names, beta_sizes)| {
-        let a_max = alpha_names.len() as i64 + 1; // +1 allows dangling keys
-        let b_max = beta_sizes.len() as i64 + 1;
-        prop::collection::vec((1..=a_max, 1..=b_max, 0i64..1000), 1..120).prop_map(
-            move |fact| Universe {
-                alpha_names: alpha_names.clone(),
-                beta_sizes: beta_sizes.clone(),
-                fact,
-            },
-        )
-    })
+/// A short random string over the letters a–d (the alpha-dimension name domain).
+fn random_alpha_name(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(1..=3usize);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..4u8)) as char)
+        .collect()
+}
+
+fn random_universe(rng: &mut StdRng) -> Universe {
+    let alpha_names: Vec<String> = (0..rng.gen_range(1..6usize))
+        .map(|_| random_alpha_name(rng))
+        .collect();
+    let beta_sizes: Vec<i64> = (0..rng.gen_range(1..5usize))
+        .map(|_| rng.gen_range(1i64..50))
+        .collect();
+    let a_max = alpha_names.len() as i64 + 1; // +1 allows dangling keys
+    let b_max = beta_sizes.len() as i64 + 1;
+    let fact = (0..rng.gen_range(1..120usize))
+        .map(|_| {
+            (
+                rng.gen_range(1..=a_max),
+                rng.gen_range(1..=b_max),
+                rng.gen_range(0i64..1000),
+            )
+        })
+        .collect();
+    Universe {
+        alpha_names,
+        beta_sizes,
+        fact,
+    }
 }
 
 /// A generated query over the universe: optional predicates on either dimension,
@@ -58,54 +80,59 @@ struct GeneratedQuery {
     group_by_alpha: bool,
 }
 
-fn query_strategy() -> impl Strategy<Value = GeneratedQuery> {
-    (
-        prop::option::of(prop::char::range('a', 'd')),
-        prop::option::of(1i64..50),
-        prop::option::of(0i64..1000),
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-    )
-        .prop_map(
-            |(alpha_pred_letter, beta_min_size, fact_min_amount, join_alpha, join_beta, group_by_alpha)| {
-                GeneratedQuery {
-                    alpha_pred_letter,
-                    beta_min_size,
-                    fact_min_amount,
-                    join_alpha,
-                    join_beta,
-                    group_by_alpha,
-                }
-            },
-        )
+fn random_query(rng: &mut StdRng) -> GeneratedQuery {
+    GeneratedQuery {
+        alpha_pred_letter: rng
+            .gen_bool(0.5)
+            .then(|| (b'a' + rng.gen_range(0..4u8)) as char),
+        beta_min_size: rng.gen_bool(0.5).then(|| rng.gen_range(1i64..50)),
+        fact_min_amount: rng.gen_bool(0.5).then(|| rng.gen_range(0i64..1000)),
+        join_alpha: rng.gen_bool(0.5),
+        join_beta: rng.gen_bool(0.5),
+        group_by_alpha: rng.gen_bool(0.5),
+    }
 }
 
 fn build_catalog(universe: &Universe) -> Arc<Catalog> {
     let catalog = Catalog::new();
-    let alpha = Table::new(Schema::new("alpha", vec![Column::int("a_key"), Column::str("a_name")]));
+    let alpha = Table::new(Schema::new(
+        "alpha",
+        vec![Column::int("a_key"), Column::str("a_name")],
+    ));
     for (i, name) in universe.alpha_names.iter().enumerate() {
         alpha
-            .insert(vec![Value::int(i as i64 + 1), Value::str(name)], SnapshotId::INITIAL)
+            .insert(
+                vec![Value::int(i as i64 + 1), Value::str(name)],
+                SnapshotId::INITIAL,
+            )
             .unwrap();
     }
-    let beta = Table::new(Schema::new("beta", vec![Column::int("b_key"), Column::int("b_size")]));
+    let beta = Table::new(Schema::new(
+        "beta",
+        vec![Column::int("b_key"), Column::int("b_size")],
+    ));
     for (i, size) in universe.beta_sizes.iter().enumerate() {
-        beta.insert(vec![Value::int(i as i64 + 1), Value::int(*size)], SnapshotId::INITIAL)
-            .unwrap();
+        beta.insert(
+            vec![Value::int(i as i64 + 1), Value::int(*size)],
+            SnapshotId::INITIAL,
+        )
+        .unwrap();
     }
     let fact = Table::with_rows_per_page(
         Schema::new(
             "facts",
-            vec![Column::int("f_alpha"), Column::int("f_beta"), Column::int("f_amount")],
+            vec![
+                Column::int("f_alpha"),
+                Column::int("f_beta"),
+                Column::int("f_amount"),
+            ],
         ),
         16,
     );
     fact.insert_batch_unchecked(
-        universe
-            .fact
-            .iter()
-            .map(|(a, b, amount)| Row::new(vec![Value::int(*a), Value::int(*b), Value::int(*amount)])),
+        universe.fact.iter().map(|(a, b, amount)| {
+            Row::new(vec![Value::int(*a), Value::int(*b), Value::int(*amount)])
+        }),
         SnapshotId::INITIAL,
     );
     catalog.add_table(Arc::new(alpha));
@@ -125,7 +152,9 @@ fn build_query(spec: &GeneratedQuery, index: usize) -> StarQuery {
     }
     if spec.join_alpha {
         let pred = match spec.alpha_pred_letter {
-            Some(letter) => Predicate::between("a_name", letter.to_string(), format!("{letter}zzz")),
+            Some(letter) => {
+                Predicate::between("a_name", letter.to_string(), format!("{letter}zzz"))
+            }
             None => Predicate::True,
         };
         builder = builder.join_dimension("alpha", "f_alpha", "a_key", pred);
@@ -146,26 +175,29 @@ fn build_query(spec: &GeneratedQuery, index: usize) -> StarQuery {
     }
     builder
         .aggregate(AggregateSpec::count_star())
-        .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("f_amount")))
-        .aggregate(AggregateSpec::over(AggFunc::Min, ColumnRef::fact("f_amount")))
+        .aggregate(AggregateSpec::over(
+            AggFunc::Sum,
+            ColumnRef::fact("f_amount"),
+        ))
+        .aggregate(AggregateSpec::over(
+            AggFunc::Min,
+            ColumnRef::fact("f_amount"),
+        ))
         .build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        ..ProptestConfig::default()
-    })]
-
-    /// CJOIN and the baseline agree with the reference evaluator on arbitrary
-    /// universes and concurrent query mixes.
-    #[test]
-    fn engines_agree_on_random_workloads(
-        universe in universe_strategy(),
-        specs in prop::collection::vec(query_strategy(), 1..5),
-    ) {
+/// CJOIN and the baseline agree with the reference evaluator on arbitrary
+/// universes and concurrent query mixes.
+#[test]
+fn engines_agree_on_random_workloads() {
+    let mut rng = StdRng::seed_from_u64(0xC101);
+    for case in 0..24 {
+        let universe = random_universe(&mut rng);
+        let num_queries = rng.gen_range(1..5usize);
         let catalog = build_catalog(&universe);
-        let queries: Vec<StarQuery> = specs.iter().enumerate().map(|(i, s)| build_query(s, i)).collect();
+        let queries: Vec<StarQuery> = (0..num_queries)
+            .map(|i| build_query(&random_query(&mut rng), i))
+            .collect();
 
         let baseline = BaselineEngine::new(Arc::clone(&catalog), BaselineConfig::default());
         let engine = CjoinEngine::start(
@@ -178,32 +210,45 @@ proptest! {
         .unwrap();
 
         // All queries run concurrently in the shared pipeline.
-        let handles: Vec<_> = queries.iter().map(|q| engine.submit(q.clone()).unwrap()).collect();
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|q| engine.submit(q.clone()).unwrap())
+            .collect();
         for (query, handle) in queries.iter().zip(handles) {
             let expected = reference::evaluate(&catalog, query, SnapshotId::INITIAL).unwrap();
             let (baseline_result, _) = baseline.execute(query).unwrap();
             let cjoin_result = handle.wait().unwrap();
-            prop_assert!(
+            assert!(
                 baseline_result.approx_eq(&expected),
-                "baseline diverged on {}: {:?}", query.name, baseline_result.diff(&expected)
+                "case {case}: baseline diverged on {}: {:?}",
+                query.name,
+                baseline_result.diff(&expected)
             );
-            prop_assert!(
+            assert!(
                 cjoin_result.approx_eq(&expected),
-                "cjoin diverged on {}: {:?}", query.name, cjoin_result.diff(&expected)
+                "case {case}: cjoin diverged on {}: {:?}",
+                query.name,
+                cjoin_result.diff(&expected)
             );
         }
         engine.shutdown();
     }
+}
 
-    /// Bit-vector AND/OR/subset behave like the corresponding set operations.
-    #[test]
-    fn query_set_obeys_set_algebra(
-        capacity in 1usize..200,
-        a_bits in prop::collection::vec(0usize..200, 0..32),
-        b_bits in prop::collection::vec(0usize..200, 0..32),
-    ) {
-        let a_bits: Vec<usize> = a_bits.into_iter().filter(|&b| b < capacity).collect();
-        let b_bits: Vec<usize> = b_bits.into_iter().filter(|&b| b < capacity).collect();
+/// Bit-vector AND/OR/subset behave like the corresponding set operations.
+#[test]
+fn query_set_obeys_set_algebra() {
+    let mut rng = StdRng::seed_from_u64(0xC102);
+    for case in 0..256 {
+        let capacity = rng.gen_range(1usize..200);
+        let a_bits: Vec<usize> = (0..rng.gen_range(0..32usize))
+            .map(|_| rng.gen_range(0usize..200))
+            .filter(|&b| b < capacity)
+            .collect();
+        let b_bits: Vec<usize> = (0..rng.gen_range(0..32usize))
+            .map(|_| rng.gen_range(0usize..200))
+            .filter(|&b| b < capacity)
+            .collect();
         let a = QuerySet::from_bits(capacity, a_bits.iter().copied());
         let b = QuerySet::from_bits(capacity, b_bits.iter().copied());
 
@@ -213,77 +258,121 @@ proptest! {
 
         let mut and = a.clone();
         and.and_assign(&b);
-        prop_assert_eq!(and.iter().collect::<Vec<_>>(),
-            sa.intersection(&sb).copied().collect::<Vec<_>>());
+        assert_eq!(
+            and.iter().collect::<Vec<_>>(),
+            sa.intersection(&sb).copied().collect::<Vec<_>>(),
+            "case {case}: intersection"
+        );
 
         let mut or = a.clone();
         or.or_assign(&b);
-        prop_assert_eq!(or.iter().collect::<Vec<_>>(),
-            sa.union(&sb).copied().collect::<Vec<_>>());
+        assert_eq!(
+            or.iter().collect::<Vec<_>>(),
+            sa.union(&sb).copied().collect::<Vec<_>>(),
+            "case {case}: union"
+        );
 
         let mut and_not = a.clone();
         and_not.and_not_assign(&b);
-        prop_assert_eq!(and_not.iter().collect::<Vec<_>>(),
-            sa.difference(&sb).copied().collect::<Vec<_>>());
+        assert_eq!(
+            and_not.iter().collect::<Vec<_>>(),
+            sa.difference(&sb).copied().collect::<Vec<_>>(),
+            "case {case}: difference"
+        );
 
-        prop_assert_eq!(a.is_subset_of(&b), sa.is_subset(&sb));
-        prop_assert_eq!(a.intersects(&b), !sa.is_disjoint(&sb));
-        prop_assert_eq!(a.count(), sa.len());
-        prop_assert_eq!(a.is_empty(), sa.is_empty());
+        assert_eq!(a.is_subset_of(&b), sa.is_subset(&sb), "case {case}: subset");
+        assert_eq!(
+            a.intersects(&b),
+            !sa.is_disjoint(&sb),
+            "case {case}: intersects"
+        );
+        assert_eq!(a.count(), sa.len(), "case {case}: count");
+        assert_eq!(a.is_empty(), sa.is_empty(), "case {case}: is_empty");
     }
+}
 
-    /// Merging partial aggregation states is equivalent to accumulating everything in
-    /// one pass (the property that would let the Distributor be parallelised).
-    #[test]
-    fn aggregate_merge_matches_single_pass(
-        values in prop::collection::vec((0i64..5, -1000i64..1000), 1..80),
-        split in 0usize..80,
-    ) {
+/// Merging partial aggregation states is equivalent to accumulating everything in
+/// one pass (the property that would let the Distributor be parallelised).
+#[test]
+fn aggregate_merge_matches_single_pass() {
+    let mut rng = StdRng::seed_from_u64(0xC103);
+    for case in 0..256 {
+        let values: Vec<(i64, i64)> = (0..rng.gen_range(1..80usize))
+            .map(|_| (rng.gen_range(0i64..5), rng.gen_range(-1000i64..1000)))
+            .collect();
+        let split = rng.gen_range(0usize..80).min(values.len());
+
         // Group by fact column 0; aggregate COUNT / SUM / MIN / MAX / AVG over column 1.
         let query = cjoin_repro::query::star::tests_support::simple_bound_query(
             vec![0],
-            vec![AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg],
+            vec![
+                AggFunc::Count,
+                AggFunc::Sum,
+                AggFunc::Min,
+                AggFunc::Max,
+                AggFunc::Avg,
+            ],
         );
-        let split = split.min(values.len());
 
         let mut single = GroupedAggregator::new(&query);
         for (group, amount) in &values {
-            single.accumulate(&Row::new(vec![Value::int(*group), Value::int(*amount)]), &[]);
+            single.accumulate(
+                &Row::new(vec![Value::int(*group), Value::int(*amount)]),
+                &[],
+            );
         }
 
         let mut left = GroupedAggregator::new(&query);
         let mut right = GroupedAggregator::new(&query);
         for (group, amount) in &values[..split] {
-            left.accumulate(&Row::new(vec![Value::int(*group), Value::int(*amount)]), &[]);
+            left.accumulate(
+                &Row::new(vec![Value::int(*group), Value::int(*amount)]),
+                &[],
+            );
         }
         for (group, amount) in &values[split..] {
-            right.accumulate(&Row::new(vec![Value::int(*group), Value::int(*amount)]), &[]);
+            right.accumulate(
+                &Row::new(vec![Value::int(*group), Value::int(*amount)]),
+                &[],
+            );
         }
         left.merge(right);
 
         let a = single.finalize();
         let b = left.finalize();
-        prop_assert!(a.approx_eq(&b), "merged aggregation diverged: {:?}", a.diff(&b));
+        assert!(
+            a.approx_eq(&b),
+            "case {case}: merged aggregation diverged: {:?}",
+            a.diff(&b)
+        );
     }
+}
 
-    /// COUNT(*) through the full CJOIN pipeline equals the number of fact rows
-    /// whatever the (dangling-key) fact content is, when no dimension is joined.
-    #[test]
-    fn unfiltered_count_equals_fact_cardinality(universe in universe_strategy()) {
+/// COUNT(*) through the full CJOIN pipeline equals the number of fact rows
+/// whatever the (dangling-key) fact content is, when no dimension is joined.
+#[test]
+fn unfiltered_count_equals_fact_cardinality() {
+    let mut rng = StdRng::seed_from_u64(0xC104);
+    for case in 0..16 {
+        let universe = random_universe(&mut rng);
         let catalog = build_catalog(&universe);
         let engine = CjoinEngine::start(
             Arc::clone(&catalog),
-            CjoinConfig::default().with_worker_threads(1).with_max_concurrency(4).with_batch_size(16),
-        ).unwrap();
+            CjoinConfig::default()
+                .with_worker_threads(1)
+                .with_max_concurrency(4)
+                .with_batch_size(16),
+        )
+        .unwrap();
         let query = StarQuery::builder("count_all")
             .aggregate(AggregateSpec::count_star())
             .build();
         let result = engine.execute(query).unwrap();
         let count = match result.rows().next().unwrap().1[0] {
             AggValue::Int(c) => c,
-            ref other => panic!("unexpected {other:?}"),
+            ref other => panic!("case {case}: unexpected {other:?}"),
         };
-        prop_assert_eq!(count, universe.fact.len() as i128);
+        assert_eq!(count, universe.fact.len() as i128, "case {case}");
         engine.shutdown();
     }
 }
