@@ -1,0 +1,36 @@
+//! Ablation — probe locking granularity (the `batched_probing` knob): the batched
+//! filter hot path takes each dimension's read lock once per (batch, filter),
+//! borrows entries without `Arc` clones, and flushes statistics from batch-local
+//! counters, versus the per-tuple baseline (lock + `Arc` clone + up to four atomic
+//! increments per tuple per filter). A fig5-style population of concurrent queries
+//! backs the dimension hash tables; both paths are first checked to produce
+//! identical survivors.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cjoin_repro::bench::hotpath::{ProbeAblationParams, ProbeHarness};
+
+fn bench(c: &mut Criterion) {
+    let harness = ProbeHarness::build(&ProbeAblationParams::fig5_style());
+    assert!(
+        harness.paths_agree(),
+        "hot paths diverge — fix correctness before measuring"
+    );
+
+    let mut group = c.benchmark_group("abl_probe_locking");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+
+    for (label, batched) in [("batched", true), ("per_tuple", false)] {
+        let mut batch = harness.working_batch();
+        group.bench_function(label, |b| {
+            b.iter(|| harness.run_pass(&mut batch, batched));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Command-line entry point that regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments <all|fig4|fig5|fig6|fig7|fig8|tab1|tab2|tab3|ablations|io> [options]
+//! experiments <all|fig4|fig5|fig6|fig7|fig8|tab1|tab2|tab3|ablations|io|bench-json> [options]
 //!
 //! Options:
 //!   --scale <f64>          SSB scale factor              (default 0.01)
@@ -9,17 +9,24 @@
 //!   --threads <usize>      CJOIN worker threads          (default 4)
 //!   --concurrency <list>   comma-separated n values      (default 1,32,64,128,256)
 //!   --markdown             print Markdown tables instead of plain text
+//!   --out <path>           output path for bench-json    (default BENCH_PR2.json)
 //! ```
+//!
+//! `bench-json` runs the filter hot-path ablation (batched vs. per-tuple probing)
+//! on a fixed fig5-style workload and writes a machine-readable baseline for the
+//! perf trajectory of future PRs.
 
 use std::env;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use cjoin_bench::experiments::{
     ablations, fig4_pipeline_config, fig5_concurrency_scaleup, fig6_predictability,
     fig7_selectivity, fig8_data_scale, modelled_io_comparison, tab1_submission_vs_concurrency,
     tab2_submission_vs_selectivity, tab3_submission_vs_sf, ExperimentParams,
 };
-use cjoin_bench::Table;
+use cjoin_bench::hotpath::{end_to_end_ab, EndToEndReport, ProbeAblationParams, ProbeHarness};
+use cjoin_bench::{JsonObject, Table};
 use cjoin_common::Result;
 
 struct Options {
@@ -27,6 +34,7 @@ struct Options {
     params: ExperimentParams,
     concurrency: Vec<usize>,
     markdown: bool,
+    out: String,
 }
 
 fn parse_args() -> std::result::Result<Options, String> {
@@ -35,9 +43,13 @@ fn parse_args() -> std::result::Result<Options, String> {
     let mut params = ExperimentParams::default();
     let mut concurrency = vec![1, 32, 64, 128, 256];
     let mut markdown = false;
+    let mut out = "BENCH_PR2.json".to_string();
 
     while let Some(flag) = args.next() {
         match flag.as_str() {
+            "--out" => {
+                out = args.next().ok_or("--out needs a value")?;
+            }
             "--scale" => {
                 params.scale_factor = args
                     .next()
@@ -79,7 +91,76 @@ fn parse_args() -> std::result::Result<Options, String> {
         params,
         concurrency,
         markdown,
+        out,
     })
+}
+
+/// Runs the hot-path ablation and writes the machine-readable perf baseline.
+fn run_bench_json(options: &Options) -> Result<()> {
+    eprintln!("# filter-stage ablation (fig5-style dimension population)");
+    let ab = ProbeAblationParams::fig5_style();
+    let harness = ProbeHarness::build(&ab);
+    assert!(
+        harness.paths_agree(),
+        "batched and per-tuple hot paths must produce identical survivors"
+    );
+    let measure_for = Duration::from_secs(2);
+    let batched_tps = harness.measure(true, measure_for);
+    let per_tuple_tps = harness.measure(false, measure_for);
+    let speedup = batched_tps / per_tuple_tps;
+    eprintln!(
+        "  batched: {batched_tps:.0} tuples/s, per-tuple: {per_tuple_tps:.0} tuples/s, \
+         speedup {speedup:.2}x"
+    );
+
+    eprintln!("# end-to-end A/B (fig5-style closed loop)");
+    let mut e2e = options.params.clone();
+    // Fixed moderate size so the baseline is comparable across machines and PRs.
+    e2e.scale_factor = 0.005;
+    let concurrency = 32;
+    let on = end_to_end_ab(&e2e, concurrency, true)?;
+    let off = end_to_end_ab(&e2e, concurrency, false)?;
+    let render = |r: &EndToEndReport| {
+        JsonObject::new()
+            .field_f64("throughput_qph", r.throughput_qph)
+            .field_f64("mean_submission_ms", r.mean_submission_ms)
+            .field_f64("p99_submission_ms", r.p99_submission_ms)
+            .field_f64("mean_response_ms", r.mean_response_ms)
+            .field_u64("queries", r.queries as u64)
+    };
+    let json = JsonObject::new()
+        .field_str("artifact", "BENCH_PR2")
+        .field_str(
+            "description",
+            "Batched vs. per-tuple filter hot path (CjoinConfig::batched_probing A/B)",
+        )
+        .field_obj(
+            "workload",
+            JsonObject::new()
+                .field_str("shape", "fig5-style")
+                .field_u64("filter_stage_queries", ab.queries as u64)
+                .field_f64("filter_stage_selectivity", ab.selectivity)
+                .field_u64("filter_stage_batch_size", ab.batch_size as u64)
+                .field_f64("end_to_end_scale_factor", e2e.scale_factor)
+                .field_f64("end_to_end_selectivity", e2e.selectivity)
+                .field_u64("end_to_end_concurrency", concurrency as u64)
+                .field_u64("worker_threads", e2e.worker_threads as u64),
+        )
+        .field_obj(
+            "filter_stage",
+            JsonObject::new()
+                .field_f64("batched_tuples_per_sec", batched_tps)
+                .field_f64("per_tuple_tuples_per_sec", per_tuple_tps)
+                .field_f64("speedup", speedup),
+        )
+        .field_obj("end_to_end_batched", render(&on))
+        .field_obj("end_to_end_per_tuple", render(&off))
+        .render();
+    std::fs::write(&options.out, &json)
+        .map_err(|e| cjoin_common::Error::invalid_state(format!("write {}: {e}", options.out)))?;
+    eprintln!("# wrote {}", options.out);
+    println!("{json}");
+    Ok(())
 }
 
 fn print_table(table: &Table, markdown: bool) {
@@ -148,8 +229,9 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: experiments <all|fig4|fig5|fig6|fig7|fig8|tab1|tab2|tab3|ablations|io> \
-                 [--scale F] [--selectivity S] [--threads T] [--concurrency 1,32,...] [--markdown]"
+                "usage: experiments <all|fig4|fig5|fig6|fig7|fig8|tab1|tab2|tab3|ablations|io|bench-json> \
+                 [--scale F] [--selectivity S] [--threads T] [--concurrency 1,32,...] [--markdown] \
+                 [--out PATH]"
             );
             return ExitCode::FAILURE;
         }
@@ -162,6 +244,15 @@ fn main() -> ExitCode {
         options.params.worker_threads,
         options.concurrency
     );
+    if options.experiment == "bench-json" {
+        return match run_bench_json(&options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match run(&options) {
         Ok(tables) => {
             if tables.is_empty() {

@@ -268,20 +268,23 @@ pub fn cjoin_submission_stats(
     let mut response_total = Duration::ZERO;
     let mut completed = 0u32;
 
-    let mut in_flight = Vec::new();
+    // FIFO over the in-flight handles: the oldest query completes first (one scan
+    // wrap-around each), so waiting front-to-back keeps `concurrency` queries
+    // genuinely in flight for the whole run.
+    let mut in_flight = std::collections::VecDeque::new();
     let mut iter = queries.iter();
     // Prime the pipeline with `concurrency` queries.
     for query in iter.by_ref().take(concurrency) {
-        in_flight.push(engine.submit(query.clone())?);
+        in_flight.push_back(engine.submit(query.clone())?);
     }
     // Closed loop: whenever one finishes, submit the next.
-    while let Some(handle) = in_flight.pop() {
+    while let Some(handle) = in_flight.pop_front() {
         submission_total += handle.submission_time();
         let (_, response) = handle.wait_with_time()?;
         response_total += response;
         completed += 1;
         if let Some(query) = iter.next() {
-            in_flight.push(engine.submit(query.clone())?);
+            in_flight.push_back(engine.submit(query.clone())?);
         }
     }
     if completed == 0 {

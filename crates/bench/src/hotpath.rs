@@ -1,0 +1,364 @@
+//! Filter hot-path ablation harness.
+//!
+//! The `batched_probing` knob ([`CjoinConfig::batched_probing`]) switches the Filter
+//! pipeline between the batch-vectorized hot path (per-batch read locks, borrowed
+//! entries, batch-local statistics, fused AND + zero check) and the per-tuple
+//! baseline (per-tuple lock + `Arc` clone + atomic statistics). This module measures
+//! the difference at two levels:
+//!
+//! * [`ProbeHarness`] — an isolated **filter-stage** microbenchmark: a fig5-style
+//!   population of dimension hash tables (many concurrent queries, configurable
+//!   selectivity) is probed with a steady batch of fact tuples through
+//!   [`FilterChain::process_batch`] under both knob settings. This is the number the
+//!   `abl_probe_locking` Criterion bench and the `BENCH_PR2.json` baseline report.
+//! * [`end_to_end_ab`] — the same knob toggled on a full [`CjoinEngine`] running a
+//!   fig5-style closed-loop workload, reporting throughput and submission-time
+//!   percentiles.
+//!
+//! Everything is seeded and deterministic (a splitmix64 stream) so runs are
+//! reproducible.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cjoin_common::{splitmix64, QueryId, QuerySet, Result};
+use cjoin_core::dimension::DimensionTable;
+use cjoin_core::filter::FilterChain;
+use cjoin_core::tuple::{Batch, InFlightTuple};
+use cjoin_core::{CjoinConfig, CjoinEngine};
+use cjoin_ssb::{Workload, WorkloadConfig};
+use cjoin_storage::{Row, RowId, Value};
+
+use crate::experiments::ExperimentParams;
+
+/// Uniform draw in `[0, 1)` from the shared [`splitmix64`] stream.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Parameters of the filter-stage ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeAblationParams {
+    /// Number of dimension tables (Filters) in the chain.
+    pub dims: usize,
+    /// Primary keys per dimension (`0..keys_per_dim`).
+    pub keys_per_dim: i64,
+    /// Concurrent queries that reference every dimension.
+    pub queries: usize,
+    /// Additional concurrent queries that reference no dimension (they keep every
+    /// tuple alive, giving the harness a steady-state batch).
+    pub unreferencing_queries: usize,
+    /// Fraction of each dimension's keys selected per referencing query.
+    pub selectivity: f64,
+    /// Fact tuples per probed batch.
+    pub batch_size: usize,
+    /// Bit-vector width (`maxConc`).
+    pub max_concurrency: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl ProbeAblationParams {
+    /// A fig5-shaped population: 3 dimensions, 32 concurrent queries at 5 %
+    /// selectivity plus a few dimension-free queries, probed in 1024-tuple batches.
+    pub fn fig5_style() -> Self {
+        Self {
+            dims: 3,
+            keys_per_dim: 2_000,
+            queries: 32,
+            unreferencing_queries: 4,
+            selectivity: 0.05,
+            batch_size: 1_024,
+            max_concurrency: 64,
+            seed: 0x000C_7052,
+        }
+    }
+
+    /// A tiny configuration for the CI perf-smoke lane and unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            dims: 2,
+            keys_per_dim: 64,
+            queries: 8,
+            unreferencing_queries: 2,
+            selectivity: 0.25,
+            batch_size: 128,
+            max_concurrency: 16,
+            seed: 0x000C_7053,
+        }
+    }
+}
+
+/// A built filter-stage ablation: populated dimension tables plus a stabilised
+/// template batch that survives repeated probing unchanged, so each measured pass
+/// does identical work.
+pub struct ProbeHarness {
+    filters: Vec<Arc<DimensionTable>>,
+    /// Raw batch as the Preprocessor would emit it (pre-stabilisation).
+    template: Batch,
+    /// The template after one filtering pass: bit-vectors are fixpoints of the
+    /// chain's AND masks, so further passes neither drop tuples nor change bits.
+    stable: Batch,
+    early_skip: bool,
+}
+
+impl ProbeHarness {
+    /// Builds the dimension tables, registers the synthetic query population and
+    /// prepares the template batches.
+    pub fn build(params: &ProbeAblationParams) -> Self {
+        assert!(
+            params.queries + params.unreferencing_queries <= params.max_concurrency,
+            "query population exceeds maxConc"
+        );
+        let mut rng = params.seed;
+        let empty = QuerySet::new(params.max_concurrency);
+        let filters: Vec<Arc<DimensionTable>> = (0..params.dims)
+            .map(|j| {
+                Arc::new(DimensionTable::new(
+                    format!("dim{j}"),
+                    j,
+                    j,
+                    0,
+                    params.max_concurrency,
+                    &empty,
+                ))
+            })
+            .collect();
+        for (j, dim) in filters.iter().enumerate() {
+            for q in 0..params.queries {
+                let rows: Vec<(i64, Row)> = (0..params.keys_per_dim)
+                    .filter(|_| unit(&mut rng) < params.selectivity)
+                    .map(|k| (k, Row::new(vec![Value::int(k), Value::int(j as i64)])))
+                    .collect();
+                dim.register_query(QueryId(q as u32), &rows);
+            }
+            for u in 0..params.unreferencing_queries {
+                dim.register_unreferencing_query(QueryId((params.queries + u) as u32));
+            }
+        }
+
+        let all_bits = QuerySet::from_bits(
+            params.max_concurrency,
+            0..params.queries + params.unreferencing_queries,
+        );
+        let template: Batch = (0..params.batch_size)
+            .map(|i| {
+                let values: Vec<Value> = (0..params.dims)
+                    .map(|_| Value::int((splitmix64(&mut rng) % params.keys_per_dim as u64) as i64))
+                    .collect();
+                InFlightTuple::new(
+                    RowId(i as u64),
+                    Row::new(values),
+                    all_bits.clone(),
+                    params.dims,
+                )
+            })
+            .collect();
+
+        // One pass brings every surviving tuple's bit-vector to its fixpoint
+        // (AND against the same masks is idempotent), giving a steady batch.
+        let mut stable = template.clone();
+        FilterChain::process_batch(&filters, &mut stable, true, true);
+
+        Self {
+            filters,
+            template,
+            stable,
+            early_skip: true,
+        }
+    }
+
+    /// A fresh working copy of the stabilised batch.
+    pub fn working_batch(&self) -> Batch {
+        self.stable.clone()
+    }
+
+    /// Number of tuples in the steady batch each pass processes.
+    pub fn steady_len(&self) -> usize {
+        self.stable.len()
+    }
+
+    /// Runs one pass of the filter chain over `batch`; returns tuples dropped.
+    pub fn run_pass(&self, batch: &mut Batch, batched_probing: bool) -> usize {
+        FilterChain::process_batch(&self.filters, batch, self.early_skip, batched_probing)
+    }
+
+    /// Verifies both hot paths produce identical survivors (row ids, bit-vectors,
+    /// attached dimension rows) from the raw template.
+    pub fn paths_agree(&self) -> bool {
+        let fingerprint = |b: &Batch| -> Vec<(u64, Vec<usize>, Vec<bool>)> {
+            b.iter()
+                .map(|t| {
+                    (
+                        t.row_id.0,
+                        t.bits.iter().collect(),
+                        t.dims.iter().map(Option::is_some).collect(),
+                    )
+                })
+                .collect()
+        };
+        let mut batched = self.template.clone();
+        FilterChain::process_batch(&self.filters, &mut batched, self.early_skip, true);
+        let mut per_tuple = self.template.clone();
+        FilterChain::process_batch(&self.filters, &mut per_tuple, self.early_skip, false);
+        fingerprint(&batched) == fingerprint(&per_tuple)
+    }
+
+    /// Measures filter-stage throughput (fact tuples entering the chain per second)
+    /// for one knob setting, running passes for at least `min_duration`.
+    pub fn measure(&self, batched_probing: bool, min_duration: Duration) -> f64 {
+        let mut batch = self.working_batch();
+        // Warm caches and the branch predictor before timing.
+        self.run_pass(&mut batch, batched_probing);
+        let started = Instant::now();
+        let mut tuples = 0u64;
+        loop {
+            self.run_pass(&mut batch, batched_probing);
+            tuples += batch.len() as u64;
+            let elapsed = started.elapsed();
+            if elapsed >= min_duration {
+                return tuples as f64 / elapsed.as_secs_f64();
+            }
+        }
+    }
+}
+
+/// Result of one end-to-end A/B run (one knob setting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EndToEndReport {
+    /// Queries completed per hour of wall-clock time.
+    pub throughput_qph: f64,
+    /// Mean admission ("submission") time in milliseconds.
+    pub mean_submission_ms: f64,
+    /// 99th-percentile admission time in milliseconds.
+    pub p99_submission_ms: f64,
+    /// Mean end-to-end response time in milliseconds.
+    pub mean_response_ms: f64,
+    /// Completed queries.
+    pub queries: usize,
+}
+
+/// Runs a fig5-style closed-loop workload on a full [`CjoinEngine`] with the given
+/// `batched_probing` setting, collecting throughput and submission-time percentiles.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn end_to_end_ab(
+    params: &ExperimentParams,
+    concurrency: usize,
+    batched_probing: bool,
+) -> Result<EndToEndReport> {
+    let data = params.data();
+    let catalog = data.catalog();
+    let workload = Workload::generate(
+        &data,
+        WorkloadConfig::new(
+            concurrency * params.queries_per_level_factor,
+            params.selectivity,
+            params.seed ^ 0xAB,
+        ),
+    );
+    let config = CjoinConfig::default()
+        .with_worker_threads(params.worker_threads)
+        .with_max_concurrency((concurrency * 2 + 16).max(32))
+        .with_batched_probing(batched_probing);
+    let engine = CjoinEngine::start(catalog, config)?;
+
+    let mut submissions: Vec<Duration> = Vec::new();
+    let mut responses: Vec<Duration> = Vec::new();
+    let started = Instant::now();
+    // FIFO over the in-flight handles: the oldest query finishes first (every
+    // registered query needs one scan wrap-around), so waiting front-to-back keeps
+    // the engine at the full concurrency level for the entire run.
+    let mut in_flight = std::collections::VecDeque::new();
+    let mut iter = workload.queries().iter();
+    for query in iter.by_ref().take(concurrency) {
+        in_flight.push_back(engine.submit(query.clone())?);
+    }
+    while let Some(handle) = in_flight.pop_front() {
+        submissions.push(handle.submission_time());
+        let (_, response) = handle.wait_with_time()?;
+        responses.push(response);
+        if let Some(query) = iter.next() {
+            in_flight.push_back(engine.submit(query.clone())?);
+        }
+    }
+    let wall = started.elapsed();
+    engine.shutdown();
+
+    let queries = responses.len();
+    let mean_ms = |xs: &[Duration]| -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.iter().map(Duration::as_secs_f64).sum::<f64>() / xs.len() as f64 * 1e3
+    };
+    submissions.sort_unstable();
+    let p99 = if submissions.is_empty() {
+        Duration::ZERO
+    } else {
+        let idx = ((submissions.len() - 1) as f64 * 0.99).round() as usize;
+        submissions[idx]
+    };
+    Ok(EndToEndReport {
+        throughput_qph: if wall.is_zero() {
+            0.0
+        } else {
+            queries as f64 * 3600.0 / wall.as_secs_f64()
+        },
+        mean_submission_ms: mean_ms(&submissions),
+        p99_submission_ms: p99.as_secs_f64() * 1e3,
+        mean_response_ms: mean_ms(&responses),
+        queries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_stream_is_deterministic_and_uniform_ish() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let xs: Vec<u64> = (0..8).map(|_| splitmix64(&mut a)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| splitmix64(&mut b)).collect();
+        assert_eq!(xs, ys);
+        let mean: f64 = (0..1000).map(|_| unit(&mut a)).sum::<f64>() / 1000.0;
+        assert!((0.4..0.6).contains(&mean), "{mean}");
+    }
+
+    #[test]
+    fn harness_builds_a_steady_batch_and_paths_agree() {
+        let h = ProbeHarness::build(&ProbeAblationParams::tiny());
+        assert!(
+            h.steady_len() > 0,
+            "unreferencing queries keep tuples alive"
+        );
+        assert!(h.paths_agree());
+        // The steady batch really is a fixpoint: repeated passes drop nothing.
+        let mut b = h.working_batch();
+        for batched in [true, false, true] {
+            assert_eq!(h.run_pass(&mut b, batched), 0);
+            assert_eq!(b.len(), h.steady_len());
+        }
+    }
+
+    #[test]
+    fn measure_reports_positive_throughput() {
+        let h = ProbeHarness::build(&ProbeAblationParams::tiny());
+        let t = h.measure(true, Duration::from_millis(20));
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn end_to_end_ab_runs_both_knob_settings() {
+        let params = ExperimentParams::quick();
+        for batched in [true, false] {
+            let report = end_to_end_ab(&params, 2, batched).unwrap();
+            assert!(report.queries > 0);
+            assert!(report.throughput_qph > 0.0);
+            assert!(report.p99_submission_ms >= 0.0);
+        }
+    }
+}

@@ -23,16 +23,23 @@
 //! cargo run --release -p cjoin-bench --bin experiments -- all
 //! cargo run --release -p cjoin-bench --bin experiments -- fig5 --scale 0.01 --concurrency 1,32,64,128,256
 //! ```
+//!
+//! The [`hotpath`] module additionally hosts the filter hot-path ablation
+//! (batched vs. per-tuple probing) behind the `abl_probe_locking` bench, and
+//! `experiments -- bench-json` writes a machine-readable `BENCH_PR2.json`
+//! perf-trajectory baseline (filter-stage throughput and end-to-end
+//! throughput / p99 submission time under both hot-path settings).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod driver;
 pub mod experiments;
+pub mod hotpath;
 pub mod report;
 
 pub use driver::{run_closed_loop, QueryTiming, RunReport};
-pub use report::Table;
+pub use report::{JsonObject, Table};
 
 #[doc(no_inline)]
 pub use cjoin_query::{EngineStats, JoinEngine, QueryTicket};

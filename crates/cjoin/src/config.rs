@@ -38,6 +38,12 @@ pub struct CjoinConfig {
     pub reorder_interval_ms: u64,
     /// Enable the early-skip optimisation (`bτ AND ¬bDj == 0` avoids the probe, §3.2.2).
     pub early_skip: bool,
+    /// Enable the batch-vectorized Filter hot path: the dimension hash-table read
+    /// lock is taken once per (batch, filter) with entries borrowed rather than
+    /// `Arc`-cloned, filter statistics accumulate in batch-local counters flushed
+    /// once per batch, and survivors are compacted in place. Disable to fall back
+    /// to the per-tuple probe path (the `abl_probe_locking` ablation baseline).
+    pub batched_probing: bool,
     /// Enable the pooled batch allocator (§4); disable to measure its effect.
     pub use_batch_pool: bool,
     /// Enable partition-based early query termination (§5, Fact Table Partitioning):
@@ -60,6 +66,7 @@ impl Default for CjoinConfig {
             adaptive_filter_ordering: true,
             reorder_interval_ms: 50,
             early_skip: true,
+            batched_probing: true,
             use_batch_pool: true,
             partition_pruning: false,
             idle_sleep_us: 200,
@@ -116,6 +123,13 @@ impl CjoinConfig {
     /// Convenience: a configuration with the given batch size.
     pub fn with_batch_size(mut self, n: usize) -> Self {
         self.batch_size = n;
+        self
+    }
+
+    /// Convenience: a configuration with batched probing enabled or disabled
+    /// (the hot-path A/B knob used by the `abl_probe_locking` ablation).
+    pub fn with_batched_probing(mut self, enabled: bool) -> Self {
+        self.batched_probing = enabled;
         self
     }
 }
@@ -187,11 +201,18 @@ mod tests {
             .with_worker_threads(2)
             .with_max_concurrency(64)
             .with_batch_size(128)
-            .with_stage_layout(StageLayout::Vertical);
+            .with_stage_layout(StageLayout::Vertical)
+            .with_batched_probing(false);
         assert_eq!(c.worker_threads, 2);
         assert_eq!(c.max_concurrency, 64);
         assert_eq!(c.batch_size, 128);
         assert_eq!(c.stage_layout, StageLayout::Vertical);
+        assert!(!c.batched_probing);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn batched_probing_defaults_on() {
+        assert!(CjoinConfig::default().batched_probing);
     }
 }

@@ -14,16 +14,25 @@
 //!
 //! Concurrency: entries are inserted/removed only by the Pipeline Manager (query
 //! admission and finalization, Algorithms 1 and 2) under a write lock, while Filter
-//! workers probe under a read lock taken once per batch. Bit flips on existing
-//! entries and on the complement bitmap are atomic and require no lock, mirroring the
-//! paper's argument that concurrent bit updates are safe because a query's bit only
-//! appears in fact-tuple bit-vectors after the query is installed in the
-//! Preprocessor (§3.3.1).
+//! workers probe under a read lock taken **once per batch per filter** via
+//! [`DimensionTable::probe_batch`], which returns a [`ProbeGuard`]. The guard hands
+//! out *borrowed* `&DimEntry` references — no per-tuple `Arc` clone on the probe
+//! path — and its lifetime bounds every borrow, so an entry can never be observed
+//! after the manager garbage-collects it: removal requires the write lock, which
+//! cannot be acquired while any guard is alive. Bit flips on existing entries and on
+//! the complement bitmap are atomic and require no lock, mirroring the paper's
+//! argument that concurrent bit updates are safe because a query's bit only appears
+//! in fact-tuple bit-vectors after the query is installed in the Preprocessor
+//! (§3.3.1). Holding the read lock across a batch does not change Algorithm 1/2
+//! semantics: the manager's writes simply serialize at batch boundaries instead of
+//! tuple boundaries, and a Filter already applies one point-in-time table state to
+//! each tuple it processes. (The legacy per-tuple [`DimensionTable::probe`] is kept
+//! for the `batched_probing = false` ablation baseline.)
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard};
 
 use cjoin_common::{AtomicQuerySet, FxHashMap, QueryId, QuerySet};
 use cjoin_storage::{ColumnId, Row};
@@ -240,6 +249,12 @@ impl DimensionTable {
 
     /// Probes the table for `key` and returns the matching entry, if present.
     ///
+    /// This is the **per-tuple** probe: it takes the entries read lock and clones an
+    /// `Arc` for every call. The batched hot path uses
+    /// [`DimensionTable::probe_batch`] instead, which amortises the lock over a whole
+    /// batch and borrows entries without cloning; this method remains as the
+    /// `batched_probing = false` ablation baseline and for point lookups in tests.
+    ///
     /// The caller combines the fact tuple's bit-vector with the entry's `bδ` (hit) or
     /// with [`DimensionTable::complement`] (miss) — see
     /// [`FilterChain::process_batch`](crate::filter::FilterChain::process_batch).
@@ -248,9 +263,54 @@ impl DimensionTable {
         self.entries.read().get(&key).cloned()
     }
 
+    /// Acquires the entries read lock **once** and returns a [`ProbeGuard`] for
+    /// probing an entire batch of fact tuples against this table.
+    ///
+    /// While the guard is alive the Pipeline Manager's structural mutations
+    /// (`register_query` inserts, `unregister_query` garbage collection) block on
+    /// the write lock — they proceed between batches, exactly the granularity the
+    /// paper's batch-amortised synchronisation argument (§4) calls for. Atomic bit
+    /// flips on entries and on the complement bitmap are *not* blocked, so
+    /// `register_unreferencing_query` and admission-time bit updates still interleave
+    /// with probes, preserving Algorithm 1/2 semantics.
+    #[inline]
+    pub fn probe_batch(&self) -> ProbeGuard<'_> {
+        ProbeGuard {
+            entries: self.entries.read(),
+        }
+    }
+
     /// Returns a point-in-time snapshot of an entry's bit-vector (test helper).
     pub fn entry_bits(&self, key: i64) -> Option<QuerySet> {
         self.entries.read().get(&key).map(|e| e.bits.snapshot())
+    }
+}
+
+/// A read guard over a dimension table's entries, held for the duration of one
+/// batch-probe pass (see [`DimensionTable::probe_batch`]).
+///
+/// Lookups return `&DimEntry` borrows bounded by the guard's lifetime instead of
+/// cloning the entry `Arc` per tuple — the per-probe cost is one hash lookup, with
+/// zero reference-count traffic and zero lock operations.
+pub struct ProbeGuard<'a> {
+    entries: RwLockReadGuard<'a, FxHashMap<i64, Arc<DimEntry>>>,
+}
+
+impl ProbeGuard<'_> {
+    /// Looks up the entry for `key` without cloning.
+    #[inline]
+    pub fn get(&self, key: i64) -> Option<&DimEntry> {
+        self.entries.get(&key).map(Arc::as_ref)
+    }
+
+    /// Number of stored entries visible to this guard.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the guarded table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -422,6 +482,48 @@ mod tests {
         let b = t.probe(1).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(a.row.get(1).as_str().unwrap(), "red");
+    }
+
+    #[test]
+    fn probe_batch_borrows_entries_without_cloning() {
+        let t = table_with_no_queries();
+        t.register_query(QueryId(0), &[(1, row(1, "red")), (2, row(2, "green"))]);
+        let guard = t.probe_batch();
+        assert_eq!(guard.len(), 2);
+        assert!(!guard.is_empty());
+        let a = guard.get(1).unwrap();
+        let b = guard.get(1).unwrap();
+        assert!(std::ptr::eq(a, b), "borrows of the same entry alias");
+        assert_eq!(a.row.get(1).as_str().unwrap(), "red");
+        assert!(guard.get(99).is_none());
+        // Atomic bit updates are visible through the guard (no lock needed for them).
+        t.register_unreferencing_query(QueryId(3));
+        assert!(guard.get(2).unwrap().bits.get(3));
+    }
+
+    #[test]
+    fn probe_batch_guard_blocks_structural_writes_until_dropped() {
+        use std::sync::Arc as StdArc;
+        let t = StdArc::new(table_with_no_queries());
+        t.register_query(QueryId(0), &[(1, row(1, "red"))]);
+        let guard = t.probe_batch();
+        let writer = {
+            let t = StdArc::clone(&t);
+            std::thread::spawn(move || {
+                // Blocks until the guard is dropped, then garbage-collects entry 1.
+                t.unregister_query(QueryId(0), true)
+            })
+        };
+        // The entry stays valid for the whole guard lifetime even though a removal
+        // is pending on the write lock.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(guard.get(1).unwrap().row.get(0).as_int().unwrap(), 1);
+        drop(guard);
+        assert!(
+            writer.join().unwrap(),
+            "table empties once the guard is gone"
+        );
+        assert!(t.probe_batch().is_empty());
     }
 
     #[test]

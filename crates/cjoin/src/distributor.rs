@@ -231,11 +231,11 @@ mod tests {
         tx.send(Message::Control(ControlTuple::QueryStart(rt)))
             .unwrap();
         in_flight.fetch_add(1, Ordering::AcqRel);
-        tx.send(Message::Data(vec![
+        tx.send(Message::Data(Batch::from(vec![
             tuple(&[0], 1, 10, Some("red")),
             tuple(&[0], 2, 20, Some("green")),
             tuple(&[0], 1, 5, Some("red")),
-        ]))
+        ])))
         .unwrap();
         tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(0))))
             .unwrap();
@@ -269,8 +269,13 @@ mod tests {
             .unwrap();
         in_flight.fetch_add(1, Ordering::AcqRel);
         // Bit 5 has no registered aggregation; bit 1 does.
-        tx.send(Message::Data(vec![tuple(&[1, 5], 1, 7, Some("red"))]))
-            .unwrap();
+        tx.send(Message::Data(Batch::from(vec![tuple(
+            &[1, 5],
+            1,
+            7,
+            Some("red"),
+        )])))
+        .unwrap();
         tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(1))))
             .unwrap();
         tx.send(Message::Shutdown).unwrap();
@@ -290,8 +295,13 @@ mod tests {
         tx.send(Message::Control(ControlTuple::QueryStart(rt1)))
             .unwrap();
         in_flight.fetch_add(1, Ordering::AcqRel);
-        tx.send(Message::Data(vec![tuple(&[0, 1], 1, 100, Some("red"))]))
-            .unwrap();
+        tx.send(Message::Data(Batch::from(vec![tuple(
+            &[0, 1],
+            1,
+            100,
+            Some("red"),
+        )])))
+        .unwrap();
         tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(0))))
             .unwrap();
         tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(1))))

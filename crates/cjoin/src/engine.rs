@@ -226,10 +226,19 @@ impl CjoinEngine {
                 };
                 let chain = Arc::clone(&chain);
                 let early_skip = config.early_skip;
+                let batched_probing = config.batched_probing;
                 let handle = std::thread::Builder::new()
                     .name(format!("cjoin-stage{stage_index}-w{worker_index}"))
                     .spawn(move || {
-                        run_stage_worker(stage_index, num_stages, input, output, chain, early_skip)
+                        run_stage_worker(
+                            stage_index,
+                            num_stages,
+                            input,
+                            output,
+                            chain,
+                            early_skip,
+                            batched_probing,
+                        )
                     })
                     .map_err(|e| Error::invalid_state(format!("failed to spawn worker: {e}")))?;
                 stage_workers.push(handle);
@@ -507,6 +516,8 @@ impl CjoinEngine {
             filters,
             pool_hits: self.pool.hits(),
             pool_misses: self.pool.misses(),
+            tuples_allocated: self.counters.tuples_allocated.load(Ordering::Relaxed),
+            tuples_recycled: self.counters.tuples_recycled.load(Ordering::Relaxed),
         }
     }
 

@@ -10,16 +10,34 @@
 //! worker threads and can be changed at run time by the optimizer (§3.4); workers
 //! take a snapshot of the order once per batch, so a reordering simply applies from
 //! the next batch onwards.
+//!
+//! ## Two hot-path implementations
+//!
+//! [`FilterChain::process_batch`] dispatches on the `batched_probing` knob
+//! ([`CjoinConfig::batched_probing`](crate::config::CjoinConfig::batched_probing)):
+//!
+//! * **batched** (default): a *filter-major* loop. For each Filter the entries read
+//!   lock is taken once ([`DimensionTable::probe_batch`]), entries are borrowed
+//!   instead of `Arc`-cloned, per-filter statistics accumulate in batch-local
+//!   counters flushed with one `fetch_add` per counter per (batch, filter), the
+//!   AND + emptiness test is fused into a single word pass, and survivors are
+//!   compacted in place with stable swap-retention.
+//! * **per-tuple** (ablation baseline): the tuple-major loop the paper's
+//!   description starts from — one lock acquisition, one `Arc` clone and up to four
+//!   atomic increments per tuple per Filter via [`apply_filter`].
+//!
+//! Both produce identical surviving tuples and statistics totals; the
+//! `abl_probe_locking` benchmark quantifies the difference.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use crate::dimension::DimensionTable;
+use crate::dimension::{DimensionTable, FilterStats};
 use crate::tuple::{Batch, InFlightTuple};
 
-/// Applies one Filter to a single tuple.
+/// Applies one Filter to a single tuple (the `batched_probing = false` baseline).
 ///
 /// Returns `true` if the tuple survives (non-zero bit-vector). `early_skip` enables
 /// the §3.2.2 optimisation: when every query the tuple is still relevant to ignores
@@ -146,23 +164,142 @@ impl FilterChain {
     /// Runs a batch through the given filter sequence in order, dropping tuples whose
     /// bit-vector becomes zero. Returns the number of tuples dropped.
     ///
+    /// `batched_probing` selects between the batch-vectorized filter-major hot path
+    /// and the per-tuple baseline (see the module docs). Dropped tuples become batch
+    /// spares and keep their allocations; the relative order of survivors is
+    /// preserved by both paths.
+    ///
     /// This is the body of a Stage worker: it is deliberately a free function over a
     /// snapshot of the order so that vertical configurations can run a sub-sequence.
     pub fn process_batch(
         filters: &[Arc<DimensionTable>],
         batch: &mut Batch,
         early_skip: bool,
+        batched_probing: bool,
     ) -> usize {
         let before = batch.len();
-        batch.retain_mut(|tuple| {
-            for dim in filters {
-                if !apply_filter(dim, tuple, early_skip) {
-                    return false;
+        if batched_probing {
+            Self::process_batch_batched(filters, batch, early_skip);
+        } else {
+            Self::process_batch_per_tuple(filters, batch, early_skip);
+        }
+        before - batch.len()
+    }
+
+    /// Filter-major batched hot path: one lock acquisition, borrowed entries and one
+    /// stats flush per (batch, filter); fused AND + emptiness word pass per tuple.
+    fn process_batch_batched(filters: &[Arc<DimensionTable>], batch: &mut Batch, early_skip: bool) {
+        for dim in filters {
+            let live = batch.len();
+            if live == 0 {
+                return;
+            }
+            let mut stats = BatchLocalStats {
+                tuples_in: live as u64,
+                ..BatchLocalStats::default()
+            };
+            let slot = dim.slot;
+            let guard = dim.probe_batch();
+            // Stable swap-retention: survivors are compacted to the front in order;
+            // dropped tuples end up beyond `kept` and become recyclable spares.
+            let mut kept = 0usize;
+            for i in 0..live {
+                let tuple = &mut batch[i];
+                let survives = if early_skip && dim.complement.contains_all(&tuple.bits) {
+                    stats.skips += 1;
+                    true
+                } else {
+                    stats.probes += 1;
+                    let fk = tuple.row.int(dim.fact_fk_column);
+                    match guard.get(fk) {
+                        Some(entry) => {
+                            if entry.bits.and_into_with_zero_check(&mut tuple.bits) {
+                                stats.tuples_dropped += 1;
+                                false
+                            } else {
+                                tuple.ensure_slots(slot + 1);
+                                tuple.dims[slot] = Some(entry.row.clone());
+                                true
+                            }
+                        }
+                        None => {
+                            if dim.complement.and_into_with_zero_check(&mut tuple.bits) {
+                                stats.tuples_dropped += 1;
+                                false
+                            } else {
+                                true
+                            }
+                        }
+                    }
+                };
+                if survives {
+                    if kept != i {
+                        batch.swap(kept, i);
+                    }
+                    kept += 1;
                 }
             }
-            true
-        });
-        before - batch.len()
+            drop(guard);
+            batch.truncate_live(kept);
+            stats.flush(&dim.stats);
+        }
+    }
+
+    /// Tuple-major baseline: per-tuple locking, `Arc` clones and atomic statistics
+    /// (kept for the `batched_probing` ablation).
+    fn process_batch_per_tuple(
+        filters: &[Arc<DimensionTable>],
+        batch: &mut Batch,
+        early_skip: bool,
+    ) {
+        let live = batch.len();
+        let mut kept = 0usize;
+        for i in 0..live {
+            let mut survives = true;
+            for dim in filters {
+                if !apply_filter(dim, &mut batch[i], early_skip) {
+                    survives = false;
+                    break;
+                }
+            }
+            if survives {
+                if kept != i {
+                    batch.swap(kept, i);
+                }
+                kept += 1;
+            }
+        }
+        batch.truncate_live(kept);
+    }
+}
+
+/// Per-(batch, filter) statistics accumulated in registers/stack and flushed to the
+/// shared [`FilterStats`] atomics once, instead of up to four `fetch_add`s per tuple.
+#[derive(Debug, Default)]
+struct BatchLocalStats {
+    tuples_in: u64,
+    tuples_dropped: u64,
+    probes: u64,
+    skips: u64,
+}
+
+impl BatchLocalStats {
+    #[inline]
+    fn flush(&self, stats: &FilterStats) {
+        if self.tuples_in > 0 {
+            stats.tuples_in.fetch_add(self.tuples_in, Ordering::Relaxed);
+        }
+        if self.tuples_dropped > 0 {
+            stats
+                .tuples_dropped
+                .fetch_add(self.tuples_dropped, Ordering::Relaxed);
+        }
+        if self.probes > 0 {
+            stats.probes.fetch_add(self.probes, Ordering::Relaxed);
+        }
+        if self.skips > 0 {
+            stats.skips.fetch_add(self.skips, Ordering::Relaxed);
+        }
     }
 }
 
@@ -277,20 +414,22 @@ mod tests {
         assert_eq!(chain.len(), 2);
         assert_eq!(chain.order(), vec!["color", "size"]);
 
-        let mut batch: Batch = vec![
-            fact_tuple(7, 3), // joins both selected tuples: stays relevant to q0 and q1
-            fact_tuple(7, 9), // second dimension miss: only q1 remains
-            fact_tuple(9, 9), // both miss: only q1 remains
-        ];
-        let dropped = FilterChain::process_batch(&chain.snapshot(), &mut batch, true);
-        assert_eq!(
-            dropped, 0,
-            "query 1 ignores both dimensions so nothing is dropped"
-        );
-        assert_eq!(batch[0].bits.iter().collect::<Vec<_>>(), vec![0, 1]);
-        assert_eq!(batch[1].bits.iter().collect::<Vec<_>>(), vec![1]);
-        assert_eq!(batch[2].bits.iter().collect::<Vec<_>>(), vec![1]);
-        assert!(batch[0].dims[0].is_some() && batch[0].dims[1].is_some());
+        for batched in [true, false] {
+            let mut batch = Batch::from(vec![
+                fact_tuple(7, 3), // joins both selected tuples: stays relevant to q0 and q1
+                fact_tuple(7, 9), // second dimension miss: only q1 remains
+                fact_tuple(9, 9), // both miss: only q1 remains
+            ]);
+            let dropped = FilterChain::process_batch(&chain.snapshot(), &mut batch, true, batched);
+            assert_eq!(
+                dropped, 0,
+                "query 1 ignores both dimensions so nothing is dropped"
+            );
+            assert_eq!(batch[0].bits.iter().collect::<Vec<_>>(), vec![0, 1]);
+            assert_eq!(batch[1].bits.iter().collect::<Vec<_>>(), vec![1]);
+            assert_eq!(batch[2].bits.iter().collect::<Vec<_>>(), vec![1]);
+            assert!(batch[0].dims[0].is_some() && batch[0].dims[1].is_some());
+        }
     }
 
     #[test]
@@ -299,15 +438,18 @@ mod tests {
         d1.register_query(QueryId(0), &[(7, Row::new(vec![Value::int(7)]))]);
         let chain = FilterChain::new();
         chain.push(Arc::new(d1));
-        let mut batch: Batch = vec![InFlightTuple::new(
-            RowId(0),
-            Row::new(vec![Value::int(9)]),
-            QuerySet::from_bits(8, [0]),
-            1,
-        )];
-        let dropped = FilterChain::process_batch(&chain.snapshot(), &mut batch, true);
-        assert_eq!(dropped, 1);
-        assert!(batch.is_empty());
+        for batched in [true, false] {
+            let mut batch = Batch::from(vec![InFlightTuple::new(
+                RowId(0),
+                Row::new(vec![Value::int(9)]),
+                QuerySet::from_bits(8, [0]),
+                1,
+            )]);
+            let dropped = FilterChain::process_batch(&chain.snapshot(), &mut batch, true, batched);
+            assert_eq!(dropped, 1);
+            assert!(batch.is_empty());
+            assert_eq!(batch.spare_tuples(), 1, "dropped tuple is kept as a spare");
+        }
     }
 
     #[test]
@@ -343,19 +485,90 @@ mod tests {
         let d1 = dim("color", 0, 0, &[7, 8]);
         let d2 = dim("size", 1, 1, &[3]);
         let make_batch = || -> Batch {
-            vec![
+            Batch::from(vec![
                 fact_tuple(7, 3),
                 fact_tuple(8, 9),
                 fact_tuple(1, 3),
                 fact_tuple(2, 2),
-            ]
+            ])
         };
-        let mut b1 = make_batch();
-        FilterChain::process_batch(&[Arc::clone(&d1), Arc::clone(&d2)], &mut b1, true);
-        let mut b2 = make_batch();
-        FilterChain::process_batch(&[Arc::clone(&d2), Arc::clone(&d1)], &mut b2, true);
-        let bits =
-            |b: &Batch| -> Vec<Vec<usize>> { b.iter().map(|t| t.bits.iter().collect()).collect() };
-        assert_eq!(bits(&b1), bits(&b2));
+        for batched in [true, false] {
+            let mut b1 = make_batch();
+            FilterChain::process_batch(&[Arc::clone(&d1), Arc::clone(&d2)], &mut b1, true, batched);
+            let mut b2 = make_batch();
+            FilterChain::process_batch(&[Arc::clone(&d2), Arc::clone(&d1)], &mut b2, true, batched);
+            let bits = |b: &Batch| -> Vec<Vec<usize>> {
+                b.iter().map(|t| t.bits.iter().collect()).collect()
+            };
+            assert_eq!(bits(&b1), bits(&b2));
+        }
+    }
+
+    #[test]
+    fn batched_and_per_tuple_paths_agree_on_survivors_order_and_stats() {
+        let make_dims = || (dim("color", 0, 0, &[7, 8]), dim("size", 1, 1, &[3]));
+        let make_batch = || -> Batch {
+            // Mix of hits, misses and tuples relevant only to the ignoring query.
+            let mut tuples = vec![
+                fact_tuple(7, 3),
+                fact_tuple(8, 9),
+                fact_tuple(1, 3),
+                fact_tuple(2, 2),
+                fact_tuple(8, 3),
+            ];
+            tuples.push(InFlightTuple::new(
+                RowId(9),
+                Row::new(vec![Value::int(1), Value::int(1), Value::int(0)]),
+                QuerySet::from_bits(8, [0]),
+                2,
+            ));
+            Batch::from(tuples)
+        };
+        let fingerprint = |b: &Batch| -> Vec<(u64, Vec<usize>, Vec<bool>)> {
+            b.iter()
+                .map(|t| {
+                    (
+                        t.row_id.0,
+                        t.bits.iter().collect(),
+                        t.dims.iter().map(Option::is_some).collect(),
+                    )
+                })
+                .collect()
+        };
+        for early_skip in [true, false] {
+            // Fresh dimension tables per arm so the statistics are comparable.
+            let (b1_d1, b1_d2) = make_dims();
+            let mut b1 = make_batch();
+            let dropped1 = FilterChain::process_batch(
+                &[Arc::clone(&b1_d1), Arc::clone(&b1_d2)],
+                &mut b1,
+                early_skip,
+                true,
+            );
+            let (b2_d1, b2_d2) = make_dims();
+            let mut b2 = make_batch();
+            let dropped2 = FilterChain::process_batch(
+                &[Arc::clone(&b2_d1), Arc::clone(&b2_d2)],
+                &mut b2,
+                early_skip,
+                false,
+            );
+            assert_eq!(dropped1, dropped2, "early_skip={early_skip}");
+            assert_eq!(
+                fingerprint(&b1),
+                fingerprint(&b2),
+                "survivors, their order, bits and attached dims must match"
+            );
+            assert_eq!(
+                b1_d1.stats.snapshot(),
+                b2_d1.stats.snapshot(),
+                "batch-local stats flush to identical totals (filter 1)"
+            );
+            assert_eq!(
+                b1_d2.stats.snapshot(),
+                b2_d2.stats.snapshot(),
+                "batch-local stats flush to identical totals (filter 2)"
+            );
+        }
     }
 }

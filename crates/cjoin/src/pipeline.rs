@@ -91,13 +91,14 @@ pub fn run_stage_worker(
     output: Sender<Message>,
     chain: Arc<FilterChain>,
     early_skip: bool,
+    batched_probing: bool,
 ) {
     while let Ok(msg) = input.recv() {
         match msg {
             Message::Data(mut batch) => {
                 let filters = chain.snapshot();
                 let slice = stage_slice(&filters, stage_index, num_stages);
-                FilterChain::process_batch(slice, &mut batch, early_skip);
+                FilterChain::process_batch(slice, &mut batch, early_skip, batched_probing);
                 if output.send(Message::Data(batch)).is_err() {
                     return;
                 }
@@ -115,7 +116,7 @@ pub fn run_stage_worker(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tuple::InFlightTuple;
+    use crate::tuple::{Batch, InFlightTuple};
     use cjoin_common::{QueryId, QuerySet};
     use cjoin_storage::{Row, RowId, Value};
     use crossbeam::channel::unbounded;
@@ -195,7 +196,7 @@ mod tests {
         let (out_tx, out_rx) = unbounded();
         let worker = {
             let chain = Arc::clone(&chain);
-            std::thread::spawn(move || run_stage_worker(0, 1, in_rx, out_tx, chain, true))
+            std::thread::spawn(move || run_stage_worker(0, 1, in_rx, out_tx, chain, true, true))
         };
 
         // A tuple relevant to query 0 whose fk misses the dimension table: dropped.
@@ -212,7 +213,9 @@ mod tests {
             QuerySet::from_bits(4, [0]),
             1,
         );
-        in_tx.send(Message::Data(vec![miss, hit])).unwrap();
+        in_tx
+            .send(Message::Data(Batch::from(vec![miss, hit])))
+            .unwrap();
         in_tx.send(Message::Shutdown).unwrap();
         worker.join().unwrap();
 
@@ -234,14 +237,15 @@ mod tests {
         chain.push(Arc::new(dim));
         let (in_tx, in_rx) = unbounded();
         let (out_tx, out_rx) = unbounded();
-        let worker = std::thread::spawn(move || run_stage_worker(0, 1, in_rx, out_tx, chain, true));
+        let worker =
+            std::thread::spawn(move || run_stage_worker(0, 1, in_rx, out_tx, chain, true, true));
         let miss = InFlightTuple::new(
             RowId(0),
             Row::new(vec![Value::int(7)]),
             QuerySet::from_bits(4, [0]),
             1,
         );
-        in_tx.send(Message::Data(vec![miss])).unwrap();
+        in_tx.send(Message::Data(Batch::from(vec![miss]))).unwrap();
         in_tx.send(Message::Shutdown).unwrap();
         worker.join().unwrap();
         assert!(

@@ -2,11 +2,26 @@
 //!
 //! §4 notes that CJOIN "reduce[s] the cost of memory management synchronization by
 //! using a specialized allocator for fact tuples": all in-flight tuple structures are
-//! preallocated and recycled. We implement the equivalent at batch granularity: the
-//! Distributor returns spent batches to a lock-free pool and the Preprocessor reuses
-//! them (including the per-tuple bit-vector and dimension-slot allocations, which are
-//! cleared rather than freed). The pool is bounded by the number of batches that can
-//! be in flight at once, which is itself bounded by the queue capacities.
+//! preallocated and recycled. The pool implements that in two layers:
+//!
+//! 1. **Batch recycling** — the Distributor returns spent batches to a lock-free
+//!    pool and the Preprocessor reuses them, so the backing vectors circulate
+//!    instead of being reallocated.
+//! 2. **Tuple recycling** — a recycled batch keeps its [`InFlightTuple`]s as
+//!    *spares* (see [`Batch::recycle`]): their per-tuple bit-vector words and
+//!    dimension-slot vectors stay allocated and are reinitialised in place by
+//!    [`InFlightTuple::reset`](crate::tuple::InFlightTuple::reset) on the next
+//!    fill. After warm-up the steady-state scan path performs **zero per-tuple heap
+//!    allocations** — the pool hit rate (see [`BatchPool::hits`]) and the engine's
+//!    `tuples_allocated` / `tuples_recycled` counters make this observable.
+//!
+//! The pool is bounded by the number of batches that can be in flight at once,
+//! which is itself bounded by the queue capacities.
+//!
+//! Concurrency: the pool is a lock-free MPMC queue; a batch is owned by exactly one
+//! thread at any time (Preprocessor while filling, one Stage worker while
+//! filtering, Distributor while draining), so its spare tuples need no
+//! synchronisation — recycling only moves the batch's live watermark.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -36,11 +51,12 @@ impl BatchPool {
         })
     }
 
-    /// Takes a cleared batch from the pool, or allocates a new one.
+    /// Takes an empty batch from the pool (with its spare tuples ready for in-place
+    /// reuse), or allocates a new one.
     pub fn take(&self, capacity_hint: usize) -> Batch {
         if self.enabled {
             if let Some(mut batch) = self.slots.pop() {
-                batch.clear();
+                batch.recycle();
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return batch;
             }
@@ -50,11 +66,12 @@ impl BatchPool {
     }
 
     /// Returns a spent batch to the pool (dropped if the pool is full or disabled).
+    /// The batch's tuples are retained as spares, not deallocated.
     pub fn put(&self, mut batch: Batch) {
         if !self.enabled {
             return;
         }
-        batch.clear();
+        batch.recycle();
         // If the pool is full the batch is simply dropped.
         let _ = self.slots.push(batch);
     }
@@ -95,10 +112,17 @@ mod tests {
         ));
         let cap = b.capacity();
         pool.put(b);
-        let b2 = pool.take(16);
+        let mut b2 = pool.take(16);
         assert_eq!(pool.hits(), 1);
-        assert!(b2.is_empty(), "recycled batches are cleared");
+        assert!(b2.is_empty(), "recycled batches are empty");
         assert!(b2.capacity() >= cap.min(1), "capacity is retained");
+        assert_eq!(
+            b2.spare_tuples(),
+            1,
+            "the tuple survives the round-trip as a recyclable spare"
+        );
+        let (_, recycled) = b2.next_slot(4);
+        assert!(recycled, "refilling reuses the spare without allocating");
     }
 
     #[test]

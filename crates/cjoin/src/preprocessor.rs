@@ -13,6 +13,14 @@
 //!    and a *query-start* control tuple is emitted (§3.3.1, Algorithm 1 lines 17–22);
 //! 4. batches surviving tuples and pushes them into the filter stage.
 //!
+//! The scan loop is allocation-free at steady state: the per-row bit-vector is
+//! computed in a Preprocessor-owned scratch `QuerySet` (as is the list of queries
+//! ending at a row), and surviving rows are written into recycled in-flight tuples
+//! obtained from the [`BatchPool`] via [`Batch::next_slot`] +
+//! [`InFlightTuple::reset`](crate::tuple::InFlightTuple::reset), reusing their
+//! bit-vector words and dimension-slot vectors in place (§4's specialized
+//! allocator). The `tuples_allocated` / `tuples_recycled` counters expose this.
+//!
 //! ## Control-tuple ordering
 //!
 //! §3.3.3 requires that a control tuple enqueued before (after) a fact tuple is never
@@ -39,7 +47,7 @@ use crate::config::CjoinConfig;
 use crate::pool::BatchPool;
 use crate::progress::QueryProgress;
 use crate::stats::SharedCounters;
-use crate::tuple::{Batch, ControlTuple, InFlightTuple, Message, QueryRuntime};
+use crate::tuple::{Batch, ControlTuple, Message, QueryRuntime};
 
 /// Partition-pruning plan attached to a query at admission (§5, Fact Table
 /// Partitioning): the set of partitions the query needs and how many fact rows of
@@ -108,6 +116,11 @@ pub struct Preprocessor {
     /// plan — the slow path of bit initialisation.
     special_bits: Vec<usize>,
     scan_buffer: ScanBatch,
+    /// Scratch bit-vector the per-row `bτ` is computed in before being copied into a
+    /// (usually recycled) in-flight tuple — reused across rows, never reallocated.
+    bits_scratch: QuerySet,
+    /// Scratch list of queries ending at the current row — reused across rows.
+    ending_scratch: Vec<usize>,
     shutdown: bool,
 }
 
@@ -145,6 +158,8 @@ impl Preprocessor {
             queries: (0..max).map(|_| None).collect(),
             special_bits: Vec::new(),
             scan_buffer: ScanBatch::default(),
+            bits_scratch: QuerySet::new(max),
+            ending_scratch: Vec::new(),
             shutdown: false,
         }
     }
@@ -306,30 +321,34 @@ impl Preprocessor {
         // Queries that exhausted their needed partitions on this batch; finalized
         // after their last relevant tuple has been emitted.
         let mut partition_done: Vec<usize> = Vec::new();
+        // Tuple-recycling statistics accumulate locally and flush once per scan
+        // batch (same batch-local-counter discipline as the Filter stats).
+        let mut tuples_recycled = 0u64;
+        let mut tuples_allocated = 0u64;
 
         for (row_id, row, version) in scan_buffer.rows.drain(..) {
             // Wrap-around detection: a query ends right before its starting tuple is
-            // seen for the second time.
+            // seen for the second time. The scratch list is reused across rows
+            // (taken/restored around `finalize_query`, which needs `&mut self`).
             let position = row_id.0;
-            let ending: Vec<usize> = self
-                .active_mask
-                .iter()
-                .filter(|&bit| {
-                    self.queries[bit]
-                        .as_ref()
-                        .is_some_and(|q| q.start_position == position && q.passed_start)
-                })
-                .collect();
+            let mut ending = std::mem::take(&mut self.ending_scratch);
+            ending.clear();
+            ending.extend(self.active_mask.iter().filter(|&bit| {
+                self.queries[bit]
+                    .as_ref()
+                    .is_some_and(|q| q.start_position == position && q.passed_start)
+            }));
             if !ending.is_empty() {
                 // Flush tuples produced so far so the barrier covers them.
                 out = self.flush(out);
-                for bit in ending {
+                for &bit in &ending {
                     self.finalize_query(bit);
                 }
-                if self.active_mask.is_empty() {
-                    // No query left; the rest of the scan batch is irrelevant.
-                    break;
-                }
+            }
+            self.ending_scratch = ending;
+            if self.active_mask.is_empty() {
+                // No query left; the rest of the scan batch is irrelevant.
+                break;
             }
             for bit in self.active_mask.iter() {
                 if let Some(q) = &mut self.queries[bit] {
@@ -339,26 +358,34 @@ impl Preprocessor {
                 }
             }
 
-            // Initialise the tuple's bit-vector.
-            let mut bits = QuerySet::new(self.config.max_concurrency);
-            bits.copy_from(&self.active_mask);
+            // Initialise the row's bit-vector in the reusable scratch (no per-row
+            // allocation), then copy it into a pooled tuple only if it survives.
+            self.bits_scratch.copy_from(&self.active_mask);
             if version != RowVersion::ALWAYS_VISIBLE {
                 // The row carries update history: snapshot visibility is a virtual
                 // fact predicate for every registered query (§3.5).
                 for bit in self.active_mask.iter() {
                     if let Some(q) = &self.queries[bit] {
                         if !version.visible_at(q.snapshot) {
-                            bits.unset(bit);
+                            self.bits_scratch.unset(bit);
                         }
                     }
                 }
             }
             if !self.special_bits.is_empty() {
-                self.apply_special_predicates(&row, &mut bits, &mut partition_done);
+                self.apply_special_predicates(&row, &mut partition_done);
             }
 
-            if !bits.is_empty() {
-                out.push(InFlightTuple::new(row_id, row, bits, num_slots));
+            if !self.bits_scratch.is_empty() {
+                // Zero-allocation steady state: the slot reuses a spare tuple's
+                // bit-vector words and dimension-slot vector in place.
+                let (slot, recycled) = out.next_slot(self.config.max_concurrency);
+                slot.reset(row_id, row, &self.bits_scratch, num_slots);
+                if recycled {
+                    tuples_recycled += 1;
+                } else {
+                    tuples_allocated += 1;
+                }
                 if out.len() >= self.config.batch_size {
                     out = self.flush(out);
                 }
@@ -371,17 +398,23 @@ impl Preprocessor {
                 }
             }
         }
+        if tuples_recycled > 0 {
+            SharedCounters::add(&self.counters.tuples_recycled, tuples_recycled);
+        }
+        if tuples_allocated > 0 {
+            SharedCounters::add(&self.counters.tuples_allocated, tuples_allocated);
+        }
         let leftover = self.flush(out);
         self.pool.put(leftover);
         self.scan_buffer = scan_buffer;
     }
 
     /// Applies fact predicates and partition accounting for the queries that need
-    /// them (snapshot visibility has already been handled by the caller).
+    /// them (snapshot visibility has already been handled by the caller). Operates
+    /// on `self.bits_scratch`, the reusable per-row bit-vector.
     fn apply_special_predicates(
         &mut self,
         row: &cjoin_storage::Row,
-        bits: &mut QuerySet,
         partition_done: &mut Vec<usize>,
     ) {
         let partition_of = self
@@ -394,7 +427,7 @@ impl Preprocessor {
             };
             if let Some(pred) = &q.fact_predicate {
                 if !pred.eval(row) {
-                    bits.unset(bit);
+                    self.bits_scratch.unset(bit);
                     // Note: the row still counts towards partition coverage below —
                     // coverage is about having *seen* the partition's rows.
                 }

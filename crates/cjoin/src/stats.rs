@@ -29,6 +29,12 @@ pub struct SharedCounters {
     pub filter_reorders: AtomicU64,
     /// Pipeline stalls taken to emit control tuples (drain barriers).
     pub control_barriers: AtomicU64,
+    /// In-flight tuples freshly heap-allocated by the Preprocessor (cold path;
+    /// should stop growing once the batch pool is warm).
+    pub tuples_allocated: AtomicU64,
+    /// In-flight tuples reinitialised in place from a batch's spare pool
+    /// (the zero-allocation steady-state path).
+    pub tuples_recycled: AtomicU64,
 }
 
 impl SharedCounters {
@@ -101,6 +107,10 @@ pub struct PipelineStats {
     pub pool_hits: u64,
     /// Batch-pool misses (fresh allocations).
     pub pool_misses: u64,
+    /// In-flight tuples freshly heap-allocated by the Preprocessor.
+    pub tuples_allocated: u64,
+    /// In-flight tuples reinitialised in place from recycled spares.
+    pub tuples_recycled: u64,
 }
 
 impl PipelineStats {
@@ -110,6 +120,28 @@ impl PipelineStats {
             0.0
         } else {
             self.tuples_distributed as f64 / self.tuples_scanned as f64
+        }
+    }
+
+    /// Fraction of batch-pool takes served without allocating (≈ 1 after warm-up).
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of in-flight tuples served by in-place recycling rather than a
+    /// fresh heap allocation (≈ 1 after warm-up; the "zero per-tuple allocation"
+    /// steady-state claim in numbers).
+    pub fn tuple_recycle_rate(&self) -> f64 {
+        let total = self.tuples_allocated + self.tuples_recycled;
+        if total == 0 {
+            0.0
+        } else {
+            self.tuples_recycled as f64 / total as f64
         }
     }
 }
@@ -164,12 +196,22 @@ mod tests {
             filters: vec![],
             pool_hits: 5,
             pool_misses: 5,
+            tuples_allocated: 100,
+            tuples_recycled: 900,
         };
         assert!((stats.survival_rate() - 0.25).abs() < 1e-12);
+        assert!((stats.pool_hit_rate() - 0.5).abs() < 1e-12);
+        assert!((stats.tuple_recycle_rate() - 0.9).abs() < 1e-12);
         let zero = PipelineStats {
             tuples_scanned: 0,
+            pool_hits: 0,
+            pool_misses: 0,
+            tuples_allocated: 0,
+            tuples_recycled: 0,
             ..stats
         };
         assert_eq!(zero.survival_rate(), 0.0);
+        assert_eq!(zero.pool_hit_rate(), 0.0);
+        assert_eq!(zero.tuple_recycle_rate(), 0.0);
     }
 }

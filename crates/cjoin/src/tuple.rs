@@ -48,6 +48,34 @@ impl InFlightTuple {
         }
     }
 
+    /// Creates a placeholder tuple whose buffers are sized for `max_concurrency`
+    /// query bits. Used by [`Batch::next_slot`] to grow a batch's spare-tuple pool;
+    /// the tuple must be [`reset`](InFlightTuple::reset) before use.
+    fn new_spare(max_concurrency: usize) -> Self {
+        Self {
+            row_id: RowId(0),
+            row: Row::new(Vec::new()),
+            bits: QuerySet::new(max_concurrency),
+            dims: Vec::new(),
+        }
+    }
+
+    /// Reinitialises a recycled tuple in place, reusing its existing `bits` words
+    /// and `dims` allocation. The bit-vector buffer is only reallocated if the
+    /// capacity changed (it never does within one engine, whose `maxConc` is fixed);
+    /// the dimension-slot vector reuses its capacity across recycles.
+    pub fn reset(&mut self, row_id: RowId, row: Row, bits: &QuerySet, num_slots: usize) {
+        self.row_id = row_id;
+        self.row = row;
+        if self.bits.capacity() == bits.capacity() {
+            self.bits.copy_from(bits);
+        } else {
+            self.bits = bits.clone();
+        }
+        self.dims.clear();
+        self.dims.resize(num_slots, None);
+    }
+
     /// Ensures the dimension-slot vector can hold `num_slots` entries (slots are only
     /// ever appended while a pipeline is running).
     pub fn ensure_slots(&mut self, num_slots: usize) {
@@ -57,8 +85,160 @@ impl InFlightTuple {
     }
 }
 
-/// A batch of data tuples.
-pub type Batch = Vec<InFlightTuple>;
+/// A batch of data tuples with zero-allocation recycling.
+///
+/// A `Batch` keeps two regions in one backing vector: `tuples[..live]` are the
+/// batch's current data tuples, and `tuples[live..]` are **spare** tuples left over
+/// from the batch's previous trips through the pipeline. Dropping a tuple
+/// ([`truncate_live`](Batch::truncate_live)) or finishing a batch
+/// ([`recycle`](Batch::recycle)) only moves the `live` watermark — the spare tuples
+/// keep their heap allocations (`bits` words, `dims` vector) and are reinitialised
+/// in place by [`next_slot`](Batch::next_slot) + [`InFlightTuple::reset`] on the
+/// batch's next fill. Combined with the [`BatchPool`](crate::pool::BatchPool), the
+/// steady-state scan path performs no per-tuple heap allocation at all, which is the
+/// paper's "specialized allocator for fact tuples" (§4).
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    tuples: Vec<InFlightTuple>,
+    /// Number of live tuples at the front of `tuples`.
+    live: usize,
+}
+
+impl Batch {
+    /// Creates an empty batch with no spare tuples.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty batch whose backing vector can hold `capacity` tuples.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            tuples: Vec::with_capacity(capacity),
+            live: 0,
+        }
+    }
+
+    /// Number of live tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the batch has no live tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Capacity of the backing vector (diagnostics / tests).
+    pub fn capacity(&self) -> usize {
+        self.tuples.capacity()
+    }
+
+    /// Number of spare (recyclable) tuples beyond the live region.
+    pub fn spare_tuples(&self) -> usize {
+        self.tuples.len() - self.live
+    }
+
+    /// Appends a fully-formed tuple, overwriting a spare if one is available.
+    pub fn push(&mut self, tuple: InFlightTuple) {
+        if self.live < self.tuples.len() {
+            self.tuples[self.live] = tuple;
+        } else {
+            self.tuples.push(tuple);
+        }
+        self.live += 1;
+    }
+
+    /// Returns a mutable slot for the next tuple, recycling a spare when one is
+    /// available. The second return value is `true` if the slot was recycled
+    /// (no heap allocation) and `false` if a fresh tuple had to be allocated.
+    /// The caller must [`reset`](InFlightTuple::reset) the slot before reading it.
+    #[inline]
+    pub fn next_slot(&mut self, max_concurrency: usize) -> (&mut InFlightTuple, bool) {
+        let recycled = self.live < self.tuples.len();
+        if !recycled {
+            self.tuples.push(InFlightTuple::new_spare(max_concurrency));
+        }
+        let slot = &mut self.tuples[self.live];
+        self.live += 1;
+        (slot, recycled)
+    }
+
+    /// Shrinks the live region to `len` tuples; the dropped tuples become spares
+    /// and keep their allocations.
+    #[inline]
+    pub fn truncate_live(&mut self, len: usize) {
+        debug_assert!(len <= self.live);
+        self.live = self.live.min(len);
+    }
+
+    /// Empties the live region, turning every tuple into a spare. This is the
+    /// pool-recycling entry point: nothing is deallocated.
+    pub fn recycle(&mut self) {
+        self.live = 0;
+    }
+
+    /// Swaps two live tuples (the filter loop's in-place survivor compaction).
+    #[inline]
+    pub fn swap(&mut self, a: usize, b: usize) {
+        debug_assert!(a < self.live && b < self.live);
+        self.tuples.swap(a, b);
+    }
+
+    /// Iterates over the live tuples.
+    pub fn iter(&self) -> std::slice::Iter<'_, InFlightTuple> {
+        self.tuples[..self.live].iter()
+    }
+
+    /// Iterates mutably over the live tuples.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, InFlightTuple> {
+        self.tuples[..self.live].iter_mut()
+    }
+
+    /// The live tuples as a slice.
+    pub fn as_slice(&self) -> &[InFlightTuple] {
+        &self.tuples[..self.live]
+    }
+}
+
+impl std::ops::Index<usize> for Batch {
+    type Output = InFlightTuple;
+    #[inline]
+    fn index(&self, index: usize) -> &InFlightTuple {
+        &self.tuples[..self.live][index]
+    }
+}
+
+impl std::ops::IndexMut<usize> for Batch {
+    #[inline]
+    fn index_mut(&mut self, index: usize) -> &mut InFlightTuple {
+        &mut self.tuples[..self.live][index]
+    }
+}
+
+impl From<Vec<InFlightTuple>> for Batch {
+    fn from(tuples: Vec<InFlightTuple>) -> Self {
+        Self {
+            live: tuples.len(),
+            tuples,
+        }
+    }
+}
+
+impl FromIterator<InFlightTuple> for Batch {
+    fn from_iter<I: IntoIterator<Item = InFlightTuple>>(iter: I) -> Self {
+        Self::from(iter.into_iter().collect::<Vec<_>>())
+    }
+}
+
+impl<'a> IntoIterator for &'a Batch {
+    type Item = &'a InFlightTuple;
+    type IntoIter = std::slice::Iter<'a, InFlightTuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
 
 /// Everything the Distributor needs to run one registered query: its bound form, the
 /// mapping from its dimension clauses to pipeline dimension slots, and the channel the
@@ -134,8 +314,52 @@ mod tests {
     }
 
     #[test]
+    fn batch_push_truncate_and_recycle_keep_spares() {
+        let mut b = Batch::new();
+        for i in 0..4 {
+            b.push(InFlightTuple::new(RowId(i), row(), QuerySet::new(8), 1));
+        }
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.spare_tuples(), 0);
+        b.truncate_live(1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.spare_tuples(), 3, "dropped tuples become spares");
+        b.recycle();
+        assert!(b.is_empty());
+        assert_eq!(b.spare_tuples(), 4);
+        // Refill through next_slot: the first four slots recycle, the fifth allocates.
+        for i in 0..5 {
+            let (slot, recycled) = b.next_slot(8);
+            slot.reset(RowId(i), row(), &QuerySet::from_bits(8, [0]), 2);
+            assert_eq!(recycled, i < 4, "slot {i}");
+        }
+        assert_eq!(b.len(), 5);
+        assert!(b.iter().all(|t| t.bits.get(0) && t.dims.len() == 2));
+    }
+
+    #[test]
+    fn reset_reuses_buffers_and_handles_capacity_changes() {
+        let mut t = InFlightTuple::new(RowId(0), row(), QuerySet::from_bits(8, [0, 3]), 3);
+        t.dims[1] = Some(row());
+        t.reset(RowId(7), row(), &QuerySet::from_bits(8, [5]), 2);
+        assert_eq!(t.row_id, RowId(7));
+        assert_eq!(t.bits.iter().collect::<Vec<_>>(), vec![5]);
+        assert_eq!(t.dims.len(), 2);
+        assert!(t.dims.iter().all(Option::is_none), "stale rows are cleared");
+        // Capacity change (only possible across engines) falls back to a clone.
+        t.reset(RowId(8), row(), &QuerySet::from_bits(16, [9]), 1);
+        assert_eq!(t.bits.capacity(), 16);
+        assert!(t.bits.get(9));
+    }
+
+    #[test]
     fn message_variants_are_constructible() {
-        let batch: Batch = vec![InFlightTuple::new(RowId(0), row(), QuerySet::new(4), 0)];
+        let batch = Batch::from(vec![InFlightTuple::new(
+            RowId(0),
+            row(),
+            QuerySet::new(4),
+            0,
+        )]);
         let m = Message::Data(batch);
         assert!(matches!(m, Message::Data(b) if b.len() == 1));
         assert!(matches!(

@@ -366,6 +366,21 @@ impl AtomicQuerySet {
         }
     }
 
+    /// ANDs this vector into `target` and reports whether `target` became (or
+    /// already was) empty, in a single pass over the words. This fuses the Filter's
+    /// combining step with its "drop the tuple" test so the batched hot path loads
+    /// each atomic word exactly once per tuple.
+    #[inline]
+    pub fn and_into_with_zero_check(&self, target: &mut QuerySet) -> bool {
+        assert_eq!(self.capacity, target.capacity, "QuerySet capacity mismatch");
+        let mut any = 0u64;
+        for (t, s) in target.words.iter_mut().zip(&self.words) {
+            *t &= s.load(Ordering::Acquire);
+            any |= *t;
+        }
+        any == 0
+    }
+
     /// Copies the atomic contents into `target`, overwriting it.
     #[inline]
     pub fn load_into(&self, target: &mut QuerySet) {
@@ -516,6 +531,19 @@ mod tests {
         b.clear();
         assert!(b.is_empty());
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn atomic_and_into_with_zero_check_matches_two_pass_result() {
+        let a = AtomicQuerySet::new(128);
+        a.set(3);
+        a.set(64);
+        let mut target = QuerySet::from_bits(128, [3, 5, 64, 127]);
+        assert!(!a.and_into_with_zero_check(&mut target));
+        assert_eq!(target.iter().collect::<Vec<_>>(), vec![3, 64]);
+        let mut disjoint = QuerySet::from_bits(128, [5, 127]);
+        assert!(a.and_into_with_zero_check(&mut disjoint));
+        assert!(disjoint.is_empty());
     }
 
     #[test]

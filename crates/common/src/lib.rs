@@ -23,5 +23,5 @@ pub mod ids;
 
 pub use bitvec::{AtomicQuerySet, QuerySet};
 pub use error::{Error, Result};
-pub use hash::{fx_hash_u64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use hash::{fx_hash_u64, splitmix64, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{QueryId, QueryIdAllocator};

@@ -28,39 +28,56 @@ fn cjoin_config() -> CjoinConfig {
         .with_batch_size(512)
 }
 
-/// Runs `queries` through all three evaluation paths and asserts agreement. The
-/// engines are consumed only as `&dyn JoinEngine`.
+/// Runs `queries` through all evaluation paths and asserts agreement. The engines
+/// are consumed only as `&dyn JoinEngine`; the shared CJOIN pipeline is exercised
+/// under **both** settings of the `batched_probing` hot-path knob.
 fn assert_all_engines_agree(data: &SsbDataSet, queries: &[StarQuery]) {
     let catalog = data.catalog();
     let baseline = BaselineEngine::new(Arc::clone(&catalog), BaselineConfig::default());
-    let cjoin = CjoinEngine::start(Arc::clone(&catalog), cjoin_config()).unwrap();
-    let shared: &dyn JoinEngine = &cjoin;
     let oracle: &dyn JoinEngine = &baseline;
 
-    // Submit everything to CJOIN first so the queries genuinely share the pipeline.
-    let tickets: Vec<_> = queries
+    // The reference and baseline answers do not depend on the CJOIN hot-path knob:
+    // compute them once per query, then compare both CJOIN arms against them.
+    let expected: Vec<_> = queries
         .iter()
-        .map(|q| shared.submit(q.clone()).unwrap())
+        .map(|q| {
+            let reference = reference::evaluate(&catalog, q, SnapshotId::INITIAL).unwrap();
+            let baseline_result = oracle.execute(q).unwrap();
+            assert!(
+                baseline_result.approx_eq(&reference),
+                "{}: baseline vs reference: {:?}",
+                q.name,
+                baseline_result.diff(&reference)
+            );
+            reference
+        })
         .collect();
 
-    for (query, ticket) in queries.iter().zip(tickets) {
-        let expected = reference::evaluate(&catalog, query, SnapshotId::INITIAL).unwrap();
-        let baseline_result = oracle.execute(query).unwrap();
-        let cjoin_result = ticket.wait().unwrap();
-        assert!(
-            baseline_result.approx_eq(&expected),
-            "{}: baseline vs reference: {:?}",
-            query.name,
-            baseline_result.diff(&expected)
-        );
-        assert!(
-            cjoin_result.approx_eq(&expected),
-            "{}: cjoin vs reference: {:?}",
-            query.name,
-            cjoin_result.diff(&expected)
-        );
+    for batched_probing in [true, false] {
+        let cjoin = CjoinEngine::start(
+            Arc::clone(&catalog),
+            cjoin_config().with_batched_probing(batched_probing),
+        )
+        .unwrap();
+        let shared: &dyn JoinEngine = &cjoin;
+
+        // Submit everything to CJOIN first so the queries genuinely share the pipeline.
+        let tickets: Vec<_> = queries
+            .iter()
+            .map(|q| shared.submit(q.clone()).unwrap())
+            .collect();
+
+        for ((query, expected), ticket) in queries.iter().zip(&expected).zip(tickets) {
+            let cjoin_result = ticket.wait().unwrap();
+            assert!(
+                cjoin_result.approx_eq(expected),
+                "{} (batched_probing={batched_probing}): cjoin vs reference: {:?}",
+                query.name,
+                cjoin_result.diff(expected)
+            );
+        }
+        shared.shutdown();
     }
-    shared.shutdown();
 }
 
 #[test]

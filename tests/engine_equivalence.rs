@@ -25,7 +25,8 @@ fn cjoin_config() -> CjoinConfig {
 }
 
 /// Constructs every engine under test over the same catalog, boxed behind the
-/// shared trait.
+/// shared trait. CJOIN appears twice — once per setting of the `batched_probing`
+/// hot-path knob — so the equivalence contract covers both filter implementations.
 fn engines_under_test(catalog: &Arc<Catalog>) -> Vec<Box<dyn JoinEngine>> {
     vec![
         Box::new(BaselineEngine::new(
@@ -37,6 +38,13 @@ fn engines_under_test(catalog: &Arc<Catalog>) -> Vec<Box<dyn JoinEngine>> {
             BaselineConfig::postgres_like(),
         )),
         Box::new(CjoinEngine::start(Arc::clone(catalog), cjoin_config()).unwrap()),
+        Box::new(
+            CjoinEngine::start(
+                Arc::clone(catalog),
+                cjoin_config().with_batched_probing(false),
+            )
+            .unwrap(),
+        ),
     ]
 }
 

@@ -1,0 +1,40 @@
+//! Perf-smoke lane (run with `cargo test -q -- --ignored`, wired into CI).
+//!
+//! Runs the `abl_probe_locking` ablation on one tiny configuration and catches
+//! hot-path regressions *functionally*: both filter implementations must produce
+//! identical survivors, the batched path must actually recycle (no drops from a
+//! steady batch), and its throughput must not collapse relative to the per-tuple
+//! baseline. Thresholds are deliberately loose — CI machines are noisy; the
+//! committed `BENCH_PR2.json` records the real release-mode numbers (≥ 4x in this
+//! repo's runs).
+
+use std::time::Duration;
+
+use cjoin_repro::bench::hotpath::{ProbeAblationParams, ProbeHarness};
+
+#[test]
+#[ignore = "perf-smoke lane; exercised by CI via `cargo test -q -- --ignored`"]
+fn batched_probing_is_equivalent_and_not_slower_on_a_tiny_config() {
+    let harness = ProbeHarness::build(&ProbeAblationParams::tiny());
+    assert!(harness.steady_len() > 0);
+    assert!(
+        harness.paths_agree(),
+        "batched and per-tuple hot paths must produce identical survivors"
+    );
+
+    let measure_for = Duration::from_millis(200);
+    let batched = harness.measure(true, measure_for);
+    let per_tuple = harness.measure(false, measure_for);
+    assert!(batched > 0.0 && per_tuple > 0.0);
+    let speedup = batched / per_tuple;
+    eprintln!(
+        "perf-smoke abl_probe_locking: batched {batched:.0} t/s, \
+         per-tuple {per_tuple:.0} t/s, speedup {speedup:.2}x"
+    );
+    // Functional guard, not a benchmark: the batched path must never be a clear
+    // regression. (Release runs show ~4-5x; 0.8 tolerates debug builds + CI noise.)
+    assert!(
+        speedup > 0.8,
+        "batched hot path regressed to {speedup:.2}x of the per-tuple baseline"
+    );
+}

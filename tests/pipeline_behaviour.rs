@@ -268,6 +268,49 @@ fn stats_are_internally_consistent_after_a_workload() {
 }
 
 #[test]
+fn steady_state_scan_path_recycles_batches_and_tuples() {
+    // Regression for the pooled-allocator claim (§4): after warm-up the scan path
+    // must serve (nearly) every batch from the pool and (nearly) every in-flight
+    // tuple from in-place recycling — zero per-tuple heap allocation at steady
+    // state. A long multi-pass workload leaves warm-up noise far behind.
+    let data = SsbDataSet::generate(SsbConfig::for_tests(0.002, 308));
+    let catalog = data.catalog();
+    let workload = Workload::generate(&data, WorkloadConfig::new(24, 0.02, 65));
+    let engine = CjoinEngine::start(Arc::clone(&catalog), engine_config()).unwrap();
+    let report = run_closed_loop(&engine, workload.queries(), 8).unwrap();
+    assert_eq!(report.timings.len(), 24);
+
+    let stats = engine.stats();
+    let takes = stats.pool_hits + stats.pool_misses;
+    assert!(takes > 0, "the preprocessor took batches from the pool");
+    assert!(
+        stats.pool_hit_rate() > 0.8,
+        "pool hit rate should be ~1 after warm-up, got {:.3} ({} hits / {} misses)",
+        stats.pool_hit_rate(),
+        stats.pool_hits,
+        stats.pool_misses
+    );
+    let tuples = stats.tuples_allocated + stats.tuples_recycled;
+    assert!(tuples > 0, "tuples flowed through the pipeline");
+    assert!(
+        stats.tuple_recycle_rate() > 0.8,
+        "steady-state tuples must be recycled in place, got {:.3} ({} allocated / {} recycled)",
+        stats.tuple_recycle_rate(),
+        stats.tuples_allocated,
+        stats.tuples_recycled
+    );
+    // Fresh tuple allocations are a warm-up phenomenon, bounded by what the pool's
+    // batches can hold — not proportional to the tuples scanned.
+    assert!(
+        stats.tuples_allocated < stats.tuples_scanned / 2,
+        "{} allocations for {} scanned tuples",
+        stats.tuples_allocated,
+        stats.tuples_scanned
+    );
+    engine.shutdown();
+}
+
+#[test]
 fn baseline_contention_grows_with_concurrency_while_cjoin_stays_flat() {
     // Shape check behind Figure 5: total work of the baseline grows ~linearly with
     // the number of queries while CJOIN's scan work stays nearly constant.
