@@ -1,0 +1,33 @@
+//! Ablation — Distributor sharding (the `distributor_shards` knob): the final
+//! aggregation stage as a single Distributor thread versus a router plus 2 or 4
+//! parallel aggregation shards behind an end-of-query merge barrier. Each sample
+//! drives a fig5-style closed-loop workload through a full `CjoinEngine`, so the
+//! measurement includes the routing and merge overhead, not just the shard
+//! workers. The oracle-backed equivalence of all shard counts is asserted by
+//! `tests/distributor_sharding.rs`; this bench only measures.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cjoin_repro::bench::experiments::ExperimentParams;
+use cjoin_repro::bench::hotpath::end_to_end_sharding;
+
+fn bench(c: &mut Criterion) {
+    let params = ExperimentParams::quick();
+    let concurrency = 8;
+
+    let mut group = c.benchmark_group("abl_distributor_sharding");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+
+    for shards in [1usize, 2, 4] {
+        group.bench_function(format!("shards_{shards}"), |b| {
+            b.iter(|| end_to_end_sharding(&params, concurrency, shards).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

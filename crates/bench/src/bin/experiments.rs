@@ -9,12 +9,13 @@
 //!   --threads <usize>      CJOIN worker threads          (default 4)
 //!   --concurrency <list>   comma-separated n values      (default 1,32,64,128,256)
 //!   --markdown             print Markdown tables instead of plain text
-//!   --out <path>           output path for bench-json    (default BENCH_PR2.json)
+//!   --out <path>           output path for bench-json    (default BENCH_PR3.json)
 //! ```
 //!
 //! `bench-json` runs the filter hot-path ablation (batched vs. per-tuple probing)
-//! on a fixed fig5-style workload and writes a machine-readable baseline for the
-//! perf trajectory of future PRs.
+//! and the distributor-sharding ablation (end-to-end qph/p99 for
+//! `distributor_shards` ∈ {1, 2, 4}) on fixed fig5-style workloads and writes a
+//! machine-readable baseline for the perf trajectory of future PRs.
 
 use std::env;
 use std::process::ExitCode;
@@ -25,7 +26,9 @@ use cjoin_bench::experiments::{
     fig7_selectivity, fig8_data_scale, modelled_io_comparison, tab1_submission_vs_concurrency,
     tab2_submission_vs_selectivity, tab3_submission_vs_sf, ExperimentParams,
 };
-use cjoin_bench::hotpath::{end_to_end_ab, EndToEndReport, ProbeAblationParams, ProbeHarness};
+use cjoin_bench::hotpath::{
+    end_to_end_ab, end_to_end_sharding, EndToEndReport, ProbeAblationParams, ProbeHarness,
+};
 use cjoin_bench::{JsonObject, Table};
 use cjoin_common::Result;
 
@@ -43,7 +46,7 @@ fn parse_args() -> std::result::Result<Options, String> {
     let mut params = ExperimentParams::default();
     let mut concurrency = vec![1, 32, 64, 128, 256];
     let mut markdown = false;
-    let mut out = "BENCH_PR2.json".to_string();
+    let mut out = "BENCH_PR3.json".to_string();
 
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -128,11 +131,24 @@ fn run_bench_json(options: &Options) -> Result<()> {
             .field_f64("mean_response_ms", r.mean_response_ms)
             .field_u64("queries", r.queries as u64)
     };
+
+    eprintln!("# distributor-sharding sweep (fig5-style closed loop)");
+    let mut sharding = JsonObject::new();
+    for shards in [1usize, 2, 4] {
+        let report = end_to_end_sharding(&e2e, concurrency, shards)?;
+        eprintln!(
+            "  shards={shards}: {:.0} q/h, p99 submission {:.3} ms",
+            report.throughput_qph, report.p99_submission_ms
+        );
+        sharding = sharding.field_obj(&format!("shards_{shards}"), render(&report));
+    }
+
     let json = JsonObject::new()
-        .field_str("artifact", "BENCH_PR2")
+        .field_str("artifact", "BENCH_PR3")
         .field_str(
             "description",
-            "Batched vs. per-tuple filter hot path (CjoinConfig::batched_probing A/B)",
+            "Filter hot path A/B (CjoinConfig::batched_probing) + sharded aggregation \
+             stage sweep (CjoinConfig::distributor_shards)",
         )
         .field_obj(
             "workload",
@@ -155,6 +171,7 @@ fn run_bench_json(options: &Options) -> Result<()> {
         )
         .field_obj("end_to_end_batched", render(&on))
         .field_obj("end_to_end_per_tuple", render(&off))
+        .field_obj("distributor_sharding", sharding)
         .render();
     std::fs::write(&options.out, &json)
         .map_err(|e| cjoin_common::Error::invalid_state(format!("write {}: {e}", options.out)))?;

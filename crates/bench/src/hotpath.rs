@@ -14,6 +14,9 @@
 //! * [`end_to_end_ab`] — the same knob toggled on a full [`CjoinEngine`] running a
 //!   fig5-style closed-loop workload, reporting throughput and submission-time
 //!   percentiles.
+//! * [`end_to_end_sharding`] — the same closed loop swept over
+//!   `CjoinConfig::distributor_shards`, measuring the sharded aggregation stage
+//!   (the `abl_distributor_sharding` ablation and the `BENCH_PR3.json` baseline).
 //!
 //! Everything is seeded and deterministic (a splitmix64 stream) so runs are
 //! reproducible.
@@ -248,6 +251,37 @@ pub fn end_to_end_ab(
     concurrency: usize,
     batched_probing: bool,
 ) -> Result<EndToEndReport> {
+    let config = base_config(params, concurrency).with_batched_probing(batched_probing);
+    end_to_end_with_config(params, concurrency, config)
+}
+
+/// Runs the same fig5-style closed-loop workload with a sharded aggregation stage
+/// (`CjoinConfig::distributor_shards = shards`) — the `abl_distributor_sharding`
+/// ablation and the `BENCH_PR3.json` baseline.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn end_to_end_sharding(
+    params: &ExperimentParams,
+    concurrency: usize,
+    shards: usize,
+) -> Result<EndToEndReport> {
+    let config = base_config(params, concurrency).with_distributor_shards(shards);
+    end_to_end_with_config(params, concurrency, config)
+}
+
+fn base_config(params: &ExperimentParams, concurrency: usize) -> CjoinConfig {
+    CjoinConfig::default()
+        .with_worker_threads(params.worker_threads)
+        .with_max_concurrency((concurrency * 2 + 16).max(32))
+}
+
+/// Shared closed-loop driver behind the end-to-end ablations.
+fn end_to_end_with_config(
+    params: &ExperimentParams,
+    concurrency: usize,
+    config: CjoinConfig,
+) -> Result<EndToEndReport> {
     let data = params.data();
     let catalog = data.catalog();
     let workload = Workload::generate(
@@ -258,10 +292,6 @@ pub fn end_to_end_ab(
             params.seed ^ 0xAB,
         ),
     );
-    let config = CjoinConfig::default()
-        .with_worker_threads(params.worker_threads)
-        .with_max_concurrency((concurrency * 2 + 16).max(32))
-        .with_batched_probing(batched_probing);
     let engine = CjoinEngine::start(catalog, config)?;
 
     let mut submissions: Vec<Duration> = Vec::new();
@@ -359,6 +389,16 @@ mod tests {
             assert!(report.queries > 0);
             assert!(report.throughput_qph > 0.0);
             assert!(report.p99_submission_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn end_to_end_sharding_runs_every_shard_count() {
+        let params = ExperimentParams::quick();
+        for shards in [1usize, 2, 4] {
+            let report = end_to_end_sharding(&params, 2, shards).unwrap();
+            assert!(report.queries > 0, "shards={shards}");
+            assert!(report.throughput_qph > 0.0, "shards={shards}");
         }
     }
 }

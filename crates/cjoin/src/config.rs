@@ -44,6 +44,12 @@ pub struct CjoinConfig {
     /// once per batch, and survivors are compacted in place. Disable to fall back
     /// to the per-tuple probe path (the `abl_probe_locking` ablation baseline).
     pub batched_probing: bool,
+    /// Number of parallel aggregation (Distributor) shards. `1` runs the classic
+    /// single-threaded Distributor; `N > 1` adds a routing thread that splits each
+    /// surviving batch across `N` shard workers by a hash of the tuple's group-by
+    /// key (round-robin for ungrouped queries) plus a merge thread that combines
+    /// the per-shard partial aggregates behind an end-of-query barrier.
+    pub distributor_shards: usize,
     /// Enable the pooled batch allocator (§4); disable to measure its effect.
     pub use_batch_pool: bool,
     /// Enable partition-based early query termination (§5, Fact Table Partitioning):
@@ -67,6 +73,7 @@ impl Default for CjoinConfig {
             reorder_interval_ms: 50,
             early_skip: true,
             batched_probing: true,
+            distributor_shards: 1,
             use_batch_pool: true,
             partition_pruning: false,
             idle_sleep_us: 200,
@@ -91,6 +98,14 @@ impl CjoinConfig {
         }
         if self.queue_capacity == 0 {
             return Err(Error::invalid_config("queue_capacity must be positive"));
+        }
+        if self.distributor_shards == 0 {
+            return Err(Error::invalid_config("distributor_shards must be positive"));
+        }
+        if self.distributor_shards > 256 {
+            return Err(Error::invalid_config(
+                "distributor_shards must be at most 256",
+            ));
         }
         if let StageLayout::Hybrid(groups) = &self.stage_layout {
             if groups.is_empty() || groups.contains(&0) {
@@ -130,6 +145,13 @@ impl CjoinConfig {
     /// (the hot-path A/B knob used by the `abl_probe_locking` ablation).
     pub fn with_batched_probing(mut self, enabled: bool) -> Self {
         self.batched_probing = enabled;
+        self
+    }
+
+    /// Convenience: a configuration with the given number of Distributor shards
+    /// (the aggregation-stage knob used by the `abl_distributor_sharding` ablation).
+    pub fn with_distributor_shards(mut self, n: usize) -> Self {
+        self.distributor_shards = n;
         self
     }
 }
@@ -176,6 +198,18 @@ mod tests {
         .validate()
         .is_err());
         assert!(CjoinConfig {
+            distributor_shards: 0,
+            ..CjoinConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CjoinConfig {
+            distributor_shards: 257,
+            ..CjoinConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CjoinConfig {
             stage_layout: StageLayout::Hybrid(vec![]),
             ..CjoinConfig::default()
         }
@@ -202,17 +236,24 @@ mod tests {
             .with_max_concurrency(64)
             .with_batch_size(128)
             .with_stage_layout(StageLayout::Vertical)
-            .with_batched_probing(false);
+            .with_batched_probing(false)
+            .with_distributor_shards(4);
         assert_eq!(c.worker_threads, 2);
         assert_eq!(c.max_concurrency, 64);
         assert_eq!(c.batch_size, 128);
         assert_eq!(c.stage_layout, StageLayout::Vertical);
         assert!(!c.batched_probing);
+        assert_eq!(c.distributor_shards, 4);
         c.validate().unwrap();
     }
 
     #[test]
     fn batched_probing_defaults_on() {
         assert!(CjoinConfig::default().batched_probing);
+    }
+
+    #[test]
+    fn distributor_defaults_to_a_single_shard() {
+        assert_eq!(CjoinConfig::default().distributor_shards, 1);
     }
 }

@@ -1,4 +1,4 @@
-//! The Distributor (§3.2.2).
+//! The Distributor (§3.2.2), sharded into parallel aggregation workers.
 //!
 //! The Distributor consumes the pipeline's output: for each surviving fact tuple it
 //! inspects the query bit-vector and routes the tuple to the aggregation operator of
@@ -6,65 +6,161 @@
 //! dimension tables are read through the dimension rows the Filters attached to the
 //! tuple, so no re-probing is necessary.
 //!
-//! Control tuples drive query lifecycle: *query start* creates the aggregation
-//! operator before any of the query's tuples can arrive, *query end* finalizes it,
-//! delivers the result on the query's result channel, and notifies the engine's
-//! manager so Algorithm 2 (dimension-table cleanup and id recycling) can run.
+//! With `CjoinConfig::distributor_shards = 1` (the default) a single [`Distributor`]
+//! thread owns all per-query aggregation state — the paper's original design. With
+//! `N > 1` the final stage becomes three kinds of threads:
+//!
+//! * a [`ShardRouter`] that consumes the pipeline's output queue and splits every
+//!   surviving batch into per-shard sub-batches,
+//! * `N` [`Distributor`] shard workers, each owning its *own* per-query
+//!   [`GroupedAggregator`] partials, and
+//! * a [`ShardMerger`] that combines the `N` partials of a finished query into the
+//!   final [`QueryResult`](cjoin_query::QueryResult).
+//!
+//! ## Routing
+//!
+//! Hash aggregation is commutative and associative, so *any* tuple→shard assignment
+//! is correct as long as each surviving tuple reaches exactly one shard. The router
+//! therefore picks shards for load balance and merge locality: a tuple is routed by
+//! an [`FxHasher`] hash of its **group-by key** (the group-by values of the first
+//! registered grouped query whose bit it carries, read through the attached
+//! dimension rows), so all tuples of one group land on one shard and the final
+//! merge mostly concatenates disjoint group maps. Tuples claimed only by ungrouped
+//! (scalar) queries fall back to round-robin — a scalar partial is a single row per
+//! shard, so locality does not matter.
+//!
+//! ## Control tuples and the end-barrier
+//!
+//! Control tuples drive query lifecycle and are **broadcast** to every shard
+//! (every shard owns partial state for every query):
+//!
+//! * *query start* creates the shard-local aggregation operator. The Preprocessor
+//!   enqueues the start tuple before any data carrying the query's bit exists, the
+//!   router broadcasts it before routing any later batch, and each shard queue is
+//!   FIFO — so no shard can see a query's tuple before its start tuple
+//!   (invariant 1, asserted by `tests/distributor_sharding.rs`).
+//! * *query end* is only enqueued by the Preprocessor after its drain barrier
+//!   observed the in-flight batch counter at zero — and the router adds every
+//!   sub-batch it creates to that counter *before* acknowledging the parent batch,
+//!   so "in-flight = 0" covers routed sub-batches too. When the end tuple reaches a
+//!   shard, the shard has already drained every tuple of that query; it detaches
+//!   its partial and emits it to the merger. The merger finalizes a query only
+//!   after receiving all `N` partials — the **end-barrier** — and only then
+//!   delivers the result, counts the completion, and notifies the manager
+//!   (invariant 2). Query ids are recycled strictly after that notification, so a
+//!   recycled id can never collide with an unfinished merge.
+//!
+//! Shutdown flows the same way: the router broadcasts it to the shards, each shard
+//! exits and drops its side of the partials channel, and the merger exits when the
+//! channel disconnects.
 
+use std::collections::hash_map::Entry;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender};
 
-use cjoin_common::QueryId;
+use cjoin_common::{FxHashMap, FxHasher, QueryId};
 use cjoin_query::GroupedAggregator;
 use cjoin_storage::Row;
 
 use crate::pool::BatchPool;
-use crate::stats::SharedCounters;
-use crate::tuple::{Batch, ControlTuple, Message, QueryRuntime};
+use crate::queue::ShardSenders;
+use crate::stats::{ShardCounters, SharedCounters};
+use crate::tuple::{Batch, ControlTuple, InFlightTuple, Message, QueryRuntime};
 
-/// Aggregation state of one registered query.
+/// Aggregation state of one registered query (shard-local in sharded mode).
 struct QueryAggregation {
     runtime: Arc<QueryRuntime>,
     aggregator: GroupedAggregator,
 }
 
-/// The Distributor: single-threaded consumer of the pipeline's output.
+/// One shard's partial aggregation state for a finished query, en route to the
+/// [`ShardMerger`].
+pub struct ShardPartial {
+    /// Index of the shard that produced the partial.
+    pub shard: usize,
+    /// The finished query's runtime (identifies the query and carries its result
+    /// channel).
+    pub runtime: Arc<QueryRuntime>,
+    /// The shard's partial aggregation.
+    pub partial: GroupedAggregator,
+}
+
+/// What a [`Distributor`] does with a query's aggregation state at query end.
+enum ShardOutput {
+    /// Single-shard mode: finalize, deliver the result, notify the manager.
+    Finalize { finished_tx: Sender<QueryId> },
+    /// Sharded mode: detach the partial and emit it to the merger.
+    Partials { partials_tx: Sender<ShardPartial> },
+}
+
+/// An aggregation worker: the classic single-threaded Distributor, or one shard of
+/// the sharded aggregation stage (the two differ only in what happens at query end).
 pub struct Distributor {
+    shard: usize,
     input: Receiver<Message>,
     in_flight: Arc<AtomicI64>,
     pool: Arc<BatchPool>,
     counters: Arc<SharedCounters>,
-    /// Notifies the engine's manager thread that a query finished (for Algorithm 2).
-    finished_tx: Sender<QueryId>,
+    shard_counters: Arc<ShardCounters>,
+    output: ShardOutput,
     queries: Vec<Option<QueryAggregation>>,
-    /// Reusable scratch buffer mapping a query's dimension clauses to attached rows.
-    dim_scratch: Vec<Option<Row>>,
 }
 
 impl Distributor {
-    /// Creates a Distributor for a pipeline with the given `maxConc`.
-    pub fn new(
+    /// Creates the classic single-threaded Distributor: it owns all aggregation
+    /// state and finalizes queries itself. `max_concurrency` is the pipeline's
+    /// `maxConc`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn single(
         input: Receiver<Message>,
         in_flight: Arc<AtomicI64>,
         pool: Arc<BatchPool>,
         counters: Arc<SharedCounters>,
+        shard_counters: Arc<ShardCounters>,
         finished_tx: Sender<QueryId>,
         max_concurrency: usize,
     ) -> Self {
         Self {
+            shard: 0,
             input,
             in_flight,
             pool,
             counters,
-            finished_tx,
+            shard_counters,
+            output: ShardOutput::Finalize { finished_tx },
             queries: (0..max_concurrency).map(|_| None).collect(),
-            dim_scratch: Vec::new(),
         }
     }
 
-    /// Runs the Distributor loop until a shutdown message arrives or every sender is
+    /// Creates shard `shard` of a sharded aggregation stage: at query end it emits
+    /// its partial to the merger instead of finalizing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sharded(
+        shard: usize,
+        input: Receiver<Message>,
+        in_flight: Arc<AtomicI64>,
+        pool: Arc<BatchPool>,
+        counters: Arc<SharedCounters>,
+        shard_counters: Arc<ShardCounters>,
+        partials_tx: Sender<ShardPartial>,
+        max_concurrency: usize,
+    ) -> Self {
+        Self {
+            shard,
+            input,
+            in_flight,
+            pool,
+            counters,
+            shard_counters,
+            output: ShardOutput::Partials { partials_tx },
+            queries: (0..max_concurrency).map(|_| None).collect(),
+        }
+    }
+
+    /// Runs the worker loop until a shutdown message arrives or every sender is
     /// dropped.
     pub fn run(&mut self) {
         while let Ok(msg) = self.input.recv() {
@@ -78,25 +174,34 @@ impl Distributor {
 
     fn handle_batch(&mut self, batch: Batch) {
         SharedCounters::add(&self.counters.tuples_distributed, batch.len() as u64);
+        SharedCounters::add(&self.shard_counters.tuples_distributed, batch.len() as u64);
+        SharedCounters::add(&self.shard_counters.batches_drained, 1);
         let mut routings = 0u64;
+        // Batch-scoped scratch mapping a query's dimension clauses to attached
+        // rows: refs borrow straight from the batch's tuples (no `Row` clones)
+        // and the buffer is reused across routing events (no per-routing
+        // allocation once it has capacity).
+        let mut dims_scratch: Vec<Option<&Row>> = Vec::new();
         for tuple in &batch {
             for bit in tuple.bits.iter() {
                 let Some(Some(state)) = self.queries.get_mut(bit) else {
                     continue;
                 };
                 routings += 1;
-                // Map the query's dimension clauses to the rows attached by the
-                // Filters (slot_map[k] = pipeline slot of the k-th clause).
-                self.dim_scratch.clear();
-                for &slot in &state.runtime.slot_map {
-                    self.dim_scratch
-                        .push(tuple.dims.get(slot).cloned().flatten());
-                }
-                let dims: Vec<Option<&Row>> = self.dim_scratch.iter().map(Option::as_ref).collect();
-                state.aggregator.accumulate(&tuple.row, &dims);
+                // slot_map[k] = pipeline slot of the query's k-th clause.
+                dims_scratch.clear();
+                dims_scratch.extend(
+                    state
+                        .runtime
+                        .slot_map
+                        .iter()
+                        .map(|&slot| tuple.dims.get(slot).and_then(Option::as_ref)),
+                );
+                state.aggregator.accumulate(&tuple.row, &dims_scratch);
             }
         }
         SharedCounters::add(&self.counters.routings, routings);
+        SharedCounters::add(&self.shard_counters.routings, routings);
         self.in_flight.fetch_sub(1, Ordering::AcqRel);
         self.pool.put(batch);
     }
@@ -112,18 +217,268 @@ impl Distributor {
                 });
             }
             ControlTuple::QueryEnd(id) => {
-                if let Some(state) = self.queries[id.index()].take() {
-                    let result = state.aggregator.finalize();
-                    // Count completion before delivering the result: a client that
-                    // wakes on the result channel must observe its own query in
-                    // `queries_completed`.
-                    SharedCounters::add(&self.counters.queries_completed, 1);
-                    // The receiver may have been dropped (caller lost interest); the
-                    // query still completes and is cleaned up.
-                    let _ = state.runtime.result_tx.send(result);
-                    let _ = self.finished_tx.send(id);
+                let Some(state) = self.queries[id.index()].take() else {
+                    // A query end without a preceding start would violate the
+                    // broadcast FIFO invariant; never happens in a running pipeline.
+                    debug_assert!(false, "query end for unregistered query {id:?}");
+                    return;
+                };
+                match &self.output {
+                    ShardOutput::Finalize { finished_tx } => {
+                        let result = state.aggregator.finalize();
+                        // Count completion before delivering the result: a client
+                        // that wakes on the result channel must observe its own
+                        // query in `queries_completed`.
+                        SharedCounters::add(&self.counters.queries_completed, 1);
+                        // The receiver may have been dropped (caller lost interest);
+                        // the query still completes and is cleaned up.
+                        let _ = state.runtime.result_tx.send(result);
+                        let _ = finished_tx.send(id);
+                    }
+                    ShardOutput::Partials { partials_tx } => {
+                        SharedCounters::add(&self.shard_counters.partials_emitted, 1);
+                        let _ = partials_tx.send(ShardPartial {
+                            shard: self.shard,
+                            runtime: state.runtime,
+                            partial: state.aggregator,
+                        });
+                    }
                 }
             }
+        }
+    }
+}
+
+/// Routing metadata for one active query, tracked by the [`ShardRouter`] as
+/// control tuples pass through it.
+struct RouteInfo {
+    runtime: Arc<QueryRuntime>,
+    grouped: bool,
+}
+
+/// The router of the sharded aggregation stage: consumes the pipeline's output
+/// queue, broadcasts control tuples, and splits each surviving data batch into
+/// per-shard sub-batches (see the module docs for the routing policy).
+pub struct ShardRouter {
+    input: Receiver<Message>,
+    /// Sender-only handle: the shard workers are the sole receivers of their
+    /// queues, so a dead shard surfaces here as a send error (handled in
+    /// [`route_batch`](ShardRouter::route_batch)) instead of a blocked queue.
+    shards: ShardSenders,
+    in_flight: Arc<AtomicI64>,
+    pool: Arc<BatchPool>,
+    batch_size: usize,
+    routes: Vec<Option<RouteInfo>>,
+    /// Round-robin cursor for tuples claimed only by ungrouped queries.
+    rr: usize,
+    /// Reusable per-shard sub-batch slots (`None` between batches), so routing a
+    /// batch allocates no bookkeeping at steady state.
+    subs: Vec<Option<Batch>>,
+}
+
+impl ShardRouter {
+    /// Creates a router feeding `shards`.
+    pub fn new(
+        input: Receiver<Message>,
+        shards: ShardSenders,
+        in_flight: Arc<AtomicI64>,
+        pool: Arc<BatchPool>,
+        batch_size: usize,
+        max_concurrency: usize,
+    ) -> Self {
+        let num_shards = shards.num_shards();
+        Self {
+            input,
+            shards,
+            in_flight,
+            pool,
+            batch_size,
+            routes: (0..max_concurrency).map(|_| None).collect(),
+            rr: 0,
+            subs: (0..num_shards).map(|_| None).collect(),
+        }
+    }
+
+    /// Runs the router loop until shutdown, then tears the shards down too.
+    pub fn run(&mut self) {
+        while let Ok(msg) = self.input.recv() {
+            match msg {
+                Message::Data(batch) => self.route_batch(batch),
+                Message::Control(control) => {
+                    self.observe_control(&control);
+                    self.shards.broadcast_control(&control);
+                }
+                Message::Shutdown => break,
+            }
+        }
+        // Either an explicit shutdown or every producer hung up: stop the shards.
+        self.shards.broadcast_shutdown();
+    }
+
+    /// Tracks query lifecycle for routing decisions (the shard workers keep the
+    /// authoritative aggregation state; the router only needs group-by metadata).
+    fn observe_control(&mut self, control: &ControlTuple) {
+        match control {
+            ControlTuple::QueryStart(runtime) => {
+                let grouped = !runtime.bound.group_by.is_empty();
+                self.routes[runtime.id.index()] = Some(RouteInfo {
+                    runtime: Arc::clone(runtime),
+                    grouped,
+                });
+            }
+            ControlTuple::QueryEnd(id) => {
+                self.routes[id.index()] = None;
+            }
+        }
+    }
+
+    /// Splits one surviving batch across the shards. The in-flight counter is
+    /// raised by the number of sub-batches *before* the parent batch is
+    /// acknowledged, so the Preprocessor's drain barrier (in-flight = 0) never
+    /// fires while routed work is still pending. Routing bookkeeping (the
+    /// per-shard slots and the dims scratch) is reused, so the loop allocates
+    /// nothing per tuple at steady state — the sub-batch tuples themselves come
+    /// recycled from the [`BatchPool`].
+    fn route_batch(&mut self, batch: Batch) {
+        let n = self.shards.num_shards();
+        let mut dims_scratch: Vec<Option<&Row>> = Vec::new();
+        for tuple in &batch {
+            let shard = self.shard_of(tuple, n, &mut dims_scratch);
+            let sub = match &mut self.subs[shard] {
+                Some(sub) => sub,
+                none => none.insert(self.pool.take(self.batch_size)),
+            };
+            let (slot, _) = sub.next_slot(tuple.bits.capacity());
+            slot.copy_from_tuple(tuple);
+        }
+        let outgoing = self.subs.iter().filter(|s| s.is_some()).count() as i64;
+        self.in_flight.fetch_add(outgoing, Ordering::AcqRel);
+        for (shard, slot) in self.subs.iter_mut().enumerate() {
+            let Some(sub) = slot.take() else { continue };
+            if let Err(unsent) = self.shards.send_to(shard, Message::Data(sub)) {
+                // Shard gone (teardown or a dead worker); undo its in-flight slot
+                // so barriers don't hang, and recycle the unsent sub-batch.
+                self.in_flight.fetch_sub(1, Ordering::AcqRel);
+                if let Message::Data(sub) = unsent.0 {
+                    self.pool.put(sub);
+                }
+            }
+        }
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.pool.put(batch);
+    }
+
+    /// Picks the destination shard for one tuple (module docs: group-key hash of
+    /// the first registered grouped query claiming the tuple, else round-robin).
+    /// `dims_scratch` is the caller's reusable clause→row mapping buffer.
+    fn shard_of<'t>(
+        &mut self,
+        tuple: &'t InFlightTuple,
+        n: usize,
+        dims_scratch: &mut Vec<Option<&'t Row>>,
+    ) -> usize {
+        for bit in tuple.bits.iter() {
+            let Some(Some(route)) = self.routes.get(bit) else {
+                continue;
+            };
+            if !route.grouped {
+                continue;
+            }
+            let runtime = &route.runtime;
+            // Map the query's dimension clauses to attached rows, borrowing
+            // straight from the tuple — no per-tuple `Row` clones on this path.
+            dims_scratch.clear();
+            dims_scratch.extend(
+                runtime
+                    .slot_map
+                    .iter()
+                    .map(|&slot| tuple.dims.get(slot).and_then(Option::as_ref)),
+            );
+            let mut hasher = FxHasher::default();
+            for col in &runtime.bound.group_by {
+                col.value(&tuple.row, dims_scratch).hash(&mut hasher);
+            }
+            return (hasher.finish() % n as u64) as usize;
+        }
+        self.rr = (self.rr + 1) % n;
+        self.rr
+    }
+}
+
+/// A query whose partials are still being collected by the [`ShardMerger`].
+struct PendingMerge {
+    runtime: Arc<QueryRuntime>,
+    partial: GroupedAggregator,
+    received: usize,
+}
+
+/// The merger of the sharded aggregation stage: collects each finished query's
+/// `N` shard partials (the end-barrier), merges them, and delivers the result.
+pub struct ShardMerger {
+    partials_rx: Receiver<ShardPartial>,
+    num_shards: usize,
+    counters: Arc<SharedCounters>,
+    finished_tx: Sender<QueryId>,
+    pending: FxHashMap<u32, PendingMerge>,
+}
+
+impl ShardMerger {
+    /// Creates a merger expecting `num_shards` partials per finished query.
+    pub fn new(
+        partials_rx: Receiver<ShardPartial>,
+        num_shards: usize,
+        counters: Arc<SharedCounters>,
+        finished_tx: Sender<QueryId>,
+    ) -> Self {
+        Self {
+            partials_rx,
+            num_shards,
+            counters,
+            finished_tx,
+            pending: FxHashMap::default(),
+        }
+    }
+
+    /// Number of queries whose end-barrier has not completed yet (tests).
+    pub fn pending_queries(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Runs until every shard has dropped its sender (pipeline teardown).
+    pub fn run(&mut self) {
+        while let Ok(partial) = self.partials_rx.recv() {
+            self.absorb(partial);
+        }
+    }
+
+    /// Folds one shard partial into the query's pending merge; finalizes the query
+    /// once all `num_shards` partials arrived. Exposed for barrier unit tests.
+    pub fn absorb(&mut self, partial: ShardPartial) {
+        let id = partial.runtime.id;
+        let received = match self.pending.entry(id.0) {
+            Entry::Vacant(v) => {
+                v.insert(PendingMerge {
+                    runtime: partial.runtime,
+                    partial: partial.partial,
+                    received: 1,
+                });
+                1
+            }
+            Entry::Occupied(mut o) => {
+                let m = o.get_mut();
+                m.partial.merge(partial.partial);
+                m.received += 1;
+                m.received
+            }
+        };
+        if received >= self.num_shards {
+            let merge = self.pending.remove(&id.0).expect("pending merge present");
+            let result = merge.partial.finalize();
+            // Same ordering contract as the single-shard path: completion is
+            // counted before the result is delivered.
+            SharedCounters::add(&self.counters.queries_completed, 1);
+            let _ = merge.runtime.result_tx.send(result);
+            let _ = self.finished_tx.send(id);
         }
     }
 }
@@ -131,7 +486,7 @@ impl Distributor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tuple::InFlightTuple;
+    use crate::queue::ShardQueues;
     use cjoin_common::QuerySet;
     use cjoin_query::{AggFunc, AggValue, AggregateSpec, ColumnRef, Predicate, StarQuery};
     use cjoin_storage::{Catalog, Column, RowId, Schema, SnapshotId, Table, Value};
@@ -211,11 +566,12 @@ mod tests {
         let (tx, rx) = unbounded();
         let (fin_tx, fin_rx) = unbounded();
         let in_flight = Arc::new(AtomicI64::new(0));
-        let d = Distributor::new(
+        let d = Distributor::single(
             rx,
             Arc::clone(&in_flight),
             BatchPool::new(4, true),
             SharedCounters::new(),
+            Arc::new(ShardCounters::default()),
             fin_tx,
             8,
         );
@@ -365,5 +721,236 @@ mod tests {
         let (mut d, tx, _fin, _inf) = harness();
         drop(tx);
         d.run(); // must return immediately rather than block forever
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded mode: router, shard workers, merge barrier
+    // ------------------------------------------------------------------
+
+    fn router_harness(
+        shards: usize,
+    ) -> (ShardRouter, Sender<Message>, ShardQueues, Arc<AtomicI64>) {
+        let (tx, rx) = unbounded();
+        let queues = ShardQueues::new(shards, 16);
+        let in_flight = Arc::new(AtomicI64::new(0));
+        let router = ShardRouter::new(
+            rx,
+            queues.senders(),
+            Arc::clone(&in_flight),
+            BatchPool::new(16, true),
+            64,
+            8,
+        );
+        (router, tx, queues, in_flight)
+    }
+
+    /// Invariant 1 at the unit level: the query-start broadcast reaches every shard
+    /// before any data the router routes afterwards, and routing covers each tuple
+    /// exactly once.
+    #[test]
+    fn router_broadcasts_start_before_routed_data_and_partitions_tuples() {
+        let catalog = catalog();
+        let (mut router, tx, queues, in_flight) = router_harness(3);
+        let (rt, _res) = runtime(&catalog, 0, true);
+        tx.send(Message::Control(ControlTuple::QueryStart(rt)))
+            .unwrap();
+        in_flight.fetch_add(1, Ordering::AcqRel);
+        let names = ["red", "green", "red", "green", "red"];
+        tx.send(Message::Data(
+            names
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    let mut t = tuple(&[0], (i % 2 + 1) as i64, i as i64, Some(name));
+                    t.row_id = RowId(i as u64);
+                    t
+                })
+                .collect(),
+        ))
+        .unwrap();
+        tx.send(Message::Shutdown).unwrap();
+        router.run();
+
+        let mut routed = 0usize;
+        let mut group_shards: std::collections::BTreeMap<
+            String,
+            std::collections::BTreeSet<usize>,
+        > = std::collections::BTreeMap::new();
+        for s in 0..3 {
+            // First message on every shard queue is the broadcast start tuple.
+            match queues.shard(s).recv().unwrap() {
+                Message::Control(ControlTuple::QueryStart(rt)) => assert_eq!(rt.id, QueryId(0)),
+                other => panic!("shard {s}: expected QueryStart first, got {other:?}"),
+            }
+            loop {
+                match queues.shard(s).recv().unwrap() {
+                    Message::Data(batch) => {
+                        routed += batch.len();
+                        for t in &batch {
+                            // Dimension rows attached upstream survive the routing copy.
+                            let name = t.dims[0].as_ref().unwrap().get(1);
+                            group_shards.entry(format!("{name}")).or_default().insert(s);
+                        }
+                        in_flight.fetch_sub(1, Ordering::AcqRel);
+                    }
+                    Message::Shutdown => break,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        assert_eq!(routed, names.len(), "each tuple routed exactly once");
+        // Group-key routing: every tuple of one group lands on one shard.
+        assert_eq!(group_shards.len(), 2);
+        for (group, shards) in &group_shards {
+            assert_eq!(shards.len(), 1, "group {group} split across shards");
+        }
+        assert_eq!(in_flight.load(Ordering::Acquire), 0, "accounting balanced");
+    }
+
+    #[test]
+    fn router_spreads_ungrouped_tuples_round_robin() {
+        let catalog = catalog();
+        let (mut router, tx, queues, in_flight) = router_harness(2);
+        let (rt, _res) = runtime(&catalog, 0, false); // scalar query: no group-by
+        tx.send(Message::Control(ControlTuple::QueryStart(rt)))
+            .unwrap();
+        in_flight.fetch_add(1, Ordering::AcqRel);
+        tx.send(Message::Data(
+            (0..6).map(|i| tuple(&[0], 1, i, Some("red"))).collect(),
+        ))
+        .unwrap();
+        tx.send(Message::Shutdown).unwrap();
+        router.run();
+        let mut per_shard = [0usize; 2];
+        for (s, count) in per_shard.iter_mut().enumerate() {
+            while let Some(msg) = queues.shard(s).recv() {
+                match msg {
+                    Message::Data(b) => *count += b.len(),
+                    Message::Shutdown => break,
+                    Message::Control(_) => {}
+                }
+            }
+        }
+        assert_eq!(per_shard, [3, 3], "round-robin balances scalar tuples");
+    }
+
+    /// Invariant 2 at the unit level: the merger finalizes a query only after all
+    /// shards' partials arrived, and merges them into the exact global result.
+    #[test]
+    fn merger_end_barrier_waits_for_every_shard() {
+        let catalog = catalog();
+        let (rt, result_rx) = runtime(&catalog, 0, true);
+        let counters = SharedCounters::new();
+        let (fin_tx, fin_rx) = unbounded();
+        let (_ptx, prx) = unbounded();
+        let mut merger = ShardMerger::new(prx, 3, Arc::clone(&counters), fin_tx);
+
+        let partial_with = |rows: &[(i64, &str, i64)]| -> GroupedAggregator {
+            let mut agg = GroupedAggregator::new(&rt.bound);
+            for &(fk, name, amount) in rows {
+                let t = tuple(&[0], fk, amount, Some(name));
+                let dims = [t.dims[0].as_ref()];
+                agg.accumulate(&t.row, &dims);
+            }
+            agg
+        };
+        for (shard, rows) in [
+            vec![(1, "red", 10)],
+            vec![(2, "green", 20), (1, "red", 1)],
+            vec![],
+        ]
+        .into_iter()
+        .enumerate()
+        .take(2)
+        {
+            merger.absorb(ShardPartial {
+                shard,
+                runtime: Arc::clone(&rt),
+                partial: partial_with(&rows),
+            });
+            assert_eq!(merger.pending_queries(), 1);
+            assert!(
+                result_rx.try_recv().is_err(),
+                "no result before the barrier completes"
+            );
+            assert_eq!(counters.queries_completed.load(Ordering::Relaxed), 0);
+            assert!(fin_rx.try_recv().is_err());
+        }
+        // The last shard (an empty partial — it drained no tuples) completes it.
+        merger.absorb(ShardPartial {
+            shard: 2,
+            runtime: Arc::clone(&rt),
+            partial: partial_with(&[]),
+        });
+        assert_eq!(merger.pending_queries(), 0);
+        let result = result_rx.try_recv().unwrap();
+        assert_eq!(
+            result.aggregate_for(&[Value::str("red")]).unwrap()[0],
+            AggValue::Int(11)
+        );
+        assert_eq!(
+            result.aggregate_for(&[Value::str("green")]).unwrap()[0],
+            AggValue::Int(20)
+        );
+        assert_eq!(counters.queries_completed.load(Ordering::Relaxed), 1);
+        assert_eq!(fin_rx.try_recv().unwrap(), QueryId(0));
+    }
+
+    #[test]
+    fn sharded_worker_emits_partials_instead_of_finalizing() {
+        let catalog = catalog();
+        let (rt, result_rx) = runtime(&catalog, 0, true);
+        let (tx, rx) = unbounded();
+        let (ptx, prx) = unbounded();
+        let in_flight = Arc::new(AtomicI64::new(0));
+        let counters = SharedCounters::new();
+        let shard_counters = Arc::new(ShardCounters::default());
+        let mut worker = Distributor::sharded(
+            1,
+            rx,
+            Arc::clone(&in_flight),
+            BatchPool::new(4, true),
+            Arc::clone(&counters),
+            Arc::clone(&shard_counters),
+            ptx,
+            8,
+        );
+        tx.send(Message::Control(ControlTuple::QueryStart(Arc::clone(&rt))))
+            .unwrap();
+        in_flight.fetch_add(1, Ordering::AcqRel);
+        tx.send(Message::Data(Batch::from(vec![tuple(
+            &[0],
+            1,
+            42,
+            Some("red"),
+        )])))
+        .unwrap();
+        tx.send(Message::Control(ControlTuple::QueryEnd(QueryId(0))))
+            .unwrap();
+        tx.send(Message::Shutdown).unwrap();
+        worker.run();
+
+        assert!(
+            result_rx.try_recv().is_err(),
+            "a shard never delivers results directly"
+        );
+        assert_eq!(counters.queries_completed.load(Ordering::Relaxed), 0);
+        let p = prx.try_recv().unwrap();
+        assert_eq!(p.shard, 1);
+        assert_eq!(p.runtime.id, QueryId(0));
+        assert_eq!(
+            p.partial
+                .finalize()
+                .aggregate_for(&[Value::str("red")])
+                .unwrap()[0],
+            AggValue::Int(42)
+        );
+        assert_eq!(shard_counters.partials_emitted.load(Ordering::Relaxed), 1);
+        assert_eq!(shard_counters.tuples_distributed.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            counters.tuples_distributed.load(Ordering::Relaxed),
+            1,
+            "shard updates the global totals too"
+        );
     }
 }

@@ -1,7 +1,10 @@
 //! The public CJOIN engine: query admission, finalization and pipeline lifecycle.
 //!
 //! [`CjoinEngine::start`] builds the always-on pipeline (continuous scan →
-//! Preprocessor → Stages → Distributor) and the manager thread. Queries are
+//! Preprocessor → Stages → aggregation stage) and the manager thread. The
+//! aggregation stage is a single Distributor by default, or — with
+//! `CjoinConfig::distributor_shards > 1` — a router, that many parallel
+//! aggregation shards, and an end-barrier merger (see [`crate::distributor`]). Queries are
 //! registered at any time with [`CjoinEngine::submit`], which performs Algorithm 1 of
 //! the paper on the caller's thread (the Pipeline Manager work runs concurrently with
 //! the pipeline, which keeps flowing while dimension hash tables are updated) and
@@ -26,15 +29,15 @@ use cjoin_storage::{Catalog, ContinuousScan, PartitionScheme, Row, SnapshotId};
 
 use crate::config::CjoinConfig;
 use crate::dimension::DimensionTable;
-use crate::distributor::Distributor;
+use crate::distributor::{Distributor, ShardMerger, ShardRouter};
 use crate::filter::FilterChain;
 use crate::optimizer::reorder_filters;
 use crate::pipeline::{run_stage_worker, StagePlan};
 use crate::pool::BatchPool;
 use crate::preprocessor::{PartitionPlan, Preprocessor, PreprocessorCommand};
 use crate::progress::QueryProgress;
-use crate::queue::TupleQueue;
-use crate::stats::{FilterStatsSnapshot, PipelineStats, SharedCounters};
+use crate::queue::{ShardQueues, TupleQueue};
+use crate::stats::{FilterStatsSnapshot, PipelineStats, ShardCounters, SharedCounters};
 use crate::tuple::{Message, QueryRuntime};
 
 /// A registered query's admission-side bookkeeping (used by Algorithm 2 at cleanup).
@@ -115,7 +118,12 @@ impl QueryHandle {
 struct PipelineThreads {
     preprocessor: JoinHandle<()>,
     workers: Vec<Vec<JoinHandle<()>>>,
-    distributor: JoinHandle<()>,
+    /// The aggregation-stage router (sharded mode only).
+    router: Option<JoinHandle<()>>,
+    /// Aggregation workers: the single Distributor, or one worker per shard.
+    distributors: Vec<JoinHandle<()>>,
+    /// The end-barrier merger (sharded mode only).
+    merger: Option<JoinHandle<()>>,
     manager: JoinHandle<()>,
 }
 
@@ -126,6 +134,8 @@ pub struct CjoinEngine {
     chain: Arc<FilterChain>,
     slot_count: Arc<AtomicUsize>,
     counters: Arc<SharedCounters>,
+    shard_counters: Vec<Arc<ShardCounters>>,
+    in_flight: Arc<AtomicI64>,
     pool: Arc<BatchPool>,
     admission: Arc<Mutex<AdmissionState>>,
     cmd_tx: Sender<PreprocessorCommand>,
@@ -153,14 +163,21 @@ impl CjoinEngine {
         config.validate()?;
         let fact = catalog.fact_table()?;
 
-        let stage_plan = StagePlan::derive(&config.stage_layout, config.worker_threads);
+        let stage_plan = StagePlan::derive(&config.stage_layout, config.worker_threads)
+            .with_distributor_shards(config.distributor_shards);
+        let shards = stage_plan.distributor_shards;
         let chain = Arc::new(FilterChain::new());
         let slot_count = Arc::new(AtomicUsize::new(0));
         let counters = SharedCounters::new();
+        let shard_counters = ShardCounters::new_vec(shards);
         let in_flight = Arc::new(AtomicI64::new(0));
-        // Enough pooled batches for every queue position plus the threads working on one.
-        let pool_capacity =
-            (stage_plan.num_stages() + 1) * config.queue_capacity + stage_plan.total_threads() + 2;
+        // Enough pooled batches for every queue position plus the threads working on
+        // one, including the per-shard queues and sub-batches of the sharded
+        // aggregation stage.
+        let pool_capacity = (stage_plan.num_stages() + 1) * config.queue_capacity
+            + stage_plan.total_threads()
+            + 2
+            + shards * (config.queue_capacity.max(4) + 1);
         let pool = BatchPool::new(pool_capacity, config.use_batch_pool);
         let shutdown_flag = Arc::new(AtomicBool::new(false));
 
@@ -246,20 +263,81 @@ impl CjoinEngine {
             workers.push(stage_workers);
         }
 
-        // Distributor thread.
+        // Aggregation stage: a single Distributor, or router + shards + merger.
         let (finished_tx, finished_rx) = unbounded();
-        let mut distributor = Distributor::new(
-            distributor_queue.receiver(),
-            Arc::clone(&in_flight),
-            Arc::clone(&pool),
-            Arc::clone(&counters),
-            finished_tx,
-            config.max_concurrency,
-        );
-        let distributor_handle = std::thread::Builder::new()
-            .name("cjoin-distributor".into())
-            .spawn(move || distributor.run())
-            .map_err(|e| Error::invalid_state(format!("failed to spawn distributor: {e}")))?;
+        let mut distributor_handles = Vec::with_capacity(shards);
+        let mut router_handle = None;
+        let mut merger_handle = None;
+        if shards == 1 {
+            let mut distributor = Distributor::single(
+                distributor_queue.receiver(),
+                Arc::clone(&in_flight),
+                Arc::clone(&pool),
+                Arc::clone(&counters),
+                Arc::clone(&shard_counters[0]),
+                finished_tx,
+                config.max_concurrency,
+            );
+            distributor_handles.push(
+                std::thread::Builder::new()
+                    .name("cjoin-distributor".into())
+                    .spawn(move || distributor.run())
+                    .map_err(|e| {
+                        Error::invalid_state(format!("failed to spawn distributor: {e}"))
+                    })?,
+            );
+        } else {
+            let shard_queues = ShardQueues::new(shards, config.queue_capacity.max(4));
+            let (partials_tx, partials_rx) = unbounded();
+            for (shard, shard_counter) in shard_counters.iter().enumerate() {
+                let mut worker = Distributor::sharded(
+                    shard,
+                    shard_queues.shard(shard).receiver(),
+                    Arc::clone(&in_flight),
+                    Arc::clone(&pool),
+                    Arc::clone(&counters),
+                    Arc::clone(shard_counter),
+                    partials_tx.clone(),
+                    config.max_concurrency,
+                );
+                distributor_handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("cjoin-distributor-s{shard}"))
+                        .spawn(move || worker.run())
+                        .map_err(|e| {
+                            Error::invalid_state(format!("failed to spawn shard {shard}: {e}"))
+                        })?,
+                );
+            }
+            // The merger must observe the channel disconnect once every shard
+            // exits, so the engine keeps no sender of its own.
+            drop(partials_tx);
+            // The router gets a sender-only handle; `shard_queues` drops at the end
+            // of this block, leaving each worker as the sole receiver of its queue
+            // so a dead shard surfaces as a send error rather than a blocked send.
+            let mut router = ShardRouter::new(
+                distributor_queue.receiver(),
+                shard_queues.senders(),
+                Arc::clone(&in_flight),
+                Arc::clone(&pool),
+                config.batch_size,
+                config.max_concurrency,
+            );
+            router_handle = Some(
+                std::thread::Builder::new()
+                    .name("cjoin-dist-router".into())
+                    .spawn(move || router.run())
+                    .map_err(|e| Error::invalid_state(format!("failed to spawn router: {e}")))?,
+            );
+            let mut merger =
+                ShardMerger::new(partials_rx, shards, Arc::clone(&counters), finished_tx);
+            merger_handle = Some(
+                std::thread::Builder::new()
+                    .name("cjoin-dist-merger".into())
+                    .spawn(move || merger.run())
+                    .map_err(|e| Error::invalid_state(format!("failed to spawn merger: {e}")))?,
+            );
+        }
 
         // Manager thread: Algorithm 2 cleanup + adaptive filter ordering.
         let admission = Arc::new(Mutex::new(AdmissionState {
@@ -293,6 +371,8 @@ impl CjoinEngine {
             chain,
             slot_count,
             counters,
+            shard_counters,
+            in_flight,
             pool,
             admission,
             cmd_tx,
@@ -304,7 +384,9 @@ impl CjoinEngine {
             threads: Mutex::new(Some(PipelineThreads {
                 preprocessor: preprocessor_handle,
                 workers,
-                distributor: distributor_handle,
+                router: router_handle,
+                distributors: distributor_handles,
+                merger: merger_handle,
                 manager: manager_handle,
             })),
         })
@@ -514,6 +596,13 @@ impl CjoinEngine {
             filter_reorders: self.counters.filter_reorders.load(Ordering::Relaxed),
             control_barriers: self.counters.control_barriers.load(Ordering::Relaxed),
             filters,
+            distributor_shards: self
+                .shard_counters
+                .iter()
+                .enumerate()
+                .map(|(shard, c)| c.snapshot(shard))
+                .collect(),
+            batches_in_flight: self.in_flight.load(Ordering::Acquire),
             pool_hits: self.pool.hits(),
             pool_misses: self.pool.misses(),
             tuples_allocated: self.counters.tuples_allocated.load(Ordering::Relaxed),
@@ -545,10 +634,23 @@ impl CjoinEngine {
                 let _ = handle.join();
             }
         }
+        // One shutdown message stops the whole aggregation stage: the single
+        // Distributor consumes it directly; in sharded mode the router consumes it
+        // and broadcasts it to every shard.
         let _ = self.distributor_queue.send(Message::Shutdown);
-        let _ = threads.distributor.join();
-        // The Distributor dropping its side of the finished-query channel lets the
-        // manager observe the disconnect and exit.
+        if let Some(router) = threads.router {
+            let _ = router.join();
+        }
+        for handle in threads.distributors {
+            let _ = handle.join();
+        }
+        // Every shard dropping its partials sender lets the merger observe the
+        // disconnect and exit.
+        if let Some(merger) = threads.merger {
+            let _ = merger.join();
+        }
+        // The aggregation stage dropping its side of the finished-query channel lets
+        // the manager observe the disconnect and exit.
         let _ = threads.manager.join();
     }
 
@@ -831,6 +933,38 @@ mod tests {
         let result = engine.execute(query).unwrap();
         assert!(result.approx_eq(&expected), "{:?}", result.diff(&expected));
         assert_eq!(engine.stage_plan().num_stages(), 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn sharded_distributor_produces_identical_results() {
+        let catalog = small_catalog(500);
+        let config = test_config().with_distributor_shards(4);
+        let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+        assert_eq!(engine.stage_plan().distributor_shards, 4);
+        let queries = vec![
+            red_sum_query("scalar"),
+            StarQuery::builder("grouped")
+                .join_dimension("color", "colorkey", "k", Predicate::True)
+                .group_by(ColumnRef::dim("color", "name"))
+                .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("amount")))
+                .aggregate(AggregateSpec::over(AggFunc::Avg, ColumnRef::fact("amount")))
+                .build(),
+        ];
+        for query in queries {
+            let expected = reference::evaluate(&catalog, &query, SnapshotId::INITIAL).unwrap();
+            let result = engine.execute(query).unwrap();
+            assert!(
+                result.approx_eq(&expected),
+                "diff: {:?}",
+                result.diff(&expected)
+            );
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.distributor_shards.len(), 4);
+        assert_eq!(stats.shard_tuples_distributed(), stats.tuples_distributed);
+        assert_eq!(stats.shard_routings(), stats.routings);
+        assert_eq!(stats.batches_in_flight, 0, "quiesced pipeline");
         engine.shutdown();
     }
 

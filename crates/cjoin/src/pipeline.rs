@@ -14,6 +14,12 @@
 //! own a fixed set of Filters; instead each worker snapshots the current filter chain
 //! per batch and processes the contiguous slice assigned to its Stage. With a single
 //! Stage this is the entire chain.
+//!
+//! Downstream of the Filter Stages sits the **aggregation stage**: a single
+//! Distributor thread by default, or — with `CjoinConfig::distributor_shards > 1` —
+//! a router plus that many parallel aggregation shards and a merger (see
+//! [`crate::distributor`]). The [`StagePlan`] records both halves of the thread
+//! layout so diagnostics and tests can reason about the whole pipeline.
 
 use std::sync::Arc;
 
@@ -30,10 +36,13 @@ pub struct StagePlan {
     /// Number of worker threads per Stage; `threads_per_stage.len()` is the number of
     /// Stages.
     pub threads_per_stage: Vec<usize>,
+    /// Number of parallel aggregation (Distributor) shards downstream of the Stages.
+    pub distributor_shards: usize,
 }
 
 impl StagePlan {
-    /// Derives the plan from the configured layout and total worker-thread budget.
+    /// Derives the plan from the configured layout and total worker-thread budget,
+    /// with a single-shard aggregation stage.
     pub fn derive(layout: &StageLayout, worker_threads: usize) -> Self {
         let threads_per_stage = match layout {
             StageLayout::Horizontal => vec![worker_threads.max(1)],
@@ -46,7 +55,16 @@ impl StagePlan {
                 }
             }
         };
-        Self { threads_per_stage }
+        Self {
+            threads_per_stage,
+            distributor_shards: 1,
+        }
+    }
+
+    /// The same plan with a sharded aggregation stage.
+    pub fn with_distributor_shards(mut self, shards: usize) -> Self {
+        self.distributor_shards = shards.max(1);
+        self
     }
 
     /// Number of Stages.
@@ -54,9 +72,19 @@ impl StagePlan {
         self.threads_per_stage.len()
     }
 
-    /// Total number of worker threads.
+    /// Total number of Filter worker threads.
     pub fn total_threads(&self) -> usize {
         self.threads_per_stage.iter().sum()
+    }
+
+    /// Threads spawned for the aggregation stage: the classic Distributor needs one;
+    /// a sharded stage needs one per shard plus the router and the merger.
+    pub fn aggregation_threads(&self) -> usize {
+        if self.distributor_shards <= 1 {
+            1
+        } else {
+            self.distributor_shards + 2
+        }
     }
 }
 
@@ -84,6 +112,21 @@ pub fn stage_slice(
 /// Stages (they take the direct Preprocessor → Distributor path) but are forwarded
 /// defensively if ever seen. A `Shutdown` message stops the worker without being
 /// forwarded; the engine shuts each Stage down explicitly.
+///
+/// Multi-Stage layouts must tolerate the filter chain growing, shrinking or being
+/// reordered *while a batch travels between Stages* (query admission and the
+/// run-time optimizer both mutate the chain): slice boundaries computed from one
+/// Stage's snapshot need not line up with the next Stage's, so naively slicing
+/// could process a Filter twice or — worse — skip it entirely, leaking tuples that
+/// should have been dropped. Each batch therefore records which Filters already
+/// processed it (by slot id, unique per Filter instance), every Stage skips those,
+/// and the **final Stage applies all remaining Filters of its snapshot** rather
+/// than just its slice, so no Filter present at the end of the pipe is ever
+/// missed. Filters admitted after a batch entered the pipeline are safe on both
+/// sides: the batch's tuples cannot carry the new query's bit, and the new Filter
+/// passes unreferencing queries' tuples through unchanged. With a single Stage the
+/// snapshot is taken and applied atomically per batch, so the untracked fast path
+/// is kept.
 pub fn run_stage_worker(
     stage_index: usize,
     num_stages: usize,
@@ -93,12 +136,39 @@ pub fn run_stage_worker(
     early_skip: bool,
     batched_probing: bool,
 ) {
+    // Worker-local scratch for the tracked multi-Stage path, reused across
+    // batches so per-batch bookkeeping allocates nothing at steady state.
+    let mut todo_scratch: Vec<Arc<DimensionTable>> = Vec::new();
     while let Ok(msg) = input.recv() {
         match msg {
             Message::Data(mut batch) => {
                 let filters = chain.snapshot();
-                let slice = stage_slice(&filters, stage_index, num_stages);
-                FilterChain::process_batch(slice, &mut batch, early_skip, batched_probing);
+                if num_stages <= 1 {
+                    FilterChain::process_batch(&filters, &mut batch, early_skip, batched_probing);
+                } else {
+                    let last = stage_index + 1 == num_stages;
+                    let candidates: &[Arc<DimensionTable>] = if last {
+                        &filters
+                    } else {
+                        stage_slice(&filters, stage_index, num_stages)
+                    };
+                    todo_scratch.clear();
+                    todo_scratch.extend(
+                        candidates
+                            .iter()
+                            .filter(|f| !batch.filter_applied(f.slot))
+                            .cloned(),
+                    );
+                    for f in &todo_scratch {
+                        batch.mark_filter_applied(f.slot);
+                    }
+                    FilterChain::process_batch(
+                        &todo_scratch,
+                        &mut batch,
+                        early_skip,
+                        batched_probing,
+                    );
+                }
                 if output.send(Message::Data(batch)).is_err() {
                     return;
                 }
@@ -150,6 +220,23 @@ mod tests {
     fn zero_threads_still_yields_a_worker() {
         let p = StagePlan::derive(&StageLayout::Horizontal, 0);
         assert_eq!(p.total_threads(), 1);
+    }
+
+    #[test]
+    fn aggregation_thread_budget_tracks_sharding() {
+        let solo = StagePlan::derive(&StageLayout::Horizontal, 2);
+        assert_eq!(solo.distributor_shards, 1);
+        assert_eq!(solo.aggregation_threads(), 1, "classic single Distributor");
+        let sharded = StagePlan::derive(&StageLayout::Horizontal, 2).with_distributor_shards(4);
+        assert_eq!(sharded.distributor_shards, 4);
+        assert_eq!(
+            sharded.aggregation_threads(),
+            6,
+            "4 shards + router + merger"
+        );
+        // Degenerate zero clamps to the single-shard plan.
+        let clamped = StagePlan::derive(&StageLayout::Horizontal, 2).with_distributor_shards(0);
+        assert_eq!(clamped.distributor_shards, 1);
     }
 
     #[test]
@@ -227,6 +314,67 @@ mod tests {
             other => panic!("expected data, got {other:?}"),
         }
         assert!(out_rx.try_recv().is_err(), "shutdown is not forwarded");
+    }
+
+    /// Regression for the layout/shard matrix flake: with a vertical layout, a
+    /// batch that passed Stage 0 while the chain had one Filter must still be
+    /// processed by a Filter admitted (or reordered in) before it reaches the
+    /// final Stage — the final Stage sweeps every not-yet-applied Filter instead
+    /// of trusting its slice boundaries.
+    #[test]
+    fn final_stage_applies_filters_missed_by_shifted_slices() {
+        let chain = Arc::new(FilterChain::new());
+        // Filter A (slot 0, fact column 0) keeps only fk0 == 42 for query 0.
+        let a = DimensionTable::new("a", 0, 0, 0, 4, &QuerySet::new(4));
+        a.register_query(QueryId(0), &[(42, Row::new(vec![Value::int(42)]))]);
+        chain.push(Arc::new(a));
+
+        let tuple = |id: u64, k0: i64, k1: i64| {
+            InFlightTuple::new(
+                RowId(id),
+                Row::new(vec![Value::int(k0), Value::int(k1)]),
+                QuerySet::from_bits(4, [0]),
+                2,
+            )
+        };
+        // t0 is dropped by A, t1 by B (added below), t2 survives both.
+        let batch = Batch::from(vec![tuple(0, 1, 7), tuple(1, 42, 1), tuple(2, 42, 7)]);
+
+        // Stage 0 of 2: with a one-Filter chain its slice is empty, so the batch
+        // passes through untouched (the pre-fix behavior as well).
+        let (in0, rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        let worker0 = {
+            let chain = Arc::clone(&chain);
+            std::thread::spawn(move || run_stage_worker(0, 2, rx0, tx1, chain, true, true))
+        };
+        in0.send(Message::Data(batch)).unwrap();
+        in0.send(Message::Shutdown).unwrap();
+        worker0.join().unwrap();
+
+        // Between the Stages a second query's admission grows the chain: Filter B
+        // (slot 1, fact column 1) keeps only fk1 == 7 for query 0.
+        let b = DimensionTable::new("b", 1, 1, 0, 4, &QuerySet::new(4));
+        b.register_query(QueryId(0), &[(7, Row::new(vec![Value::int(7)]))]);
+        chain.push(Arc::new(b));
+
+        // Stage 1 of 2 (the final Stage): its slice under the new snapshot is
+        // [B] only, but it must also apply A, which the shifted slices skipped.
+        let (tx2, rx2) = unbounded();
+        let worker1 = {
+            let chain = Arc::clone(&chain);
+            std::thread::spawn(move || run_stage_worker(1, 2, rx1, tx2, chain, true, true))
+        };
+        worker1.join().unwrap();
+
+        match rx2.try_recv().unwrap() {
+            Message::Data(batch) => {
+                assert_eq!(batch.len(), 1, "both Filters must have processed the batch");
+                assert_eq!(batch[0].row_id, RowId(2));
+                assert!(batch.filter_applied(0) && batch.filter_applied(1));
+            }
+            other => panic!("expected data, got {other:?}"),
+        }
     }
 
     #[test]

@@ -87,6 +87,89 @@ impl TupleQueue {
     }
 }
 
+/// One bounded queue per Distributor shard.
+///
+/// Data batches are *routed* (each sub-batch goes to exactly one shard) while
+/// control tuples are *broadcast* (every shard owns partial aggregation state for
+/// every query, so each must observe the query's start and end). Because each
+/// shard's queue is FIFO, a broadcast control tuple can never overtake — or be
+/// overtaken by — data the router sent to that shard earlier or later.
+///
+/// `ShardQueues` is a construction-time handle: the engine hands each shard
+/// worker its [`receiver`](TupleQueue::receiver), hands the router a sender-only
+/// [`ShardSenders`], and then drops this struct — leaving each worker as the
+/// *sole* receiver of its queue, so a dead shard surfaces to the router as a
+/// send error instead of a silently blocked queue.
+#[derive(Debug)]
+pub struct ShardQueues {
+    queues: Vec<TupleQueue>,
+}
+
+impl ShardQueues {
+    /// Creates `shards` queues, each holding at most `capacity` messages.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        Self {
+            queues: (0..shards.max(1))
+                .map(|_| TupleQueue::new(capacity))
+                .collect(),
+        }
+    }
+
+    /// Number of shard queues.
+    pub fn num_shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The queue feeding shard `shard`.
+    pub fn shard(&self, shard: usize) -> &TupleQueue {
+        &self.queues[shard]
+    }
+
+    /// The sending halves of every shard queue, for the router.
+    pub fn senders(&self) -> ShardSenders {
+        ShardSenders {
+            txs: self.queues.iter().map(TupleQueue::sender).collect(),
+        }
+    }
+}
+
+/// The router's sender-only handle to the per-shard queues (see [`ShardQueues`]).
+#[derive(Debug, Clone)]
+pub struct ShardSenders {
+    txs: Vec<Sender<Message>>,
+}
+
+impl ShardSenders {
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Sends a data message to one shard, blocking while its queue is full.
+    ///
+    /// # Errors
+    /// Returns the message back if the shard's receiver has been dropped (the
+    /// shard exited or died).
+    pub fn send_to(&self, shard: usize, msg: Message) -> Result<(), SendError<Message>> {
+        self.txs[shard].send(msg)
+    }
+
+    /// Broadcasts a control tuple to every shard (in shard order). Send errors are
+    /// ignored: a dropped receiver means the shard is gone.
+    pub fn broadcast_control(&self, control: &crate::tuple::ControlTuple) {
+        for tx in &self.txs {
+            let _ = tx.send(Message::Control(control.clone()));
+        }
+    }
+
+    /// Broadcasts a shutdown message to every shard.
+    pub fn broadcast_shutdown(&self) {
+        for tx in &self.txs {
+            let _ = tx.send(Message::Shutdown);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +246,57 @@ mod tests {
         let q = TupleQueue::new(2);
         q.send(Message::Shutdown).unwrap();
         assert!(matches!(q.recv().unwrap(), Message::Shutdown));
+    }
+
+    #[test]
+    fn shard_queues_broadcast_control_and_route_data() {
+        let shards = ShardQueues::new(3, 4);
+        let senders = shards.senders();
+        assert_eq!(shards.num_shards(), 3);
+        assert_eq!(senders.num_shards(), 3);
+        senders.send_to(1, data_message(2)).unwrap();
+        senders.broadcast_control(&ControlTuple::QueryEnd(QueryId(5)));
+        senders.broadcast_shutdown();
+        for s in 0..3 {
+            if s == 1 {
+                assert!(matches!(
+                    shards.shard(s).recv().unwrap(),
+                    Message::Data(b) if b.len() == 2
+                ));
+            }
+            assert!(matches!(
+                shards.shard(s).recv().unwrap(),
+                Message::Control(ControlTuple::QueryEnd(QueryId(5)))
+            ));
+            assert!(matches!(shards.shard(s).recv().unwrap(), Message::Shutdown));
+        }
+    }
+
+    #[test]
+    fn shard_queues_preserve_per_shard_fifo_between_data_and_control() {
+        let shards = ShardQueues::new(1, 4);
+        let senders = shards.senders();
+        senders.send_to(0, data_message(1)).unwrap();
+        senders.broadcast_control(&ControlTuple::QueryEnd(QueryId(0)));
+        senders.send_to(0, data_message(2)).unwrap();
+        assert!(matches!(shards.shard(0).recv().unwrap(), Message::Data(b) if b.len() == 1));
+        assert!(matches!(
+            shards.shard(0).recv().unwrap(),
+            Message::Control(ControlTuple::QueryEnd(QueryId(0)))
+        ));
+        assert!(matches!(shards.shard(0).recv().unwrap(), Message::Data(b) if b.len() == 2));
+    }
+
+    #[test]
+    fn dropping_the_sole_receiver_makes_sends_fail() {
+        // The failure mode the sender-only router handle exists for: once the shard
+        // worker (sole receiver) is gone, the router must see an error, not block.
+        let shards = ShardQueues::new(1, 1);
+        let senders = shards.senders();
+        let rx = shards.shard(0).receiver();
+        drop(shards);
+        drop(rx);
+        assert!(senders.send_to(0, data_message(1)).is_err());
     }
 
     #[test]

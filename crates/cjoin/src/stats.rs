@@ -50,6 +50,57 @@ impl SharedCounters {
     }
 }
 
+/// Atomic counters owned by one Distributor shard.
+///
+/// Shard workers update *both* their own [`ShardCounters`] and the global
+/// [`SharedCounters`] totals, so for any quiesced pipeline the per-shard values
+/// sum exactly to the global `tuples_distributed` / `routings` counters — the
+/// invariant `tests/distributor_sharding.rs` pins down.
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    /// Surviving tuples this shard accumulated.
+    pub tuples_distributed: AtomicU64,
+    /// (tuple, query) routing events this shard performed.
+    pub routings: AtomicU64,
+    /// Data batches this shard drained from its queue.
+    pub batches_drained: AtomicU64,
+    /// Per-query partial aggregations this shard emitted at query end.
+    pub partials_emitted: AtomicU64,
+}
+
+impl ShardCounters {
+    /// Creates one zeroed counter set per shard.
+    pub fn new_vec(shards: usize) -> Vec<Arc<Self>> {
+        (0..shards).map(|_| Arc::new(Self::default())).collect()
+    }
+
+    /// A point-in-time snapshot of this shard's counters.
+    pub fn snapshot(&self, shard: usize) -> DistributorShardStats {
+        DistributorShardStats {
+            shard,
+            tuples_distributed: self.tuples_distributed.load(Ordering::Relaxed),
+            routings: self.routings.load(Ordering::Relaxed),
+            batches_drained: self.batches_drained.load(Ordering::Relaxed),
+            partials_emitted: self.partials_emitted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time statistics of one Distributor shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistributorShardStats {
+    /// Shard index in `[0, distributor_shards)`.
+    pub shard: usize,
+    /// Surviving tuples this shard accumulated.
+    pub tuples_distributed: u64,
+    /// (tuple, query) routing events this shard performed.
+    pub routings: u64,
+    /// Data batches this shard drained from its queue.
+    pub batches_drained: u64,
+    /// Per-query partial aggregations this shard emitted at query end.
+    pub partials_emitted: u64,
+}
+
 /// Point-in-time statistics of one Filter.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FilterStatsSnapshot {
@@ -103,6 +154,13 @@ pub struct PipelineStats {
     pub control_barriers: u64,
     /// Current filter order with per-filter statistics.
     pub filters: Vec<FilterStatsSnapshot>,
+    /// Per-shard Distributor statistics (one entry per configured shard; a single
+    /// entry when `distributor_shards = 1`). The per-shard `tuples_distributed` /
+    /// `routings` values sum to the pipeline-wide totals above.
+    pub distributor_shards: Vec<DistributorShardStats>,
+    /// Data batches currently in flight between the Preprocessor and the
+    /// aggregation shards (zero whenever the pipeline is quiesced).
+    pub batches_in_flight: i64,
     /// Batch-pool hits (recycled batches).
     pub pool_hits: u64,
     /// Batch-pool misses (fresh allocations).
@@ -143,6 +201,21 @@ impl PipelineStats {
         } else {
             self.tuples_recycled as f64 / total as f64
         }
+    }
+
+    /// Sum of the per-shard `tuples_distributed` counters; equals
+    /// [`PipelineStats::tuples_distributed`] on a quiesced pipeline.
+    pub fn shard_tuples_distributed(&self) -> u64 {
+        self.distributor_shards
+            .iter()
+            .map(|s| s.tuples_distributed)
+            .sum()
+    }
+
+    /// Sum of the per-shard `routings` counters; equals
+    /// [`PipelineStats::routings`] on a quiesced pipeline.
+    pub fn shard_routings(&self) -> u64 {
+        self.distributor_shards.iter().map(|s| s.routings).sum()
     }
 }
 
@@ -194,6 +267,23 @@ mod tests {
             filter_reorders: 1,
             control_barriers: 4,
             filters: vec![],
+            distributor_shards: vec![
+                DistributorShardStats {
+                    shard: 0,
+                    tuples_distributed: 100,
+                    routings: 150,
+                    batches_drained: 4,
+                    partials_emitted: 1,
+                },
+                DistributorShardStats {
+                    shard: 1,
+                    tuples_distributed: 150,
+                    routings: 250,
+                    batches_drained: 6,
+                    partials_emitted: 1,
+                },
+            ],
+            batches_in_flight: 0,
             pool_hits: 5,
             pool_misses: 5,
             tuples_allocated: 100,
@@ -202,6 +292,12 @@ mod tests {
         assert!((stats.survival_rate() - 0.25).abs() < 1e-12);
         assert!((stats.pool_hit_rate() - 0.5).abs() < 1e-12);
         assert!((stats.tuple_recycle_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(
+            stats.shard_tuples_distributed(),
+            stats.tuples_distributed,
+            "per-shard counters sum to the pipeline total"
+        );
+        assert_eq!(stats.shard_routings(), stats.routings);
         let zero = PipelineStats {
             tuples_scanned: 0,
             pool_hits: 0,

@@ -83,6 +83,22 @@ impl InFlightTuple {
             self.dims.resize(num_slots, None);
         }
     }
+
+    /// Reinitialises a recycled tuple in place as a copy of `src`, including the
+    /// dimension rows the Filters attached (`Row` clones are cheap `Arc` bumps).
+    /// Used by the shard router to split a surviving batch across shard sub-batches
+    /// without per-tuple heap allocation at steady state.
+    pub fn copy_from_tuple(&mut self, src: &InFlightTuple) {
+        self.row_id = src.row_id;
+        self.row = src.row.clone();
+        if self.bits.capacity() == src.bits.capacity() {
+            self.bits.copy_from(&src.bits);
+        } else {
+            self.bits = src.bits.clone();
+        }
+        self.dims.clear();
+        self.dims.extend(src.dims.iter().cloned());
+    }
 }
 
 /// A batch of data tuples with zero-allocation recycling.
@@ -102,6 +118,12 @@ pub struct Batch {
     tuples: Vec<InFlightTuple>,
     /// Number of live tuples at the front of `tuples`.
     live: usize,
+    /// Slots of the dimension Filters that have already processed this batch.
+    /// Tracked only by multi-Stage layouts, where the filter chain can grow,
+    /// shrink or be reordered while the batch is between Stages (see
+    /// [`crate::pipeline::run_stage_worker`]); slot ids are never reused within
+    /// one engine, so a slot uniquely identifies a Filter instance.
+    applied_filters: Vec<usize>,
 }
 
 impl Batch {
@@ -115,6 +137,7 @@ impl Batch {
         Self {
             tuples: Vec::with_capacity(capacity),
             live: 0,
+            applied_filters: Vec::new(),
         }
     }
 
@@ -177,6 +200,21 @@ impl Batch {
     /// pool-recycling entry point: nothing is deallocated.
     pub fn recycle(&mut self) {
         self.live = 0;
+        self.applied_filters.clear();
+    }
+
+    /// Records that the Filter occupying dimension slot `slot` has processed this
+    /// batch (multi-Stage layouts only).
+    pub fn mark_filter_applied(&mut self, slot: usize) {
+        if !self.applied_filters.contains(&slot) {
+            self.applied_filters.push(slot);
+        }
+    }
+
+    /// Whether the Filter occupying dimension slot `slot` already processed this
+    /// batch.
+    pub fn filter_applied(&self, slot: usize) -> bool {
+        self.applied_filters.contains(&slot)
     }
 
     /// Swaps two live tuples (the filter loop's in-place survivor compaction).
@@ -222,6 +260,7 @@ impl From<Vec<InFlightTuple>> for Batch {
         Self {
             live: tuples.len(),
             tuples,
+            applied_filters: Vec::new(),
         }
     }
 }
@@ -263,7 +302,11 @@ pub struct QueryRuntime {
 }
 
 /// A lifecycle event travelling from the Preprocessor to the Distributor.
-#[derive(Debug)]
+///
+/// Control tuples are `Clone` because the shard router *broadcasts* them: every
+/// aggregation shard must set up (query start) or flush (query end) its own
+/// partial state for the query. Cloning a `QueryStart` is an `Arc` bump.
+#[derive(Debug, Clone)]
 pub enum ControlTuple {
     /// A new query has been installed; the Distributor must set up its aggregation
     /// operator before any of its result tuples arrive (§3.3.1).
@@ -350,6 +393,31 @@ mod tests {
         t.reset(RowId(8), row(), &QuerySet::from_bits(16, [9]), 1);
         assert_eq!(t.bits.capacity(), 16);
         assert!(t.bits.get(9));
+    }
+
+    #[test]
+    fn copy_from_tuple_replicates_bits_and_attached_dims() {
+        let mut src = InFlightTuple::new(RowId(9), row(), QuerySet::from_bits(8, [1, 4]), 2);
+        src.dims[1] = Some(row());
+        // A recycled spare with stale contents takes on the source's state in place.
+        let mut dst = InFlightTuple::new(RowId(0), row(), QuerySet::from_bits(8, [0]), 3);
+        dst.dims[0] = Some(row());
+        dst.copy_from_tuple(&src);
+        assert_eq!(dst.row_id, RowId(9));
+        assert_eq!(dst.bits.iter().collect::<Vec<_>>(), vec![1, 4]);
+        assert_eq!(dst.dims.len(), 2);
+        assert!(dst.dims[0].is_none() && dst.dims[1].is_some());
+        // Capacity mismatch (never within one engine) falls back to a clone.
+        let mut wide = InFlightTuple::new(RowId(0), row(), QuerySet::new(16), 0);
+        wide.copy_from_tuple(&src);
+        assert_eq!(wide.bits.capacity(), 8);
+        assert!(wide.bits.get(4));
+    }
+
+    #[test]
+    fn control_tuples_are_broadcastable_clones() {
+        let end = ControlTuple::QueryEnd(QueryId(3));
+        assert!(matches!(end.clone(), ControlTuple::QueryEnd(QueryId(3))));
     }
 
     #[test]

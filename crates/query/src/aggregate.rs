@@ -157,7 +157,11 @@ impl AggState {
         }
     }
 
-    fn merge(&mut self, other: &AggState) {
+    /// Folds another partial state of the *same* aggregate into this one. Takes the
+    /// other state by value so merging moves accumulated `Value`s instead of
+    /// cloning them — partial-state merges are on the sharded distributor's
+    /// query-end path.
+    fn merge(&mut self, other: AggState) {
         match (self, other) {
             (AggState::Count(a), AggState::Count(b)) => *a += b,
             (AggState::Sum { sum: a, seen: sa }, AggState::Sum { sum: b, seen: sb }) => {
@@ -166,15 +170,15 @@ impl AggState {
             }
             (AggState::Min(a), AggState::Min(b)) => {
                 if let Some(bv) = b {
-                    if a.as_ref().is_none_or(|av| bv < av) {
-                        *a = Some(bv.clone());
+                    if a.as_ref().is_none_or(|av| &bv < av) {
+                        *a = Some(bv);
                     }
                 }
             }
             (AggState::Max(a), AggState::Max(b)) => {
                 if let Some(bv) = b {
-                    if a.as_ref().is_none_or(|av| bv > av) {
-                        *a = Some(bv.clone());
+                    if a.as_ref().is_none_or(|av| &bv > av) {
+                        *a = Some(bv);
                     }
                 }
             }
@@ -182,7 +186,23 @@ impl AggState {
                 *a += b;
                 *ca += cb;
             }
-            _ => panic!("cannot merge mismatched aggregate states"),
+            (a, b) => panic!(
+                "cannot merge mismatched aggregate states ({} vs {}); partials of \
+                 different queries were combined",
+                a.kind(),
+                b.kind()
+            ),
+        }
+    }
+
+    /// The state's function name, for merge-mismatch diagnostics.
+    fn kind(&self) -> &'static str {
+        match self {
+            AggState::Count(_) => "COUNT",
+            AggState::Sum { .. } => "SUM",
+            AggState::Min(_) => "MIN",
+            AggState::Max(_) => "MAX",
+            AggState::Avg { .. } => "AVG",
         }
     }
 
@@ -277,13 +297,37 @@ impl GroupedAggregator {
         }
     }
 
-    /// Merges another aggregator (same query) into this one; used if aggregation is
-    /// ever parallelised per worker.
+    /// Merges another aggregator's partial state into this one. This is how the
+    /// sharded distributor combines per-shard partials at query end: hash
+    /// aggregation is commutative and associative, so merging the shard partials
+    /// in any order yields exactly the single-aggregator result.
+    ///
+    /// # Panics
+    /// Panics if `other` was built for a different query shape (different group-by
+    /// arity, aggregate count, or aggregate functions) — combining partials of
+    /// different queries is always a routing bug and must not silently corrupt a
+    /// result.
     pub fn merge(&mut self, other: GroupedAggregator) {
+        assert_eq!(
+            self.group_by.len(),
+            other.group_by.len(),
+            "cannot merge partials with different group-by arity"
+        );
+        assert_eq!(
+            self.aggregates.len(),
+            other.aggregates.len(),
+            "cannot merge partials with different aggregate lists"
+        );
         for (key, other_states) in other.groups {
+            debug_assert_eq!(key.len(), self.group_by.len());
             match self.groups.get_mut(&key) {
                 Some(states) => {
-                    for (s, o) in states.iter_mut().zip(&other_states) {
+                    assert_eq!(
+                        states.len(),
+                        other_states.len(),
+                        "cannot merge partials with different aggregate states"
+                    );
+                    for (s, o) in states.iter_mut().zip(other_states) {
                         s.merge(o);
                     }
                 }
@@ -413,6 +457,72 @@ mod tests {
             r.aggregate_for(&[Value::int(3)]).unwrap()[0],
             AggValue::Int(1)
         );
+    }
+
+    #[test]
+    fn merging_empty_scalar_partials_keeps_one_null_row() {
+        // A shard that drained no tuples for a scalar query contributes an empty
+        // partial; merging any number of them must still finalize to SQL's single
+        // zero/NULL row.
+        let q = simple_bound_query(vec![], vec![AggFunc::Count, AggFunc::Sum, AggFunc::Avg]);
+        let mut a = GroupedAggregator::new(&q);
+        for _ in 0..3 {
+            a.merge(GroupedAggregator::new(&q));
+        }
+        let r = a.finalize();
+        assert_eq!(r.num_rows(), 1);
+        let row = r.rows().next().unwrap();
+        assert_eq!(row.1[0], AggValue::Int(0));
+        assert_eq!(row.1[1], AggValue::Null);
+        assert_eq!(row.1[2], AggValue::Null);
+    }
+
+    #[test]
+    fn merge_order_does_not_change_the_result() {
+        // Commutativity/associativity over a seeded partition of the same input:
+        // the property the sharded distributor's end-barrier merge relies on.
+        let q = simple_bound_query(
+            vec![0],
+            vec![AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max],
+        );
+        let rows: Vec<(i64, i64)> = (0..64).map(|i| ((i * 7) % 5, (i * 31) % 23 - 11)).collect();
+        let mut whole = GroupedAggregator::new(&q);
+        for &(g, v) in &rows {
+            whole.accumulate(&fact(g, v), &[]);
+        }
+        let expected = whole.finalize();
+        for shards in [2usize, 3, 4] {
+            let mut partials: Vec<GroupedAggregator> =
+                (0..shards).map(|_| GroupedAggregator::new(&q)).collect();
+            for (i, &(g, v)) in rows.iter().enumerate() {
+                partials[i % shards].accumulate(&fact(g, v), &[]);
+            }
+            // Merge back-to-front so the fold order differs from accumulation order.
+            let mut merged = partials.pop().unwrap();
+            while let Some(p) = partials.pop() {
+                merged.merge(p);
+            }
+            assert!(
+                merged.finalize().approx_eq(&expected),
+                "shards={shards} diverged"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different aggregate lists")]
+    fn merging_partials_of_different_queries_panics() {
+        let a = simple_bound_query(vec![0], vec![AggFunc::Count]);
+        let b = simple_bound_query(vec![0], vec![AggFunc::Count, AggFunc::Sum]);
+        GroupedAggregator::new(&a).merge(GroupedAggregator::new(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "different group-by arity")]
+    fn merging_partials_with_different_grouping_panics() {
+        let a = simple_bound_query(vec![0], vec![AggFunc::Count]);
+        let b = simple_bound_query(vec![], vec![AggFunc::Count]);
+        GroupedAggregator::new(&a).merge(GroupedAggregator::new(&b));
     }
 
     #[test]

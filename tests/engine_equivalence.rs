@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use cjoin_repro::baseline::{BaselineConfig, BaselineEngine};
-use cjoin_repro::cjoin::{CjoinConfig, CjoinEngine};
+use cjoin_repro::cjoin::{CjoinConfig, CjoinEngine, StageLayout};
 use cjoin_repro::galaxy::{GalaxyEngine, Side};
 use cjoin_repro::query::{reference, JoinEngine, Predicate};
 use cjoin_repro::ssb::{SsbConfig, SsbDataSet, Workload, WorkloadConfig};
@@ -25,10 +25,13 @@ fn cjoin_config() -> CjoinConfig {
 }
 
 /// Constructs every engine under test over the same catalog, boxed behind the
-/// shared trait. CJOIN appears twice — once per setting of the `batched_probing`
-/// hot-path knob — so the equivalence contract covers both filter implementations.
+/// shared trait. CJOIN appears once per point of the `StageLayout` ×
+/// `distributor_shards` matrix (both hot-path layouts, single and sharded
+/// aggregation), plus one per-tuple-probing + sharded configuration so the
+/// equivalence contract covers both filter implementations against the sharded
+/// aggregation stage.
 fn engines_under_test(catalog: &Arc<Catalog>) -> Vec<Box<dyn JoinEngine>> {
-    vec![
+    let mut engines: Vec<Box<dyn JoinEngine>> = vec![
         Box::new(BaselineEngine::new(
             Arc::clone(catalog),
             BaselineConfig::default(),
@@ -37,15 +40,30 @@ fn engines_under_test(catalog: &Arc<Catalog>) -> Vec<Box<dyn JoinEngine>> {
             Arc::clone(catalog),
             BaselineConfig::postgres_like(),
         )),
-        Box::new(CjoinEngine::start(Arc::clone(catalog), cjoin_config()).unwrap()),
-        Box::new(
-            CjoinEngine::start(
-                Arc::clone(catalog),
-                cjoin_config().with_batched_probing(false),
-            )
-            .unwrap(),
-        ),
-    ]
+    ];
+    for layout in [StageLayout::Horizontal, StageLayout::Vertical] {
+        for shards in [1usize, 4] {
+            engines.push(Box::new(
+                CjoinEngine::start(
+                    Arc::clone(catalog),
+                    cjoin_config()
+                        .with_stage_layout(layout.clone())
+                        .with_distributor_shards(shards),
+                )
+                .unwrap(),
+            ));
+        }
+    }
+    engines.push(Box::new(
+        CjoinEngine::start(
+            Arc::clone(catalog),
+            cjoin_config()
+                .with_batched_probing(false)
+                .with_distributor_shards(4),
+        )
+        .unwrap(),
+    ));
+    engines
 }
 
 #[test]

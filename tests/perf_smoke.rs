@@ -1,16 +1,18 @@
 //! Perf-smoke lane (run with `cargo test -q -- --ignored`, wired into CI).
 //!
-//! Runs the `abl_probe_locking` ablation on one tiny configuration and catches
-//! hot-path regressions *functionally*: both filter implementations must produce
-//! identical survivors, the batched path must actually recycle (no drops from a
-//! steady batch), and its throughput must not collapse relative to the per-tuple
-//! baseline. Thresholds are deliberately loose — CI machines are noisy; the
-//! committed `BENCH_PR2.json` records the real release-mode numbers (≥ 4x in this
-//! repo's runs).
+//! Runs the `abl_probe_locking` and `abl_distributor_sharding` ablations on tiny
+//! configurations and catches hot-path regressions *functionally*: both filter
+//! implementations must produce identical survivors, the batched path must
+//! actually recycle (no drops from a steady batch), its throughput must not
+//! collapse relative to the per-tuple baseline, and every shard count must
+//! complete the closed loop. Thresholds are deliberately loose — CI machines are
+//! noisy; the committed `BENCH_PR2.json` / `BENCH_PR3.json` record the real
+//! release-mode numbers.
 
 use std::time::Duration;
 
-use cjoin_repro::bench::hotpath::{ProbeAblationParams, ProbeHarness};
+use cjoin_repro::bench::experiments::ExperimentParams;
+use cjoin_repro::bench::hotpath::{end_to_end_sharding, ProbeAblationParams, ProbeHarness};
 
 #[test]
 #[ignore = "perf-smoke lane; exercised by CI via `cargo test -q -- --ignored`"]
@@ -37,4 +39,23 @@ fn batched_probing_is_equivalent_and_not_slower_on_a_tiny_config() {
         speedup > 0.8,
         "batched hot path regressed to {speedup:.2}x of the per-tuple baseline"
     );
+}
+
+#[test]
+#[ignore = "perf-smoke lane; exercised by CI via `cargo test -q -- --ignored`"]
+fn distributor_sharding_completes_the_closed_loop_at_every_shard_count() {
+    let params = ExperimentParams::quick();
+    for shards in [1usize, 2, 4] {
+        let report = end_to_end_sharding(&params, 4, shards).unwrap();
+        eprintln!(
+            "perf-smoke abl_distributor_sharding: shards={shards} \
+             {:.0} q/h, p99 submission {:.3} ms",
+            report.throughput_qph, report.p99_submission_ms
+        );
+        assert!(report.queries > 0, "shards={shards} completed no queries");
+        assert!(
+            report.throughput_qph > 0.0,
+            "shards={shards} made no progress"
+        );
+    }
 }
