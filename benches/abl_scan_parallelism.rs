@@ -1,0 +1,39 @@
+//! Ablation — scan parallelism (the `scan_workers` knob): the continuous-scan
+//! front-end as the classic single Preprocessor thread versus 2 or 4 segment
+//! scan workers behind the admission coordinator, at both a classic and a
+//! 4-shard aggregation stage. Each sample drives a fig5-style closed-loop
+//! workload through a full `CjoinEngine`, so the measurement includes admission
+//! coordination, segment-boundary stalls and the end-of-query drain barrier, not
+//! just the raw segment cursors. The oracle-backed equivalence of all
+//! `scan_workers` settings is asserted by `tests/scan_parallelism.rs` and
+//! `tests/engine_equivalence.rs`; this bench only measures.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cjoin_repro::bench::experiments::ExperimentParams;
+use cjoin_repro::bench::hotpath::end_to_end_scan_workers;
+
+fn bench(c: &mut Criterion) {
+    let params = ExperimentParams::quick();
+    let concurrency = 8;
+
+    let mut group = c.benchmark_group("abl_scan_parallelism");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+
+    for shards in [1usize, 4] {
+        for scan_workers in [1usize, 2, 4] {
+            group.bench_function(format!("scan_{scan_workers}_shards_{shards}"), |b| {
+                b.iter(|| {
+                    end_to_end_scan_workers(&params, concurrency, scan_workers, shards).unwrap()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

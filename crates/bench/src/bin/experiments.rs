@@ -9,13 +9,18 @@
 //!   --threads <usize>      CJOIN worker threads          (default 4)
 //!   --concurrency <list>   comma-separated n values      (default 1,32,64,128,256)
 //!   --markdown             print Markdown tables instead of plain text
-//!   --out <path>           output path for bench-json    (default BENCH_PR3.json)
+//!   --out <path>           output path for bench-json    (default BENCH_PR5.json)
 //! ```
 //!
-//! `bench-json` runs the filter hot-path ablation (batched vs. per-tuple probing)
-//! and the distributor-sharding ablation (end-to-end qph/p99 for
-//! `distributor_shards` ∈ {1, 2, 4}) on fixed fig5-style workloads and writes a
-//! machine-readable baseline for the perf trajectory of future PRs.
+//! `bench-json` runs the filter hot-path ablation (batched vs. per-tuple probing),
+//! the distributor-sharding ablation (end-to-end qph/p99 for
+//! `distributor_shards` ∈ {1, 2, 4}) and the scan-parallelism ablation
+//! (end-to-end qph/p99 for `scan_workers` ∈ {1, 2, 4} × `distributor_shards`
+//! ∈ {1, 4} on an ingest-bound low-selectivity population) on fixed fig5/fig8-style
+//! workloads and writes a machine-readable baseline for the perf trajectory of
+//! future PRs. The host's available parallelism is recorded alongside: segment
+//! scan workers trade extra CPU for wall-clock, so their speedup only
+//! materialises where spare cores exist.
 
 use std::env;
 use std::process::ExitCode;
@@ -27,7 +32,8 @@ use cjoin_bench::experiments::{
     tab2_submission_vs_selectivity, tab3_submission_vs_sf, ExperimentParams,
 };
 use cjoin_bench::hotpath::{
-    end_to_end_ab, end_to_end_sharding, EndToEndReport, ProbeAblationParams, ProbeHarness,
+    end_to_end_ab, end_to_end_scan_workers, end_to_end_sharding, EndToEndReport,
+    ProbeAblationParams, ProbeHarness,
 };
 use cjoin_bench::{JsonObject, Table};
 use cjoin_common::Result;
@@ -46,7 +52,7 @@ fn parse_args() -> std::result::Result<Options, String> {
     let mut params = ExperimentParams::default();
     let mut concurrency = vec![1, 32, 64, 128, 256];
     let mut markdown = false;
-    let mut out = "BENCH_PR3.json".to_string();
+    let mut out = "BENCH_PR5.json".to_string();
 
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -143,13 +149,42 @@ fn run_bench_json(options: &Options) -> Result<()> {
         sharding = sharding.field_obj(&format!("shards_{shards}"), render(&report));
     }
 
+    // Scan-parallelism sweep on the ingest-bound population: a larger table at a
+    // low selectivity, so response time is dominated by scan passes rather than
+    // filter work — the regime the sharded front-end targets.
+    eprintln!("# scan-parallelism sweep (ingest-bound: low selectivity, higher SF)");
+    let mut ingest = options.params.clone();
+    ingest.scale_factor = 0.01;
+    ingest.selectivity = 0.002;
+    let scan_concurrency = 16;
+    let mut scan_parallelism = JsonObject::new();
+    for shards in [1usize, 4] {
+        for scan_workers in [1usize, 2, 4] {
+            let report = end_to_end_scan_workers(&ingest, scan_concurrency, scan_workers, shards)?;
+            eprintln!(
+                "  scan_workers={scan_workers} shards={shards}: {:.0} q/h, \
+                 p99 submission {:.3} ms",
+                report.throughput_qph, report.p99_submission_ms
+            );
+            scan_parallelism = scan_parallelism.field_obj(
+                &format!("scan_{scan_workers}_shards_{shards}"),
+                render(&report),
+            );
+        }
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
     let json = JsonObject::new()
-        .field_str("artifact", "BENCH_PR3")
+        .field_str("artifact", "BENCH_PR5")
         .field_str(
             "description",
             "Filter hot path A/B (CjoinConfig::batched_probing) + sharded aggregation \
-             stage sweep (CjoinConfig::distributor_shards)",
+             stage sweep (CjoinConfig::distributor_shards) + sharded scan front-end \
+             sweep (CjoinConfig::scan_workers; speedup requires spare host cores)",
         )
+        .field_u64("host_cpus", host_cpus)
         .field_obj(
             "workload",
             JsonObject::new()
@@ -160,6 +195,9 @@ fn run_bench_json(options: &Options) -> Result<()> {
                 .field_f64("end_to_end_scale_factor", e2e.scale_factor)
                 .field_f64("end_to_end_selectivity", e2e.selectivity)
                 .field_u64("end_to_end_concurrency", concurrency as u64)
+                .field_f64("ingest_bound_scale_factor", ingest.scale_factor)
+                .field_f64("ingest_bound_selectivity", ingest.selectivity)
+                .field_u64("ingest_bound_concurrency", scan_concurrency as u64)
                 .field_u64("worker_threads", e2e.worker_threads as u64),
         )
         .field_obj(
@@ -172,6 +210,7 @@ fn run_bench_json(options: &Options) -> Result<()> {
         .field_obj("end_to_end_batched", render(&on))
         .field_obj("end_to_end_per_tuple", render(&off))
         .field_obj("distributor_sharding", sharding)
+        .field_obj("scan_parallelism", scan_parallelism)
         .render();
     std::fs::write(&options.out, &json)
         .map_err(|e| cjoin_common::Error::invalid_state(format!("write {}: {e}", options.out)))?;

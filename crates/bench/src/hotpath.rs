@@ -17,6 +17,12 @@
 //! * [`end_to_end_sharding`] — the same closed loop swept over
 //!   `CjoinConfig::distributor_shards`, measuring the sharded aggregation stage
 //!   (the `abl_distributor_sharding` ablation and the `BENCH_PR3.json` baseline).
+//! * [`end_to_end_scan_workers`] — the same closed loop swept over the
+//!   `CjoinConfig::scan_workers` × `distributor_shards` grid, measuring the
+//!   sharded scan front-end (the `abl_scan_parallelism` ablation and the
+//!   `BENCH_PR5.json` baseline). Scan parallelism pays off on ingest-bound
+//!   populations (low selectivity, larger scale factors) and on hosts with
+//!   spare cores — the baseline records the host's parallelism for context.
 //!
 //! Everything is seeded and deterministic (a splitmix64 stream) so runs are
 //! reproducible.
@@ -270,6 +276,25 @@ pub fn end_to_end_sharding(
     end_to_end_with_config(params, concurrency, config)
 }
 
+/// Runs the same fig5-style closed-loop workload with a sharded scan front-end
+/// (`CjoinConfig::scan_workers = scan_workers`) over a sharded or classic
+/// aggregation stage — the `abl_scan_parallelism` ablation and the
+/// `BENCH_PR5.json` baseline.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn end_to_end_scan_workers(
+    params: &ExperimentParams,
+    concurrency: usize,
+    scan_workers: usize,
+    shards: usize,
+) -> Result<EndToEndReport> {
+    let config = base_config(params, concurrency)
+        .with_scan_workers(scan_workers)
+        .with_distributor_shards(shards);
+    end_to_end_with_config(params, concurrency, config)
+}
+
 fn base_config(params: &ExperimentParams, concurrency: usize) -> CjoinConfig {
     CjoinConfig::default()
         .with_worker_threads(params.worker_threads)
@@ -399,6 +424,21 @@ mod tests {
             let report = end_to_end_sharding(&params, 2, shards).unwrap();
             assert!(report.queries > 0, "shards={shards}");
             assert!(report.throughput_qph > 0.0, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn end_to_end_scan_workers_runs_the_front_end_grid() {
+        let params = ExperimentParams::quick();
+        for scan_workers in [1usize, 2, 4] {
+            for shards in [1usize, 4] {
+                let report = end_to_end_scan_workers(&params, 2, scan_workers, shards).unwrap();
+                assert!(report.queries > 0, "scan={scan_workers} shards={shards}");
+                assert!(
+                    report.throughput_qph > 0.0,
+                    "scan={scan_workers} shards={shards}"
+                );
+            }
         }
     }
 }

@@ -50,6 +50,14 @@ pub struct CjoinConfig {
     /// key (round-robin for ungrouped queries) plus a merge thread that combines
     /// the per-shard partial aggregates behind an end-of-query barrier.
     pub distributor_shards: usize,
+    /// Number of parallel continuous-scan (Preprocessor) workers. `1` runs the
+    /// classic single-threaded Preprocessor; `N > 1` splits the fact table's page
+    /// range into `N` static segments, each owned by a scan worker that runs the
+    /// full per-row path over its own segment cursor, plus an admission
+    /// coordinator thread that installs queries at segment-batch boundaries and
+    /// emits the single end-of-query control tuple once every segment has
+    /// completed one pass since the query's admission.
+    pub scan_workers: usize,
     /// Enable the pooled batch allocator (§4); disable to measure its effect.
     pub use_batch_pool: bool,
     /// Enable partition-based early query termination (§5, Fact Table Partitioning):
@@ -74,6 +82,7 @@ impl Default for CjoinConfig {
             early_skip: true,
             batched_probing: true,
             distributor_shards: 1,
+            scan_workers: 1,
             use_batch_pool: true,
             partition_pruning: false,
             idle_sleep_us: 200,
@@ -106,6 +115,12 @@ impl CjoinConfig {
             return Err(Error::invalid_config(
                 "distributor_shards must be at most 256",
             ));
+        }
+        if self.scan_workers == 0 {
+            return Err(Error::invalid_config("scan_workers must be positive"));
+        }
+        if self.scan_workers > 64 {
+            return Err(Error::invalid_config("scan_workers must be at most 64"));
         }
         if let StageLayout::Hybrid(groups) = &self.stage_layout {
             if groups.is_empty() || groups.contains(&0) {
@@ -152,6 +167,13 @@ impl CjoinConfig {
     /// (the aggregation-stage knob used by the `abl_distributor_sharding` ablation).
     pub fn with_distributor_shards(mut self, n: usize) -> Self {
         self.distributor_shards = n;
+        self
+    }
+
+    /// Convenience: a configuration with the given number of continuous-scan
+    /// workers (the front-end knob used by the `abl_scan_parallelism` ablation).
+    pub fn with_scan_workers(mut self, n: usize) -> Self {
+        self.scan_workers = n;
         self
     }
 }
@@ -210,6 +232,18 @@ mod tests {
         .validate()
         .is_err());
         assert!(CjoinConfig {
+            scan_workers: 0,
+            ..CjoinConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CjoinConfig {
+            scan_workers: 65,
+            ..CjoinConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CjoinConfig {
             stage_layout: StageLayout::Hybrid(vec![]),
             ..CjoinConfig::default()
         }
@@ -237,13 +271,15 @@ mod tests {
             .with_batch_size(128)
             .with_stage_layout(StageLayout::Vertical)
             .with_batched_probing(false)
-            .with_distributor_shards(4);
+            .with_distributor_shards(4)
+            .with_scan_workers(2);
         assert_eq!(c.worker_threads, 2);
         assert_eq!(c.max_concurrency, 64);
         assert_eq!(c.batch_size, 128);
         assert_eq!(c.stage_layout, StageLayout::Vertical);
         assert!(!c.batched_probing);
         assert_eq!(c.distributor_shards, 4);
+        assert_eq!(c.scan_workers, 2);
         c.validate().unwrap();
     }
 
@@ -255,5 +291,10 @@ mod tests {
     #[test]
     fn distributor_defaults_to_a_single_shard() {
         assert_eq!(CjoinConfig::default().distributor_shards, 1);
+    }
+
+    #[test]
+    fn scan_defaults_to_the_classic_single_worker() {
+        assert_eq!(CjoinConfig::default().scan_workers, 1);
     }
 }

@@ -1,7 +1,10 @@
 //! The public CJOIN engine: query admission, finalization and pipeline lifecycle.
 //!
 //! [`CjoinEngine::start`] builds the always-on pipeline (continuous scan →
-//! Preprocessor → Stages → aggregation stage) and the manager thread. The
+//! Preprocessor → Stages → aggregation stage) and the manager thread. The scan
+//! front-end is a single Preprocessor by default, or — with
+//! `CjoinConfig::scan_workers > 1` — that many segment scan workers behind an
+//! admission coordinator (see [`crate::preprocessor`]). The
 //! aggregation stage is a single Distributor by default, or — with
 //! `CjoinConfig::distributor_shards > 1` — a router, that many parallel
 //! aggregation shards, and an end-barrier merger (see [`crate::distributor`]). Queries are
@@ -25,7 +28,7 @@ use parking_lot::Mutex;
 
 use cjoin_common::{Error, FxHashMap, QueryId, QueryIdAllocator, QuerySet, Result};
 use cjoin_query::{QueryResult, StarQuery};
-use cjoin_storage::{Catalog, ContinuousScan, PartitionScheme, Row, SnapshotId};
+use cjoin_storage::{segment_ranges, Catalog, ContinuousScan, PartitionScheme, Row, SnapshotId};
 
 use crate::config::CjoinConfig;
 use crate::dimension::DimensionTable;
@@ -34,10 +37,15 @@ use crate::filter::FilterChain;
 use crate::optimizer::reorder_filters;
 use crate::pipeline::{run_stage_worker, StagePlan};
 use crate::pool::BatchPool;
-use crate::preprocessor::{PartitionPlan, Preprocessor, PreprocessorCommand};
+use crate::preprocessor::{
+    PartitionPlan, Preprocessor, PreprocessorCommand, PreprocessorContext, ScanCoordinator,
+    ScanMessage, ScanStall,
+};
 use crate::progress::QueryProgress;
 use crate::queue::{ShardQueues, TupleQueue};
-use crate::stats::{FilterStatsSnapshot, PipelineStats, ShardCounters, SharedCounters};
+use crate::stats::{
+    FilterStatsSnapshot, PipelineStats, ScanWorkerCounters, ShardCounters, SharedCounters,
+};
 use crate::tuple::{Message, QueryRuntime};
 
 /// A registered query's admission-side bookkeeping (used by Algorithm 2 at cleanup).
@@ -116,7 +124,11 @@ impl QueryHandle {
 }
 
 struct PipelineThreads {
-    preprocessor: JoinHandle<()>,
+    /// Scan front-end: the single classic Preprocessor, or one thread per segment
+    /// scan worker.
+    scan_workers: Vec<JoinHandle<()>>,
+    /// The admission coordinator (sharded scan front-end only).
+    scan_coordinator: Option<JoinHandle<()>>,
     workers: Vec<Vec<JoinHandle<()>>>,
     /// The aggregation-stage router (sharded mode only).
     router: Option<JoinHandle<()>>,
@@ -135,10 +147,11 @@ pub struct CjoinEngine {
     slot_count: Arc<AtomicUsize>,
     counters: Arc<SharedCounters>,
     shard_counters: Vec<Arc<ShardCounters>>,
+    scan_worker_counters: Vec<Arc<ScanWorkerCounters>>,
     in_flight: Arc<AtomicI64>,
     pool: Arc<BatchPool>,
     admission: Arc<Mutex<AdmissionState>>,
-    cmd_tx: Sender<PreprocessorCommand>,
+    cmd_tx: Sender<ScanMessage>,
     stage_queues: Vec<TupleQueue>,
     distributor_queue: TupleQueue,
     stage_plan: StagePlan,
@@ -151,7 +164,10 @@ pub struct CjoinEngine {
 struct PartitionInfo {
     scheme: PartitionScheme,
     column_name: String,
-    rows_per_partition: Vec<u64>,
+    /// `rows_per_partition[w][p]` = rows of partition `p` that lie in scan worker
+    /// `w`'s segment (one segment covering the whole table in classic mode), so
+    /// per-worker pruning plans sum to the classic whole-table plan.
+    rows_per_partition: Vec<Vec<u64>>,
 }
 
 impl CjoinEngine {
@@ -164,32 +180,49 @@ impl CjoinEngine {
         let fact = catalog.fact_table()?;
 
         let stage_plan = StagePlan::derive(&config.stage_layout, config.worker_threads)
-            .with_distributor_shards(config.distributor_shards);
+            .with_distributor_shards(config.distributor_shards)
+            .with_scan_workers(config.scan_workers);
         let shards = stage_plan.distributor_shards;
+        let scan_workers = stage_plan.scan_workers;
         let chain = Arc::new(FilterChain::new());
         let slot_count = Arc::new(AtomicUsize::new(0));
         let counters = SharedCounters::new();
         let shard_counters = ShardCounters::new_vec(shards);
+        let scan_worker_counters = ScanWorkerCounters::new_vec(scan_workers);
         let in_flight = Arc::new(AtomicI64::new(0));
         // Enough pooled batches for every queue position plus the threads working on
         // one, including the per-shard queues and sub-batches of the sharded
-        // aggregation stage.
+        // aggregation stage and the per-segment working/leftover batches of the
+        // sharded scan front-end.
         let pool_capacity = (stage_plan.num_stages() + 1) * config.queue_capacity
             + stage_plan.total_threads()
-            + 2
+            + 2 * scan_workers
             + shards * (config.queue_capacity.max(4) + 1);
         let pool = BatchPool::new(pool_capacity, config.use_batch_pool);
         let shutdown_flag = Arc::new(AtomicBool::new(false));
 
-        // Partition pruning needs per-partition row counts to know when a query has
-        // covered all the partitions it cares about.
+        // The fact table's page range is split into one static segment per scan
+        // worker; the last segment's end is open so appended rows keep the classic
+        // next-pass semantics. (One whole-table "segment" in classic mode.)
+        let scan_ranges = segment_ranges(fact.len() as u64, fact.rows_per_page(), scan_workers);
+
+        // Partition pruning needs per-partition row counts — per scan segment, so
+        // each worker knows when it has covered all the partitions a query cares
+        // about within its own segment.
         let partition_info = if config.partition_pruning {
             catalog.fact_partitioning().map(|scheme| {
                 let column_name = fact.schema().column(scheme.column).name.clone();
-                let mut rows_per_partition = vec![0u64; scheme.num_partitions()];
-                fact.for_each_visible(SnapshotId(u64::MAX), |_, row| {
+                let mut rows_per_partition =
+                    vec![vec![0u64; scheme.num_partitions()]; scan_ranges.len()];
+                fact.for_each_visible(SnapshotId(u64::MAX), |row_id, row| {
                     let pid = scheme.partition_of(row.int(scheme.column)).index();
-                    rows_per_partition[pid] += 1;
+                    // Segment starts are sorted and contiguous from 0, so the
+                    // owning segment is the last one starting at or before the
+                    // row — a binary search, not a linear scan per row.
+                    let segment = scan_ranges
+                        .partition_point(|&(start, _)| start <= row_id.0)
+                        .saturating_sub(1);
+                    rows_per_partition[segment][pid] += 1;
                 });
                 PartitionInfo {
                     scheme,
@@ -200,6 +233,9 @@ impl CjoinEngine {
         } else {
             None
         };
+        let partition_scheme = partition_info
+            .as_ref()
+            .map(|p| (p.scheme.clone(), p.scheme.column));
 
         // Queues: one per stage plus the distributor's.
         let stage_queues: Vec<TupleQueue> = (0..stage_plan.num_stages())
@@ -207,27 +243,79 @@ impl CjoinEngine {
             .collect();
         let distributor_queue = TupleQueue::new(config.queue_capacity.max(4));
 
-        // Preprocessor thread.
+        // Scan front-end: the classic single Preprocessor thread, or one segment
+        // worker per scan range plus the admission coordinator (which owns the
+        // engine-facing command channel — segment workers also report their
+        // per-query pass completions into the same inbox).
         let (cmd_tx, cmd_rx) = unbounded();
-        let scan = ContinuousScan::new(Arc::clone(&fact)).with_batch_rows(config.batch_size);
-        let mut preprocessor = Preprocessor::new(
-            scan,
-            cmd_rx,
-            stage_queues[0].sender(),
-            distributor_queue.sender(),
-            Arc::clone(&in_flight),
-            Arc::clone(&pool),
-            Arc::clone(&slot_count),
-            Arc::clone(&counters),
-            config.clone(),
-            partition_info
-                .as_ref()
-                .map(|p| (p.scheme.clone(), p.scheme.column)),
-        );
-        let preprocessor_handle = std::thread::Builder::new()
-            .name("cjoin-preprocessor".into())
-            .spawn(move || preprocessor.run())
-            .map_err(|e| Error::invalid_state(format!("failed to spawn preprocessor: {e}")))?;
+        let preprocessor_context = |worker: usize| PreprocessorContext {
+            stage_tx: stage_queues[0].sender(),
+            distributor_tx: distributor_queue.sender(),
+            in_flight: Arc::clone(&in_flight),
+            pool: Arc::clone(&pool),
+            slot_count: Arc::clone(&slot_count),
+            counters: Arc::clone(&counters),
+            worker_counters: Arc::clone(&scan_worker_counters[worker]),
+            config: config.clone(),
+            partition_scheme: partition_scheme.clone(),
+        };
+        let mut scan_worker_handles = Vec::with_capacity(scan_workers);
+        let mut coordinator_handle = None;
+        if scan_workers == 1 {
+            let scan = ContinuousScan::new(Arc::clone(&fact)).with_batch_rows(config.batch_size);
+            let mut preprocessor = Preprocessor::new(scan, cmd_rx, preprocessor_context(0));
+            scan_worker_handles.push(
+                std::thread::Builder::new()
+                    .name("cjoin-preprocessor".into())
+                    .spawn(move || preprocessor.run())
+                    .map_err(|e| {
+                        Error::invalid_state(format!("failed to spawn preprocessor: {e}"))
+                    })?,
+            );
+        } else {
+            let stall = ScanStall::new(scan_workers);
+            let mut worker_txs = Vec::with_capacity(scan_workers);
+            for (worker, &(start, end)) in scan_ranges.iter().enumerate() {
+                let scan = ContinuousScan::new(Arc::clone(&fact))
+                    .with_batch_rows(config.batch_size)
+                    .with_segment(start, end);
+                let (worker_tx, worker_rx) = unbounded();
+                worker_txs.push(worker_tx);
+                let mut segment_worker = Preprocessor::segment_worker(
+                    scan,
+                    worker_rx,
+                    preprocessor_context(worker),
+                    worker,
+                    cmd_tx.clone(),
+                    Arc::clone(&stall),
+                );
+                scan_worker_handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("cjoin-scan-w{worker}"))
+                        .spawn(move || segment_worker.run())
+                        .map_err(|e| {
+                            Error::invalid_state(format!("failed to spawn scan worker: {e}"))
+                        })?,
+                );
+            }
+            let mut coordinator = ScanCoordinator::new(
+                cmd_rx,
+                worker_txs,
+                distributor_queue.sender(),
+                Arc::clone(&in_flight),
+                Arc::clone(&counters),
+                stall,
+                config.max_concurrency,
+            );
+            coordinator_handle = Some(
+                std::thread::Builder::new()
+                    .name("cjoin-scan-coord".into())
+                    .spawn(move || coordinator.run())
+                    .map_err(|e| {
+                        Error::invalid_state(format!("failed to spawn scan coordinator: {e}"))
+                    })?,
+            );
+        }
 
         // Stage worker threads.
         let num_stages = stage_plan.num_stages();
@@ -372,6 +460,7 @@ impl CjoinEngine {
             slot_count,
             counters,
             shard_counters,
+            scan_worker_counters,
             in_flight,
             pool,
             admission,
@@ -382,7 +471,8 @@ impl CjoinEngine {
             partition_info,
             shutdown_flag,
             threads: Mutex::new(Some(PipelineThreads {
-                preprocessor: preprocessor_handle,
+                scan_workers: scan_worker_handles,
+                scan_coordinator: coordinator_handle,
                 workers,
                 router: router_handle,
                 distributors: distributor_handles,
@@ -500,21 +590,35 @@ impl CjoinEngine {
             .insert(id.0, Registered { referenced_dims });
         drop(admission);
 
-        // ---- Partition pruning plan (§5) ----------------------------------------
-        let partition = self.partition_info.as_ref().and_then(|info| {
-            let (lo, hi) = bound.fact_column_range(&info.column_name)?;
-            let covering = info.scheme.covering(lo, hi);
-            let mut needed = vec![false; info.scheme.num_partitions()];
-            let mut remaining_rows = 0u64;
-            for pid in covering {
-                needed[pid.index()] = true;
-                remaining_rows += info.rows_per_partition[pid.index()];
-            }
-            Some(PartitionPlan {
-                needed,
-                remaining_rows,
+        // ---- Partition pruning plans (§5), one per scan worker ------------------
+        let partition: Vec<Option<PartitionPlan>> = self
+            .partition_info
+            .as_ref()
+            .and_then(|info| {
+                let (lo, hi) = bound.fact_column_range(&info.column_name)?;
+                let covering = info.scheme.covering(lo, hi);
+                let mut needed = vec![false; info.scheme.num_partitions()];
+                for pid in &covering {
+                    needed[pid.index()] = true;
+                }
+                // Each worker's plan counts only the needed-partition rows of its
+                // own segment; the per-worker remainders sum to the classic
+                // whole-table remainder.
+                Some(
+                    info.rows_per_partition
+                        .iter()
+                        .map(|segment_rows| {
+                            let remaining_rows =
+                                covering.iter().map(|pid| segment_rows[pid.index()]).sum();
+                            Some(PartitionPlan {
+                                needed: needed.clone(),
+                                remaining_rows,
+                            })
+                        })
+                        .collect(),
+                )
             })
-        });
+            .unwrap_or_default();
 
         // ---- Algorithm 1, lines 17–22: install in Preprocessor & Distributor ----
         let fact_predicate = if bound.fact_predicate_is_true {
@@ -523,7 +627,10 @@ impl CjoinEngine {
             Some(bound.fact_predicate.clone())
         };
         let (result_tx, result_rx) = bounded(1);
-        let progress = Arc::new(QueryProgress::new(self.catalog.fact_table()?.len() as u64));
+        let progress = Arc::new(
+            QueryProgress::new(self.catalog.fact_table()?.len() as u64)
+                .with_segments(self.stage_plan.scan_workers as u64),
+        );
         let runtime = Arc::new(QueryRuntime {
             id,
             name: query.name.clone(),
@@ -535,13 +642,13 @@ impl CjoinEngine {
         });
         let (ack_tx, ack_rx) = bounded(1);
         self.cmd_tx
-            .send(PreprocessorCommand::Install {
+            .send(ScanMessage::Command(PreprocessorCommand::Install {
                 runtime,
                 fact_predicate,
                 snapshot,
                 partition,
-                ack: ack_tx,
-            })
+                ack: Some(ack_tx),
+            }))
             .map_err(|_| Error::invalid_state("pipeline is not running"))?;
         ack_rx
             .recv()
@@ -595,7 +702,14 @@ impl CjoinEngine {
             active_queries: self.active_queries(),
             filter_reorders: self.counters.filter_reorders.load(Ordering::Relaxed),
             control_barriers: self.counters.control_barriers.load(Ordering::Relaxed),
+            barrier_wait_ns: self.counters.barrier_wait_ns.load(Ordering::Relaxed),
             filters,
+            scan_workers: self
+                .scan_worker_counters
+                .iter()
+                .enumerate()
+                .map(|(worker, c)| c.snapshot(worker))
+                .collect(),
             distributor_shards: self
                 .shard_counters
                 .iter()
@@ -621,9 +735,18 @@ impl CjoinEngine {
             return;
         };
         self.shutdown_flag.store(true, Ordering::Release);
-        // Stop the producer first so no new data enters the pipeline.
-        let _ = self.cmd_tx.send(PreprocessorCommand::Shutdown);
-        let _ = threads.preprocessor.join();
+        // Stop the producers first so no new data enters the pipeline. In sharded
+        // mode the coordinator consumes the shutdown, opens the stall gate and
+        // relays the stop to every segment worker before exiting.
+        let _ = self
+            .cmd_tx
+            .send(ScanMessage::Command(PreprocessorCommand::Shutdown));
+        if let Some(coordinator) = threads.scan_coordinator {
+            let _ = coordinator.join();
+        }
+        for handle in threads.scan_workers {
+            let _ = handle.join();
+        }
         // Stop each stage in order; downstream stages are still draining while
         // upstream workers finish their last batches.
         for (stage_index, stage_workers) in threads.workers.into_iter().enumerate() {
@@ -964,6 +1087,53 @@ mod tests {
         assert_eq!(stats.distributor_shards.len(), 4);
         assert_eq!(stats.shard_tuples_distributed(), stats.tuples_distributed);
         assert_eq!(stats.shard_routings(), stats.routings);
+        assert_eq!(stats.batches_in_flight, 0, "quiesced pipeline");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn sharded_scan_front_end_produces_identical_results() {
+        let catalog = small_catalog(700);
+        let config = test_config()
+            .with_scan_workers(4)
+            .with_distributor_shards(2);
+        let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+        assert_eq!(engine.stage_plan().scan_workers, 4);
+        let queries = vec![
+            red_sum_query("scalar"),
+            StarQuery::builder("grouped")
+                .join_dimension("color", "colorkey", "k", Predicate::True)
+                .group_by(ColumnRef::dim("color", "name"))
+                .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("amount")))
+                .aggregate(AggregateSpec::count_star())
+                .build(),
+            StarQuery::builder("fact_only")
+                .aggregate(AggregateSpec::over(AggFunc::Max, ColumnRef::fact("amount")))
+                .build(),
+        ];
+        for query in queries {
+            let expected = reference::evaluate(&catalog, &query, SnapshotId::INITIAL).unwrap();
+            let result = engine.execute(query).unwrap();
+            assert!(
+                result.approx_eq(&expected),
+                "diff: {:?}",
+                result.diff(&expected)
+            );
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.scan_workers.len(), 4);
+        assert_eq!(stats.scan_worker_tuples_scanned(), stats.tuples_scanned);
+        assert_eq!(stats.scan_worker_batches_sent(), stats.batches_sent);
+        assert!(
+            stats
+                .scan_workers
+                .iter()
+                .filter(|w| w.tuples_scanned > 0)
+                .count()
+                >= 2,
+            "the segmented scan actually spread work: {:?}",
+            stats.scan_workers
+        );
         assert_eq!(stats.batches_in_flight, 0, "quiesced pipeline");
         engine.shutdown();
     }

@@ -52,7 +52,7 @@
 //! | [`queue`] | §4 | bounded batched tuple queues linking pipeline threads |
 //! | [`dimension`] | §3.2.1 | dimension hash tables with per-entry query bit-vectors |
 //! | [`filter`] | §3.2.2 | the Filter probe/AND/drop step and the ordered filter chain |
-//! | [`preprocessor`] | §3.2.2, §3.3 | bit-vector initialisation, query start/end detection |
+//! | [`preprocessor`] | §3.2.2, §3.3 | bit-vector initialisation, query start/end detection; sharded segment-scan front-end |
 //! | [`progress`] | §3.2.3 | per-query progress / estimated completion from the scan position |
 //! | [`distributor`] | §3.2.2 | routing to per-query aggregation operators |
 //! | [`optimizer`] | §3.4 | run-time filter reordering from observed selectivities |

@@ -38,11 +38,14 @@ pub struct StagePlan {
     pub threads_per_stage: Vec<usize>,
     /// Number of parallel aggregation (Distributor) shards downstream of the Stages.
     pub distributor_shards: usize,
+    /// Number of parallel continuous-scan (Preprocessor) workers upstream of the
+    /// Stages.
+    pub scan_workers: usize,
 }
 
 impl StagePlan {
     /// Derives the plan from the configured layout and total worker-thread budget,
-    /// with a single-shard aggregation stage.
+    /// with a single-shard aggregation stage and the classic single-scan front-end.
     pub fn derive(layout: &StageLayout, worker_threads: usize) -> Self {
         let threads_per_stage = match layout {
             StageLayout::Horizontal => vec![worker_threads.max(1)],
@@ -58,12 +61,19 @@ impl StagePlan {
         Self {
             threads_per_stage,
             distributor_shards: 1,
+            scan_workers: 1,
         }
     }
 
     /// The same plan with a sharded aggregation stage.
     pub fn with_distributor_shards(mut self, shards: usize) -> Self {
         self.distributor_shards = shards.max(1);
+        self
+    }
+
+    /// The same plan with a sharded continuous-scan front-end.
+    pub fn with_scan_workers(mut self, workers: usize) -> Self {
+        self.scan_workers = workers.max(1);
         self
     }
 
@@ -84,6 +94,17 @@ impl StagePlan {
             1
         } else {
             self.distributor_shards + 2
+        }
+    }
+
+    /// Threads spawned for the scan front-end: the classic Preprocessor needs one;
+    /// a sharded front-end needs one per segment worker plus the admission
+    /// coordinator.
+    pub fn scan_threads(&self) -> usize {
+        if self.scan_workers <= 1 {
+            1
+        } else {
+            self.scan_workers + 1
         }
     }
 }
@@ -237,6 +258,19 @@ mod tests {
         // Degenerate zero clamps to the single-shard plan.
         let clamped = StagePlan::derive(&StageLayout::Horizontal, 2).with_distributor_shards(0);
         assert_eq!(clamped.distributor_shards, 1);
+    }
+
+    #[test]
+    fn scan_thread_budget_tracks_the_front_end_sharding() {
+        let solo = StagePlan::derive(&StageLayout::Horizontal, 2);
+        assert_eq!(solo.scan_workers, 1);
+        assert_eq!(solo.scan_threads(), 1, "classic single Preprocessor");
+        let sharded = StagePlan::derive(&StageLayout::Horizontal, 2).with_scan_workers(4);
+        assert_eq!(sharded.scan_workers, 4);
+        assert_eq!(sharded.scan_threads(), 5, "4 segment workers + coordinator");
+        // Degenerate zero clamps to the classic plan.
+        let clamped = StagePlan::derive(&StageLayout::Horizontal, 2).with_scan_workers(0);
+        assert_eq!(clamped.scan_workers, 1);
     }
 
     #[test]

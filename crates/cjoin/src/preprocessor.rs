@@ -1,4 +1,5 @@
-//! The Preprocessor (§3.2.2, §3.3).
+//! The Preprocessor (§3.2.2, §3.3) — classic single-threaded, or sharded into
+//! parallel segment scan workers behind an admission coordinator.
 //!
 //! The Preprocessor owns the continuous scan. For every fact tuple it:
 //!
@@ -21,21 +22,62 @@
 //! bit-vector words and dimension-slot vectors in place (§4's specialized
 //! allocator). The `tuples_allocated` / `tuples_recycled` counters expose this.
 //!
+//! It is also O(1) per row in the number of active queries: starting positions are
+//! indexed in an ordered `position → bits` map ([`Preprocessor::starts_at`]), so
+//! each scan batch performs one range query over the row ids it covers and the
+//! per-row work degenerates to a single integer comparison against the next known
+//! boundary — instead of rescanning every active query per row for wrap-around
+//! detection and `passed_start` flipping.
+//!
+//! ## Sharded front-end (`CjoinConfig::scan_workers > 1`)
+//!
+//! With `N > 1` scan workers the fact table's page range is split into `N` static
+//! segments ([`cjoin_storage::segment_ranges`]); each segment is owned by one
+//! worker running the full per-row path above over its own circular segment
+//! cursor, feeding the filter stages concurrently. A [`ScanCoordinator`] thread
+//! preserves the paper's §3.3 admission guarantees:
+//!
+//! * **Admission** — the coordinator emits the query-start control tuple *first*,
+//!   then relays the install to every worker; each worker installs the query at
+//!   its own segment-batch boundary, recording the query's starting position
+//!   within its segment. Any data tuple carrying the new bit is therefore
+//!   produced strictly after the start tuple was enqueued, so the Distributor's
+//!   FIFO queue observes start-before-data (invariant 1) with no global pause.
+//! * **Exactly one pass** — each worker independently retires the query's bit the
+//!   moment its segment cursor wraps the per-segment starting tuple (or its
+//!   partition plan is exhausted): from then on the worker never sets the bit, so
+//!   no segment row is seen twice; and because every segment installs the bit at
+//!   a boundary it was not yet produced past, no row is missed. The segment
+//!   ranges partition the table, so the union over workers is exactly one pass.
+//! * **Completion** — a worker that retires a bit notifies the coordinator
+//!   (`SegmentPassDone`). Once **all** `N` segments have completed one pass since
+//!   the admission, the coordinator stalls the workers at their next batch
+//!   boundary ([`ScanStall`]), runs the drain barrier below, emits the single
+//!   end-of-query control tuple, and releases the stall — so the
+//!   Distributor/ShardMerger lifecycle protocol is identical to the classic
+//!   single-scan mode.
+//!
 //! ## Control-tuple ordering
 //!
 //! §3.3.3 requires that a control tuple enqueued before (after) a fact tuple is never
 //! processed by the Distributor after (before) that tuple. Data tuples travel through
 //! the worker stages while control tuples take a direct path to the Distributor's
-//! queue, so ordering is enforced with a *drain barrier*: before emitting a control
-//! tuple the Preprocessor stops sending data and waits until every batch it has
-//! already sent has been fully processed by the Distributor (an atomic in-flight
-//! counter reaches zero). Only then is the control tuple enqueued. Admissions and
-//! completions are rare relative to tuple flow, so the stall is negligible — it is
-//! the same "stall the pipeline" step the paper describes.
+//! queue, so ordering is enforced with a *drain barrier*: before emitting an
+//! end-of-query control tuple the front-end stops sending data and waits until every
+//! batch already sent has been fully processed by the Distributor (an atomic
+//! in-flight counter reaches zero). In sharded mode "stops sending data" is the
+//! [`ScanStall`]: concurrent segment workers park at their next batch boundary, the
+//! counter can only fall, and the barrier terminates. The wait itself uses bounded
+//! spin-then-park backoff and records its duration in
+//! `SharedCounters::barrier_wait_ns`, so submission-latency predictability analyses
+//! can attribute stalls. Admissions and completions are rare relative to tuple flow,
+//! so the stall is negligible — it is the same "stall the pipeline" step the paper
+//! describes.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 
@@ -46,12 +88,14 @@ use cjoin_storage::{ContinuousScan, PartitionScheme, RowVersion, ScanBatch, Snap
 use crate::config::CjoinConfig;
 use crate::pool::BatchPool;
 use crate::progress::QueryProgress;
-use crate::stats::SharedCounters;
+use crate::stats::{ScanWorkerCounters, SharedCounters};
 use crate::tuple::{Batch, ControlTuple, Message, QueryRuntime};
 
 /// Partition-pruning plan attached to a query at admission (§5, Fact Table
 /// Partitioning): the set of partitions the query needs and how many fact rows of
-/// those partitions remain to be seen.
+/// those partitions remain to be seen. In sharded-scan mode each worker carries
+/// its own plan whose `remaining_rows` counts only the rows of its segment, so
+/// the per-worker plans sum to the classic whole-table plan.
 #[derive(Debug, Clone)]
 pub struct PartitionPlan {
     /// `needed[p]` is true iff partition `p` overlaps the query's fact-predicate range.
@@ -60,8 +104,8 @@ pub struct PartitionPlan {
     pub remaining_rows: u64,
 }
 
-/// A command sent from the engine (acting as the Pipeline Manager) to the
-/// Preprocessor thread.
+/// A command sent from the engine (acting as the Pipeline Manager) to the scan
+/// front-end (the classic Preprocessor thread, or the [`ScanCoordinator`]).
 #[derive(Debug)]
 pub enum PreprocessorCommand {
     /// Install a freshly admitted query (Algorithm 1, lines 17–22).
@@ -72,14 +116,64 @@ pub enum PreprocessorCommand {
         fact_predicate: Option<BoundPredicate>,
         /// Snapshot the query reads.
         snapshot: SnapshotId,
-        /// Partition-pruning plan, if partition pruning applies to this query.
-        partition: Option<PartitionPlan>,
-        /// Acknowledged once the query-start control tuple has been enqueued; the
-        /// elapsed time up to this point is the paper's "submission time" metric.
-        ack: Sender<()>,
+        /// Partition-pruning plans, one per scan worker (a single entry in
+        /// classic mode; empty when partition pruning does not apply).
+        partition: Vec<Option<PartitionPlan>>,
+        /// Acknowledged once the query-start control tuple has been enqueued (and,
+        /// in sharded mode, the install has been relayed to every scan worker's
+        /// FIFO command queue); the elapsed time up to this point is the paper's
+        /// "submission time" metric. `None` on the coordinator's per-worker
+        /// relays — the engine-facing ack does not wait for a round-trip.
+        ack: Option<Sender<()>>,
     },
     /// Shut the pipeline down: forward shutdown messages and exit.
     Shutdown,
+    /// Liveness probe: ignored by workers. The coordinator sends one to every
+    /// worker before stalling for a finalize, so a dead worker (dropped command
+    /// receiver) surfaces as a send error instead of a stall that waits forever
+    /// for a thread that can no longer park.
+    Probe,
+}
+
+/// A message travelling to the scan front-end: engine commands, plus (sharded
+/// mode) per-segment pass-completion events from the workers to the coordinator.
+/// One enum keeps the classic and sharded front-ends behind the same channel type.
+#[derive(Debug)]
+pub enum ScanMessage {
+    /// An engine command (install / shutdown).
+    Command(PreprocessorCommand),
+    /// Scan worker `segment` has completed one pass over its segment for `query`
+    /// since the query's admission and has retired the query's bit locally.
+    SegmentPassDone {
+        /// The reporting worker's segment index.
+        segment: usize,
+        /// The query whose per-segment pass completed.
+        query: QueryId,
+    },
+}
+
+/// Everything a Preprocessor (classic or segment worker) shares with the rest of
+/// the pipeline. Bundled so constructors stay readable as the front-end grows.
+pub struct PreprocessorContext {
+    /// Queue into the first filter Stage.
+    pub stage_tx: Sender<Message>,
+    /// Direct path for control tuples to the aggregation stage.
+    pub distributor_tx: Sender<Message>,
+    /// Batches in flight between the front-end and the aggregation stage.
+    pub in_flight: Arc<AtomicI64>,
+    /// Pooled batch allocator.
+    pub pool: Arc<BatchPool>,
+    /// Number of dimension slots currently allocated (for tuple sizing).
+    pub slot_count: Arc<AtomicUsize>,
+    /// Global pipeline counters.
+    pub counters: Arc<SharedCounters>,
+    /// This worker's own counters (always sum to the global totals).
+    pub worker_counters: Arc<ScanWorkerCounters>,
+    /// Engine configuration.
+    pub config: CjoinConfig,
+    /// The fact table's partitioning metadata together with the fact column it
+    /// partitions on, when partition pruning is enabled.
+    pub partition_scheme: Option<(PartitionScheme, usize)>,
 }
 
 /// Per-query state kept by the Preprocessor while the query is active.
@@ -88,8 +182,9 @@ struct ActiveQuery {
     progress: Arc<QueryProgress>,
     fact_predicate: Option<BoundPredicate>,
     snapshot: SnapshotId,
-    /// Row position at which the query entered the operator; the query completes when
-    /// the scan next reaches this position.
+    /// Row position at which the query entered the operator (within this worker's
+    /// segment); the query's segment pass completes when the cursor next reaches
+    /// this position.
     start_position: u64,
     /// False until the scan has produced the starting tuple once (the moment of
     /// registration), true afterwards; the second encounter is the wrap-around.
@@ -97,69 +192,127 @@ struct ActiveQuery {
     partition: Option<PartitionPlan>,
 }
 
-/// The Preprocessor: owns the continuous scan and the active-query bookkeeping.
+/// How a Preprocessor behaves at query lifecycle edges.
+enum Role {
+    /// The classic single-threaded front-end: emits the query-start control tuple
+    /// at install and the end-of-query control tuple (behind the drain barrier)
+    /// at wrap-around.
+    Classic,
+    /// One segment worker of a sharded front-end: the [`ScanCoordinator`] owns
+    /// both control tuples; the worker only retires bits locally and reports
+    /// segment-pass completion.
+    Segment {
+        /// This worker's segment index.
+        segment: usize,
+        /// Pass-completion events into the coordinator's inbox.
+        events: Sender<ScanMessage>,
+        /// Parks the worker at batch boundaries while the coordinator drains.
+        stall: Arc<ScanStall>,
+    },
+}
+
+/// The Preprocessor: owns a continuous scan (whole-table or one segment) and the
+/// active-query bookkeeping for it.
 pub struct Preprocessor {
     scan: ContinuousScan,
-    commands: Receiver<PreprocessorCommand>,
+    commands: Receiver<ScanMessage>,
     stage_tx: Sender<Message>,
     distributor_tx: Sender<Message>,
     in_flight: Arc<AtomicI64>,
     pool: Arc<BatchPool>,
     slot_count: Arc<AtomicUsize>,
     counters: Arc<SharedCounters>,
+    worker_counters: Arc<ScanWorkerCounters>,
     config: CjoinConfig,
     partition_scheme: Option<(PartitionScheme, usize)>,
+    role: Role,
 
     active_mask: QuerySet,
     queries: Vec<Option<ActiveQuery>>,
+    /// Ordered index `start position → bits starting there`: one range query per
+    /// scan batch replaces the per-row scans over all active queries for both
+    /// wrap-around detection and `passed_start` flipping.
+    starts_at: BTreeMap<u64, Vec<usize>>,
     /// Bits of queries with a fact predicate, a non-default snapshot or a partition
     /// plan — the slow path of bit initialisation.
     special_bits: Vec<usize>,
+    /// `special_index[bit]` = position of `bit` in `special_bits`, so finalize
+    /// removes a special bit with one swap instead of an O(specials) retain.
+    special_index: Vec<Option<usize>>,
     scan_buffer: ScanBatch,
     /// Scratch bit-vector the per-row `bτ` is computed in before being copied into a
     /// (usually recycled) in-flight tuple — reused across rows, never reallocated.
     bits_scratch: QuerySet,
     /// Scratch list of queries ending at the current row — reused across rows.
     ending_scratch: Vec<usize>,
+    /// Scratch list of `(position, bit)` boundaries within the current scan batch,
+    /// materialised once per batch from `starts_at` — reused across batches.
+    boundary_scratch: Vec<(u64, usize)>,
     shutdown: bool,
 }
 
 impl Preprocessor {
-    /// Creates a Preprocessor.
-    ///
-    /// `partition_scheme` carries the fact table's partitioning metadata together
-    /// with the fact column it partitions on, when partition pruning is enabled.
-    #[allow(clippy::too_many_arguments)]
+    /// Creates the classic single-threaded Preprocessor over a whole-table scan.
     pub fn new(
         scan: ContinuousScan,
-        commands: Receiver<PreprocessorCommand>,
-        stage_tx: Sender<Message>,
-        distributor_tx: Sender<Message>,
-        in_flight: Arc<AtomicI64>,
-        pool: Arc<BatchPool>,
-        slot_count: Arc<AtomicUsize>,
-        counters: Arc<SharedCounters>,
-        config: CjoinConfig,
-        partition_scheme: Option<(PartitionScheme, usize)>,
+        commands: Receiver<ScanMessage>,
+        ctx: PreprocessorContext,
     ) -> Self {
-        let max = config.max_concurrency;
+        Self::with_role(scan, commands, ctx, Role::Classic)
+    }
+
+    /// Creates one segment worker of a sharded scan front-end. `scan` must be a
+    /// segment scan (see [`ContinuousScan::with_segment`]); lifecycle control
+    /// tuples are owned by the [`ScanCoordinator`] receiving `events`.
+    pub fn segment_worker(
+        scan: ContinuousScan,
+        commands: Receiver<ScanMessage>,
+        ctx: PreprocessorContext,
+        segment: usize,
+        events: Sender<ScanMessage>,
+        stall: Arc<ScanStall>,
+    ) -> Self {
+        Self::with_role(
+            scan,
+            commands,
+            ctx,
+            Role::Segment {
+                segment,
+                events,
+                stall,
+            },
+        )
+    }
+
+    fn with_role(
+        scan: ContinuousScan,
+        commands: Receiver<ScanMessage>,
+        ctx: PreprocessorContext,
+        role: Role,
+    ) -> Self {
+        let max = ctx.config.max_concurrency;
         Self {
             scan,
             commands,
-            stage_tx,
-            distributor_tx,
-            in_flight,
-            pool,
-            slot_count,
-            counters,
-            config,
-            partition_scheme,
+            stage_tx: ctx.stage_tx,
+            distributor_tx: ctx.distributor_tx,
+            in_flight: ctx.in_flight,
+            pool: ctx.pool,
+            slot_count: ctx.slot_count,
+            counters: ctx.counters,
+            worker_counters: ctx.worker_counters,
+            config: ctx.config,
+            partition_scheme: ctx.partition_scheme,
+            role,
             active_mask: QuerySet::new(max),
             queries: (0..max).map(|_| None).collect(),
+            starts_at: BTreeMap::new(),
             special_bits: Vec::new(),
+            special_index: vec![None; max],
             scan_buffer: ScanBatch::default(),
             bits_scratch: QuerySet::new(max),
             ending_scratch: Vec::new(),
+            boundary_scratch: Vec::new(),
             shutdown: false,
         }
     }
@@ -175,6 +328,9 @@ impl Preprocessor {
     /// for shutting down the downstream stages and the Distributor afterwards.
     pub fn run(&mut self) {
         loop {
+            if let Role::Segment { stall, .. } = &self.role {
+                stall.park_if_requested();
+            }
             self.apply_commands();
             if self.shutdown {
                 return;
@@ -196,19 +352,27 @@ impl Preprocessor {
     fn apply_commands(&mut self) {
         loop {
             match self.commands.try_recv() {
-                Ok(PreprocessorCommand::Install {
+                Ok(ScanMessage::Command(PreprocessorCommand::Install {
                     runtime,
                     fact_predicate,
                     snapshot,
                     partition,
                     ack,
-                }) => {
-                    self.install_query(runtime, fact_predicate, snapshot, partition);
-                    let _ = ack.send(());
+                })) => {
+                    let plan = partition.into_iter().next().flatten();
+                    self.install_query(runtime, fact_predicate, snapshot, plan);
+                    if let Some(ack) = ack {
+                        let _ = ack.send(());
+                    }
                 }
-                Ok(PreprocessorCommand::Shutdown) => {
+                Ok(ScanMessage::Command(PreprocessorCommand::Shutdown)) => {
                     self.shutdown = true;
                     return;
+                }
+                Ok(ScanMessage::Command(PreprocessorCommand::Probe)) => {}
+                Ok(ScanMessage::SegmentPassDone { .. }) => {
+                    // Only the coordinator's inbox carries these.
+                    debug_assert!(false, "segment event delivered to a scan worker");
                 }
                 Err(TryRecvError::Empty) => return,
                 Err(TryRecvError::Disconnected) => {
@@ -227,24 +391,25 @@ impl Preprocessor {
         partition: Option<PartitionPlan>,
     ) {
         let bit = runtime.id.index();
-        let table_len = self.scan.table().len() as u64;
-        let start_position = if table_len == 0 {
-            0
-        } else {
-            self.scan.position() % table_len
-        };
-        // The query-start control tuple must precede any tuple carrying the query's
-        // bit. Data tuples with the bit are only produced after this method returns,
-        // and they reach the Distributor's queue strictly later than this control
-        // tuple, so no drain barrier is needed here.
-        let _ = self
-            .distributor_tx
-            .send(Message::Control(ControlTuple::QueryStart(Arc::clone(
-                &runtime,
-            ))));
+        let start_position = self.scan.normalized_position();
+        if matches!(self.role, Role::Classic) {
+            // The query-start control tuple must precede any tuple carrying the
+            // query's bit. Data tuples with the bit are only produced after this
+            // method returns, and they reach the Distributor's queue strictly later
+            // than this control tuple, so no drain barrier is needed here. (In
+            // sharded mode the coordinator emitted the start tuple before relaying
+            // this install — same argument, one hop earlier.)
+            let _ = self
+                .distributor_tx
+                .send(Message::Control(ControlTuple::QueryStart(Arc::clone(
+                    &runtime,
+                ))));
+        }
 
         let special =
             fact_predicate.is_some() || snapshot != SnapshotId::INITIAL || partition.is_some();
+        let segment_irrelevant = matches!(self.role, Role::Segment { .. })
+            && partition.as_ref().is_some_and(|p| p.remaining_rows == 0);
         self.queries[bit] = Some(ActiveQuery {
             progress: Arc::clone(&runtime.progress),
             fact_predicate,
@@ -254,35 +419,63 @@ impl Preprocessor {
             partition,
         });
         self.active_mask.set(bit);
+        self.starts_at.entry(start_position).or_default().push(bit);
         if special {
+            self.special_index[bit] = Some(self.special_bits.len());
             self.special_bits.push(bit);
         }
-        SharedCounters::add(&self.counters.queries_admitted, 1);
+        if matches!(self.role, Role::Classic) {
+            SharedCounters::add(&self.counters.queries_admitted, 1);
+        } else if segment_irrelevant {
+            // This segment holds no rows of the partitions the query needs: its
+            // pass is trivially complete, before any of its bits were produced.
+            self.finalize_query(bit);
+        }
     }
 
     fn finalize_query(&mut self, bit: usize) {
-        let Some(query) = &self.queries[bit] else {
+        let Some(query) = self.queries[bit].take() else {
             return;
         };
-        query.progress.mark_completed();
+        query.progress.mark_segment_completed();
         self.active_mask.unset(bit);
-        self.special_bits.retain(|&b| b != bit);
-        self.queries[bit] = None;
-        // Everything sent so far may still carry the query's bit: drain before the
-        // end-of-query control tuple so its aggregation operator neither misses
-        // tuples nor sees them twice.
-        self.drain_barrier();
-        let _ = self
-            .distributor_tx
-            .send(Message::Control(ControlTuple::QueryEnd(QueryId(
-                bit as u32,
-            ))));
-    }
-
-    fn drain_barrier(&self) {
-        SharedCounters::add(&self.counters.control_barriers, 1);
-        while self.in_flight.load(Ordering::Acquire) > 0 {
-            std::thread::yield_now();
+        if let Some(entry) = self.starts_at.get_mut(&query.start_position) {
+            entry.retain(|&b| b != bit);
+            if entry.is_empty() {
+                self.starts_at.remove(&query.start_position);
+            }
+        }
+        if let Some(pos) = self.special_index[bit].take() {
+            // O(1) swap-remove; re-point the bit that swapped into `pos`.
+            self.special_bits.swap_remove(pos);
+            if let Some(&moved) = self.special_bits.get(pos) {
+                self.special_index[moved] = Some(pos);
+            }
+        }
+        match &self.role {
+            Role::Classic => {
+                query.progress.mark_completed();
+                // Everything sent so far may still carry the query's bit: drain
+                // before the end-of-query control tuple so its aggregation operator
+                // neither misses tuples nor sees them twice.
+                drain_barrier(&self.in_flight, &self.counters);
+                let _ = self
+                    .distributor_tx
+                    .send(Message::Control(ControlTuple::QueryEnd(QueryId(
+                        bit as u32,
+                    ))));
+            }
+            Role::Segment {
+                segment, events, ..
+            } => {
+                // The bit is retired locally (this worker will never set it
+                // again); the coordinator emits the single end-of-query control
+                // tuple once every segment has reported.
+                let _ = events.send(ScanMessage::SegmentPassDone {
+                    segment: *segment,
+                    query: QueryId(bit as u32),
+                });
+            }
         }
     }
 
@@ -295,10 +488,12 @@ impl Preprocessor {
         self.scan.next_batch(&mut scan_buffer);
         if scan_buffer.wrapped {
             SharedCounters::add(&self.counters.scan_passes, 1);
+            SharedCounters::add(&self.worker_counters.segment_passes, 1);
         }
         if scan_buffer.is_empty() {
-            // Empty fact table: nothing will ever complete the registered queries by
-            // wrap-around, so finalize them all immediately (their results are empty).
+            // Empty fact table (or empty segment): nothing will ever complete the
+            // registered queries by wrap-around, so finalize them all immediately
+            // (their results — or this segment's contributions — are empty).
             let bits: Vec<usize> = self.active_mask.iter().collect();
             for bit in bits {
                 self.finalize_query(bit);
@@ -308,13 +503,34 @@ impl Preprocessor {
             return;
         }
         SharedCounters::add(&self.counters.tuples_scanned, scan_buffer.len() as u64);
+        SharedCounters::add(
+            &self.worker_counters.tuples_scanned,
+            scan_buffer.len() as u64,
+        );
         // Every active query sees every scanned row exactly once per pass; the batch
-        // length is therefore each query's progress increment (§3.2.3).
+        // length is therefore each query's progress increment (§3.2.3). With
+        // segment workers the per-segment batches sum to the whole table, so the
+        // shared tracker stays exact.
         for bit in self.active_mask.iter() {
             if let Some(q) = &self.queries[bit] {
                 q.progress.advance(scan_buffer.len() as u64);
             }
         }
+
+        // One ordered range query per batch finds every query whose starting tuple
+        // lies in the batch's (consecutive, ascending) row range; the per-row loop
+        // below then only compares against the next such boundary. This is the
+        // O(1)-per-row replacement for rescanning all active queries per row.
+        let mut boundaries = std::mem::take(&mut self.boundary_scratch);
+        boundaries.clear();
+        let first = scan_buffer.rows.first().map(|(id, _, _)| id.0).unwrap_or(0);
+        let last = scan_buffer.rows.last().map(|(id, _, _)| id.0).unwrap_or(0);
+        boundaries.extend(
+            self.starts_at
+                .range(first..=last)
+                .flat_map(|(&pos, bits)| bits.iter().map(move |&bit| (pos, bit))),
+        );
+        let mut next_boundary = 0usize;
 
         let num_slots = self.slot_count.load(Ordering::Acquire);
         let mut out: Batch = self.pool.take(self.config.batch_size);
@@ -327,33 +543,45 @@ impl Preprocessor {
         let mut tuples_allocated = 0u64;
 
         for (row_id, row, version) in scan_buffer.rows.drain(..) {
-            // Wrap-around detection: a query ends right before its starting tuple is
-            // seen for the second time. The scratch list is reused across rows
-            // (taken/restored around `finalize_query`, which needs `&mut self`).
             let position = row_id.0;
-            let mut ending = std::mem::take(&mut self.ending_scratch);
-            ending.clear();
-            ending.extend(self.active_mask.iter().filter(|&bit| {
-                self.queries[bit]
-                    .as_ref()
-                    .is_some_and(|q| q.start_position == position && q.passed_start)
-            }));
-            if !ending.is_empty() {
-                // Flush tuples produced so far so the barrier covers them.
-                out = self.flush(out);
-                for &bit in &ending {
-                    self.finalize_query(bit);
+            if next_boundary < boundaries.len() && boundaries[next_boundary].0 == position {
+                // A starting tuple: queries that already passed it end right here
+                // (wrap-around, §3.3.2); the rest pass it now. The scratch list is
+                // reused across rows (taken/restored around `finalize_query`,
+                // which needs `&mut self`).
+                let from = next_boundary;
+                while next_boundary < boundaries.len() && boundaries[next_boundary].0 == position {
+                    next_boundary += 1;
                 }
-            }
-            self.ending_scratch = ending;
-            if self.active_mask.is_empty() {
-                // No query left; the rest of the scan batch is irrelevant.
-                break;
-            }
-            for bit in self.active_mask.iter() {
-                if let Some(q) = &mut self.queries[bit] {
-                    if q.start_position == position {
-                        q.passed_start = true;
+                let mut ending = std::mem::take(&mut self.ending_scratch);
+                ending.clear();
+                ending.extend(
+                    boundaries[from..next_boundary]
+                        .iter()
+                        .filter_map(|&(_, bit)| {
+                            self.queries[bit]
+                                .as_ref()
+                                .is_some_and(|q| q.passed_start)
+                                .then_some(bit)
+                        }),
+                );
+                if !ending.is_empty() {
+                    // Flush tuples produced so far so the barrier covers them.
+                    out = self.flush(out);
+                    for &bit in &ending {
+                        self.finalize_query(bit);
+                    }
+                }
+                self.ending_scratch = ending;
+                if self.active_mask.is_empty() {
+                    // No query left; the rest of the scan batch is irrelevant.
+                    break;
+                }
+                for &(_, bit) in &boundaries[from..next_boundary] {
+                    if let Some(q) = &mut self.queries[bit] {
+                        if q.start_position == position {
+                            q.passed_start = true;
+                        }
                     }
                 }
             }
@@ -398,6 +626,7 @@ impl Preprocessor {
                 }
             }
         }
+        self.boundary_scratch = boundaries;
         if tuples_recycled > 0 {
             SharedCounters::add(&self.counters.tuples_recycled, tuples_recycled);
         }
@@ -450,6 +679,7 @@ impl Preprocessor {
         }
         self.in_flight.fetch_add(1, Ordering::AcqRel);
         SharedCounters::add(&self.counters.batches_sent, 1);
+        SharedCounters::add(&self.worker_counters.batches_sent, 1);
         if self.stage_tx.send(Message::Data(batch)).is_err() {
             // Pipeline tearing down; undo the in-flight accounting so barriers do not
             // hang during shutdown.
@@ -459,11 +689,361 @@ impl Preprocessor {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Drain barrier
+// ---------------------------------------------------------------------------
+
+/// Waits until the in-flight batch counter reaches zero, with bounded
+/// spin-then-park backoff (pure spins, then yields, then exponentially growing
+/// micro-sleeps capped at ~256 µs), recording the wait in `control_barriers` /
+/// `barrier_wait_ns`. Used by the classic Preprocessor before every end-of-query
+/// control tuple and by the [`ScanCoordinator`] while workers are stalled.
+pub(crate) fn drain_barrier(in_flight: &AtomicI64, counters: &SharedCounters) {
+    SharedCounters::add(&counters.control_barriers, 1);
+    if in_flight.load(Ordering::Acquire) <= 0 {
+        return;
+    }
+    let started = Instant::now();
+    let mut round = 0u32;
+    while in_flight.load(Ordering::Acquire) > 0 {
+        if round < 64 {
+            std::hint::spin_loop();
+        } else if round < 96 {
+            std::thread::yield_now();
+        } else {
+            // "Park": no wake-up event exists for the counter, so sleep with an
+            // exponentially growing, bounded interval instead of burning a core.
+            let exp = (round - 96).min(6);
+            std::thread::sleep(Duration::from_micros(4u64 << exp));
+        }
+        round += 1;
+    }
+    SharedCounters::add(
+        &counters.barrier_wait_ns,
+        started.elapsed().as_nanos() as u64,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Stall protocol (sharded front-end)
+// ---------------------------------------------------------------------------
+
+/// Parks every segment scan worker at its next batch boundary while the
+/// coordinator drains the pipeline for an end-of-query control tuple.
+///
+/// Workers call [`ScanStall::park_if_requested`] once per loop iteration — a
+/// single uncontended mutex acquisition per scan batch. The coordinator's
+/// [`ScanStall::stall`] returns only once all `workers` are parked, which makes
+/// the subsequent drain barrier terminate: no producer is running, so the
+/// in-flight counter can only fall. [`ScanStall::release`] resumes the workers.
+/// A worker that is already parked when a release races with the next stall
+/// simply stays parked (it re-checks the request under the lock before
+/// decrementing its park count), so the coordinator can never over- or
+/// under-count parked workers.
+#[derive(Debug)]
+pub struct ScanStall {
+    state: Mutex<StallState>,
+    cv: Condvar,
+    workers: usize,
+}
+
+#[derive(Debug, Default)]
+struct StallState {
+    requested: bool,
+    parked: usize,
+    shutdown: bool,
+}
+
+impl ScanStall {
+    /// Creates a stall gate for `workers` segment scan workers.
+    pub fn new(workers: usize) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(StallState::default()),
+            cv: Condvar::new(),
+            workers,
+        })
+    }
+
+    /// Worker side: parks until released if a stall is requested; otherwise
+    /// returns immediately.
+    pub fn park_if_requested(&self) {
+        let mut s = self.state.lock().unwrap();
+        if !s.requested {
+            return;
+        }
+        s.parked += 1;
+        self.cv.notify_all();
+        while s.requested && !s.shutdown {
+            s = self.cv.wait(s).unwrap();
+        }
+        s.parked -= 1;
+        self.cv.notify_all();
+    }
+
+    /// Coordinator side: requests a stall and blocks until every worker is parked
+    /// (or the gate is shut down).
+    pub fn stall(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.requested = true;
+        while s.parked < self.workers && !s.shutdown {
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+
+    /// Coordinator side: releases a stall, resuming every parked worker.
+    pub fn release(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.requested = false;
+        self.cv.notify_all();
+    }
+
+    /// Permanently opens the gate (pipeline teardown): parked workers resume and
+    /// no future stall blocks.
+    pub fn shutdown(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.shutdown = true;
+        s.requested = false;
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission coordinator (sharded front-end)
+// ---------------------------------------------------------------------------
+
+/// Per-query completion bookkeeping held by the coordinator.
+struct PendingQuery {
+    progress: Arc<QueryProgress>,
+    segments_remaining: usize,
+}
+
+/// The admission coordinator of a sharded scan front-end.
+///
+/// Owns the engine-facing command channel and the paper's §3.3 lifecycle
+/// protocol: it emits the query-start control tuple, relays installs to every
+/// segment worker (each installs at its own next segment-batch boundary),
+/// collects per-segment pass completions, and — once all segments completed one
+/// pass since a query's admission — stalls the workers, runs the drain barrier,
+/// and emits the single end-of-query control tuple. Downstream (Distributor /
+/// ShardRouter / ShardMerger) semantics are therefore identical to the classic
+/// single-threaded Preprocessor.
+pub struct ScanCoordinator {
+    inbox: Receiver<ScanMessage>,
+    worker_txs: Vec<Sender<ScanMessage>>,
+    distributor_tx: Sender<Message>,
+    in_flight: Arc<AtomicI64>,
+    counters: Arc<SharedCounters>,
+    stall: Arc<ScanStall>,
+    pending: Vec<Option<PendingQuery>>,
+    shutdown: bool,
+}
+
+impl ScanCoordinator {
+    /// Creates a coordinator for the given segment workers.
+    pub fn new(
+        inbox: Receiver<ScanMessage>,
+        worker_txs: Vec<Sender<ScanMessage>>,
+        distributor_tx: Sender<Message>,
+        in_flight: Arc<AtomicI64>,
+        counters: Arc<SharedCounters>,
+        stall: Arc<ScanStall>,
+        max_concurrency: usize,
+    ) -> Self {
+        Self {
+            inbox,
+            worker_txs,
+            distributor_tx,
+            in_flight,
+            counters,
+            stall,
+            pending: (0..max_concurrency).map(|_| None).collect(),
+            shutdown: false,
+        }
+    }
+
+    /// Runs the coordinator loop until shutdown, then tears the workers down.
+    pub fn run(&mut self) {
+        while !self.shutdown {
+            match self.inbox.recv() {
+                Ok(msg) => self.handle(msg),
+                Err(_) => break,
+            }
+        }
+        // Teardown: wake any parked worker, then stop each one. The engine joins
+        // the worker threads after this thread exits.
+        self.stall.shutdown();
+        for tx in &self.worker_txs {
+            let _ = tx.send(ScanMessage::Command(PreprocessorCommand::Shutdown));
+        }
+    }
+
+    fn handle(&mut self, msg: ScanMessage) {
+        match msg {
+            ScanMessage::Command(PreprocessorCommand::Install {
+                runtime,
+                fact_predicate,
+                snapshot,
+                partition,
+                ack,
+            }) => {
+                if self.install(runtime, fact_predicate, snapshot, partition) {
+                    if let Some(ack) = ack {
+                        let _ = ack.send(());
+                    }
+                }
+                // On a failed install (dead worker) the ack sender is dropped
+                // unsent, so the submitting client observes the failure instead
+                // of a successful admission that can never complete.
+            }
+            ScanMessage::Command(PreprocessorCommand::Shutdown) => self.shutdown = true,
+            // Probes flow coordinator → worker only; ignore a stray one.
+            ScanMessage::Command(PreprocessorCommand::Probe) => {}
+            ScanMessage::SegmentPassDone { query, .. } => {
+                let mut ready = Vec::new();
+                self.record_segment_done(query, &mut ready);
+                if ready.is_empty() {
+                    return;
+                }
+                // A stall is about to make the front-end briefly unresponsive:
+                // apply every already-queued message first, so admissions ack at
+                // classic latency instead of waiting out the stall, and any
+                // concurrent pass completions share this single stall.
+                while !self.shutdown {
+                    match self.inbox.try_recv() {
+                        Ok(ScanMessage::SegmentPassDone { query, .. }) => {
+                            self.record_segment_done(query, &mut ready);
+                        }
+                        Ok(other) => self.handle(other),
+                        Err(_) => break,
+                    }
+                }
+                if !self.shutdown {
+                    self.finalize(ready);
+                }
+                // On shutdown the pending queries are abandoned: they can no
+                // longer complete correctly, and their waiters observe the
+                // teardown through the result channels.
+            }
+        }
+    }
+
+    /// Installs a query across the front-end; returns false (and shuts the
+    /// coordinator down) if a segment worker is no longer reachable.
+    fn install(
+        &mut self,
+        runtime: Arc<QueryRuntime>,
+        fact_predicate: Option<BoundPredicate>,
+        snapshot: SnapshotId,
+        partition: Vec<Option<PartitionPlan>>,
+    ) -> bool {
+        let bit = runtime.id.index();
+        // Invariant 1 (§3.3.1): the query-start control tuple enters the
+        // Distributor's queue before any worker has even been told about the
+        // query, so no data tuple carrying its bit can precede it.
+        let _ = self
+            .distributor_tx
+            .send(Message::Control(ControlTuple::QueryStart(Arc::clone(
+                &runtime,
+            ))));
+        self.pending[bit] = Some(PendingQuery {
+            progress: Arc::clone(&runtime.progress),
+            segments_remaining: self.worker_txs.len(),
+        });
+        // Relay the install to every worker; each installs at its own next
+        // segment-batch boundary. No round-trip is needed: the paper's submission
+        // contract ("the query-start control tuple has entered the pipeline") is
+        // already met, each worker's command queue is FIFO (the install precedes
+        // any later command to that worker), and the exactly-one-pass argument
+        // only depends on *where* a worker installs the bit, not on when the
+        // engine learns about it. Skipping the ack wait keeps sharded submission
+        // latency at classic levels instead of paying one batch boundary per
+        // worker.
+        for (worker, tx) in self.worker_txs.iter().enumerate() {
+            let sent = tx.send(ScanMessage::Command(PreprocessorCommand::Install {
+                runtime: Arc::clone(&runtime),
+                fact_predicate: fact_predicate.clone(),
+                snapshot,
+                partition: vec![partition.get(worker).cloned().flatten()],
+                ack: None,
+            }));
+            if sent.is_err() {
+                // A segment worker's command receiver is gone outside an orderly
+                // shutdown: the front-end can no longer deliver a full pass, and
+                // this query's segments_remaining would never reach zero. Mirror
+                // the classic dead-Preprocessor failure mode — stop consuming
+                // commands, so this submission and every later one fail fast
+                // instead of hanging silently. Opening the stall gate keeps any
+                // subsequent stall from waiting on the dead worker.
+                self.shutdown = true;
+                self.stall.shutdown();
+                return false;
+            }
+        }
+        SharedCounters::add(&self.counters.queries_admitted, 1);
+        true
+    }
+
+    /// Counts one segment pass for `query`; pushes its bit onto `ready` once all
+    /// segments have reported.
+    fn record_segment_done(&mut self, query: QueryId, ready: &mut Vec<usize>) {
+        let bit = query.index();
+        match &mut self.pending[bit] {
+            Some(p) => {
+                p.segments_remaining = p.segments_remaining.saturating_sub(1);
+                if p.segments_remaining == 0 {
+                    ready.push(bit);
+                }
+            }
+            // A pass event for an unknown query would mean a worker finished a
+            // pass for a bit the coordinator never installed; never happens in a
+            // running pipeline.
+            None => debug_assert!(false, "segment pass for unregistered query {query:?}"),
+        }
+    }
+
+    /// Ends every query in `ready` behind one stall + drain barrier.
+    ///
+    /// Invariant 2 (§3.3.2/§3.3.3): every worker has retired these bits locally,
+    /// so batches produced from here on cannot carry them — but batches already
+    /// in flight can. Park the workers at their next batch boundary (making the
+    /// in-flight counter monotonically non-increasing), drain it to zero, and
+    /// only then emit the end-of-query control tuples.
+    fn finalize(&mut self, ready: Vec<usize>) {
+        // A worker that died abnormally can never park: probe every command
+        // channel first so a dead worker turns into the fail-fast shutdown path
+        // instead of a stall that waits forever.
+        for tx in &self.worker_txs {
+            if tx
+                .send(ScanMessage::Command(PreprocessorCommand::Probe))
+                .is_err()
+            {
+                self.shutdown = true;
+                self.stall.shutdown();
+                return;
+            }
+        }
+        self.stall.stall();
+        drain_barrier(&self.in_flight, &self.counters);
+        for bit in ready {
+            let Some(pending) = self.pending[bit].take() else {
+                continue;
+            };
+            pending.progress.mark_completed();
+            let _ = self
+                .distributor_tx
+                .send(Message::Control(ControlTuple::QueryEnd(QueryId(
+                    bit as u32,
+                ))));
+        }
+        self.stall.release();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cjoin_query::{AggregateSpec, StarQuery};
-    use cjoin_storage::{Catalog, Column, Row, Schema, Table, Value};
+    use cjoin_storage::{segment_ranges, Catalog, Column, Row, Schema, Table, Value};
     use crossbeam::channel::{bounded, unbounded};
     use std::time::Instant;
 
@@ -479,15 +1059,34 @@ mod tests {
         Arc::new(t)
     }
 
-    /// Builds a Preprocessor wired to in-memory channels, returning the pieces the
-    /// test drives directly.
+    fn context(
+        config: &CjoinConfig,
+        stage_tx: Sender<Message>,
+        dist_tx: Sender<Message>,
+        in_flight: Arc<AtomicI64>,
+    ) -> PreprocessorContext {
+        PreprocessorContext {
+            stage_tx,
+            distributor_tx: dist_tx,
+            in_flight,
+            pool: BatchPool::new(8, true),
+            slot_count: Arc::new(AtomicUsize::new(1)),
+            counters: SharedCounters::new(),
+            worker_counters: Arc::new(ScanWorkerCounters::default()),
+            config: config.clone(),
+            partition_scheme: None,
+        }
+    }
+
+    /// Builds a classic Preprocessor wired to in-memory channels, returning the
+    /// pieces the test drives directly.
     #[allow(clippy::type_complexity)]
     fn harness(
         rows: i64,
         config: CjoinConfig,
     ) -> (
         Preprocessor,
-        Sender<PreprocessorCommand>,
+        Sender<ScanMessage>,
         Receiver<Message>,
         Receiver<Message>,
         Arc<AtomicI64>,
@@ -498,18 +1097,8 @@ mod tests {
         let (stage_tx, stage_rx) = unbounded();
         let (dist_tx, dist_rx) = unbounded();
         let in_flight = Arc::new(AtomicI64::new(0));
-        let pre = Preprocessor::new(
-            scan,
-            cmd_rx,
-            stage_tx,
-            dist_tx,
-            Arc::clone(&in_flight),
-            BatchPool::new(8, true),
-            Arc::new(AtomicUsize::new(1)),
-            SharedCounters::new(),
-            config,
-            None,
-        );
+        let ctx = context(&config, stage_tx, dist_tx, Arc::clone(&in_flight));
+        let pre = Preprocessor::new(scan, cmd_rx, ctx);
         (pre, cmd_tx, stage_rx, dist_rx, in_flight)
     }
 
@@ -541,16 +1130,16 @@ mod tests {
         )
     }
 
-    fn install(cmd_tx: &Sender<PreprocessorCommand>, runtime: Arc<QueryRuntime>) {
+    fn install(cmd_tx: &Sender<ScanMessage>, runtime: Arc<QueryRuntime>) {
         let (ack_tx, _ack_rx) = bounded(1);
         cmd_tx
-            .send(PreprocessorCommand::Install {
+            .send(ScanMessage::Command(PreprocessorCommand::Install {
                 runtime,
                 fact_predicate: None,
                 snapshot: SnapshotId::INITIAL,
-                partition: None,
-                ack: ack_tx,
-            })
+                partition: Vec::new(),
+                ack: Some(ack_tx),
+            }))
             .unwrap();
     }
 
@@ -672,13 +1261,13 @@ mod tests {
             .unwrap();
         let (ack_tx, _ack) = bounded(1);
         cmd_tx
-            .send(PreprocessorCommand::Install {
+            .send(ScanMessage::Command(PreprocessorCommand::Install {
                 runtime: rt,
                 fact_predicate: Some(pred),
                 snapshot: SnapshotId::INITIAL,
-                partition: None,
-                ack: ack_tx,
-            })
+                partition: Vec::new(),
+                ack: Some(ack_tx),
+            }))
             .unwrap();
         pre.apply_commands();
         let _ = dist_rx.try_recv();
@@ -704,7 +1293,9 @@ mod tests {
     fn shutdown_command_stops_the_loop() {
         let config = CjoinConfig::default().with_max_concurrency(4);
         let (mut pre, cmd_tx, stage_rx, dist_rx, _) = harness(5, config);
-        cmd_tx.send(PreprocessorCommand::Shutdown).unwrap();
+        cmd_tx
+            .send(ScanMessage::Command(PreprocessorCommand::Shutdown))
+            .unwrap();
         pre.run(); // returns instead of scanning forever
         assert!(
             stage_rx.try_recv().is_err(),
@@ -739,29 +1330,19 @@ mod tests {
         let (stage_tx, stage_rx) = unbounded();
         let (dist_tx, dist_rx) = unbounded();
         let in_flight = Arc::new(AtomicI64::new(0));
-        let mut pre = Preprocessor::new(
-            scan,
-            cmd_rx,
-            stage_tx,
-            dist_tx,
-            Arc::clone(&in_flight),
-            BatchPool::new(4, true),
-            Arc::new(AtomicUsize::new(0)),
-            SharedCounters::new(),
-            config,
-            None,
-        );
+        let ctx = context(&config, stage_tx, dist_tx, Arc::clone(&in_flight));
+        let mut pre = Preprocessor::new(scan, cmd_rx, ctx);
         // Query pinned at snapshot 0 must only see the first 5 rows.
         let (rt, _r) = dummy_runtime(0);
         let (ack_tx, _ack) = bounded(1);
         cmd_tx
-            .send(PreprocessorCommand::Install {
+            .send(ScanMessage::Command(PreprocessorCommand::Install {
                 runtime: rt,
                 fact_predicate: None,
                 snapshot: SnapshotId(0),
-                partition: None,
-                ack: ack_tx,
-            })
+                partition: Vec::new(),
+                ack: Some(ack_tx),
+            }))
             .unwrap();
         pre.apply_commands();
         let _ = dist_rx.try_recv();
@@ -777,5 +1358,374 @@ mod tests {
             }
         }
         assert_eq!(forwarded, 5);
+    }
+
+    #[test]
+    fn many_active_queries_share_one_boundary_lookup_per_batch() {
+        // Regression shape for the O(active-queries)-per-row loops: all queries
+        // installed at position 0 must still end after exactly one pass each.
+        let config = CjoinConfig::default()
+            .with_max_concurrency(16)
+            .with_batch_size(10);
+        let (mut pre, cmd_tx, stage_rx, dist_rx, in_flight) = harness(30, config);
+        let runtimes: Vec<_> = (0..8).map(dummy_runtime).collect();
+        for (rt, _) in &runtimes {
+            install(&cmd_tx, Arc::clone(rt));
+        }
+        pre.apply_commands();
+        while dist_rx.try_recv().is_ok() {}
+        assert_eq!(pre.active_queries(), 8);
+
+        let mut ended = 0usize;
+        for _ in 0..10 {
+            pre.process_next_scan_batch();
+            while let Ok(msg) = stage_rx.try_recv() {
+                if let Message::Data(_) = msg {
+                    in_flight.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            while let Ok(msg) = dist_rx.try_recv() {
+                if matches!(msg, Message::Control(ControlTuple::QueryEnd(_))) {
+                    ended += 1;
+                }
+            }
+            if ended == 8 {
+                break;
+            }
+        }
+        assert_eq!(ended, 8, "every query ends after exactly one pass");
+        assert_eq!(pre.active_queries(), 0);
+    }
+
+    #[test]
+    fn drain_barrier_records_wait_time() {
+        let counters = SharedCounters::new();
+        let in_flight = Arc::new(AtomicI64::new(0));
+        // Fast path: nothing in flight, no wait recorded.
+        drain_barrier(&in_flight, &counters);
+        assert_eq!(counters.control_barriers.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.barrier_wait_ns.load(Ordering::Relaxed), 0);
+        // Slow path: a helper drains the counter after a delay.
+        in_flight.store(3, Ordering::Release);
+        let helper = {
+            let in_flight = Arc::clone(&in_flight);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                in_flight.store(0, Ordering::Release);
+            })
+        };
+        drain_barrier(&in_flight, &counters);
+        helper.join().unwrap();
+        assert_eq!(counters.control_barriers.load(Ordering::Relaxed), 2);
+        assert!(
+            counters.barrier_wait_ns.load(Ordering::Relaxed) >= 1_000_000,
+            "the ~5 ms wait is attributed to the barrier"
+        );
+    }
+
+    #[test]
+    fn stall_parks_and_releases_workers() {
+        let stall = ScanStall::new(2);
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let stall = Arc::clone(&stall);
+                std::thread::spawn(move || {
+                    // Emulate the scan loop: check the gate until shutdown.
+                    loop {
+                        stall.park_if_requested();
+                        {
+                            let s = stall.state.lock().unwrap();
+                            if s.shutdown {
+                                return;
+                            }
+                        }
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                })
+            })
+            .collect();
+        // stall() returns only once both workers are parked.
+        stall.stall();
+        assert_eq!(stall.state.lock().unwrap().parked, 2);
+        stall.release();
+        // Workers resume; a second stall round still works.
+        stall.stall();
+        assert_eq!(stall.state.lock().unwrap().parked, 2);
+        stall.release();
+        stall.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    /// A dead segment worker (dropped command receiver outside an orderly
+    /// shutdown) must fail the submission fast — the engine-facing ack channel
+    /// is dropped unsent and the coordinator stops consuming commands — instead
+    /// of admitting a query whose pass can never complete.
+    #[test]
+    fn coordinator_fails_fast_when_a_segment_worker_dies() {
+        let (inbox_tx, inbox_rx) = unbounded();
+        let (dist_tx, dist_rx) = unbounded::<Message>();
+        let (dead_tx, dead_rx) = unbounded();
+        drop(dead_rx); // the "worker" is gone
+        let counters = SharedCounters::new();
+        let mut coordinator = ScanCoordinator::new(
+            inbox_rx,
+            vec![dead_tx],
+            dist_tx,
+            Arc::new(AtomicI64::new(0)),
+            Arc::clone(&counters),
+            ScanStall::new(1),
+            8,
+        );
+        let coord = std::thread::spawn(move || coordinator.run());
+
+        let (rt, _res) = dummy_runtime(0);
+        let (ack_tx, ack_rx) = bounded(1);
+        inbox_tx
+            .send(ScanMessage::Command(PreprocessorCommand::Install {
+                runtime: rt,
+                fact_predicate: None,
+                snapshot: SnapshotId::INITIAL,
+                partition: Vec::new(),
+                ack: Some(ack_tx),
+            }))
+            .unwrap();
+        assert!(
+            ack_rx.recv().is_err(),
+            "the submission must observe the failure, not a successful admission"
+        );
+        coord.join().unwrap(); // the coordinator shut itself down
+        assert_eq!(
+            counters.queries_admitted.load(Ordering::Relaxed),
+            0,
+            "a failed install is not counted as an admission"
+        );
+        // The start tuple may already have been enqueued (it precedes the relay);
+        // what matters is that no end tuple ever will be.
+        while let Ok(msg) = dist_rx.try_recv() {
+            assert!(
+                matches!(msg, Message::Control(ControlTuple::QueryStart(_))),
+                "unexpected message after failed install: {msg:?}"
+            );
+        }
+    }
+
+    /// A worker that dies *after* its installs succeeded (and after reporting
+    /// pass completions) must not hang the coordinator's finalize stall: the
+    /// pre-stall liveness probe detects the dropped command receiver and takes
+    /// the fail-fast shutdown path instead.
+    #[test]
+    fn coordinator_finalize_survives_a_worker_dying_after_install() {
+        let (inbox_tx, inbox_rx) = unbounded();
+        let (dist_tx, dist_rx) = unbounded::<Message>();
+        let (tx_alive, _rx_alive) = unbounded();
+        let (tx_dying, rx_dying) = unbounded();
+        let counters = SharedCounters::new();
+        let mut coordinator = ScanCoordinator::new(
+            inbox_rx,
+            vec![tx_alive, tx_dying],
+            dist_tx,
+            Arc::new(AtomicI64::new(0)),
+            Arc::clone(&counters),
+            ScanStall::new(2),
+            8,
+        );
+        let coord = std::thread::spawn(move || coordinator.run());
+
+        let (rt, _res) = dummy_runtime(0);
+        let (ack_tx, ack_rx) = bounded(1);
+        inbox_tx
+            .send(ScanMessage::Command(PreprocessorCommand::Install {
+                runtime: rt,
+                fact_predicate: None,
+                snapshot: SnapshotId::INITIAL,
+                partition: Vec::new(),
+                ack: Some(ack_tx),
+            }))
+            .unwrap();
+        ack_rx.recv().unwrap(); // install succeeded, both workers reachable
+
+        // Both segments report their pass, but one worker dies first.
+        drop(rx_dying);
+        for segment in 0..2 {
+            inbox_tx
+                .send(ScanMessage::SegmentPassDone {
+                    segment,
+                    query: QueryId(0),
+                })
+                .unwrap();
+        }
+        // Without the probe this would deadlock in stall(); with it the
+        // coordinator shuts down and joins.
+        coord.join().unwrap();
+        let saw_end = std::iter::from_fn(|| dist_rx.try_recv().ok())
+            .any(|m| matches!(m, Message::Control(ControlTuple::QueryEnd(_))));
+        assert!(!saw_end, "no end tuple may be emitted without the barrier");
+    }
+
+    /// Full sharded front-end harness: N segment workers + coordinator threads
+    /// over in-memory channels, with a consumer emulating the filter stages and
+    /// the Distributor (drains data, decrements in-flight, records per-bit tuple
+    /// counts and control ordering).
+    #[test]
+    fn sharded_front_end_delivers_exactly_one_pass_and_ordered_controls() {
+        const ROWS: i64 = 95;
+        const WORKERS: usize = 3;
+        let config = CjoinConfig::default()
+            .with_max_concurrency(8)
+            .with_batch_size(10)
+            .with_scan_workers(WORKERS);
+        let table = fact_table(ROWS);
+        let (inbox_tx, inbox_rx) = unbounded();
+        let (stage_tx, stage_rx) = unbounded();
+        let (dist_tx, dist_rx) = unbounded::<Message>();
+        let in_flight = Arc::new(AtomicI64::new(0));
+        let counters = SharedCounters::new();
+        let stall = ScanStall::new(WORKERS);
+
+        let ranges = segment_ranges(table.len() as u64, table.rows_per_page(), WORKERS);
+        let mut worker_txs = Vec::new();
+        let mut worker_handles = Vec::new();
+        for (w, &(start, end)) in ranges.iter().enumerate() {
+            let scan = ContinuousScan::new(Arc::clone(&table))
+                .with_batch_rows(config.batch_size)
+                .with_segment(start, end);
+            let (wtx, wrx) = unbounded();
+            worker_txs.push(wtx);
+            let ctx = PreprocessorContext {
+                stage_tx: stage_tx.clone(),
+                distributor_tx: dist_tx.clone(),
+                in_flight: Arc::clone(&in_flight),
+                pool: BatchPool::new(8, true),
+                slot_count: Arc::new(AtomicUsize::new(0)),
+                counters: Arc::clone(&counters),
+                worker_counters: Arc::new(ScanWorkerCounters::default()),
+                config: config.clone(),
+                partition_scheme: None,
+            };
+            let mut worker = Preprocessor::segment_worker(
+                scan,
+                wrx,
+                ctx,
+                w,
+                inbox_tx.clone(),
+                Arc::clone(&stall),
+            );
+            worker_handles.push(std::thread::spawn(move || worker.run()));
+        }
+        let mut coordinator = ScanCoordinator::new(
+            inbox_rx,
+            worker_txs,
+            dist_tx.clone(),
+            Arc::clone(&in_flight),
+            Arc::clone(&counters),
+            Arc::clone(&stall),
+            config.max_concurrency,
+        );
+        let coord_handle = std::thread::spawn(move || coordinator.run());
+
+        // Consumer thread: emulates stages + Distributor (decrements in-flight per
+        // batch, counts per-bit tuples, checks start-before-data-before-end).
+        //
+        // The ordering assertions are sound even though data and control ride
+        // different channels: a data tuple carrying a bit implies its query-start
+        // is already *enqueued* (the coordinator sends it before any worker learns
+        // of the query), so draining the control queue on demand must surface it;
+        // and a query-end is only enqueued once in-flight hit zero — which, with
+        // this consumer being the sole decrementer, means every prior data batch
+        // was already consumed, so any data seen after the end tuple was produced
+        // after it and cannot carry the ended bit.
+        let consumer = {
+            let in_flight = Arc::clone(&in_flight);
+            std::thread::spawn(move || {
+                let mut tuples_per_bit = [0u64; 8];
+                let mut started = [false; 8];
+                let mut ended = [false; 8];
+                loop {
+                    let drain_control = |started: &mut [bool; 8], ended: &mut [bool; 8]| {
+                        while let Ok(msg) = dist_rx.try_recv() {
+                            match msg {
+                                Message::Control(ControlTuple::QueryStart(rt)) => {
+                                    started[rt.id.index()] = true;
+                                }
+                                Message::Control(ControlTuple::QueryEnd(id)) => {
+                                    ended[id.index()] = true;
+                                }
+                                other => panic!("unexpected control-path message {other:?}"),
+                            }
+                        }
+                    };
+                    drain_control(&mut started, &mut ended);
+                    while let Ok(Message::Data(batch)) = stage_rx.try_recv() {
+                        for t in &batch {
+                            for bit in t.bits.iter() {
+                                if !started[bit] {
+                                    drain_control(&mut started, &mut ended);
+                                }
+                                assert!(started[bit], "data before query-start for bit {bit}");
+                                assert!(!ended[bit], "data after query-end for bit {bit}");
+                                tuples_per_bit[bit] += 1;
+                            }
+                        }
+                        in_flight.fetch_sub(1, Ordering::AcqRel);
+                    }
+                    if ended[0] && ended[1] {
+                        return tuples_per_bit;
+                    }
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            })
+        };
+
+        // Two queries: one immediately, one mid-scan.
+        let (rt0, _r0) = dummy_runtime(0);
+        let (ack_tx, ack_rx) = bounded(1);
+        inbox_tx
+            .send(ScanMessage::Command(PreprocessorCommand::Install {
+                runtime: rt0,
+                fact_predicate: None,
+                snapshot: SnapshotId::INITIAL,
+                partition: Vec::new(),
+                ack: Some(ack_tx),
+            }))
+            .unwrap();
+        ack_rx.recv().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        let (rt1, _r1) = dummy_runtime(1);
+        let (ack_tx, ack_rx) = bounded(1);
+        inbox_tx
+            .send(ScanMessage::Command(PreprocessorCommand::Install {
+                runtime: rt1,
+                fact_predicate: None,
+                snapshot: SnapshotId::INITIAL,
+                partition: Vec::new(),
+                ack: Some(ack_tx),
+            }))
+            .unwrap();
+        ack_rx.recv().unwrap();
+
+        let tuples_per_bit = consumer.join().unwrap();
+        assert_eq!(
+            tuples_per_bit[0], ROWS as u64,
+            "query 0 sees each fact row exactly once across segments"
+        );
+        assert_eq!(
+            tuples_per_bit[1], ROWS as u64,
+            "the mid-scan query sees each fact row exactly once across segments"
+        );
+        assert_eq!(
+            in_flight.load(Ordering::Acquire),
+            0,
+            "quiesced after both queries ended"
+        );
+
+        inbox_tx
+            .send(ScanMessage::Command(PreprocessorCommand::Shutdown))
+            .unwrap();
+        coord_handle.join().unwrap();
+        for h in worker_handles {
+            h.join().unwrap();
+        }
     }
 }

@@ -15,12 +15,23 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Progress of one registered query.
+///
+/// With a sharded scan front-end (`CjoinConfig::scan_workers > 1`) the pass is
+/// split across segment workers: each worker advances `rows_seen` by the rows of
+/// its own segment (the segment rows sum to the table, so [`QueryProgress::fraction`]
+/// stays exact) and marks its segment's pass complete when its cursor wraps the
+/// query's per-segment starting tuple. The query completes once every segment
+/// has finished one pass since admission.
 #[derive(Debug)]
 pub struct QueryProgress {
     /// Fact rows the scan has produced since the query was installed.
     rows_seen: AtomicU64,
     /// Fact rows one full pass needs to cover (table size at admission).
     rows_total: u64,
+    /// Scan segments one full pass is split across (1 for the classic scan).
+    segments_total: u64,
+    /// Segments that have completed their pass since the query was installed.
+    segments_completed: AtomicU64,
     /// Set when the query's end-of-query control tuple has been emitted.
     completed: AtomicBool,
     /// When the query was installed.
@@ -33,15 +44,40 @@ impl QueryProgress {
         Self {
             rows_seen: AtomicU64::new(0),
             rows_total,
+            segments_total: 1,
+            segments_completed: AtomicU64::new(0),
             completed: AtomicBool::new(false),
             started: Instant::now(),
         }
+    }
+
+    /// Splits the pass across `segments` scan segments (builder-style, called at
+    /// admission before the tracker is shared).
+    pub fn with_segments(mut self, segments: u64) -> Self {
+        self.segments_total = segments.max(1);
+        self
     }
 
     /// Records that the scan produced `rows` more fact rows for this query.
     #[inline]
     pub fn advance(&self, rows: u64) {
         self.rows_seen.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Records that one scan segment completed its pass for this query (by wrap-
+    /// around or partition exhaustion).
+    pub fn mark_segment_completed(&self) {
+        self.segments_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Scan segments a full pass is split across.
+    pub fn segments_total(&self) -> u64 {
+        self.segments_total
+    }
+
+    /// Segments that have completed their pass since admission.
+    pub fn segments_completed(&self) -> u64 {
+        self.segments_completed.load(Ordering::Relaxed)
     }
 
     /// Marks the query as completed.
@@ -142,6 +178,26 @@ mod tests {
         assert!(p.estimated_remaining().is_none());
         p.mark_completed();
         assert_eq!(p.fraction(), 1.0);
+    }
+
+    #[test]
+    fn segment_completion_is_tracked_per_pass() {
+        let p = QueryProgress::new(100).with_segments(4);
+        assert_eq!(p.segments_total(), 4);
+        assert_eq!(p.segments_completed(), 0);
+        for done in 1..=4 {
+            p.mark_segment_completed();
+            assert_eq!(p.segments_completed(), done);
+        }
+        assert!(
+            !p.is_completed(),
+            "only the coordinator completes the query"
+        );
+        p.mark_completed();
+        assert!(p.is_completed());
+        // The classic scan defaults to a single segment; zero clamps to one.
+        assert_eq!(QueryProgress::new(10).segments_total(), 1);
+        assert_eq!(QueryProgress::new(10).with_segments(0).segments_total(), 1);
     }
 
     #[test]

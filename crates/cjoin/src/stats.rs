@@ -29,6 +29,11 @@ pub struct SharedCounters {
     pub filter_reorders: AtomicU64,
     /// Pipeline stalls taken to emit control tuples (drain barriers).
     pub control_barriers: AtomicU64,
+    /// Cumulative nanoseconds the scan front-end spent waiting in drain barriers
+    /// (spin-then-park backoff included). Submission-latency predictability
+    /// analyses (fig6-style) use this to attribute stalls to control-tuple
+    /// ordering rather than filter work.
+    pub barrier_wait_ns: AtomicU64,
     /// In-flight tuples freshly heap-allocated by the Preprocessor (cold path;
     /// should stop growing once the batch pool is warm).
     pub tuples_allocated: AtomicU64,
@@ -84,6 +89,56 @@ impl ShardCounters {
             partials_emitted: self.partials_emitted.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Atomic counters owned by one continuous-scan (Preprocessor) worker.
+///
+/// Scan workers update *both* their own `ScanWorkerCounters` and the global
+/// [`SharedCounters`] totals, so for any quiesced pipeline the per-worker values
+/// sum exactly to the global `tuples_scanned` / `batches_sent` / `scan_passes`
+/// counters — the front-end mirror of the [`ShardCounters`] invariant, pinned
+/// down by `tests/scan_parallelism.rs`. The classic single-threaded Preprocessor
+/// owns the single entry of a one-element vector, so the stats shape is uniform
+/// across `scan_workers` settings.
+#[derive(Debug, Default)]
+pub struct ScanWorkerCounters {
+    /// Fact tuples this worker read from its segment cursor.
+    pub tuples_scanned: AtomicU64,
+    /// Data batches this worker pushed into the filter stage(s).
+    pub batches_sent: AtomicU64,
+    /// Completed passes over this worker's segment (whole-table passes for the
+    /// classic single worker).
+    pub segment_passes: AtomicU64,
+}
+
+impl ScanWorkerCounters {
+    /// Creates one zeroed counter set per scan worker.
+    pub fn new_vec(workers: usize) -> Vec<Arc<Self>> {
+        (0..workers).map(|_| Arc::new(Self::default())).collect()
+    }
+
+    /// A point-in-time snapshot of this worker's counters.
+    pub fn snapshot(&self, worker: usize) -> ScanWorkerStats {
+        ScanWorkerStats {
+            worker,
+            tuples_scanned: self.tuples_scanned.load(Ordering::Relaxed),
+            batches_sent: self.batches_sent.load(Ordering::Relaxed),
+            segment_passes: self.segment_passes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time statistics of one continuous-scan worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanWorkerStats {
+    /// Worker index in `[0, scan_workers)`.
+    pub worker: usize,
+    /// Fact tuples this worker read from its segment cursor.
+    pub tuples_scanned: u64,
+    /// Data batches this worker pushed into the filter stage(s).
+    pub batches_sent: u64,
+    /// Completed passes over this worker's segment.
+    pub segment_passes: u64,
 }
 
 /// Point-in-time statistics of one Distributor shard.
@@ -152,8 +207,15 @@ pub struct PipelineStats {
     pub filter_reorders: u64,
     /// Drain barriers taken for control tuples.
     pub control_barriers: u64,
+    /// Cumulative nanoseconds the scan front-end waited in drain barriers.
+    pub barrier_wait_ns: u64,
     /// Current filter order with per-filter statistics.
     pub filters: Vec<FilterStatsSnapshot>,
+    /// Per-worker continuous-scan statistics (one entry per configured scan
+    /// worker; a single entry when `scan_workers = 1`). The per-worker
+    /// `tuples_scanned` / `batches_sent` / `segment_passes` values sum to the
+    /// pipeline-wide totals above.
+    pub scan_workers: Vec<ScanWorkerStats>,
     /// Per-shard Distributor statistics (one entry per configured shard; a single
     /// entry when `distributor_shards = 1`). The per-shard `tuples_distributed` /
     /// `routings` values sum to the pipeline-wide totals above.
@@ -217,6 +279,26 @@ impl PipelineStats {
     pub fn shard_routings(&self) -> u64 {
         self.distributor_shards.iter().map(|s| s.routings).sum()
     }
+
+    /// Sum of the per-scan-worker `tuples_scanned` counters; equals
+    /// [`PipelineStats::tuples_scanned`] on a quiesced pipeline.
+    pub fn scan_worker_tuples_scanned(&self) -> u64 {
+        self.scan_workers.iter().map(|w| w.tuples_scanned).sum()
+    }
+
+    /// Sum of the per-scan-worker `batches_sent` counters; equals
+    /// [`PipelineStats::batches_sent`] on a quiesced pipeline.
+    pub fn scan_worker_batches_sent(&self) -> u64 {
+        self.scan_workers.iter().map(|w| w.batches_sent).sum()
+    }
+
+    /// Sum of the per-scan-worker `segment_passes` counters; equals
+    /// [`PipelineStats::scan_passes`] on a quiesced pipeline (with `N` scan
+    /// workers the global counter counts *segment* passes, `N` per logical pass
+    /// over the whole table).
+    pub fn scan_worker_segment_passes(&self) -> u64 {
+        self.scan_workers.iter().map(|w| w.segment_passes).sum()
+    }
 }
 
 #[cfg(test)]
@@ -266,7 +348,22 @@ mod tests {
             active_queries: 2,
             filter_reorders: 1,
             control_barriers: 4,
+            barrier_wait_ns: 1_000,
             filters: vec![],
+            scan_workers: vec![
+                ScanWorkerStats {
+                    worker: 0,
+                    tuples_scanned: 600,
+                    batches_sent: 6,
+                    segment_passes: 1,
+                },
+                ScanWorkerStats {
+                    worker: 1,
+                    tuples_scanned: 400,
+                    batches_sent: 4,
+                    segment_passes: 1,
+                },
+            ],
             distributor_shards: vec![
                 DistributorShardStats {
                     shard: 0,
@@ -298,6 +395,13 @@ mod tests {
             "per-shard counters sum to the pipeline total"
         );
         assert_eq!(stats.shard_routings(), stats.routings);
+        assert_eq!(
+            stats.scan_worker_tuples_scanned(),
+            stats.tuples_scanned,
+            "per-worker scan counters sum to the pipeline total"
+        );
+        assert_eq!(stats.scan_worker_batches_sent(), stats.batches_sent);
+        assert_eq!(stats.scan_worker_segment_passes(), stats.scan_passes);
         let zero = PipelineStats {
             tuples_scanned: 0,
             pool_hits: 0,

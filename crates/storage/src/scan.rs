@@ -155,6 +155,31 @@ impl TableScan {
     }
 }
 
+/// Splits the row range `[0, table_len)` into `n` page-aligned segments for the
+/// sharded continuous scan (one segment per scan worker).
+///
+/// Every boundary between two segments is rounded down to a page multiple so each
+/// worker reads whole pages, and the **last** segment's end is open (`None`): it
+/// tracks the live table length, so rows appended after the split are picked up
+/// on that segment's next pass — the same append semantics the unsegmented scan
+/// has. Segments are static thereafter; with a small table some may be empty
+/// (`start == end`), which callers must tolerate.
+pub fn segment_ranges(table_len: u64, rows_per_page: usize, n: usize) -> Vec<(u64, Option<u64>)> {
+    let n = n.max(1);
+    let page = rows_per_page.max(1) as u64;
+    let mut ranges = Vec::with_capacity(n);
+    let mut start = 0u64;
+    for i in 1..n {
+        // Floor to a page boundary; monotone in `i`, so starts never decrease.
+        let boundary = ((i as u64 * table_len / n as u64) / page * page).min(table_len);
+        let boundary = boundary.max(start);
+        ranges.push((start, Some(boundary)));
+        start = boundary;
+    }
+    ranges.push((start, None));
+    ranges
+}
+
 /// The circular fact-table scan feeding the CJOIN pipeline.
 ///
 /// The scan has no notion of "end": every call to [`ContinuousScan::next_batch`]
@@ -163,8 +188,15 @@ impl TableScan {
 /// [`RowId`] 0 — the Preprocessor uses this to detect that in-flight queries have
 /// seen the whole table.
 ///
-/// If the table is empty the scan returns empty batches (and reports `wrapped`),
-/// rather than spinning.
+/// A scan can also be restricted to a *segment* of the table with
+/// [`ContinuousScan::with_segment`]: it then circulates over `[start, end)` only,
+/// wrapping back to `start`, which is how the sharded Preprocessor front-end gives
+/// each scan worker its own independent cursor (see [`segment_ranges`]). An open
+/// end (`None`) tracks the live table length, so an open-ended segment picks up
+/// appended rows on its next pass exactly like the whole-table scan.
+///
+/// If the table (or segment) is empty the scan returns empty batches (and reports
+/// `wrapped`), rather than spinning.
 #[derive(Debug)]
 pub struct ContinuousScan {
     table: Arc<Table>,
@@ -173,6 +205,10 @@ pub struct ContinuousScan {
     io: Option<Arc<IoStats>>,
     /// Number of complete passes finished so far.
     passes: u64,
+    /// First row of this scan's segment (0 for a whole-table scan).
+    segment_start: u64,
+    /// Fixed segment end, or `None` to track the live table length.
+    segment_end: Option<u64>,
 }
 
 impl ContinuousScan {
@@ -184,7 +220,21 @@ impl ContinuousScan {
             batch_rows: DEFAULT_SCAN_BATCH_ROWS,
             io: None,
             passes: 0,
+            segment_start: 0,
+            segment_end: None,
         }
+    }
+
+    /// Restricts the scan to the row segment `[start, end)` (`end = None` tracks
+    /// the live table length). The cursor is reset to `start`.
+    pub fn with_segment(mut self, start: u64, end: Option<u64>) -> Self {
+        if let Some(end) = end {
+            assert!(start <= end, "segment start must not exceed its end");
+        }
+        self.segment_start = start;
+        self.segment_end = end;
+        self.position = start;
+        self
     }
 
     /// Records page accesses (always sequential — that is the point of the shared
@@ -211,32 +261,60 @@ impl ContinuousScan {
         self.position
     }
 
+    /// First row of this scan's segment (0 for a whole-table scan).
+    pub fn segment_start(&self) -> u64 {
+        self.segment_start
+    }
+
+    /// The position the next produced row will actually have: the raw cursor
+    /// folded into the segment, i.e. the segment start when the cursor sits at
+    /// (or beyond) the segment end awaiting its lazy wrap. This is the position
+    /// the Preprocessor records as a query's starting tuple.
+    pub fn normalized_position(&self) -> u64 {
+        let (start, end) = self.current_bounds();
+        if self.position >= end || self.position < start {
+            start
+        } else {
+            self.position
+        }
+    }
+
     /// Number of completed passes over the table.
     pub fn passes(&self) -> u64 {
         self.passes
     }
 
+    /// The segment's current effective bounds `[start, end)`, clamped to the live
+    /// table length.
+    fn current_bounds(&self) -> (u64, u64) {
+        let len = self.table.len() as u64;
+        let end = self.segment_end.unwrap_or(len).min(len);
+        (self.segment_start.min(end), end)
+    }
+
     /// Fills `batch` with the next run of rows.
     ///
-    /// `batch.wrapped` is set when this batch starts a new pass (position 0). The
-    /// batch never crosses the wrap point. The snapshot length of the current pass is
-    /// sampled when the pass starts wrapping, so rows appended mid-pass are picked up
-    /// on the next pass — matching the paper's requirement that each query sees one
-    /// well-defined full scan.
+    /// `batch.wrapped` is set when this batch starts a new pass (the segment
+    /// start; position 0 for a whole-table scan). The batch never crosses the wrap
+    /// point. The snapshot length of the current pass is sampled when the pass
+    /// starts wrapping, so rows appended mid-pass are picked up on the next pass —
+    /// matching the paper's requirement that each query sees one well-defined full
+    /// scan.
     pub fn next_batch(&mut self, batch: &mut ScanBatch) {
         batch.clear();
-        let len = self.table.len() as u64;
-        if len == 0 {
+        let (start, end) = self.current_bounds();
+        if start >= end {
+            // Empty table or empty segment: report a wrap, never spin.
             batch.wrapped = true;
             return;
         }
-        if self.position >= len {
+        if self.position >= end || self.position < start {
             // Wrap around: a pass just completed.
-            self.position = 0;
+            self.position = start;
             self.passes += 1;
         }
-        batch.wrapped = self.position == 0;
-        let remaining = (len - self.position) as usize;
+        batch.wrapped = self.position == start;
+        let remaining = (end - self.position) as usize;
         let to_read = remaining.min(self.batch_rows);
         let read = self
             .table
@@ -432,6 +510,120 @@ mod tests {
         }
         // Two passes of 10 pages each = 20 pages... 4 batches of 50 rows = 2 passes.
         assert_eq!(io.sequential_pages(), 20);
+    }
+
+    #[test]
+    fn segment_ranges_cover_the_table_exactly_once_and_are_page_aligned() {
+        for (len, rpp, n) in [
+            (95u64, 10usize, 4usize),
+            (100, 10, 3),
+            (7, 10, 4),
+            (0, 10, 2),
+        ] {
+            let ranges = segment_ranges(len, rpp, n);
+            assert_eq!(ranges.len(), n);
+            // Contiguous cover of [0, len): each start equals the previous end,
+            // the first starts at 0, the last is open-ended.
+            assert_eq!(ranges[0].0, 0);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, Some(w[1].0), "len={len} rpp={rpp} n={n}");
+            }
+            assert_eq!(ranges[n - 1].1, None);
+            // Interior boundaries are page multiples.
+            for &(start, _) in &ranges[1..] {
+                assert_eq!(start % rpp as u64, 0, "len={len} rpp={rpp} n={n}");
+            }
+        }
+        assert_eq!(segment_ranges(100, 10, 1), vec![(0, None)]);
+    }
+
+    #[test]
+    fn segmented_scans_partition_every_pass() {
+        let t = fact_table(95); // 10 rows per page
+        let n = 4;
+        let ranges = segment_ranges(t.len() as u64, t.rows_per_page(), n);
+        let mut seen = vec![0u32; 95];
+        for &(start, end) in &ranges {
+            let mut scan = ContinuousScan::new(Arc::clone(&t))
+                .with_batch_rows(7)
+                .with_segment(start, end);
+            let mut batch = ScanBatch::default();
+            // Drive exactly one pass of this segment.
+            let mut first = true;
+            loop {
+                scan.next_batch(&mut batch);
+                if batch.wrapped && !first {
+                    break;
+                }
+                first = false;
+                for (id, _, _) in &batch.rows {
+                    assert!(id.0 >= start, "row below segment start");
+                    if let Some(end) = end {
+                        assert!(id.0 < end, "row beyond segment end");
+                    }
+                    seen[id.0 as usize] += 1;
+                }
+                if batch.is_empty() {
+                    break;
+                }
+            }
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "one pass of every segment covers each row exactly once: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn segmented_scan_wraps_to_its_segment_start() {
+        let t = fact_table(30);
+        let mut scan = ContinuousScan::new(Arc::clone(&t))
+            .with_batch_rows(8)
+            .with_segment(10, Some(20));
+        let mut batch = ScanBatch::default();
+        scan.next_batch(&mut batch);
+        assert!(batch.wrapped);
+        assert_eq!(batch.rows[0].0, RowId(10));
+        assert_eq!(batch.len(), 8);
+        scan.next_batch(&mut batch);
+        assert!(!batch.wrapped);
+        assert_eq!(batch.len(), 2, "batches never cross the segment wrap");
+        assert_eq!(scan.normalized_position(), 10, "cursor folds back to start");
+        scan.next_batch(&mut batch);
+        assert!(batch.wrapped);
+        assert_eq!(batch.rows[0].0, RowId(10));
+        assert_eq!(scan.passes(), 1);
+        assert_eq!(scan.segment_start(), 10);
+    }
+
+    #[test]
+    fn empty_segment_reports_wrapped_empty_batches() {
+        let t = fact_table(30);
+        let mut scan = ContinuousScan::new(t).with_segment(12, Some(12));
+        let mut batch = ScanBatch::default();
+        scan.next_batch(&mut batch);
+        assert!(batch.is_empty());
+        assert!(batch.wrapped);
+    }
+
+    #[test]
+    fn open_ended_segment_picks_up_appends_like_the_whole_table_scan() {
+        let t = fact_table(20);
+        let mut scan = ContinuousScan::new(Arc::clone(&t))
+            .with_batch_rows(100)
+            .with_segment(10, None);
+        let mut batch = ScanBatch::default();
+        scan.next_batch(&mut batch);
+        assert_eq!(batch.len(), 10);
+        t.insert_batch_unchecked(
+            (20..25).map(|i| Row::new(vec![Value::int(i), Value::int(0)])),
+            SnapshotId(1),
+        );
+        scan.next_batch(&mut batch);
+        assert_eq!(batch.len(), 5, "growth extends the current pass");
+        scan.next_batch(&mut batch);
+        assert!(batch.wrapped);
+        assert_eq!(batch.len(), 15, "next pass sees the grown segment");
     }
 
     #[test]

@@ -45,25 +45,31 @@ fn sharded_results_match_the_oracle_across_the_knob_matrix() {
 
     for shards in [1usize, 2, 4] {
         for batched_probing in [true, false] {
-            let engine = CjoinEngine::start(
-                Arc::clone(&catalog),
-                config(shards).with_batched_probing(batched_probing),
-            )
-            .unwrap();
-            for query in workload.queries() {
-                let expected = reference::evaluate(&catalog, query, SnapshotId::INITIAL).unwrap();
-                let result = engine.execute(query.clone()).unwrap();
-                assert!(
-                    result.approx_eq(&expected),
-                    "[shards={shards} batched={batched_probing}] {}: {:?}",
-                    query.name,
-                    result.diff(&expected)
-                );
+            for scan_workers in [1usize, 4] {
+                let engine = CjoinEngine::start(
+                    Arc::clone(&catalog),
+                    config(shards)
+                        .with_batched_probing(batched_probing)
+                        .with_scan_workers(scan_workers),
+                )
+                .unwrap();
+                for query in workload.queries() {
+                    let expected =
+                        reference::evaluate(&catalog, query, SnapshotId::INITIAL).unwrap();
+                    let result = engine.execute(query.clone()).unwrap();
+                    assert!(
+                        result.approx_eq(&expected),
+                        "[shards={shards} batched={batched_probing} scan={scan_workers}] {}: {:?}",
+                        query.name,
+                        result.diff(&expected)
+                    );
+                }
+                let stats = engine.stats();
+                assert_eq!(stats.distributor_shards.len(), shards);
+                assert_eq!(stats.scan_workers.len(), scan_workers);
+                assert_eq!(stats.queries_completed, 10);
+                engine.shutdown();
             }
-            let stats = engine.stats();
-            assert_eq!(stats.distributor_shards.len(), shards);
-            assert_eq!(stats.queries_completed, 10);
-            engine.shutdown();
         }
     }
 }

@@ -25,11 +25,11 @@ fn cjoin_config() -> CjoinConfig {
 }
 
 /// Constructs every engine under test over the same catalog, boxed behind the
-/// shared trait. CJOIN appears once per point of the `StageLayout` ×
-/// `distributor_shards` matrix (both hot-path layouts, single and sharded
-/// aggregation), plus one per-tuple-probing + sharded configuration so the
-/// equivalence contract covers both filter implementations against the sharded
-/// aggregation stage.
+/// shared trait. CJOIN appears once per point of the `scan_workers` ×
+/// `distributor_shards` × `StageLayout` matrix (both hot-path layouts, classic
+/// and sharded scan front-end, single and sharded aggregation), plus one
+/// per-tuple-probing + fully-sharded configuration so the equivalence contract
+/// covers both filter implementations against the sharded front- and back-end.
 fn engines_under_test(catalog: &Arc<Catalog>) -> Vec<Box<dyn JoinEngine>> {
     let mut engines: Vec<Box<dyn JoinEngine>> = vec![
         Box::new(BaselineEngine::new(
@@ -43,15 +43,18 @@ fn engines_under_test(catalog: &Arc<Catalog>) -> Vec<Box<dyn JoinEngine>> {
     ];
     for layout in [StageLayout::Horizontal, StageLayout::Vertical] {
         for shards in [1usize, 4] {
-            engines.push(Box::new(
-                CjoinEngine::start(
-                    Arc::clone(catalog),
-                    cjoin_config()
-                        .with_stage_layout(layout.clone())
-                        .with_distributor_shards(shards),
-                )
-                .unwrap(),
-            ));
+            for scan_workers in [1usize, 2, 4] {
+                engines.push(Box::new(
+                    CjoinEngine::start(
+                        Arc::clone(catalog),
+                        cjoin_config()
+                            .with_stage_layout(layout.clone())
+                            .with_distributor_shards(shards)
+                            .with_scan_workers(scan_workers),
+                    )
+                    .unwrap(),
+                ));
+            }
         }
     }
     engines.push(Box::new(
@@ -59,7 +62,8 @@ fn engines_under_test(catalog: &Arc<Catalog>) -> Vec<Box<dyn JoinEngine>> {
             Arc::clone(catalog),
             cjoin_config()
                 .with_batched_probing(false)
-                .with_distributor_shards(4),
+                .with_distributor_shards(4)
+                .with_scan_workers(4),
         )
         .unwrap(),
     ));
