@@ -4,15 +4,23 @@
 //! SSB query mix touches. The projected scan should move a small fraction of the
 //! bytes and finish fastest; the experiment harness reports the byte volumes in
 //! the experiments binary (`io` subcommand).
+//!
+//! A second group runs the scan *in the pipeline*: a running [`CjoinEngine`]
+//! answers the same clustered date-range query with `columnar_scan` off (row
+//! store) and on (encoded predicates + zone-map skipping + late
+//! materialization), so the measured gap includes the full §3.3 admission and
+//! aggregation protocol rather than the bare storage iterator.
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use cjoin_repro::cjoin::{CjoinConfig, CjoinEngine};
 use cjoin_repro::ssb::{SsbConfig, SsbDataSet};
 use cjoin_repro::storage::{
     ColumnarContinuousScan, ColumnarTable, CompressionPolicy, ContinuousScan, ScanBatch,
 };
+use cjoin_repro::{AggFunc, AggregateSpec, ColumnRef, Predicate, StarQuery};
 
 fn bench(c: &mut Criterion) {
     let data = SsbDataSet::generate(SsbConfig::new(0.005, 7));
@@ -69,6 +77,42 @@ fn bench(c: &mut Criterion) {
     });
 
     group.finish();
+
+    let clustered = SsbDataSet::generate(SsbConfig {
+        cluster_by_orderdate: true,
+        ..SsbConfig::new(0.005, 7)
+    });
+    let mut pipeline = c.benchmark_group("abl_columnar_scan_pipeline");
+    pipeline.sample_size(10);
+    for columnar in [false, true] {
+        let engine = CjoinEngine::start(
+            clustered.catalog(),
+            CjoinConfig::default()
+                .with_worker_threads(2)
+                .with_columnar_scan(columnar),
+        )
+        .unwrap();
+        let name = if columnar {
+            "pipeline_columnar_date_range"
+        } else {
+            "pipeline_row_store_date_range"
+        };
+        pipeline.bench_function(name, |b| {
+            b.iter(|| {
+                let query = StarQuery::builder("probe")
+                    .fact_predicate(Predicate::between("lo_orderdate", 19_940_101, 19_941_231))
+                    .aggregate(AggregateSpec::count_star())
+                    .aggregate(AggregateSpec::over(
+                        AggFunc::Sum,
+                        ColumnRef::fact("lo_revenue"),
+                    ))
+                    .build();
+                engine.execute(query).unwrap()
+            });
+        });
+        engine.shutdown();
+    }
+    pipeline.finish();
 }
 
 criterion_group!(benches, bench);

@@ -9,31 +9,35 @@
 //!   --threads <usize>      CJOIN worker threads          (default 4)
 //!   --concurrency <list>   comma-separated n values      (default 1,32,64,128,256)
 //!   --markdown             print Markdown tables instead of plain text
-//!   --out <path>           output path for bench-json    (default BENCH_PR5.json)
+//!   --out <path>           output path for bench-json    (default BENCH_PR6.json)
 //! ```
 //!
 //! `bench-json` runs the filter hot-path ablation (batched vs. per-tuple probing),
 //! the distributor-sharding ablation (end-to-end qph/p99 for
-//! `distributor_shards` ∈ {1, 2, 4}) and the scan-parallelism ablation
+//! `distributor_shards` ∈ {1, 2, 4}), the scan-parallelism ablation
 //! (end-to-end qph/p99 for `scan_workers` ∈ {1, 2, 4} × `distributor_shards`
-//! ∈ {1, 4} on an ingest-bound low-selectivity population) on fixed fig5/fig8-style
-//! workloads and writes a machine-readable baseline for the perf trajectory of
-//! future PRs. The host's available parallelism is recorded alongside: segment
-//! scan workers trade extra CPU for wall-clock, so their speedup only
-//! materialises where spare cores exist.
+//! ∈ {1, 4} on an ingest-bound low-selectivity population) and the columnar-scan
+//! ablation (`columnar_scan` ∈ {off, on} × `scan_workers` ∈ {1, 4}, plus a
+//! clustered date-range probe reporting bytes/row, zone-map skip rate and the
+//! per-run probe ratio) on fixed fig5/fig8-style workloads and writes a
+//! machine-readable baseline for the perf trajectory of future PRs. The host's
+//! available parallelism is recorded alongside: segment scan workers trade
+//! extra CPU for wall-clock, so their speedup only materialises where spare
+//! cores exist.
 
 use std::env;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use cjoin_bench::experiments::{
-    ablations, fig4_pipeline_config, fig5_concurrency_scaleup, fig6_predictability,
-    fig7_selectivity, fig8_data_scale, modelled_io_comparison, tab1_submission_vs_concurrency,
-    tab2_submission_vs_selectivity, tab3_submission_vs_sf, ExperimentParams,
+    ablations, columnar_scan_volume, fig4_pipeline_config, fig5_concurrency_scaleup,
+    fig6_predictability, fig7_selectivity, fig8_data_scale, modelled_io_comparison,
+    tab1_submission_vs_concurrency, tab2_submission_vs_selectivity, tab3_submission_vs_sf,
+    ExperimentParams,
 };
 use cjoin_bench::hotpath::{
-    end_to_end_ab, end_to_end_scan_workers, end_to_end_sharding, EndToEndReport,
-    ProbeAblationParams, ProbeHarness,
+    columnar_range_probe, end_to_end_ab, end_to_end_columnar, end_to_end_scan_workers,
+    end_to_end_sharding, EndToEndReport, ProbeAblationParams, ProbeHarness,
 };
 use cjoin_bench::{JsonObject, Table};
 use cjoin_common::Result;
@@ -52,7 +56,7 @@ fn parse_args() -> std::result::Result<Options, String> {
     let mut params = ExperimentParams::default();
     let mut concurrency = vec![1, 32, 64, 128, 256];
     let mut markdown = false;
-    let mut out = "BENCH_PR5.json".to_string();
+    let mut out = "BENCH_PR6.json".to_string();
 
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -173,16 +177,68 @@ fn run_bench_json(options: &Options) -> Result<()> {
         }
     }
 
+    // Columnar-scan A/B on the fig5-style closed loop: the storage-layout knob
+    // toggled over the classic and sharded scan front-end, plus a clustered
+    // date-range probe for the byte-level evidence (bytes/row vs the row store,
+    // zone-map skip rate, rows answered per RLE probe).
+    eprintln!("# columnar-scan sweep (fig5-style closed loop + clustered probe)");
+    let mut columnar_sweep = JsonObject::new();
+    for scan_workers in [1usize, 4] {
+        for columnar in [false, true] {
+            let (report, volume) = end_to_end_columnar(&e2e, concurrency, scan_workers, columnar)?;
+            let layout = if columnar { "columnar" } else { "row" };
+            eprintln!(
+                "  layout={layout} scan_workers={scan_workers}: {:.0} q/h, \
+                 p99 submission {:.3} ms",
+                report.throughput_qph, report.p99_submission_ms
+            );
+            let mut obj = render(&report);
+            if let Some(volume) = volume {
+                obj = obj
+                    .field_u64("bytes_scanned", volume.bytes_scanned)
+                    .field_u64("rows_scanned", volume.rows_scanned)
+                    .field_f64("bytes_per_row", volume.bytes_per_row());
+            }
+            columnar_sweep =
+                columnar_sweep.field_obj(&format!("{layout}_scan_{scan_workers}"), obj);
+        }
+    }
+    let probe = columnar_range_probe(&e2e)?;
+    eprintln!(
+        "  clustered probe: {:.1} of {:.1} bytes/row ({:.1}% of the row store), \
+         skip rate {:.2}, {:.0} rows/probe on an RLE column",
+        probe.columnar_bytes_per_row(),
+        probe.row_store_bytes_per_row(),
+        100.0 * probe.columnar_bytes_per_row() / probe.row_store_bytes_per_row(),
+        probe.skip_rate(),
+        probe.rle_rows_per_probe
+    );
+    let columnar_probe = JsonObject::new()
+        .field_u64("fact_rows", probe.fact_rows)
+        .field_u64("queries", probe.queries as u64)
+        .field_f64("row_store_bytes_per_row", probe.row_store_bytes_per_row())
+        .field_f64("columnar_bytes_per_row", probe.columnar_bytes_per_row())
+        .field_f64(
+            "byte_ratio_vs_row_store",
+            probe.columnar_bytes_per_row() / probe.row_store_bytes_per_row(),
+        )
+        .field_f64("zone_map_skip_rate", probe.skip_rate())
+        .field_u64("row_groups_skipped", probe.stats.row_groups_skipped)
+        .field_f64("rle_rows_per_predicate_probe", probe.rle_rows_per_probe)
+        .field_f64("replica_compression_ratio", probe.compression_ratio);
+
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get() as u64)
         .unwrap_or(1);
     let json = JsonObject::new()
-        .field_str("artifact", "BENCH_PR5")
+        .field_str("artifact", "BENCH_PR6")
         .field_str(
             "description",
             "Filter hot path A/B (CjoinConfig::batched_probing) + sharded aggregation \
              stage sweep (CjoinConfig::distributor_shards) + sharded scan front-end \
-             sweep (CjoinConfig::scan_workers; speedup requires spare host cores)",
+             sweep (CjoinConfig::scan_workers; speedup requires spare host cores) + \
+             compressed columnar scan A/B (CjoinConfig::columnar_scan: encoded \
+             predicates, zone-map skipping, late materialization)",
         )
         .field_u64("host_cpus", host_cpus)
         .field_obj(
@@ -211,6 +267,8 @@ fn run_bench_json(options: &Options) -> Result<()> {
         .field_obj("end_to_end_per_tuple", render(&off))
         .field_obj("distributor_sharding", sharding)
         .field_obj("scan_parallelism", scan_parallelism)
+        .field_obj("columnar_scan", columnar_sweep)
+        .field_obj("columnar_probe", columnar_probe)
         .render();
     std::fs::write(&options.out, &json)
         .map_err(|e| cjoin_common::Error::invalid_state(format!("write {}: {e}", options.out)))?;
@@ -275,6 +333,7 @@ fn run(options: &Options) -> Result<Vec<Table>> {
     }
     if want("io") {
         tables.push(modelled_io_comparison(p, n)?);
+        tables.push(columnar_scan_volume(p)?);
     }
     Ok(tables)
 }

@@ -23,6 +23,12 @@
 //!   `BENCH_PR5.json` baseline). Scan parallelism pays off on ingest-bound
 //!   populations (low selectivity, larger scale factors) and on hosts with
 //!   spare cores — the baseline records the host's parallelism for context.
+//! * [`end_to_end_columnar`] / [`columnar_range_probe`] — the same closed loop
+//!   with the compressed columnar scan front-end on or off
+//!   (`CjoinConfig::columnar_scan`), plus a clustered date-range probe that
+//!   reports the byte-level scan volume, zone-map skip rate and per-run probe
+//!   ratio (the `abl_columnar_scan` ablation and the `BENCH_PR6.json`
+//!   baseline).
 //!
 //! Everything is seeded and deterministic (a splitmix64 stream) so runs are
 //! reproducible.
@@ -33,9 +39,11 @@ use std::time::{Duration, Instant};
 use cjoin_common::{splitmix64, QueryId, QuerySet, Result};
 use cjoin_core::dimension::DimensionTable;
 use cjoin_core::filter::FilterChain;
+use cjoin_core::stats::ColumnarScanStats;
 use cjoin_core::tuple::{Batch, InFlightTuple};
 use cjoin_core::{CjoinConfig, CjoinEngine};
-use cjoin_ssb::{Workload, WorkloadConfig};
+use cjoin_query::{AggFunc, AggregateSpec, ColumnRef, Predicate, StarQuery};
+use cjoin_ssb::{SsbConfig, SsbDataSet, Workload, WorkloadConfig};
 use cjoin_storage::{Row, RowId, Value};
 
 use crate::experiments::ExperimentParams;
@@ -295,6 +303,168 @@ pub fn end_to_end_scan_workers(
     end_to_end_with_config(params, concurrency, config)
 }
 
+/// Runs the same fig5-style closed-loop workload with the compressed columnar
+/// scan front-end on or off (`CjoinConfig::columnar_scan`), over the classic or
+/// sharded scan layout — the in-pipeline half of the `abl_columnar_scan`
+/// ablation and the `BENCH_PR6.json` baseline. Alongside the throughput report
+/// it returns the byte-level scan volume (`None` on the row path).
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn end_to_end_columnar(
+    params: &ExperimentParams,
+    concurrency: usize,
+    scan_workers: usize,
+    columnar: bool,
+) -> Result<(EndToEndReport, Option<ColumnarScanStats>)> {
+    let config = base_config(params, concurrency)
+        .with_scan_workers(scan_workers)
+        .with_columnar_scan(columnar);
+    end_to_end_capture(params, concurrency, config)
+}
+
+/// The scan volume of a clustered date-range probe workload, with the context
+/// needed to compare it against the row store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarProbeReport {
+    /// Scan-volume counters accumulated over the whole probe workload.
+    pub stats: ColumnarScanStats,
+    /// Fact-table rows.
+    pub fact_rows: u64,
+    /// Fact-table arity (the row path materialises every column of every row).
+    pub fact_arity: usize,
+    /// Plain-bytes / encoded-bytes ratio of the columnar replica.
+    pub compression_ratio: f64,
+    /// Probe queries executed.
+    pub queries: usize,
+    /// Rows answered per predicate probe on a run-length-encoded column
+    /// (measured on a synthetic long-run fact table — adaptive compression
+    /// picks delta coding for SSB's clustered date column, so the per-run
+    /// evidence needs a column where RLE wins).
+    pub rle_rows_per_probe: f64,
+}
+
+impl ColumnarProbeReport {
+    /// Bytes one pass of the row-store scan moves per row (8 bytes per column).
+    pub fn row_store_bytes_per_row(&self) -> f64 {
+        self.fact_arity as f64 * 8.0
+    }
+
+    /// Bytes the columnar scan actually touched per row it had to consider
+    /// (scanned + zone-map-skipped rows cover the same passes the row scan
+    /// would have made).
+    pub fn columnar_bytes_per_row(&self) -> f64 {
+        let rows = self.stats.rows_scanned + self.stats.rows_predicate_skipped;
+        if rows == 0 {
+            0.0
+        } else {
+            self.stats.bytes_scanned as f64 / rows as f64
+        }
+    }
+
+    /// Fraction of considered rows skipped without touching their bytes.
+    pub fn skip_rate(&self) -> f64 {
+        let rows = self.stats.rows_scanned + self.stats.rows_predicate_skipped;
+        if rows == 0 {
+            0.0
+        } else {
+            self.stats.rows_predicate_skipped as f64 / rows as f64
+        }
+    }
+}
+
+/// Runs a clustered date-range probe workload through the columnar pipeline and
+/// reports its scan volume: the fact table is clustered by `lo_orderdate`, so
+/// per-year `BETWEEN` predicates exercise zone-map skipping, and the clustered
+/// date column run-length-encodes, so the kernel's per-run probes show up as
+/// `rows_per_probe ≫ 1` (the `experiments -- io` columnar table and the
+/// `BENCH_PR6.json` evidence fields).
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn columnar_range_probe(params: &ExperimentParams) -> Result<ColumnarProbeReport> {
+    let data = SsbDataSet::generate(SsbConfig {
+        cluster_by_orderdate: true,
+        ..SsbConfig::new(params.scale_factor, params.seed)
+    });
+    let catalog = data.catalog();
+    let fact = catalog.fact_table()?;
+    let fact_rows = fact.len() as u64;
+    let fact_arity = fact.schema().arity();
+    let config = CjoinConfig::default()
+        .with_worker_threads(params.worker_threads)
+        .with_columnar_scan(true);
+    let engine = CjoinEngine::start(catalog, config)?;
+    let years = [1993i64, 1994, 1995, 1996, 1997];
+    for year in years {
+        let query = StarQuery::builder(format!("probe_{year}"))
+            .fact_predicate(Predicate::between(
+                "lo_orderdate",
+                year * 10_000 + 101,
+                year * 10_000 + 1231,
+            ))
+            .aggregate(AggregateSpec::count_star())
+            .aggregate(AggregateSpec::over(
+                AggFunc::Sum,
+                ColumnRef::fact("lo_revenue"),
+            ))
+            .build();
+        engine.execute(query)?;
+    }
+    let stats = engine
+        .stats()
+        .columnar
+        .ok_or_else(|| cjoin_common::Error::invalid_state("columnar stats missing"))?;
+    let compression_ratio = engine
+        .columnar_replica()
+        .map(|replica| replica.compression_ratio())
+        .unwrap_or(1.0);
+    engine.shutdown();
+    Ok(ColumnarProbeReport {
+        stats,
+        fact_rows,
+        fact_arity,
+        compression_ratio,
+        queries: years.len(),
+        rle_rows_per_probe: rle_run_probe(params)?,
+    })
+}
+
+/// Measures rows answered per predicate probe on a fact column with 256-row
+/// runs, where adaptive compression deterministically picks RLE and the kernel
+/// answers each run with a single probe.
+fn rle_run_probe(params: &ExperimentParams) -> Result<f64> {
+    use cjoin_storage::{Catalog, Column, Schema, SnapshotId, Table};
+    let catalog = Catalog::new();
+    let fact = Table::new(Schema::new(
+        "runs",
+        vec![Column::int("grp"), Column::int("rev")],
+    ));
+    fact.insert_batch_unchecked(
+        (0..32_768i64).map(|i| Row::new(vec![Value::int(i / 256), Value::int(i % 97)])),
+        SnapshotId::INITIAL,
+    );
+    catalog.add_fact_table(Arc::new(fact));
+    let config = CjoinConfig::default()
+        .with_worker_threads(params.worker_threads)
+        .with_columnar_scan(true);
+    let engine = CjoinEngine::start(Arc::new(catalog), config)?;
+    // Straddles run values mid-group so boundary groups are probed per run
+    // rather than resolved by their zone maps alone.
+    let query = StarQuery::builder("rle_probe")
+        .fact_predicate(Predicate::between("grp", 22, 101))
+        .aggregate(AggregateSpec::count_star())
+        .build();
+    engine.execute(query)?;
+    let rows_per_probe = engine
+        .stats()
+        .columnar
+        .map(|stats| stats.rows_per_probe())
+        .unwrap_or(0.0);
+    engine.shutdown();
+    Ok(rows_per_probe)
+}
+
 fn base_config(params: &ExperimentParams, concurrency: usize) -> CjoinConfig {
     CjoinConfig::default()
         .with_worker_threads(params.worker_threads)
@@ -307,6 +477,16 @@ fn end_to_end_with_config(
     concurrency: usize,
     config: CjoinConfig,
 ) -> Result<EndToEndReport> {
+    Ok(end_to_end_capture(params, concurrency, config)?.0)
+}
+
+/// The closed loop plus a snapshot of the columnar scan volume (when the config
+/// enables the columnar front-end) taken before shutdown.
+fn end_to_end_capture(
+    params: &ExperimentParams,
+    concurrency: usize,
+    config: CjoinConfig,
+) -> Result<(EndToEndReport, Option<ColumnarScanStats>)> {
     let data = params.data();
     let catalog = data.catalog();
     let workload = Workload::generate(
@@ -339,6 +519,7 @@ fn end_to_end_with_config(
         }
     }
     let wall = started.elapsed();
+    let columnar = engine.stats().columnar;
     engine.shutdown();
 
     let queries = responses.len();
@@ -355,17 +536,20 @@ fn end_to_end_with_config(
         let idx = ((submissions.len() - 1) as f64 * 0.99).round() as usize;
         submissions[idx]
     };
-    Ok(EndToEndReport {
-        throughput_qph: if wall.is_zero() {
-            0.0
-        } else {
-            queries as f64 * 3600.0 / wall.as_secs_f64()
+    Ok((
+        EndToEndReport {
+            throughput_qph: if wall.is_zero() {
+                0.0
+            } else {
+                queries as f64 * 3600.0 / wall.as_secs_f64()
+            },
+            mean_submission_ms: mean_ms(&submissions),
+            p99_submission_ms: p99.as_secs_f64() * 1e3,
+            mean_response_ms: mean_ms(&responses),
+            queries,
         },
-        mean_submission_ms: mean_ms(&submissions),
-        p99_submission_ms: p99.as_secs_f64() * 1e3,
-        mean_response_ms: mean_ms(&responses),
-        queries,
-    })
+        columnar,
+    ))
 }
 
 #[cfg(test)]

@@ -58,6 +58,17 @@ pub struct CjoinConfig {
     /// emits the single end-of-query control tuple once every segment has
     /// completed one pass since the query's admission.
     pub scan_workers: usize,
+    /// Enable the compressed columnar scan front-end (§5, Column Stores /
+    /// Compressed Tables): the continuous scan runs over a read-optimised
+    /// columnar replica of the fact table, evaluating fact predicates and
+    /// snapshot visibility directly on encoded data (one probe per RLE run,
+    /// dictionary predicates pre-translated to code comparisons at install),
+    /// skipping row groups whose zone maps no active query can match, and
+    /// materialising only the union of columns the admitted queries' join
+    /// keys, group-bys, and aggregates need (late materialization). Results
+    /// are bit-identical to the row-store scan; rows appended after engine
+    /// start are served from the row store by a hybrid tail path.
+    pub columnar_scan: bool,
     /// Enable the pooled batch allocator (§4); disable to measure its effect.
     pub use_batch_pool: bool,
     /// Enable partition-based early query termination (§5, Fact Table Partitioning):
@@ -83,6 +94,7 @@ impl Default for CjoinConfig {
             batched_probing: true,
             distributor_shards: 1,
             scan_workers: 1,
+            columnar_scan: false,
             use_batch_pool: true,
             partition_pruning: false,
             idle_sleep_us: 200,
@@ -174,6 +186,14 @@ impl CjoinConfig {
     /// workers (the front-end knob used by the `abl_scan_parallelism` ablation).
     pub fn with_scan_workers(mut self, n: usize) -> Self {
         self.scan_workers = n;
+        self
+    }
+
+    /// Convenience: a configuration with the compressed columnar scan enabled or
+    /// disabled (the storage-layout A/B knob used by the `abl_columnar_scan`
+    /// ablation).
+    pub fn with_columnar_scan(mut self, enabled: bool) -> Self {
+        self.columnar_scan = enabled;
         self
     }
 }
@@ -296,5 +316,13 @@ mod tests {
     #[test]
     fn scan_defaults_to_the_classic_single_worker() {
         assert_eq!(CjoinConfig::default().scan_workers, 1);
+    }
+
+    #[test]
+    fn columnar_scan_defaults_off_and_builds() {
+        assert!(!CjoinConfig::default().columnar_scan);
+        let c = CjoinConfig::default().with_columnar_scan(true);
+        assert!(c.columnar_scan);
+        c.validate().unwrap();
     }
 }

@@ -28,8 +28,12 @@ use parking_lot::Mutex;
 
 use cjoin_common::{Error, FxHashMap, QueryId, QueryIdAllocator, QuerySet, Result};
 use cjoin_query::{QueryResult, StarQuery};
-use cjoin_storage::{segment_ranges, Catalog, ContinuousScan, PartitionScheme, Row, SnapshotId};
+use cjoin_storage::{
+    segment_ranges, Catalog, ColumnarTable, CompressionPolicy, ContinuousScan, PartitionScheme,
+    Row, ScanVolume, SnapshotId, DEFAULT_ROW_GROUP_ROWS,
+};
 
+use crate::colscan::ColumnarScanCursor;
 use crate::config::CjoinConfig;
 use crate::dimension::DimensionTable;
 use crate::distributor::{Distributor, ShardMerger, ShardRouter};
@@ -44,7 +48,8 @@ use crate::preprocessor::{
 use crate::progress::QueryProgress;
 use crate::queue::{ShardQueues, TupleQueue};
 use crate::stats::{
-    FilterStatsSnapshot, PipelineStats, ScanWorkerCounters, ShardCounters, SharedCounters,
+    ColumnarScanStats, FilterStatsSnapshot, PipelineStats, ScanWorkerCounters, ShardCounters,
+    SharedCounters,
 };
 use crate::tuple::{Message, QueryRuntime};
 
@@ -156,6 +161,9 @@ pub struct CjoinEngine {
     distributor_queue: TupleQueue,
     stage_plan: StagePlan,
     partition_info: Option<PartitionInfo>,
+    /// The compressed columnar scan front-end's replica and byte-accounting
+    /// counters (`None` unless `CjoinConfig::columnar_scan` is enabled).
+    columnar: Option<(Arc<ColumnarTable>, Arc<ScanVolume>)>,
     shutdown_flag: Arc<AtomicBool>,
     threads: Mutex<Option<PipelineThreads>>,
 }
@@ -201,10 +209,32 @@ impl CjoinEngine {
         let pool = BatchPool::new(pool_capacity, config.use_batch_pool);
         let shutdown_flag = Arc::new(AtomicBool::new(false));
 
+        // The compressed columnar front-end scans a read-optimised replica of the
+        // fact table built once at engine start; rows appended later are served
+        // from the row store by the hybrid tail path (see `crate::colscan`).
+        let columnar = if config.columnar_scan {
+            let replica = Arc::new(ColumnarTable::from_table(
+                &fact,
+                CompressionPolicy::Adaptive,
+            )?);
+            let volume = Arc::new(ScanVolume::with_columns(fact.schema().arity()));
+            Some((replica, volume))
+        } else {
+            None
+        };
+
         // The fact table's page range is split into one static segment per scan
         // worker; the last segment's end is open so appended rows keep the classic
-        // next-pass semantics. (One whole-table "segment" in classic mode.)
-        let scan_ranges = segment_ranges(fact.len() as u64, fact.rows_per_page(), scan_workers);
+        // next-pass semantics. (One whole-table "segment" in classic mode.) The
+        // columnar front-end aligns segment boundaries to row groups instead of
+        // heap pages, so zone-map skipping never has to split a group between
+        // two workers.
+        let segment_unit = if columnar.is_some() {
+            DEFAULT_ROW_GROUP_ROWS
+        } else {
+            fact.rows_per_page()
+        };
+        let scan_ranges = segment_ranges(fact.len() as u64, segment_unit, scan_workers);
 
         // Partition pruning needs per-partition row counts — per scan segment, so
         // each worker knows when it has covered all the partitions a query cares
@@ -262,8 +292,21 @@ impl CjoinEngine {
         let mut scan_worker_handles = Vec::with_capacity(scan_workers);
         let mut coordinator_handle = None;
         if scan_workers == 1 {
-            let scan = ContinuousScan::new(Arc::clone(&fact)).with_batch_rows(config.batch_size);
-            let mut preprocessor = Preprocessor::new(scan, cmd_rx, preprocessor_context(0));
+            let mut preprocessor = match &columnar {
+                Some((replica, volume)) => {
+                    let cursor = ColumnarScanCursor::new(
+                        Arc::clone(replica),
+                        Arc::clone(&fact),
+                        Arc::clone(volume),
+                    );
+                    Preprocessor::new_columnar(cursor, cmd_rx, preprocessor_context(0))
+                }
+                None => {
+                    let scan =
+                        ContinuousScan::new(Arc::clone(&fact)).with_batch_rows(config.batch_size);
+                    Preprocessor::new(scan, cmd_rx, preprocessor_context(0))
+                }
+            };
             scan_worker_handles.push(
                 std::thread::Builder::new()
                     .name("cjoin-preprocessor".into())
@@ -276,19 +319,39 @@ impl CjoinEngine {
             let stall = ScanStall::new(scan_workers);
             let mut worker_txs = Vec::with_capacity(scan_workers);
             for (worker, &(start, end)) in scan_ranges.iter().enumerate() {
-                let scan = ContinuousScan::new(Arc::clone(&fact))
-                    .with_batch_rows(config.batch_size)
-                    .with_segment(start, end);
                 let (worker_tx, worker_rx) = unbounded();
                 worker_txs.push(worker_tx);
-                let mut segment_worker = Preprocessor::segment_worker(
-                    scan,
-                    worker_rx,
-                    preprocessor_context(worker),
-                    worker,
-                    cmd_tx.clone(),
-                    Arc::clone(&stall),
-                );
+                let mut segment_worker = match &columnar {
+                    Some((replica, volume)) => {
+                        let cursor = ColumnarScanCursor::new(
+                            Arc::clone(replica),
+                            Arc::clone(&fact),
+                            Arc::clone(volume),
+                        )
+                        .with_segment(start, end);
+                        Preprocessor::segment_worker_columnar(
+                            cursor,
+                            worker_rx,
+                            preprocessor_context(worker),
+                            worker,
+                            cmd_tx.clone(),
+                            Arc::clone(&stall),
+                        )
+                    }
+                    None => {
+                        let scan = ContinuousScan::new(Arc::clone(&fact))
+                            .with_batch_rows(config.batch_size)
+                            .with_segment(start, end);
+                        Preprocessor::segment_worker(
+                            scan,
+                            worker_rx,
+                            preprocessor_context(worker),
+                            worker,
+                            cmd_tx.clone(),
+                            Arc::clone(&stall),
+                        )
+                    }
+                };
                 scan_worker_handles.push(
                     std::thread::Builder::new()
                         .name(format!("cjoin-scan-w{worker}"))
@@ -469,6 +532,7 @@ impl CjoinEngine {
             distributor_queue,
             stage_plan,
             partition_info,
+            columnar,
             shutdown_flag,
             threads: Mutex::new(Some(PipelineThreads {
                 scan_workers: scan_worker_handles,
@@ -721,7 +785,23 @@ impl CjoinEngine {
             pool_misses: self.pool.misses(),
             tuples_allocated: self.counters.tuples_allocated.load(Ordering::Relaxed),
             tuples_recycled: self.counters.tuples_recycled.load(Ordering::Relaxed),
+            columnar: self.columnar.as_ref().map(|(_, volume)| ColumnarScanStats {
+                bytes_scanned: volume.bytes_scanned(),
+                rows_scanned: volume.rows_scanned(),
+                row_groups_skipped: volume.row_groups_skipped(),
+                rows_predicate_skipped: volume.rows_predicate_skipped(),
+                predicate_probes: volume.predicate_probes(),
+                predicate_rows: volume.predicate_rows(),
+                column_bytes: volume.column_bytes(),
+            }),
         }
+    }
+
+    /// The read-optimised columnar replica of the fact table, when the engine
+    /// runs with `CjoinConfig::columnar_scan` (for compression-ratio reporting
+    /// by the experiment harness).
+    pub fn columnar_replica(&self) -> Option<&Arc<ColumnarTable>> {
+        self.columnar.as_ref().map(|(replica, _)| replica)
     }
 
     /// Current filter order (dimension names), for diagnostics and tests.

@@ -53,6 +53,7 @@
 //! | [`dimension`] | §3.2.1 | dimension hash tables with per-entry query bit-vectors |
 //! | [`filter`] | §3.2.2 | the Filter probe/AND/drop step and the ordered filter chain |
 //! | [`preprocessor`] | §3.2.2, §3.3 | bit-vector initialisation, query start/end detection; sharded segment-scan front-end |
+//! | [`colscan`] | §5 | compressed columnar scan: encoded-predicate kernel, zone-map skipping, late materialization |
 //! | [`progress`] | §3.2.3 | per-query progress / estimated completion from the scan position |
 //! | [`distributor`] | §3.2.2 | routing to per-query aggregation operators |
 //! | [`optimizer`] | §3.4 | run-time filter reordering from observed selectivities |
@@ -63,6 +64,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod colscan;
 pub mod config;
 pub mod dimension;
 pub mod distributor;

@@ -57,6 +57,23 @@
 //!   Distributor/ShardMerger lifecycle protocol is identical to the classic
 //!   single-scan mode.
 //!
+//! ## Columnar front-end (`CjoinConfig::columnar_scan`)
+//!
+//! With the columnar scan on, each Preprocessor (classic or segment worker)
+//! drives a [`ColumnarScanCursor`] over a compressed replica of the fact table
+//! instead of a [`ContinuousScan`] over the row store. The scan advances in
+//! *chunks* cut so that query-start boundaries, row-group edges, the replica/
+//! row-store frontier and the segment end all fall on chunk starts; the §3.3
+//! lifecycle steps (admission at boundaries, wrap-around completion, drain
+//! barriers) therefore run at chunk starts with the exact same ordering as the
+//! row path's per-row boundary checks. Within a chunk, fact predicates are
+//! evaluated over encoded data via each query's install-time-compiled
+//! [`EncodedFactPredicate`] (zone maps decide whole chunks where possible),
+//! and surviving tuples materialise only the union of columns the active
+//! queries' join keys, group-bys and aggregates read — column positions are
+//! preserved (unneeded columns read as NULL) so every downstream index keeps
+//! working. See [`crate::colscan`] for the correctness argument.
+//!
 //! ## Control-tuple ordering
 //!
 //! §3.3.3 requires that a control tuple enqueued before (after) a fact tuple is never
@@ -82,9 +99,14 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 
 use cjoin_common::{QueryId, QuerySet};
-use cjoin_query::BoundPredicate;
-use cjoin_storage::{ContinuousScan, PartitionScheme, RowVersion, ScanBatch, SnapshotId};
+use cjoin_query::star::ColumnSource;
+use cjoin_query::{BoundPredicate, BoundStarQuery};
+use cjoin_storage::{
+    ColumnId, ContinuousScan, EncodedColumn, PartitionScheme, RowId, RowVersion, ScanBatch,
+    SnapshotId,
+};
 
+use crate::colscan::{ColumnarScanCursor, EncodedFactPredicate, ZoneVerdict};
 use crate::config::CjoinConfig;
 use crate::pool::BatchPool;
 use crate::progress::QueryProgress;
@@ -176,11 +198,40 @@ pub struct PreprocessorContext {
     pub partition_scheme: Option<(PartitionScheme, usize)>,
 }
 
+/// The scan source a Preprocessor drives: the classic row-store continuous
+/// scan, or the compressed columnar cursor when `CjoinConfig::columnar_scan`
+/// is on.
+pub enum ScanKind {
+    /// The row-store continuous scan (the default).
+    Row(ContinuousScan),
+    /// The compressed columnar scan cursor.
+    Columnar(ColumnarScanCursor),
+}
+
+impl ScanKind {
+    /// The cursor position folded into the scan's segment — where the next
+    /// produced row will come from (a query's starting position at install).
+    fn normalized_position(&self) -> u64 {
+        match self {
+            ScanKind::Row(scan) => scan.normalized_position(),
+            ScanKind::Columnar(cursor) => cursor.normalized_position(),
+        }
+    }
+}
+
 /// Per-query state kept by the Preprocessor while the query is active.
 #[derive(Debug)]
 struct ActiveQuery {
     progress: Arc<QueryProgress>,
     fact_predicate: Option<BoundPredicate>,
+    /// The fact predicate compiled for evaluation over encoded column data
+    /// (columnar mode only; `None` falls back to `fact_predicate` on
+    /// materialised replica rows — slower, never wrong).
+    encoded_predicate: Option<EncodedFactPredicate>,
+    /// Fact columns this query's join keys, group-bys and aggregate inputs
+    /// read (columnar mode only): the refcounted inputs to the
+    /// late-materialization projection.
+    needs: Vec<ColumnId>,
     snapshot: SnapshotId,
     /// Row position at which the query entered the operator (within this worker's
     /// segment); the query's segment pass completes when the cursor next reaches
@@ -190,6 +241,37 @@ struct ActiveQuery {
     /// registration), true afterwards; the second encounter is the wrap-around.
     passed_start: bool,
     partition: Option<PartitionPlan>,
+}
+
+/// How one query's fact predicate resolved for the current columnar chunk.
+enum ChunkPredicate {
+    /// The zone maps prove every row of the chunk's group matches.
+    All,
+    /// The zone maps prove no row can match.
+    None,
+    /// Evaluated over encoded data into the match buffer at this index.
+    Buf(usize),
+    /// The predicate did not compile: evaluate the bound predicate on a
+    /// materialised replica row (shared across queries within the row).
+    RowEval,
+}
+
+/// The fact columns `bound`'s join keys, group-bys and aggregate inputs read —
+/// the set the columnar scan must materialise for tuples carrying its bit.
+fn query_column_needs(bound: &BoundStarQuery) -> Vec<ColumnId> {
+    let mut needs: Vec<ColumnId> = bound.dimensions.iter().map(|d| d.fact_fk_column).collect();
+    let refs = bound
+        .group_by
+        .iter()
+        .chain(bound.aggregates.iter().filter_map(|a| a.input.as_ref()));
+    for col in refs {
+        if let ColumnSource::Fact(c) = col.source {
+            needs.push(c);
+        }
+    }
+    needs.sort_unstable();
+    needs.dedup();
+    needs
 }
 
 /// How a Preprocessor behaves at query lifecycle edges.
@@ -214,7 +296,7 @@ enum Role {
 /// The Preprocessor: owns a continuous scan (whole-table or one segment) and the
 /// active-query bookkeeping for it.
 pub struct Preprocessor {
-    scan: ContinuousScan,
+    scan: ScanKind,
     commands: Receiver<ScanMessage>,
     stage_tx: Sender<Message>,
     distributor_tx: Sender<Message>,
@@ -248,6 +330,12 @@ pub struct Preprocessor {
     /// Scratch list of `(position, bit)` boundaries within the current scan batch,
     /// materialised once per batch from `starts_at` — reused across batches.
     boundary_scratch: Vec<(u64, usize)>,
+    /// `col_needs[c]` = number of active queries reading fact column `c`
+    /// (columnar mode only); the late-materialization projection is the set of
+    /// columns with a non-zero count.
+    col_needs: Vec<usize>,
+    /// Cached sorted union of the active queries' needed columns.
+    projection: Vec<ColumnId>,
     shutdown: bool,
 }
 
@@ -258,7 +346,17 @@ impl Preprocessor {
         commands: Receiver<ScanMessage>,
         ctx: PreprocessorContext,
     ) -> Self {
-        Self::with_role(scan, commands, ctx, Role::Classic)
+        Self::with_role(ScanKind::Row(scan), commands, ctx, Role::Classic)
+    }
+
+    /// Creates the classic single-threaded Preprocessor over a columnar cursor
+    /// (`CjoinConfig::columnar_scan`).
+    pub fn new_columnar(
+        cursor: ColumnarScanCursor,
+        commands: Receiver<ScanMessage>,
+        ctx: PreprocessorContext,
+    ) -> Self {
+        Self::with_role(ScanKind::Columnar(cursor), commands, ctx, Role::Classic)
     }
 
     /// Creates one segment worker of a sharded scan front-end. `scan` must be a
@@ -273,7 +371,31 @@ impl Preprocessor {
         stall: Arc<ScanStall>,
     ) -> Self {
         Self::with_role(
-            scan,
+            ScanKind::Row(scan),
+            commands,
+            ctx,
+            Role::Segment {
+                segment,
+                events,
+                stall,
+            },
+        )
+    }
+
+    /// Creates one columnar segment worker of a sharded scan front-end.
+    /// `cursor` must carry a segment (see [`ColumnarScanCursor::with_segment`]);
+    /// segment bounds should be row-group-aligned so zone-map chunks do not
+    /// straddle workers.
+    pub fn segment_worker_columnar(
+        cursor: ColumnarScanCursor,
+        commands: Receiver<ScanMessage>,
+        ctx: PreprocessorContext,
+        segment: usize,
+        events: Sender<ScanMessage>,
+        stall: Arc<ScanStall>,
+    ) -> Self {
+        Self::with_role(
+            ScanKind::Columnar(cursor),
             commands,
             ctx,
             Role::Segment {
@@ -285,12 +407,16 @@ impl Preprocessor {
     }
 
     fn with_role(
-        scan: ContinuousScan,
+        scan: ScanKind,
         commands: Receiver<ScanMessage>,
         ctx: PreprocessorContext,
         role: Role,
     ) -> Self {
         let max = ctx.config.max_concurrency;
+        let col_needs = match &scan {
+            ScanKind::Columnar(cursor) => vec![0; cursor.replica.schema().arity()],
+            ScanKind::Row(_) => Vec::new(),
+        };
         Self {
             scan,
             commands,
@@ -313,6 +439,8 @@ impl Preprocessor {
             bits_scratch: QuerySet::new(max),
             ending_scratch: Vec::new(),
             boundary_scratch: Vec::new(),
+            col_needs,
+            projection: Vec::new(),
             shutdown: false,
         }
     }
@@ -341,7 +469,10 @@ impl Preprocessor {
                 std::thread::sleep(Duration::from_micros(self.config.idle_sleep_us));
                 continue;
             }
-            self.process_next_scan_batch();
+            match self.scan {
+                ScanKind::Row(_) => self.process_next_scan_batch(),
+                ScanKind::Columnar(_) => self.process_next_columnar_chunk(),
+            }
         }
     }
 
@@ -410,9 +541,32 @@ impl Preprocessor {
             fact_predicate.is_some() || snapshot != SnapshotId::INITIAL || partition.is_some();
         let segment_irrelevant = matches!(self.role, Role::Segment { .. })
             && partition.as_ref().is_some_and(|p| p.remaining_rows == 0);
+        // Columnar mode: compile the fact predicate for encoded evaluation and
+        // register the query's column needs with the late-materialization
+        // projection — both before any tuple can carry the new bit.
+        let mut encoded_predicate = None;
+        let mut needs = Vec::new();
+        if let ScanKind::Columnar(cursor) = &self.scan {
+            if fact_predicate.is_some() {
+                encoded_predicate = EncodedFactPredicate::compile(
+                    &runtime.bound.fact_predicate_raw,
+                    cursor.replica.schema(),
+                    &cursor.replica,
+                );
+            }
+            needs = query_column_needs(&runtime.bound);
+        }
+        for &c in &needs {
+            self.col_needs[c] += 1;
+        }
+        if !needs.is_empty() {
+            self.rebuild_projection();
+        }
         self.queries[bit] = Some(ActiveQuery {
             progress: Arc::clone(&runtime.progress),
             fact_predicate,
+            encoded_predicate,
+            needs,
             snapshot,
             start_position,
             passed_start: false,
@@ -437,6 +591,12 @@ impl Preprocessor {
         let Some(query) = self.queries[bit].take() else {
             return;
         };
+        for &c in &query.needs {
+            self.col_needs[c] -= 1;
+        }
+        if !query.needs.is_empty() {
+            self.rebuild_projection();
+        }
         query.progress.mark_segment_completed();
         self.active_mask.unset(bit);
         if let Some(entry) = self.starts_at.get_mut(&query.start_position) {
@@ -485,7 +645,10 @@ impl Preprocessor {
 
     fn process_next_scan_batch(&mut self) {
         let mut scan_buffer = std::mem::take(&mut self.scan_buffer);
-        self.scan.next_batch(&mut scan_buffer);
+        let ScanKind::Row(scan) = &mut self.scan else {
+            unreachable!("the row batch path runs only over a row scan");
+        };
+        scan.next_batch(&mut scan_buffer);
         if scan_buffer.wrapped {
             SharedCounters::add(&self.counters.scan_passes, 1);
             SharedCounters::add(&self.worker_counters.segment_passes, 1);
@@ -636,6 +799,407 @@ impl Preprocessor {
         let leftover = self.flush(out);
         self.pool.put(leftover);
         self.scan_buffer = scan_buffer;
+    }
+
+    /// Recomputes the cached late-materialization projection from the per-column
+    /// refcounts (called whenever a query's needs are added or removed).
+    fn rebuild_projection(&mut self) {
+        self.projection.clear();
+        self.projection.extend(
+            self.col_needs
+                .iter()
+                .enumerate()
+                .filter_map(|(c, &n)| (n > 0).then_some(c)),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Columnar scan processing
+    // ------------------------------------------------------------------
+
+    /// Advances the columnar cursor by one chunk, running the same per-row
+    /// lifecycle as [`Preprocessor::process_next_scan_batch`] over encoded data.
+    ///
+    /// Chunks are cut so that every query-start boundary, row-group edge, the
+    /// replica/row-store frontier and the segment end fall on a chunk *start*:
+    /// boundary bookkeeping (wrap-around finalization, `passed_start` flips)
+    /// then runs once per chunk instead of once per row, and a chunk is always
+    /// either fully inside one row group (so its zone maps apply) or fully in
+    /// the hybrid tail (served from the row store).
+    fn process_next_columnar_chunk(&mut self) {
+        // Take the cursor state out so `&mut self` methods (flush /
+        // finalize_query) stay callable inside the loop; written back below.
+        let ScanKind::Columnar(cursor) = &mut self.scan else {
+            unreachable!("the columnar chunk path runs only over a columnar cursor");
+        };
+        let replica = Arc::clone(&cursor.replica);
+        let table = Arc::clone(&cursor.table);
+        let volume = Arc::clone(&cursor.volume);
+        let col_bytes = std::mem::take(&mut cursor.col_bytes_per_row);
+        let mut match_bufs = std::mem::take(&mut cursor.match_bufs);
+        let mut tail_rows = std::mem::take(&mut cursor.tail_buffer);
+        let mut touched = std::mem::take(&mut cursor.touched_cols);
+        let (start, end) = cursor.current_bounds();
+        let mut position = cursor.position;
+        let mut passes = cursor.passes;
+
+        'chunk: {
+            if start >= end {
+                // Empty table or empty segment: mirror the row scan's
+                // empty-batch behaviour — report a wrap, finalize everything
+                // (their results here are empty), idle instead of spinning.
+                SharedCounters::add(&self.counters.scan_passes, 1);
+                SharedCounters::add(&self.worker_counters.segment_passes, 1);
+                let bits: Vec<usize> = self.active_mask.iter().collect();
+                for bit in bits {
+                    self.finalize_query(bit);
+                }
+                std::thread::sleep(Duration::from_micros(self.config.idle_sleep_us));
+                break 'chunk;
+            }
+            if position >= end || position < start {
+                // Wrap around: a pass just completed.
+                position = start;
+                passes += 1;
+            }
+            if position == start {
+                // A pass starts (including the first), matching
+                // `ScanBatch::wrapped` accounting on the row path.
+                SharedCounters::add(&self.counters.scan_passes, 1);
+                SharedCounters::add(&self.worker_counters.segment_passes, 1);
+            }
+
+            // Query-start boundaries only ever coincide with chunk starts (the
+            // chunk-extent clamp below guarantees it): queries that already
+            // passed this position end here (wrap-around, §3.3.2) — everything
+            // produced so far was flushed at the previous chunk's end, so the
+            // drain barrier inside finalize covers it — and the rest pass it now.
+            if self.starts_at.contains_key(&position) {
+                let mut ending = std::mem::take(&mut self.ending_scratch);
+                ending.clear();
+                ending.extend(self.starts_at[&position].iter().copied());
+                let mut i = 0;
+                while i < ending.len() {
+                    match self.queries[ending[i]].as_mut() {
+                        Some(q) if q.passed_start => i += 1,
+                        Some(q) => {
+                            q.passed_start = true;
+                            ending.swap_remove(i);
+                        }
+                        None => {
+                            ending.swap_remove(i);
+                        }
+                    }
+                }
+                for bit in ending.drain(..) {
+                    self.finalize_query(bit);
+                }
+                self.ending_scratch = ending;
+                if self.active_mask.is_empty() {
+                    break 'chunk;
+                }
+            }
+
+            // Chunk extent: batch size, segment end, the replica/row-store
+            // frontier, the current row group's edge, and the next query-start
+            // boundary all clamp it.
+            let replica_len = replica.len() as u64;
+            let mut chunk_end = (position + self.config.batch_size as u64).min(end);
+            if position < replica_len {
+                chunk_end = chunk_end.min(replica_len);
+                let group = &replica.row_groups()[replica.group_of(position)];
+                chunk_end = chunk_end.min(group.start + group.len);
+            }
+            if let Some((&boundary, _)) = self.starts_at.range(position + 1..chunk_end).next() {
+                chunk_end = boundary;
+            }
+            let chunk_len = (chunk_end - position) as usize;
+
+            SharedCounters::add(&self.counters.tuples_scanned, chunk_len as u64);
+            SharedCounters::add(&self.worker_counters.tuples_scanned, chunk_len as u64);
+            for bit in self.active_mask.iter() {
+                if let Some(q) = &self.queries[bit] {
+                    q.progress.advance(chunk_len as u64);
+                }
+            }
+
+            if position >= replica_len {
+                // Hybrid tail: rows appended after the replica was built are
+                // served from the live row store with the full per-row path.
+                tail_rows.clear();
+                table.read_range(position, chunk_len, &mut tail_rows);
+                self.emit_materialized_rows(&mut tail_rows);
+                let bytes = chunk_len as u64 * 8 * replica.schema().arity() as u64;
+                volume.record_scan(chunk_len as u64, bytes);
+                position = chunk_end;
+                break 'chunk;
+            }
+
+            // Encoded region: the chunk lies inside one row group. Resolve each
+            // active fact predicate once for the whole chunk — a zone verdict
+            // where the maps decide, an encoded-kernel evaluation into a match
+            // bitmap otherwise, or a per-row fallback for predicates that did
+            // not compile.
+            let group = &replica.row_groups()[replica.group_of(position)];
+            for t in touched.iter_mut() {
+                *t = false;
+            }
+            let mut states: Vec<(usize, ChunkPredicate)> = Vec::new();
+            let mut bufs_used = 0usize;
+            let mut all_never = !self.active_mask.is_empty();
+            let mut any_partition = false;
+            let mut any_row_eval = false;
+            for bit in self.active_mask.iter() {
+                let Some(q) = &self.queries[bit] else {
+                    continue;
+                };
+                if q.partition.is_some() {
+                    any_partition = true;
+                }
+                if q.fact_predicate.is_none() {
+                    all_never = false;
+                    continue;
+                }
+                let state = match &q.encoded_predicate {
+                    Some(encoded) => match encoded.zone_verdict(&group.zones) {
+                        ZoneVerdict::Never => ChunkPredicate::None,
+                        ZoneVerdict::Always => {
+                            all_never = false;
+                            ChunkPredicate::All
+                        }
+                        ZoneVerdict::Maybe => {
+                            all_never = false;
+                            if match_bufs.len() == bufs_used {
+                                match_bufs.push(Vec::new());
+                            }
+                            let buf = &mut match_bufs[bufs_used];
+                            buf.clear();
+                            buf.resize(chunk_len, false);
+                            encoded.eval_range(&replica, position as usize, buf, &volume);
+                            for &c in encoded.columns() {
+                                touched[c] = true;
+                            }
+                            bufs_used += 1;
+                            ChunkPredicate::Buf(bufs_used - 1)
+                        }
+                    },
+                    None => {
+                        all_never = false;
+                        any_row_eval = true;
+                        ChunkPredicate::RowEval
+                    }
+                };
+                states.push((bit, state));
+            }
+
+            // Zone-map chunk skip: every active query's predicate is provably
+            // false over this group, and no partition plan needs the rows
+            // counted towards its coverage.
+            if all_never && !any_partition {
+                volume.record_group_skip(chunk_len as u64);
+                position = chunk_end;
+                break 'chunk;
+            }
+            if any_row_eval {
+                // The fallback materialises full rows: every column is touched.
+                for t in touched.iter_mut() {
+                    *t = true;
+                }
+            }
+
+            let check_visibility = !group.all_always_visible;
+            let num_slots = self.slot_count.load(Ordering::Acquire);
+            let mut out: Batch = self.pool.take(self.config.batch_size);
+            let mut partition_done: Vec<usize> = Vec::new();
+            let mut tuples_recycled = 0u64;
+            let mut tuples_allocated = 0u64;
+            let mut mat_rows = 0u64;
+            for i in position as usize..chunk_end as usize {
+                let j = i - position as usize;
+                self.bits_scratch.copy_from(&self.active_mask);
+                if check_visibility {
+                    // Snapshot visibility as a virtual fact predicate (§3.5),
+                    // from the replica's frozen version metadata.
+                    if let Some(version) = replica.version(i) {
+                        if version != RowVersion::ALWAYS_VISIBLE {
+                            for bit in self.active_mask.iter() {
+                                if let Some(q) = &self.queries[bit] {
+                                    if !version.visible_at(q.snapshot) {
+                                        self.bits_scratch.unset(bit);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut full_row = None;
+                for &(bit, ref state) in &states {
+                    match state {
+                        ChunkPredicate::All => {}
+                        ChunkPredicate::None => self.bits_scratch.unset(bit),
+                        ChunkPredicate::Buf(b) => {
+                            if !match_bufs[*b][j] {
+                                self.bits_scratch.unset(bit);
+                            }
+                        }
+                        ChunkPredicate::RowEval => {
+                            let row = full_row
+                                .get_or_insert_with(|| replica.row(i).expect("row in replica"));
+                            let keep = self.queries[bit]
+                                .as_ref()
+                                .and_then(|q| q.fact_predicate.as_ref())
+                                .is_some_and(|p| p.eval(row));
+                            if !keep {
+                                self.bits_scratch.unset(bit);
+                            }
+                        }
+                    }
+                }
+                if any_partition {
+                    // Partition coverage counts *seen* rows whether or not a
+                    // predicate dropped them (same rule as the row path); the
+                    // partition column is read from the encoded data because
+                    // the projected tuple may not carry it.
+                    if let Some((scheme, column)) = &self.partition_scheme {
+                        let value = match replica.encoded_column(*column) {
+                            EncodedColumn::Int { data, .. } => data.get(i).unwrap_or(0),
+                            EncodedColumn::Str { .. } => 0,
+                        };
+                        let pid = scheme.partition_of(value).index();
+                        for &bit in &self.special_bits {
+                            let Some(q) = &mut self.queries[bit] else {
+                                continue;
+                            };
+                            if let Some(plan) = &mut q.partition {
+                                if plan.needed.get(pid).copied().unwrap_or(false) {
+                                    plan.remaining_rows = plan.remaining_rows.saturating_sub(1);
+                                    if plan.remaining_rows == 0 {
+                                        partition_done.push(bit);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if !self.bits_scratch.is_empty() {
+                    // Late materialization: only the union of columns the
+                    // active queries read is decoded; positions are preserved
+                    // (the rest are NULL) so downstream indices keep working.
+                    let (slot, recycled) = out.next_slot(self.config.max_concurrency);
+                    let row = replica.project_row(i, &self.projection);
+                    slot.reset(RowId(i as u64), row, &self.bits_scratch, num_slots);
+                    mat_rows += 1;
+                    if recycled {
+                        tuples_recycled += 1;
+                    } else {
+                        tuples_allocated += 1;
+                    }
+                    if out.len() >= self.config.batch_size {
+                        out = self.flush(out);
+                    }
+                }
+                if !partition_done.is_empty() {
+                    out = self.flush(out);
+                    for bit in partition_done.drain(..) {
+                        self.finalize_query(bit);
+                    }
+                    if self.active_mask.is_empty() {
+                        break;
+                    }
+                }
+            }
+            if tuples_recycled > 0 {
+                SharedCounters::add(&self.counters.tuples_recycled, tuples_recycled);
+            }
+            if tuples_allocated > 0 {
+                SharedCounters::add(&self.counters.tuples_allocated, tuples_allocated);
+            }
+            let leftover = self.flush(out);
+            self.pool.put(leftover);
+
+            // Byte accounting: each predicate-touched column is billed once
+            // over the chunk; materialization bills the projected columns per
+            // surviving row.
+            let mut chunk_bytes = 0u64;
+            for (c, t) in touched.iter().enumerate() {
+                if *t {
+                    let b = col_bytes[c] * chunk_len as u64;
+                    volume.record_column(c, b);
+                    chunk_bytes += b;
+                }
+            }
+            for &c in &self.projection {
+                let b = col_bytes[c] * mat_rows;
+                volume.record_column(c, b);
+                chunk_bytes += b;
+            }
+            volume.record_scan(chunk_len as u64, chunk_bytes);
+            position = chunk_end;
+        }
+
+        let ScanKind::Columnar(cursor) = &mut self.scan else {
+            unreachable!("scan kind cannot change mid-call");
+        };
+        cursor.position = position;
+        cursor.passes = passes;
+        cursor.col_bytes_per_row = col_bytes;
+        cursor.match_bufs = match_bufs;
+        cursor.tail_buffer = tail_rows;
+        cursor.touched_cols = touched;
+    }
+
+    /// Runs the full row-at-a-time path (visibility, special predicates,
+    /// emission) over already-materialised rows — the hybrid-tail rows the
+    /// columnar replica does not cover. Mirrors the per-row body of
+    /// [`Preprocessor::process_next_scan_batch`] minus boundary handling, which
+    /// the columnar chunking has already done at the chunk start.
+    fn emit_materialized_rows(&mut self, rows: &mut Vec<(RowId, cjoin_storage::Row, RowVersion)>) {
+        let num_slots = self.slot_count.load(Ordering::Acquire);
+        let mut out: Batch = self.pool.take(self.config.batch_size);
+        let mut partition_done: Vec<usize> = Vec::new();
+        let mut tuples_recycled = 0u64;
+        let mut tuples_allocated = 0u64;
+        for (row_id, row, version) in rows.drain(..) {
+            self.bits_scratch.copy_from(&self.active_mask);
+            if version != RowVersion::ALWAYS_VISIBLE {
+                for bit in self.active_mask.iter() {
+                    if let Some(q) = &self.queries[bit] {
+                        if !version.visible_at(q.snapshot) {
+                            self.bits_scratch.unset(bit);
+                        }
+                    }
+                }
+            }
+            if !self.special_bits.is_empty() {
+                self.apply_special_predicates(&row, &mut partition_done);
+            }
+            if !self.bits_scratch.is_empty() {
+                let (slot, recycled) = out.next_slot(self.config.max_concurrency);
+                slot.reset(row_id, row, &self.bits_scratch, num_slots);
+                if recycled {
+                    tuples_recycled += 1;
+                } else {
+                    tuples_allocated += 1;
+                }
+                if out.len() >= self.config.batch_size {
+                    out = self.flush(out);
+                }
+            }
+            if !partition_done.is_empty() {
+                out = self.flush(out);
+                for bit in partition_done.drain(..) {
+                    self.finalize_query(bit);
+                }
+            }
+        }
+        if tuples_recycled > 0 {
+            SharedCounters::add(&self.counters.tuples_recycled, tuples_recycled);
+        }
+        if tuples_allocated > 0 {
+            SharedCounters::add(&self.counters.tuples_allocated, tuples_allocated);
+        }
+        let leftover = self.flush(out);
+        self.pool.put(leftover);
     }
 
     /// Applies fact predicates and partition accounting for the queries that need

@@ -184,6 +184,52 @@ impl FilterStatsSnapshot {
     }
 }
 
+/// Point-in-time statistics of the compressed columnar scan front-end
+/// (`CjoinConfig::columnar_scan`): the byte-level scan volume and zone-map /
+/// per-run evidence the `io` and `bench-json` experiments report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnarScanStats {
+    /// Bytes of encoded column data the scan actually touched (predicate
+    /// columns billed per chunk, late-materialized columns per surviving row).
+    pub bytes_scanned: u64,
+    /// Rows the columnar scan produced.
+    pub rows_scanned: u64,
+    /// Row groups skipped outright because no active query's predicate could
+    /// match their zone maps.
+    pub row_groups_skipped: u64,
+    /// Rows whose bytes were never touched thanks to zone-map skipping.
+    pub rows_predicate_skipped: u64,
+    /// Predicate evaluations actually performed (one per run on RLE data).
+    pub predicate_probes: u64,
+    /// Rows those predicate evaluations covered; `predicate_rows /
+    /// predicate_probes` is the average rows answered per probe (≫ 1 on
+    /// RLE-encoded columns).
+    pub predicate_rows: u64,
+    /// Bytes touched per fact column (indexed by `ColumnId`).
+    pub column_bytes: Vec<u64>,
+}
+
+impl ColumnarScanStats {
+    /// Average rows answered per predicate probe (1.0 for plain encodings,
+    /// ≫ 1 when run-length encoding lets one probe cover a whole run).
+    pub fn rows_per_probe(&self) -> f64 {
+        if self.predicate_probes == 0 {
+            0.0
+        } else {
+            self.predicate_rows as f64 / self.predicate_probes as f64
+        }
+    }
+
+    /// Average bytes of column data touched per produced row.
+    pub fn bytes_per_row(&self) -> f64 {
+        if self.rows_scanned == 0 {
+            0.0
+        } else {
+            self.bytes_scanned as f64 / self.rows_scanned as f64
+        }
+    }
+}
+
 /// Point-in-time statistics of the whole pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineStats {
@@ -231,6 +277,9 @@ pub struct PipelineStats {
     pub tuples_allocated: u64,
     /// In-flight tuples reinitialised in place from recycled spares.
     pub tuples_recycled: u64,
+    /// Compressed columnar scan statistics (`None` unless the engine runs with
+    /// `CjoinConfig::columnar_scan` enabled).
+    pub columnar: Option<ColumnarScanStats>,
 }
 
 impl PipelineStats {
@@ -385,6 +434,7 @@ mod tests {
             pool_misses: 5,
             tuples_allocated: 100,
             tuples_recycled: 900,
+            columnar: None,
         };
         assert!((stats.survival_rate() - 0.25).abs() < 1e-12);
         assert!((stats.pool_hit_rate() - 0.5).abs() < 1e-12);

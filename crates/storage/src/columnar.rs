@@ -6,27 +6,61 @@
 //! volume of data the shared scan moves. This module provides that substrate:
 //!
 //! * [`ColumnarTable`] — a column-oriented, read-optimised copy of a [`Table`]
-//!   snapshot. String columns are dictionary-encoded and integer columns are
-//!   run-length encoded when beneficial (see [`CompressionPolicy`]).
+//!   snapshot. String columns are dictionary-encoded and integer columns pick the
+//!   smallest of plain / RLE / bit-packed / delta encoding (see
+//!   [`CompressionPolicy`]). The table is split into fixed-size [`RowGroup`]s, each
+//!   carrying a [`ZoneMap`] per column (min/max for int columns, a distinct-code
+//!   summary for dictionary columns) so a scan can prove "no row in this group can
+//!   match any active predicate" without touching the group's bytes.
 //! * [`ColumnarContinuousScan`] — the circular scan over a columnar table. It has the
 //!   same wrap-around semantics as [`crate::ContinuousScan`] (stable row order,
 //!   batches never cross the wrap point) but materialises only a projected subset of
 //!   the columns; the untouched columns are returned as NULL and their bytes are never
 //!   read.
-//! * [`ScanVolume`] — accounting of the bytes each scan actually touched, so the
+//! * [`ScanVolume`] — accounting of the bytes each scan actually touched (total and
+//!   per column), rows skipped via zone maps, and per-run predicate probes, so the
 //!   experiment harness can compare row-store and column-store scan volume.
+//!
+//! # Correctness of encoded-predicate evaluation and late materialization
+//!
+//! The in-pipeline columnar scan (the `colscan` kernel in the engine crate) evaluates
+//! predicates over this encoded data and materialises only a projection. Its
+//! correctness rests on invariants this module guarantees:
+//!
+//! * **Encodings are lossless.** Every [`IntEncoding`] decodes to exactly the value
+//!   sequence of the source column ([`ColumnarTable::value`] and the encoded
+//!   accessors agree by construction), so evaluating a predicate on encoded values —
+//!   including once-per-run over RLE data — is evaluating it on the true values.
+//! * **Dictionary codes are injective.** Two rows have equal string values iff they
+//!   have equal codes, so any string predicate can be pre-translated at query install
+//!   into a set of matching codes; comparing codes row-by-row (or consulting the
+//!   zone's code summary) is then exact, never approximate.
+//! * **Zone maps over-approximate.** A [`ZoneMap`] covers every *stored* (even
+//!   deleted) row of its group and NULLs are tracked separately (`has_null`), so a
+//!   "no possible match" verdict is conservative: skipping the group can never drop a
+//!   row any active query would have kept. [`ZoneCodes::Bloom`] only ever produces
+//!   false *positives* (a group scanned needlessly), never false negatives.
+//! * **Row positions are stable.** Row `i` of the replica is row id `i` of the source
+//!   table prefix, so partially materialised rows ([`ColumnarTable::project_row`])
+//!   keep bound column indices and join keys valid; unprojected columns read as NULL
+//!   and are never consulted downstream (the projection is the union of all admitted
+//!   queries' join/group-by/aggregate columns, maintained on admission/completion).
 //!
 //! The columnar table is a *read-optimised replica*: it captures the rows visible in
 //! the source table at build time (all versions, with their visibility metadata), the
 //! way a column-store warehouse would maintain a read-optimised partition alongside a
-//! write-optimised store.
+//! write-optimised store. Rows appended to the source table after the replica was
+//! built are served from the row store by the hybrid scan path; *deletes* applied
+//! after build time are **not** reflected in the replica's visibility metadata — the
+//! replica serves the snapshot range that existed when the engine started, which is
+//! the same contract the paper's read-optimised column-store partition provides.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cjoin_common::{Error, Result};
 
-use crate::compress::{DictColumn, RleVec};
+use crate::compress::{BitPackedVec, DeltaVec, DictColumn, RleVec};
 use crate::row::{Row, RowId};
 use crate::scan::ScanBatch;
 use crate::schema::{ColumnId, ColumnType, Schema};
@@ -41,8 +75,8 @@ pub enum CompressionPolicy {
     /// (dictionary encoding is always a win for the `Arc<str>`-based row model).
     #[default]
     Plain,
-    /// Additionally run-length encode integer columns when RLE actually shrinks them
-    /// (fewer than half as many runs as rows).
+    /// Additionally encode each NULL-free integer column with whichever of plain,
+    /// run-length, bit-packed, or delta encoding is smallest (ties keep plain).
     Adaptive,
 }
 
@@ -57,6 +91,10 @@ enum ColumnData {
     },
     /// Run-length encoded integer column (only used when the column has no NULLs).
     IntRle(RleVec),
+    /// Frame-of-reference bit-packed integer column (no NULLs).
+    IntPacked(BitPackedVec),
+    /// Block-wise delta-encoded integer column (no NULLs).
+    IntDelta(DeltaVec),
     /// Dictionary-encoded string column with an optional null bitmap.
     Str {
         codes: DictColumn,
@@ -85,6 +123,8 @@ impl ColumnData {
                 }
             }
             ColumnData::IntRle(v) => v.get(row).map_or(Value::Null, Value::Int),
+            ColumnData::IntPacked(v) => v.get(row).map_or(Value::Null, Value::Int),
+            ColumnData::IntDelta(v) => v.get(row).map_or(Value::Null, Value::Int),
             ColumnData::Str { codes, nulls } => {
                 if is_null(nulls, row) {
                     Value::Null
@@ -102,6 +142,8 @@ impl ColumnData {
                 (values.len() * std::mem::size_of::<i64>()) as u64 + null_bitmap_bytes(nulls)
             }
             ColumnData::IntRle(v) => v.encoded_bytes(),
+            ColumnData::IntPacked(v) => v.encoded_bytes(),
+            ColumnData::IntDelta(v) => v.encoded_bytes(),
             ColumnData::Str { codes, nulls } => codes.encoded_bytes() + null_bitmap_bytes(nulls),
         }
     }
@@ -113,9 +155,189 @@ impl ColumnData {
                 (values.len() * std::mem::size_of::<i64>()) as u64
             }
             ColumnData::IntRle(v) => v.plain_bytes(),
+            ColumnData::IntPacked(v) => v.plain_bytes(),
+            ColumnData::IntDelta(v) => v.plain_bytes(),
             ColumnData::Str { codes, .. } => codes.plain_bytes(),
         }
     }
+}
+
+/// Default number of rows per [`RowGroup`].
+pub const DEFAULT_ROW_GROUP_ROWS: usize = 1024;
+
+/// Maximum distinct codes a [`ZoneCodes::Exact`] summary tracks before degrading
+/// to a [`ZoneCodes::Bloom`] mask.
+const ZONE_EXACT_CODES: usize = 16;
+
+/// Summary of the distinct dictionary codes appearing in one row group of a
+/// string column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneCodes {
+    /// Every distinct code in the group, sorted (low-cardinality groups).
+    Exact(Vec<u32>),
+    /// A 64-bit Bloom-style mask: bit `code % 64` is set for every code present.
+    /// May report false positives (group scanned needlessly), never false
+    /// negatives.
+    Bloom(u64),
+}
+
+impl ZoneCodes {
+    /// Whether the group may contain a row with this code.
+    pub fn may_contain(&self, code: u32) -> bool {
+        match self {
+            ZoneCodes::Exact(codes) => codes.binary_search(&code).is_ok(),
+            ZoneCodes::Bloom(mask) => mask & (1u64 << (code % 64)) != 0,
+        }
+    }
+
+    /// The exact sorted code set, when the summary kept one.
+    pub fn exact(&self) -> Option<&[u32]> {
+        match self {
+            ZoneCodes::Exact(codes) => Some(codes),
+            ZoneCodes::Bloom(_) => None,
+        }
+    }
+}
+
+/// Per-column summary of one row group, used to skip groups no predicate can match.
+///
+/// NULL rows are excluded from the min/max and code summaries and tracked via
+/// `has_null` instead; a group whose non-null rows are empty carries the inverted
+/// sentinel `min = i64::MAX, max = i64::MIN` (every range test on it is "never").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZoneMap {
+    /// Integer column: min/max over the group's non-null values.
+    Int {
+        /// Smallest non-null value in the group (`i64::MAX` when all-NULL).
+        min: i64,
+        /// Largest non-null value in the group (`i64::MIN` when all-NULL).
+        max: i64,
+        /// Whether the group contains any NULL.
+        has_null: bool,
+    },
+    /// String column: summary of the distinct dictionary codes present.
+    Str {
+        /// The code summary over the group's non-null values.
+        codes: ZoneCodes,
+        /// Whether the group contains any NULL.
+        has_null: bool,
+    },
+}
+
+/// A fixed-size horizontal slice of a [`ColumnarTable`] with per-column zone maps.
+#[derive(Debug, Clone)]
+pub struct RowGroup {
+    /// First row position covered by the group.
+    pub start: u64,
+    /// Number of rows in the group (the last group may be short).
+    pub len: u64,
+    /// One [`ZoneMap`] per column, in schema order.
+    pub zones: Vec<ZoneMap>,
+    /// Whether every stored row in the group is visible at every snapshot, in
+    /// which case the scan can skip per-row visibility checks.
+    pub all_always_visible: bool,
+}
+
+/// A borrowed view of one integer column's encoded representation.
+#[derive(Debug, Clone, Copy)]
+pub enum IntEncoding<'a> {
+    /// Plain values.
+    Plain(&'a [i64]),
+    /// Run-length encoded.
+    Rle(&'a RleVec),
+    /// Frame-of-reference bit-packed.
+    Packed(&'a BitPackedVec),
+    /// Block-wise delta encoded.
+    Delta(&'a DeltaVec),
+}
+
+impl IntEncoding<'_> {
+    /// The value at `row` (`None` past the end). All encodings are lossless, so
+    /// this agrees with [`ColumnarTable::value`] on non-null rows.
+    pub fn get(&self, row: usize) -> Option<i64> {
+        match self {
+            IntEncoding::Plain(values) => values.get(row).copied(),
+            IntEncoding::Rle(v) => v.get(row),
+            IntEncoding::Packed(v) => v.get(row),
+            IntEncoding::Delta(v) => v.get(row),
+        }
+    }
+}
+
+/// A borrowed view of one column's encoded representation, for scan kernels that
+/// evaluate predicates without materialising [`Value`]s.
+#[derive(Debug, Clone, Copy)]
+pub enum EncodedColumn<'a> {
+    /// Integer column: encoded values plus an optional null bitmap.
+    Int {
+        /// The encoded values (NULL positions hold 0 in the encoding).
+        data: IntEncoding<'a>,
+        /// Per-row null flags, when the column contains NULLs.
+        nulls: Option<&'a [bool]>,
+    },
+    /// String column: dictionary codes plus an optional null bitmap.
+    Str {
+        /// The dictionary-encoded codes (NULL positions hold the code of `""`).
+        codes: &'a DictColumn,
+        /// Per-row null flags, when the column contains NULLs.
+        nulls: Option<&'a [bool]>,
+    },
+}
+
+/// Builds per-group zone maps for an integer column.
+fn int_zones(values: &[i64], nulls: &Option<Vec<bool>>, group_rows: usize) -> Vec<ZoneMap> {
+    let mut zones = Vec::with_capacity(values.len().div_ceil(group_rows.max(1)));
+    for (g, block) in values.chunks(group_rows).enumerate() {
+        let start = g * group_rows;
+        let (mut min, mut max, mut has_null) = (i64::MAX, i64::MIN, false);
+        for (i, &v) in block.iter().enumerate() {
+            if is_null(nulls, start + i) {
+                has_null = true;
+            } else {
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        zones.push(ZoneMap::Int { min, max, has_null });
+    }
+    zones
+}
+
+/// Builds per-group zone maps for a dictionary-encoded string column.
+fn str_zones(codes: &DictColumn, nulls: &Option<Vec<bool>>, group_rows: usize) -> Vec<ZoneMap> {
+    let len = codes.len();
+    let mut zones = Vec::with_capacity(len.div_ceil(group_rows.max(1)));
+    let mut start = 0usize;
+    while start < len {
+        let end = (start + group_rows).min(len);
+        let mut distinct: Vec<u32> = Vec::new();
+        let mut has_null = false;
+        for i in start..end {
+            if is_null(nulls, i) {
+                has_null = true;
+                continue;
+            }
+            let code = codes.code(i).expect("row in range");
+            if let Err(at) = distinct.binary_search(&code) {
+                distinct.insert(at, code);
+            }
+        }
+        let summary = if distinct.len() <= ZONE_EXACT_CODES {
+            ZoneCodes::Exact(distinct)
+        } else {
+            let mut mask = 0u64;
+            for &code in &distinct {
+                mask |= 1u64 << (code % 64);
+            }
+            ZoneCodes::Bloom(mask)
+        };
+        zones.push(ZoneMap::Str {
+            codes: summary,
+            has_null,
+        });
+        start = end;
+    }
+    zones
 }
 
 /// A read-optimised, column-oriented copy of a table.
@@ -125,15 +347,35 @@ pub struct ColumnarTable {
     columns: Vec<ColumnData>,
     versions: Vec<RowVersion>,
     policy: CompressionPolicy,
+    groups: Vec<RowGroup>,
+    group_rows: usize,
 }
 
 impl ColumnarTable {
-    /// Builds a columnar replica of `table`, capturing every stored row version.
+    /// Builds a columnar replica of `table` with [`DEFAULT_ROW_GROUP_ROWS`]-row
+    /// groups, capturing every stored row version.
     ///
     /// # Errors
     /// Returns a type-mismatch error if a stored row does not match the schema (which
     /// indicates a corrupted source table).
     pub fn from_table(table: &Table, policy: CompressionPolicy) -> Result<Self> {
+        Self::from_table_with_row_groups(table, policy, DEFAULT_ROW_GROUP_ROWS)
+    }
+
+    /// Builds a columnar replica of `table` split into `group_rows`-row groups with
+    /// per-group zone maps.
+    ///
+    /// # Errors
+    /// Returns a type-mismatch error if a stored row does not match the schema.
+    ///
+    /// # Panics
+    /// Panics if `group_rows` is zero.
+    pub fn from_table_with_row_groups(
+        table: &Table,
+        policy: CompressionPolicy,
+        group_rows: usize,
+    ) -> Result<Self> {
+        assert!(group_rows > 0, "group_rows must be positive");
         let schema = table.schema().clone();
         let arity = schema.arity();
         let len = table.len();
@@ -155,6 +397,7 @@ impl ColumnarTable {
         let versions: Vec<RowVersion> = rows.iter().map(|(_, _, v)| *v).collect();
 
         let mut columns = Vec::with_capacity(arity);
+        let mut column_zones: Vec<Vec<ZoneMap>> = Vec::with_capacity(arity);
         for (col_idx, column) in schema.columns().iter().enumerate() {
             let data = match column.ty {
                 ColumnType::Int => {
@@ -175,13 +418,9 @@ impl ColumnarTable {
                             }
                         }
                     }
+                    column_zones.push(int_zones(&values, &nulls, group_rows));
                     if policy == CompressionPolicy::Adaptive && nulls.is_none() {
-                        let rle = RleVec::from_slice(&values);
-                        if rle.num_runs() * 2 < rle.len().max(1) {
-                            ColumnData::IntRle(rle)
-                        } else {
-                            ColumnData::IntPlain { values, nulls }
-                        }
+                        Self::best_int_encoding(values)
                     } else {
                         ColumnData::IntPlain { values, nulls }
                     }
@@ -204,10 +443,29 @@ impl ColumnarTable {
                             }
                         }
                     }
+                    column_zones.push(str_zones(&codes, &nulls, group_rows));
                     ColumnData::Str { codes, nulls }
                 }
             };
             columns.push(data);
+        }
+
+        // Transpose the per-column zone lists into per-group RowGroups.
+        let num_groups = len.div_ceil(group_rows);
+        let mut groups = Vec::with_capacity(num_groups);
+        for g in 0..num_groups {
+            let start = g * group_rows;
+            let group_len = group_rows.min(len - start);
+            let zones = column_zones.iter().map(|zones| zones[g].clone()).collect();
+            let all_always_visible = versions[start..start + group_len]
+                .iter()
+                .all(|v| *v == RowVersion::ALWAYS_VISIBLE);
+            groups.push(RowGroup {
+                start: start as u64,
+                len: group_len as u64,
+                zones,
+                all_always_visible,
+            });
         }
 
         Ok(Self {
@@ -215,7 +473,38 @@ impl ColumnarTable {
             columns,
             versions,
             policy,
+            groups,
+            group_rows,
         })
+    }
+
+    /// Picks the smallest of plain / RLE / bit-packed / delta for a NULL-free
+    /// integer column (ties keep the simpler plain representation).
+    fn best_int_encoding(values: Vec<i64>) -> ColumnData {
+        let plain_bytes = (values.len() * std::mem::size_of::<i64>()) as u64;
+        let rle = RleVec::from_slice(&values);
+        let packed = BitPackedVec::from_slice(&values);
+        let delta = DeltaVec::from_slice(&values);
+        let best = [
+            rle.encoded_bytes(),
+            packed.encoded_bytes(),
+            delta.encoded_bytes(),
+        ]
+        .into_iter()
+        .min()
+        .unwrap_or(u64::MAX);
+        if best >= plain_bytes {
+            ColumnData::IntPlain {
+                values,
+                nulls: None,
+            }
+        } else if rle.encoded_bytes() == best {
+            ColumnData::IntRle(rle)
+        } else if packed.encoded_bytes() == best {
+            ColumnData::IntPacked(packed)
+        } else {
+            ColumnData::IntDelta(delta)
+        }
     }
 
     /// The table's schema.
@@ -269,6 +558,51 @@ impl ColumnarTable {
     /// Visibility metadata of the row at `row`.
     pub fn version(&self, row: usize) -> Option<RowVersion> {
         self.versions.get(row).copied()
+    }
+
+    /// The row groups the table is split into, in position order.
+    pub fn row_groups(&self) -> &[RowGroup] {
+        &self.groups
+    }
+
+    /// Rows per group (the last group may be shorter).
+    pub fn group_rows(&self) -> usize {
+        self.group_rows
+    }
+
+    /// Index of the row group containing row position `row`.
+    pub fn group_of(&self, row: u64) -> usize {
+        (row / self.group_rows as u64) as usize
+    }
+
+    /// A borrowed view of `column`'s encoded representation, for kernels that
+    /// evaluate predicates directly over encoded data.
+    ///
+    /// # Panics
+    /// Panics if `column` is out of range for the schema.
+    pub fn encoded_column(&self, column: ColumnId) -> EncodedColumn<'_> {
+        match &self.columns[column] {
+            ColumnData::IntPlain { values, nulls } => EncodedColumn::Int {
+                data: IntEncoding::Plain(values),
+                nulls: nulls.as_deref(),
+            },
+            ColumnData::IntRle(v) => EncodedColumn::Int {
+                data: IntEncoding::Rle(v),
+                nulls: None,
+            },
+            ColumnData::IntPacked(v) => EncodedColumn::Int {
+                data: IntEncoding::Packed(v),
+                nulls: None,
+            },
+            ColumnData::IntDelta(v) => EncodedColumn::Int {
+                data: IntEncoding::Delta(v),
+                nulls: None,
+            },
+            ColumnData::Str { codes, nulls } => EncodedColumn::Str {
+                codes,
+                nulls: nulls.as_deref(),
+            },
+        }
     }
 
     /// Visits every row visible at `snapshot`, materialising only the projected
@@ -340,17 +674,31 @@ impl ColumnarTable {
     }
 }
 
-/// Byte-level accounting of what a columnar scan actually read.
+/// Byte-level accounting of what a columnar scan actually read: total and
+/// per-column bytes, rows skipped via zone maps, and per-run predicate probes.
 #[derive(Debug, Default)]
 pub struct ScanVolume {
     bytes_scanned: AtomicU64,
     rows_scanned: AtomicU64,
+    row_groups_skipped: AtomicU64,
+    rows_predicate_skipped: AtomicU64,
+    predicate_probes: AtomicU64,
+    predicate_rows: AtomicU64,
+    column_bytes: Vec<AtomicU64>,
 }
 
 impl ScanVolume {
-    /// Creates zeroed counters.
+    /// Creates zeroed counters without per-column tracking.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates zeroed counters with one per-column byte counter per schema column.
+    pub fn with_columns(arity: usize) -> Self {
+        Self {
+            column_bytes: (0..arity).map(|_| AtomicU64::new(0)).collect(),
+            ..Self::default()
+        }
     }
 
     /// Bytes of column data touched so far.
@@ -363,15 +711,75 @@ impl ScanVolume {
         self.rows_scanned.load(Ordering::Relaxed)
     }
 
-    /// Resets both counters.
+    /// Row groups skipped outright because no active predicate could match
+    /// their zone maps.
+    pub fn row_groups_skipped(&self) -> u64 {
+        self.row_groups_skipped.load(Ordering::Relaxed)
+    }
+
+    /// Rows whose bytes were never touched thanks to zone-map skipping.
+    pub fn rows_predicate_skipped(&self) -> u64 {
+        self.rows_predicate_skipped.load(Ordering::Relaxed)
+    }
+
+    /// Predicate evaluations actually performed (one per run on RLE data).
+    pub fn predicate_probes(&self) -> u64 {
+        self.predicate_probes.load(Ordering::Relaxed)
+    }
+
+    /// Rows those predicate evaluations covered; `predicate_rows /
+    /// predicate_probes` is the average rows answered per probe.
+    pub fn predicate_rows(&self) -> u64 {
+        self.predicate_rows.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the per-column bytes touched (empty unless built via
+    /// [`ScanVolume::with_columns`]).
+    pub fn column_bytes(&self) -> Vec<u64> {
+        self.column_bytes
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Resets all counters.
     pub fn reset(&self) {
         self.bytes_scanned.store(0, Ordering::Relaxed);
         self.rows_scanned.store(0, Ordering::Relaxed);
+        self.row_groups_skipped.store(0, Ordering::Relaxed);
+        self.rows_predicate_skipped.store(0, Ordering::Relaxed);
+        self.predicate_probes.store(0, Ordering::Relaxed);
+        self.predicate_rows.store(0, Ordering::Relaxed);
+        for c in &self.column_bytes {
+            c.store(0, Ordering::Relaxed);
+        }
     }
 
-    fn record(&self, rows: u64, bytes: u64) {
+    /// Records `rows` produced at a cost of `bytes` of column data.
+    pub fn record_scan(&self, rows: u64, bytes: u64) {
         self.rows_scanned.fetch_add(rows, Ordering::Relaxed);
         self.bytes_scanned.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Attributes `bytes` of touched data to `column` (no-op when per-column
+    /// tracking is off or the index is out of range).
+    pub fn record_column(&self, column: ColumnId, bytes: u64) {
+        if let Some(c) = self.column_bytes.get(column) {
+            c.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one zone-map skip of a `rows`-row group.
+    pub fn record_group_skip(&self, rows: u64) {
+        self.row_groups_skipped.fetch_add(1, Ordering::Relaxed);
+        self.rows_predicate_skipped
+            .fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Records `probes` predicate evaluations covering `rows` rows.
+    pub fn record_predicate(&self, probes: u64, rows: u64) {
+        self.predicate_probes.fetch_add(probes, Ordering::Relaxed);
+        self.predicate_rows.fetch_add(rows, Ordering::Relaxed);
     }
 }
 
@@ -473,7 +881,7 @@ impl ColumnarContinuousScan {
             batch.rows.push((RowId(i as u64), row, version));
         }
         if let Some(volume) = &self.volume {
-            volume.record(to_read as u64, to_read as u64 * self.bytes_per_row);
+            volume.record_scan(to_read as u64, to_read as u64 * self.bytes_per_row);
         }
         self.position += to_read as u64;
     }
@@ -541,12 +949,182 @@ mod tests {
             adaptive.column_encoded_bytes(date_col),
             plain.column_encoded_bytes(date_col)
         );
-        // The high-cardinality orderkey column must stay plain (RLE would double it).
-        assert_eq!(
+        // The sequential orderkey column is hostile to RLE but delta-encodes well:
+        // per-128-row blocks span only 127, so offsets fit in 7 bits.
+        assert!(
+            adaptive.column_encoded_bytes(0) < plain.column_encoded_bytes(0) / 4,
+            "delta should shrink the sequential key column: {} vs {}",
             adaptive.column_encoded_bytes(0),
             plain.column_encoded_bytes(0)
         );
         assert!(adaptive.compression_ratio() > plain.compression_ratio());
+        // Whatever encoding won, values must round-trip.
+        for i in [0usize, 127, 128, 499] {
+            assert_eq!(adaptive.value(i, 0), plain.value(i, 0), "row {i}");
+        }
+    }
+
+    #[test]
+    fn encoded_column_views_agree_with_values() {
+        let table = source_table(300);
+        for policy in [CompressionPolicy::Plain, CompressionPolicy::Adaptive] {
+            let columnar = ColumnarTable::from_table(&table, policy).unwrap();
+            for c in 0..columnar.schema().arity() {
+                match columnar.encoded_column(c) {
+                    EncodedColumn::Int { data, nulls } => {
+                        assert!(nulls.is_none());
+                        for i in 0..columnar.len() {
+                            assert_eq!(
+                                Value::Int(data.get(i).unwrap()),
+                                columnar.value(i, c).unwrap(),
+                                "{policy:?} col {c} row {i}"
+                            );
+                        }
+                        assert_eq!(data.get(columnar.len()), None);
+                    }
+                    EncodedColumn::Str { codes, nulls } => {
+                        assert!(nulls.is_none());
+                        for i in 0..columnar.len() {
+                            assert_eq!(
+                                Value::Str(codes.get(i).unwrap()),
+                                columnar.value(i, c).unwrap(),
+                                "{policy:?} col {c} row {i}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_groups_cover_table_with_correct_zone_maps() {
+        let table = source_table(2500);
+        let columnar =
+            ColumnarTable::from_table_with_row_groups(&table, CompressionPolicy::Adaptive, 1000)
+                .unwrap();
+        assert_eq!(columnar.group_rows(), 1000);
+        let groups = columnar.row_groups();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[2].start, 2000);
+        assert_eq!(groups[2].len, 500);
+        assert_eq!(columnar.group_of(999), 0);
+        assert_eq!(columnar.group_of(1000), 1);
+        for (g, group) in groups.iter().enumerate() {
+            assert!(group.all_always_visible);
+            assert_eq!(group.zones.len(), 4);
+            // Orderkey is sequential, so group g spans exactly its row range.
+            let ZoneMap::Int { min, max, has_null } = &group.zones[0] else {
+                panic!("orderkey zone must be Int");
+            };
+            assert_eq!(*min, group.start as i64, "group {g}");
+            assert_eq!(*max, (group.start + group.len - 1) as i64, "group {g}");
+            assert!(!has_null);
+            // Shipmode has 2 distinct values per group: an exact code set.
+            let ZoneMap::Str { codes, has_null } = &group.zones[2] else {
+                panic!("shipmode zone must be Str");
+            };
+            let exact = codes.exact().expect("2 distinct codes stays exact");
+            assert_eq!(exact.len(), 2, "group {g}");
+            assert!(!has_null);
+            for code in exact {
+                assert!(codes.may_contain(*code));
+            }
+            assert!(!codes.may_contain(99));
+        }
+    }
+
+    #[test]
+    fn zone_maps_exclude_nulls_and_flag_them() {
+        let schema = Schema::new("t", vec![Column::int("a"), Column::str("s")]);
+        let table = Table::new(schema);
+        table
+            .insert(vec![Value::int(10), Value::str("x")], SnapshotId::INITIAL)
+            .unwrap();
+        table
+            .insert(vec![Value::Null, Value::Null], SnapshotId::INITIAL)
+            .unwrap();
+        table
+            .insert(vec![Value::int(-5), Value::str("y")], SnapshotId::INITIAL)
+            .unwrap();
+        let columnar = ColumnarTable::from_table(&table, CompressionPolicy::Plain).unwrap();
+        let group = &columnar.row_groups()[0];
+        assert_eq!(
+            group.zones[0],
+            ZoneMap::Int {
+                min: -5,
+                max: 10,
+                has_null: true
+            }
+        );
+        let ZoneMap::Str { codes, has_null } = &group.zones[1] else {
+            panic!("string zone expected");
+        };
+        assert!(*has_null);
+        // The "" sentinel interned for NULLs must not appear in the code set.
+        let x_code = match columnar.encoded_column(1) {
+            EncodedColumn::Str { codes, .. } => codes.code(0).unwrap(),
+            _ => unreachable!(),
+        };
+        assert!(codes.may_contain(x_code));
+        assert_eq!(codes.exact().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn bloom_zone_codes_degrade_without_false_negatives() {
+        // 32 distinct values in one group: too many for an exact set.
+        let schema = Schema::new("t", vec![Column::str("s")]);
+        let table = Table::new(schema);
+        let values: Vec<String> = (0..64).map(|i| format!("v{}", i % 32)).collect();
+        table.insert_batch_unchecked(
+            values.iter().map(|v| Row::new(vec![Value::str(v)])),
+            SnapshotId::INITIAL,
+        );
+        let columnar = ColumnarTable::from_table(&table, CompressionPolicy::Plain).unwrap();
+        let ZoneMap::Str { codes, .. } = &columnar.row_groups()[0].zones[0] else {
+            panic!("string zone expected");
+        };
+        assert!(codes.exact().is_none(), "32 codes must degrade to bloom");
+        for code in 0..32u32 {
+            assert!(codes.may_contain(code), "no false negatives: code {code}");
+        }
+    }
+
+    #[test]
+    fn deleted_rows_mark_group_not_always_visible() {
+        let schema = Schema::new("t", vec![Column::int("a")]);
+        let table = Table::new(schema);
+        let id = table
+            .insert(vec![Value::int(1)], SnapshotId::INITIAL)
+            .unwrap();
+        table
+            .insert(vec![Value::int(2)], SnapshotId::INITIAL)
+            .unwrap();
+        table.delete(id, SnapshotId(3));
+        let columnar = ColumnarTable::from_table(&table, CompressionPolicy::Plain).unwrap();
+        assert!(!columnar.row_groups()[0].all_always_visible);
+    }
+
+    #[test]
+    fn scan_volume_tracks_skips_probes_and_columns() {
+        let volume = ScanVolume::with_columns(2);
+        volume.record_scan(10, 80);
+        volume.record_column(0, 50);
+        volume.record_column(1, 30);
+        volume.record_column(7, 999); // out of range: ignored
+        volume.record_group_skip(1024);
+        volume.record_predicate(3, 1000);
+        assert_eq!(volume.rows_scanned(), 10);
+        assert_eq!(volume.bytes_scanned(), 80);
+        assert_eq!(volume.column_bytes(), vec![50, 30]);
+        assert_eq!(volume.row_groups_skipped(), 1);
+        assert_eq!(volume.rows_predicate_skipped(), 1024);
+        assert_eq!(volume.predicate_probes(), 3);
+        assert_eq!(volume.predicate_rows(), 1000);
+        volume.reset();
+        assert_eq!(volume.column_bytes(), vec![0, 0]);
+        assert_eq!(volume.row_groups_skipped(), 0);
+        assert_eq!(volume.predicate_probes(), 0);
     }
 
     #[test]

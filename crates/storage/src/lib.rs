@@ -39,8 +39,11 @@ pub mod table;
 pub mod value;
 
 pub use catalog::Catalog;
-pub use columnar::{ColumnarContinuousScan, ColumnarTable, CompressionPolicy, ScanVolume};
-pub use compress::{DictColumn, Dictionary, RleVec};
+pub use columnar::{
+    ColumnarContinuousScan, ColumnarTable, CompressionPolicy, EncodedColumn, IntEncoding, RowGroup,
+    ScanVolume, ZoneCodes, ZoneMap, DEFAULT_ROW_GROUP_ROWS,
+};
+pub use compress::{BitPackedVec, DeltaVec, DictColumn, Dictionary, RleVec, RunCursor};
 pub use io::{AccessKind, IoModel, IoStats};
 pub use partition::{PartitionId, PartitionScheme};
 pub use row::{Row, RowId};

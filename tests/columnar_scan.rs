@@ -1,0 +1,239 @@
+//! Oracle-backed tests for the compressed columnar scan front-end
+//! (`CjoinConfig::columnar_scan`).
+//!
+//! Four suites pin down the in-pipeline columnar path:
+//!
+//! 1. **Zone-map skip oracle** — an independently computed per-group min/max
+//!    over the raw fact rows predicts *exactly* how many rows a clustered range
+//!    query must skip via zone maps; the engine's `rows_predicate_skipped`
+//!    counter must match it row for row over a single scan pass.
+//! 2. **Per-run predicate evaluation** — on a run-length-encoded column, the
+//!    kernel answers whole runs with one probe, so `predicate_rows /
+//!    predicate_probes` must be far above 1 (the row path's implicit ratio).
+//! 3. **Late materialization** — only the columns the active query's predicate
+//!    and aggregates touch may accrue bytes; every other fact column must stay
+//!    at zero, and the per-column bills must sum to the total scan volume.
+//! 4. **Mid-scan admission, exactly once** — full-table COUNT/SUM probes
+//!    admitted while background churn keeps all four segment cursors busy must
+//!    equal the reference exactly: a duplicated row-group row inflates the
+//!    aggregate, a zone-map-skipped visible row deflates it.
+
+use std::sync::Arc;
+
+use cjoin_repro::cjoin::{CjoinConfig, CjoinEngine};
+use cjoin_repro::query::reference;
+use cjoin_repro::ssb::{SsbConfig, SsbDataSet, Workload, WorkloadConfig};
+use cjoin_repro::storage::{Catalog, Column, Row, Schema, Table, Value, DEFAULT_ROW_GROUP_ROWS};
+use cjoin_repro::{AggFunc, AggregateSpec, ColumnRef, Predicate, SnapshotId, StarQuery};
+
+fn config(scan_workers: usize) -> CjoinConfig {
+    CjoinConfig::default()
+        .with_worker_threads(2)
+        .with_max_concurrency(32)
+        .with_batch_size(256)
+        .with_scan_workers(scan_workers)
+        .with_columnar_scan(true)
+}
+
+#[test]
+fn zone_map_skipping_matches_the_min_max_oracle_exactly() {
+    // Cluster the fact table by lo_orderdate so row groups have tight date
+    // ranges — the setup under which zone maps earn their keep.
+    let data = SsbDataSet::generate(SsbConfig {
+        cluster_by_orderdate: true,
+        ..SsbConfig::for_tests(0.005, 601)
+    });
+    let catalog = data.catalog();
+    let fact = catalog.fact_table().unwrap();
+
+    let (lo, hi) = (19_930_101i64, 19_931_231i64);
+    let query = StarQuery::builder("year93")
+        .fact_predicate(Predicate::between("lo_orderdate", lo, hi))
+        .aggregate(AggregateSpec::count_star())
+        .aggregate(AggregateSpec::over(
+            AggFunc::Sum,
+            ColumnRef::fact("lo_revenue"),
+        ))
+        .build();
+    let expected = reference::evaluate(&catalog, &query, SnapshotId::INITIAL).unwrap();
+
+    // Independent oracle: per DEFAULT_ROW_GROUP_ROWS-row group, the min/max of
+    // lo_orderdate over the raw rows decides skippability; every row of a
+    // disjoint group must be skipped, every other row must be scanned.
+    let date_col = fact.schema().column_index("lo_orderdate").unwrap();
+    let mut dates = Vec::with_capacity(fact.len());
+    fact.for_each_visible(SnapshotId(u64::MAX), |_, row| {
+        dates.push(row.int(date_col));
+    });
+    let expected_skipped: u64 = dates
+        .chunks(DEFAULT_ROW_GROUP_ROWS)
+        .map(|group| {
+            let min = *group.iter().min().unwrap();
+            let max = *group.iter().max().unwrap();
+            if max < lo || min > hi {
+                group.len() as u64
+            } else {
+                0
+            }
+        })
+        .sum();
+    assert!(
+        expected_skipped > 0,
+        "test setup must produce skippable groups"
+    );
+
+    // A fresh engine idles at scan position 0 until the query is admitted and
+    // stops scanning once it finalizes, so the counters cover exactly one pass.
+    let engine = CjoinEngine::start(Arc::clone(&catalog), config(1)).unwrap();
+    let result = engine.execute(query).unwrap();
+    assert!(result.approx_eq(&expected), "{:?}", result.diff(&expected));
+
+    let columnar = engine.stats().columnar.expect("columnar stats present");
+    assert_eq!(
+        columnar.rows_predicate_skipped, expected_skipped,
+        "zone-map skipping must match the min/max oracle row for row"
+    );
+    assert!(columnar.row_groups_skipped > 0);
+    assert_eq!(
+        columnar.rows_scanned + columnar.rows_predicate_skipped,
+        fact.len() as u64,
+        "scanned and skipped rows partition the single pass"
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn rle_predicates_evaluate_per_run_not_per_row() {
+    // A fact column with 256-row runs: adaptive compression picks RLE, and the
+    // encoded kernel must answer each run with a single probe.
+    let catalog = Catalog::new();
+    let fact = Table::new(Schema::new(
+        "events",
+        vec![Column::int("grp"), Column::int("rev")],
+    ));
+    fact.insert_batch_unchecked(
+        (0..16_384i64).map(|i| Row::new(vec![Value::int(i / 256), Value::int(i % 97)])),
+        SnapshotId::INITIAL,
+    );
+    catalog.add_fact_table(Arc::new(fact));
+    let catalog = Arc::new(catalog);
+
+    // 22..=41 straddles run values mid-group, so some groups are Maybe (probed
+    // per run), some Always (no probes) and some Never (skipped outright).
+    let query = StarQuery::builder("grp_range")
+        .fact_predicate(Predicate::between("grp", 22, 41))
+        .aggregate(AggregateSpec::count_star())
+        .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("rev")))
+        .build();
+    let expected = reference::evaluate(&catalog, &query, SnapshotId::INITIAL).unwrap();
+
+    let engine = CjoinEngine::start(Arc::clone(&catalog), config(1)).unwrap();
+    let result = engine.execute(query).unwrap();
+    assert!(result.approx_eq(&expected), "{:?}", result.diff(&expected));
+
+    let columnar = engine.stats().columnar.expect("columnar stats present");
+    assert!(columnar.row_groups_skipped > 0, "Never groups are skipped");
+    assert!(columnar.predicate_probes > 0, "Maybe groups are probed");
+    assert!(
+        columnar.rows_per_probe() > 32.0,
+        "one probe must cover a whole RLE run, got {} rows/probe",
+        columnar.rows_per_probe()
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn late_materialization_touches_only_the_needed_columns() {
+    let data = SsbDataSet::generate(SsbConfig::for_tests(0.002, 603));
+    let catalog = data.catalog();
+    let fact = catalog.fact_table().unwrap();
+    let schema = fact.schema();
+
+    let query = StarQuery::builder("narrow")
+        .fact_predicate(Predicate::between("lo_orderdate", 19_940_101, 19_941_231))
+        .aggregate(AggregateSpec::count_star())
+        .aggregate(AggregateSpec::over(
+            AggFunc::Sum,
+            ColumnRef::fact("lo_revenue"),
+        ))
+        .build();
+    let expected = reference::evaluate(&catalog, &query, SnapshotId::INITIAL).unwrap();
+
+    let engine = CjoinEngine::start(Arc::clone(&catalog), config(1)).unwrap();
+    let result = engine.execute(query).unwrap();
+    assert!(result.approx_eq(&expected), "{:?}", result.diff(&expected));
+
+    let columnar = engine.stats().columnar.expect("columnar stats present");
+    let needed = [
+        schema.column_index("lo_orderdate").unwrap(),
+        schema.column_index("lo_revenue").unwrap(),
+    ];
+    for (col, &bytes) in columnar.column_bytes.iter().enumerate() {
+        if needed.contains(&col) {
+            assert!(bytes > 0, "needed column {col} must be read");
+        } else {
+            assert_eq!(
+                bytes,
+                0,
+                "column {col} ({}) is not needed by the query and must never be decoded",
+                schema.column(col).name
+            );
+        }
+    }
+    assert_eq!(
+        columnar.column_bytes.iter().sum::<u64>(),
+        columnar.bytes_scanned,
+        "per-column bills sum to the total scan volume"
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn mid_scan_admission_is_exactly_once_across_columnar_segments() {
+    let data = SsbDataSet::generate(SsbConfig::for_tests(0.001, 604));
+    let catalog = data.catalog();
+    let engine = CjoinEngine::start(Arc::clone(&catalog), config(4)).unwrap();
+
+    // Background churn keeps every segment cursor mid-pass while the probes
+    // are admitted, so query-start boundaries land in the middle of row groups
+    // and zone-map decisions interleave with per-query admission state.
+    let background = Workload::generate(&data, WorkloadConfig::new(12, 0.05, 605));
+    let mut in_flight = std::collections::VecDeque::new();
+    let mut background_iter = background.queries().iter();
+    for query in background_iter.by_ref().take(4) {
+        in_flight.push_back(engine.submit(query.clone()).unwrap());
+    }
+
+    let mut probe_handles = Vec::new();
+    let mut expected = Vec::new();
+    for round in 0..6 {
+        let probe = StarQuery::builder(format!("probe{round}"))
+            .aggregate(AggregateSpec::count_star())
+            .aggregate(AggregateSpec::over(
+                AggFunc::Sum,
+                ColumnRef::fact("lo_revenue"),
+            ))
+            .build();
+        expected.push(reference::evaluate(&catalog, &probe, SnapshotId::INITIAL).unwrap());
+        probe_handles.push(engine.submit(probe).unwrap());
+        if let Some(handle) = in_flight.pop_front() {
+            handle.wait().unwrap();
+        }
+        if let Some(query) = background_iter.next() {
+            in_flight.push_back(engine.submit(query.clone()).unwrap());
+        }
+    }
+
+    for (round, (handle, expected)) in probe_handles.into_iter().zip(expected).enumerate() {
+        let result = handle.wait().unwrap();
+        assert!(
+            result.approx_eq(&expected),
+            "probe {round} did not see every fact row exactly once: {:?}",
+            result.diff(&expected)
+        );
+    }
+    for handle in in_flight {
+        handle.wait().unwrap();
+    }
+    engine.shutdown();
+}

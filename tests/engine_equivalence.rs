@@ -29,7 +29,10 @@ fn cjoin_config() -> CjoinConfig {
 /// `distributor_shards` × `StageLayout` matrix (both hot-path layouts, classic
 /// and sharded scan front-end, single and sharded aggregation), plus one
 /// per-tuple-probing + fully-sharded configuration so the equivalence contract
-/// covers both filter implementations against the sharded front- and back-end.
+/// covers both filter implementations against the sharded front- and back-end,
+/// plus the compressed columnar front-end (`columnar_scan`) against the classic
+/// and sharded scan layouts — the bit-identical-results contract of the
+/// storage-layout knob.
 fn engines_under_test(catalog: &Arc<Catalog>) -> Vec<Box<dyn JoinEngine>> {
     let mut engines: Vec<Box<dyn JoinEngine>> = vec![
         Box::new(BaselineEngine::new(
@@ -67,6 +70,17 @@ fn engines_under_test(catalog: &Arc<Catalog>) -> Vec<Box<dyn JoinEngine>> {
         )
         .unwrap(),
     ));
+    for scan_workers in [1usize, 4] {
+        engines.push(Box::new(
+            CjoinEngine::start(
+                Arc::clone(catalog),
+                cjoin_config()
+                    .with_columnar_scan(true)
+                    .with_scan_workers(scan_workers),
+            )
+            .unwrap(),
+        ));
+    }
     engines
 }
 
