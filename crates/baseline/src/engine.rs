@@ -212,7 +212,10 @@ impl JoinEngine for BaselineEngine {
         // contract — a returned ticket means the query was accepted. The
         // redundant bind is cheap next to the fact scan that follows.
         query.bind(&self.catalog)?;
-        let outcome = self.execute(&query).map(|(result, _)| result);
+        let outcome = self
+            .execute(&query)
+            .map(|(result, _)| result)
+            .map_err(cjoin_query::QueryError::from);
         Ok(Box::new(ReadyTicket::new(outcome)))
     }
 

@@ -9,17 +9,19 @@
 //!   --threads <usize>      CJOIN worker threads          (default 4)
 //!   --concurrency <list>   comma-separated n values      (default 1,32,64,128,256)
 //!   --markdown             print Markdown tables instead of plain text
-//!   --out <path>           output path for bench-json    (default BENCH_PR6.json)
+//!   --out <path>           output path for bench-json    (default BENCH_PR7.json)
 //! ```
 //!
 //! `bench-json` runs the filter hot-path ablation (batched vs. per-tuple probing),
 //! the distributor-sharding ablation (end-to-end qph/p99 for
 //! `distributor_shards` ∈ {1, 2, 4}), the scan-parallelism ablation
 //! (end-to-end qph/p99 for `scan_workers` ∈ {1, 2, 4} × `distributor_shards`
-//! ∈ {1, 4} on an ingest-bound low-selectivity population) and the columnar-scan
+//! ∈ {1, 4} on an ingest-bound low-selectivity population), the columnar-scan
 //! ablation (`columnar_scan` ∈ {off, on} × `scan_workers` ∈ {1, 4}, plus a
 //! clustered date-range probe reporting bytes/row, zone-map skip rate and the
-//! per-run probe ratio) on fixed fig5/fig8-style workloads and writes a
+//! per-run probe ratio) and the supervision A/B (`supervision` ∈ {off, on} on
+//! the fault-free path, proving the panic-isolation scaffolding costs < 2%
+//! qph) on fixed fig5/fig8-style workloads and writes a
 //! machine-readable baseline for the perf trajectory of future PRs. The host's
 //! available parallelism is recorded alongside: segment scan workers trade
 //! extra CPU for wall-clock, so their speedup only materialises where spare
@@ -37,7 +39,7 @@ use cjoin_bench::experiments::{
 };
 use cjoin_bench::hotpath::{
     columnar_range_probe, end_to_end_ab, end_to_end_columnar, end_to_end_scan_workers,
-    end_to_end_sharding, EndToEndReport, ProbeAblationParams, ProbeHarness,
+    end_to_end_sharding, end_to_end_supervision, EndToEndReport, ProbeAblationParams, ProbeHarness,
 };
 use cjoin_bench::{JsonObject, Table};
 use cjoin_common::Result;
@@ -56,7 +58,7 @@ fn parse_args() -> std::result::Result<Options, String> {
     let mut params = ExperimentParams::default();
     let mut concurrency = vec![1, 32, 64, 128, 256];
     let mut markdown = false;
-    let mut out = "BENCH_PR6.json".to_string();
+    let mut out = "BENCH_PR7.json".to_string();
 
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -203,6 +205,25 @@ fn run_bench_json(options: &Options) -> Result<()> {
                 columnar_sweep.field_obj(&format!("{layout}_scan_{scan_workers}"), obj);
         }
     }
+    // Supervision A/B on the fault-free path: same closed loop with the
+    // catch_unwind wrappers, supervisor/reaper thread and runtimes registry on
+    // vs off. The committed baseline proves the robustness scaffolding costs
+    // < 2% qph when nothing fails.
+    eprintln!("# supervision overhead A/B (fig5-style closed loop)");
+    let sup_off = end_to_end_supervision(&e2e, concurrency, false)?;
+    let sup_on = end_to_end_supervision(&e2e, concurrency, true)?;
+    let sup_overhead = 1.0 - sup_on.throughput_qph / sup_off.throughput_qph;
+    eprintln!(
+        "  supervision=off: {:.0} q/h, supervision=on: {:.0} q/h, overhead {:.2}%",
+        sup_off.throughput_qph,
+        sup_on.throughput_qph,
+        100.0 * sup_overhead
+    );
+    let supervision = JsonObject::new()
+        .field_obj("supervision_off", render(&sup_off))
+        .field_obj("supervision_on", render(&sup_on))
+        .field_f64("qph_overhead_fraction", sup_overhead);
+
     let probe = columnar_range_probe(&e2e)?;
     eprintln!(
         "  clustered probe: {:.1} of {:.1} bytes/row ({:.1}% of the row store), \
@@ -231,14 +252,16 @@ fn run_bench_json(options: &Options) -> Result<()> {
         .map(|n| n.get() as u64)
         .unwrap_or(1);
     let json = JsonObject::new()
-        .field_str("artifact", "BENCH_PR6")
+        .field_str("artifact", "BENCH_PR7")
         .field_str(
             "description",
             "Filter hot path A/B (CjoinConfig::batched_probing) + sharded aggregation \
              stage sweep (CjoinConfig::distributor_shards) + sharded scan front-end \
              sweep (CjoinConfig::scan_workers; speedup requires spare host cores) + \
              compressed columnar scan A/B (CjoinConfig::columnar_scan: encoded \
-             predicates, zone-map skipping, late materialization)",
+             predicates, zone-map skipping, late materialization) + pipeline \
+             supervision A/B (CjoinConfig::supervision: catch_unwind isolation, \
+             supervisor/reaper thread, runtimes registry on the fault-free path)",
         )
         .field_u64("host_cpus", host_cpus)
         .field_obj(
@@ -269,6 +292,7 @@ fn run_bench_json(options: &Options) -> Result<()> {
         .field_obj("scan_parallelism", scan_parallelism)
         .field_obj("columnar_scan", columnar_sweep)
         .field_obj("columnar_probe", columnar_probe)
+        .field_obj("supervision", supervision)
         .render();
     std::fs::write(&options.out, &json)
         .map_err(|e| cjoin_common::Error::invalid_state(format!("write {}: {e}", options.out)))?;

@@ -323,6 +323,23 @@ pub fn end_to_end_columnar(
     end_to_end_capture(params, concurrency, config)
 }
 
+/// Runs the same fig5-style closed-loop workload with pipeline supervision on
+/// or off (`CjoinConfig::supervision`) — the `BENCH_PR7.json` overhead A/B.
+/// Supervision wraps every role in `catch_unwind`, runs the supervisor/reaper
+/// thread, and keeps the per-query runtimes registry; this measures what that
+/// scaffolding costs on the fault-free hot path.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn end_to_end_supervision(
+    params: &ExperimentParams,
+    concurrency: usize,
+    supervision: bool,
+) -> Result<EndToEndReport> {
+    let config = base_config(params, concurrency).with_supervision(supervision);
+    end_to_end_with_config(params, concurrency, config)
+}
+
 /// The scan volume of a clustered date-range probe workload, with the context
 /// needed to compare it against the row store.
 #[derive(Debug, Clone, PartialEq)]

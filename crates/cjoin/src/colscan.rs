@@ -690,7 +690,17 @@ pub struct ColumnarScanCursor {
     pub(crate) touched_cols: Vec<bool>,
     /// Reusable buffer for hybrid-tail rows read from the row store.
     pub(crate) tail_buffer: Vec<(RowId, Row, RowVersion)>,
+    /// Per-row-group checksum verdicts, lazily filled on first touch
+    /// ([`GROUP_UNVERIFIED`] / [`GROUP_VERIFIED`] / [`GROUP_QUARANTINED`]).
+    pub(crate) group_state: Vec<u8>,
 }
+
+/// The cursor has not yet touched this row group.
+pub(crate) const GROUP_UNVERIFIED: u8 = 0;
+/// The group's checksum verified; its encoded columns and zone maps are trusted.
+pub(crate) const GROUP_VERIFIED: u8 = 1;
+/// The group failed verification; its rows are served from the row store.
+pub(crate) const GROUP_QUARANTINED: u8 = 2;
 
 impl ColumnarScanCursor {
     /// Creates a whole-table cursor.
@@ -700,6 +710,7 @@ impl ColumnarScanCursor {
         let col_bytes_per_row = (0..arity)
             .map(|c| replica.column_encoded_bytes(c).div_ceil(rows).max(1))
             .collect();
+        let group_state = vec![GROUP_UNVERIFIED; replica.row_groups().len()];
         Self {
             replica,
             table,
@@ -712,6 +723,7 @@ impl ColumnarScanCursor {
             match_bufs: Vec::new(),
             touched_cols: vec![false; arity],
             tail_buffer: Vec::new(),
+            group_state,
         }
     }
 

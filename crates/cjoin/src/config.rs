@@ -1,6 +1,10 @@
 //! Pipeline configuration.
 
+use std::sync::Arc;
+
 use cjoin_common::{Error, Result};
+
+use crate::fault::FaultPlan;
 
 /// How Filters are boxed into Stages and Stages into threads (§4).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,6 +82,16 @@ pub struct CjoinConfig {
     /// Microseconds the preprocessor sleeps when no query is registered (the
     /// continuous scan idles instead of spinning).
     pub idle_sleep_us: u64,
+    /// Run every pipeline role under the supervisor: panics are caught at the
+    /// role boundary, in-flight queries on the dead axis fail with a typed
+    /// [`cjoin_query::QueryError::StageFailed`] instead of hanging, and the
+    /// pipeline respawns with the failed axis degraded to its classic path.
+    /// Disable only to measure the `catch_unwind` + outcome-channel overhead
+    /// (the BENCH_PR7 supervision A/B).
+    pub supervision: bool,
+    /// Deterministic fault schedule for supervision tests; `None` (the default)
+    /// makes every injection point a single untaken branch. See [`FaultPlan`].
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for CjoinConfig {
@@ -98,6 +112,8 @@ impl Default for CjoinConfig {
             use_batch_pool: true,
             partition_pruning: false,
             idle_sleep_us: 200,
+            supervision: true,
+            fault_plan: None,
         }
     }
 }
@@ -194,6 +210,19 @@ impl CjoinConfig {
     /// ablation).
     pub fn with_columnar_scan(mut self, enabled: bool) -> Self {
         self.columnar_scan = enabled;
+        self
+    }
+
+    /// Convenience: a configuration with supervision enabled or disabled (the
+    /// robustness A/B knob measured in BENCH_PR7.json).
+    pub fn with_supervision(mut self, enabled: bool) -> Self {
+        self.supervision = enabled;
+        self
+    }
+
+    /// Convenience: a configuration carrying a deterministic fault schedule.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }
@@ -323,6 +352,18 @@ mod tests {
         assert!(!CjoinConfig::default().columnar_scan);
         let c = CjoinConfig::default().with_columnar_scan(true);
         assert!(c.columnar_scan);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn supervision_defaults_on_with_no_fault_plan() {
+        let c = CjoinConfig::default();
+        assert!(c.supervision);
+        assert!(c.fault_plan.is_none());
+        let plan = FaultPlan::seeded(1).build();
+        let c = c.with_supervision(false).with_fault_plan(Arc::clone(&plan));
+        assert!(!c.supervision);
+        assert!(c.fault_plan.is_some());
         c.validate().unwrap();
     }
 }

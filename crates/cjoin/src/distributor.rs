@@ -53,6 +53,22 @@
 //! Shutdown flows the same way: the router broadcasts it to the shards, each shard
 //! exits and drops its side of the partials channel, and the merger exits when the
 //! channel disconnects.
+//!
+//! ## Failure and barrier release
+//!
+//! Two barriers in this stage can wait forever if a role dies: the Preprocessor's
+//! drain barrier (a dead shard never decrements the in-flight counter) and the
+//! merger's end-barrier (a dead shard never emits its partial, so `received`
+//! never reaches `N`). Neither barrier polls a failure flag itself — instead the
+//! supervisor (see [`crate::pipeline`]) first resolves every in-flight query's
+//! outcome with a typed `StageFailed` error through the [`QueryRuntime`]'s
+//! first-wins latch, *then* poisons the drain barrier and tears the stage down.
+//! The teardown releases both barriers mechanically: poisoning unblocks the
+//! drain barrier, and dropping the shard queues / partials channel disconnects
+//! the surviving roles' `recv` loops so they exit and can be joined. Because the
+//! outcome latch was already taken, a partially-merged result can never be
+//! delivered — result delivery goes through [`QueryRuntime::resolve`], which
+//! silently discards the loser.
 
 use std::collections::hash_map::Entry;
 use std::hash::{Hash, Hasher};
@@ -65,6 +81,7 @@ use cjoin_common::{FxHashMap, FxHasher, QueryId};
 use cjoin_query::GroupedAggregator;
 use cjoin_storage::Row;
 
+use crate::fault::{self, FaultPlan, FaultSite};
 use crate::pool::BatchPool;
 use crate::queue::ShardSenders;
 use crate::stats::{ShardCounters, SharedCounters};
@@ -107,6 +124,7 @@ pub struct Distributor {
     shard_counters: Arc<ShardCounters>,
     output: ShardOutput,
     queries: Vec<Option<QueryAggregation>>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Distributor {
@@ -132,6 +150,7 @@ impl Distributor {
             shard_counters,
             output: ShardOutput::Finalize { finished_tx },
             queries: (0..max_concurrency).map(|_| None).collect(),
+            faults: None,
         }
     }
 
@@ -157,13 +176,21 @@ impl Distributor {
             shard_counters,
             output: ShardOutput::Partials { partials_tx },
             queries: (0..max_concurrency).map(|_| None).collect(),
+            faults: None,
         }
+    }
+
+    /// Attaches a fault-injection plan (supervision tests only).
+    pub fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Runs the worker loop until a shutdown message arrives or every sender is
     /// dropped.
     pub fn run(&mut self) {
         while let Ok(msg) = self.input.recv() {
+            fault::inject(&self.faults, FaultSite::DistributorShard);
             match msg {
                 Message::Data(batch) => self.handle_batch(batch),
                 Message::Control(control) => self.handle_control(control),
@@ -230,9 +257,11 @@ impl Distributor {
                         // that wakes on the result channel must observe its own
                         // query in `queries_completed`.
                         SharedCounters::add(&self.counters.queries_completed, 1);
-                        // The receiver may have been dropped (caller lost interest);
-                        // the query still completes and is cleaned up.
-                        let _ = state.runtime.result_tx.send(result);
+                        // First-wins delivery: if the supervisor or the deadline
+                        // reaper already failed this query, the Ok outcome is
+                        // dropped here. The lifecycle (finished notification, id
+                        // recycling) still completes either way.
+                        state.runtime.resolve(Ok(result));
                         let _ = finished_tx.send(id);
                     }
                     ShardOutput::Partials { partials_tx } => {
@@ -274,6 +303,7 @@ pub struct ShardRouter {
     /// Reusable per-shard sub-batch slots (`None` between batches), so routing a
     /// batch allocates no bookkeeping at steady state.
     subs: Vec<Option<Batch>>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl ShardRouter {
@@ -296,12 +326,20 @@ impl ShardRouter {
             routes: (0..max_concurrency).map(|_| None).collect(),
             rr: 0,
             subs: (0..num_shards).map(|_| None).collect(),
+            faults: None,
         }
+    }
+
+    /// Attaches a fault-injection plan (supervision tests only).
+    pub fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Runs the router loop until shutdown, then tears the shards down too.
     pub fn run(&mut self) {
         while let Ok(msg) = self.input.recv() {
+            fault::inject(&self.faults, FaultSite::ShardRouter);
             match msg {
                 Message::Data(batch) => self.route_batch(batch),
                 Message::Control(control) => {
@@ -420,6 +458,7 @@ pub struct ShardMerger {
     counters: Arc<SharedCounters>,
     finished_tx: Sender<QueryId>,
     pending: FxHashMap<u32, PendingMerge>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl ShardMerger {
@@ -436,7 +475,14 @@ impl ShardMerger {
             counters,
             finished_tx,
             pending: FxHashMap::default(),
+            faults: None,
         }
+    }
+
+    /// Attaches a fault-injection plan (supervision tests only).
+    pub fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Number of queries whose end-barrier has not completed yet (tests).
@@ -447,6 +493,7 @@ impl ShardMerger {
     /// Runs until every shard has dropped its sender (pipeline teardown).
     pub fn run(&mut self) {
         while let Ok(partial) = self.partials_rx.recv() {
+            fault::inject(&self.faults, FaultSite::ShardMerger);
             self.absorb(partial);
         }
     }
@@ -475,9 +522,10 @@ impl ShardMerger {
             let merge = self.pending.remove(&id.0).expect("pending merge present");
             let result = merge.partial.finalize();
             // Same ordering contract as the single-shard path: completion is
-            // counted before the result is delivered.
+            // counted before the result is delivered, and delivery goes through
+            // the first-wins latch (a failed/reaped query drops the Ok here).
             SharedCounters::add(&self.counters.queries_completed, 1);
-            let _ = merge.runtime.result_tx.send(result);
+            merge.runtime.resolve(Ok(result));
             let _ = self.finished_tx.send(id);
         }
     }
@@ -520,7 +568,7 @@ mod tests {
         catalog: &Catalog,
         bit: u32,
         group_by_dim: bool,
-    ) -> (Arc<QueryRuntime>, Receiver<cjoin_query::QueryResult>) {
+    ) -> (Arc<QueryRuntime>, Receiver<cjoin_query::QueryOutcome>) {
         let mut builder = StarQuery::builder(format!("q{bit}"))
             .join_dimension("color", "fk", "k", Predicate::True)
             .aggregate(AggregateSpec::over(AggFunc::Sum, ColumnRef::fact("amount")));
@@ -536,6 +584,9 @@ mod tests {
                 bound: Arc::new(bound),
                 slot_map: vec![0],
                 result_tx: tx,
+                resolved: std::sync::atomic::AtomicBool::new(false),
+                cancelled: std::sync::atomic::AtomicBool::new(false),
+                deadline_at: None,
                 admitted_at: Instant::now(),
                 progress: Arc::new(crate::progress::QueryProgress::new(0)),
             }),
@@ -598,7 +649,7 @@ mod tests {
         tx.send(Message::Shutdown).unwrap();
         d.run();
 
-        let result = result_rx.try_recv().unwrap();
+        let result = result_rx.try_recv().unwrap().unwrap();
         assert_eq!(result.num_rows(), 2);
         assert_eq!(
             result.aggregate_for(&[Value::str("red")]).unwrap()[0],
@@ -636,7 +687,7 @@ mod tests {
             .unwrap();
         tx.send(Message::Shutdown).unwrap();
         d.run();
-        let result = result_rx.try_recv().unwrap();
+        let result = result_rx.try_recv().unwrap().unwrap();
         assert_eq!(result.rows().next().unwrap().1[0], AggValue::Int(7));
     }
 
@@ -665,11 +716,12 @@ mod tests {
         tx.send(Message::Shutdown).unwrap();
         d.run();
         assert_eq!(
-            rx0.try_recv().unwrap().rows().next().unwrap().1[0],
+            rx0.try_recv().unwrap().unwrap().rows().next().unwrap().1[0],
             AggValue::Int(100)
         );
         assert_eq!(
             rx1.try_recv()
+                .unwrap()
                 .unwrap()
                 .aggregate_for(&[Value::str("red")])
                 .unwrap()[0],
@@ -690,7 +742,7 @@ mod tests {
             .unwrap();
         tx.send(Message::Shutdown).unwrap();
         d.run();
-        let result = result_rx.try_recv().unwrap();
+        let result = result_rx.try_recv().unwrap().unwrap();
         assert!(
             result.is_empty(),
             "grouped query with no input has no groups"
@@ -883,7 +935,7 @@ mod tests {
             partial: partial_with(&[]),
         });
         assert_eq!(merger.pending_queries(), 0);
-        let result = result_rx.try_recv().unwrap();
+        let result = result_rx.try_recv().unwrap().unwrap();
         assert_eq!(
             result.aggregate_for(&[Value::str("red")]).unwrap()[0],
             AggValue::Int(11)

@@ -17,9 +17,46 @@
 //! The manager thread performs the asynchronous work of §3.3.2 and §3.4: cleaning up
 //! dimension hash tables after queries finish (Algorithm 2), recycling query ids, and
 //! periodically re-optimising the Filter order from observed selectivities.
+//!
+//! # Supervision
+//!
+//! With `CjoinConfig::supervision` (the default) every pipeline role runs under
+//! [`spawn_supervised`]: a panic becomes a [`RoleFailure`] on the supervisor's
+//! channel instead of a silently dead thread. The supervisor thread then:
+//!
+//! 1. takes the pipeline out of service (no new query can install against it),
+//! 2. resolves every in-flight query to [`QueryError::StageFailed`] — *before*
+//!    any blocked drain barrier is released, so the first-wins latch in
+//!    [`QueryRuntime`] guarantees a poison-released barrier can never surface a
+//!    truncated result as `Ok`,
+//! 3. tears the old pipeline down without ever blocking on a dead consumer
+//!    (see [`teardown_core`]),
+//! 4. degrades the failed axis to its classic path (segmented scan → single
+//!    Preprocessor, columnar scan → row store, sharded aggregation → single
+//!    Distributor, multi-worker stages → one horizontal worker), and
+//! 5. respawns the pipeline, leaving the engine serviceable for fresh queries.
+//!
+//! Two liveness rules keep the supervisor itself unblockable. First, no client
+//! thread ever sleeps while holding the core lock: [`CjoinEngine::submit`]
+//! registers the query under the lock but waits for the installation ack
+//! outside it, with a polling wait that detects both a supervisor-resolved
+//! outcome and a dead command receiver (a queued install is *retained* when
+//! its receiver dies — the ack sender inside it never drops, so a blocking
+//! `recv` would hang forever). Second, resolution of every registered query is
+//! owned by exactly one party: the pipeline on success, the supervisor (or
+//! engine shutdown) on failure — a failed install therefore does not roll
+//! itself back, it lets the supervisor's registry drain fail it, so a query id
+//! is never released twice.
+//!
+//! The same supervisor loop doubles as the deadline reaper: queries submitted
+//! with [`StarQuery::deadline`] are resolved to
+//! [`QueryError::DeadlineExceeded`] and retired from the scan once their
+//! deadline passes, and admission pre-sheds queries whose deadline is already
+//! shorter than the last observed full scan pass
+//! ([`QueryError::ShedAtAdmission`]).
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -27,19 +64,19 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use parking_lot::Mutex;
 
 use cjoin_common::{Error, FxHashMap, QueryId, QueryIdAllocator, QuerySet, Result};
-use cjoin_query::{QueryResult, StarQuery};
+use cjoin_query::{QueryError, QueryOutcome, QueryResult, StarQuery};
 use cjoin_storage::{
     segment_ranges, Catalog, ColumnarTable, CompressionPolicy, ContinuousScan, PartitionScheme,
     Row, ScanVolume, SnapshotId, DEFAULT_ROW_GROUP_ROWS,
 };
 
 use crate::colscan::ColumnarScanCursor;
-use crate::config::CjoinConfig;
+use crate::config::{CjoinConfig, StageLayout};
 use crate::dimension::DimensionTable;
 use crate::distributor::{Distributor, ShardMerger, ShardRouter};
 use crate::filter::FilterChain;
 use crate::optimizer::reorder_filters;
-use crate::pipeline::{run_stage_worker, StagePlan};
+use crate::pipeline::{run_stage_worker, spawn_supervised, RoleFailure, RoleKind, StagePlan};
 use crate::pool::BatchPool;
 use crate::preprocessor::{
     PartitionPlan, Preprocessor, PreprocessorCommand, PreprocessorContext, ScanCoordinator,
@@ -59,11 +96,18 @@ struct Registered {
     referenced_dims: Vec<String>,
 }
 
-/// State shared between admissions (caller threads) and the manager thread.
+/// State shared between admissions (caller threads), the manager thread and the
+/// supervisor.
 #[derive(Debug)]
 struct AdmissionState {
     allocator: QueryIdAllocator,
     registered: FxHashMap<u32, Registered>,
+    /// Active queries' runtimes, for the supervisor (fail them all on a role
+    /// death) and the deadline reaper. Only populated when supervision is on:
+    /// without a supervisor nothing would ever drain a crashed pipeline's
+    /// entries, and a pinned `result_tx` would turn the pre-supervision
+    /// disconnect error into a hang.
+    runtimes: FxHashMap<u32, Arc<QueryRuntime>>,
 }
 
 /// Handle to a query registered with the CJOIN pipeline.
@@ -71,10 +115,14 @@ struct AdmissionState {
 pub struct QueryHandle {
     id: QueryId,
     name: String,
-    result_rx: Receiver<QueryResult>,
+    result_rx: Receiver<QueryOutcome>,
     submitted_at: Instant,
     submission_time: Duration,
     progress: Arc<QueryProgress>,
+    /// Cancellation hooks (`None` for queries shed at admission, which never
+    /// entered the pipeline). The runtime is held weakly so the handle never
+    /// pins the result channel of a query the pipeline already dropped.
+    cancel: Option<(Weak<QueryRuntime>, Sender<ScanMessage>)>,
 }
 
 impl QueryHandle {
@@ -94,30 +142,56 @@ impl QueryHandle {
         self.submission_time
     }
 
-    /// Blocks until the query completes and returns its result.
-    ///
-    /// # Errors
-    /// Fails if the pipeline shuts down before the query completes.
-    pub fn wait(self) -> Result<QueryResult> {
-        self.result_rx
-            .recv()
-            .map_err(|_| Error::invalid_state("pipeline shut down before the query completed"))
+    /// Blocks until the query resolves: its result on success, or a typed
+    /// [`QueryError`] if a pipeline role died, the deadline passed, the query
+    /// was cancelled, or it was shed at admission. Never hangs on a dead
+    /// pipeline — the supervisor resolves in-flight queries on failure, and a
+    /// torn-down pipeline dropping the runtime disconnects the channel.
+    pub fn wait(self) -> QueryOutcome {
+        match self.result_rx.recv() {
+            Ok(outcome) => outcome,
+            Err(_) => Err(QueryError::StageFailed {
+                role: "pipeline".into(),
+                detail: "pipeline shut down before the query completed".into(),
+            }),
+        }
     }
 
     /// Blocks until the query completes, returning the result together with the
     /// total response time (submission to completion).
     ///
     /// # Errors
-    /// Fails if the pipeline shuts down before the query completes.
+    /// Fails with the query's typed [`QueryError`] (converted to [`Error`]) if
+    /// it did not complete.
     pub fn wait_with_time(self) -> Result<(QueryResult, Duration)> {
         let started = self.submitted_at;
-        let result = self.wait()?;
+        let result = self.wait().map_err(Error::from)?;
         Ok((result, started.elapsed()))
     }
 
-    /// Returns the result if it is already available, without blocking.
-    pub fn try_result(&self) -> Option<QueryResult> {
+    /// Returns the outcome if it is already available, without blocking.
+    pub fn try_result(&self) -> Option<QueryOutcome> {
         self.result_rx.try_recv().ok()
+    }
+
+    /// Cancels the query: the handle resolves to [`QueryError::Cancelled`] and
+    /// the scan front-end retires the query at its next command boundary
+    /// (partial state released through the normal finalize path, so
+    /// exactly-once bookkeeping and id recycling are preserved). No-op if the
+    /// query already resolved.
+    pub fn cancel(&self) {
+        let Some((runtime, cmd_tx)) = &self.cancel else {
+            return;
+        };
+        let Some(runtime) = runtime.upgrade() else {
+            return;
+        };
+        runtime.mark_cancelled();
+        if runtime.resolve(Err(QueryError::Cancelled)) {
+            let _ = cmd_tx.send(ScanMessage::Command(PreprocessorCommand::Cancel {
+                id: self.id,
+            }));
+        }
     }
 
     /// The query's progress tracker (§3.2.3): the continuous scan position serves as
@@ -144,28 +218,61 @@ struct PipelineThreads {
     manager: JoinHandle<()>,
 }
 
-/// The CJOIN engine: one always-on pipeline over a catalog's fact table.
-pub struct CjoinEngine {
-    catalog: Arc<Catalog>,
-    config: CjoinConfig,
-    chain: Arc<FilterChain>,
-    slot_count: Arc<AtomicUsize>,
-    counters: Arc<SharedCounters>,
-    shard_counters: Vec<Arc<ShardCounters>>,
-    scan_worker_counters: Vec<Arc<ScanWorkerCounters>>,
-    in_flight: Arc<AtomicI64>,
-    pool: Arc<BatchPool>,
-    admission: Arc<Mutex<AdmissionState>>,
+/// One incarnation of the always-on pipeline: its threads, queues, per-core
+/// counters and scan layout. The supervisor replaces the whole core after a
+/// role failure; state that must survive restarts (filter chain, dimension
+/// tables, admission registry, global counters) lives in [`EngineShared`].
+struct PipelineCore {
     cmd_tx: Sender<ScanMessage>,
     stage_queues: Vec<TupleQueue>,
     distributor_queue: TupleQueue,
     stage_plan: StagePlan,
     partition_info: Option<PartitionInfo>,
+    in_flight: Arc<AtomicI64>,
+    pool: Arc<BatchPool>,
+    shard_counters: Vec<Arc<ShardCounters>>,
+    scan_worker_counters: Vec<Arc<ScanWorkerCounters>>,
     /// The compressed columnar scan front-end's replica and byte-accounting
     /// counters (`None` unless `CjoinConfig::columnar_scan` is enabled).
     columnar: Option<(Arc<ColumnarTable>, Arc<ScanVolume>)>,
+    /// The segmented front-end's stall gate (sharded scan only), opened during
+    /// teardown so parked workers can observe shutdown.
+    stall: Option<Arc<ScanStall>>,
+    /// Failure poison: set by the supervisor *after* it resolved every
+    /// in-flight query, releasing drain barriers that would otherwise wait
+    /// forever on batches a dead role will never drain.
+    poison: Arc<AtomicBool>,
+    threads: PipelineThreads,
+}
+
+/// State shared by the engine facade, the pipeline core(s) and the supervisor;
+/// everything here survives a pipeline restart.
+struct EngineShared {
+    catalog: Arc<Catalog>,
+    /// The engine-lifetime concurrency cap (never degraded: bit-vector widths
+    /// and the id allocator are sized by it).
+    max_concurrency: usize,
+    /// Whether roles run under panic supervision (fixed at start).
+    supervision: bool,
+    chain: Arc<FilterChain>,
+    slot_count: Arc<AtomicUsize>,
+    counters: Arc<SharedCounters>,
+    admission: Arc<Mutex<AdmissionState>>,
+    /// The current — possibly degraded — configuration used for (re)spawns.
+    config: Mutex<CjoinConfig>,
+    /// The live pipeline; `None` while the supervisor is replacing it (or if a
+    /// respawn failed, in which case submissions report the engine down).
+    core: Mutex<Option<PipelineCore>>,
     shutdown_flag: Arc<AtomicBool>,
-    threads: Mutex<Option<PipelineThreads>>,
+    failure_tx: Sender<RoleFailure>,
+    /// Human-readable log of degradations the supervisor applied.
+    degradations: Mutex<Vec<String>>,
+}
+
+/// The CJOIN engine: one always-on pipeline over a catalog's fact table.
+pub struct CjoinEngine {
+    shared: Arc<EngineShared>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
 }
 
 #[derive(Debug, Clone)]
@@ -185,19 +292,69 @@ impl CjoinEngine {
     /// Fails if the configuration is invalid or the catalog has no fact table.
     pub fn start(catalog: Arc<Catalog>, config: CjoinConfig) -> Result<Self> {
         config.validate()?;
-        let fact = catalog.fact_table()?;
+        let (failure_tx, failure_rx) = unbounded();
+        let shared = Arc::new(EngineShared {
+            max_concurrency: config.max_concurrency,
+            supervision: config.supervision,
+            chain: Arc::new(FilterChain::new()),
+            slot_count: Arc::new(AtomicUsize::new(0)),
+            counters: SharedCounters::new(),
+            admission: Arc::new(Mutex::new(AdmissionState {
+                allocator: QueryIdAllocator::new(config.max_concurrency),
+                registered: FxHashMap::default(),
+                runtimes: FxHashMap::default(),
+            })),
+            config: Mutex::new(config.clone()),
+            core: Mutex::new(None),
+            shutdown_flag: Arc::new(AtomicBool::new(false)),
+            failure_tx,
+            degradations: Mutex::new(Vec::new()),
+            catalog,
+        });
+        let core = Self::spawn_pipeline(&shared, &config)?;
+        *shared.core.lock() = Some(core);
+        let supervisor = if config.supervision {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("cjoin-supervisor".into())
+                    .spawn(move || run_supervisor(shared, failure_rx))
+                    .map_err(|e| {
+                        Error::invalid_state(format!("failed to spawn supervisor: {e}"))
+                    })?,
+            )
+        } else {
+            None
+        };
+        Ok(Self {
+            shared,
+            supervisor: Mutex::new(supervisor),
+        })
+    }
+
+    /// Builds and spawns one pipeline incarnation against `config`.
+    ///
+    /// Engine-lifetime state (filter chain, dimension tables, admission
+    /// registry, global counters) comes from `shared`, so queries admitted
+    /// after a supervisor restart still see their registered dimensions;
+    /// everything spawned here (threads, queues, scan layout, per-core
+    /// counters) belongs to the returned [`PipelineCore`] and dies with it.
+    fn spawn_pipeline(shared: &Arc<EngineShared>, config: &CjoinConfig) -> Result<PipelineCore> {
+        let fact = shared.catalog.fact_table()?;
+        let supervised = config.supervision;
+        let failure_tx = shared.failure_tx.clone();
 
         let stage_plan = StagePlan::derive(&config.stage_layout, config.worker_threads)
             .with_distributor_shards(config.distributor_shards)
             .with_scan_workers(config.scan_workers);
         let shards = stage_plan.distributor_shards;
         let scan_workers = stage_plan.scan_workers;
-        let chain = Arc::new(FilterChain::new());
-        let slot_count = Arc::new(AtomicUsize::new(0));
-        let counters = SharedCounters::new();
+        let chain = Arc::clone(&shared.chain);
+        let counters = Arc::clone(&shared.counters);
         let shard_counters = ShardCounters::new_vec(shards);
         let scan_worker_counters = ScanWorkerCounters::new_vec(scan_workers);
         let in_flight = Arc::new(AtomicI64::new(0));
+        let poison = Arc::new(AtomicBool::new(false));
         // Enough pooled batches for every queue position plus the threads working on
         // one, including the per-shard queues and sub-batches of the sharded
         // aggregation stage and the per-segment working/leftover batches of the
@@ -207,16 +364,21 @@ impl CjoinEngine {
             + 2 * scan_workers
             + shards * (config.queue_capacity.max(4) + 1);
         let pool = BatchPool::new(pool_capacity, config.use_batch_pool);
-        let shutdown_flag = Arc::new(AtomicBool::new(false));
 
         // The compressed columnar front-end scans a read-optimised replica of the
         // fact table built once at engine start; rows appended later are served
         // from the row store by the hybrid tail path (see `crate::colscan`).
         let columnar = if config.columnar_scan {
-            let replica = Arc::new(ColumnarTable::from_table(
-                &fact,
-                CompressionPolicy::Adaptive,
-            )?);
+            let mut replica = ColumnarTable::from_table(&fact, CompressionPolicy::Adaptive)?;
+            // Deterministic fault injection: flip bits in the configured row
+            // groups before the replica is shared, so their checksums fail on
+            // first decode and the scan quarantines them onto the row store.
+            if let Some(plan) = &config.fault_plan {
+                for &group in plan.corrupt_groups() {
+                    replica.corrupt_group(group);
+                }
+            }
+            let replica = Arc::new(replica);
             let volume = Arc::new(ScanVolume::with_columns(fact.schema().arity()));
             Some((replica, volume))
         } else {
@@ -240,7 +402,7 @@ impl CjoinEngine {
         // each worker knows when it has covered all the partitions a query cares
         // about within its own segment.
         let partition_info = if config.partition_pruning {
-            catalog.fact_partitioning().map(|scheme| {
+            shared.catalog.fact_partitioning().map(|scheme| {
                 let column_name = fact.schema().column(scheme.column).name.clone();
                 let mut rows_per_partition =
                     vec![vec![0u64; scheme.num_partitions()]; scan_ranges.len()];
@@ -283,14 +445,16 @@ impl CjoinEngine {
             distributor_tx: distributor_queue.sender(),
             in_flight: Arc::clone(&in_flight),
             pool: Arc::clone(&pool),
-            slot_count: Arc::clone(&slot_count),
+            slot_count: Arc::clone(&shared.slot_count),
             counters: Arc::clone(&counters),
             worker_counters: Arc::clone(&scan_worker_counters[worker]),
             config: config.clone(),
             partition_scheme: partition_scheme.clone(),
+            poison: Arc::clone(&poison),
         };
         let mut scan_worker_handles = Vec::with_capacity(scan_workers);
         let mut coordinator_handle = None;
+        let mut stall_handle = None;
         if scan_workers == 1 {
             let mut preprocessor = match &columnar {
                 Some((replica, volume)) => {
@@ -307,14 +471,12 @@ impl CjoinEngine {
                     Preprocessor::new(scan, cmd_rx, preprocessor_context(0))
                 }
             };
-            scan_worker_handles.push(
-                std::thread::Builder::new()
-                    .name("cjoin-preprocessor".into())
-                    .spawn(move || preprocessor.run())
-                    .map_err(|e| {
-                        Error::invalid_state(format!("failed to spawn preprocessor: {e}"))
-                    })?,
-            );
+            scan_worker_handles.push(spawn_supervised(
+                RoleKind::ScanWorker(0),
+                supervised,
+                failure_tx.clone(),
+                move || preprocessor.run(),
+            ));
         } else {
             let stall = ScanStall::new(scan_workers);
             let mut worker_txs = Vec::with_capacity(scan_workers);
@@ -352,15 +514,14 @@ impl CjoinEngine {
                         )
                     }
                 };
-                scan_worker_handles.push(
-                    std::thread::Builder::new()
-                        .name(format!("cjoin-scan-w{worker}"))
-                        .spawn(move || segment_worker.run())
-                        .map_err(|e| {
-                            Error::invalid_state(format!("failed to spawn scan worker: {e}"))
-                        })?,
-                );
+                scan_worker_handles.push(spawn_supervised(
+                    RoleKind::ScanWorker(worker),
+                    supervised,
+                    failure_tx.clone(),
+                    move || segment_worker.run(),
+                ));
             }
+            stall_handle = Some(Arc::clone(&stall));
             let mut coordinator = ScanCoordinator::new(
                 cmd_rx,
                 worker_txs,
@@ -369,15 +530,15 @@ impl CjoinEngine {
                 Arc::clone(&counters),
                 stall,
                 config.max_concurrency,
-            );
-            coordinator_handle = Some(
-                std::thread::Builder::new()
-                    .name("cjoin-scan-coord".into())
-                    .spawn(move || coordinator.run())
-                    .map_err(|e| {
-                        Error::invalid_state(format!("failed to spawn scan coordinator: {e}"))
-                    })?,
-            );
+            )
+            .with_poison(Arc::clone(&poison))
+            .with_faults(config.fault_plan.clone());
+            coordinator_handle = Some(spawn_supervised(
+                RoleKind::ScanCoordinator,
+                supervised,
+                failure_tx.clone(),
+                move || coordinator.run(),
+            ));
         }
 
         // Stage worker threads.
@@ -395,9 +556,15 @@ impl CjoinEngine {
                 let chain = Arc::clone(&chain);
                 let early_skip = config.early_skip;
                 let batched_probing = config.batched_probing;
-                let handle = std::thread::Builder::new()
-                    .name(format!("cjoin-stage{stage_index}-w{worker_index}"))
-                    .spawn(move || {
+                let faults = config.fault_plan.clone();
+                let handle = spawn_supervised(
+                    RoleKind::StageWorker {
+                        stage: stage_index,
+                        worker: worker_index,
+                    },
+                    supervised,
+                    failure_tx.clone(),
+                    move || {
                         run_stage_worker(
                             stage_index,
                             num_stages,
@@ -406,9 +573,10 @@ impl CjoinEngine {
                             chain,
                             early_skip,
                             batched_probing,
+                            faults,
                         )
-                    })
-                    .map_err(|e| Error::invalid_state(format!("failed to spawn worker: {e}")))?;
+                    },
+                );
                 stage_workers.push(handle);
             }
             workers.push(stage_workers);
@@ -428,15 +596,14 @@ impl CjoinEngine {
                 Arc::clone(&shard_counters[0]),
                 finished_tx,
                 config.max_concurrency,
-            );
-            distributor_handles.push(
-                std::thread::Builder::new()
-                    .name("cjoin-distributor".into())
-                    .spawn(move || distributor.run())
-                    .map_err(|e| {
-                        Error::invalid_state(format!("failed to spawn distributor: {e}"))
-                    })?,
-            );
+            )
+            .with_faults(config.fault_plan.clone());
+            distributor_handles.push(spawn_supervised(
+                RoleKind::DistributorShard(0),
+                supervised,
+                failure_tx.clone(),
+                move || distributor.run(),
+            ));
         } else {
             let shard_queues = ShardQueues::new(shards, config.queue_capacity.max(4));
             let (partials_tx, partials_rx) = unbounded();
@@ -450,15 +617,14 @@ impl CjoinEngine {
                     Arc::clone(shard_counter),
                     partials_tx.clone(),
                     config.max_concurrency,
-                );
-                distributor_handles.push(
-                    std::thread::Builder::new()
-                        .name(format!("cjoin-distributor-s{shard}"))
-                        .spawn(move || worker.run())
-                        .map_err(|e| {
-                            Error::invalid_state(format!("failed to spawn shard {shard}: {e}"))
-                        })?,
-                );
+                )
+                .with_faults(config.fault_plan.clone());
+                distributor_handles.push(spawn_supervised(
+                    RoleKind::DistributorShard(shard),
+                    supervised,
+                    failure_tx.clone(),
+                    move || worker.run(),
+                ));
             }
             // The merger must observe the channel disconnect once every shard
             // exits, so the engine keeps no sender of its own.
@@ -473,68 +639,58 @@ impl CjoinEngine {
                 Arc::clone(&pool),
                 config.batch_size,
                 config.max_concurrency,
-            );
-            router_handle = Some(
-                std::thread::Builder::new()
-                    .name("cjoin-dist-router".into())
-                    .spawn(move || router.run())
-                    .map_err(|e| Error::invalid_state(format!("failed to spawn router: {e}")))?,
-            );
+            )
+            .with_faults(config.fault_plan.clone());
+            router_handle = Some(spawn_supervised(
+                RoleKind::ShardRouter,
+                supervised,
+                failure_tx.clone(),
+                move || router.run(),
+            ));
             let mut merger =
-                ShardMerger::new(partials_rx, shards, Arc::clone(&counters), finished_tx);
-            merger_handle = Some(
-                std::thread::Builder::new()
-                    .name("cjoin-dist-merger".into())
-                    .spawn(move || merger.run())
-                    .map_err(|e| Error::invalid_state(format!("failed to spawn merger: {e}")))?,
-            );
+                ShardMerger::new(partials_rx, shards, Arc::clone(&counters), finished_tx)
+                    .with_faults(config.fault_plan.clone());
+            merger_handle = Some(spawn_supervised(
+                RoleKind::ShardMerger,
+                supervised,
+                failure_tx.clone(),
+                move || merger.run(),
+            ));
         }
 
         // Manager thread: Algorithm 2 cleanup + adaptive filter ordering.
-        let admission = Arc::new(Mutex::new(AdmissionState {
-            allocator: QueryIdAllocator::new(config.max_concurrency),
-            registered: FxHashMap::default(),
-        }));
         let manager_handle = {
             let chain = Arc::clone(&chain);
-            let admission = Arc::clone(&admission);
+            let admission = Arc::clone(&shared.admission);
             let counters = Arc::clone(&counters);
             let config = config.clone();
-            let shutdown_flag = Arc::clone(&shutdown_flag);
-            std::thread::Builder::new()
-                .name("cjoin-manager".into())
-                .spawn(move || {
-                    run_manager(
-                        finished_rx,
-                        chain,
-                        admission,
-                        counters,
-                        config,
-                        shutdown_flag,
-                    )
-                })
-                .map_err(|e| Error::invalid_state(format!("failed to spawn manager: {e}")))?
+            let shutdown_flag = Arc::clone(&shared.shutdown_flag);
+            spawn_supervised(RoleKind::Manager, supervised, failure_tx, move || {
+                run_manager(
+                    finished_rx,
+                    chain,
+                    admission,
+                    counters,
+                    config,
+                    shutdown_flag,
+                )
+            })
         };
 
-        Ok(Self {
-            catalog,
-            config,
-            chain,
-            slot_count,
-            counters,
-            shard_counters,
-            scan_worker_counters,
-            in_flight,
-            pool,
-            admission,
+        Ok(PipelineCore {
             cmd_tx,
             stage_queues,
             distributor_queue,
             stage_plan,
             partition_info,
+            in_flight,
+            pool,
+            shard_counters,
+            scan_worker_counters,
             columnar,
-            shutdown_flag,
-            threads: Mutex::new(Some(PipelineThreads {
+            stall: stall_handle,
+            poison,
+            threads: PipelineThreads {
                 scan_workers: scan_worker_handles,
                 scan_coordinator: coordinator_handle,
                 workers,
@@ -542,23 +698,29 @@ impl CjoinEngine {
                 distributors: distributor_handles,
                 merger: merger_handle,
                 manager: manager_handle,
-            })),
+            },
         })
     }
 
-    /// The engine's configuration.
-    pub fn config(&self) -> &CjoinConfig {
-        &self.config
+    /// The engine's current — possibly supervisor-degraded — configuration.
+    pub fn config(&self) -> CjoinConfig {
+        self.shared.config.lock().clone()
     }
 
     /// The catalog the engine runs over.
     pub fn catalog(&self) -> &Arc<Catalog> {
-        &self.catalog
+        &self.shared.catalog
     }
 
     /// Number of currently registered queries.
     pub fn active_queries(&self) -> usize {
-        self.admission.lock().registered.len()
+        self.shared.admission.lock().registered.len()
+    }
+
+    /// Human-readable log of the graceful degradations the supervisor applied
+    /// after role failures (empty while the pipeline runs at full layout).
+    pub fn degradations(&self) -> Vec<String> {
+        self.shared.degradations.lock().clone()
     }
 
     /// Registers a star query with the always-on pipeline (Algorithm 1) and returns a
@@ -570,20 +732,60 @@ impl CjoinEngine {
     /// different key columns than an earlier query (role-playing dimensions are not
     /// supported by a single CJOIN operator).
     pub fn submit(&self, query: StarQuery) -> Result<QueryHandle> {
-        if self.shutdown_flag.load(Ordering::Acquire) {
+        if self.shared.shutdown_flag.load(Ordering::Acquire) {
             return Err(Error::invalid_state("engine is shut down"));
         }
         let submitted_at = Instant::now();
-        let bound = query.bind(&self.catalog)?;
+        let bound = query.bind(&self.shared.catalog)?;
         let snapshot = bound
             .snapshot
-            .unwrap_or_else(|| self.catalog.snapshots().current());
+            .unwrap_or_else(|| self.shared.catalog.snapshots().current());
+
+        // ---- Deadline admission control ----------------------------------------
+        // A fresh query must wait for at least one full scan pass, so if the
+        // last observed pass already took longer than the query's deadline,
+        // admitting it would only burn shared-scan work on a result nobody can
+        // use in time: shed it now, without touching any pipeline state.
+        if let Some(deadline) = query.deadline {
+            let last_pass =
+                Duration::from_nanos(self.shared.counters.last_pass_ns.load(Ordering::Relaxed));
+            if !last_pass.is_zero() && last_pass > deadline {
+                let (result_tx, result_rx) = bounded(1);
+                let _ = result_tx.send(Err(QueryError::ShedAtAdmission {
+                    deadline,
+                    estimated: last_pass,
+                }));
+                return Ok(QueryHandle {
+                    id: QueryId(u32::MAX),
+                    name: query.name,
+                    result_rx,
+                    submitted_at,
+                    submission_time: submitted_at.elapsed(),
+                    progress: Arc::new(QueryProgress::new(0)),
+                    cancel: None,
+                });
+            }
+        }
+
+        // Hold the core lock across admission + registration (NOT across the
+        // installation ack wait — see below). Registering under the lock means
+        // a concurrent supervisor restart either finishes strictly before this
+        // query registers (and it installs cleanly on the fresh pipeline), or
+        // observes it in the runtimes registry and resolves it like any other
+        // in-flight query. A stale install can never corrupt a recycled id:
+        // the install is sent on *this* core's command channel, and a restarted
+        // core has a fresh channel, so the message is fenced to the dead
+        // incarnation.
+        let core_guard = self.shared.core.lock();
+        let Some(core) = core_guard.as_ref() else {
+            return Err(Error::invalid_state("pipeline is not running"));
+        };
 
         // ---- Algorithm 1, lines 1–16: update dimension hash tables -------------
-        let mut admission = self.admission.lock();
+        let mut admission = self.shared.admission.lock();
         let id = admission.allocator.allocate()?;
         let others = QuerySet::from_bits(
-            self.config.max_concurrency,
+            self.shared.max_concurrency,
             admission.registered.keys().map(|&k| k as usize),
         );
 
@@ -591,7 +793,7 @@ impl CjoinEngine {
         let mut slot_map = Vec::with_capacity(bound.dimensions.len());
         let mut admit = || -> Result<()> {
             for clause in &bound.dimensions {
-                let dim_table = match self.chain.find(&clause.table) {
+                let dim_table = match self.shared.chain.find(&clause.table) {
                     Some(existing) => {
                         if existing.fact_fk_column != clause.fact_fk_column
                             || existing.dim_key_column != clause.dim_key_column
@@ -604,21 +806,21 @@ impl CjoinEngine {
                         existing
                     }
                     None => {
-                        let slot = self.slot_count.fetch_add(1, Ordering::AcqRel);
+                        let slot = self.shared.slot_count.fetch_add(1, Ordering::AcqRel);
                         let table = Arc::new(DimensionTable::new(
                             clause.table.clone(),
                             slot,
                             clause.fact_fk_column,
                             clause.dim_key_column,
-                            self.config.max_concurrency,
+                            self.shared.max_concurrency,
                             &others,
                         ));
-                        self.chain.push(Arc::clone(&table));
+                        self.shared.chain.push(Arc::clone(&table));
                         table
                     }
                 };
                 // Evaluate σ_cij(Dj) against the dimension table and load the result.
-                let dimension = self.catalog.table(&clause.table)?;
+                let dimension = self.shared.catalog.table(&clause.table)?;
                 let rows: Vec<(i64, Row)> = dimension
                     .select(snapshot, |row| clause.predicate.eval(row))
                     .into_iter()
@@ -632,11 +834,11 @@ impl CjoinEngine {
         };
         if let Err(e) = admit() {
             // Roll back: clear whatever this query managed to register.
-            for dim in self.chain.snapshot() {
+            for dim in self.shared.chain.snapshot() {
                 let referenced = referenced_dims.contains(&dim.name);
                 let empty = dim.unregister_query(id, referenced);
                 if empty {
-                    self.chain.remove(&dim.name);
+                    self.shared.chain.remove(&dim.name);
                 }
             }
             let _ = admission.allocator.release(id);
@@ -644,18 +846,14 @@ impl CjoinEngine {
         }
         // Dimensions in the pipeline that this query does not reference implicitly
         // accept every tuple for it.
-        for dim in self.chain.snapshot() {
+        for dim in self.shared.chain.snapshot() {
             if !referenced_dims.contains(&dim.name) {
                 dim.register_unreferencing_query(id);
             }
         }
-        admission
-            .registered
-            .insert(id.0, Registered { referenced_dims });
-        drop(admission);
 
         // ---- Partition pruning plans (§5), one per scan worker ------------------
-        let partition: Vec<Option<PartitionPlan>> = self
+        let partition: Vec<Option<PartitionPlan>> = core
             .partition_info
             .as_ref()
             .and_then(|info| {
@@ -692,8 +890,8 @@ impl CjoinEngine {
         };
         let (result_tx, result_rx) = bounded(1);
         let progress = Arc::new(
-            QueryProgress::new(self.catalog.fact_table()?.len() as u64)
-                .with_segments(self.stage_plan.scan_workers as u64),
+            QueryProgress::new(self.shared.catalog.fact_table()?.len() as u64)
+                .with_segments(core.stage_plan.scan_workers as u64),
         );
         let runtime = Arc::new(QueryRuntime {
             id,
@@ -701,22 +899,80 @@ impl CjoinEngine {
             bound: Arc::new(bound),
             slot_map,
             result_tx,
+            resolved: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
+            deadline_at: query.deadline.map(|d| submitted_at + d),
             admitted_at: submitted_at,
             progress: Arc::clone(&progress),
         });
+        admission
+            .registered
+            .insert(id.0, Registered { referenced_dims });
+        if self.shared.supervision {
+            admission.runtimes.insert(id.0, Arc::clone(&runtime));
+        }
+        let cmd_tx = core.cmd_tx.clone();
+        drop(admission);
+        // Release the core lock BEFORE waiting for the installation ack. The
+        // scan front-end acks at its own pace (it may be mid-stall behind a
+        // drain barrier), and if it dies instead, only the supervisor can
+        // resolve this query — by taking this same lock. Waiting under the
+        // lock would deadlock the whole engine: supervisor blocked on the
+        // lock, this thread blocked on an ack only the supervisor can unblock.
+        drop(core_guard);
+
         let (ack_tx, ack_rx) = bounded(1);
-        self.cmd_tx
-            .send(ScanMessage::Command(PreprocessorCommand::Install {
-                runtime,
-                fact_predicate,
-                snapshot,
-                partition,
-                ack: Some(ack_tx),
-            }))
-            .map_err(|_| Error::invalid_state("pipeline is not running"))?;
-        ack_rx
-            .recv()
-            .map_err(|_| Error::invalid_state("pipeline stopped during query installation"))?;
+        let install = ScanMessage::Command(PreprocessorCommand::Install {
+            runtime: Arc::clone(&runtime),
+            fact_predicate,
+            snapshot,
+            partition,
+            ack: Some(ack_tx),
+        });
+        // Failure-aware ack wait. A plain blocking `recv` can hang forever: a
+        // message queued when its receiver dies is retained, not destroyed
+        // (`queue::tests::queued_messages_survive_receiver_drop`), so the ack
+        // sender inside a ghost install never drops. Instead poll, and between
+        // polls (a) check whether the supervisor already resolved this query
+        // (its outcome is in the result channel — surface it via the handle),
+        // and (b) probe the command channel, which errors once the front-end
+        // receiver is gone.
+        let mut installed = cmd_tx.send(install).is_ok();
+        if installed {
+            installed = loop {
+                match ack_rx.recv_timeout(Duration::from_millis(10)) {
+                    Ok(()) => break true,
+                    Err(RecvTimeoutError::Disconnected) => break false,
+                    Err(RecvTimeoutError::Timeout) => {
+                        if runtime.resolved.load(Ordering::Acquire) {
+                            break true;
+                        }
+                        if cmd_tx
+                            .send(ScanMessage::Command(PreprocessorCommand::Probe))
+                            .is_err()
+                        {
+                            break false;
+                        }
+                    }
+                }
+            };
+        }
+        if !installed && !self.shared.supervision {
+            // Unsupervised: roll the whole admission back (dimension
+            // registrations, registry entry, query id) so a failed
+            // installation cannot leak the id or leave ghost bits in the
+            // dimension hash tables.
+            cleanup_query(id, &self.shared.chain, &self.shared.admission);
+            return Err(Error::invalid_state(
+                "pipeline stopped during query installation",
+            ));
+        }
+        // Supervised and not installed: do NOT clean up here — the query is in
+        // the runtimes registry, and the role death that broke the install is
+        // (or will be) a failure the supervisor handles by resolving and
+        // cleaning every registered query. Rolling back here too would release
+        // the id twice, corrupting whichever later query recycled it. The
+        // returned handle resolves with the supervisor's typed error.
         let submission_time = submitted_at.elapsed();
 
         Ok(QueryHandle {
@@ -726,20 +982,23 @@ impl CjoinEngine {
             submitted_at,
             submission_time,
             progress,
+            cancel: Some((Arc::downgrade(&runtime), cmd_tx)),
         })
     }
 
     /// Convenience: submits a query and blocks until its result is available.
     ///
     /// # Errors
-    /// Propagates submission and wait errors.
+    /// Propagates submission errors and the query's typed [`QueryError`]
+    /// (converted to [`Error`]).
     pub fn execute(&self, query: StarQuery) -> Result<QueryResult> {
-        self.submit(query)?.wait()
+        self.submit(query)?.wait().map_err(Error::from)
     }
 
     /// A point-in-time snapshot of pipeline statistics.
     pub fn stats(&self) -> PipelineStats {
         let filters = self
+            .shared
             .chain
             .snapshot()
             .iter()
@@ -755,111 +1014,118 @@ impl CjoinEngine {
                 }
             })
             .collect();
+        let counters = &self.shared.counters;
+        let core_guard = self.shared.core.lock();
+        let core = core_guard.as_ref();
         PipelineStats {
-            tuples_scanned: self.counters.tuples_scanned.load(Ordering::Relaxed),
-            batches_sent: self.counters.batches_sent.load(Ordering::Relaxed),
-            tuples_distributed: self.counters.tuples_distributed.load(Ordering::Relaxed),
-            routings: self.counters.routings.load(Ordering::Relaxed),
-            scan_passes: self.counters.scan_passes.load(Ordering::Relaxed),
-            queries_admitted: self.counters.queries_admitted.load(Ordering::Relaxed),
-            queries_completed: self.counters.queries_completed.load(Ordering::Relaxed),
+            tuples_scanned: counters.tuples_scanned.load(Ordering::Relaxed),
+            batches_sent: counters.batches_sent.load(Ordering::Relaxed),
+            tuples_distributed: counters.tuples_distributed.load(Ordering::Relaxed),
+            routings: counters.routings.load(Ordering::Relaxed),
+            scan_passes: counters.scan_passes.load(Ordering::Relaxed),
+            queries_admitted: counters.queries_admitted.load(Ordering::Relaxed),
+            queries_completed: counters.queries_completed.load(Ordering::Relaxed),
             active_queries: self.active_queries(),
-            filter_reorders: self.counters.filter_reorders.load(Ordering::Relaxed),
-            control_barriers: self.counters.control_barriers.load(Ordering::Relaxed),
-            barrier_wait_ns: self.counters.barrier_wait_ns.load(Ordering::Relaxed),
+            filter_reorders: counters.filter_reorders.load(Ordering::Relaxed),
+            control_barriers: counters.control_barriers.load(Ordering::Relaxed),
+            barrier_wait_ns: counters.barrier_wait_ns.load(Ordering::Relaxed),
             filters,
-            scan_workers: self
-                .scan_worker_counters
-                .iter()
-                .enumerate()
-                .map(|(worker, c)| c.snapshot(worker))
-                .collect(),
-            distributor_shards: self
-                .shard_counters
-                .iter()
-                .enumerate()
-                .map(|(shard, c)| c.snapshot(shard))
-                .collect(),
-            batches_in_flight: self.in_flight.load(Ordering::Acquire),
-            pool_hits: self.pool.hits(),
-            pool_misses: self.pool.misses(),
-            tuples_allocated: self.counters.tuples_allocated.load(Ordering::Relaxed),
-            tuples_recycled: self.counters.tuples_recycled.load(Ordering::Relaxed),
-            columnar: self.columnar.as_ref().map(|(_, volume)| ColumnarScanStats {
-                bytes_scanned: volume.bytes_scanned(),
-                rows_scanned: volume.rows_scanned(),
-                row_groups_skipped: volume.row_groups_skipped(),
-                rows_predicate_skipped: volume.rows_predicate_skipped(),
-                predicate_probes: volume.predicate_probes(),
-                predicate_rows: volume.predicate_rows(),
-                column_bytes: volume.column_bytes(),
-            }),
+            scan_workers: core
+                .map(|c| {
+                    c.scan_worker_counters
+                        .iter()
+                        .enumerate()
+                        .map(|(worker, c)| c.snapshot(worker))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            distributor_shards: core
+                .map(|c| {
+                    c.shard_counters
+                        .iter()
+                        .enumerate()
+                        .map(|(shard, c)| c.snapshot(shard))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            batches_in_flight: core.map_or(0, |c| c.in_flight.load(Ordering::Acquire)),
+            pool_hits: core.map_or(0, |c| c.pool.hits()),
+            pool_misses: core.map_or(0, |c| c.pool.misses()),
+            tuples_allocated: counters.tuples_allocated.load(Ordering::Relaxed),
+            tuples_recycled: counters.tuples_recycled.load(Ordering::Relaxed),
+            role_failures: counters.role_failures.load(Ordering::Relaxed),
+            pipeline_restarts: counters.pipeline_restarts.load(Ordering::Relaxed),
+            columnar: core
+                .and_then(|c| c.columnar.as_ref())
+                .map(|(_, volume)| ColumnarScanStats {
+                    bytes_scanned: volume.bytes_scanned(),
+                    rows_scanned: volume.rows_scanned(),
+                    row_groups_skipped: volume.row_groups_skipped(),
+                    rows_predicate_skipped: volume.rows_predicate_skipped(),
+                    groups_quarantined: volume.groups_quarantined(),
+                    predicate_probes: volume.predicate_probes(),
+                    predicate_rows: volume.predicate_rows(),
+                    column_bytes: volume.column_bytes(),
+                }),
         }
     }
 
     /// The read-optimised columnar replica of the fact table, when the engine
     /// runs with `CjoinConfig::columnar_scan` (for compression-ratio reporting
     /// by the experiment harness).
-    pub fn columnar_replica(&self) -> Option<&Arc<ColumnarTable>> {
-        self.columnar.as_ref().map(|(replica, _)| replica)
+    pub fn columnar_replica(&self) -> Option<Arc<ColumnarTable>> {
+        let core = self.shared.core.lock();
+        core.as_ref()
+            .and_then(|c| c.columnar.as_ref())
+            .map(|(replica, _)| Arc::clone(replica))
     }
 
     /// Current filter order (dimension names), for diagnostics and tests.
     pub fn filter_order(&self) -> Vec<String> {
-        self.chain.order()
+        self.shared.chain.order()
     }
 
-    /// Shuts the pipeline down and joins all threads. Idempotent.
+    /// Shuts the pipeline down and joins all threads (including the
+    /// supervisor). Idempotent.
     pub fn shutdown(&self) {
-        let Some(threads) = self.threads.lock().take() else {
-            return;
+        self.shared.shutdown_flag.store(true, Ordering::Release);
+        let core = self.shared.core.lock().take();
+        if let Some(core) = core {
+            teardown_core(core, false);
+        }
+        // The supervisor observes the shutdown flag within one tick.
+        if let Some(supervisor) = self.supervisor.lock().take() {
+            let _ = supervisor.join();
+        }
+        // Resolve queries that were still in flight so their handles don't
+        // block on a registry-pinned result channel (first-wins latch: queries
+        // that completed during the drain already delivered their result).
+        let leftover: Vec<Arc<QueryRuntime>> = {
+            let mut admission = self.shared.admission.lock();
+            admission.runtimes.drain().map(|(_, rt)| rt).collect()
         };
-        self.shutdown_flag.store(true, Ordering::Release);
-        // Stop the producers first so no new data enters the pipeline. In sharded
-        // mode the coordinator consumes the shutdown, opens the stall gate and
-        // relays the stop to every segment worker before exiting.
-        let _ = self
-            .cmd_tx
-            .send(ScanMessage::Command(PreprocessorCommand::Shutdown));
-        if let Some(coordinator) = threads.scan_coordinator {
-            let _ = coordinator.join();
+        for runtime in leftover {
+            runtime.resolve(Err(QueryError::StageFailed {
+                role: "engine".into(),
+                detail: "engine shut down before the query completed".into(),
+            }));
         }
-        for handle in threads.scan_workers {
-            let _ = handle.join();
-        }
-        // Stop each stage in order; downstream stages are still draining while
-        // upstream workers finish their last batches.
-        for (stage_index, stage_workers) in threads.workers.into_iter().enumerate() {
-            for _ in 0..stage_workers.len() {
-                let _ = self.stage_queues[stage_index].send(Message::Shutdown);
-            }
-            for handle in stage_workers {
-                let _ = handle.join();
-            }
-        }
-        // One shutdown message stops the whole aggregation stage: the single
-        // Distributor consumes it directly; in sharded mode the router consumes it
-        // and broadcasts it to every shard.
-        let _ = self.distributor_queue.send(Message::Shutdown);
-        if let Some(router) = threads.router {
-            let _ = router.join();
-        }
-        for handle in threads.distributors {
-            let _ = handle.join();
-        }
-        // Every shard dropping its partials sender lets the merger observe the
-        // disconnect and exit.
-        if let Some(merger) = threads.merger {
-            let _ = merger.join();
-        }
-        // The aggregation stage dropping its side of the finished-query channel lets
-        // the manager observe the disconnect and exit.
-        let _ = threads.manager.join();
     }
 
-    /// The derived stage plan (diagnostics / tests).
-    pub fn stage_plan(&self) -> &StagePlan {
-        &self.stage_plan
+    /// The derived stage plan (diagnostics / tests; reflects the current —
+    /// possibly supervisor-degraded — pipeline incarnation).
+    pub fn stage_plan(&self) -> StagePlan {
+        self.shared
+            .core
+            .lock()
+            .as_ref()
+            .map(|c| c.stage_plan.clone())
+            .unwrap_or_else(|| {
+                let config = self.shared.config.lock();
+                StagePlan::derive(&config.stage_layout, config.worker_threads)
+                    .with_distributor_shards(config.distributor_shards)
+                    .with_scan_workers(config.scan_workers)
+            })
     }
 }
 
@@ -870,7 +1136,7 @@ impl Drop for CjoinEngine {
 }
 
 impl cjoin_query::QueryTicket for QueryHandle {
-    fn wait(self: Box<Self>) -> Result<QueryResult> {
+    fn wait(self: Box<Self>) -> QueryOutcome {
         QueryHandle::wait(*self)
     }
 }
@@ -932,9 +1198,10 @@ fn run_manager(
 }
 
 /// Algorithm 2: remove a finished query from every dimension hash table, drop empty
-/// Filters, and recycle the query id.
+/// Filters, recycle the query id and drop the supervisor's runtime registration.
 fn cleanup_query(id: QueryId, chain: &Arc<FilterChain>, admission: &Arc<Mutex<AdmissionState>>) {
     let mut admission = admission.lock();
+    admission.runtimes.remove(&id.0);
     let Some(registered) = admission.registered.remove(&id.0) else {
         return;
     };
@@ -946,6 +1213,299 @@ fn cleanup_query(id: QueryId, chain: &Arc<FilterChain>, admission: &Arc<Mutex<Ad
         }
     }
     let _ = admission.allocator.release(id);
+}
+
+/// The supervisor thread body: reacts to role deaths with
+/// [`handle_failure`] and runs the deadline reaper on every idle tick.
+fn run_supervisor(shared: Arc<EngineShared>, failure_rx: Receiver<RoleFailure>) {
+    const TICK: Duration = Duration::from_millis(10);
+    loop {
+        if shared.shutdown_flag.load(Ordering::Acquire) {
+            return;
+        }
+        match failure_rx.recv_timeout(TICK) {
+            Ok(failure) => handle_failure(&shared, failure, &failure_rx),
+            Err(RecvTimeoutError::Timeout) => reap_deadlines(&shared),
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Fails all in-flight queries with a typed error, tears the dead pipeline
+/// down, degrades the failed axis to its classic path and respawns.
+///
+/// The ordering is load-bearing (see the module docs and
+/// `crate::preprocessor::drain_barrier`): queries are resolved to
+/// [`QueryError::StageFailed`] *before* the poison flag releases any blocked
+/// drain barrier, so the first-wins latch guarantees no truncated result is
+/// ever delivered as `Ok`.
+fn handle_failure(
+    shared: &Arc<EngineShared>,
+    failure: RoleFailure,
+    failure_rx: &Receiver<RoleFailure>,
+) {
+    shared
+        .counters
+        .role_failures
+        .fetch_add(1, Ordering::Relaxed);
+    eprintln!(
+        "cjoin: pipeline role '{}' died ({}); failing in-flight queries and restarting",
+        failure.role, failure.detail
+    );
+
+    // Take the pipeline out of service first: submissions block on this lock,
+    // so no new query can register against the dying core or install onto it.
+    let mut core_guard = shared.core.lock();
+    let core = core_guard.take();
+
+    // Resolve every in-flight query BEFORE any barrier can release truncated.
+    let failed: Vec<(u32, Arc<QueryRuntime>)> = {
+        let mut admission = shared.admission.lock();
+        admission.runtimes.drain().collect()
+    };
+    for (_, runtime) in &failed {
+        runtime.mark_cancelled();
+        runtime.resolve(Err(QueryError::StageFailed {
+            role: failure.role.to_string(),
+            detail: failure.detail.clone(),
+        }));
+    }
+    for (id, _) in &failed {
+        cleanup_query(QueryId(*id), &shared.chain, &shared.admission);
+    }
+
+    // Collapse a cascade (several roles dying around the same incident, e.g.
+    // injected panics on both a scan worker and a shard) into one restart.
+    let mut roles = vec![failure.role];
+    while let Ok(extra) = failure_rx.try_recv() {
+        shared
+            .counters
+            .role_failures
+            .fetch_add(1, Ordering::Relaxed);
+        roles.push(extra.role);
+    }
+    if let Some(core) = core {
+        teardown_core(core, true);
+    }
+    while let Ok(extra) = failure_rx.try_recv() {
+        shared
+            .counters
+            .role_failures
+            .fetch_add(1, Ordering::Relaxed);
+        roles.push(extra.role);
+    }
+
+    if shared.shutdown_flag.load(Ordering::Acquire) {
+        return;
+    }
+
+    // Degrade each failed axis to its classic path and respawn.
+    let config = {
+        let mut config = shared.config.lock();
+        for role in &roles {
+            if let Some(note) = degrade(&mut config, role) {
+                eprintln!("cjoin: degrading after '{role}' failure: {note}");
+                shared.degradations.lock().push(note);
+            }
+        }
+        config.clone()
+    };
+    match CjoinEngine::spawn_pipeline(shared, &config) {
+        Ok(core) => {
+            shared
+                .counters
+                .pipeline_restarts
+                .fetch_add(1, Ordering::Relaxed);
+            *core_guard = Some(core);
+        }
+        Err(e) => {
+            eprintln!("cjoin: failed to respawn the pipeline after a role failure: {e}");
+        }
+    }
+}
+
+/// Degrades the axis hosting `role` one step towards the classic CJOIN layout.
+/// Returns a description of the applied step, or `None` if the axis is already
+/// at its simplest configuration (the role is respawned as-is).
+fn degrade(config: &mut CjoinConfig, role: &RoleKind) -> Option<String> {
+    match role {
+        RoleKind::ScanWorker(_) | RoleKind::ScanCoordinator => {
+            if config.scan_workers > 1 {
+                config.scan_workers = 1;
+                Some(
+                    "collapsed the segmented scan front-end to the classic single Preprocessor"
+                        .into(),
+                )
+            } else if config.columnar_scan {
+                config.columnar_scan = false;
+                Some("fell back from the columnar replica scan to the row store".into())
+            } else {
+                None
+            }
+        }
+        RoleKind::StageWorker { .. } => {
+            if config.worker_threads > 1 || config.stage_layout != StageLayout::Horizontal {
+                config.stage_layout = StageLayout::Horizontal;
+                config.worker_threads = 1;
+                Some("collapsed the filter stages to a single horizontal worker".into())
+            } else {
+                None
+            }
+        }
+        RoleKind::ShardRouter | RoleKind::DistributorShard(_) | RoleKind::ShardMerger => {
+            if config.distributor_shards > 1 {
+                config.distributor_shards = 1;
+                Some(
+                    "collapsed the sharded aggregation stage to the classic single Distributor"
+                        .into(),
+                )
+            } else {
+                None
+            }
+        }
+        RoleKind::Manager => None,
+    }
+}
+
+/// The deadline reaper (one supervisor tick): resolves overdue queries to
+/// [`QueryError::DeadlineExceeded`] and retires them from the scan through the
+/// normal cancel path, so partial state is released with exactly-once
+/// bookkeeping and the id recycles through the manager as usual.
+fn reap_deadlines(shared: &Arc<EngineShared>) {
+    let now = Instant::now();
+    // Lock order everywhere: core before admission.
+    let core_guard = shared.core.lock();
+    let Some(core) = core_guard.as_ref() else {
+        return;
+    };
+    let overdue: Vec<Arc<QueryRuntime>> = {
+        let admission = shared.admission.lock();
+        admission
+            .runtimes
+            .values()
+            .filter(|rt| rt.deadline_at.is_some_and(|at| now >= at))
+            .map(Arc::clone)
+            .collect()
+    };
+    for runtime in overdue {
+        let deadline = runtime
+            .deadline_at
+            .expect("reaper only selects queries with deadlines")
+            .duration_since(runtime.admitted_at);
+        runtime.mark_cancelled();
+        if runtime.resolve(Err(QueryError::DeadlineExceeded { deadline })) {
+            let _ = core
+                .cmd_tx
+                .send(ScanMessage::Command(PreprocessorCommand::Cancel {
+                    id: runtime.id,
+                }));
+        }
+    }
+}
+
+/// Tears one pipeline incarnation down and joins every thread.
+///
+/// `poisoned == false` is the graceful path: shutdown messages flow through
+/// the queues so every stage drains its pending batches in order.
+///
+/// `poisoned == true` is the failure path, which must never block on a queue
+/// whose consumer is dead. It releases every blocking primitive up front —
+/// the poison flag (drain barriers), the stall gate (parked segment workers),
+/// a best-effort shutdown command (idle command loops) — then DROPS the
+/// engine-side queue handles before joining, so a producer blocked on a full
+/// queue observes the channel disconnect once the dead consumer's receiver is
+/// gone instead of waiting forever. Surviving consumers keep draining until
+/// their upstream disconnects, which preserves the join order's termination
+/// argument stage by stage; the manager exits last, when the aggregation
+/// stage drops the finished-query channel.
+fn teardown_core(core: PipelineCore, poisoned: bool) {
+    let PipelineCore {
+        cmd_tx,
+        stage_queues,
+        distributor_queue,
+        stall,
+        poison,
+        threads,
+        ..
+    } = core;
+    if poisoned {
+        poison.store(true, Ordering::Release);
+        if let Some(stall) = &stall {
+            stall.shutdown();
+        }
+        let _ = cmd_tx.send(ScanMessage::Command(PreprocessorCommand::Shutdown));
+        drop(cmd_tx);
+        drop(stage_queues);
+        drop(distributor_queue);
+        join_pipeline_threads(threads);
+        return;
+    }
+    // Stop the producers first so no new data enters the pipeline. In sharded
+    // mode the coordinator consumes the shutdown, opens the stall gate and
+    // relays the stop to every segment worker before exiting.
+    let _ = cmd_tx.send(ScanMessage::Command(PreprocessorCommand::Shutdown));
+    let mut threads = threads;
+    if let Some(coordinator) = threads.scan_coordinator.take() {
+        let _ = coordinator.join();
+    }
+    for handle in threads.scan_workers.drain(..) {
+        let _ = handle.join();
+    }
+    // Stop each stage in order; downstream stages are still draining while
+    // upstream workers finish their last batches.
+    for (stage_index, stage_workers) in threads.workers.drain(..).enumerate() {
+        for _ in 0..stage_workers.len() {
+            let _ = stage_queues[stage_index].send(Message::Shutdown);
+        }
+        for handle in stage_workers {
+            let _ = handle.join();
+        }
+    }
+    // One shutdown message stops the whole aggregation stage: the single
+    // Distributor consumes it directly; in sharded mode the router consumes it
+    // and broadcasts it to every shard.
+    let _ = distributor_queue.send(Message::Shutdown);
+    if let Some(router) = threads.router.take() {
+        let _ = router.join();
+    }
+    for handle in threads.distributors.drain(..) {
+        let _ = handle.join();
+    }
+    // Every shard dropping its partials sender lets the merger observe the
+    // disconnect and exit.
+    if let Some(merger) = threads.merger.take() {
+        let _ = merger.join();
+    }
+    // The aggregation stage dropping its side of the finished-query channel lets
+    // the manager observe the disconnect and exit.
+    let _ = threads.manager.join();
+}
+
+/// Joins every pipeline thread after the failure-path teardown released all
+/// blocking primitives; a panicked thread's `Err` join result is discarded
+/// (its payload already travelled to the supervisor as a [`RoleFailure`]).
+fn join_pipeline_threads(threads: PipelineThreads) {
+    if let Some(coordinator) = threads.scan_coordinator {
+        let _ = coordinator.join();
+    }
+    for handle in threads.scan_workers {
+        let _ = handle.join();
+    }
+    for stage_workers in threads.workers {
+        for handle in stage_workers {
+            let _ = handle.join();
+        }
+    }
+    if let Some(router) = threads.router {
+        let _ = router.join();
+    }
+    for handle in threads.distributors {
+        let _ = handle.join();
+    }
+    if let Some(merger) = threads.merger {
+        let _ = merger.join();
+    }
+    let _ = threads.manager.join();
 }
 
 #[cfg(test)]
@@ -1307,6 +1867,92 @@ mod tests {
         assert!(progress.is_completed());
         assert_eq!(progress.fraction(), 1.0);
         assert_eq!(progress.estimated_remaining(), Some(Duration::ZERO));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn client_cancel_resolves_with_cancelled_and_engine_stays_serviceable() {
+        let catalog = small_catalog(200_000);
+        let engine = CjoinEngine::start(Arc::clone(&catalog), test_config()).unwrap();
+        let handle = engine.submit(red_sum_query("doomed")).unwrap();
+        handle.cancel();
+        match handle.wait() {
+            Err(QueryError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // The cancelled query retires through the normal finalize path, so the
+        // engine keeps serving fresh queries with exact results.
+        let query = red_sum_query("after_cancel");
+        let expected = reference::evaluate(&catalog, &query, SnapshotId::INITIAL).unwrap();
+        let result = engine.execute(query).unwrap();
+        assert!(result.approx_eq(&expected), "{:?}", result.diff(&expected));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn unreachable_deadline_is_shed_at_admission() {
+        let catalog = small_catalog(300);
+        let engine = CjoinEngine::start(Arc::clone(&catalog), test_config()).unwrap();
+        // Pretend the last full scan pass took 10s; a 1ms deadline is hopeless.
+        engine
+            .shared
+            .counters
+            .last_pass_ns
+            .store(10_000_000_000, Ordering::Relaxed);
+        let doomed = StarQuery::builder("doomed")
+            .join_dimension("color", "colorkey", "k", Predicate::eq("name", "red"))
+            .aggregate(AggregateSpec::count_star())
+            .deadline(Duration::from_millis(1))
+            .build();
+        let handle = engine.submit(doomed).unwrap();
+        match handle.wait() {
+            Err(QueryError::ShedAtAdmission {
+                deadline,
+                estimated,
+            }) => {
+                assert_eq!(deadline, Duration::from_millis(1));
+                assert_eq!(estimated, Duration::from_secs(10));
+            }
+            other => panic!("expected ShedAtAdmission, got {other:?}"),
+        }
+        // Shedding touched no pipeline state: no id leaked, fresh queries run.
+        assert_eq!(engine.active_queries(), 0);
+        let result = engine.execute(red_sum_query("after_shed")).unwrap();
+        assert_eq!(result.num_rows(), 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn overdue_query_is_reaped_with_deadline_exceeded() {
+        use crate::fault::{FaultPlan, FaultSite};
+        let catalog = small_catalog(20_000);
+        // Slow every scan step down so the pass takes much longer than the
+        // deadline, deterministically.
+        let config = test_config().with_fault_plan(
+            FaultPlan::seeded(1)
+                .delay(FaultSite::ScanWorker, 2_000)
+                .build(),
+        );
+        let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+        let slow = StarQuery::builder("slow")
+            .join_dimension("color", "colorkey", "k", Predicate::eq("name", "red"))
+            .aggregate(AggregateSpec::count_star())
+            .deadline(Duration::from_millis(40))
+            .build();
+        let started = Instant::now();
+        let handle = engine.submit(slow).unwrap();
+        match handle.wait() {
+            Err(QueryError::DeadlineExceeded { deadline }) => {
+                assert_eq!(deadline, Duration::from_millis(40));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // The reaper fires within a couple of ticks of the deadline, not after
+        // the (much longer) full pass.
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "reaper should not wait for the pass to finish"
+        );
         engine.shutdown();
     }
 

@@ -1,0 +1,292 @@
+//! Deterministic fault injection for supervision tests.
+//!
+//! A [`FaultPlan`] is a seeded, declarative schedule of faults — panics at
+//! named pipeline sites, artificial queue delays, and corrupted columnar row
+//! groups — attached to a [`CjoinConfig`](crate::config::CjoinConfig) before
+//! the engine starts. The plan is deliberately *deterministic*: the same seed
+//! and builder calls produce the same fault at the same site event count every
+//! run, so a failing supervision test replays exactly.
+//!
+//! Cost when disabled: the config carries `Option<Arc<FaultPlan>>` defaulting
+//! to `None`, and every injection point is a single branch on that `None`
+//! ([`inject`]). No atomics are touched and nothing is allocated on the hot
+//! path unless a plan is installed — this is what the supervision off/on
+//! benchmark A/B (BENCH_PR7.json) measures.
+//!
+//! Each scheduled panic fires **exactly once** per plan (a fired latch), at the
+//! first site event whose ordinal reaches the seed-derived trigger. Delays fire
+//! on every event at their site. Corrupted row groups are applied by the engine
+//! to its columnar replica at build time, so the per-group checksums
+//! ([`cjoin_storage::ColumnarTable::verify_group`]) catch real corruption, not
+//! a simulated flag.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A named pipeline site where faults can be injected.
+///
+/// One variant per supervised role kind; the injection hook sits inside the
+/// role's main loop, so a scheduled panic exercises exactly the thread-death
+/// path the supervisor must recover from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// A segment scan worker (or the classic single-threaded Preprocessor).
+    ScanWorker,
+    /// The scan admission coordinator.
+    ScanCoordinator,
+    /// A filter Stage worker.
+    StageWorker,
+    /// The distributor shard router.
+    ShardRouter,
+    /// A distributor aggregation shard (or the classic single Distributor).
+    DistributorShard,
+    /// The end-of-query merge barrier.
+    ShardMerger,
+}
+
+impl FaultSite {
+    /// All sites, for matrix tests.
+    pub const ALL: [FaultSite; 6] = [
+        FaultSite::ScanWorker,
+        FaultSite::ScanCoordinator,
+        FaultSite::StageWorker,
+        FaultSite::ShardRouter,
+        FaultSite::DistributorShard,
+        FaultSite::ShardMerger,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::ScanWorker => 0,
+            FaultSite::ScanCoordinator => 1,
+            FaultSite::StageWorker => 2,
+            FaultSite::ShardRouter => 3,
+            FaultSite::DistributorShard => 4,
+            FaultSite::ShardMerger => 5,
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FaultSite::ScanWorker => "scan-worker",
+            FaultSite::ScanCoordinator => "scan-coordinator",
+            FaultSite::StageWorker => "stage-worker",
+            FaultSite::ShardRouter => "shard-router",
+            FaultSite::DistributorShard => "distributor-shard",
+            FaultSite::ShardMerger => "shard-merger",
+        };
+        f.write_str(name)
+    }
+}
+
+#[derive(Debug)]
+struct PanicSpec {
+    site: FaultSite,
+    /// Site event ordinal at (or after) which the panic fires.
+    at_event: u64,
+    fired: AtomicBool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DelaySpec {
+    site: FaultSite,
+    delay: Duration,
+}
+
+/// A seeded, declarative fault schedule (see the module docs).
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    panics: Vec<PanicSpec>,
+    delays: Vec<DelaySpec>,
+    corrupt_groups: Vec<usize>,
+    hits: [AtomicU64; 6],
+}
+
+/// Plans are compared by their *schedule* (seed + declared faults), ignoring
+/// runtime hit counts, so [`CjoinConfig`](crate::config::CjoinConfig) can keep
+/// deriving `PartialEq`.
+impl PartialEq for FaultPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.seed == other.seed
+            && self.corrupt_groups == other.corrupt_groups
+            && self.panics.len() == other.panics.len()
+            && self
+                .panics
+                .iter()
+                .zip(&other.panics)
+                .all(|(a, b)| a.site == b.site && a.at_event == b.at_event)
+            && self.delays.len() == other.delays.len()
+            && self
+                .delays
+                .iter()
+                .zip(&other.delays)
+                .all(|(a, b)| a.site == b.site && a.delay == b.delay)
+    }
+}
+
+impl FaultPlan {
+    /// Starts an empty plan whose trigger ordinals derive from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Schedules one panic at `site`, firing at a seed-derived early event
+    /// ordinal (so different seeds exercise slightly different interleavings).
+    pub fn panic_at(self, site: FaultSite) -> Self {
+        // Keep the trigger small: the matrix tests want the fault to land while
+        // queries are in flight, not after thousands of idle loop iterations.
+        let at_event = self.seed % 4;
+        self.panic_at_event(site, at_event)
+    }
+
+    /// Schedules one panic at `site`, firing at the first event whose ordinal
+    /// is `>= at_event`.
+    pub fn panic_at_event(mut self, site: FaultSite, at_event: u64) -> Self {
+        self.panics.push(PanicSpec {
+            site,
+            at_event,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Adds `micros` of sleep to every event at `site` (queue-delay fault).
+    pub fn delay(mut self, site: FaultSite, micros: u64) -> Self {
+        self.delays.push(DelaySpec {
+            site,
+            delay: Duration::from_micros(micros),
+        });
+        self
+    }
+
+    /// Marks columnar row group `group` for bit-flip corruption at engine
+    /// build time (checksum-quarantine fault).
+    pub fn corrupt_row_group(mut self, group: usize) -> Self {
+        self.corrupt_groups.push(group);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+
+    /// Row groups the engine must corrupt in its columnar replica.
+    pub fn corrupt_groups(&self) -> &[usize] {
+        &self.corrupt_groups
+    }
+
+    /// The plan's seed (diagnostics).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Events observed at `site` so far (test introspection).
+    pub fn hits(&self, site: FaultSite) -> u64 {
+        self.hits[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Records one event at `site`: applies scheduled delays, then panics if an
+    /// unfired panic's trigger ordinal has been reached.
+    ///
+    /// # Panics
+    /// By design — this is the injection point the supervisor recovers from.
+    pub fn hit(&self, site: FaultSite) {
+        let event = self.hits[site.index()].fetch_add(1, Ordering::Relaxed);
+        for d in &self.delays {
+            if d.site == site {
+                std::thread::sleep(d.delay);
+            }
+        }
+        for p in &self.panics {
+            if p.site == site && event >= p.at_event && !p.fired.swap(true, Ordering::AcqRel) {
+                panic!(
+                    "injected fault at {site} (event {event}, seed {})",
+                    self.seed
+                );
+            }
+        }
+    }
+}
+
+/// The zero-cost-when-disabled injection hook: a single branch on `None`.
+///
+/// # Panics
+/// Propagates a scheduled [`FaultPlan::hit`] panic.
+#[inline]
+pub fn inject(plan: &Option<Arc<FaultPlan>>, site: FaultSite) {
+    if let Some(plan) = plan {
+        plan.hit(site);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_fires_exactly_once_at_seeded_event() {
+        let plan = FaultPlan::seeded(7)
+            .panic_at(FaultSite::ShardRouter)
+            .build();
+        // seed 7 -> trigger at event 3.
+        for _ in 0..3 {
+            plan.hit(FaultSite::ShardRouter);
+        }
+        let p = plan.clone();
+        let err = std::panic::catch_unwind(move || p.hit(FaultSite::ShardRouter)).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("shard-router"), "{msg}");
+        // The latch prevents a second panic at the same site.
+        plan.hit(FaultSite::ShardRouter);
+        assert_eq!(plan.hits(FaultSite::ShardRouter), 5);
+    }
+
+    #[test]
+    fn sites_are_independent_and_unplanned_sites_are_free() {
+        let plan = FaultPlan::seeded(0).panic_at(FaultSite::ScanWorker).build();
+        for _ in 0..100 {
+            plan.hit(FaultSite::DistributorShard);
+        }
+        assert_eq!(plan.hits(FaultSite::DistributorShard), 100);
+        assert!(std::panic::catch_unwind(move || plan.hit(FaultSite::ScanWorker)).is_err());
+    }
+
+    #[test]
+    fn disabled_plan_injects_nothing() {
+        inject(&None, FaultSite::ShardMerger);
+        let plan = FaultPlan::seeded(1).build();
+        inject(&Some(Arc::clone(&plan)), FaultSite::ShardMerger);
+        assert_eq!(plan.hits(FaultSite::ShardMerger), 1);
+    }
+
+    #[test]
+    fn plans_compare_by_schedule_not_runtime_state() {
+        let a = FaultPlan::seeded(3).panic_at(FaultSite::StageWorker);
+        let b = FaultPlan::seeded(3).panic_at(FaultSite::StageWorker);
+        a.hit(FaultSite::ShardMerger);
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded(4).panic_at(FaultSite::StageWorker);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn delays_and_corruption_are_recorded() {
+        let plan = FaultPlan::seeded(9)
+            .delay(FaultSite::ScanCoordinator, 1)
+            .corrupt_row_group(2)
+            .corrupt_row_group(5)
+            .build();
+        plan.hit(FaultSite::ScanCoordinator);
+        assert_eq!(plan.corrupt_groups(), &[2, 5]);
+        assert_eq!(plan.seed(), 9);
+    }
+}

@@ -59,6 +59,7 @@
 //! | [`optimizer`] | §3.4 | run-time filter reordering from observed selectivities |
 //! | [`pipeline`] | §4 | thread layout (horizontal / vertical / hybrid stages) |
 //! | [`engine`] | §3.3 | public API: admission (Algorithm 1), finalization (Algorithm 2) |
+//! | [`fault`] | — | deterministic fault injection for supervision tests |
 //! | [`stats`] | §6 | operator statistics used by the experiments |
 
 #![warn(missing_docs)]
@@ -69,6 +70,7 @@ pub mod config;
 pub mod dimension;
 pub mod distributor;
 pub mod engine;
+pub mod fault;
 pub mod filter;
 pub mod optimizer;
 pub mod pipeline;
@@ -81,5 +83,6 @@ pub mod tuple;
 
 pub use config::{CjoinConfig, StageLayout};
 pub use engine::{CjoinEngine, QueryHandle};
+pub use fault::{FaultPlan, FaultSite};
 pub use progress::QueryProgress;
 pub use stats::PipelineStats;

@@ -20,15 +20,171 @@
 //! a router plus that many parallel aggregation shards and a merger (see
 //! [`crate::distributor`]). The [`StagePlan`] records both halves of the thread
 //! layout so diagnostics and tests can reason about the whole pipeline.
+//!
+//! # Supervision and barrier release on failure
+//!
+//! Every pipeline role is spawned through [`spawn_supervised`], which wraps the
+//! role body in `catch_unwind` and reports a [`RoleFailure`] on the supervisor's
+//! failure channel instead of silently unwinding the thread. The concurrency
+//! argument above assumes every role *keeps draining its input queue*; a dead
+//! role violates that, and two barriers would otherwise wait forever:
+//!
+//! * the Preprocessor's **drain barrier** (install/finalize waits for
+//!   `in_flight == 0`) never terminates if a Stage worker or Distributor died
+//!   holding batches, and
+//! * the **ShardMerger end-barrier** (a query finalizes after all N shard
+//!   partials arrived) never completes if a shard died before emitting its
+//!   partial.
+//!
+//! Release-on-failure is therefore part of the pipeline contract: the
+//! supervisor first resolves every in-flight query's outcome channel with
+//! `QueryError::StageFailed` (so no client can observe a truncated `Ok`), then
+//! *poisons* the pipeline — the drain barrier re-checks the poison flag in its
+//! backoff loop and exits early, parked scan workers are released through the
+//! `ScanStall` shutdown path, and queue senders/receivers are dropped so every
+//! surviving role's `recv()`/`send()` returns a disconnect and the role exits
+//! its loop. Only after every thread is joined does the supervisor respawn the
+//! pipeline with the failed axis degraded to its classic path. Ordering matters:
+//! outcomes are resolved *before* barriers are poisoned, so a poisoned barrier
+//! can never let a finalize path deliver a result computed from a partial scan.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 use crossbeam::channel::{Receiver, Sender};
 
 use crate::config::StageLayout;
 use crate::dimension::DimensionTable;
+use crate::fault::{self, FaultPlan, FaultSite};
 use crate::filter::FilterChain;
 use crate::tuple::Message;
+
+/// Identity of one supervised pipeline role, used in thread names, failure
+/// reports and [`cjoin_query::QueryError::StageFailed`] messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoleKind {
+    /// Segment scan worker `i` (the classic single Preprocessor is worker 0).
+    ScanWorker(usize),
+    /// The scan admission coordinator (sharded front-end only).
+    ScanCoordinator,
+    /// Worker `worker` of filter Stage `stage`.
+    StageWorker {
+        /// Stage index in the [`StagePlan`].
+        stage: usize,
+        /// Worker index within the Stage.
+        worker: usize,
+    },
+    /// The distributor shard router (sharded aggregation only).
+    ShardRouter,
+    /// Distributor aggregation shard `i` (the classic Distributor is shard 0).
+    DistributorShard(usize),
+    /// The end-of-query merge barrier (sharded aggregation only).
+    ShardMerger,
+    /// The pipeline manager (filter reordering, query cleanup).
+    Manager,
+}
+
+impl RoleKind {
+    /// The OS thread name the role runs under.
+    pub fn thread_name(&self) -> String {
+        match self {
+            RoleKind::ScanWorker(i) => format!("cjoin-scan-w{i}"),
+            RoleKind::ScanCoordinator => "cjoin-scan-coord".into(),
+            RoleKind::StageWorker { stage, worker } => format!("cjoin-stage{stage}-w{worker}"),
+            RoleKind::ShardRouter => "cjoin-dist-router".into(),
+            RoleKind::DistributorShard(i) => format!("cjoin-distributor-s{i}"),
+            RoleKind::ShardMerger => "cjoin-dist-merger".into(),
+            RoleKind::Manager => "cjoin-manager".into(),
+        }
+    }
+
+    /// The fault-injection site the role hosts ([`FaultSite`] is coarser than
+    /// `RoleKind`: it does not distinguish worker indices, and the manager has
+    /// no injection site).
+    pub fn fault_site(&self) -> Option<FaultSite> {
+        match self {
+            RoleKind::ScanWorker(_) => Some(FaultSite::ScanWorker),
+            RoleKind::ScanCoordinator => Some(FaultSite::ScanCoordinator),
+            RoleKind::StageWorker { .. } => Some(FaultSite::StageWorker),
+            RoleKind::ShardRouter => Some(FaultSite::ShardRouter),
+            RoleKind::DistributorShard(_) => Some(FaultSite::DistributorShard),
+            RoleKind::ShardMerger => Some(FaultSite::ShardMerger),
+            RoleKind::Manager => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RoleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoleKind::ScanWorker(i) => write!(f, "scan-worker-{i}"),
+            RoleKind::ScanCoordinator => f.write_str("scan-coordinator"),
+            RoleKind::StageWorker { stage, worker } => {
+                write!(f, "stage-{stage}-worker-{worker}")
+            }
+            RoleKind::ShardRouter => f.write_str("shard-router"),
+            RoleKind::DistributorShard(i) => write!(f, "distributor-shard-{i}"),
+            RoleKind::ShardMerger => f.write_str("shard-merger"),
+            RoleKind::Manager => f.write_str("manager"),
+        }
+    }
+}
+
+/// Report of a role thread that died by panic, sent to the supervisor.
+#[derive(Debug, Clone)]
+pub struct RoleFailure {
+    /// Which role died.
+    pub role: RoleKind,
+    /// The panic payload, best effort (`&str`/`String` payloads are extracted,
+    /// anything else is described generically).
+    pub detail: String,
+}
+
+/// Renders a panic payload for a [`RoleFailure`].
+pub fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Spawns one pipeline role.
+///
+/// With `supervised == true` the role body runs under `catch_unwind`; a panic
+/// is converted into a [`RoleFailure`] on `failure_tx` (best effort — if the
+/// supervisor is gone, the failure is dropped and the thread just exits). With
+/// `supervised == false` the body runs bare, reproducing the pre-supervision
+/// behaviour for the overhead A/B.
+///
+/// # Panics
+/// Panics only if the OS refuses to spawn a thread.
+pub fn spawn_supervised(
+    role: RoleKind,
+    supervised: bool,
+    failure_tx: Sender<RoleFailure>,
+    f: impl FnOnce() + Send + 'static,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(role.thread_name())
+        .spawn(move || {
+            if !supervised {
+                f();
+                return;
+            }
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let failure = RoleFailure {
+                    role,
+                    detail: panic_detail(payload.as_ref()),
+                };
+                let _ = failure_tx.send(failure);
+            }
+        })
+        .expect("failed to spawn pipeline thread")
+}
 
 /// The thread layout derived from a [`StageLayout`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -148,6 +304,7 @@ pub fn stage_slice(
 /// passes unreferencing queries' tuples through unchanged. With a single Stage the
 /// snapshot is taken and applied atomically per batch, so the untracked fast path
 /// is kept.
+#[allow(clippy::too_many_arguments)]
 pub fn run_stage_worker(
     stage_index: usize,
     num_stages: usize,
@@ -156,6 +313,7 @@ pub fn run_stage_worker(
     chain: Arc<FilterChain>,
     early_skip: bool,
     batched_probing: bool,
+    faults: Option<Arc<FaultPlan>>,
 ) {
     // Worker-local scratch for the tracked multi-Stage path, reused across
     // batches so per-batch bookkeeping allocates nothing at steady state.
@@ -163,6 +321,7 @@ pub fn run_stage_worker(
     while let Ok(msg) = input.recv() {
         match msg {
             Message::Data(mut batch) => {
+                fault::inject(&faults, FaultSite::StageWorker);
                 let filters = chain.snapshot();
                 if num_stages <= 1 {
                     FilterChain::process_batch(&filters, &mut batch, early_skip, batched_probing);
@@ -317,7 +476,9 @@ mod tests {
         let (out_tx, out_rx) = unbounded();
         let worker = {
             let chain = Arc::clone(&chain);
-            std::thread::spawn(move || run_stage_worker(0, 1, in_rx, out_tx, chain, true, true))
+            std::thread::spawn(move || {
+                run_stage_worker(0, 1, in_rx, out_tx, chain, true, true, None)
+            })
         };
 
         // A tuple relevant to query 0 whose fk misses the dimension table: dropped.
@@ -380,7 +541,7 @@ mod tests {
         let (tx1, rx1) = unbounded();
         let worker0 = {
             let chain = Arc::clone(&chain);
-            std::thread::spawn(move || run_stage_worker(0, 2, rx0, tx1, chain, true, true))
+            std::thread::spawn(move || run_stage_worker(0, 2, rx0, tx1, chain, true, true, None))
         };
         in0.send(Message::Data(batch)).unwrap();
         in0.send(Message::Shutdown).unwrap();
@@ -397,7 +558,7 @@ mod tests {
         let (tx2, rx2) = unbounded();
         let worker1 = {
             let chain = Arc::clone(&chain);
-            std::thread::spawn(move || run_stage_worker(1, 2, rx1, tx2, chain, true, true))
+            std::thread::spawn(move || run_stage_worker(1, 2, rx1, tx2, chain, true, true, None))
         };
         worker1.join().unwrap();
 
@@ -419,8 +580,9 @@ mod tests {
         chain.push(Arc::new(dim));
         let (in_tx, in_rx) = unbounded();
         let (out_tx, out_rx) = unbounded();
-        let worker =
-            std::thread::spawn(move || run_stage_worker(0, 1, in_rx, out_tx, chain, true, true));
+        let worker = std::thread::spawn(move || {
+            run_stage_worker(0, 1, in_rx, out_tx, chain, true, true, None)
+        });
         let miss = InFlightTuple::new(
             RowId(0),
             Row::new(vec![Value::int(7)]),

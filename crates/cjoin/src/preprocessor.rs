@@ -92,7 +92,7 @@
 //! describes.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -106,8 +106,12 @@ use cjoin_storage::{
     SnapshotId,
 };
 
-use crate::colscan::{ColumnarScanCursor, EncodedFactPredicate, ZoneVerdict};
+use crate::colscan::{
+    ColumnarScanCursor, EncodedFactPredicate, ZoneVerdict, GROUP_QUARANTINED, GROUP_UNVERIFIED,
+    GROUP_VERIFIED,
+};
 use crate::config::CjoinConfig;
+use crate::fault::{self, FaultPlan, FaultSite};
 use crate::pool::BatchPool;
 use crate::progress::QueryProgress;
 use crate::stats::{ScanWorkerCounters, SharedCounters};
@@ -147,6 +151,17 @@ pub enum PreprocessorCommand {
         /// "submission time" metric. `None` on the coordinator's per-worker
         /// relays — the engine-facing ack does not wait for a round-trip.
         ack: Option<Sender<()>>,
+    },
+    /// Cancel an in-flight query: finalize it immediately (retire its bit,
+    /// emit the end-of-query control tuple behind the usual drain barrier) so
+    /// its partial state is released through the normal lifecycle machinery.
+    /// The canceller resolves the query's outcome *before* sending this, so the
+    /// Distributor's eventual result for the truncated scan is discarded by the
+    /// first-wins latch — exactly-once accounting is preserved because the
+    /// control-tuple protocol is unchanged.
+    Cancel {
+        /// The query to cancel.
+        id: QueryId,
     },
     /// Shut the pipeline down: forward shutdown messages and exit.
     Shutdown,
@@ -191,6 +206,11 @@ pub struct PreprocessorContext {
     pub counters: Arc<SharedCounters>,
     /// This worker's own counters (always sum to the global totals).
     pub worker_counters: Arc<ScanWorkerCounters>,
+    /// Supervisor poison flag: set (before teardown) when a pipeline role died,
+    /// releasing the drain barrier and stopping the scan loop so a failed
+    /// pipeline can always be joined. See the barrier-release-on-failure
+    /// argument in [`crate::pipeline`].
+    pub poison: Arc<AtomicBool>,
     /// Engine configuration.
     pub config: CjoinConfig,
     /// The fact table's partitioning metadata together with the fact column it
@@ -305,9 +325,14 @@ pub struct Preprocessor {
     slot_count: Arc<AtomicUsize>,
     counters: Arc<SharedCounters>,
     worker_counters: Arc<ScanWorkerCounters>,
+    poison: Arc<AtomicBool>,
     config: CjoinConfig,
     partition_scheme: Option<(PartitionScheme, usize)>,
     role: Role,
+    /// When the current scan pass started; its elapsed time is published to
+    /// `SharedCounters::last_pass_ns` at each wrap, feeding admission's
+    /// deadline ETA (the paper's predictability, measured rather than modelled).
+    pass_started: Option<Instant>,
 
     active_mask: QuerySet,
     queries: Vec<Option<ActiveQuery>>,
@@ -427,9 +452,11 @@ impl Preprocessor {
             slot_count: ctx.slot_count,
             counters: ctx.counters,
             worker_counters: ctx.worker_counters,
+            poison: ctx.poison,
             config: ctx.config,
             partition_scheme: ctx.partition_scheme,
             role,
+            pass_started: None,
             active_mask: QuerySet::new(max),
             queries: (0..max).map(|_| None).collect(),
             starts_at: BTreeMap::new(),
@@ -460,8 +487,11 @@ impl Preprocessor {
                 stall.park_if_requested();
             }
             self.apply_commands();
-            if self.shutdown {
+            if self.shutdown || self.poison.load(Ordering::Acquire) {
                 return;
+            }
+            if !self.active_mask.is_empty() {
+                fault::inject(&self.config.fault_plan, FaultSite::ScanWorker);
             }
             if self.active_mask.is_empty() {
                 // The operator is "always on" but idles cheaply when no query is
@@ -494,6 +524,12 @@ impl Preprocessor {
                     self.install_query(runtime, fact_predicate, snapshot, plan);
                     if let Some(ack) = ack {
                         let _ = ack.send(());
+                    }
+                }
+                Ok(ScanMessage::Command(PreprocessorCommand::Cancel { id })) => {
+                    let bit = id.index();
+                    if self.queries.get(bit).is_some_and(Option::is_some) {
+                        self.finalize_query(bit);
                     }
                 }
                 Ok(ScanMessage::Command(PreprocessorCommand::Shutdown)) => {
@@ -618,7 +654,7 @@ impl Preprocessor {
                 // Everything sent so far may still carry the query's bit: drain
                 // before the end-of-query control tuple so its aggregation operator
                 // neither misses tuples nor sees them twice.
-                drain_barrier(&self.in_flight, &self.counters);
+                drain_barrier(&self.in_flight, &self.counters, &self.poison);
                 let _ = self
                     .distributor_tx
                     .send(Message::Control(ControlTuple::QueryEnd(QueryId(
@@ -643,6 +679,18 @@ impl Preprocessor {
     // Scan processing
     // ------------------------------------------------------------------
 
+    /// Publishes the elapsed wall time of the pass that just wrapped so
+    /// admission can pre-shed queries whose deadline cannot survive one more
+    /// pass (the measured flavour of the paper's completion-time estimate).
+    fn record_pass_time(&mut self) {
+        let now = Instant::now();
+        if let Some(started) = self.pass_started.replace(now) {
+            self.counters
+                .last_pass_ns
+                .store((now - started).as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
     fn process_next_scan_batch(&mut self) {
         let mut scan_buffer = std::mem::take(&mut self.scan_buffer);
         let ScanKind::Row(scan) = &mut self.scan else {
@@ -652,6 +700,7 @@ impl Preprocessor {
         if scan_buffer.wrapped {
             SharedCounters::add(&self.counters.scan_passes, 1);
             SharedCounters::add(&self.worker_counters.segment_passes, 1);
+            self.record_pass_time();
         }
         if scan_buffer.is_empty() {
             // Empty fact table (or empty segment): nothing will ever complete the
@@ -839,6 +888,7 @@ impl Preprocessor {
         let mut match_bufs = std::mem::take(&mut cursor.match_bufs);
         let mut tail_rows = std::mem::take(&mut cursor.tail_buffer);
         let mut touched = std::mem::take(&mut cursor.touched_cols);
+        let mut group_state = std::mem::take(&mut cursor.group_state);
         let (start, end) = cursor.current_bounds();
         let mut position = cursor.position;
         let mut passes = cursor.passes;
@@ -867,6 +917,7 @@ impl Preprocessor {
                 // `ScanBatch::wrapped` accounting on the row path.
                 SharedCounters::add(&self.counters.scan_passes, 1);
                 SharedCounters::add(&self.worker_counters.segment_passes, 1);
+                self.record_pass_time();
             }
 
             // Query-start boundaries only ever coincide with chunk starts (the
@@ -926,6 +977,36 @@ impl Preprocessor {
             if position >= replica_len {
                 // Hybrid tail: rows appended after the replica was built are
                 // served from the live row store with the full per-row path.
+                tail_rows.clear();
+                table.read_range(position, chunk_len, &mut tail_rows);
+                self.emit_materialized_rows(&mut tail_rows);
+                let bytes = chunk_len as u64 * 8 * replica.schema().arity() as u64;
+                volume.record_scan(chunk_len as u64, bytes);
+                position = chunk_end;
+                break 'chunk;
+            }
+
+            // Checksum gate: verify each row group once before trusting its
+            // encoded columns or zone maps. A group that fails is quarantined
+            // for the life of this cursor and served from the live row store
+            // exactly like the hybrid tail — the replica is a frozen prefix of
+            // the row store, so the rows (and results) are identical, just
+            // slower. Chunks never cross a group edge, so the whole chunk
+            // shares one verdict.
+            let g = replica.group_of(position);
+            if group_state.get(g).copied() == Some(GROUP_UNVERIFIED) {
+                if replica.verify_group(g) {
+                    group_state[g] = GROUP_VERIFIED;
+                } else {
+                    group_state[g] = GROUP_QUARANTINED;
+                    volume.record_group_quarantined();
+                    eprintln!(
+                        "cjoin: columnar row group {g} failed its checksum; \
+                         serving its rows from the row store"
+                    );
+                }
+            }
+            if group_state.get(g).copied() == Some(GROUP_QUARANTINED) {
                 tail_rows.clear();
                 table.read_range(position, chunk_len, &mut tail_rows);
                 self.emit_materialized_rows(&mut tail_rows);
@@ -1146,6 +1227,7 @@ impl Preprocessor {
         cursor.match_bufs = match_bufs;
         cursor.tail_buffer = tail_rows;
         cursor.touched_cols = touched;
+        cursor.group_state = group_state;
     }
 
     /// Runs the full row-at-a-time path (visibility, special predicates,
@@ -1262,7 +1344,14 @@ impl Preprocessor {
 /// micro-sleeps capped at ~256 µs), recording the wait in `control_barriers` /
 /// `barrier_wait_ns`. Used by the classic Preprocessor before every end-of-query
 /// control tuple and by the [`ScanCoordinator`] while workers are stalled.
-pub(crate) fn drain_barrier(in_flight: &AtomicI64, counters: &SharedCounters) {
+///
+/// The barrier's termination argument assumes every downstream consumer is
+/// alive; a dead Stage or Distributor leaves the counter stuck above zero
+/// forever. `poison` is the supervisor's escape hatch: it is set (after every
+/// in-flight query outcome has been resolved with an error) before teardown, and
+/// the wait loop re-checks it so a poisoned barrier releases in bounded time
+/// instead of deadlocking the failure path.
+pub(crate) fn drain_barrier(in_flight: &AtomicI64, counters: &SharedCounters, poison: &AtomicBool) {
     SharedCounters::add(&counters.control_barriers, 1);
     if in_flight.load(Ordering::Acquire) <= 0 {
         return;
@@ -1270,6 +1359,11 @@ pub(crate) fn drain_barrier(in_flight: &AtomicI64, counters: &SharedCounters) {
     let started = Instant::now();
     let mut round = 0u32;
     while in_flight.load(Ordering::Acquire) > 0 {
+        if poison.load(Ordering::Acquire) {
+            // A role died; the counter may never drain. Exit — our caller's
+            // next loop iteration observes the poison flag and stops too.
+            break;
+        }
         if round < 64 {
             std::hint::spin_loop();
         } else if round < 96 {
@@ -1331,14 +1425,14 @@ impl ScanStall {
     /// Worker side: parks until released if a stall is requested; otherwise
     /// returns immediately.
     pub fn park_if_requested(&self) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         if !s.requested {
             return;
         }
         s.parked += 1;
         self.cv.notify_all();
         while s.requested && !s.shutdown {
-            s = self.cv.wait(s).unwrap();
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
         }
         s.parked -= 1;
         self.cv.notify_all();
@@ -1347,16 +1441,16 @@ impl ScanStall {
     /// Coordinator side: requests a stall and blocks until every worker is parked
     /// (or the gate is shut down).
     pub fn stall(&self) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         s.requested = true;
         while s.parked < self.workers && !s.shutdown {
-            s = self.cv.wait(s).unwrap();
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Coordinator side: releases a stall, resuming every parked worker.
     pub fn release(&self) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         s.requested = false;
         self.cv.notify_all();
     }
@@ -1364,10 +1458,18 @@ impl ScanStall {
     /// Permanently opens the gate (pipeline teardown): parked workers resume and
     /// no future stall blocks.
     pub fn shutdown(&self) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         s.shutdown = true;
         s.requested = false;
         self.cv.notify_all();
+    }
+
+    /// Locks the stall state, surviving poisoning: a panicking scan worker (the
+    /// supervised fault path) must not wedge the gate for everyone else — the
+    /// `StallState` fields stay consistent under any interleaving of the
+    /// protocol, so the poison carries no information here.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, StallState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -1398,6 +1500,8 @@ pub struct ScanCoordinator {
     in_flight: Arc<AtomicI64>,
     counters: Arc<SharedCounters>,
     stall: Arc<ScanStall>,
+    poison: Arc<AtomicBool>,
+    faults: Option<Arc<FaultPlan>>,
     pending: Vec<Option<PendingQuery>>,
     shutdown: bool,
 }
@@ -1420,9 +1524,24 @@ impl ScanCoordinator {
             in_flight,
             counters,
             stall,
+            poison: Arc::new(AtomicBool::new(false)),
+            faults: None,
             pending: (0..max_concurrency).map(|_| None).collect(),
             shutdown: false,
         }
+    }
+
+    /// Shares the supervisor's poison flag so the coordinator's drain barrier
+    /// releases when a downstream role dies.
+    pub fn with_poison(mut self, poison: Arc<AtomicBool>) -> Self {
+        self.poison = poison;
+        self
+    }
+
+    /// Attaches a fault-injection plan (supervision tests only).
+    pub fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Runs the coordinator loop until shutdown, then tears the workers down.
@@ -1442,7 +1561,24 @@ impl ScanCoordinator {
     }
 
     fn handle(&mut self, msg: ScanMessage) {
+        fault::inject(&self.faults, FaultSite::ScanCoordinator);
         match msg {
+            ScanMessage::Command(PreprocessorCommand::Cancel { id }) => {
+                // Relay to every worker; each retires the bit at its own next
+                // batch boundary and reports a SegmentPassDone, so cancellation
+                // completes through the ordinary end-of-pass machinery (stall +
+                // drain barrier + one end-of-query control tuple).
+                for tx in &self.worker_txs {
+                    if tx
+                        .send(ScanMessage::Command(PreprocessorCommand::Cancel { id }))
+                        .is_err()
+                    {
+                        self.shutdown = true;
+                        self.stall.shutdown();
+                        return;
+                    }
+                }
+            }
             ScanMessage::Command(PreprocessorCommand::Install {
                 runtime,
                 fact_predicate,
@@ -1587,7 +1723,15 @@ impl ScanCoordinator {
             }
         }
         self.stall.stall();
-        drain_barrier(&self.in_flight, &self.counters);
+        drain_barrier(&self.in_flight, &self.counters, &self.poison);
+        if self.poison.load(Ordering::Acquire) {
+            // The barrier was released by supervisor poison, not by a real
+            // drain: every affected query's outcome was already resolved with
+            // an error, so do not emit end-of-query tuples for a truncated scan.
+            self.shutdown = true;
+            self.stall.shutdown();
+            return;
+        }
         for bit in ready {
             let Some(pending) = self.pending[bit].take() else {
                 continue;
@@ -1637,6 +1781,7 @@ mod tests {
             slot_count: Arc::new(AtomicUsize::new(1)),
             counters: SharedCounters::new(),
             worker_counters: Arc::new(ScanWorkerCounters::default()),
+            poison: Arc::new(AtomicBool::new(false)),
             config: config.clone(),
             partition_scheme: None,
         }
@@ -1666,7 +1811,7 @@ mod tests {
         (pre, cmd_tx, stage_rx, dist_rx, in_flight)
     }
 
-    fn dummy_runtime(bit: u32) -> (Arc<QueryRuntime>, Receiver<cjoin_query::QueryResult>) {
+    fn dummy_runtime(bit: u32) -> (Arc<QueryRuntime>, Receiver<cjoin_query::QueryOutcome>) {
         // A minimal bound query against a catalog with a fact table only.
         let catalog = Catalog::new();
         let fact = Table::new(Schema::new(
@@ -1687,6 +1832,9 @@ mod tests {
                 bound: Arc::new(bound),
                 slot_map: vec![],
                 result_tx: tx,
+                resolved: AtomicBool::new(false),
+                cancelled: AtomicBool::new(false),
+                deadline_at: None,
                 admitted_at: Instant::now(),
                 progress: Arc::new(QueryProgress::new(0)),
             }),
@@ -1965,8 +2113,9 @@ mod tests {
     fn drain_barrier_records_wait_time() {
         let counters = SharedCounters::new();
         let in_flight = Arc::new(AtomicI64::new(0));
+        let poison = AtomicBool::new(false);
         // Fast path: nothing in flight, no wait recorded.
-        drain_barrier(&in_flight, &counters);
+        drain_barrier(&in_flight, &counters, &poison);
         assert_eq!(counters.control_barriers.load(Ordering::Relaxed), 1);
         assert_eq!(counters.barrier_wait_ns.load(Ordering::Relaxed), 0);
         // Slow path: a helper drains the counter after a delay.
@@ -1978,13 +2127,37 @@ mod tests {
                 in_flight.store(0, Ordering::Release);
             })
         };
-        drain_barrier(&in_flight, &counters);
+        drain_barrier(&in_flight, &counters, &poison);
         helper.join().unwrap();
         assert_eq!(counters.control_barriers.load(Ordering::Relaxed), 2);
         assert!(
             counters.barrier_wait_ns.load(Ordering::Relaxed) >= 1_000_000,
             "the ~5 ms wait is attributed to the barrier"
         );
+    }
+
+    #[test]
+    fn drain_barrier_releases_on_poison() {
+        let counters = SharedCounters::new();
+        let in_flight = Arc::new(AtomicI64::new(7));
+        let poison = Arc::new(AtomicBool::new(false));
+        // Nothing will ever drain the counter (the "dead Stage" case); only the
+        // poison flag can release the barrier.
+        let setter = {
+            let poison = Arc::clone(&poison);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                poison.store(true, Ordering::Release);
+            })
+        };
+        let started = Instant::now();
+        drain_barrier(&in_flight, &counters, &poison);
+        setter.join().unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "a poisoned barrier must release in bounded time"
+        );
+        assert_eq!(in_flight.load(Ordering::Acquire), 7, "nothing was drained");
     }
 
     #[test]
@@ -2167,6 +2340,7 @@ mod tests {
                 worker_counters: Arc::new(ScanWorkerCounters::default()),
                 config: config.clone(),
                 partition_scheme: None,
+                poison: Arc::new(AtomicBool::new(false)),
             };
             let mut worker = Preprocessor::segment_worker(
                 scan,

@@ -330,4 +330,27 @@ mod tests {
         let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
         assert_eq!(total, 400);
     }
+
+    /// Documents a channel property the engine's failure handling depends on:
+    /// messages already queued when the last receiver drops are RETAINED (kept
+    /// alive by the remaining sender handles), not destroyed. Anything owned by
+    /// a queued message — e.g. the ack sender inside an `Install` command —
+    /// therefore never drops just because its consumer died, so waiting on such
+    /// an ack must poll and probe (see `CjoinEngine::submit`) instead of
+    /// relying on a disconnect error that will never come.
+    #[test]
+    fn queued_messages_survive_receiver_drop() {
+        use crossbeam::channel::{unbounded, RecvTimeoutError};
+        struct Payload(#[allow(dead_code)] Sender<()>);
+        let (tx, rx) = unbounded::<Payload>();
+        let (ack_tx, ack_rx) = crossbeam::channel::bounded::<()>(1);
+        tx.send(Payload(ack_tx)).unwrap();
+        drop(rx);
+        // The queued payload (and the ack sender in it) is still alive: the ack
+        // receiver times out instead of observing a disconnect.
+        assert_eq!(
+            ack_rx.recv_timeout(Duration::from_millis(50)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
 }

@@ -40,6 +40,14 @@ pub struct SharedCounters {
     /// In-flight tuples reinitialised in place from a batch's spare pool
     /// (the zero-allocation steady-state path).
     pub tuples_recycled: AtomicU64,
+    /// Supervised pipeline roles that died (panicked) and were handled.
+    pub role_failures: AtomicU64,
+    /// Pipeline respawns performed by the supervisor after a role failure.
+    pub pipeline_restarts: AtomicU64,
+    /// Wall-clock nanoseconds of the most recently completed scan pass
+    /// (written with `store`, not `add`): the measured pass time admission uses
+    /// to pre-shed queries whose deadline cannot survive one more pass.
+    pub last_pass_ns: AtomicU64,
 }
 
 impl SharedCounters {
@@ -199,6 +207,9 @@ pub struct ColumnarScanStats {
     pub row_groups_skipped: u64,
     /// Rows whose bytes were never touched thanks to zone-map skipping.
     pub rows_predicate_skipped: u64,
+    /// Row groups quarantined by a failed checksum verification; their rows are
+    /// served from the row store instead (graceful degradation, not data loss).
+    pub groups_quarantined: u64,
     /// Predicate evaluations actually performed (one per run on RLE data).
     pub predicate_probes: u64,
     /// Rows those predicate evaluations covered; `predicate_rows /
@@ -277,6 +288,12 @@ pub struct PipelineStats {
     pub tuples_allocated: u64,
     /// In-flight tuples reinitialised in place from recycled spares.
     pub tuples_recycled: u64,
+    /// Supervised pipeline roles that died (panicked) and were handled by the
+    /// supervisor over the engine's lifetime.
+    pub role_failures: u64,
+    /// Pipeline respawns the supervisor performed after role failures (each
+    /// possibly degrading one configuration axis; see the engine docs).
+    pub pipeline_restarts: u64,
     /// Compressed columnar scan statistics (`None` unless the engine runs with
     /// `CjoinConfig::columnar_scan` enabled).
     pub columnar: Option<ColumnarScanStats>,
@@ -434,6 +451,8 @@ mod tests {
             pool_misses: 5,
             tuples_allocated: 100,
             tuples_recycled: 900,
+            role_failures: 0,
+            pipeline_restarts: 0,
             columnar: None,
         };
         assert!((stats.survival_rate() - 0.25).abs() < 1e-12);

@@ -11,13 +11,14 @@
 //! reordered relative to data tuples (§3.3.3); see
 //! [`Pipeline`](crate::pipeline::Pipeline) for how that ordering is enforced.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::channel::Sender;
 
 use cjoin_common::{QueryId, QuerySet};
-use cjoin_query::{BoundStarQuery, QueryResult};
+use cjoin_query::{BoundStarQuery, QueryOutcome};
 use cjoin_storage::{Row, RowId};
 
 use crate::progress::QueryProgress;
@@ -293,12 +294,54 @@ pub struct QueryRuntime {
     /// `slot_map[k]` = dimension slot holding the row joined by the query's `k`-th
     /// dimension clause.
     pub slot_map: Vec<usize>,
-    /// Channel on which the Distributor delivers the final result.
-    pub result_tx: Sender<QueryResult>,
+    /// Channel on which the query's outcome is delivered — the Distributor's
+    /// result on success, or a typed [`cjoin_query::QueryError`] when the
+    /// supervisor fails the query, a deadline fires, or the client cancels.
+    pub result_tx: Sender<QueryOutcome>,
+    /// First-wins resolution latch: set by whichever of {Distributor/merger,
+    /// supervisor, deadline reaper, client cancel} gets there first. A late
+    /// Distributor result for an already-failed query is silently discarded.
+    pub resolved: AtomicBool,
+    /// Cooperative-cancellation flag: set together with a losing outcome so the
+    /// scan front-end can retire the query's bit early instead of finishing the
+    /// pass for a client that already went away.
+    pub cancelled: AtomicBool,
+    /// Absolute deadline derived from the query's relative deadline at
+    /// submission; the supervisor's reaper cancels the query once this passes.
+    pub deadline_at: Option<Instant>,
     /// When the query was admitted (start of Algorithm 1), for statistics.
     pub admitted_at: Instant,
     /// Progress tracker shared with the query's [`QueryHandle`](crate::engine::QueryHandle).
     pub progress: Arc<QueryProgress>,
+}
+
+impl QueryRuntime {
+    /// Delivers `outcome` to the waiting [`QueryHandle`](crate::engine::QueryHandle)
+    /// if nobody resolved the query yet. Returns whether this call won the race;
+    /// losers' outcomes are dropped, which is what keeps result delivery
+    /// exactly-once when the Distributor, the supervisor and the deadline reaper
+    /// all race to finish the same query.
+    pub fn resolve(&self, outcome: QueryOutcome) -> bool {
+        if self.resolved.swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        // The handle holds a bounded(1) receiver; a dropped receiver (client
+        // went away) makes this a no-op, never an error.
+        let _ = self.result_tx.send(outcome);
+        true
+    }
+
+    /// Whether the query has been cancelled (deadline, client cancel, or
+    /// supervisor failure) and the scan may retire its bit early.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Marks the query cancelled. Idempotent; callers still need to deliver an
+    /// outcome via [`QueryRuntime::resolve`].
+    pub fn mark_cancelled(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
 }
 
 /// A lifecycle event travelling from the Preprocessor to the Distributor.

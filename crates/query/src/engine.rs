@@ -23,37 +23,120 @@
 //! [`JoinEngine::stats`] reports the engine-independent [`EngineStats`] counters
 //! the harness uses for sanity checks and throughput accounting.
 
-use cjoin_common::Result;
+use std::fmt;
+use std::time::Duration;
+
+use cjoin_common::{Error, Result};
 
 use crate::result::QueryResult;
 use crate::star::StarQuery;
 
+/// Why an admitted query failed to deliver a result.
+///
+/// Distinguishing these outcomes is what makes supervision honest: a client
+/// waiting on a ticket learns whether its query died with a pipeline role
+/// ([`QueryError::StageFailed`]), ran out of time ([`QueryError::DeadlineExceeded`]),
+/// was cancelled, or was shed at admission because its deadline was already
+/// unreachable given the scan's current position and pass time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// A pipeline role (scan worker, filter stage, distributor shard, ...)
+    /// died while the query was in flight. The engine degrades and stays
+    /// serviceable, but this query's partial state was discarded.
+    StageFailed {
+        /// Display name of the role that failed (e.g. `distributor-shard-1`).
+        role: String,
+        /// Panic payload or disconnect detail, best effort.
+        detail: String,
+    },
+    /// The query's deadline passed before it completed; it was cancelled
+    /// mid-scan and its partial state released.
+    DeadlineExceeded {
+        /// The deadline the query was submitted with.
+        deadline: Duration,
+    },
+    /// The query was cancelled by the client before completion.
+    Cancelled,
+    /// Admission control refused the query outright: its estimated completion
+    /// time (current scan position + last pass time) already exceeded its
+    /// deadline, so running it would only waste shared-scan work.
+    ShedAtAdmission {
+        /// The unreachable deadline.
+        deadline: Duration,
+        /// The admission-time completion estimate that exceeded it.
+        estimated: Duration,
+    },
+    /// Any other engine failure (binding, admission, shutdown, ...).
+    Engine(Error),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::StageFailed { role, detail } => {
+                write!(f, "pipeline role '{role}' failed while query in flight: {detail}")
+            }
+            QueryError::DeadlineExceeded { deadline } => {
+                write!(f, "query exceeded its deadline of {deadline:?} and was cancelled")
+            }
+            QueryError::Cancelled => write!(f, "query was cancelled"),
+            QueryError::ShedAtAdmission {
+                deadline,
+                estimated,
+            } => write!(
+                f,
+                "query shed at admission: estimated completion {estimated:?} exceeds deadline {deadline:?}"
+            ),
+            QueryError::Engine(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<Error> for QueryError {
+    fn from(e: Error) -> Self {
+        QueryError::Engine(e)
+    }
+}
+
+impl From<QueryError> for Error {
+    fn from(e: QueryError) -> Self {
+        match e {
+            QueryError::Engine(inner) => inner,
+            other => Error::invalid_state(other.to_string()),
+        }
+    }
+}
+
+/// Outcome of waiting on a [`QueryTicket`]: the result, or a typed failure.
+pub type QueryOutcome = std::result::Result<QueryResult, QueryError>;
+
 /// Completion handle for one submitted query.
 ///
 /// Tickets are single-use: [`QueryTicket::wait`] consumes the ticket and yields
-/// the query's result (or the engine's failure).
+/// the query's result (or the engine's typed failure).
 pub trait QueryTicket: Send {
-    /// Blocks until the query completes and returns its result.
+    /// Blocks until the query completes and returns its outcome.
     ///
-    /// # Errors
-    /// Fails if the engine shut down (or otherwise failed) before the query
-    /// completed.
-    fn wait(self: Box<Self>) -> Result<QueryResult>;
+    /// Never hangs on a failed pipeline: supervision resolves every in-flight
+    /// ticket with [`QueryError::StageFailed`] when a role dies.
+    fn wait(self: Box<Self>) -> QueryOutcome;
 }
 
 /// A ticket whose result was already computed at submission time, used by
 /// engines that evaluate synchronously (e.g. the query-at-a-time baseline).
-pub struct ReadyTicket(Result<QueryResult>);
+pub struct ReadyTicket(QueryOutcome);
 
 impl ReadyTicket {
     /// Wraps an already-computed outcome.
-    pub fn new(outcome: Result<QueryResult>) -> Self {
+    pub fn new(outcome: QueryOutcome) -> Self {
         Self(outcome)
     }
 }
 
 impl QueryTicket for ReadyTicket {
-    fn wait(self: Box<Self>) -> Result<QueryResult> {
+    fn wait(self: Box<Self>) -> QueryOutcome {
         self.0
     }
 }
@@ -91,9 +174,11 @@ pub trait JoinEngine: Send + Sync {
     /// Convenience: submits `query` and blocks until its result is available.
     ///
     /// # Errors
-    /// Propagates submission and wait errors.
+    /// Propagates submission and wait errors (typed [`QueryError`] outcomes are
+    /// flattened into [`cjoin_common::Error`] here; callers that care about the
+    /// distinction should use [`JoinEngine::submit`] + [`QueryTicket::wait`]).
     fn execute(&self, query: &StarQuery) -> Result<QueryResult> {
-        self.submit(query.clone())?.wait()
+        self.submit(query.clone())?.wait().map_err(Error::from)
     }
 
     /// Engine-independent execution counters.
@@ -107,15 +192,42 @@ pub trait JoinEngine: Send + Sync {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cjoin_common::Error;
 
     #[test]
     fn ready_ticket_returns_its_outcome() {
         let ok: Box<dyn QueryTicket> = Box::new(ReadyTicket::new(Ok(QueryResult::default())));
         assert!(ok.wait().is_ok());
-        let err: Box<dyn QueryTicket> =
-            Box::new(ReadyTicket::new(Err(Error::invalid_state("boom"))));
+        let err: Box<dyn QueryTicket> = Box::new(ReadyTicket::new(Err(QueryError::Engine(
+            Error::invalid_state("boom"),
+        ))));
         assert!(err.wait().is_err());
+    }
+
+    #[test]
+    fn query_error_round_trips_through_common_error() {
+        let e = QueryError::StageFailed {
+            role: "distributor-shard-1".into(),
+            detail: "injected panic".into(),
+        };
+        let common: Error = e.clone().into();
+        assert!(common.to_string().contains("distributor-shard-1"));
+        let engine = QueryError::Engine(Error::invalid_state("boom"));
+        let common: Error = engine.into();
+        assert!(common.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn deadline_errors_render_their_budgets() {
+        let e = QueryError::ShedAtAdmission {
+            deadline: Duration::from_millis(5),
+            estimated: Duration::from_millis(40),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("5ms") && msg.contains("40ms"), "{msg}");
+        let e = QueryError::DeadlineExceeded {
+            deadline: Duration::from_millis(7),
+        };
+        assert!(e.to_string().contains("7ms"));
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod result;
 pub mod star;
 
 pub use aggregate::{AggFunc, AggValue, GroupedAggregator};
-pub use engine::{EngineStats, JoinEngine, QueryTicket, ReadyTicket};
+pub use engine::{EngineStats, JoinEngine, QueryError, QueryOutcome, QueryTicket, ReadyTicket};
 pub use expr::{BoundPredicate, CompareOp, Predicate};
 pub use result::QueryResult;
 pub use star::{

@@ -118,6 +118,12 @@ pub struct StarQuery {
     pub aggregates: Vec<AggregateSpec>,
     /// Snapshot the query reads; `None` means "latest at admission time".
     pub snapshot: Option<SnapshotId>,
+    /// Completion deadline, measured from submission. `None` means no deadline.
+    ///
+    /// Engines with predictable completion times (CJOIN) may pre-shed the query
+    /// at admission when the deadline is already unreachable, and cancel it
+    /// mid-scan once the deadline passes.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl StarQuery {
@@ -229,6 +235,7 @@ pub struct StarQueryBuilder {
     group_by: Vec<ColumnRef>,
     aggregates: Vec<AggregateSpec>,
     snapshot: Option<SnapshotId>,
+    deadline: Option<std::time::Duration>,
 }
 
 impl StarQueryBuilder {
@@ -240,6 +247,7 @@ impl StarQueryBuilder {
             group_by: Vec::new(),
             aggregates: Vec::new(),
             snapshot: None,
+            deadline: None,
         }
     }
 
@@ -284,6 +292,12 @@ impl StarQueryBuilder {
         self
     }
 
+    /// Sets a completion deadline, measured from submission.
+    pub fn deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Finishes the query.
     pub fn build(self) -> StarQuery {
         StarQuery {
@@ -293,6 +307,7 @@ impl StarQueryBuilder {
             group_by: self.group_by,
             aggregates: self.aggregates,
             snapshot: self.snapshot,
+            deadline: self.deadline,
         }
     }
 }

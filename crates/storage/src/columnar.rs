@@ -102,6 +102,21 @@ enum ColumnData {
     },
 }
 
+/// FNV-1a over the decoded values of rows `[start, start + len)`, row-major
+/// across all columns. Decoding through [`ColumnData::value`] (rather than
+/// hashing the encoded bytes) means a corrupted run length, dictionary code or
+/// packed frame changes the checksum exactly when it changes what a scan would
+/// observe.
+fn group_checksum(columns: &[ColumnData], start: usize, len: usize) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for row in start..start + len {
+        for column in columns {
+            hash = column.fold_value(row, hash);
+        }
+    }
+    hash
+}
+
 fn is_null(nulls: &Option<Vec<bool>>, row: usize) -> bool {
     nulls
         .as_ref()
@@ -146,6 +161,33 @@ impl ColumnData {
             ColumnData::IntDelta(v) => v.encoded_bytes(),
             ColumnData::Str { codes, nulls } => codes.encoded_bytes() + null_bitmap_bytes(nulls),
         }
+    }
+
+    /// Folds `value` into an FNV-1a state with a type tag, so `Int(0)`, `Null`
+    /// and `Str("")` hash differently.
+    fn fold_value(&self, row: usize, mut hash: u64) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut feed = |byte: u8| {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        };
+        match self.value(row) {
+            Value::Null => feed(0),
+            Value::Int(v) => {
+                feed(1);
+                for b in v.to_le_bytes() {
+                    feed(b);
+                }
+            }
+            Value::Str(s) => {
+                feed(2);
+                for b in s.as_bytes() {
+                    feed(*b);
+                }
+                feed(0xff);
+            }
+        }
+        hash
     }
 
     /// Heap footprint of the same data in the row-store representation.
@@ -236,6 +278,11 @@ pub struct RowGroup {
     /// Whether every stored row in the group is visible at every snapshot, in
     /// which case the scan can skip per-row visibility checks.
     pub all_always_visible: bool,
+    /// FNV-1a checksum over the group's decoded values (all columns, row-major),
+    /// computed at build time. [`ColumnarTable::verify_group`] recomputes it so a
+    /// scan can detect a corrupted group before trusting its zone maps, and fall
+    /// back to the row store for just that group.
+    pub checksum: u64,
 }
 
 /// A borrowed view of one integer column's encoded representation.
@@ -465,6 +512,7 @@ impl ColumnarTable {
                 len: group_len as u64,
                 zones,
                 all_always_visible,
+                checksum: group_checksum(&columns, start, group_len),
             });
         }
 
@@ -573,6 +621,43 @@ impl ColumnarTable {
     /// Index of the row group containing row position `row`.
     pub fn group_of(&self, row: u64) -> usize {
         (row / self.group_rows as u64) as usize
+    }
+
+    /// Recomputes group `g`'s checksum over the decoded values and compares it
+    /// with the checksum stored at build time. `false` means the group's encoded
+    /// data (or its stored checksum) was corrupted after the build and its zone
+    /// maps must not be trusted; callers should serve the group from the row
+    /// store instead. Out-of-range groups verify trivially.
+    pub fn verify_group(&self, g: usize) -> bool {
+        let Some(group) = self.groups.get(g) else {
+            return true;
+        };
+        group_checksum(&self.columns, group.start as usize, group.len as usize) == group.checksum
+    }
+
+    /// Test hook: corrupts group `g` in place so [`ColumnarTable::verify_group`]
+    /// fails for it. Flips a stored value when the group has a plain-encoded
+    /// integer column, otherwise flips the stored checksum. Returns `false` when
+    /// `g` is out of range or empty.
+    #[doc(hidden)]
+    pub fn corrupt_group(&mut self, g: usize) -> bool {
+        let Some(group) = self.groups.get(g) else {
+            return false;
+        };
+        if group.len == 0 {
+            return false;
+        }
+        let row = group.start as usize;
+        for column in &mut self.columns {
+            if let ColumnData::IntPlain { values, .. } = column {
+                if let Some(v) = values.get_mut(row) {
+                    *v ^= 0x55aa;
+                    return true;
+                }
+            }
+        }
+        self.groups[g].checksum ^= 0x55aa;
+        true
     }
 
     /// A borrowed view of `column`'s encoded representation, for kernels that
@@ -684,6 +769,7 @@ pub struct ScanVolume {
     rows_predicate_skipped: AtomicU64,
     predicate_probes: AtomicU64,
     predicate_rows: AtomicU64,
+    groups_quarantined: AtomicU64,
     column_bytes: Vec<AtomicU64>,
 }
 
@@ -733,6 +819,13 @@ impl ScanVolume {
         self.predicate_rows.load(Ordering::Relaxed)
     }
 
+    /// Row groups that failed checksum verification and were served from the
+    /// row store instead (each corrupt group is counted once per scan front-end
+    /// that discovers it).
+    pub fn groups_quarantined(&self) -> u64 {
+        self.groups_quarantined.load(Ordering::Relaxed)
+    }
+
     /// Snapshot of the per-column bytes touched (empty unless built via
     /// [`ScanVolume::with_columns`]).
     pub fn column_bytes(&self) -> Vec<u64> {
@@ -750,6 +843,7 @@ impl ScanVolume {
         self.rows_predicate_skipped.store(0, Ordering::Relaxed);
         self.predicate_probes.store(0, Ordering::Relaxed);
         self.predicate_rows.store(0, Ordering::Relaxed);
+        self.groups_quarantined.store(0, Ordering::Relaxed);
         for c in &self.column_bytes {
             c.store(0, Ordering::Relaxed);
         }
@@ -780,6 +874,11 @@ impl ScanVolume {
     pub fn record_predicate(&self, probes: u64, rows: u64) {
         self.predicate_probes.fetch_add(probes, Ordering::Relaxed);
         self.predicate_rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Records one row group quarantined after failing checksum verification.
+    pub fn record_group_quarantined(&self) {
+        self.groups_quarantined.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -934,6 +1033,47 @@ mod tests {
             }
             assert!(columnar.row(200).is_none());
             assert!(columnar.value(200, 0).is_none());
+        }
+    }
+
+    #[test]
+    fn checksums_detect_a_bit_flipped_group() {
+        let table = source_table(200);
+        for policy in [CompressionPolicy::Plain, CompressionPolicy::Adaptive] {
+            let mut columnar =
+                ColumnarTable::from_table_with_row_groups(&table, policy, 64).unwrap();
+            let groups = columnar.row_groups().len();
+            assert_eq!(groups, 4);
+            for g in 0..groups {
+                assert!(columnar.verify_group(g), "{policy:?} group {g} pristine");
+            }
+            // Past-the-end groups verify trivially rather than panicking.
+            assert!(columnar.verify_group(groups));
+            assert!(columnar.corrupt_group(2), "{policy:?}");
+            assert!(
+                !columnar.verify_group(2),
+                "{policy:?} bit flip must fail verification"
+            );
+            for g in [0, 1, 3] {
+                assert!(columnar.verify_group(g), "{policy:?} group {g} untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn group_checksums_are_value_determined() {
+        // Plain and adaptive encodings store the same values, so their group
+        // checksums must agree: the hash covers decoded values, not encodings.
+        let table = source_table(200);
+        let plain = ColumnarTable::from_table(&table, CompressionPolicy::Plain).unwrap();
+        let adaptive = ColumnarTable::from_table(&table, CompressionPolicy::Adaptive).unwrap();
+        for (g, (p, a)) in plain
+            .row_groups()
+            .iter()
+            .zip(adaptive.row_groups())
+            .enumerate()
+        {
+            assert_eq!(p.checksum, a.checksum, "group {g}");
         }
     }
 

@@ -76,7 +76,7 @@ fn sustained_query_churn_with_interleaved_updates_stays_correct() {
                 std::thread::sleep(Duration::from_micros(100));
             }
             let result = match polled_result {
-                Some(r) => r,
+                Some(outcome) => outcome.unwrap(),
                 None => handle.wait().unwrap(),
             };
             assert!(progress.is_completed());

@@ -1,0 +1,356 @@
+//! Deterministic fault-injection matrix for the pipeline supervisor.
+//!
+//! Every test here attacks the same invariant from a different angle: **no
+//! client ticket ever hangs**. A panic in any pipeline role must resolve every
+//! affected in-flight query with a typed [`QueryError::StageFailed`] (or let it
+//! complete correctly if the role died after the query's answer was sealed),
+//! the engine must degrade the failed axis and keep serving fresh queries, and
+//! quiescing afterwards must leave no batch accounting residue.
+//!
+//! The matrix crosses every [`FaultSite`] with the parallelism axes that change
+//! which threads exist ({scan_workers 1,4} x {distributor_shards 1,4} x
+//! {columnar on,off}). Sites that do not exist under a given configuration
+//! (e.g. `ShardRouter` with a single distributor shard) simply never fire; the
+//! queries then must resolve `Ok` and match the oracle, which the harness
+//! asserts rather than skips.
+
+use std::time::{Duration, Instant};
+
+use std::sync::Arc;
+
+use cjoin_repro::cjoin::fault::{FaultPlan, FaultSite};
+use cjoin_repro::cjoin::{CjoinConfig, CjoinEngine, QueryHandle};
+use cjoin_repro::query::{reference, QueryError, QueryOutcome, QueryResult};
+use cjoin_repro::ssb::{SsbConfig, SsbDataSet, Workload, WorkloadConfig};
+use cjoin_repro::{SnapshotId, StarQuery};
+
+/// Generous bound on how long a ticket may take to resolve. The point is not
+/// latency: it is that resolution is *bounded* even when the role serving the
+/// query died. A hang shows up as a test failure here instead of a CI timeout.
+const RESOLVE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Polls a ticket to resolution without ever blocking unboundedly.
+fn wait_bounded(handle: &QueryHandle, what: &str) -> QueryOutcome {
+    let start = Instant::now();
+    loop {
+        if let Some(outcome) = handle.try_result() {
+            return outcome;
+        }
+        assert!(
+            start.elapsed() < RESOLVE_TIMEOUT,
+            "{what}: ticket did not resolve within {RESOLVE_TIMEOUT:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Waits (bounded) until the pipeline's batch accounting drains to zero.
+fn assert_quiesces(engine: &CjoinEngine, what: &str) {
+    let start = Instant::now();
+    loop {
+        let stats = engine.stats();
+        if stats.batches_in_flight == 0 {
+            return;
+        }
+        assert!(
+            start.elapsed() < RESOLVE_TIMEOUT,
+            "{what}: batches_in_flight stuck at {} after {RESOLVE_TIMEOUT:?}",
+            stats.batches_in_flight
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Submits a query, retrying while the supervisor is mid-restart (a submit in
+/// that window is refused with a typed error, never hung). Bounded like every
+/// other wait in this file.
+fn submit_with_retry(engine: &CjoinEngine, query: &StarQuery, what: &str) -> QueryHandle {
+    let start = Instant::now();
+    loop {
+        match engine.submit(query.clone()) {
+            Ok(handle) => return handle,
+            Err(err) => assert!(
+                start.elapsed() < RESOLVE_TIMEOUT,
+                "{what}: submit kept failing: {err}"
+            ),
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn test_data() -> SsbDataSet {
+    SsbDataSet::generate(SsbConfig::for_tests(0.001, 701))
+}
+
+fn test_queries(data: &SsbDataSet, seed: u64) -> Vec<StarQuery> {
+    Workload::generate(data, WorkloadConfig::new(4, 0.05, seed))
+        .queries()
+        .to_vec()
+}
+
+fn assert_matches_oracle(result: &QueryResult, expected: &QueryResult, what: &str) {
+    assert!(
+        result.approx_eq(expected),
+        "{what}: result diverged from oracle: {:?}",
+        result.diff(expected)
+    );
+}
+
+/// The tentpole matrix: a one-shot panic at every fault site, across the
+/// parallelism configurations that change which threads exist. For every cell:
+/// all in-flight tickets resolve in bounded time, `Ok` results match the
+/// oracle, the engine serves a fresh correct query afterwards, and the pipeline
+/// quiesces with `batches_in_flight == 0`.
+#[test]
+fn panic_at_every_site_never_hangs_a_ticket_and_engine_recovers() {
+    let data = test_data();
+    let catalog = data.catalog();
+    let queries = test_queries(&data, 11);
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|q| reference::evaluate(&catalog, q, SnapshotId::INITIAL).unwrap())
+        .collect();
+    let fresh_query = test_queries(&data, 12).remove(0);
+    let fresh_expected = reference::evaluate(&catalog, &fresh_query, SnapshotId::INITIAL).unwrap();
+
+    let mut seed = 0u64;
+    for site in FaultSite::ALL {
+        for scan_workers in [1usize, 4] {
+            for distributor_shards in [1usize, 4] {
+                for columnar in [false, true] {
+                    seed += 1;
+                    let what = format!(
+                        "site={site:?} scan_workers={scan_workers} \
+                         shards={distributor_shards} columnar={columnar}"
+                    );
+                    // `panic_at_event(site, 3)` lets the role survive engine
+                    // start and the first few batches, so the panic lands while
+                    // queries are genuinely in flight rather than during spawn.
+                    let plan = FaultPlan::seeded(seed).panic_at_event(site, 3).build();
+                    let config = CjoinConfig::default()
+                        .with_worker_threads(2)
+                        .with_max_concurrency(16)
+                        .with_batch_size(128)
+                        .with_scan_workers(scan_workers)
+                        .with_distributor_shards(distributor_shards)
+                        .with_columnar_scan(columnar)
+                        .with_fault_plan(plan);
+                    let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+
+                    // A submit that lands in the restart window is refused
+                    // with a typed error — that is the contract (never a
+                    // hang), so the harness counts it as a failed admission.
+                    let mut failed = 0usize;
+                    let mut handles = Vec::new();
+                    for (i, q) in queries.iter().enumerate() {
+                        match engine.submit(q.clone()) {
+                            Ok(handle) => handles.push((i, handle)),
+                            Err(_) => failed += 1,
+                        }
+                    }
+
+                    for (i, handle) in &handles {
+                        let i = *i;
+                        match wait_bounded(handle, &what) {
+                            Ok(result) => {
+                                assert_matches_oracle(&result, &expected[i], &what);
+                            }
+                            Err(QueryError::StageFailed { role, detail }) => {
+                                assert!(
+                                    !role.is_empty() && !detail.is_empty(),
+                                    "{what}: empty failure diagnostics"
+                                );
+                                failed += 1;
+                            }
+                            Err(other) => panic!("{what}: unexpected error {other}"),
+                        }
+                    }
+
+                    // If any query was failed, the supervisor must record the
+                    // role death and restart the pipeline. Tickets resolve
+                    // *before* the respawn completes, so poll bounded.
+                    if failed > 0 {
+                        let start = Instant::now();
+                        loop {
+                            let stats = engine.stats();
+                            if stats.role_failures >= 1 && stats.pipeline_restarts >= 1 {
+                                break;
+                            }
+                            assert!(
+                                start.elapsed() < RESOLVE_TIMEOUT,
+                                "{what}: {failed} failed tickets but no recorded \
+                                 role failure + restart"
+                            );
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    }
+
+                    // The engine must stay serviceable after the fault: a fresh
+                    // query on the (possibly degraded) pipeline is still exact.
+                    // If the one-shot fault only reaches its trigger event now
+                    // (e.g. the merger's per-query merge counter), this very
+                    // query absorbs it — the fault latch guarantees the retry
+                    // runs on a clean pipeline.
+                    let fresh_start = Instant::now();
+                    let fresh = loop {
+                        let outcome = wait_bounded(
+                            &submit_with_retry(&engine, &fresh_query, &what),
+                            &format!("{what} (post-failure query)"),
+                        );
+                        match outcome {
+                            Ok(result) => break result,
+                            Err(QueryError::StageFailed { .. }) => assert!(
+                                fresh_start.elapsed() < RESOLVE_TIMEOUT,
+                                "{what}: post-failure query kept failing"
+                            ),
+                            Err(other) => {
+                                panic!("{what}: post-failure query failed: {other}")
+                            }
+                        }
+                    };
+                    assert_matches_oracle(&fresh, &fresh_expected, &format!("{what} (fresh)"));
+
+                    assert_quiesces(&engine, &what);
+                    engine.shutdown();
+                }
+            }
+        }
+    }
+}
+
+/// Regression for the pre-supervision hang: a ticket whose filter Stage dies
+/// mid-query must resolve with `Err(StageFailed)` in bounded time instead of
+/// blocking `wait()` forever on a result channel nobody will ever write to.
+#[test]
+fn dead_stage_resolves_ticket_with_stage_failed_in_bounded_time() {
+    let data = test_data();
+    let catalog = data.catalog();
+    let query = test_queries(&data, 21).remove(0);
+
+    // Slow the scan slightly so the query is reliably still in flight when the
+    // Stage worker panics, then kill the Stage on its first processed batch.
+    let plan = FaultPlan::seeded(7)
+        .delay(FaultSite::ScanWorker, 500)
+        .panic_at_event(FaultSite::StageWorker, 2)
+        .build();
+    let config = CjoinConfig::default()
+        .with_worker_threads(2)
+        .with_max_concurrency(8)
+        .with_batch_size(128)
+        .with_fault_plan(plan);
+    let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+
+    let start = Instant::now();
+    let outcome = wait_bounded(&engine.submit(query).unwrap(), "dead-stage ticket");
+    let elapsed = start.elapsed();
+    match outcome {
+        Err(QueryError::StageFailed { .. }) => {}
+        other => panic!("expected StageFailed, got {other:?}"),
+    }
+    assert!(
+        elapsed < RESOLVE_TIMEOUT,
+        "StageFailed took {elapsed:?} to surface"
+    );
+
+    // The degradation ladder must collapse the Stage axis. The ticket is
+    // resolved *before* the supervisor finishes the restart (so clients never
+    // wait on the respawn), hence the bounded poll here.
+    let start = Instant::now();
+    while engine.degradations().is_empty() {
+        assert!(
+            start.elapsed() < RESOLVE_TIMEOUT,
+            "stage death never recorded a degradation step"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // The engine must still answer queries on the degraded layout.
+    let probe = test_queries(&data, 22).remove(0);
+    let expected = reference::evaluate(&catalog, &probe, SnapshotId::INITIAL).unwrap();
+    let result = wait_bounded(
+        &submit_with_retry(&engine, &probe, "post-degradation probe"),
+        "post-degradation probe",
+    )
+    .unwrap();
+    assert_matches_oracle(&result, &expected, "post-degradation probe");
+    engine.shutdown();
+}
+
+/// A query with an impossible deadline is reaped mid-scan with
+/// `DeadlineExceeded`, while a concurrent unconstrained query sharing the same
+/// scan pass stays bit-identical to the reference answer: cancellation releases
+/// the victim's partial state without perturbing its neighbours.
+#[test]
+fn deadline_reap_leaves_concurrent_query_untouched() {
+    let data = test_data();
+    let catalog = data.catalog();
+    let mut queries = test_queries(&data, 31);
+    let mut victim = queries.remove(0);
+    victim.deadline = Some(Duration::from_millis(30));
+    let survivor = queries.remove(0);
+    let expected = reference::evaluate(&catalog, &survivor, SnapshotId::INITIAL).unwrap();
+
+    // Per-batch scan delay stretches the pass well past the victim's deadline
+    // while keeping total runtime bounded for the survivor.
+    let plan = FaultPlan::seeded(3)
+        .delay(FaultSite::ScanWorker, 2_000)
+        .build();
+    let config = CjoinConfig::default()
+        .with_worker_threads(2)
+        .with_max_concurrency(8)
+        .with_batch_size(256)
+        .with_fault_plan(plan);
+    let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+
+    let victim_handle = engine.submit(victim).unwrap();
+    let survivor_handle = engine.submit(survivor).unwrap();
+
+    match wait_bounded(&victim_handle, "deadline victim") {
+        Err(QueryError::DeadlineExceeded { deadline }) => {
+            assert_eq!(deadline, Duration::from_millis(30));
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    let result = wait_bounded(&survivor_handle, "deadline survivor").unwrap();
+    assert_matches_oracle(&result, &expected, "survivor next to reaped query");
+    engine.shutdown();
+}
+
+/// A corrupted columnar row group is detected by its checksum on first decode,
+/// quarantined, and served from the row store instead: the scan result stays
+/// oracle-exact and the quarantine is visible in the stats.
+#[test]
+fn corrupt_row_group_is_quarantined_and_answers_stay_exact() {
+    let data = test_data();
+    let catalog = data.catalog();
+    let queries = test_queries(&data, 41);
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|q| reference::evaluate(&catalog, q, SnapshotId::INITIAL).unwrap())
+        .collect();
+
+    let plan = FaultPlan::seeded(5).corrupt_row_group(0).build();
+    let config = CjoinConfig::default()
+        .with_worker_threads(2)
+        .with_max_concurrency(8)
+        .with_batch_size(256)
+        .with_columnar_scan(true)
+        .with_fault_plan(plan);
+    let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+
+    for (i, query) in queries.iter().enumerate() {
+        let result = wait_bounded(
+            &engine.submit(query.clone()).unwrap(),
+            "corrupt-group query",
+        )
+        .unwrap();
+        assert_matches_oracle(&result, &expected[i], "corrupt-group query");
+    }
+
+    let stats = engine.stats();
+    let columnar = stats.columnar.expect("columnar stats present");
+    assert!(
+        columnar.groups_quarantined >= 1,
+        "corrupted group was never quarantined"
+    );
+    engine.shutdown();
+}
