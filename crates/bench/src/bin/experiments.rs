@@ -9,7 +9,7 @@
 //!   --threads <usize>      CJOIN worker threads          (default 4)
 //!   --concurrency <list>   comma-separated n values      (default 1,32,64,128,256)
 //!   --markdown             print Markdown tables instead of plain text
-//!   --out <path>           output path for bench-json    (default BENCH_PR7.json)
+//!   --out <path>           output path for bench-json    (default BENCH_PR8.json)
 //! ```
 //!
 //! `bench-json` runs the filter hot-path ablation (batched vs. per-tuple probing),
@@ -21,7 +21,9 @@
 //! clustered date-range probe reporting bytes/row, zone-map skip rate and the
 //! per-run probe ratio) and the supervision A/B (`supervision` ∈ {off, on} on
 //! the fault-free path, proving the panic-isolation scaffolding costs < 2%
-//! qph) on fixed fig5/fig8-style workloads and writes a
+//! qph) and the serving A/B (the same closed loop driven in-process vs through
+//! `RemoteEngine` → TCP → `cjoin-server`, measuring what the front door costs
+//! in qph and p99 response) on fixed fig5/fig8-style workloads and writes a
 //! machine-readable baseline for the perf trajectory of future PRs. The host's
 //! available parallelism is recorded alongside: segment scan workers trade
 //! extra CPU for wall-clock, so their speedup only materialises where spare
@@ -39,9 +41,10 @@ use cjoin_bench::experiments::{
 };
 use cjoin_bench::hotpath::{
     columnar_range_probe, end_to_end_ab, end_to_end_columnar, end_to_end_scan_workers,
-    end_to_end_sharding, end_to_end_supervision, EndToEndReport, ProbeAblationParams, ProbeHarness,
+    end_to_end_served, end_to_end_sharding, end_to_end_supervision, EndToEndReport,
+    ProbeAblationParams, ProbeHarness,
 };
-use cjoin_bench::{JsonObject, Table};
+use cjoin_bench::{JsonObject, RunReport, Table};
 use cjoin_common::Result;
 
 struct Options {
@@ -58,7 +61,7 @@ fn parse_args() -> std::result::Result<Options, String> {
     let mut params = ExperimentParams::default();
     let mut concurrency = vec![1, 32, 64, 128, 256];
     let mut markdown = false;
-    let mut out = "BENCH_PR7.json".to_string();
+    let mut out = "BENCH_PR8.json".to_string();
 
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -108,6 +111,20 @@ fn parse_args() -> std::result::Result<Options, String> {
         markdown,
         out,
     })
+}
+
+/// 99th-percentile response time of a closed-loop run, in milliseconds.
+fn p99_response_ms(report: &RunReport) -> f64 {
+    let mut samples: Vec<f64> = report
+        .timings
+        .iter()
+        .map(|t| t.response_time.as_secs_f64() * 1e3)
+        .collect();
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[((samples.len() - 1) as f64 * 0.99).round() as usize]
 }
 
 /// Runs the hot-path ablation and writes the machine-readable perf baseline.
@@ -224,6 +241,33 @@ fn run_bench_json(options: &Options) -> Result<()> {
         .field_obj("supervision_on", render(&sup_on))
         .field_f64("qph_overhead_fraction", sup_overhead);
 
+    // Serving A/B: the same closed loop in-process vs through the TCP front
+    // door (RemoteEngine → cjoin-server), quantifying what framing,
+    // per-connection threads, and admission bookkeeping cost.
+    eprintln!("# serving A/B (fig5-style closed loop, in-process vs TCP)");
+    let (in_process, served) = end_to_end_served(&e2e, concurrency)?;
+    let serving_overhead = 1.0 - served.throughput_qph() / in_process.throughput_qph();
+    eprintln!(
+        "  in-process: {:.0} q/h p99 {:.3} ms, served: {:.0} q/h p99 {:.3} ms, \
+         overhead {:.2}%",
+        in_process.throughput_qph(),
+        p99_response_ms(&in_process),
+        served.throughput_qph(),
+        p99_response_ms(&served),
+        100.0 * serving_overhead
+    );
+    let render_run = |r: &RunReport| {
+        JsonObject::new()
+            .field_f64("throughput_qph", r.throughput_qph())
+            .field_f64("mean_response_ms", r.mean_response().as_secs_f64() * 1e3)
+            .field_f64("p99_response_ms", p99_response_ms(r))
+            .field_u64("queries", r.timings.len() as u64)
+    };
+    let serving = JsonObject::new()
+        .field_obj("in_process", render_run(&in_process))
+        .field_obj("served", render_run(&served))
+        .field_f64("qph_overhead_fraction", serving_overhead);
+
     let probe = columnar_range_probe(&e2e)?;
     eprintln!(
         "  clustered probe: {:.1} of {:.1} bytes/row ({:.1}% of the row store), \
@@ -252,7 +296,7 @@ fn run_bench_json(options: &Options) -> Result<()> {
         .map(|n| n.get() as u64)
         .unwrap_or(1);
     let json = JsonObject::new()
-        .field_str("artifact", "BENCH_PR7")
+        .field_str("artifact", "BENCH_PR8")
         .field_str(
             "description",
             "Filter hot path A/B (CjoinConfig::batched_probing) + sharded aggregation \
@@ -261,7 +305,9 @@ fn run_bench_json(options: &Options) -> Result<()> {
              compressed columnar scan A/B (CjoinConfig::columnar_scan: encoded \
              predicates, zone-map skipping, late materialization) + pipeline \
              supervision A/B (CjoinConfig::supervision: catch_unwind isolation, \
-             supervisor/reaper thread, runtimes registry on the fault-free path)",
+             supervisor/reaper thread, runtimes registry on the fault-free path) + \
+             serving A/B (in-process vs RemoteEngine -> TCP -> cjoin-server: wire \
+             framing, per-connection threads, multi-tenant admission)",
         )
         .field_u64("host_cpus", host_cpus)
         .field_obj(
@@ -293,6 +339,7 @@ fn run_bench_json(options: &Options) -> Result<()> {
         .field_obj("columnar_scan", columnar_sweep)
         .field_obj("columnar_probe", columnar_probe)
         .field_obj("supervision", supervision)
+        .field_obj("serving", serving)
         .render();
     std::fs::write(&options.out, &json)
         .map_err(|e| cjoin_common::Error::invalid_state(format!("write {}: {e}", options.out)))?;

@@ -29,6 +29,10 @@
 //!   reports the byte-level scan volume, zone-map skip rate and per-run probe
 //!   ratio (the `abl_columnar_scan` ablation and the `BENCH_PR6.json`
 //!   baseline).
+//! * [`end_to_end_served`] — the same closed loop driven once in-process and
+//!   once through the full socket path (`RemoteEngine` → TCP → `CjoinServer`)
+//!   over an identically configured engine, measuring what the serving layer
+//!   costs (the `BENCH_PR8.json` baseline).
 //!
 //! Everything is seeded and deterministic (a splitmix64 stream) so runs are
 //! reproducible.
@@ -36,16 +40,20 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cjoin_client::RemoteEngine;
 use cjoin_common::{splitmix64, QueryId, QuerySet, Result};
 use cjoin_core::dimension::DimensionTable;
 use cjoin_core::filter::FilterChain;
 use cjoin_core::stats::ColumnarScanStats;
 use cjoin_core::tuple::{Batch, InFlightTuple};
 use cjoin_core::{CjoinConfig, CjoinEngine};
-use cjoin_query::{AggFunc, AggregateSpec, ColumnRef, Predicate, StarQuery};
+use cjoin_query::wire::AdmissionPolicy;
+use cjoin_query::{AggFunc, AggregateSpec, ColumnRef, JoinEngine, Predicate, StarQuery};
+use cjoin_server::{CjoinServer, ServerConfig};
 use cjoin_ssb::{SsbConfig, SsbDataSet, Workload, WorkloadConfig};
 use cjoin_storage::{Row, RowId, Value};
 
+use crate::driver::{run_closed_loop, RunReport};
 use crate::experiments::ExperimentParams;
 
 /// Uniform draw in `[0, 1)` from the shared [`splitmix64`] stream.
@@ -338,6 +346,50 @@ pub fn end_to_end_supervision(
 ) -> Result<EndToEndReport> {
     let config = base_config(params, concurrency).with_supervision(supervision);
     end_to_end_with_config(params, concurrency, config)
+}
+
+/// Runs the same fig5-style closed-loop workload twice — once in-process
+/// against a [`CjoinEngine`], once through the full socket path
+/// (`RemoteEngine` → TCP → `CjoinServer`) over a second, identically
+/// configured engine — and returns `(in_process, served)` reports. Both runs
+/// go through the engine-agnostic [`run_closed_loop`] driver, so the only
+/// difference between them is the serving layer: framing, per-connection
+/// threads, and multi-tenant admission bookkeeping.
+///
+/// # Errors
+/// Propagates engine, server, and transport errors.
+pub fn end_to_end_served(
+    params: &ExperimentParams,
+    concurrency: usize,
+) -> Result<(RunReport, RunReport)> {
+    let data = params.data();
+    let catalog = data.catalog();
+    let workload = Workload::generate(
+        &data,
+        WorkloadConfig::new(
+            concurrency * params.queries_per_level_factor,
+            params.selectivity,
+            params.seed ^ 0x5E,
+        ),
+    );
+    let config = base_config(params, concurrency);
+
+    let engine = CjoinEngine::start(Arc::clone(&catalog), config.clone())?;
+    let in_process = run_closed_loop(&engine, workload.queries(), concurrency)?;
+    engine.shutdown();
+
+    let engine: Arc<dyn JoinEngine> = Arc::new(CjoinEngine::start(catalog, config)?);
+    let server = CjoinServer::start(
+        engine,
+        ServerConfig::default().with_tenant_inflight_cap((concurrency * 2).max(8)),
+    )?;
+    let client = RemoteEngine::connect(server.local_addr())?
+        .with_tenant("bench")
+        .with_policy(AdmissionPolicy::Queue);
+    let served = run_closed_loop(&client, workload.queries(), concurrency)?;
+    server.shutdown();
+
+    Ok((in_process, served))
 }
 
 /// The scan volume of a clustered date-range probe workload, with the context

@@ -76,7 +76,9 @@ use crate::dimension::DimensionTable;
 use crate::distributor::{Distributor, ShardMerger, ShardRouter};
 use crate::filter::FilterChain;
 use crate::optimizer::reorder_filters;
-use crate::pipeline::{run_stage_worker, spawn_supervised, RoleFailure, RoleKind, StagePlan};
+use crate::pipeline::{
+    run_stage_worker, spawn_supervised, RoleFailure, RoleKind, StagePlan, SupervisorEvent,
+};
 use crate::pool::BatchPool;
 use crate::preprocessor::{
     PartitionPlan, Preprocessor, PreprocessorCommand, PreprocessorContext, ScanCoordinator,
@@ -264,7 +266,7 @@ struct EngineShared {
     /// respawn failed, in which case submissions report the engine down).
     core: Mutex<Option<PipelineCore>>,
     shutdown_flag: Arc<AtomicBool>,
-    failure_tx: Sender<RoleFailure>,
+    failure_tx: Sender<SupervisorEvent>,
     /// Human-readable log of degradations the supervisor applied.
     degradations: Mutex<Vec<String>>,
 }
@@ -723,6 +725,42 @@ impl CjoinEngine {
         self.shared.degradations.lock().clone()
     }
 
+    /// The completion-time quote admission sheds deadlines against: measured
+    /// submit→install latency (EWMA) plus one full scan cycle at the scan's
+    /// current rate. `None` until a first pass completes (nothing measured yet
+    /// — deadline queries are then admitted optimistically).
+    ///
+    /// The cycle term prefers the *live* in-pass rate — rows covered and busy
+    /// time accumulated in the current pass, extrapolated to the full cycle —
+    /// once the pass has covered enough rows for the sample to mean something;
+    /// otherwise it falls back to the last completed pass's busy time. Both
+    /// clocks count only busy scan time, so an engine that idled mid-pass
+    /// quotes its true scan cost instead of the idle-inflated wall time that
+    /// used to over-shed, and the install EWMA term covers the submit→install
+    /// backlog that used to cause under-shedding.
+    pub fn quote_eta(&self) -> Option<Duration> {
+        let c = &self.shared.counters;
+        let last_pass_ns = c.last_pass_ns.load(Ordering::Relaxed);
+        let cycle_rows = c.cycle_rows.load(Ordering::Relaxed);
+        let live_rows = c.pass_rows.load(Ordering::Relaxed);
+        let live_busy_ns = c.pass_busy_ns.load(Ordering::Relaxed);
+        // A live sample is trustworthy once it covers a quarter of the cycle
+        // (and at least a batch or two, so a fresh pass doesn't extrapolate
+        // from noise).
+        let live_is_meaningful =
+            cycle_rows > 0 && live_busy_ns > 0 && live_rows >= (cycle_rows / 4).max(128);
+        let cycle_ns = if live_is_meaningful {
+            (live_busy_ns as u128 * cycle_rows as u128 / live_rows as u128) as u64
+        } else {
+            last_pass_ns
+        };
+        if cycle_ns == 0 {
+            return None;
+        }
+        let install_ns = c.install_ns_ewma.load(Ordering::Relaxed);
+        Some(Duration::from_nanos(install_ns.saturating_add(cycle_ns)))
+    }
+
     /// Registers a star query with the always-on pipeline (Algorithm 1) and returns a
     /// handle to wait for its result.
     ///
@@ -742,28 +780,32 @@ impl CjoinEngine {
             .unwrap_or_else(|| self.shared.catalog.snapshots().current());
 
         // ---- Deadline admission control ----------------------------------------
-        // A fresh query must wait for at least one full scan pass, so if the
-        // last observed pass already took longer than the query's deadline,
+        // A fresh query must wait for at least one full scan cycle, so if the
+        // quoted completion estimate already exceeds the query's deadline,
         // admitting it would only burn shared-scan work on a result nobody can
-        // use in time: shed it now, without touching any pipeline state.
+        // use in time: shed it now, without touching any pipeline state. The
+        // quote comes from `quote_eta` — install-latency EWMA plus one cycle at
+        // the scan's *current measured rate* — not the raw last full-pass wall
+        // time, which over-shed after idle periods and under-shed under
+        // install backlog.
         if let Some(deadline) = query.deadline {
-            let last_pass =
-                Duration::from_nanos(self.shared.counters.last_pass_ns.load(Ordering::Relaxed));
-            if !last_pass.is_zero() && last_pass > deadline {
-                let (result_tx, result_rx) = bounded(1);
-                let _ = result_tx.send(Err(QueryError::ShedAtAdmission {
-                    deadline,
-                    estimated: last_pass,
-                }));
-                return Ok(QueryHandle {
-                    id: QueryId(u32::MAX),
-                    name: query.name,
-                    result_rx,
-                    submitted_at,
-                    submission_time: submitted_at.elapsed(),
-                    progress: Arc::new(QueryProgress::new(0)),
-                    cancel: None,
-                });
+            if let Some(estimated) = self.quote_eta() {
+                if estimated > deadline {
+                    let (result_tx, result_rx) = bounded(1);
+                    let _ = result_tx.send(Err(QueryError::ShedAtAdmission {
+                        deadline,
+                        estimated,
+                    }));
+                    return Ok(QueryHandle {
+                        id: QueryId(u32::MAX),
+                        name: query.name,
+                        result_rx,
+                        submitted_at,
+                        submission_time: submitted_at.elapsed(),
+                        progress: Arc::new(QueryProgress::new(0)),
+                        cancel: None,
+                    });
+                }
             }
         }
 
@@ -975,6 +1017,28 @@ impl CjoinEngine {
         // returned handle resolves with the supervisor's typed error.
         let submission_time = submitted_at.elapsed();
 
+        // Fold this submit→install latency into the EWMA (α = 1/8) the
+        // deadline quote charges for admission overhead.
+        let install_ns = submission_time.as_nanos() as u64;
+        let ewma = &self.shared.counters.install_ns_ewma;
+        let prev = ewma.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            install_ns
+        } else {
+            prev - prev / 8 + install_ns / 8
+        };
+        ewma.store(next, Ordering::Relaxed);
+
+        if self.shared.supervision && runtime.deadline_at.is_some() {
+            // Nudge the supervisor so the reaper tracks the fresh deadline
+            // promptly; its bounded reap interval means a stream of these can
+            // never starve reaping.
+            let _ = self
+                .shared
+                .failure_tx
+                .send(SupervisorEvent::DeadlineAdmitted);
+        }
+
         Ok(QueryHandle {
             id,
             name: query.name,
@@ -1139,6 +1203,10 @@ impl cjoin_query::QueryTicket for QueryHandle {
     fn wait(self: Box<Self>) -> QueryOutcome {
         QueryHandle::wait(*self)
     }
+
+    fn cancel(&self) {
+        QueryHandle::cancel(self);
+    }
 }
 
 impl cjoin_query::JoinEngine for CjoinEngine {
@@ -1159,6 +1227,10 @@ impl cjoin_query::JoinEngine for CjoinEngine {
             active_queries: stats.active_queries,
             fact_tuples_scanned: stats.tuples_scanned,
         }
+    }
+
+    fn quote_eta(&self) -> Option<Duration> {
+        CjoinEngine::quote_eta(self)
     }
 
     fn shutdown(&self) {
@@ -1215,17 +1287,36 @@ fn cleanup_query(id: QueryId, chain: &Arc<FilterChain>, admission: &Arc<Mutex<Ad
     let _ = admission.allocator.release(id);
 }
 
-/// The supervisor thread body: reacts to role deaths with
-/// [`handle_failure`] and runs the deadline reaper on every idle tick.
-fn run_supervisor(shared: Arc<EngineShared>, failure_rx: Receiver<RoleFailure>) {
+/// The supervisor thread body: reacts to role deaths with [`handle_failure`]
+/// and runs the deadline reaper at a *bounded* interval.
+///
+/// The bound is the fix for reaper starvation: the loop used to reap only on
+/// the `recv_timeout` Timeout arm, so every received event reset the 10ms
+/// window and a sustained event stream (admission nudges, failure cascades)
+/// could postpone reaping indefinitely while overdue queries sat unresolved.
+/// Now `next_reap` is an absolute deadline — events shorten the wait but never
+/// push the reap back, so no channel traffic pattern can delay it beyond one
+/// tick.
+fn run_supervisor(shared: Arc<EngineShared>, failure_rx: Receiver<SupervisorEvent>) {
     const TICK: Duration = Duration::from_millis(10);
+    let mut next_reap = Instant::now() + TICK;
     loop {
         if shared.shutdown_flag.load(Ordering::Acquire) {
             return;
         }
-        match failure_rx.recv_timeout(TICK) {
-            Ok(failure) => handle_failure(&shared, failure, &failure_rx),
-            Err(RecvTimeoutError::Timeout) => reap_deadlines(&shared),
+        let now = Instant::now();
+        if now >= next_reap {
+            reap_deadlines(&shared);
+            next_reap = now + TICK;
+        }
+        let wait = next_reap.saturating_duration_since(Instant::now());
+        match failure_rx.recv_timeout(wait) {
+            Ok(SupervisorEvent::Failure(failure)) => handle_failure(&shared, failure, &failure_rx),
+            // A deadline query was admitted: nothing to do beyond waking up —
+            // the bounded reap above picks the fresh deadline up within one
+            // tick even if nudges keep streaming in.
+            Ok(SupervisorEvent::DeadlineAdmitted) => {}
+            Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return,
         }
     }
@@ -1242,7 +1333,7 @@ fn run_supervisor(shared: Arc<EngineShared>, failure_rx: Receiver<RoleFailure>) 
 fn handle_failure(
     shared: &Arc<EngineShared>,
     failure: RoleFailure,
-    failure_rx: &Receiver<RoleFailure>,
+    failure_rx: &Receiver<SupervisorEvent>,
 ) {
     shared
         .counters
@@ -1276,23 +1367,29 @@ fn handle_failure(
 
     // Collapse a cascade (several roles dying around the same incident, e.g.
     // injected panics on both a scan worker and a shard) into one restart.
+    // Benign admission nudges drained alongside are simply dropped — the
+    // bounded reap in `run_supervisor` covers any deadline they announced.
     let mut roles = vec![failure.role];
     while let Ok(extra) = failure_rx.try_recv() {
-        shared
-            .counters
-            .role_failures
-            .fetch_add(1, Ordering::Relaxed);
-        roles.push(extra.role);
+        if let SupervisorEvent::Failure(extra) = extra {
+            shared
+                .counters
+                .role_failures
+                .fetch_add(1, Ordering::Relaxed);
+            roles.push(extra.role);
+        }
     }
     if let Some(core) = core {
         teardown_core(core, true);
     }
     while let Ok(extra) = failure_rx.try_recv() {
-        shared
-            .counters
-            .role_failures
-            .fetch_add(1, Ordering::Relaxed);
-        roles.push(extra.role);
+        if let SupervisorEvent::Failure(extra) = extra {
+            shared
+                .counters
+                .role_failures
+                .fetch_add(1, Ordering::Relaxed);
+            roles.push(extra.role);
+        }
     }
 
     if shared.shutdown_flag.load(Ordering::Acquire) {
@@ -1952,6 +2049,100 @@ mod tests {
         assert!(
             started.elapsed() < Duration::from_secs(5),
             "reaper should not wait for the pass to finish"
+        );
+        engine.shutdown();
+    }
+
+    /// Regression test for reaper starvation: the supervisor used to reap only
+    /// on the `recv_timeout` *Timeout* arm, so any event stream with
+    /// inter-arrival under the 10ms tick postponed reaping indefinitely — an
+    /// overdue query would quietly run to completion instead of being
+    /// reaped. With the bounded inter-reap interval, the flood below cannot
+    /// starve the reaper and the overdue query resolves to DeadlineExceeded.
+    #[test]
+    fn reaper_fires_under_sustained_supervisor_channel_traffic() {
+        use crate::fault::{FaultPlan, FaultSite};
+        let catalog = small_catalog(20_000);
+        let config = test_config().with_fault_plan(
+            FaultPlan::seeded(1)
+                .delay(FaultSite::ScanWorker, 2_000)
+                .build(),
+        );
+        let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+
+        // Flood the supervisor's channel with benign events far faster than
+        // its reap tick, for the whole lifetime of the overdue query.
+        let flood_tx = engine.shared.failure_tx.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flooder = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    let _ = flood_tx.send(SupervisorEvent::DeadlineAdmitted);
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+        };
+
+        let slow = StarQuery::builder("slow_under_flood")
+            .join_dimension("color", "colorkey", "k", Predicate::eq("name", "red"))
+            .aggregate(AggregateSpec::count_star())
+            .deadline(Duration::from_millis(40))
+            .build();
+        let started = Instant::now();
+        let handle = engine.submit(slow).unwrap();
+        let outcome = handle.wait();
+        stop.store(true, Ordering::Release);
+        flooder.join().unwrap();
+
+        match outcome {
+            Err(QueryError::DeadlineExceeded { deadline }) => {
+                assert_eq!(deadline, Duration::from_millis(40));
+            }
+            other => panic!("expected DeadlineExceeded despite channel flood, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "reaper must fire at its bounded interval even under channel traffic"
+        );
+        engine.shutdown();
+    }
+
+    /// Regression test for ETA-quote drift: the pre-shed used to compare the
+    /// raw wall-clock last-pass time against the deadline, so a pass that
+    /// straddled an idle period (engine idle between queries, scan halted,
+    /// clock running) inflated the estimate and over-shed perfectly feasible
+    /// queries. The busy-only quote stays honest: a deadline of quote + ε is
+    /// admitted and completes.
+    #[test]
+    fn idle_time_does_not_inflate_the_deadline_quote() {
+        let catalog = small_catalog(300);
+        let engine = CjoinEngine::start(Arc::clone(&catalog), test_config()).unwrap();
+        // Complete a query, idle well past the deadline below, then complete
+        // another: the pass that finishes the second query straddles the idle
+        // gap, which a wall-clock pass timer would charge to the estimate.
+        engine.execute(red_sum_query("warm")).unwrap();
+        std::thread::sleep(Duration::from_millis(400));
+        engine.execute(red_sum_query("across_the_gap")).unwrap();
+
+        let quote = engine.quote_eta().expect("completed passes give a quote");
+        assert!(
+            quote < Duration::from_millis(200),
+            "busy-only quote must not include the 400ms idle gap, got {quote:?}"
+        );
+
+        // Oracle: deadline ≈ quote + ε is admitted and completes — under the
+        // old wall-clock estimate (≥ 400ms) this deadline was shed.
+        let deadline = quote + Duration::from_millis(150);
+        let feasible = StarQuery::builder("feasible")
+            .join_dimension("color", "colorkey", "k", Predicate::eq("name", "red"))
+            .aggregate(AggregateSpec::count_star())
+            .deadline(deadline)
+            .build();
+        let outcome = engine.submit(feasible).unwrap().wait();
+        assert!(
+            outcome.is_ok(),
+            "deadline {deadline:?} over honest quote {quote:?} must complete, got {outcome:?}"
         );
         engine.shutdown();
     }

@@ -141,6 +141,23 @@ pub struct RoleFailure {
     pub detail: String,
 }
 
+/// An event on the supervisor's channel.
+///
+/// The channel carries more than failures so the supervisor loop is the one
+/// place that decides how to interleave recovery with housekeeping (the
+/// deadline reaper). Benign traffic must never be able to starve the reaper:
+/// the supervisor bounds its inter-reap interval regardless of how fast events
+/// arrive (see `engine::run_supervisor`).
+#[derive(Debug, Clone)]
+pub enum SupervisorEvent {
+    /// A supervised role died by panic; triggers resolve/teardown/respawn.
+    Failure(RoleFailure),
+    /// A query with a deadline was admitted. Purely a wake-up nudge so the
+    /// reaper notices fresh deadlines promptly; carries no payload and
+    /// requires no action beyond the loop's bounded reap.
+    DeadlineAdmitted,
+}
+
 /// Renders a panic payload for a [`RoleFailure`].
 pub fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -165,7 +182,7 @@ pub fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
 pub fn spawn_supervised(
     role: RoleKind,
     supervised: bool,
-    failure_tx: Sender<RoleFailure>,
+    failure_tx: Sender<SupervisorEvent>,
     f: impl FnOnce() + Send + 'static,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
@@ -180,7 +197,7 @@ pub fn spawn_supervised(
                     role,
                     detail: panic_detail(payload.as_ref()),
                 };
-                let _ = failure_tx.send(failure);
+                let _ = failure_tx.send(SupervisorEvent::Failure(failure));
             }
         })
         .expect("failed to spawn pipeline thread")

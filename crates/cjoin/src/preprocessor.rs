@@ -329,10 +329,15 @@ pub struct Preprocessor {
     config: CjoinConfig,
     partition_scheme: Option<(PartitionScheme, usize)>,
     role: Role,
-    /// When the current scan pass started; its elapsed time is published to
+    /// Busy time accumulated in the current scan pass, published to
     /// `SharedCounters::last_pass_ns` at each wrap, feeding admission's
-    /// deadline ETA (the paper's predictability, measured rather than modelled).
-    pass_started: Option<Instant>,
+    /// deadline ETA (the paper's predictability, measured rather than
+    /// modelled). Deliberately *busy-only*: idle sleeps between queries are
+    /// excluded, so a pass that straddled an idle period does not inflate the
+    /// next deadline quote into over-shedding.
+    pass_busy: Duration,
+    /// Rows covered so far in the current scan pass (reset at each wrap).
+    pass_rows_seen: u64,
 
     active_mask: QuerySet,
     queries: Vec<Option<ActiveQuery>>,
@@ -456,7 +461,8 @@ impl Preprocessor {
             config: ctx.config,
             partition_scheme: ctx.partition_scheme,
             role,
-            pass_started: None,
+            pass_busy: Duration::ZERO,
+            pass_rows_seen: 0,
             active_mask: QuerySet::new(max),
             queries: (0..max).map(|_| None).collect(),
             starts_at: BTreeMap::new(),
@@ -499,11 +505,37 @@ impl Preprocessor {
                 std::thread::sleep(Duration::from_micros(self.config.idle_sleep_us));
                 continue;
             }
+            let step_started = Instant::now();
             match self.scan {
                 ScanKind::Row(_) => self.process_next_scan_batch(),
                 ScanKind::Columnar(_) => self.process_next_columnar_chunk(),
             }
+            self.note_busy(step_started.elapsed());
         }
+    }
+
+    /// Accumulates one scan step's elapsed time into the busy pass clock and,
+    /// for the reporting worker, publishes the live in-pass progress counters
+    /// the admission ETA quote extrapolates from.
+    fn note_busy(&mut self, elapsed: Duration) {
+        self.pass_busy += elapsed;
+        if self.reports_pass_progress() {
+            self.counters
+                .pass_rows
+                .store(self.pass_rows_seen, Ordering::Relaxed);
+            self.counters
+                .pass_busy_ns
+                .store(self.pass_busy.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether this worker publishes the live `pass_rows` / `pass_busy_ns`
+    /// counters. Exactly one worker per pipeline does (the classic
+    /// Preprocessor, or segment worker 0 of a sharded front-end) so the
+    /// counters are a consistent single-segment sample rather than an
+    /// interleaving of workers racing `store`s.
+    fn reports_pass_progress(&self) -> bool {
+        matches!(self.role, Role::Classic | Role::Segment { segment: 0, .. })
     }
 
     // ------------------------------------------------------------------
@@ -679,15 +711,24 @@ impl Preprocessor {
     // Scan processing
     // ------------------------------------------------------------------
 
-    /// Publishes the elapsed wall time of the pass that just wrapped so
-    /// admission can pre-shed queries whose deadline cannot survive one more
-    /// pass (the measured flavour of the paper's completion-time estimate).
+    /// Publishes the *busy* time and row count of the pass that just wrapped
+    /// so admission can pre-shed queries whose deadline cannot survive one
+    /// more pass (the measured flavour of the paper's completion-time
+    /// estimate). Idle sleeps never enter `pass_busy` (see [`Self::note_busy`]),
+    /// so a pass that straddled an idle gap reports its true scan cost — the
+    /// fix for the over-shedding the wall-clock pass timer used to cause.
     fn record_pass_time(&mut self) {
-        let now = Instant::now();
-        if let Some(started) = self.pass_started.replace(now) {
+        let busy = std::mem::take(&mut self.pass_busy);
+        let rows = std::mem::take(&mut self.pass_rows_seen);
+        if rows > 0 {
             self.counters
                 .last_pass_ns
-                .store((now - started).as_nanos() as u64, Ordering::Relaxed);
+                .store(busy.as_nanos() as u64, Ordering::Relaxed);
+            self.counters.cycle_rows.store(rows, Ordering::Relaxed);
+        }
+        if self.reports_pass_progress() {
+            self.counters.pass_rows.store(0, Ordering::Relaxed);
+            self.counters.pass_busy_ns.store(0, Ordering::Relaxed);
         }
     }
 
@@ -719,6 +760,7 @@ impl Preprocessor {
             &self.worker_counters.tuples_scanned,
             scan_buffer.len() as u64,
         );
+        self.pass_rows_seen += scan_buffer.len() as u64;
         // Every active query sees every scanned row exactly once per pass; the batch
         // length is therefore each query's progress increment (§3.2.3). With
         // segment workers the per-segment batches sum to the whole table, so the
@@ -968,6 +1010,7 @@ impl Preprocessor {
 
             SharedCounters::add(&self.counters.tuples_scanned, chunk_len as u64);
             SharedCounters::add(&self.worker_counters.tuples_scanned, chunk_len as u64);
+            self.pass_rows_seen += chunk_len as u64;
             for bit in self.active_mask.iter() {
                 if let Some(q) = &self.queries[bit] {
                     q.progress.advance(chunk_len as u64);

@@ -44,10 +44,28 @@ pub struct SharedCounters {
     pub role_failures: AtomicU64,
     /// Pipeline respawns performed by the supervisor after a role failure.
     pub pipeline_restarts: AtomicU64,
-    /// Wall-clock nanoseconds of the most recently completed scan pass
-    /// (written with `store`, not `add`): the measured pass time admission uses
-    /// to pre-shed queries whose deadline cannot survive one more pass.
+    /// *Busy* nanoseconds of the most recently completed scan pass (written
+    /// with `store`, not `add`): the measured pass time admission uses to
+    /// pre-shed queries whose deadline cannot survive one more pass. Busy-only
+    /// — the reporting scan worker excludes its idle sleeps, so an engine that
+    /// sat idle mid-pass does not inflate the next deadline quote.
     pub last_pass_ns: AtomicU64,
+    /// Rows the most recently completed scan pass covered (the reporting
+    /// worker's segment; the whole table on the classic path). Together with
+    /// a live in-pass rate this turns `last_pass_ns` into a rate-based cycle
+    /// estimate instead of a stale wall-clock sample.
+    pub cycle_rows: AtomicU64,
+    /// Rows the reporting scan worker has covered in the *current* pass so far
+    /// (reset to zero at each wrap; written with `store`).
+    pub pass_rows: AtomicU64,
+    /// Busy nanoseconds the reporting scan worker has accumulated in the
+    /// current pass so far (reset at each wrap; written with `store`).
+    pub pass_busy_ns: AtomicU64,
+    /// Exponentially weighted moving average (α = 1/8) of submit→install
+    /// latency in nanoseconds, updated after every successful admission. The
+    /// deadline quote adds this to the cycle estimate so install backlog no
+    /// longer causes under-shedding.
+    pub install_ns_ewma: AtomicU64,
 }
 
 impl SharedCounters {

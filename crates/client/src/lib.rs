@@ -1,0 +1,241 @@
+//! `cjoin-client` — the thin TCP client for `cjoin-server`.
+//!
+//! The one design decision that matters here: [`RemoteEngine`] implements
+//! [`JoinEngine`]. Everything written against `&dyn JoinEngine` — the
+//! correctness-oracle tests, the closed-loop benchmark driver, the examples —
+//! drives a *served* engine over the wire without changing a line, which is
+//! how the equivalence suite proves the socket path bit-identical to the
+//! in-process path.
+//!
+//! The transport is deliberately simple: one connection per submitted query.
+//! `submit` opens a connection, sends the submit frame, and keeps the
+//! connection inside the returned [`RemoteTicket`]; `wait` sends the wait
+//! frame on that same connection and blocks for the outcome (mirroring the
+//! server's connection-scoped tickets). Control requests (`stats`,
+//! `shutdown`) each use a short-lived connection.
+//!
+//! Admission identity travels with the engine handle: [`RemoteEngine::with_tenant`]
+//! names the tenant every submission is accounted against, and
+//! [`RemoteEngine::with_policy`] picks what the server does when that tenant is
+//! at its in-flight cap — shed immediately, or queue as backpressure.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+
+use cjoin_common::{Error, Result};
+use cjoin_query::wire::{read_frame, write_frame, AdmissionPolicy, Request, Response, ServerStats};
+use cjoin_query::{
+    EngineStats, JoinEngine, QueryError, QueryOutcome, QueryTicket, ReadyTicket, StarQuery,
+};
+
+fn io_error(context: &str, e: &io::Error) -> Error {
+    Error::invalid_state(format!("{context}: {e}"))
+}
+
+fn unexpected_response(context: &str, response: &Response) -> Error {
+    let what = match response {
+        Response::Submitted { .. } => "Submitted",
+        Response::Outcome(_) => "Outcome",
+        Response::Stats(_) => "Stats",
+        Response::Ack => "Ack",
+        Response::Protocol { .. } => "Protocol",
+    };
+    Error::invalid_state(format!("unexpected server response to {context}: {what}"))
+}
+
+/// A [`JoinEngine`] whose pipeline lives on the other side of a TCP socket.
+///
+/// ```no_run
+/// use cjoin_client::RemoteEngine;
+/// use cjoin_query::wire::AdmissionPolicy;
+/// use cjoin_query::JoinEngine;
+///
+/// let engine = RemoteEngine::connect("127.0.0.1:7878")
+///     .unwrap()
+///     .with_tenant("analytics")
+///     .with_policy(AdmissionPolicy::Queue);
+/// # let query: cjoin_query::StarQuery = unimplemented!();
+/// let result = engine.execute(&query).unwrap();
+/// ```
+pub struct RemoteEngine {
+    addr: SocketAddr,
+    tenant: String,
+    policy: AdmissionPolicy,
+    name: String,
+}
+
+impl RemoteEngine {
+    /// Connects to a `cjoin-server` at `addr`, verifying reachability with a
+    /// stats round trip. Defaults: tenant `"default"`, policy
+    /// [`AdmissionPolicy::Queue`], display name `"served"`.
+    ///
+    /// # Errors
+    /// Fails if the address does not resolve or the server does not answer.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| io_error("server address did not resolve", &e))?
+            .next()
+            .ok_or_else(|| Error::invalid_state("server address resolved to nothing"))?;
+        let engine = Self {
+            addr,
+            tenant: "default".to_string(),
+            policy: AdmissionPolicy::Queue,
+            name: "served".to_string(),
+        };
+        engine.server_stats()?;
+        Ok(engine)
+    }
+
+    /// Sets the tenant every subsequent submission is accounted against.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// Sets what the server does when this client's tenant is at its
+    /// in-flight cap.
+    #[must_use]
+    pub fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the display name reported by [`JoinEngine::name`] (used in
+    /// experiment tables).
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The server address this engine talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn open(&self) -> Result<TcpStream> {
+        let stream = TcpStream::connect(self.addr)
+            .map_err(|e| io_error("could not connect to cjoin-server", &e))?;
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+
+    fn read_response(stream: &mut TcpStream) -> Result<Response> {
+        match read_frame(stream).map_err(|e| io_error("reading server response failed", &e))? {
+            None => Err(Error::invalid_state(
+                "server closed the connection without answering",
+            )),
+            Some(payload) => Response::decode(&payload)
+                .map_err(|e| Error::invalid_state(format!("undecodable server response: {e}"))),
+        }
+    }
+
+    fn roundtrip(&self, request: &Request) -> Result<Response> {
+        let mut stream = self.open()?;
+        write_frame(&mut stream, &request.encode())
+            .map_err(|e| io_error("sending request failed", &e))?;
+        Self::read_response(&mut stream)
+    }
+
+    /// Fetches the full [`ServerStats`] (engine counters plus per-tenant
+    /// admission decisions).
+    ///
+    /// # Errors
+    /// Propagates transport failures and protocol errors.
+    pub fn server_stats(&self) -> Result<ServerStats> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Protocol { kind, message } => Err(Error::invalid_state(format!(
+                "server refused stats ({kind}): {message}"
+            ))),
+            other => Err(unexpected_response("stats", &other)),
+        }
+    }
+}
+
+impl JoinEngine for RemoteEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn submit(&self, query: StarQuery) -> Result<Box<dyn QueryTicket>> {
+        let mut stream = self.open()?;
+        let request = Request::Submit {
+            tenant: self.tenant.clone(),
+            policy: self.policy,
+            query: Box::new(query),
+        };
+        write_frame(&mut stream, &request.encode())
+            .map_err(|e| io_error("sending submit failed", &e))?;
+        match Self::read_response(&mut stream)? {
+            Response::Submitted { ticket } => Ok(Box::new(RemoteTicket { stream, ticket })),
+            // A shed or refused submission comes back as an immediate outcome;
+            // hand it to the caller as a pre-resolved ticket so the typed
+            // QueryError surfaces through wait(), exactly like in-process.
+            Response::Outcome(outcome) => Ok(Box::new(ReadyTicket::new(outcome))),
+            Response::Protocol { kind, message } => Err(Error::invalid_state(format!(
+                "server refused submit ({kind}): {message}"
+            ))),
+            other => Err(unexpected_response("submit", &other)),
+        }
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.server_stats().map(|s| s.engine).unwrap_or_default()
+    }
+
+    fn shutdown(&self) {
+        // Best effort: the server may already be gone, which is fine — the
+        // contract is idempotence.
+        let _ = self.roundtrip(&Request::Shutdown);
+    }
+}
+
+/// Completion handle for one remotely submitted query; owns the connection
+/// its ticket is scoped to.
+pub struct RemoteTicket {
+    stream: TcpStream,
+    ticket: u64,
+}
+
+impl QueryTicket for RemoteTicket {
+    fn wait(self: Box<Self>) -> QueryOutcome {
+        let ticket = self.ticket;
+        let mut stream = self.stream;
+        let response = (|| -> Result<Response> {
+            write_frame(&mut stream, &Request::Wait { ticket }.encode())
+                .map_err(|e| io_error("sending wait failed", &e))?;
+            RemoteEngine::read_response(&mut stream)
+        })();
+        match response {
+            Ok(Response::Outcome(outcome)) => outcome,
+            Ok(Response::Protocol { kind, message }) => Err(QueryError::Engine(
+                Error::invalid_state(format!("server refused wait ({kind}): {message}")),
+            )),
+            Ok(other) => Err(QueryError::Engine(unexpected_response("wait", &other))),
+            Err(e) => Err(QueryError::Engine(e)),
+        }
+    }
+
+    fn cancel(&self) {
+        // `&TcpStream` is `Read + Write`, so a shared borrow suffices here;
+        // wait() later reuses the same connection for the outcome.
+        let mut stream = &self.stream;
+        if write_frame(
+            &mut stream,
+            &Request::Cancel {
+                ticket: self.ticket,
+            }
+            .encode(),
+        )
+        .is_ok()
+        {
+            let _ = read_frame(&mut stream);
+        }
+    }
+}

@@ -122,6 +122,15 @@ pub trait QueryTicket: Send {
     /// Never hangs on a failed pipeline: supervision resolves every in-flight
     /// ticket with [`QueryError::StageFailed`] when a role dies.
     fn wait(self: Box<Self>) -> QueryOutcome;
+
+    /// Requests cancellation of the query behind this ticket, best effort.
+    ///
+    /// A subsequent [`QueryTicket::wait`] resolves promptly — with
+    /// [`QueryError::Cancelled`] if the cancel won, or with the query's real
+    /// outcome if it raced completion. Engines that evaluate synchronously
+    /// (the baseline's [`ReadyTicket`]) have nothing left to cancel, hence
+    /// the default no-op.
+    fn cancel(&self) {}
 }
 
 /// A ticket whose result was already computed at submission time, used by
@@ -183,6 +192,15 @@ pub trait JoinEngine: Send + Sync {
 
     /// Engine-independent execution counters.
     fn stats(&self) -> EngineStats;
+
+    /// The engine's current completion-time estimate for a freshly admitted
+    /// query: install latency plus one full scan cycle at the observed scan
+    /// rate. `None` when the engine has no estimate yet (no completed pass) or
+    /// does not model one (the baseline). Admission layers — CJOIN's own
+    /// pre-shed and the server front door — quote deadlines against this.
+    fn quote_eta(&self) -> Option<Duration> {
+        None
+    }
 
     /// Releases the engine's resources (threads, pipelines). Idempotent; after
     /// shutdown, [`JoinEngine::submit`] fails.

@@ -15,6 +15,8 @@
 //! * [`QueryResult`] — deterministic, comparable result sets.
 //! * [`JoinEngine`] — the submit/wait/shutdown/stats contract shared by every
 //!   engine in the workspace, so harnesses drive engines through `&dyn JoinEngine`.
+//! * [`wire`] — the length-prefixed binary encoding of queries, results and
+//!   typed outcomes spoken between `cjoin-client` and `cjoin-server`.
 //! * [`reference::evaluate`] — a deliberately simple single-threaded evaluator used
 //!   as the correctness oracle in tests.
 
@@ -27,6 +29,7 @@ pub mod expr;
 pub mod reference;
 pub mod result;
 pub mod star;
+pub mod wire;
 
 pub use aggregate::{AggFunc, AggValue, GroupedAggregator};
 pub use engine::{EngineStats, JoinEngine, QueryError, QueryOutcome, QueryTicket, ReadyTicket};

@@ -1,0 +1,683 @@
+//! `cjoin-server` — the TCP front door for a [`JoinEngine`].
+//!
+//! CJOIN's promise is an always-on operator that many clients share; this crate
+//! is the serving layer that makes the sharing literal. A [`CjoinServer`] wraps
+//! any engine behind the length-prefixed binary protocol defined in
+//! [`cjoin_query::wire`] (submit / wait / cancel / stats / shutdown) and adds
+//! the one policy the engine itself cannot own: **multi-tenant admission**.
+//!
+//! The design is deliberately small and dependency-free — a threaded
+//! `std::net` accept loop, one handler thread per connection, no async
+//! runtime:
+//!
+//! * **Connection-scoped tickets.** A `submit` answers with a ticket id that is
+//!   only meaningful on the connection that created it; `wait` consumes it
+//!   inline on the handler thread (mirroring [`QueryTicket::wait`]), and a
+//!   disconnect cancels and drains every un-waited ticket so engine-side state
+//!   never leaks.
+//! * **Per-tenant admission.** Each tenant has an in-flight cap. At the cap the
+//!   tenant's declared [`AdmissionPolicy`] decides: `Shed` answers immediately
+//!   with a typed refusal, `Queue` parks the submission in a bounded
+//!   backpressure queue (blocking that connection — the client *asked* to
+//!   wait) until capacity frees or the queue itself overflows.
+//! * **Honest deadline quotes.** A submission carrying a deadline is checked
+//!   against [`JoinEngine::quote_eta`] — install latency plus one full scan
+//!   cycle at the observed busy-scan rate. A submission that would have to
+//!   queue first is quoted double (one cycle bounds the slot wait, one runs the
+//!   query). Unreachable deadlines are shed at the door with
+//!   [`QueryError::ShedAtAdmission`] instead of burning shared-scan work.
+//! * **Typed protocol errors, never panics.** Malformed frames, unknown tags,
+//!   oversized lengths, and stale tickets all come back as
+//!   [`Response::Protocol`]; torn writes close the connection without taking
+//!   the server down.
+//!
+//! Shutdown is cooperative: handler threads poll a shutdown flag on a read
+//! timeout, the accept loop is unblocked with a loopback connect, and
+//! [`CjoinServer::shutdown`] joins every thread (and shuts the wrapped engine
+//! down) before returning, so tests can assert nothing leaked.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cjoin_common::{Error, Result};
+use cjoin_query::wire::{
+    write_frame, AdmissionPolicy, ProtocolErrorKind, Request, Response, ServerStats, TenantStats,
+    WireError, MAX_FRAME_LEN,
+};
+use cjoin_query::{JoinEngine, QueryError, QueryTicket, StarQuery};
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Tunables for the serving layer (the engine keeps its own config).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum queries a single tenant may have admitted-but-undelivered at
+    /// once. At the cap, the tenant's [`AdmissionPolicy`] decides between an
+    /// immediate shed and queued backpressure.
+    pub tenant_inflight_cap: usize,
+    /// Bound on a tenant's backpressure queue (submissions parked waiting for
+    /// an in-flight slot). A full queue sheds even under `Queue` policy.
+    pub tenant_queue_cap: usize,
+    /// How often blocked threads (idle connection reads, queued submitters)
+    /// wake to poll the shutdown flag. Bounds shutdown latency.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            tenant_inflight_cap: 4,
+            tenant_queue_cap: 8,
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the per-tenant in-flight cap.
+    #[must_use]
+    pub fn with_tenant_inflight_cap(mut self, cap: usize) -> Self {
+        self.tenant_inflight_cap = cap.max(1);
+        self
+    }
+
+    /// Sets the per-tenant backpressure queue bound.
+    #[must_use]
+    pub fn with_tenant_queue_cap(mut self, cap: usize) -> Self {
+        self.tenant_queue_cap = cap;
+        self
+    }
+
+    /// Sets the shutdown-flag polling interval.
+    #[must_use]
+    pub fn with_poll_interval(mut self, interval: Duration) -> Self {
+        self.poll_interval = interval.max(Duration::from_millis(1));
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared server state
+// ---------------------------------------------------------------------------
+
+/// Per-tenant admission bookkeeping (the wire-facing view is [`TenantStats`]).
+#[derive(Debug, Default)]
+struct TenantState {
+    /// Queries admitted and not yet delivered (or released by a disconnect).
+    in_flight: u64,
+    /// Submissions currently parked in the backpressure queue.
+    waiting: u64,
+    /// Lifetime counters, mirrored into [`TenantStats`].
+    admitted: u64,
+    completed: u64,
+    queued: u64,
+    shed_at_cap: u64,
+    shed_deadline: u64,
+}
+
+struct Shared {
+    engine: Arc<dyn JoinEngine>,
+    config: ServerConfig,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    tenants: Mutex<HashMap<String, TenantState>>,
+    /// Signalled whenever an in-flight slot frees or shutdown begins, waking
+    /// queued submitters.
+    capacity: Condvar,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    /// Locks the tenant table, shrugging off poisoning: admission bookkeeping
+    /// stays usable even if some handler thread died mid-update, which is
+    /// exactly the "server never goes down" contract the fuzz tests assert.
+    fn lock_tenants(&self) -> MutexGuard<'_, HashMap<String, TenantState>> {
+        self.tenants.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.capacity.notify_all();
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Runs the full admission decision for one submission. `Ok(())` means an
+    /// in-flight slot was consumed and the caller must pair it with
+    /// [`Shared::release`]; `Err` carries the response to send instead.
+    fn admit(
+        &self,
+        tenant: &str,
+        policy: AdmissionPolicy,
+        query: &StarQuery,
+    ) -> std::result::Result<(), Response> {
+        if self.shutting_down() {
+            return Err(shutting_down_response());
+        }
+        let cap = self.config.tenant_inflight_cap as u64;
+        let mut tenants = self.lock_tenants();
+        let state = tenants.entry(tenant.to_string()).or_default();
+
+        // Deadline-aware shed, before any capacity is consumed: quote the
+        // engine's honest ETA (install latency + one busy scan cycle). A
+        // submission that must queue first waits for a slot — bounded by
+        // roughly one more cycle, since every in-flight query completes within
+        // one full cycle of its install — so it is quoted double.
+        if let Some(deadline) = query.deadline {
+            if let Some(eta) = self.engine.quote_eta() {
+                let estimated = if state.in_flight >= cap {
+                    eta.saturating_mul(2)
+                } else {
+                    eta
+                };
+                if estimated > deadline {
+                    state.shed_deadline += 1;
+                    return Err(Response::Outcome(Err(QueryError::ShedAtAdmission {
+                        deadline,
+                        estimated,
+                    })));
+                }
+            }
+        }
+
+        if state.in_flight < cap {
+            state.in_flight += 1;
+            state.admitted += 1;
+            return Ok(());
+        }
+
+        match policy {
+            AdmissionPolicy::Shed => {
+                state.shed_at_cap += 1;
+                Err(Response::Outcome(Err(QueryError::Engine(
+                    Error::invalid_state(format!(
+                        "tenant '{tenant}' is at its in-flight cap of {cap} (policy: shed)"
+                    )),
+                ))))
+            }
+            AdmissionPolicy::Queue => {
+                if state.waiting >= self.config.tenant_queue_cap as u64 {
+                    state.shed_at_cap += 1;
+                    return Err(Response::Outcome(Err(QueryError::Engine(
+                        Error::invalid_state(format!(
+                            "tenant '{tenant}' backpressure queue is full \
+                             ({} submissions already waiting)",
+                            state.waiting
+                        )),
+                    ))));
+                }
+                state.waiting += 1;
+                state.queued += 1;
+                loop {
+                    let (guard, _) = self
+                        .capacity
+                        .wait_timeout(tenants, self.config.poll_interval)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    tenants = guard;
+                    let state = tenants
+                        .get_mut(tenant)
+                        .expect("tenant states are never removed");
+                    if self.shutting_down() {
+                        state.waiting -= 1;
+                        return Err(shutting_down_response());
+                    }
+                    if state.in_flight < cap {
+                        state.waiting -= 1;
+                        state.in_flight += 1;
+                        state.admitted += 1;
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns a tenant's in-flight slot; `delivered` marks whether the
+    /// outcome actually reached a client (vs. a disconnect drain).
+    fn release(&self, tenant: &str, delivered: bool) {
+        {
+            let mut tenants = self.lock_tenants();
+            if let Some(state) = tenants.get_mut(tenant) {
+                state.in_flight = state.in_flight.saturating_sub(1);
+                if delivered {
+                    state.completed += 1;
+                }
+            }
+        }
+        self.capacity.notify_all();
+    }
+
+    fn server_stats(&self) -> ServerStats {
+        let engine = self.engine.stats();
+        let tenants_map = self.lock_tenants();
+        let mut tenants: Vec<TenantStats> = tenants_map
+            .iter()
+            .map(|(name, s)| TenantStats {
+                tenant: name.clone(),
+                admitted: s.admitted,
+                completed: s.completed,
+                queued: s.queued,
+                shed_at_cap: s.shed_at_cap,
+                shed_deadline: s.shed_deadline,
+                in_flight: s.in_flight,
+            })
+            .collect();
+        drop(tenants_map);
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        ServerStats { engine, tenants }
+    }
+}
+
+fn shutting_down_response() -> Response {
+    Response::Protocol {
+        kind: ProtocolErrorKind::ShuttingDown,
+        message: "server is shutting down and no longer admits work".to_string(),
+    }
+}
+
+fn io_error(context: &str, e: &io::Error) -> Error {
+    Error::invalid_state(format!("{context}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Incremental frame reading
+// ---------------------------------------------------------------------------
+
+/// One step of the incremental reader.
+enum ReadStep {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// Clean close at a frame boundary.
+    Closed,
+    /// Read timed out with the partial state preserved — the caller polls the
+    /// shutdown flag and comes back.
+    Idle,
+}
+
+/// Incremental length-prefixed frame reader that survives read timeouts
+/// *mid-frame* without losing bytes.
+///
+/// The blanket [`cjoin_query::wire::read_frame`] is fine for blocking
+/// clients, but the server reads with a timeout so idle connections can poll
+/// the shutdown flag — and a timeout must not discard a half-received header
+/// or payload, or the stream desynchronizes.
+#[derive(Default)]
+struct FrameReader {
+    header: [u8; 4],
+    header_filled: usize,
+    payload: Option<Vec<u8>>,
+    payload_filled: usize,
+}
+
+impl FrameReader {
+    fn poll(&mut self, stream: &mut TcpStream) -> io::Result<ReadStep> {
+        loop {
+            if let Some(payload) = self.payload.as_mut() {
+                if self.payload_filled == payload.len() {
+                    let frame = self.payload.take().unwrap_or_default();
+                    self.header_filled = 0;
+                    self.payload_filled = 0;
+                    return Ok(ReadStep::Frame(frame));
+                }
+                match stream.read(&mut payload[self.payload_filled..]) {
+                    Ok(0) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        ))
+                    }
+                    Ok(n) => self.payload_filled += n,
+                    Err(e) => return idle_or_fail(e),
+                }
+            } else if self.header_filled < self.header.len() {
+                match stream.read(&mut self.header[self.header_filled..]) {
+                    Ok(0) if self.header_filled == 0 => return Ok(ReadStep::Closed),
+                    Ok(0) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame-header",
+                        ))
+                    }
+                    Ok(n) => self.header_filled += n,
+                    Err(e) => return idle_or_fail(e),
+                }
+            } else {
+                let len = u32::from_le_bytes(self.header);
+                if len > MAX_FRAME_LEN {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        WireError::FrameTooLarge(len as u64).to_string(),
+                    ));
+                }
+                self.payload = Some(vec![0u8; len as usize]);
+                self.payload_filled = 0;
+            }
+        }
+    }
+}
+
+fn idle_or_fail(e: io::Error) -> io::Result<ReadStep> {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted => {
+            Ok(ReadStep::Idle)
+        }
+        _ => Err(e),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection handler
+// ---------------------------------------------------------------------------
+
+/// An un-waited submission held by one connection.
+struct Slot {
+    tenant: String,
+    ticket: Box<dyn QueryTicket>,
+}
+
+struct Connection {
+    stream: TcpStream,
+    shared: Arc<Shared>,
+    slots: HashMap<u64, Slot>,
+    next_ticket: u64,
+}
+
+impl Connection {
+    fn serve(&mut self) {
+        let mut reader = FrameReader::default();
+        loop {
+            if self.shared.shutting_down() {
+                return;
+            }
+            match reader.poll(&mut self.stream) {
+                Ok(ReadStep::Idle) => continue,
+                Ok(ReadStep::Closed) => return,
+                Ok(ReadStep::Frame(payload)) => {
+                    let (response, disconnect) = self.dispatch(&payload);
+                    if write_frame(&mut self.stream, &response.encode()).is_err() {
+                        return;
+                    }
+                    if disconnect {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    // The declared length exceeds the frame cap. The refused
+                    // payload bytes are still in the stream, so there is no
+                    // way to resynchronize: answer with the typed error, then
+                    // close.
+                    let response = Response::Protocol {
+                        kind: ProtocolErrorKind::FrameTooLarge,
+                        message: e.to_string(),
+                    };
+                    let _ = write_frame(&mut self.stream, &response.encode());
+                    return;
+                }
+                // Torn write (UnexpectedEof) or transport failure: the peer is
+                // gone; there is no one left to answer.
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Handles one decoded frame; the bool asks the serve loop to close the
+    /// connection after the response is written.
+    fn dispatch(&mut self, payload: &[u8]) -> (Response, bool) {
+        let request = match Request::decode(payload) {
+            Ok(request) => request,
+            Err(e) => {
+                let kind = match e {
+                    WireError::UnknownTag {
+                        what: "Request", ..
+                    } => ProtocolErrorKind::UnknownMessage,
+                    _ => ProtocolErrorKind::MalformedFrame,
+                };
+                return (
+                    Response::Protocol {
+                        kind,
+                        message: e.to_string(),
+                    },
+                    false,
+                );
+            }
+        };
+        match request {
+            Request::Submit {
+                tenant,
+                policy,
+                query,
+            } => (self.submit(tenant, policy, *query), false),
+            Request::Wait { ticket } => (self.wait(ticket), false),
+            Request::Cancel { ticket } => (self.cancel(ticket), false),
+            Request::Stats => (Response::Stats(self.shared.server_stats()), false),
+            Request::Shutdown => {
+                self.shared.begin_shutdown();
+                // Unblock the accept loop so the server owner's join returns
+                // promptly.
+                let _ = TcpStream::connect(self.shared.addr);
+                (Response::Ack, true)
+            }
+        }
+    }
+
+    fn submit(&mut self, tenant: String, policy: AdmissionPolicy, query: StarQuery) -> Response {
+        if let Err(refusal) = self.shared.admit(&tenant, policy, &query) {
+            return refusal;
+        }
+        match self.shared.engine.submit(query) {
+            Ok(ticket) => {
+                let id = self.next_ticket;
+                self.next_ticket += 1;
+                self.slots.insert(id, Slot { tenant, ticket });
+                Response::Submitted { ticket: id }
+            }
+            Err(e) => {
+                self.shared.release(&tenant, false);
+                Response::Outcome(Err(QueryError::Engine(e)))
+            }
+        }
+    }
+
+    fn wait(&mut self, id: u64) -> Response {
+        match self.slots.remove(&id) {
+            None => Response::Protocol {
+                kind: ProtocolErrorKind::UnknownTicket,
+                message: format!("ticket {id} is not live on this connection"),
+            },
+            Some(slot) => {
+                let outcome = slot.ticket.wait();
+                self.shared.release(&slot.tenant, true);
+                Response::Outcome(outcome)
+            }
+        }
+    }
+
+    fn cancel(&mut self, id: u64) -> Response {
+        match self.slots.get(&id) {
+            None => Response::Protocol {
+                kind: ProtocolErrorKind::UnknownTicket,
+                message: format!("ticket {id} is not live on this connection"),
+            },
+            Some(slot) => {
+                slot.ticket.cancel();
+                Response::Ack
+            }
+        }
+    }
+
+    /// Drains every un-waited ticket when the connection goes away: cancel,
+    /// collect the (now prompt) outcome so engine-side state is released, and
+    /// return the tenant's in-flight slot.
+    fn drain(&mut self) {
+        for (_, slot) in self.slots.drain() {
+            slot.ticket.cancel();
+            let Slot { tenant, ticket } = slot;
+            let _ = ticket.wait();
+            self.shared.release(&tenant, false);
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let mut connection = Connection {
+        stream,
+        shared,
+        slots: HashMap::new(),
+        next_ticket: 1,
+    };
+    connection.serve();
+    connection.drain();
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.shutting_down() {
+            return;
+        }
+        let stream = match conn {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        let shared_for_conn = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("cjoin-server-conn".to_string())
+            .spawn(move || handle_connection(stream, shared_for_conn));
+        if let Ok(handle) = spawned {
+            shared
+                .handlers
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(handle);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The server handle
+// ---------------------------------------------------------------------------
+
+/// A running server: an accept loop plus per-connection handler threads over
+/// one wrapped [`JoinEngine`].
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use cjoin_server::{CjoinServer, ServerConfig};
+/// # fn engine() -> Arc<dyn cjoin_query::JoinEngine> { unimplemented!() }
+/// let server = CjoinServer::start(engine(), ServerConfig::default()).unwrap();
+/// println!("serving on {}", server.local_addr());
+/// server.shutdown(); // joins every thread, shuts the engine down
+/// ```
+pub struct CjoinServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl CjoinServer {
+    /// Starts a server on an ephemeral loopback port (`127.0.0.1:0`).
+    ///
+    /// # Errors
+    /// Fails if the listener cannot be bound or the accept thread not spawned.
+    pub fn start(engine: Arc<dyn JoinEngine>, config: ServerConfig) -> Result<Self> {
+        Self::bind(engine, config, "127.0.0.1:0")
+    }
+
+    /// Starts a server on an explicit bind address.
+    ///
+    /// # Errors
+    /// Fails if the listener cannot be bound or the accept thread not spawned.
+    pub fn bind(
+        engine: Arc<dyn JoinEngine>,
+        config: ServerConfig,
+        bind: impl ToSocketAddrs,
+    ) -> Result<Self> {
+        let listener = TcpListener::bind(bind).map_err(|e| io_error("server bind failed", &e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| io_error("server local_addr failed", &e))?;
+        let shared = Arc::new(Shared {
+            engine,
+            config,
+            addr,
+            shutdown: AtomicBool::new(false),
+            tenants: Mutex::new(HashMap::new()),
+            capacity: Condvar::new(),
+            handlers: Mutex::new(Vec::new()),
+        });
+        let shared_for_accept = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("cjoin-server-accept".to_string())
+            .spawn(move || accept_loop(listener, shared_for_accept))
+            .map_err(|e| io_error("server accept thread spawn failed", &e))?;
+        Ok(Self {
+            shared,
+            addr,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+
+    /// The address the server is listening on (with the resolved ephemeral
+    /// port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time snapshot of engine counters and per-tenant admission
+    /// decisions.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.server_stats()
+    }
+
+    /// Stops the server: refuses new work, unblocks and joins the accept loop
+    /// and every handler thread, and shuts the wrapped engine down (resolving
+    /// any still-waiting tickets with the engine's typed outcomes).
+    ///
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+        // Unblock the accept loop with a no-op loopback connect.
+        let _ = TcpStream::connect(self.addr);
+        let accept = self
+            .accept
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(handle) = accept {
+            let _ = handle.join();
+        }
+        // Resolve every in-flight wait before joining handlers, so a handler
+        // blocked in `ticket.wait()` comes back with a typed outcome instead
+        // of deadlocking the join.
+        self.shared.engine.shutdown();
+        let handlers: Vec<_> = self
+            .shared
+            .handlers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for handle in handlers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CjoinServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

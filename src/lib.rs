@@ -18,6 +18,8 @@
 //! | [`cjoin`] | `cjoin-core` | the CJOIN operator and engine |
 //! | [`baseline`] | `cjoin-baseline` | query-at-a-time hash-join baseline |
 //! | [`galaxy`] | `cjoin-galaxy` | fact-to-fact join queries over two CJOIN pipelines (§5) |
+//! | [`server`] | `cjoin-server` | TCP front door: wire protocol, multi-tenant admission |
+//! | [`client`] | `cjoin-client` | `RemoteEngine`: a `JoinEngine` over the wire |
 //! | [`bench`] | `cjoin-bench` | experiment harness (figures 4–8, tables 1–3, ablations) |
 //!
 //! See `README.md` for a quickstart, the workspace layout, and how to reproduce
@@ -62,6 +64,18 @@ pub mod galaxy {
     pub use cjoin_galaxy::*;
 }
 
+/// TCP front door: length-prefixed wire protocol, multi-tenant admission with
+/// queue-or-shed backpressure, deadline-aware ETA quotes.
+pub mod server {
+    pub use cjoin_server::*;
+}
+
+/// Thin TCP client: `RemoteEngine` implements `JoinEngine` over the wire, so
+/// harness code drives a served engine unchanged.
+pub mod client {
+    pub use cjoin_client::*;
+}
+
 /// Experiment harness reproducing the paper's evaluation.
 pub mod bench {
     pub use cjoin_bench::*;
@@ -69,6 +83,7 @@ pub mod bench {
 
 // Convenience re-exports of the most commonly used types.
 pub use cjoin_baseline::{BaselineConfig, BaselineEngine};
+pub use cjoin_client::RemoteEngine;
 pub use cjoin_common::{Error, Result};
 pub use cjoin_core::{CjoinConfig, CjoinEngine, QueryHandle};
 pub use cjoin_galaxy::{GalaxyEngine, GalaxyQuery};
@@ -76,5 +91,6 @@ pub use cjoin_query::{
     AggFunc, AggregateSpec, ColumnRef, EngineStats, JoinEngine, Predicate, QueryResult,
     QueryTicket, StarQuery,
 };
+pub use cjoin_server::{CjoinServer, ServerConfig};
 pub use cjoin_ssb::{SsbConfig, SsbDataSet, Workload, WorkloadConfig};
 pub use cjoin_storage::{Catalog, SnapshotId};
