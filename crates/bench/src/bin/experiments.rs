@@ -9,7 +9,7 @@
 //!   --threads <usize>      CJOIN worker threads          (default 4)
 //!   --concurrency <list>   comma-separated n values      (default 1,32,64,128,256)
 //!   --markdown             print Markdown tables instead of plain text
-//!   --out <path>           output path for bench-json    (default BENCH_PR8.json)
+//!   --out <path>           output path for bench-json    (default BENCH_PR9.json)
 //! ```
 //!
 //! `bench-json` runs the filter hot-path ablation (batched vs. per-tuple probing),
@@ -23,7 +23,10 @@
 //! the fault-free path, proving the panic-isolation scaffolding costs < 2%
 //! qph) and the serving A/B (the same closed loop driven in-process vs through
 //! `RemoteEngine` → TCP → `cjoin-server`, measuring what the front door costs
-//! in qph and p99 response) on fixed fig5/fig8-style workloads and writes a
+//! in qph and p99 response) and the elastic-scheduler A/B (`auto_tune` ∈
+//! {off, on} against a static `worker_threads` ∈ {1, 2, 4} sweep, proving the
+//! scheduler's self-chosen widths keep up with the best hand-tuned static
+//! configuration on the same host) on fixed fig5/fig8-style workloads and writes a
 //! machine-readable baseline for the perf trajectory of future PRs. The host's
 //! available parallelism is recorded alongside: segment scan workers trade
 //! extra CPU for wall-clock, so their speedup only materialises where spare
@@ -40,9 +43,9 @@ use cjoin_bench::experiments::{
     ExperimentParams,
 };
 use cjoin_bench::hotpath::{
-    columnar_range_probe, end_to_end_ab, end_to_end_columnar, end_to_end_scan_workers,
-    end_to_end_served, end_to_end_sharding, end_to_end_supervision, EndToEndReport,
-    ProbeAblationParams, ProbeHarness,
+    columnar_range_probe, end_to_end_ab, end_to_end_auto_tune, end_to_end_columnar,
+    end_to_end_scan_workers, end_to_end_served, end_to_end_sharding, end_to_end_supervision,
+    EndToEndReport, ProbeAblationParams, ProbeHarness,
 };
 use cjoin_bench::{JsonObject, RunReport, Table};
 use cjoin_common::Result;
@@ -61,7 +64,7 @@ fn parse_args() -> std::result::Result<Options, String> {
     let mut params = ExperimentParams::default();
     let mut concurrency = vec![1, 32, 64, 128, 256];
     let mut markdown = false;
-    let mut out = "BENCH_PR8.json".to_string();
+    let mut out = "BENCH_PR9.json".to_string();
 
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -268,6 +271,47 @@ fn run_bench_json(options: &Options) -> Result<()> {
         .field_obj("served", render_run(&served))
         .field_f64("qph_overhead_fraction", serving_overhead);
 
+    // Elastic-scheduler A/B: the same closed loop with every parallelism knob
+    // left at its default, auto-tune off (fixed default widths — the
+    // pre-scheduler shape) vs on (scheduler-governed widths, sized from the
+    // host at startup and resized from live counters), plus a static
+    // worker_threads sweep so "auto-tune keeps up with the best hand-tuned
+    // static configuration on this host" is a recorded fact, not a claim.
+    eprintln!("# elastic-scheduler A/B (fig5-style closed loop + static width sweep)");
+    let tune_off = end_to_end_auto_tune(&e2e, concurrency, false)?;
+    let tune_on = end_to_end_auto_tune(&e2e, concurrency, true)?;
+    eprintln!(
+        "  auto_tune=off: {:.0} q/h, auto_tune=on: {:.0} q/h",
+        tune_off.throughput_qph, tune_on.throughput_qph
+    );
+    let mut static_sweep = JsonObject::new();
+    let mut best_static_qph = tune_off.throughput_qph;
+    for threads in [1usize, 2, 4] {
+        let mut static_params = e2e.clone();
+        static_params.worker_threads = threads;
+        let report = end_to_end_ab(&static_params, concurrency, true)?;
+        eprintln!(
+            "  static worker_threads={threads}: {:.0} q/h, p99 submission {:.3} ms",
+            report.throughput_qph, report.p99_submission_ms
+        );
+        best_static_qph = best_static_qph.max(report.throughput_qph);
+        static_sweep =
+            static_sweep.field_obj(&format!("worker_threads_{threads}"), render(&report));
+    }
+    eprintln!(
+        "  auto-tune vs best static: {:.3}x",
+        tune_on.throughput_qph / best_static_qph
+    );
+    let elastic_scheduler = JsonObject::new()
+        .field_obj("auto_tune_off", render(&tune_off))
+        .field_obj("auto_tune_on", render(&tune_on))
+        .field_obj("static_worker_threads", static_sweep)
+        .field_f64("best_static_qph", best_static_qph)
+        .field_f64(
+            "auto_tune_vs_best_static",
+            tune_on.throughput_qph / best_static_qph,
+        );
+
     let probe = columnar_range_probe(&e2e)?;
     eprintln!(
         "  clustered probe: {:.1} of {:.1} bytes/row ({:.1}% of the row store), \
@@ -296,7 +340,7 @@ fn run_bench_json(options: &Options) -> Result<()> {
         .map(|n| n.get() as u64)
         .unwrap_or(1);
     let json = JsonObject::new()
-        .field_str("artifact", "BENCH_PR8")
+        .field_str("artifact", "BENCH_PR9")
         .field_str(
             "description",
             "Filter hot path A/B (CjoinConfig::batched_probing) + sharded aggregation \
@@ -307,9 +351,12 @@ fn run_bench_json(options: &Options) -> Result<()> {
              supervision A/B (CjoinConfig::supervision: catch_unwind isolation, \
              supervisor/reaper thread, runtimes registry on the fault-free path) + \
              serving A/B (in-process vs RemoteEngine -> TCP -> cjoin-server: wire \
-             framing, per-connection threads, multi-tenant admission)",
+             framing, per-connection threads, multi-tenant admission) + elastic \
+             scheduler A/B (CjoinConfig::auto_tune: scheduler-governed widths vs \
+             fixed defaults vs best static worker_threads sweep)",
         )
         .field_u64("host_cpus", host_cpus)
+        .field_u64("available_parallelism", host_cpus)
         .field_obj(
             "workload",
             JsonObject::new()
@@ -340,6 +387,7 @@ fn run_bench_json(options: &Options) -> Result<()> {
         .field_obj("columnar_probe", columnar_probe)
         .field_obj("supervision", supervision)
         .field_obj("serving", serving)
+        .field_obj("elastic_scheduler", elastic_scheduler)
         .render();
     std::fs::write(&options.out, &json)
         .map_err(|e| cjoin_common::Error::invalid_state(format!("write {}: {e}", options.out)))?;

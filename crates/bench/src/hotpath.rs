@@ -348,6 +348,31 @@ pub fn end_to_end_supervision(
     end_to_end_with_config(params, concurrency, config)
 }
 
+/// Runs the same fig5-style closed-loop workload with the elastic stage
+/// scheduler on or off (`CjoinConfig::auto_tune`) — the `BENCH_PR9.json` A/B.
+///
+/// Deliberately not the builder path: the axis builders *pin* their knobs, and
+/// a pinned axis is exactly what this A/B must avoid. Every parallelism knob
+/// is left at its default, so with `auto_tune` on the scheduler governs all
+/// three axes (startup sizing from the host, mid-run resizes from live
+/// counters), and with it off the same default values run as fixed widths —
+/// the pre-scheduler engine shape.
+///
+/// # Errors
+/// Propagates engine errors.
+pub fn end_to_end_auto_tune(
+    params: &ExperimentParams,
+    concurrency: usize,
+    enabled: bool,
+) -> Result<EndToEndReport> {
+    let config = CjoinConfig {
+        max_concurrency: (concurrency * 2 + 16).max(32),
+        ..CjoinConfig::default()
+    }
+    .with_auto_tune(enabled);
+    end_to_end_with_config(params, concurrency, config)
+}
+
 /// Runs the same fig5-style closed-loop workload twice — once in-process
 /// against a [`CjoinEngine`], once through the full socket path
 /// (`RemoteEngine` → TCP → `CjoinServer`) over a second, identically

@@ -22,6 +22,25 @@ pub enum StageLayout {
     Hybrid(Vec<usize>),
 }
 
+/// Which parallelism knobs were set explicitly (through the builder methods)
+/// rather than left at their defaults.
+///
+/// The elastic stage scheduler (see [`crate::scheduler`]) only governs axes
+/// that are *not* pinned: an explicit `with_scan_workers(4)` is a fixed
+/// override the scheduler never touches, so every existing configuration
+/// behaves bit-identically whether `auto_tune` is on or off. Axes set through
+/// struct-update syntax are caught by a second rule — the scheduler also
+/// treats any non-default value as pinned.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PinnedAxes {
+    /// `scan_workers` was set explicitly.
+    pub scan_workers: bool,
+    /// `worker_threads` or `stage_layout` was set explicitly.
+    pub worker_threads: bool,
+    /// `distributor_shards` was set explicitly.
+    pub distributor_shards: bool,
+}
+
 /// Configuration of a [`CjoinEngine`](crate::engine::CjoinEngine).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CjoinConfig {
@@ -92,6 +111,20 @@ pub struct CjoinConfig {
     /// Deterministic fault schedule for supervision tests; `None` (the default)
     /// makes every injection point a single untaken branch. See [`FaultPlan`].
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Enable the elastic stage scheduler (default on): parallelism axes left
+    /// at their defaults (`scan_workers`, `worker_threads`, and
+    /// `distributor_shards` — see [`PinnedAxes`]) are sized at startup from
+    /// `std::thread::available_parallelism()` and re-sized at runtime from
+    /// live pipeline counters through a hysteresis-guarded policy (see
+    /// [`crate::scheduler`]). Explicitly configured knob values remain fixed
+    /// overrides the scheduler never touches. Note that `auto_tune` keeps the
+    /// in-flight runtime registry populated even with `supervision` off (the
+    /// scheduler re-installs in-flight queries across a resize), so combining
+    /// `auto_tune` with `supervision = false` means a role panic leaves
+    /// in-flight handles to resolve only at shutdown.
+    pub auto_tune: bool,
+    /// Which knobs were pinned by explicit builder calls; see [`PinnedAxes`].
+    pub pinned: PinnedAxes,
 }
 
 impl Default for CjoinConfig {
@@ -114,6 +147,8 @@ impl Default for CjoinConfig {
             idle_sleep_us: 200,
             supervision: true,
             fault_plan: None,
+            auto_tune: true,
+            pinned: PinnedAxes::default(),
         }
     }
 }
@@ -160,15 +195,19 @@ impl CjoinConfig {
         Ok(())
     }
 
-    /// Convenience: a configuration with the given number of worker threads.
+    /// Convenience: a configuration with the given number of worker threads
+    /// (pins the stage-worker axis against the elastic scheduler).
     pub fn with_worker_threads(mut self, n: usize) -> Self {
         self.worker_threads = n;
+        self.pinned.worker_threads = true;
         self
     }
 
-    /// Convenience: a configuration with the given stage layout.
+    /// Convenience: a configuration with the given stage layout (pins the
+    /// stage-worker axis against the elastic scheduler).
     pub fn with_stage_layout(mut self, layout: StageLayout) -> Self {
         self.stage_layout = layout;
+        self.pinned.worker_threads = true;
         self
     }
 
@@ -192,16 +231,20 @@ impl CjoinConfig {
     }
 
     /// Convenience: a configuration with the given number of Distributor shards
-    /// (the aggregation-stage knob used by the `abl_distributor_sharding` ablation).
+    /// (the aggregation-stage knob used by the `abl_distributor_sharding`
+    /// ablation; pins the axis against the elastic scheduler).
     pub fn with_distributor_shards(mut self, n: usize) -> Self {
         self.distributor_shards = n;
+        self.pinned.distributor_shards = true;
         self
     }
 
     /// Convenience: a configuration with the given number of continuous-scan
-    /// workers (the front-end knob used by the `abl_scan_parallelism` ablation).
+    /// workers (the front-end knob used by the `abl_scan_parallelism`
+    /// ablation; pins the axis against the elastic scheduler).
     pub fn with_scan_workers(mut self, n: usize) -> Self {
         self.scan_workers = n;
+        self.pinned.scan_workers = true;
         self
     }
 
@@ -223,6 +266,13 @@ impl CjoinConfig {
     /// Convenience: a configuration carrying a deterministic fault schedule.
     pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Convenience: a configuration with the elastic stage scheduler enabled
+    /// or disabled (the self-tuning A/B knob measured in BENCH_PR9.json).
+    pub fn with_auto_tune(mut self, enabled: bool) -> Self {
+        self.auto_tune = enabled;
         self
     }
 }
@@ -353,6 +403,30 @@ mod tests {
         let c = CjoinConfig::default().with_columnar_scan(true);
         assert!(c.columnar_scan);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn auto_tune_defaults_on_with_no_pins() {
+        let c = CjoinConfig::default();
+        assert!(c.auto_tune);
+        assert_eq!(c.pinned, PinnedAxes::default());
+        assert!(!c.with_auto_tune(false).auto_tune);
+    }
+
+    #[test]
+    fn builders_pin_their_axes() {
+        // Pinning is about *explicitness*, not the value: re-stating a default
+        // still pins the axis against the scheduler.
+        let c = CjoinConfig::default().with_scan_workers(1);
+        assert!(c.pinned.scan_workers);
+        assert!(!c.pinned.worker_threads && !c.pinned.distributor_shards);
+        let c = CjoinConfig::default()
+            .with_worker_threads(4)
+            .with_distributor_shards(1);
+        assert!(c.pinned.worker_threads && c.pinned.distributor_shards);
+        assert!(!c.pinned.scan_workers);
+        let c = CjoinConfig::default().with_stage_layout(StageLayout::Vertical);
+        assert!(c.pinned.worker_threads);
     }
 
     #[test]

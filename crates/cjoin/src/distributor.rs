@@ -588,6 +588,7 @@ mod tests {
                 cancelled: std::sync::atomic::AtomicBool::new(false),
                 deadline_at: None,
                 admitted_at: Instant::now(),
+                snapshot: SnapshotId::INITIAL,
                 progress: Arc::new(crate::progress::QueryProgress::new(0)),
             }),
             rx,

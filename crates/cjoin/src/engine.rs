@@ -54,8 +54,28 @@
 //! deadline passes, and admission pre-sheds queries whose deadline is already
 //! shorter than the last observed full scan pass
 //! ([`QueryError::ShedAtAdmission`]).
+//!
+//! # Elastic scheduling
+//!
+//! With `CjoinConfig::auto_tune` (the default) the engine owns a
+//! [`StageScheduler`]: parallelism knobs left at their defaults are sized at
+//! start from `available_parallelism()` and re-sized at runtime by a tuner
+//! thread that feeds live pipeline counters into the scheduler's hysteresis
+//! policy (see [`crate::scheduler`] for the policy and its stability
+//! argument). A resize is a *pipeline swap at a quiescent point*: under the
+//! core lock the current incarnation is drained gracefully (every in-flight
+//! batch settles, the manager finishes its cleanup backlog), a new core is
+//! spawned at the new width, and every still-unresolved query is re-installed
+//! on it at its original snapshot. Re-installed queries restart a full pass —
+//! §3.3's wrap protocol makes any complete pass over the snapshot produce the
+//! exact answer, so a resize can never drop or duplicate a tuple in a result;
+//! it only costs the restarted portion of the scan. Explicit resizes are
+//! available through [`CjoinEngine::request_resize`] (any axis, pinned or
+//! not), and supervision composes: a degradation is recorded against the
+//! scheduler as a forced downscale, and respawns consult the scheduler's
+//! effective widths.
 
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -64,7 +84,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use parking_lot::Mutex;
 
 use cjoin_common::{Error, FxHashMap, QueryId, QueryIdAllocator, QuerySet, Result};
-use cjoin_query::{QueryError, QueryOutcome, QueryResult, StarQuery};
+use cjoin_query::{BoundStarQuery, QueryError, QueryOutcome, QueryResult, StarQuery};
 use cjoin_storage::{
     segment_ranges, Catalog, ColumnarTable, CompressionPolicy, ContinuousScan, PartitionScheme,
     Row, ScanVolume, SnapshotId, DEFAULT_ROW_GROUP_ROWS,
@@ -86,6 +106,7 @@ use crate::preprocessor::{
 };
 use crate::progress::QueryProgress;
 use crate::queue::{ShardQueues, TupleQueue};
+use crate::scheduler::{Axis, ResizeReason, SchedulerTick, StageScheduler};
 use crate::stats::{
     ColumnarScanStats, FilterStatsSnapshot, PipelineStats, ScanWorkerCounters, ShardCounters,
     SharedCounters,
@@ -105,10 +126,11 @@ struct AdmissionState {
     allocator: QueryIdAllocator,
     registered: FxHashMap<u32, Registered>,
     /// Active queries' runtimes, for the supervisor (fail them all on a role
-    /// death) and the deadline reaper. Only populated when supervision is on:
-    /// without a supervisor nothing would ever drain a crashed pipeline's
-    /// entries, and a pinned `result_tx` would turn the pre-supervision
-    /// disconnect error into a hang.
+    /// death), the deadline reaper, and elastic resizes (re-install them all
+    /// on the new pipeline incarnation). Only populated when supervision or
+    /// auto-tune is on: without either, nothing would ever drain a crashed
+    /// pipeline's entries, and a pinned `result_tx` would turn the
+    /// pre-supervision disconnect error into a hang.
     runtimes: FxHashMap<u32, Arc<QueryRuntime>>,
 }
 
@@ -269,12 +291,26 @@ struct EngineShared {
     failure_tx: Sender<SupervisorEvent>,
     /// Human-readable log of degradations the supervisor applied.
     degradations: Mutex<Vec<String>>,
+    /// The elastic stage scheduler: source of truth for the effective width of
+    /// every governed parallelism axis (see [`crate::scheduler`]).
+    scheduler: StageScheduler,
+    /// Whether elastic scheduling is on (`CjoinConfig::auto_tune` at start).
+    /// Gates the runtimes registry and the mid-install resize handshake.
+    elastic: bool,
+    /// Incremented every time a fresh [`PipelineCore`] is placed (start,
+    /// supervisor respawn, elastic resize). A submission that loses its core
+    /// mid-install compares epochs to tell "a resize swapped the pipeline and
+    /// re-installed my query" from "the pipeline genuinely died".
+    core_epoch: AtomicU64,
 }
 
 /// The CJOIN engine: one always-on pipeline over a catalog's fact table.
 pub struct CjoinEngine {
     shared: Arc<EngineShared>,
     supervisor: Mutex<Option<JoinHandle<()>>>,
+    /// The elastic tuner thread (`None` when auto-tune is off or nothing is
+    /// governed).
+    tuner: Mutex<Option<JoinHandle<()>>>,
 }
 
 #[derive(Debug, Clone)]
@@ -295,6 +331,7 @@ impl CjoinEngine {
     pub fn start(catalog: Arc<Catalog>, config: CjoinConfig) -> Result<Self> {
         config.validate()?;
         let (failure_tx, failure_rx) = unbounded();
+        let scheduler = StageScheduler::new(&config);
         let shared = Arc::new(EngineShared {
             max_concurrency: config.max_concurrency,
             supervision: config.supervision,
@@ -311,10 +348,14 @@ impl CjoinEngine {
             shutdown_flag: Arc::new(AtomicBool::new(false)),
             failure_tx,
             degradations: Mutex::new(Vec::new()),
+            elastic: config.auto_tune,
+            core_epoch: AtomicU64::new(0),
+            scheduler,
             catalog,
         });
         let core = Self::spawn_pipeline(&shared, &config)?;
         *shared.core.lock() = Some(core);
+        shared.core_epoch.fetch_add(1, Ordering::Release);
         let supervisor = if config.supervision {
             let shared = Arc::clone(&shared);
             Some(
@@ -328,9 +369,24 @@ impl CjoinEngine {
         } else {
             None
         };
+        // The tuner only runs when there is something to tune: auto-tune on
+        // and at least one axis left at its default for the scheduler to
+        // govern. Fully pinned engines never pay for the thread.
+        let tuner = if shared.scheduler.any_governed() {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("cjoin-tuner".into())
+                    .spawn(move || run_tuner(shared))
+                    .map_err(|e| Error::invalid_state(format!("failed to spawn tuner: {e}")))?,
+            )
+        } else {
+            None
+        };
         Ok(Self {
             shared,
             supervisor: Mutex::new(supervisor),
+            tuner: Mutex::new(tuner),
         })
     }
 
@@ -342,6 +398,11 @@ impl CjoinEngine {
     /// everything spawned here (threads, queues, scan layout, per-core
     /// counters) belongs to the returned [`PipelineCore`] and dies with it.
     fn spawn_pipeline(shared: &Arc<EngineShared>, config: &CjoinConfig) -> Result<PipelineCore> {
+        // The scheduler owns the effective width of every governed axis;
+        // pinned axes keep their (possibly supervisor-degraded) config values.
+        // Shadowing here means every spawn site — start, supervisor respawn,
+        // elastic resize — derives the same shape from the same source.
+        let config = &shared.scheduler.effective_config(config);
         let fact = shared.catalog.fact_table()?;
         let supervised = config.supervision;
         let failure_tx = shared.failure_tx.clone();
@@ -895,34 +956,7 @@ impl CjoinEngine {
         }
 
         // ---- Partition pruning plans (§5), one per scan worker ------------------
-        let partition: Vec<Option<PartitionPlan>> = core
-            .partition_info
-            .as_ref()
-            .and_then(|info| {
-                let (lo, hi) = bound.fact_column_range(&info.column_name)?;
-                let covering = info.scheme.covering(lo, hi);
-                let mut needed = vec![false; info.scheme.num_partitions()];
-                for pid in &covering {
-                    needed[pid.index()] = true;
-                }
-                // Each worker's plan counts only the needed-partition rows of its
-                // own segment; the per-worker remainders sum to the classic
-                // whole-table remainder.
-                Some(
-                    info.rows_per_partition
-                        .iter()
-                        .map(|segment_rows| {
-                            let remaining_rows =
-                                covering.iter().map(|pid| segment_rows[pid.index()]).sum();
-                            Some(PartitionPlan {
-                                needed: needed.clone(),
-                                remaining_rows,
-                            })
-                        })
-                        .collect(),
-                )
-            })
-            .unwrap_or_default();
+        let partition = partition_plans(core.partition_info.as_ref(), &bound);
 
         // ---- Algorithm 1, lines 17–22: install in Preprocessor & Distributor ----
         let fact_predicate = if bound.fact_predicate_is_true {
@@ -945,15 +979,17 @@ impl CjoinEngine {
             cancelled: AtomicBool::new(false),
             deadline_at: query.deadline.map(|d| submitted_at + d),
             admitted_at: submitted_at,
+            snapshot,
             progress: Arc::clone(&progress),
         });
         admission
             .registered
             .insert(id.0, Registered { referenced_dims });
-        if self.shared.supervision {
+        if self.shared.supervision || self.shared.elastic {
             admission.runtimes.insert(id.0, Arc::clone(&runtime));
         }
         let cmd_tx = core.cmd_tx.clone();
+        let install_epoch = self.shared.core_epoch.load(Ordering::Acquire);
         drop(admission);
         // Release the core lock BEFORE waiting for the installation ack. The
         // scan front-end acks at its own pace (it may be mid-stall behind a
@@ -1000,14 +1036,37 @@ impl CjoinEngine {
             };
         }
         if !installed && !self.shared.supervision {
-            // Unsupervised: roll the whole admission back (dimension
-            // registrations, registry entry, query id) so a failed
-            // installation cannot leak the id or leave ghost bits in the
-            // dimension hash tables.
-            cleanup_query(id, &self.shared.chain, &self.shared.admission);
-            return Err(Error::invalid_state(
-                "pipeline stopped during query installation",
-            ));
+            // With elastic scheduling the install can also die because a
+            // concurrent resize swapped the pipeline between releasing the
+            // core lock and the ack: the resize collected this query from the
+            // runtimes registry (it registered under the previous core-lock
+            // epoch) and re-installed it on the new incarnation, so the handle
+            // is live and rolling back here would corrupt id recycling. The
+            // core epoch distinguishes the two cases; the check and the
+            // rollback run under the core lock so no resize can interleave
+            // between deciding "the pipeline died" and releasing the id.
+            let rollback = if self.shared.elastic {
+                let _core_guard = self.shared.core.lock();
+                let swapped = self.shared.core_epoch.load(Ordering::Acquire) != install_epoch;
+                if !swapped && !runtime.resolved.load(Ordering::Acquire) {
+                    cleanup_query(id, &self.shared.chain, &self.shared.admission);
+                    true
+                } else {
+                    false
+                }
+            } else {
+                // Unsupervised, non-elastic: roll the whole admission back
+                // (dimension registrations, registry entry, query id) so a
+                // failed installation cannot leak the id or leave ghost bits
+                // in the dimension hash tables.
+                cleanup_query(id, &self.shared.chain, &self.shared.admission);
+                true
+            };
+            if rollback {
+                return Err(Error::invalid_state(
+                    "pipeline stopped during query installation",
+                ));
+            }
         }
         // Supervised and not installed: do NOT clean up here — the query is in
         // the runtimes registry, and the role death that broke the install is
@@ -1131,7 +1190,44 @@ impl CjoinEngine {
                     predicate_rows: volume.predicate_rows(),
                     column_bytes: volume.column_bytes(),
                 }),
+            scheduler: self.shared.scheduler.snapshot(),
         }
+    }
+
+    /// The elastic stage scheduler's snapshot: current per-axis widths,
+    /// governed axes, resize events and the tuning policy's last verdict.
+    pub fn scheduler_stats(&self) -> crate::scheduler::SchedulerStats {
+        self.shared.scheduler.snapshot()
+    }
+
+    /// Explicitly resizes one parallelism axis to `width` at the next pass
+    /// boundary: the current pipeline incarnation is drained gracefully, a new
+    /// one is spawned at the new width, and every in-flight query is
+    /// re-installed on it at its original snapshot (restarting its pass, which
+    /// by the wrap protocol changes nothing about its answer). Works on pinned
+    /// axes too — an explicit request outranks both the builder pin and the
+    /// tuning policy, and resets the policy's hysteresis clock.
+    ///
+    /// # Errors
+    /// Fails if `width` is zero or exceeds the axis's hard cap (64 scan
+    /// workers, 256 distributor shards), if the engine is shut down, or if the
+    /// replacement pipeline could not be spawned.
+    pub fn request_resize(&self, axis: Axis, width: usize) -> Result<()> {
+        if width == 0 {
+            return Err(Error::invalid_state("axis width must be at least 1"));
+        }
+        let cap = match axis {
+            Axis::ScanWorkers => 64,
+            Axis::StageWorkers => usize::MAX,
+            Axis::DistributorShards => 256,
+        };
+        if width > cap {
+            return Err(Error::invalid_state(format!(
+                "{} width {width} exceeds the hard cap of {cap}",
+                axis.label()
+            )));
+        }
+        apply_resize(&self.shared, axis, width, ResizeReason::Forced)
     }
 
     /// The read-optimised columnar replica of the fact table, when the engine
@@ -1157,9 +1253,13 @@ impl CjoinEngine {
         if let Some(core) = core {
             teardown_core(core, false);
         }
-        // The supervisor observes the shutdown flag within one tick.
+        // The supervisor and the tuner observe the shutdown flag within one
+        // tick each.
         if let Some(supervisor) = self.supervisor.lock().take() {
             let _ = supervisor.join();
+        }
+        if let Some(tuner) = self.tuner.lock().take() {
+            let _ = tuner.join();
         }
         // Resolve queries that were still in flight so their handles don't
         // block on a registry-pinned result channel (first-wins latch: queries
@@ -1233,6 +1333,22 @@ impl cjoin_query::JoinEngine for CjoinEngine {
         CjoinEngine::quote_eta(self)
     }
 
+    fn scheduler_summary(&self) -> Option<cjoin_query::SchedulerSummary> {
+        let s = self.shared.scheduler.snapshot();
+        Some(cjoin_query::SchedulerSummary {
+            auto_tune: s.auto_tune,
+            available_parallelism: s.available_parallelism as u64,
+            scan_workers: s.scan_workers as u64,
+            stage_workers: s.stage_workers as u64,
+            distributor_shards: s.distributor_shards as u64,
+            resizes: s.resizes.len() as u64,
+            last_verdict: s
+                .last_verdict
+                .map(|v| v.label().to_string())
+                .unwrap_or_default(),
+        })
+    }
+
     fn shutdown(&self) {
         CjoinEngine::shutdown(self);
     }
@@ -1285,6 +1401,249 @@ fn cleanup_query(id: QueryId, chain: &Arc<FilterChain>, admission: &Arc<Mutex<Ad
         }
     }
     let _ = admission.allocator.release(id);
+}
+
+/// Derives a query's per-scan-worker partition pruning plans (§5) against one
+/// pipeline incarnation's partition layout. Shared between fresh admission and
+/// elastic re-installation, so a query resized onto a pipeline with a
+/// different scan-worker count gets plans that match the new segments.
+fn partition_plans(
+    info: Option<&PartitionInfo>,
+    bound: &BoundStarQuery,
+) -> Vec<Option<PartitionPlan>> {
+    info.and_then(|info| {
+        let (lo, hi) = bound.fact_column_range(&info.column_name)?;
+        let covering = info.scheme.covering(lo, hi);
+        let mut needed = vec![false; info.scheme.num_partitions()];
+        for pid in &covering {
+            needed[pid.index()] = true;
+        }
+        // Each worker's plan counts only the needed-partition rows of its
+        // own segment; the per-worker remainders sum to the classic
+        // whole-table remainder.
+        Some(
+            info.rows_per_partition
+                .iter()
+                .map(|segment_rows| {
+                    let remaining_rows = covering.iter().map(|pid| segment_rows[pid.index()]).sum();
+                    Some(PartitionPlan {
+                        needed: needed.clone(),
+                        remaining_rows,
+                    })
+                })
+                .collect(),
+        )
+    })
+    .unwrap_or_default()
+}
+
+/// The elastic tuner thread body: roughly every 100ms, sample the live
+/// pipeline into a [`SchedulerTick`], feed it to the scheduler's policy, and
+/// apply whatever resize survives its hysteresis. Sampling takes the core
+/// lock only long enough to read queue depths and counters; the (rare) resize
+/// itself is the heavyweight pipeline swap in [`apply_resize`].
+fn run_tuner(shared: Arc<EngineShared>) {
+    const SLICE: Duration = Duration::from_millis(25);
+    const SLICES_PER_TICK: u32 = 4;
+    loop {
+        for _ in 0..SLICES_PER_TICK {
+            if shared.shutdown_flag.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(SLICE);
+        }
+        let sample = {
+            let core_guard = shared.core.lock();
+            let Some(core) = core_guard.as_ref() else {
+                continue;
+            };
+            let counters = &shared.counters;
+            // Lock order: core before admission, as everywhere.
+            let active_queries = shared.admission.lock().registered.len();
+            SchedulerTick {
+                scan_passes: counters.scan_passes.load(Ordering::Relaxed),
+                last_pass_ns: counters.last_pass_ns.load(Ordering::Relaxed),
+                barrier_wait_ns: counters.barrier_wait_ns.load(Ordering::Relaxed),
+                stage_queue_len: core.stage_queues.first().map_or(0, |q| q.len()),
+                stage_queue_capacity: core.stage_queues.first().map_or(0, |q| q.capacity()),
+                distributor_queue_len: core.distributor_queue.len(),
+                distributor_queue_capacity: core.distributor_queue.capacity(),
+                active_queries,
+                batches_in_flight: core.in_flight.load(Ordering::Acquire),
+            }
+        };
+        if let Some((axis, width, verdict)) = shared.scheduler.tick(sample) {
+            if let Err(e) = apply_resize(&shared, axis, width, ResizeReason::Policy(verdict)) {
+                eprintln!(
+                    "cjoin: elastic resize of {} to {width} failed: {e}",
+                    axis.label()
+                );
+            }
+        }
+    }
+}
+
+/// Swaps the pipeline to a new incarnation with `axis` at `width`, carrying
+/// every in-flight query across.
+///
+/// Under the core lock: drain the current core gracefully (a quiescent point —
+/// every in-flight batch settles and the manager finishes its cleanup
+/// backlog), update the config and scheduler widths, spawn the new core, and
+/// send a re-install for every still-unresolved registered query at its
+/// original snapshot. The installs are *sent* under the lock — the new core
+/// has processed nothing yet and submissions/reaper/supervisor all serialize
+/// on the same lock, so no id can complete-and-recycle between collection and
+/// re-installation. The ack waits happen outside the lock, with the same
+/// failure-aware poll as `submit`.
+///
+/// Re-installed queries restart a full pass at their original snapshot; the
+/// old incarnation's partial routing state died with it, and §3.3's wrap
+/// protocol computes each answer over exactly one complete pass, so a resize
+/// can never drop or duplicate a tuple in a result.
+fn apply_resize(
+    shared: &Arc<EngineShared>,
+    axis: Axis,
+    width: usize,
+    reason: ResizeReason,
+) -> Result<()> {
+    if shared.shutdown_flag.load(Ordering::Acquire) {
+        return Err(Error::invalid_state("engine is shut down"));
+    }
+    let mut core_guard = shared.core.lock();
+    let Some(core) = core_guard.take() else {
+        return Err(Error::invalid_state("pipeline is not running"));
+    };
+    let current = match axis {
+        Axis::ScanWorkers => core.stage_plan.scan_workers,
+        Axis::StageWorkers => core.stage_plan.total_threads(),
+        Axis::DistributorShards => core.stage_plan.distributor_shards,
+    };
+    if current == width {
+        *core_guard = Some(core);
+        return Ok(());
+    }
+    if !shared.supervision && !shared.elastic && !shared.admission.lock().registered.is_empty() {
+        // Without the runtimes registry there is nothing to re-install
+        // in-flight queries from; refuse rather than silently dropping them.
+        *core_guard = Some(core);
+        return Err(Error::invalid_state(
+            "resize with queries in flight requires supervision or auto_tune",
+        ));
+    }
+    teardown_core(core, false);
+    {
+        let mut config = shared.config.lock();
+        match axis {
+            Axis::ScanWorkers => config.scan_workers = width,
+            Axis::StageWorkers => {
+                config.stage_layout = StageLayout::Horizontal;
+                config.worker_threads = width;
+            }
+            Axis::DistributorShards => config.distributor_shards = width,
+        }
+    }
+    let pass = shared.counters.scan_passes.load(Ordering::Relaxed);
+    shared.scheduler.commit_resize(axis, width, reason, pass);
+    let config = shared.config.lock().clone();
+    let new_core = match CjoinEngine::spawn_pipeline(shared, &config) {
+        Ok(core) => core,
+        Err(e) => {
+            // No pipeline to carry the queries to: fail them all, exactly as a
+            // failed supervisor respawn leaves the engine (core stays `None`,
+            // submissions report the engine down).
+            let stranded: Vec<(u32, Arc<QueryRuntime>)> = {
+                let mut admission = shared.admission.lock();
+                admission.runtimes.drain().collect()
+            };
+            for (_, runtime) in &stranded {
+                runtime.mark_cancelled();
+                runtime.resolve(Err(QueryError::StageFailed {
+                    role: "scheduler".into(),
+                    detail: format!("pipeline respawn failed during resize: {e}"),
+                }));
+            }
+            for (id, _) in &stranded {
+                cleanup_query(QueryId(*id), &shared.chain, &shared.admission);
+            }
+            return Err(e);
+        }
+    };
+    // Collect the queries to carry over: unresolved runtimes re-install on the
+    // new core; resolved-but-still-registered ones (cancelled or reaped
+    // queries whose finalize died with the old core) are cleaned up here so
+    // their maxConc slots don't leak.
+    let (pending, orphans) = {
+        let admission = shared.admission.lock();
+        let mut pending = Vec::new();
+        let mut orphans = Vec::new();
+        for (id, runtime) in &admission.runtimes {
+            if runtime.resolved.load(Ordering::Acquire) {
+                orphans.push(QueryId(*id));
+            } else {
+                pending.push(Arc::clone(runtime));
+            }
+        }
+        (pending, orphans)
+    };
+    for id in orphans {
+        cleanup_query(id, &shared.chain, &shared.admission);
+    }
+    let cmd_tx = new_core.cmd_tx.clone();
+    let mut acks = Vec::with_capacity(pending.len());
+    for runtime in pending {
+        let partition = partition_plans(new_core.partition_info.as_ref(), &runtime.bound);
+        let fact_predicate = if runtime.bound.fact_predicate_is_true {
+            None
+        } else {
+            Some(runtime.bound.fact_predicate.clone())
+        };
+        let (ack_tx, ack_rx) = bounded(1);
+        let sent = cmd_tx
+            .send(ScanMessage::Command(PreprocessorCommand::Install {
+                runtime: Arc::clone(&runtime),
+                fact_predicate,
+                snapshot: runtime.snapshot,
+                partition,
+                ack: Some(ack_tx),
+            }))
+            .is_ok();
+        acks.push((runtime, ack_rx, sent));
+    }
+    *core_guard = Some(new_core);
+    shared.core_epoch.fetch_add(1, Ordering::Release);
+    drop(core_guard);
+    // Ack waits outside the lock, failure-aware like `submit`'s: a re-install
+    // that dies mid-flight is owned by the supervisor when there is one, and
+    // resolved right here otherwise.
+    for (runtime, ack_rx, sent) in acks {
+        let installed = sent
+            && loop {
+                match ack_rx.recv_timeout(Duration::from_millis(10)) {
+                    Ok(()) => break true,
+                    Err(RecvTimeoutError::Disconnected) => break false,
+                    Err(RecvTimeoutError::Timeout) => {
+                        if runtime.resolved.load(Ordering::Acquire) {
+                            break true;
+                        }
+                        if cmd_tx
+                            .send(ScanMessage::Command(PreprocessorCommand::Probe))
+                            .is_err()
+                        {
+                            break false;
+                        }
+                    }
+                }
+            };
+        if !installed && !shared.supervision {
+            runtime.mark_cancelled();
+            runtime.resolve(Err(QueryError::StageFailed {
+                role: "scheduler".into(),
+                detail: "pipeline stopped during resize re-installation".into(),
+            }));
+            cleanup_query(runtime.id, &shared.chain, &shared.admission);
+        }
+    }
+    Ok(())
 }
 
 /// The supervisor thread body: reacts to role deaths with [`handle_failure`]
@@ -1404,6 +1763,39 @@ fn handle_failure(
                 eprintln!("cjoin: degrading after '{role}' failure: {note}");
                 shared.degradations.lock().push(note);
             }
+            // A degradation is a forced downscale as far as the scheduler is
+            // concerned: commit the degraded width so the respawn below (and
+            // every future one) spawns the degraded shape even on a governed
+            // axis, record the event, and reset the tuning policy's
+            // hysteresis clock. Same-width commits record nothing.
+            let pass = shared.counters.scan_passes.load(Ordering::Relaxed);
+            match role {
+                RoleKind::ScanWorker(_) | RoleKind::ScanCoordinator => {
+                    shared.scheduler.commit_resize(
+                        Axis::ScanWorkers,
+                        config.scan_workers,
+                        ResizeReason::Degraded,
+                        pass,
+                    );
+                }
+                RoleKind::StageWorker { .. } => {
+                    shared.scheduler.commit_resize(
+                        Axis::StageWorkers,
+                        config.worker_threads,
+                        ResizeReason::Degraded,
+                        pass,
+                    );
+                }
+                RoleKind::ShardRouter | RoleKind::DistributorShard(_) | RoleKind::ShardMerger => {
+                    shared.scheduler.commit_resize(
+                        Axis::DistributorShards,
+                        config.distributor_shards,
+                        ResizeReason::Degraded,
+                        pass,
+                    );
+                }
+                RoleKind::Manager => {}
+            }
         }
         config.clone()
     };
@@ -1414,6 +1806,7 @@ fn handle_failure(
                 .pipeline_restarts
                 .fetch_add(1, Ordering::Relaxed);
             *core_guard = Some(core);
+            shared.core_epoch.fetch_add(1, Ordering::Release);
         }
         Err(e) => {
             eprintln!("cjoin: failed to respawn the pipeline after a role failure: {e}");

@@ -59,6 +59,7 @@
 //! | [`optimizer`] | §3.4 | run-time filter reordering from observed selectivities |
 //! | [`pipeline`] | §4 | thread layout (horizontal / vertical / hybrid stages) |
 //! | [`engine`] | §3.3 | public API: admission (Algorithm 1), finalization (Algorithm 2) |
+//! | [`scheduler`] | §4 | elastic stage scheduler: self-tuning scan/stage/shard widths |
 //! | [`fault`] | — | deterministic fault injection for supervision tests |
 //! | [`stats`] | §6 | operator statistics used by the experiments |
 
@@ -78,11 +79,16 @@ pub mod pool;
 pub mod preprocessor;
 pub mod progress;
 pub mod queue;
+pub mod scheduler;
 pub mod stats;
 pub mod tuple;
 
-pub use config::{CjoinConfig, StageLayout};
+pub use config::{CjoinConfig, PinnedAxes, StageLayout};
 pub use engine::{CjoinEngine, QueryHandle};
 pub use fault::{FaultPlan, FaultSite};
 pub use progress::QueryProgress;
+pub use scheduler::{
+    Axis, BottleneckVerdict, ResizeEvent, ResizeReason, SchedulerStats, SchedulerTick,
+    StageScheduler,
+};
 pub use stats::PipelineStats;

@@ -1879,6 +1879,7 @@ mod tests {
                 cancelled: AtomicBool::new(false),
                 deadline_at: None,
                 admitted_at: Instant::now(),
+                snapshot: SnapshotId::INITIAL,
                 progress: Arc::new(QueryProgress::new(0)),
             }),
             rx,

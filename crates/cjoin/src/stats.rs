@@ -315,6 +315,9 @@ pub struct PipelineStats {
     /// Compressed columnar scan statistics (`None` unless the engine runs with
     /// `CjoinConfig::columnar_scan` enabled).
     pub columnar: Option<ColumnarScanStats>,
+    /// Elastic stage-scheduler snapshot: current per-axis widths, governed
+    /// axes, resize events and the tuning policy's last bottleneck verdict.
+    pub scheduler: crate::scheduler::SchedulerStats,
 }
 
 impl PipelineStats {
@@ -472,6 +475,7 @@ mod tests {
             role_failures: 0,
             pipeline_restarts: 0,
             columnar: None,
+            scheduler: crate::scheduler::SchedulerStats::default(),
         };
         assert!((stats.survival_rate() - 0.25).abs() < 1e-12);
         assert!((stats.pool_hit_rate() - 0.5).abs() < 1e-12);

@@ -19,7 +19,7 @@ use crossbeam::channel::Sender;
 
 use cjoin_common::{QueryId, QuerySet};
 use cjoin_query::{BoundStarQuery, QueryOutcome};
-use cjoin_storage::{Row, RowId};
+use cjoin_storage::{Row, RowId, SnapshotId};
 
 use crate::progress::QueryProgress;
 
@@ -311,6 +311,11 @@ pub struct QueryRuntime {
     pub deadline_at: Option<Instant>,
     /// When the query was admitted (start of Algorithm 1), for statistics.
     pub admitted_at: Instant,
+    /// The storage snapshot the query was admitted against. An elastic resize
+    /// re-installs in-flight queries on the new pipeline incarnation at this
+    /// same snapshot, so the restarted pass sees exactly the rows the original
+    /// admission saw.
+    pub snapshot: SnapshotId,
     /// Progress tracker shared with the query's [`QueryHandle`](crate::engine::QueryHandle).
     pub progress: Arc<QueryProgress>,
 }

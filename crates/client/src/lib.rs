@@ -7,12 +7,15 @@
 //! how the equivalence suite proves the socket path bit-identical to the
 //! in-process path.
 //!
-//! The transport is deliberately simple: one connection per submitted query.
-//! `submit` opens a connection, sends the submit frame, and keeps the
-//! connection inside the returned [`RemoteTicket`]; `wait` sends the wait
-//! frame on that same connection and blocks for the outcome (mirroring the
-//! server's connection-scoped tickets). Control requests (`stats`,
-//! `shutdown`) each use a short-lived connection.
+//! The transport is session multiplexing lite: the engine keeps a small pool
+//! of idle connections and `submit` reuses one when available — the submit
+//! frame, the ticket and the later wait frame all travel on that single
+//! connection (mirroring the server's connection-scoped tickets), and a
+//! cleanly finished `wait` returns the connection to the pool for the next
+//! query. A pool miss, or an I/O failure on a reused connection the server
+//! may have dropped while idle, falls back to the original
+//! one-connection-per-query path by opening a fresh socket. Control requests
+//! (`stats`, `shutdown`) each use a short-lived connection.
 //!
 //! Admission identity travels with the engine handle: [`RemoteEngine::with_tenant`]
 //! names the tenant every submission is accounted against, and
@@ -24,12 +27,32 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
 
 use cjoin_common::{Error, Result};
 use cjoin_query::wire::{read_frame, write_frame, AdmissionPolicy, Request, Response, ServerStats};
 use cjoin_query::{
-    EngineStats, JoinEngine, QueryError, QueryOutcome, QueryTicket, ReadyTicket, StarQuery,
+    EngineStats, JoinEngine, QueryError, QueryOutcome, QueryTicket, ReadyTicket, SchedulerSummary,
+    StarQuery,
 };
+
+/// How many idle connections the engine keeps warm for reuse. Beyond this,
+/// finished connections are simply closed — the cap bounds idle sockets held
+/// against the server, it never limits concurrency (a pool miss opens a fresh
+/// connection).
+const POOL_CAP: usize = 8;
+
+/// The shared idle-connection pool; a plain LIFO so the most recently used
+/// (least likely to have been reaped as idle) connection is reused first.
+type Pool = Arc<Mutex<Vec<TcpStream>>>;
+
+/// Returns `stream` to the pool, or closes it if the pool is at capacity.
+fn check_in(pool: &Pool, stream: TcpStream) {
+    let mut idle = pool.lock().unwrap_or_else(|e| e.into_inner());
+    if idle.len() < POOL_CAP {
+        idle.push(stream);
+    }
+}
 
 fn io_error(context: &str, e: &io::Error) -> Error {
     Error::invalid_state(format!("{context}: {e}"))
@@ -65,6 +88,7 @@ pub struct RemoteEngine {
     tenant: String,
     policy: AdmissionPolicy,
     name: String,
+    pool: Pool,
 }
 
 impl RemoteEngine {
@@ -85,6 +109,7 @@ impl RemoteEngine {
             tenant: "default".to_string(),
             policy: AdmissionPolicy::Queue,
             name: "served".to_string(),
+            pool: Pool::default(),
         };
         engine.server_stats()?;
         Ok(engine)
@@ -156,6 +181,34 @@ impl RemoteEngine {
             other => Err(unexpected_response("stats", &other)),
         }
     }
+
+    /// Turns the server's answer to a submit frame into a ticket, deciding
+    /// what happens to the connection: a live ticket keeps it (the wait frame
+    /// travels on it), while an immediately resolved or refused submission
+    /// leaves the connection clean, so it goes back to the pool.
+    fn finish_submit(&self, stream: TcpStream, response: Response) -> Result<Box<dyn QueryTicket>> {
+        match response {
+            Response::Submitted { ticket } => Ok(Box::new(RemoteTicket {
+                stream,
+                ticket,
+                pool: Arc::clone(&self.pool),
+            })),
+            // A shed or refused submission comes back as an immediate outcome;
+            // hand it to the caller as a pre-resolved ticket so the typed
+            // QueryError surfaces through wait(), exactly like in-process.
+            Response::Outcome(outcome) => {
+                check_in(&self.pool, stream);
+                Ok(Box::new(ReadyTicket::new(outcome)))
+            }
+            Response::Protocol { kind, message } => {
+                check_in(&self.pool, stream);
+                Err(Error::invalid_state(format!(
+                    "server refused submit ({kind}): {message}"
+                )))
+            }
+            other => Err(unexpected_response("submit", &other)),
+        }
+    }
 }
 
 impl JoinEngine for RemoteEngine {
@@ -164,29 +217,38 @@ impl JoinEngine for RemoteEngine {
     }
 
     fn submit(&self, query: StarQuery) -> Result<Box<dyn QueryTicket>> {
-        let mut stream = self.open()?;
-        let request = Request::Submit {
+        let payload = Request::Submit {
             tenant: self.tenant.clone(),
             policy: self.policy,
             query: Box::new(query),
-        };
-        write_frame(&mut stream, &request.encode())
-            .map_err(|e| io_error("sending submit failed", &e))?;
-        match Self::read_response(&mut stream)? {
-            Response::Submitted { ticket } => Ok(Box::new(RemoteTicket { stream, ticket })),
-            // A shed or refused submission comes back as an immediate outcome;
-            // hand it to the caller as a pre-resolved ticket so the typed
-            // QueryError surfaces through wait(), exactly like in-process.
-            Response::Outcome(outcome) => Ok(Box::new(ReadyTicket::new(outcome))),
-            Response::Protocol { kind, message } => Err(Error::invalid_state(format!(
-                "server refused submit ({kind}): {message}"
-            ))),
-            other => Err(unexpected_response("submit", &other)),
         }
+        .encode();
+        // Prefer a pooled connection. The server may have dropped it while
+        // idle, so a transport failure on the reused socket falls back to the
+        // per-query path below instead of surfacing to the caller. (If the
+        // server had in fact admitted the submit before the connection died,
+        // its connection drain cancels the orphaned ticket, so the retry
+        // costs at most transient duplicate scan work, never leaked state.)
+        let pooled = self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        if let Some(mut stream) = pooled {
+            if write_frame(&mut stream, &payload).is_ok() {
+                if let Ok(response) = Self::read_response(&mut stream) {
+                    return self.finish_submit(stream, response);
+                }
+            }
+        }
+        let mut stream = self.open()?;
+        write_frame(&mut stream, &payload).map_err(|e| io_error("sending submit failed", &e))?;
+        let response = Self::read_response(&mut stream)?;
+        self.finish_submit(stream, response)
     }
 
     fn stats(&self) -> EngineStats {
         self.server_stats().map(|s| s.engine).unwrap_or_default()
+    }
+
+    fn scheduler_summary(&self) -> Option<SchedulerSummary> {
+        self.server_stats().ok().and_then(|s| s.scheduler)
     }
 
     fn shutdown(&self) {
@@ -197,15 +259,18 @@ impl JoinEngine for RemoteEngine {
 }
 
 /// Completion handle for one remotely submitted query; owns the connection
-/// its ticket is scoped to.
+/// its ticket is scoped to, and returns it to the engine's pool once the
+/// outcome has been cleanly received.
 pub struct RemoteTicket {
     stream: TcpStream,
     ticket: u64,
+    pool: Pool,
 }
 
 impl QueryTicket for RemoteTicket {
     fn wait(self: Box<Self>) -> QueryOutcome {
         let ticket = self.ticket;
+        let pool = self.pool;
         let mut stream = self.stream;
         let response = (|| -> Result<Response> {
             write_frame(&mut stream, &Request::Wait { ticket }.encode())
@@ -213,7 +278,14 @@ impl QueryTicket for RemoteTicket {
             RemoteEngine::read_response(&mut stream)
         })();
         match response {
-            Ok(Response::Outcome(outcome)) => outcome,
+            // A full submit/wait exchange completed: the connection carries no
+            // residue and is safe to reuse for the next query.
+            Ok(Response::Outcome(outcome)) => {
+                check_in(&pool, stream);
+                outcome
+            }
+            // Anything else leaves the connection in an unknown framing state;
+            // dropping `stream` here closes it instead of pooling it.
             Ok(Response::Protocol { kind, message }) => Err(QueryError::Engine(
                 Error::invalid_state(format!("server refused wait ({kind}): {message}")),
             )),

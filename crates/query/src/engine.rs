@@ -168,6 +168,34 @@ pub struct EngineStats {
     pub fact_tuples_scanned: u64,
 }
 
+/// A point-in-time summary of an engine's elastic stage scheduler, when it has
+/// one: the current parallelism widths per pipeline axis, how they were chosen,
+/// and the last bottleneck verdict the tuning policy reached.
+///
+/// Lives here (not in the CJOIN crate) so the server can report it over the
+/// stats RPC through `&dyn JoinEngine` without depending on engine internals,
+/// mirroring [`EngineStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedulerSummary {
+    /// Whether self-tuning is enabled (axes left at their defaults are sized
+    /// from the host and re-sized from live pipeline counters).
+    pub auto_tune: bool,
+    /// `std::thread::available_parallelism()` as observed at engine start.
+    pub available_parallelism: u64,
+    /// Current number of continuous-scan workers.
+    pub scan_workers: u64,
+    /// Current number of filter-stage worker threads.
+    pub stage_workers: u64,
+    /// Current number of aggregation (Distributor) shards.
+    pub distributor_shards: u64,
+    /// Total resize events since engine start (startup sizing, policy
+    /// decisions, forced resizes and supervision degradations).
+    pub resizes: u64,
+    /// Display name of the last bottleneck verdict the tuning policy reached
+    /// (empty until the policy has observed a tick).
+    pub last_verdict: String,
+}
+
 /// The shared join-engine interface: submit / wait / shutdown / stats.
 pub trait JoinEngine: Send + Sync {
     /// Short display name used in experiment tables and reports.
@@ -199,6 +227,14 @@ pub trait JoinEngine: Send + Sync {
     /// does not model one (the baseline). Admission layers — CJOIN's own
     /// pre-shed and the server front door — quote deadlines against this.
     fn quote_eta(&self) -> Option<Duration> {
+        None
+    }
+
+    /// The engine's elastic-scheduler summary: current per-axis parallelism
+    /// widths and the last bottleneck verdict. `None` for engines without a
+    /// stage scheduler (the baseline, remote engines talking to an old
+    /// server).
+    fn scheduler_summary(&self) -> Option<SchedulerSummary> {
         None
     }
 

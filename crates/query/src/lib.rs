@@ -32,7 +32,9 @@ pub mod star;
 pub mod wire;
 
 pub use aggregate::{AggFunc, AggValue, GroupedAggregator};
-pub use engine::{EngineStats, JoinEngine, QueryError, QueryOutcome, QueryTicket, ReadyTicket};
+pub use engine::{
+    EngineStats, JoinEngine, QueryError, QueryOutcome, QueryTicket, ReadyTicket, SchedulerSummary,
+};
 pub use expr::{BoundPredicate, CompareOp, Predicate};
 pub use result::QueryResult;
 pub use star::{

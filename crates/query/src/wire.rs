@@ -33,7 +33,7 @@ use cjoin_common::Error;
 use cjoin_storage::{SnapshotId, Value};
 
 use crate::aggregate::{AggFunc, AggValue};
-use crate::engine::{EngineStats, QueryError, QueryOutcome};
+use crate::engine::{EngineStats, QueryError, QueryOutcome, SchedulerSummary};
 use crate::expr::{CompareOp, Predicate};
 use crate::result::QueryResult;
 use crate::star::{AggregateSpec, ColumnRef, DimensionClause, StarQuery, TableRef};
@@ -724,6 +724,9 @@ pub struct ServerStats {
     pub engine: EngineStats,
     /// One entry per tenant that has contacted the server.
     pub tenants: Vec<TenantStats>,
+    /// The engine's elastic-scheduler summary (current per-axis widths and the
+    /// last bottleneck verdict); `None` for engines without one.
+    pub scheduler: Option<SchedulerSummary>,
 }
 
 fn encode_server_stats(buf: &mut Vec<u8>, s: &ServerStats) {
@@ -740,6 +743,19 @@ fn encode_server_stats(buf: &mut Vec<u8>, s: &ServerStats) {
         put_u64(buf, t.shed_at_cap);
         put_u64(buf, t.shed_deadline);
         put_u64(buf, t.in_flight);
+    }
+    match &s.scheduler {
+        None => put_u8(buf, 0),
+        Some(sched) => {
+            put_u8(buf, 1);
+            put_u8(buf, u8::from(sched.auto_tune));
+            put_u64(buf, sched.available_parallelism);
+            put_u64(buf, sched.scan_workers);
+            put_u64(buf, sched.stage_workers);
+            put_u64(buf, sched.distributor_shards);
+            put_u64(buf, sched.resizes);
+            put_str(buf, &sched.last_verdict);
+        }
     }
 }
 
@@ -763,7 +779,29 @@ fn decode_server_stats(cur: &mut Cursor<'_>) -> Result<ServerStats, WireError> {
             in_flight: cur.u64()?,
         });
     }
-    Ok(ServerStats { engine, tenants })
+    let scheduler = match cur.u8()? {
+        0 => None,
+        1 => Some(SchedulerSummary {
+            auto_tune: cur.u8()? != 0,
+            available_parallelism: cur.u64()?,
+            scan_workers: cur.u64()?,
+            stage_workers: cur.u64()?,
+            distributor_shards: cur.u64()?,
+            resizes: cur.u64()?,
+            last_verdict: cur.str()?,
+        }),
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "scheduler summary",
+                tag,
+            })
+        }
+    };
+    Ok(ServerStats {
+        engine,
+        tenants,
+        scheduler,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1199,7 +1237,17 @@ mod tests {
                     shed_deadline: 2,
                     in_flight: 2,
                 }],
+                scheduler: Some(SchedulerSummary {
+                    auto_tune: true,
+                    available_parallelism: 1,
+                    scan_workers: 1,
+                    stage_workers: 2,
+                    distributor_shards: 1,
+                    resizes: 3,
+                    last_verdict: "stage-saturated".into(),
+                }),
             }),
+            Response::Stats(ServerStats::default()),
             Response::Ack,
             Response::Protocol {
                 kind: ProtocolErrorKind::MalformedFrame,

@@ -156,15 +156,17 @@ impl Shared {
 
     /// Runs the full admission decision for one submission. `Ok(())` means an
     /// in-flight slot was consumed and the caller must pair it with
-    /// [`Shared::release`]; `Err` carries the response to send instead.
+    /// [`Shared::release`]; `Err` carries the response to send instead
+    /// (boxed: `Response` embeds full `ServerStats`, so the refusal variant
+    /// would otherwise dominate the `Result`'s size).
     fn admit(
         &self,
         tenant: &str,
         policy: AdmissionPolicy,
         query: &StarQuery,
-    ) -> std::result::Result<(), Response> {
+    ) -> std::result::Result<(), Box<Response>> {
         if self.shutting_down() {
-            return Err(shutting_down_response());
+            return Err(Box::new(shutting_down_response()));
         }
         let cap = self.config.tenant_inflight_cap as u64;
         let mut tenants = self.lock_tenants();
@@ -184,10 +186,12 @@ impl Shared {
                 };
                 if estimated > deadline {
                     state.shed_deadline += 1;
-                    return Err(Response::Outcome(Err(QueryError::ShedAtAdmission {
-                        deadline,
-                        estimated,
-                    })));
+                    return Err(Box::new(Response::Outcome(Err(
+                        QueryError::ShedAtAdmission {
+                            deadline,
+                            estimated,
+                        },
+                    ))));
                 }
             }
         }
@@ -201,22 +205,22 @@ impl Shared {
         match policy {
             AdmissionPolicy::Shed => {
                 state.shed_at_cap += 1;
-                Err(Response::Outcome(Err(QueryError::Engine(
+                Err(Box::new(Response::Outcome(Err(QueryError::Engine(
                     Error::invalid_state(format!(
                         "tenant '{tenant}' is at its in-flight cap of {cap} (policy: shed)"
                     )),
-                ))))
+                )))))
             }
             AdmissionPolicy::Queue => {
                 if state.waiting >= self.config.tenant_queue_cap as u64 {
                     state.shed_at_cap += 1;
-                    return Err(Response::Outcome(Err(QueryError::Engine(
+                    return Err(Box::new(Response::Outcome(Err(QueryError::Engine(
                         Error::invalid_state(format!(
                             "tenant '{tenant}' backpressure queue is full \
                              ({} submissions already waiting)",
                             state.waiting
                         )),
-                    ))));
+                    )))));
                 }
                 state.waiting += 1;
                 state.queued += 1;
@@ -231,7 +235,7 @@ impl Shared {
                         .expect("tenant states are never removed");
                     if self.shutting_down() {
                         state.waiting -= 1;
-                        return Err(shutting_down_response());
+                        return Err(Box::new(shutting_down_response()));
                     }
                     if state.in_flight < cap {
                         state.waiting -= 1;
@@ -276,7 +280,11 @@ impl Shared {
             .collect();
         drop(tenants_map);
         tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
-        ServerStats { engine, tenants }
+        ServerStats {
+            engine,
+            tenants,
+            scheduler: self.engine.scheduler_summary(),
+        }
     }
 }
 
@@ -474,7 +482,7 @@ impl Connection {
 
     fn submit(&mut self, tenant: String, policy: AdmissionPolicy, query: StarQuery) -> Response {
         if let Err(refusal) = self.shared.admit(&tenant, policy, &query) {
-            return refusal;
+            return *refusal;
         }
         match self.shared.engine.submit(query) {
             Ok(ticket) => {

@@ -81,6 +81,20 @@ fn engines_under_test(catalog: &Arc<Catalog>) -> Vec<Box<dyn JoinEngine>> {
             .unwrap(),
         ));
     }
+    // The elastic scheduler: all parallelism knobs left at their defaults so
+    // the scheduler governs every axis, sizes them from the host at start and
+    // may resize them mid-workload — results must stay oracle-identical.
+    engines.push(Box::new(
+        CjoinEngine::start(
+            Arc::clone(catalog),
+            CjoinConfig {
+                max_concurrency: 32,
+                batch_size: 256,
+                ..CjoinConfig::default()
+            },
+        )
+        .unwrap(),
+    ));
     engines
 }
 

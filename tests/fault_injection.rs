@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 use std::sync::Arc;
 
 use cjoin_repro::cjoin::fault::{FaultPlan, FaultSite};
-use cjoin_repro::cjoin::{CjoinConfig, CjoinEngine, QueryHandle};
+use cjoin_repro::cjoin::{Axis, CjoinConfig, CjoinEngine, QueryHandle, ResizeReason};
 use cjoin_repro::query::{reference, QueryError, QueryOutcome, QueryResult};
 use cjoin_repro::ssb::{SsbConfig, SsbDataSet, Workload, WorkloadConfig};
 use cjoin_repro::{SnapshotId, StarQuery};
@@ -352,5 +352,88 @@ fn corrupt_row_group_is_quarantined_and_answers_stay_exact() {
         columnar.groups_quarantined >= 1,
         "corrupted group was never quarantined"
     );
+    engine.shutdown();
+}
+
+/// Supervision composed with the elastic scheduler: a Stage panic forces the
+/// supervisor to downscale the stage axis (the degradation is committed to the
+/// scheduler so respawns keep the degraded shape), after which a scheduler
+/// upscale via `request_resize` re-grows the axis — and the engine must serve
+/// an oracle-exact query on the re-grown pipeline.
+#[test]
+fn scheduler_upscale_after_panic_downscale_serves_exact_answers() {
+    let data = test_data();
+    let catalog = data.catalog();
+    let doomed = test_queries(&data, 51).remove(0);
+
+    // Governed config: every parallelism knob is left at its default so the
+    // scheduler owns the widths; the fault plan kills a Stage worker on its
+    // second processed batch while the scan is slowed enough to keep the
+    // query in flight.
+    let plan = FaultPlan::seeded(11)
+        .delay(FaultSite::ScanWorker, 500)
+        .panic_at_event(FaultSite::StageWorker, 2)
+        .build();
+    let config = CjoinConfig {
+        max_concurrency: 8,
+        batch_size: 128,
+        ..CjoinConfig::default()
+    }
+    .with_fault_plan(plan);
+    let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+    assert!(engine.scheduler_stats().governed.iter().all(|&g| g));
+
+    // The doomed query resolves with StageFailed (or completes, if the panic
+    // landed after its answer was sealed) — bounded either way.
+    match wait_bounded(&engine.submit(doomed).unwrap(), "doomed ticket") {
+        Ok(_) | Err(QueryError::StageFailed { .. }) => {}
+        other => panic!("expected Ok or StageFailed, got {other:?}"),
+    }
+    let start = Instant::now();
+    while engine.degradations().is_empty() {
+        assert!(
+            start.elapsed() < RESOLVE_TIMEOUT,
+            "stage death never recorded a degradation step"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // The supervisor's downscale collapsed the stage axis to one worker; an
+    // explicit scheduler upscale now re-grows it past the degraded width.
+    let start = Instant::now();
+    loop {
+        match engine.request_resize(Axis::StageWorkers, 2) {
+            Ok(()) => break,
+            // A submit/resize during the supervisor's restart window is
+            // refused with a typed error, never hung — retry, bounded.
+            Err(err) => assert!(
+                start.elapsed() < RESOLVE_TIMEOUT,
+                "upscale kept failing: {err}"
+            ),
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let stats = engine.scheduler_stats();
+    assert_eq!(stats.stage_workers, 2, "upscale took effect");
+    assert!(
+        stats
+            .resizes
+            .iter()
+            .any(|e| e.axis == Axis::StageWorkers && e.reason == ResizeReason::Forced && e.to == 2),
+        "forced upscale recorded: {:?}",
+        stats.resizes
+    );
+
+    // The re-grown pipeline serves fresh queries oracle-exactly. The fault
+    // plan's one-shot panic already fired, so these run clean.
+    let probe = test_queries(&data, 52).remove(0);
+    let expected = reference::evaluate(&catalog, &probe, SnapshotId::INITIAL).unwrap();
+    let result = wait_bounded(
+        &submit_with_retry(&engine, &probe, "post-upscale probe"),
+        "post-upscale probe",
+    )
+    .unwrap();
+    assert_matches_oracle(&result, &expected, "post-upscale probe");
+    assert_quiesces(&engine, "post-upscale quiesce");
     engine.shutdown();
 }

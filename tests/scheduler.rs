@@ -1,0 +1,271 @@
+//! Elastic stage-scheduler integration tests.
+//!
+//! The invariant under attack: **a mid-flight resize never drops or duplicates
+//! a tuple in any query's answer**. A resize drains the current pipeline
+//! incarnation at a quiescent point and re-installs every in-flight query on
+//! the new one at its original snapshot, restarting its pass — by §3.3's wrap
+//! protocol any complete pass over the snapshot yields the exact answer, so
+//! COUNT/SUM aggregates must stay oracle-identical across forced upscales and
+//! downscales, and the pipeline must quiesce to `batches_in_flight == 0`
+//! afterwards.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cjoin_repro::cjoin::fault::{FaultPlan, FaultSite};
+use cjoin_repro::cjoin::{Axis, CjoinConfig, CjoinEngine, QueryHandle, ResizeReason};
+use cjoin_repro::query::{reference, JoinEngine, QueryOutcome};
+use cjoin_repro::ssb::{SsbConfig, SsbDataSet, Workload, WorkloadConfig};
+use cjoin_repro::{SnapshotId, StarQuery};
+
+const RESOLVE_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn wait_bounded(handle: &QueryHandle, what: &str) -> QueryOutcome {
+    let start = Instant::now();
+    loop {
+        if let Some(outcome) = handle.try_result() {
+            return outcome;
+        }
+        assert!(
+            start.elapsed() < RESOLVE_TIMEOUT,
+            "{what}: ticket did not resolve within {RESOLVE_TIMEOUT:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn assert_quiesces(engine: &CjoinEngine, what: &str) {
+    let start = Instant::now();
+    loop {
+        let stats = engine.stats();
+        if stats.batches_in_flight == 0 {
+            return;
+        }
+        assert!(
+            start.elapsed() < RESOLVE_TIMEOUT,
+            "{what}: batches_in_flight stuck at {} after {RESOLVE_TIMEOUT:?}",
+            stats.batches_in_flight
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn test_data() -> SsbDataSet {
+    SsbDataSet::generate(SsbConfig::for_tests(0.001, 901))
+}
+
+fn test_queries(data: &SsbDataSet, count: usize, seed: u64) -> Vec<StarQuery> {
+    Workload::generate(data, WorkloadConfig::new(count, 0.05, seed))
+        .queries()
+        .to_vec()
+}
+
+/// Forced upscale and downscale on every axis while queries are in flight:
+/// every answer stays oracle-exact, every resize is recorded, and the pipeline
+/// quiesces afterwards.
+#[test]
+fn mid_flight_resizes_never_drop_or_duplicate_tuples() {
+    let data = test_data();
+    let catalog = data.catalog();
+    let queries = test_queries(&data, 4, 91);
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|q| reference::evaluate(&catalog, q, SnapshotId::INITIAL).unwrap())
+        .collect();
+
+    // Slow the scan so the queries are reliably still mid-pass when the
+    // resizes land; all axes left at their defaults so the scheduler governs
+    // them (max_concurrency/batch_size are not axes).
+    let config = CjoinConfig {
+        max_concurrency: 16,
+        batch_size: 128,
+        ..CjoinConfig::default()
+    }
+    .with_fault_plan(
+        FaultPlan::seeded(17)
+            .delay(FaultSite::ScanWorker, 1_000)
+            .build(),
+    );
+    let engine = CjoinEngine::start(Arc::clone(&catalog), config).unwrap();
+    let baseline = engine.scheduler_stats();
+    assert!(baseline.governed.iter().all(|&g| g), "all axes governed");
+    let stage0 = baseline.stage_workers;
+
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|q| engine.submit(q.clone()).unwrap())
+        .collect();
+
+    // Forced upscale on every axis mid-flight (scan and shards start at the
+    // classic width 1 whatever the host; the stage axis grows one past its
+    // startup size), then back down again.
+    engine.request_resize(Axis::ScanWorkers, 2).unwrap();
+    engine
+        .request_resize(Axis::StageWorkers, stage0 + 1)
+        .unwrap();
+    engine.request_resize(Axis::DistributorShards, 2).unwrap();
+    engine.request_resize(Axis::DistributorShards, 1).unwrap();
+    engine.request_resize(Axis::StageWorkers, stage0).unwrap();
+    engine.request_resize(Axis::ScanWorkers, 1).unwrap();
+
+    for ((query, handle), expected) in queries.iter().zip(&handles).zip(&expected) {
+        let result = wait_bounded(handle, &query.name).unwrap();
+        assert!(
+            result.approx_eq(expected),
+            "{} diverged from oracle across resizes: {:?}",
+            query.name,
+            result.diff(expected)
+        );
+    }
+    assert_quiesces(&engine, "post-resize quiesce");
+
+    // Every forced resize is observable: six events with reason Forced, and
+    // the final widths are back at the classic shape.
+    let stats = engine.stats();
+    let forced: Vec<_> = stats
+        .scheduler
+        .resizes
+        .iter()
+        .filter(|e| e.reason == ResizeReason::Forced)
+        .collect();
+    assert_eq!(
+        forced.len(),
+        6,
+        "all six forced resizes recorded: {forced:?}"
+    );
+    assert_eq!(
+        (
+            stats.scheduler.scan_workers,
+            stats.scheduler.stage_workers,
+            stats.scheduler.distributor_shards
+        ),
+        (1, stage0, 1)
+    );
+    engine.shutdown();
+}
+
+/// Startup sizing derives from the host: the scan and aggregation axes start
+/// at the classic width 1, the stage axis at `min(cores - 2, default)` but
+/// never below 1 — on a 1-core host the whole pipeline collapses to the
+/// paper's classic single-threaded shape.
+#[test]
+fn startup_sizing_collapses_to_classic_shape_when_cores_are_scarce() {
+    let data = test_data();
+    let catalog = data.catalog();
+    let engine = CjoinEngine::start(
+        Arc::clone(&catalog),
+        CjoinConfig {
+            max_concurrency: 16,
+            ..CjoinConfig::default()
+        },
+    )
+    .unwrap();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let stats = engine.scheduler_stats();
+    assert!(stats.auto_tune);
+    assert_eq!(stats.available_parallelism, cores);
+    assert_eq!(stats.scan_workers, 1);
+    assert_eq!(stats.distributor_shards, 1);
+    let expected_stage = cores
+        .saturating_sub(2)
+        .clamp(1, CjoinConfig::default().worker_threads);
+    assert_eq!(stats.stage_workers, expected_stage);
+    if cores == 1 {
+        assert_eq!(
+            (
+                stats.scan_workers,
+                stats.stage_workers,
+                stats.distributor_shards
+            ),
+            (1, 1, 1),
+            "1-core host runs the classic single-threaded shape"
+        );
+    }
+    // The spawned pipeline actually has the scheduler's shape.
+    let plan = engine.stage_plan();
+    assert_eq!(plan.total_threads(), expected_stage);
+
+    // The summary is visible through the engine-independent trait (and hence
+    // the server stats RPC, which forwards it verbatim).
+    let summary = (&engine as &dyn JoinEngine).scheduler_summary().unwrap();
+    assert!(summary.auto_tune);
+    assert_eq!(summary.available_parallelism, cores as u64);
+    assert_eq!(summary.stage_workers, expected_stage as u64);
+    engine.shutdown();
+}
+
+/// Explicitly configured knobs are fixed overrides: the scheduler governs
+/// nothing, records nothing, and the pipeline spawns bit-identically to the
+/// pre-scheduler engine.
+#[test]
+fn pinned_knobs_behave_bit_identically() {
+    let data = test_data();
+    let catalog = data.catalog();
+    let queries = test_queries(&data, 2, 92);
+    let engine = CjoinEngine::start(
+        Arc::clone(&catalog),
+        CjoinConfig::default()
+            .with_worker_threads(2)
+            .with_scan_workers(2)
+            .with_distributor_shards(2)
+            .with_max_concurrency(16),
+    )
+    .unwrap();
+
+    let stats = engine.scheduler_stats();
+    assert!(stats.governed.iter().all(|&g| !g), "nothing governed");
+    assert!(stats.resizes.is_empty(), "no startup resize on pinned axes");
+    assert_eq!(
+        (
+            stats.scan_workers,
+            stats.stage_workers,
+            stats.distributor_shards
+        ),
+        (2, 2, 2)
+    );
+    let plan = engine.stage_plan();
+    assert_eq!(plan.scan_workers, 2);
+    assert_eq!(plan.distributor_shards, 2);
+
+    // A forced resize still works on pinned axes — an explicit request
+    // outranks the builder pin — and answers stay exact afterwards.
+    engine.request_resize(Axis::DistributorShards, 1).unwrap();
+    assert_eq!(engine.scheduler_stats().distributor_shards, 1);
+    for query in &queries {
+        let expected = reference::evaluate(&catalog, query, SnapshotId::INITIAL).unwrap();
+        let result = wait_bounded(&engine.submit(query.clone()).unwrap(), &query.name).unwrap();
+        assert!(
+            result.approx_eq(&expected),
+            "{} diverged after pinned-axis resize: {:?}",
+            query.name,
+            result.diff(&expected)
+        );
+    }
+    assert_quiesces(&engine, "pinned-axis quiesce");
+    engine.shutdown();
+}
+
+/// Invalid resize requests are refused with typed errors and leave the
+/// pipeline untouched.
+#[test]
+fn invalid_resize_requests_are_refused() {
+    let data = test_data();
+    let catalog = data.catalog();
+    let engine = CjoinEngine::start(
+        Arc::clone(&catalog),
+        CjoinConfig {
+            max_concurrency: 8,
+            ..CjoinConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(engine.request_resize(Axis::ScanWorkers, 0).is_err());
+    assert!(engine.request_resize(Axis::ScanWorkers, 65).is_err());
+    assert!(engine.request_resize(Axis::DistributorShards, 257).is_err());
+    let queries = test_queries(&data, 1, 93);
+    let expected = reference::evaluate(&catalog, &queries[0], SnapshotId::INITIAL).unwrap();
+    let result = engine.execute(queries[0].clone()).unwrap();
+    assert!(result.approx_eq(&expected), "{:?}", result.diff(&expected));
+    engine.shutdown();
+}
