@@ -9,7 +9,7 @@
 //!   --threads <usize>      CJOIN worker threads          (default 4)
 //!   --concurrency <list>   comma-separated n values      (default 1,32,64,128,256)
 //!   --markdown             print Markdown tables instead of plain text
-//!   --out <path>           output path for bench-json    (default BENCH_PR9.json)
+//!   --out <path>           output path for bench-json    (default BENCH_PR10.json)
 //! ```
 //!
 //! `bench-json` runs the filter hot-path ablation (batched vs. per-tuple probing),
@@ -26,7 +26,11 @@
 //! in qph and p99 response) and the elastic-scheduler A/B (`auto_tune` ∈
 //! {off, on} against a static `worker_threads` ∈ {1, 2, 4} sweep, proving the
 //! scheduler's self-chosen widths keep up with the best hand-tuned static
-//! configuration on the same host) on fixed fig5/fig8-style workloads and writes a
+//! configuration on the same host) and the ingest-durability sweep
+//! (`SyncPolicy` ∈ {every-record, on-commit, never} × rows-per-batch ∈
+//! {1, 64, 1024} at a constant total row count: WAL-logged ingest rate,
+//! commits/s, fsync wait per commit, and timed crash recovery of the produced
+//! log) on fixed fig5/fig8-style workloads and writes a
 //! machine-readable baseline for the perf trajectory of future PRs. The host's
 //! available parallelism is recorded alongside: segment scan workers trade
 //! extra CPU for wall-clock, so their speedup only materialises where spare
@@ -45,10 +49,11 @@ use cjoin_bench::experiments::{
 use cjoin_bench::hotpath::{
     columnar_range_probe, end_to_end_ab, end_to_end_auto_tune, end_to_end_columnar,
     end_to_end_scan_workers, end_to_end_served, end_to_end_sharding, end_to_end_supervision,
-    EndToEndReport, ProbeAblationParams, ProbeHarness,
+    ingest_rate, EndToEndReport, ProbeAblationParams, ProbeHarness,
 };
 use cjoin_bench::{JsonObject, RunReport, Table};
 use cjoin_common::Result;
+use cjoin_storage::SyncPolicy;
 
 struct Options {
     experiment: String,
@@ -64,7 +69,7 @@ fn parse_args() -> std::result::Result<Options, String> {
     let mut params = ExperimentParams::default();
     let mut concurrency = vec![1, 32, 64, 128, 256];
     let mut markdown = false;
-    let mut out = "BENCH_PR9.json".to_string();
+    let mut out = "BENCH_PR10.json".to_string();
 
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -312,6 +317,47 @@ fn run_bench_json(options: &Options) -> Result<()> {
             tune_on.throughput_qph / best_static_qph,
         );
 
+    // Ingest-durability sweep: the WAL-logged ingestion path under every sync
+    // policy × batch size at a constant total row count. Contiguous fact rows
+    // coalesce into one WAL record, so rows-per-batch is the group-commit
+    // amortization axis; each cell also times a cold restart replaying the
+    // produced log onto a fresh warehouse.
+    eprintln!("# ingest-durability sweep (SyncPolicy x rows-per-batch, constant total rows)");
+    let total_rows = 2048usize;
+    let mut ingest_durability = JsonObject::new();
+    for (policy, policy_name) in [
+        (SyncPolicy::EveryRecord, "every_record"),
+        (SyncPolicy::OnCommit, "on_commit"),
+        (SyncPolicy::Never, "never"),
+    ] {
+        for rows_per_batch in [1usize, 64, 1024] {
+            let batches = total_rows / rows_per_batch;
+            let report = ingest_rate(&e2e, policy, rows_per_batch, batches)?;
+            eprintln!(
+                "  policy={policy_name} rows/batch={rows_per_batch}: \
+                 {:.0} rows/s, {:.0} commits/s, {:.0} ns fsync/commit, \
+                 recovery {:.1} ms for {} rows",
+                report.rows_per_sec,
+                report.commits_per_sec,
+                report.sync_ns_per_commit,
+                report.recovery_ms,
+                report.recovered_rows
+            );
+            ingest_durability = ingest_durability.field_obj(
+                &format!("{policy_name}_batch_{rows_per_batch}"),
+                JsonObject::new()
+                    .field_u64("batches", report.batches as u64)
+                    .field_u64("rows_per_batch", report.rows_per_batch as u64)
+                    .field_f64("rows_per_sec", report.rows_per_sec)
+                    .field_f64("commits_per_sec", report.commits_per_sec)
+                    .field_f64("sync_ns_per_commit", report.sync_ns_per_commit)
+                    .field_u64("wal_bytes", report.wal_bytes)
+                    .field_f64("recovery_ms", report.recovery_ms)
+                    .field_u64("recovered_rows", report.recovered_rows),
+            );
+        }
+    }
+
     let probe = columnar_range_probe(&e2e)?;
     eprintln!(
         "  clustered probe: {:.1} of {:.1} bytes/row ({:.1}% of the row store), \
@@ -340,7 +386,7 @@ fn run_bench_json(options: &Options) -> Result<()> {
         .map(|n| n.get() as u64)
         .unwrap_or(1);
     let json = JsonObject::new()
-        .field_str("artifact", "BENCH_PR9")
+        .field_str("artifact", "BENCH_PR10")
         .field_str(
             "description",
             "Filter hot path A/B (CjoinConfig::batched_probing) + sharded aggregation \
@@ -353,7 +399,10 @@ fn run_bench_json(options: &Options) -> Result<()> {
              serving A/B (in-process vs RemoteEngine -> TCP -> cjoin-server: wire \
              framing, per-connection threads, multi-tenant admission) + elastic \
              scheduler A/B (CjoinConfig::auto_tune: scheduler-governed widths vs \
-             fixed defaults vs best static worker_threads sweep)",
+             fixed defaults vs best static worker_threads sweep) + ingest \
+             durability sweep (WAL SyncPolicy x rows-per-batch at constant \
+             total rows: durable ingest rate, commits/s, fsync wait per \
+             commit, timed crash recovery)",
         )
         .field_u64("host_cpus", host_cpus)
         .field_u64("available_parallelism", host_cpus)
@@ -388,6 +437,7 @@ fn run_bench_json(options: &Options) -> Result<()> {
         .field_obj("supervision", supervision)
         .field_obj("serving", serving)
         .field_obj("elastic_scheduler", elastic_scheduler)
+        .field_obj("ingest_durability", ingest_durability)
         .render();
     std::fs::write(&options.out, &json)
         .map_err(|e| cjoin_common::Error::invalid_state(format!("write {}: {e}", options.out)))?;

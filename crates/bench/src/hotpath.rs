@@ -33,6 +33,10 @@
 //!   once through the full socket path (`RemoteEngine` → TCP → `CjoinServer`)
 //!   over an identically configured engine, measuring what the serving layer
 //!   costs (the `BENCH_PR8.json` baseline).
+//! * [`ingest_rate`] — the durable ingestion path swept over
+//!   `SyncPolicy` × batch size: WAL-logged fact batches are committed and the
+//!   engine is then restarted to time crash recovery (the `BENCH_PR10.json`
+//!   baseline).
 //!
 //! Everything is seeded and deterministic (a splitmix64 stream) so runs are
 //! reproducible.
@@ -51,7 +55,7 @@ use cjoin_query::wire::AdmissionPolicy;
 use cjoin_query::{AggFunc, AggregateSpec, ColumnRef, JoinEngine, Predicate, StarQuery};
 use cjoin_server::{CjoinServer, ServerConfig};
 use cjoin_ssb::{SsbConfig, SsbDataSet, Workload, WorkloadConfig};
-use cjoin_storage::{Row, RowId, Value};
+use cjoin_storage::{Row, RowId, SyncPolicy, Value};
 
 use crate::driver::{run_closed_loop, RunReport};
 use crate::experiments::ExperimentParams;
@@ -644,6 +648,111 @@ fn end_to_end_capture(
         },
         columnar,
     ))
+}
+
+/// Throughput and recovery cost of the durable ingestion path for one sync
+/// policy and batch size (the `BENCH_PR10.json` ingest baseline).
+#[derive(Debug, Clone)]
+pub struct IngestRateReport {
+    /// Batches committed.
+    pub batches: usize,
+    /// Fact rows per batch.
+    pub rows_per_batch: usize,
+    /// Sustained ingest rate over the whole run.
+    pub rows_per_sec: f64,
+    /// Durable batch commits per second.
+    pub commits_per_sec: f64,
+    /// Mean fsync wait per commit, in nanoseconds (0 under `SyncPolicy::Never`).
+    pub sync_ns_per_commit: f64,
+    /// Final WAL size in bytes.
+    pub wal_bytes: u64,
+    /// Wall-clock cost of restarting an engine on the produced WAL (replay of
+    /// every committed batch onto a fresh warehouse), in milliseconds.
+    pub recovery_ms: f64,
+    /// Fact rows rebuilt by that replay.
+    pub recovered_rows: u64,
+}
+
+/// Measures the durable ingestion path: `batches` ingest sessions of
+/// `rows_per_batch` fact rows each are committed through the WAL under
+/// `policy`, then the engine is dropped and a fresh one is started on the same
+/// log to time crash recovery. Contiguous fact rows share one WAL record, so
+/// the sweep's `rows_per_batch` axis is exactly the group-commit amortization
+/// axis: under `EveryRecord` a single-row batch pays two fsyncs per row, a
+/// large batch pays two per batch.
+///
+/// # Errors
+/// Propagates engine and WAL errors.
+pub fn ingest_rate(
+    params: &ExperimentParams,
+    policy: SyncPolicy,
+    rows_per_batch: usize,
+    batches: usize,
+) -> Result<IngestRateReport> {
+    let data = params.data();
+    let catalog = data.catalog();
+    let seed_rows = catalog.fact_table()?.len() as u64;
+    let template: Vec<Value> = catalog
+        .fact_table()?
+        .row(RowId(0))
+        .ok_or_else(|| cjoin_common::Error::invalid_state("empty fact table"))?
+        .values()
+        .to_vec();
+    let revenue = catalog.fact_table()?.schema().column_index("lo_revenue")?;
+
+    let mut wal = std::env::temp_dir();
+    wal.push(format!(
+        "cjoin-bench-ingest-{policy:?}-{rows_per_batch}-{}.wal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&wal);
+    let config = CjoinConfig::default()
+        .with_worker_threads(params.worker_threads)
+        .with_wal(&wal)
+        .with_wal_sync(policy);
+    let engine = CjoinEngine::start(Arc::clone(&catalog), config)?;
+
+    let mut wal_bytes = 0;
+    let started = Instant::now();
+    for batch in 0..batches {
+        let mut session = engine.ingest_session();
+        for i in 0..rows_per_batch {
+            let mut values = template.clone();
+            values[revenue] = Value::int((batch * rows_per_batch + i) as i64);
+            session.append_fact(values);
+        }
+        wal_bytes = session.commit()?.wal_bytes;
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let ingest = engine.stats().ingest;
+    engine.shutdown();
+    drop(engine);
+
+    // Crash recovery: a fresh warehouse replays every committed batch.
+    let recovered_catalog = params.data().catalog();
+    let recovery_started = Instant::now();
+    let recovered = CjoinEngine::start(
+        Arc::clone(&recovered_catalog),
+        CjoinConfig::default()
+            .with_worker_threads(params.worker_threads)
+            .with_wal(&wal),
+    )?;
+    let recovery_ms = recovery_started.elapsed().as_secs_f64() * 1e3;
+    let recovered_rows = recovered_catalog.fact_table()?.len() as u64 - seed_rows;
+    recovered.shutdown();
+    let _ = std::fs::remove_file(&wal);
+
+    let rows = (batches * rows_per_batch) as f64;
+    Ok(IngestRateReport {
+        batches,
+        rows_per_batch,
+        rows_per_sec: rows / elapsed,
+        commits_per_sec: batches as f64 / elapsed,
+        sync_ns_per_commit: ingest.sync_ns as f64 / (ingest.commits.max(1)) as f64,
+        wal_bytes,
+        recovery_ms,
+        recovered_rows,
+    })
 }
 
 #[cfg(test)]

@@ -1,8 +1,10 @@
 //! Pipeline configuration.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use cjoin_common::{Error, Result};
+use cjoin_storage::SyncPolicy;
 
 use crate::fault::FaultPlan;
 
@@ -123,6 +125,23 @@ pub struct CjoinConfig {
     /// `auto_tune` with `supervision = false` means a role panic leaves
     /// in-flight handles to resolve only at shutdown.
     pub auto_tune: bool,
+    /// Path of the write-ahead log behind the durable ingestion path. `None`
+    /// (the default) disables durability: `IngestSession` commits mutate the
+    /// catalog in memory only and nothing survives a restart. With a path set,
+    /// engine start replays the log into the catalog before the pipeline
+    /// spawns (tolerating torn tails and corrupt records by truncating at the
+    /// first defect), and every committed ingestion batch is durable per the
+    /// configured [`SyncPolicy`] before it becomes visible.
+    pub wal_path: Option<PathBuf>,
+    /// When the WAL is forced to stable storage; ignored without `wal_path`.
+    /// Defaults to [`SyncPolicy::OnCommit`] (group commit: one fsync per
+    /// ingestion batch).
+    pub wal_sync: SyncPolicy,
+    /// Row-store tail length (rows appended since the columnar replica was
+    /// built) at which an ingestion commit rebuilds the replica so the
+    /// compressed scan re-absorbs the tail. `0` disables compaction. Ignored
+    /// unless `columnar_scan` is enabled.
+    pub tail_compaction_rows: usize,
     /// Which knobs were pinned by explicit builder calls; see [`PinnedAxes`].
     pub pinned: PinnedAxes,
 }
@@ -148,6 +167,9 @@ impl Default for CjoinConfig {
             supervision: true,
             fault_plan: None,
             auto_tune: true,
+            wal_path: None,
+            wal_sync: SyncPolicy::OnCommit,
+            tail_compaction_rows: 8192,
             pinned: PinnedAxes::default(),
         }
     }
@@ -273,6 +295,26 @@ impl CjoinConfig {
     /// or disabled (the self-tuning A/B knob measured in BENCH_PR9.json).
     pub fn with_auto_tune(mut self, enabled: bool) -> Self {
         self.auto_tune = enabled;
+        self
+    }
+
+    /// Convenience: a configuration with a write-ahead log at `path` (enables
+    /// the durable ingestion path; see [`CjoinConfig::wal_path`]).
+    pub fn with_wal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.wal_path = Some(path.into());
+        self
+    }
+
+    /// Convenience: a configuration with the given WAL sync policy.
+    pub fn with_wal_sync(mut self, policy: SyncPolicy) -> Self {
+        self.wal_sync = policy;
+        self
+    }
+
+    /// Convenience: a configuration with the given columnar tail-compaction
+    /// threshold (`0` disables compaction).
+    pub fn with_tail_compaction_rows(mut self, rows: usize) -> Self {
+        self.tail_compaction_rows = rows;
         self
     }
 }
@@ -427,6 +469,25 @@ mod tests {
         assert!(!c.pinned.scan_workers);
         let c = CjoinConfig::default().with_stage_layout(StageLayout::Vertical);
         assert!(c.pinned.worker_threads);
+    }
+
+    #[test]
+    fn durability_defaults_off_with_group_commit_sync() {
+        let c = CjoinConfig::default();
+        assert!(c.wal_path.is_none());
+        assert_eq!(c.wal_sync, SyncPolicy::OnCommit);
+        assert_eq!(c.tail_compaction_rows, 8192);
+        let c = c
+            .with_wal("/tmp/cjoin.wal")
+            .with_wal_sync(SyncPolicy::EveryRecord)
+            .with_tail_compaction_rows(0);
+        assert_eq!(
+            c.wal_path.as_deref(),
+            Some(std::path::Path::new("/tmp/cjoin.wal"))
+        );
+        assert_eq!(c.wal_sync, SyncPolicy::EveryRecord);
+        assert_eq!(c.tail_compaction_rows, 0);
+        c.validate().unwrap();
     }
 
     #[test]

@@ -12,6 +12,22 @@
 //! The filtering step (§3.2.2) is therefore: probe by foreign key; if found, AND the
 //! fact tuple's bit-vector with the entry's `bδ`, otherwise with `bDj`.
 //!
+//! ## Snapshot-versioned entries (PR 10)
+//!
+//! Under durable ingestion a dimension row can be *upserted* while live queries
+//! reference its old contents. Each key therefore maps to a small vector of
+//! **content versions**: when a newly admitted query's snapshot selects a row whose
+//! attribute values differ from every stored version of that key, a new version is
+//! appended rather than overwriting — so a query admitted before the upsert keeps
+//! joining against exactly the attribute values its snapshot selected, and a query
+//! admitted after it sees only the new ones. A query's bit appears on **at most one
+//! version per key** (the content its snapshot's `σ_cij(Dj)` returned); bits of
+//! queries that do not reference the dimension ride on every version, which is
+//! harmless because those queries never read the attached row. The single-version
+//! case — by far the common one — takes the exact pre-versioning hot path; the
+//! multi-version combine is in
+//! [`FilterChain::process_batch`](crate::filter::FilterChain::process_batch).
+//!
 //! Concurrency: entries are inserted/removed only by the Pipeline Manager (query
 //! admission and finalization, Algorithms 1 and 2) under a write lock, while Filter
 //! workers probe under a read lock taken **once per batch per filter** via
@@ -109,7 +125,9 @@ pub struct DimensionTable {
     /// zero dimension rows leaves no trace in `entries` — yet its Filter must stay in
     /// the pipeline to clear the query's bit from every fact tuple.
     referencing: AtomicQuerySet,
-    entries: RwLock<FxHashMap<i64, Arc<DimEntry>>>,
+    /// Content versions per key, oldest first (see the module docs on snapshot
+    /// versioning). A key's vector is never empty while stored.
+    entries: RwLock<FxHashMap<i64, Vec<Arc<DimEntry>>>>,
     /// Per-filter statistics.
     pub stats: FilterStats,
     max_concurrency: usize,
@@ -165,26 +183,32 @@ impl DimensionTable {
 
     /// Registers that query `id` **references** this dimension and selects `rows`
     /// (the result of `σ_cij(Dj)`, Algorithm 1 lines 11–16).
+    ///
+    /// `rows` were selected at the query's snapshot: if a stored version of a key
+    /// carries identical contents the query shares it, otherwise a new content
+    /// version is appended (the key was upserted between the two queries'
+    /// snapshots) — never overwritten, so concurrent queries each keep joining
+    /// against the attribute values their own snapshot selected.
     pub fn register_query(&self, id: QueryId, rows: &[(i64, Row)]) {
         // The query references Dj, so it must not be in the complement bitmap.
         self.complement.unset(id.index());
         self.referencing.set(id.index());
         let mut entries = self.entries.write();
         for (key, row) in rows {
-            match entries.get(key) {
-                Some(entry) => entry.bits.set(id.index()),
+            let versions = entries.entry(*key).or_default();
+            match versions.iter().find(|v| v.row == *row) {
+                Some(version) => version.bits.set(id.index()),
                 None => {
-                    // New entry: bits start as bDj (queries that ignore this dimension
-                    // accept every tuple), plus the registering query's bit.
+                    // New version: bits start as bDj (queries that ignore this
+                    // dimension accept every version), plus the registering
+                    // query's bit. Referencing queries' bits never leak in:
+                    // the complement holds only non-referencing queries.
                     let bits = self.complement.clone();
                     bits.set(id.index());
-                    entries.insert(
-                        *key,
-                        Arc::new(DimEntry {
-                            row: row.clone(),
-                            bits,
-                        }),
-                    );
+                    versions.push(Arc::new(DimEntry {
+                        row: row.clone(),
+                        bits,
+                    }));
                 }
             }
         }
@@ -194,11 +218,14 @@ impl DimensionTable {
     /// (Algorithm 1 line 10): every tuple of `Dj` is implicitly acceptable to it.
     pub fn register_unreferencing_query(&self, id: QueryId) {
         self.complement.set(id.index());
-        // Existing entries must also accept the query, otherwise fact tuples joining
-        // with a stored dimension tuple would wrongly drop the query's bit.
+        // Existing entries (every version of every key) must also accept the query,
+        // otherwise fact tuples joining with a stored dimension tuple would wrongly
+        // drop the query's bit.
         let entries = self.entries.read();
-        for entry in entries.values() {
-            entry.bits.set(id.index());
+        for versions in entries.values() {
+            for entry in versions {
+                entry.bits.set(id.index());
+            }
         }
     }
 
@@ -220,21 +247,20 @@ impl DimensionTable {
     /// fact tuple carries the bit, and safe at reuse.)
     pub fn unregister_query(&self, id: QueryId, referenced: bool) -> bool {
         self.complement.unset(id.index());
-        let mut entries = self.entries.write();
         if referenced {
             self.referencing.unset(id.index());
-            entries.retain(|_, entry| {
+        }
+        let mut entries = self.entries.write();
+        // Clear the id's bit from every version of every key (a referencing query
+        // set it on at most one version per key; an unreferencing query set it on
+        // all of them) and garbage-collect versions — and keys — left with no bits.
+        entries.retain(|_, versions| {
+            versions.retain(|entry| {
                 entry.bits.unset(id.index());
                 !entry.bits.is_empty()
             });
-        } else {
-            // The id's bit was set on every entry by register_unreferencing_query;
-            // clearing it keeps the remaining entries' bits consistent for id reuse.
-            for entry in entries.values() {
-                entry.bits.unset(id.index());
-            }
-            entries.retain(|_, entry| !entry.bits.is_empty());
-        }
+            !versions.is_empty()
+        });
         entries.is_empty() && self.referencing.is_empty()
     }
 
@@ -258,9 +284,28 @@ impl DimensionTable {
     /// The caller combines the fact tuple's bit-vector with the entry's `bδ` (hit) or
     /// with [`DimensionTable::complement`] (miss) — see
     /// [`FilterChain::process_batch`](crate::filter::FilterChain::process_batch).
+    ///
+    /// Returns the **newest** content version of the key; point lookups that must
+    /// see all versions use [`DimensionTable::probe_versions`].
     #[inline]
     pub fn probe(&self, key: i64) -> Option<Arc<DimEntry>> {
-        self.entries.read().get(&key).cloned()
+        self.entries
+            .read()
+            .get(&key)
+            .and_then(|v| v.last().cloned())
+    }
+
+    /// Returns every stored content version of `key`, oldest first (empty on a
+    /// miss). The per-tuple filter baseline uses this; the batched hot path
+    /// borrows the versions through [`DimensionTable::probe_batch`] instead.
+    #[inline]
+    pub fn probe_versions(&self, key: i64) -> Vec<Arc<DimEntry>> {
+        self.entries.read().get(&key).cloned().unwrap_or_default()
+    }
+
+    /// Number of stored content versions for `key` (diagnostics / tests).
+    pub fn version_count(&self, key: i64) -> usize {
+        self.entries.read().get(&key).map_or(0, Vec::len)
     }
 
     /// Acquires the entries read lock **once** and returns a [`ProbeGuard`] for
@@ -280,9 +325,14 @@ impl DimensionTable {
         }
     }
 
-    /// Returns a point-in-time snapshot of an entry's bit-vector (test helper).
+    /// Returns a point-in-time snapshot of the newest version's bit-vector (test
+    /// helper).
     pub fn entry_bits(&self, key: i64) -> Option<QuerySet> {
-        self.entries.read().get(&key).map(|e| e.bits.snapshot())
+        self.entries
+            .read()
+            .get(&key)
+            .and_then(|v| v.last())
+            .map(|e| e.bits.snapshot())
     }
 }
 
@@ -293,14 +343,16 @@ impl DimensionTable {
 /// cloning the entry `Arc` per tuple — the per-probe cost is one hash lookup, with
 /// zero reference-count traffic and zero lock operations.
 pub struct ProbeGuard<'a> {
-    entries: RwLockReadGuard<'a, FxHashMap<i64, Arc<DimEntry>>>,
+    entries: RwLockReadGuard<'a, FxHashMap<i64, Vec<Arc<DimEntry>>>>,
 }
 
 impl ProbeGuard<'_> {
-    /// Looks up the entry for `key` without cloning.
+    /// Looks up the content versions stored for `key`, oldest first, without
+    /// cloning. The slice is non-empty on a hit; in the overwhelmingly common
+    /// single-version case it has length 1.
     #[inline]
-    pub fn get(&self, key: i64) -> Option<&DimEntry> {
-        self.entries.get(&key).map(Arc::as_ref)
+    pub fn get(&self, key: i64) -> Option<&[Arc<DimEntry>]> {
+        self.entries.get(&key).map(Vec::as_slice)
     }
 
     /// Number of stored entries visible to this guard.
@@ -491,14 +543,14 @@ mod tests {
         let guard = t.probe_batch();
         assert_eq!(guard.len(), 2);
         assert!(!guard.is_empty());
-        let a = guard.get(1).unwrap();
-        let b = guard.get(1).unwrap();
-        assert!(std::ptr::eq(a, b), "borrows of the same entry alias");
+        let a = &guard.get(1).unwrap()[0];
+        let b = &guard.get(1).unwrap()[0];
+        assert!(Arc::ptr_eq(a, b), "borrows of the same entry alias");
         assert_eq!(a.row.get(1).as_str().unwrap(), "red");
         assert!(guard.get(99).is_none());
         // Atomic bit updates are visible through the guard (no lock needed for them).
         t.register_unreferencing_query(QueryId(3));
-        assert!(guard.get(2).unwrap().bits.get(3));
+        assert!(guard.get(2).unwrap()[0].bits.get(3));
     }
 
     #[test]
@@ -517,13 +569,61 @@ mod tests {
         // The entry stays valid for the whole guard lifetime even though a removal
         // is pending on the write lock.
         std::thread::sleep(std::time::Duration::from_millis(20));
-        assert_eq!(guard.get(1).unwrap().row.get(0).as_int().unwrap(), 1);
+        assert_eq!(guard.get(1).unwrap()[0].row.get(0).as_int().unwrap(), 1);
         drop(guard);
         assert!(
             writer.join().unwrap(),
             "table empties once the guard is gone"
         );
         assert!(t.probe_batch().is_empty());
+    }
+
+    #[test]
+    fn changed_contents_create_a_second_version_instead_of_mixing() {
+        // Regression for the PR 10 dimension-churn hazard: query 0 is admitted,
+        // the row's attributes are upserted, then query 2 is admitted selecting
+        // the NEW contents. Query 0 must keep joining against "red", query 2
+        // against "crimson" — never a mix.
+        let t = table_with_no_queries();
+        t.register_query(QueryId(0), &[(1, row(1, "red"))]);
+        t.register_unreferencing_query(QueryId(1));
+        t.register_query(QueryId(2), &[(1, row(1, "crimson"))]);
+        assert_eq!(t.len(), 1, "one key");
+        assert_eq!(t.version_count(1), 2, "two content versions");
+        let guard = t.probe_batch();
+        let versions = guard.get(1).unwrap();
+        assert_eq!(versions[0].row.get(1).as_str().unwrap(), "red");
+        assert!(versions[0].bits.get(0) && !versions[0].bits.get(2));
+        assert_eq!(versions[1].row.get(1).as_str().unwrap(), "crimson");
+        assert!(versions[1].bits.get(2) && !versions[1].bits.get(0));
+        // The ignoring query's bit rides on every version.
+        assert!(versions[0].bits.get(1) && versions[1].bits.get(1));
+        drop(guard);
+        // probe() returns the newest version.
+        assert_eq!(t.probe(1).unwrap().row.get(1).as_str().unwrap(), "crimson");
+    }
+
+    #[test]
+    fn identical_contents_share_a_version_across_queries() {
+        let t = table_with_no_queries();
+        t.register_query(QueryId(0), &[(1, row(1, "red"))]);
+        t.register_query(QueryId(2), &[(1, row(1, "red"))]);
+        assert_eq!(t.version_count(1), 1, "same contents, shared version");
+        let bits = t.entry_bits(1).unwrap();
+        assert!(bits.get(0) && bits.get(2));
+    }
+
+    #[test]
+    fn stale_versions_are_garbage_collected_with_their_last_query() {
+        let t = table_with_no_queries();
+        t.register_query(QueryId(0), &[(1, row(1, "red"))]);
+        t.register_query(QueryId(2), &[(1, row(1, "crimson"))]);
+        assert_eq!(t.version_count(1), 2);
+        assert!(!t.unregister_query(QueryId(0), true));
+        assert_eq!(t.version_count(1), 1, "old version collected with query 0");
+        assert_eq!(t.probe(1).unwrap().row.get(1).as_str().unwrap(), "crimson");
+        assert!(t.unregister_query(QueryId(2), true));
+        assert!(t.is_empty());
     }
 
     #[test]

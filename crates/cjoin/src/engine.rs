@@ -86,14 +86,16 @@ use parking_lot::Mutex;
 use cjoin_common::{Error, FxHashMap, QueryId, QueryIdAllocator, QuerySet, Result};
 use cjoin_query::{BoundStarQuery, QueryError, QueryOutcome, QueryResult, StarQuery};
 use cjoin_storage::{
-    segment_ranges, Catalog, ColumnarTable, CompressionPolicy, ContinuousScan, PartitionScheme,
-    Row, ScanVolume, SnapshotId, DEFAULT_ROW_GROUP_ROWS,
+    apply_record, segment_ranges, Catalog, ColumnarTable, CompressionPolicy, ContinuousScan,
+    PartitionScheme, Row, ScanVolume, SnapshotId, Value, WalRecord, WarehouseLog,
+    DEFAULT_ROW_GROUP_ROWS,
 };
 
 use crate::colscan::ColumnarScanCursor;
 use crate::config::{CjoinConfig, StageLayout};
 use crate::dimension::DimensionTable;
 use crate::distributor::{Distributor, ShardMerger, ShardRouter};
+use crate::fault::{inject, FaultSite};
 use crate::filter::FilterChain;
 use crate::optimizer::reorder_filters;
 use crate::pipeline::{
@@ -108,8 +110,8 @@ use crate::progress::QueryProgress;
 use crate::queue::{ShardQueues, TupleQueue};
 use crate::scheduler::{Axis, ResizeReason, SchedulerTick, StageScheduler};
 use crate::stats::{
-    ColumnarScanStats, FilterStatsSnapshot, PipelineStats, ScanWorkerCounters, ShardCounters,
-    SharedCounters,
+    ColumnarScanStats, FilterStatsSnapshot, IngestCounters, PipelineStats, ScanWorkerCounters,
+    ShardCounters, SharedCounters,
 };
 use crate::tuple::{Message, QueryRuntime};
 
@@ -302,6 +304,15 @@ struct EngineShared {
     /// mid-install compares epochs to tell "a resize swapped the pipeline and
     /// re-installed my query" from "the pipeline genuinely died".
     core_epoch: AtomicU64,
+    /// The write-ahead log behind the durable ingestion path (`None` without
+    /// `CjoinConfig::wal_path`). Serializes ingestion batches: exactly one
+    /// commit is in flight at a time, which is the single-writer premise of
+    /// the log's concurrency argument. Lock order: ingest before core — the
+    /// commit path may trigger a tail-compaction pipeline swap, and nothing
+    /// takes this lock while holding the core lock.
+    ingest: Mutex<Option<WarehouseLog>>,
+    /// Durable-ingestion counters surfaced through [`PipelineStats::ingest`].
+    ingest_counters: IngestCounters,
 }
 
 /// The CJOIN engine: one always-on pipeline over a catalog's fact table.
@@ -330,6 +341,31 @@ impl CjoinEngine {
     /// Fails if the configuration is invalid or the catalog has no fact table.
     pub fn start(catalog: Arc<Catalog>, config: CjoinConfig) -> Result<Self> {
         config.validate()?;
+        // Durable ingestion: replay the WAL into the catalog *before* the
+        // pipeline spawns, so the continuous scan (and the columnar replica,
+        // which is built from the fact table at spawn) sees every recovered
+        // row, and the snapshot watermark is already past every recovered
+        // epoch. Replay truncates any torn tail, so the log then opens at a
+        // clean record boundary for appending.
+        let mut recovery_truncations = 0;
+        let ingest_log = if let Some(path) = &config.wal_path {
+            inject(&config.fault_plan, FaultSite::WalReplay);
+            let report = WarehouseLog::replay_into(path, &catalog)?;
+            if let (Some(at), Some(defect)) = (report.truncated_at, report.defect) {
+                recovery_truncations = 1;
+                eprintln!(
+                    "cjoin: wal recovery truncated {} at byte {at} ({defect}); \
+                     {} records of {} committed epochs recovered, {} uncommitted discarded",
+                    path.display(),
+                    report.records_applied,
+                    report.epochs_committed,
+                    report.uncommitted_discarded,
+                );
+            }
+            Some(WarehouseLog::open(path, config.wal_sync)?)
+        } else {
+            None
+        };
         let (failure_tx, failure_rx) = unbounded();
         let scheduler = StageScheduler::new(&config);
         let shared = Arc::new(EngineShared {
@@ -352,7 +388,13 @@ impl CjoinEngine {
             core_epoch: AtomicU64::new(0),
             scheduler,
             catalog,
+            ingest: Mutex::new(ingest_log),
+            ingest_counters: IngestCounters::default(),
         });
+        shared
+            .ingest_counters
+            .recovery_truncations
+            .store(recovery_truncations, Ordering::Relaxed);
         let core = Self::spawn_pipeline(&shared, &config)?;
         *shared.core.lock() = Some(core);
         shared.core_epoch.fetch_add(1, Ordering::Release);
@@ -1191,6 +1233,7 @@ impl CjoinEngine {
                     column_bytes: volume.column_bytes(),
                 }),
             scheduler: self.shared.scheduler.snapshot(),
+            ingest: self.shared.ingest_counters.snapshot(),
         }
     }
 
@@ -1243,6 +1286,17 @@ impl CjoinEngine {
     /// Current filter order (dimension names), for diagnostics and tests.
     pub fn filter_order(&self) -> Vec<String> {
         self.shared.chain.order()
+    }
+
+    /// Opens an ingestion session. Mutations buffer in the session and are
+    /// applied atomically — and, with `CjoinConfig::wal_path` configured,
+    /// durably — by [`IngestSession::commit`]; dropping the session without
+    /// committing discards the batch with no trace.
+    pub fn ingest_session(&self) -> IngestSession<'_> {
+        IngestSession {
+            shared: &self.shared,
+            records: Vec::new(),
+        }
     }
 
     /// Shuts the pipeline down and joins all threads (including the
@@ -1299,6 +1353,250 @@ impl Drop for CjoinEngine {
     }
 }
 
+/// One buffered ingestion batch against a [`CjoinEngine`] (see
+/// [`CjoinEngine::ingest_session`]).
+///
+/// The commit protocol makes the batch atomic under real snapshot isolation:
+///
+/// 1. every record is validated against the catalog (nothing unreplayable is
+///    ever logged),
+/// 2. a fresh *pending* epoch is allocated from the snapshot manager — pending
+///    epochs are invisible: no query can be admitted at one,
+/// 3. the records are appended to the WAL under that epoch and the epoch's
+///    commit marker is made durable per the configured [`SyncPolicy`]
+///    (`cjoin_storage::SyncPolicy`),
+/// 4. only then are the mutations applied to the tables (`xmin` = the epoch)
+///    and the epoch published through the snapshot manager's committed
+///    watermark.
+///
+/// A crash anywhere before step 4 leaves nothing visible: queries in flight
+/// are pinned at older snapshots, recovery replays only epochs whose commit
+/// marker survived, and an unpublished epoch has no rows. A crash after the
+/// marker is durable replays the whole batch — never a part of it.
+pub struct IngestSession<'a> {
+    shared: &'a Arc<EngineShared>,
+    records: Vec<WalRecord>,
+}
+
+impl IngestSession<'_> {
+    /// Buffers one fact row for appending.
+    pub fn append_fact(&mut self, row: Vec<Value>) -> &mut Self {
+        // Contiguous fact rows share one WAL record; a dimension mutation in
+        // between starts a new one, preserving the batch's mutation order.
+        if let Some(WalRecord::FactAppend { rows }) = self.records.last_mut() {
+            rows.push(row);
+        } else {
+            self.records.push(WalRecord::FactAppend { rows: vec![row] });
+        }
+        self
+    }
+
+    /// Buffers a dimension upsert: the row whose `key_column` equals the new
+    /// row's key is replaced (old versions stay visible to older snapshots).
+    pub fn upsert_dimension(
+        &mut self,
+        table: impl Into<String>,
+        key_column: usize,
+        row: Vec<Value>,
+    ) -> &mut Self {
+        self.records.push(WalRecord::DimUpsert {
+            table: table.into(),
+            key_column,
+            row,
+        });
+        self
+    }
+
+    /// Buffers a dimension delete by key.
+    pub fn delete_dimension(
+        &mut self,
+        table: impl Into<String>,
+        key_column: usize,
+        key: i64,
+    ) -> &mut Self {
+        self.records.push(WalRecord::DimDelete {
+            table: table.into(),
+            key_column,
+            key,
+        });
+        self
+    }
+
+    /// Mutation records buffered so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the session holds no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Discards the batch without a trace (equivalent to dropping).
+    pub fn abort(self) {}
+
+    /// Commits the batch (see the type docs for the protocol), returning what
+    /// became durable and visible.
+    ///
+    /// # Errors
+    /// Fails — with nothing visible — if a record references a missing table
+    /// or violates its schema, if the engine is shut down, or on WAL I/O
+    /// errors.
+    ///
+    /// # Panics
+    /// A configured [`FaultPlan`](crate::fault::FaultPlan) torn write or
+    /// scheduled panic at a WAL site panics here by design, simulating a crash
+    /// mid-commit; the batch is not visible and recovery discards its torn
+    /// tail.
+    pub fn commit(self) -> Result<cjoin_query::IngestReceipt> {
+        let shared = self.shared;
+        if shared.shutdown_flag.load(Ordering::Acquire) {
+            return Err(Error::invalid_state("engine is shut down"));
+        }
+        // Validate everything before anything is logged, so the WAL never
+        // carries a record replay cannot apply.
+        for record in &self.records {
+            validate_record(&shared.catalog, record)?;
+        }
+        let records = self.records.len() as u64;
+        let plan = shared.config.lock().fault_plan.clone();
+        let mut log_guard = shared.ingest.lock();
+        let epoch = shared.catalog.snapshots().begin();
+        let mut wal_bytes = 0;
+        if let Some(log) = log_guard.as_mut() {
+            let batch_start = log.len();
+            for record in &self.records {
+                inject(&plan, FaultSite::WalAppend);
+                let before = log.len();
+                let end = log.append(epoch, record)?;
+                if let Some(plan) = &plan {
+                    if plan.take_torn_write(plan.hits(FaultSite::WalAppend)) {
+                        // Simulated crash: the record reaches the disk torn in
+                        // half and the "process" dies before the commit marker.
+                        let torn = before + (end - before) / 2;
+                        let _ = log.truncate_to(torn);
+                        panic!(
+                            "injected torn WAL write: log torn at byte {torn} (epoch {})",
+                            epoch.0
+                        );
+                    }
+                }
+            }
+            inject(&plan, FaultSite::WalSync);
+            wal_bytes = log.commit(epoch)?;
+            shared
+                .ingest_counters
+                .sync_ns
+                .store(log.sync_ns(), Ordering::Relaxed);
+            // Scheduled silent corruption inside this batch's byte range fires
+            // now — after the marker is durable, so replay meets a checksum
+            // mismatch in an otherwise committed region and truncates there.
+            if let Some(plan) = &plan {
+                for &offset in plan.wal_byte_flips() {
+                    if offset >= batch_start && offset < wal_bytes {
+                        log.corrupt_byte(offset)?;
+                    }
+                }
+            }
+        }
+        // Durable (or no log configured): apply under the still-pending epoch,
+        // then publish it. In-flight queries are pinned at older snapshots and
+        // never see the rows (MVCC `xmin`); queries admitted after the publish
+        // see all of them — the batch is atomic.
+        for record in &self.records {
+            apply_record(&shared.catalog, epoch, record)?;
+        }
+        shared.catalog.snapshots().commit_through(epoch);
+        shared
+            .ingest_counters
+            .records_appended
+            .fetch_add(records, Ordering::Relaxed);
+        shared
+            .ingest_counters
+            .commits
+            .fetch_add(1, Ordering::Relaxed);
+        drop(log_guard);
+        maybe_compact(shared);
+        Ok(cjoin_query::IngestReceipt {
+            epoch: epoch.0,
+            records,
+            wal_bytes,
+        })
+    }
+}
+
+/// Pre-commit validation: every record must be applicable to the catalog.
+fn validate_record(catalog: &Catalog, record: &WalRecord) -> Result<()> {
+    match record {
+        WalRecord::FactAppend { rows } => {
+            let fact = catalog.fact_table()?;
+            for row in rows {
+                fact.schema().validate_row(row)?;
+            }
+        }
+        WalRecord::DimUpsert {
+            table,
+            key_column,
+            row,
+        } => {
+            let dim = catalog.table(table)?;
+            dim.schema().validate_row(row)?;
+            row.get(*key_column)
+                .ok_or_else(|| {
+                    Error::invalid_state(format!(
+                        "dimension upsert for '{table}' has no column {key_column}"
+                    ))
+                })?
+                .as_int()?;
+        }
+        WalRecord::DimDelete { table, .. } => {
+            catalog.table(table)?;
+        }
+        WalRecord::Commit => {}
+    }
+    Ok(())
+}
+
+/// Rebuilds the columnar replica (a [`SwapIntent::TailCompaction`] pipeline
+/// swap) when the row-store tail has outgrown
+/// `CjoinConfig::tail_compaction_rows`. Failure is not an error for the
+/// triggering commit — the tail is still served correctly by the hybrid scan
+/// path, and the next commit retries.
+fn maybe_compact(shared: &Arc<EngineShared>) {
+    let threshold = {
+        let config = shared.config.lock();
+        if !config.columnar_scan || config.tail_compaction_rows == 0 {
+            return;
+        }
+        config.tail_compaction_rows
+    };
+    let Ok(fact) = shared.catalog.fact_table() else {
+        return;
+    };
+    let tail = {
+        let core_guard = shared.core.lock();
+        let Some(core) = core_guard.as_ref() else {
+            return;
+        };
+        let Some((replica, _)) = core.columnar.as_ref() else {
+            return;
+        };
+        fact.len().saturating_sub(replica.len())
+    };
+    if tail < threshold {
+        return;
+    }
+    match swap_pipeline(shared, SwapIntent::TailCompaction) {
+        Ok(()) => {
+            shared
+                .ingest_counters
+                .tail_compactions
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Err(e) => eprintln!("cjoin: columnar tail compaction deferred: {e}"),
+    }
+}
+
 impl cjoin_query::QueryTicket for QueryHandle {
     fn wait(self: Box<Self>) -> QueryOutcome {
         QueryHandle::wait(*self)
@@ -1347,6 +1645,20 @@ impl cjoin_query::JoinEngine for CjoinEngine {
                 .map(|v| v.label().to_string())
                 .unwrap_or_default(),
         })
+    }
+
+    fn ingest(&self, batch: cjoin_query::IngestBatch) -> Result<cjoin_query::IngestReceipt> {
+        let mut session = self.ingest_session();
+        for row in batch.facts {
+            session.append_fact(row);
+        }
+        for upsert in batch.dim_upserts {
+            session.upsert_dimension(upsert.table, upsert.key_column, upsert.row);
+        }
+        for delete in batch.dim_deletes {
+            session.delete_dimension(delete.table, delete.key_column, delete.key);
+        }
+        session.commit()
     }
 
     fn shutdown(&self) {
@@ -1506,6 +1818,34 @@ fn apply_resize(
     width: usize,
     reason: ResizeReason,
 ) -> Result<()> {
+    swap_pipeline(
+        shared,
+        SwapIntent::Resize {
+            axis,
+            width,
+            reason,
+        },
+    )
+}
+
+/// Why [`swap_pipeline`] is replacing the pipeline incarnation.
+enum SwapIntent {
+    /// An elastic or forced resize of one parallelism axis.
+    Resize {
+        axis: Axis,
+        width: usize,
+        reason: ResizeReason,
+    },
+    /// Columnar tail compaction: same widths, but `spawn_pipeline` rebuilds
+    /// the columnar replica from the current fact table, re-absorbing the
+    /// row-store tail appended since the replica was last built. The graceful
+    /// drain is the pass boundary: re-installed queries restart their pass at
+    /// their original snapshot, which by the wrap protocol changes nothing
+    /// about their answers.
+    TailCompaction,
+}
+
+fn swap_pipeline(shared: &Arc<EngineShared>, intent: SwapIntent) -> Result<()> {
     if shared.shutdown_flag.load(Ordering::Acquire) {
         return Err(Error::invalid_state("engine is shut down"));
     }
@@ -1513,37 +1853,54 @@ fn apply_resize(
     let Some(core) = core_guard.take() else {
         return Err(Error::invalid_state("pipeline is not running"));
     };
-    let current = match axis {
-        Axis::ScanWorkers => core.stage_plan.scan_workers,
-        Axis::StageWorkers => core.stage_plan.total_threads(),
-        Axis::DistributorShards => core.stage_plan.distributor_shards,
-    };
-    if current == width {
-        *core_guard = Some(core);
-        return Ok(());
+    match &intent {
+        SwapIntent::Resize { axis, width, .. } => {
+            let current = match axis {
+                Axis::ScanWorkers => core.stage_plan.scan_workers,
+                Axis::StageWorkers => core.stage_plan.total_threads(),
+                Axis::DistributorShards => core.stage_plan.distributor_shards,
+            };
+            if current == *width {
+                *core_guard = Some(core);
+                return Ok(());
+            }
+        }
+        SwapIntent::TailCompaction => {
+            if core.columnar.is_none() {
+                *core_guard = Some(core);
+                return Ok(());
+            }
+        }
     }
     if !shared.supervision && !shared.elastic && !shared.admission.lock().registered.is_empty() {
         // Without the runtimes registry there is nothing to re-install
         // in-flight queries from; refuse rather than silently dropping them.
         *core_guard = Some(core);
         return Err(Error::invalid_state(
-            "resize with queries in flight requires supervision or auto_tune",
+            "pipeline swap with queries in flight requires supervision or auto_tune",
         ));
     }
     teardown_core(core, false);
+    if let SwapIntent::Resize {
+        axis,
+        width,
+        reason,
+    } = &intent
     {
-        let mut config = shared.config.lock();
-        match axis {
-            Axis::ScanWorkers => config.scan_workers = width,
-            Axis::StageWorkers => {
-                config.stage_layout = StageLayout::Horizontal;
-                config.worker_threads = width;
+        {
+            let mut config = shared.config.lock();
+            match axis {
+                Axis::ScanWorkers => config.scan_workers = *width,
+                Axis::StageWorkers => {
+                    config.stage_layout = StageLayout::Horizontal;
+                    config.worker_threads = *width;
+                }
+                Axis::DistributorShards => config.distributor_shards = *width,
             }
-            Axis::DistributorShards => config.distributor_shards = width,
         }
+        let pass = shared.counters.scan_passes.load(Ordering::Relaxed);
+        shared.scheduler.commit_resize(*axis, *width, *reason, pass);
     }
-    let pass = shared.counters.scan_passes.load(Ordering::Relaxed);
-    shared.scheduler.commit_resize(axis, width, reason, pass);
     let config = shared.config.lock().clone();
     let new_core = match CjoinEngine::spawn_pipeline(shared, &config) {
         Ok(core) => core,

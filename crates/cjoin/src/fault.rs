@@ -44,17 +44,26 @@ pub enum FaultSite {
     DistributorShard,
     /// The end-of-query merge barrier.
     ShardMerger,
+    /// A WAL record append on the durable ingestion path.
+    WalAppend,
+    /// A WAL fsync (commit-marker durability point).
+    WalSync,
+    /// WAL replay during engine-start crash recovery.
+    WalReplay,
 }
 
 impl FaultSite {
     /// All sites, for matrix tests.
-    pub const ALL: [FaultSite; 6] = [
+    pub const ALL: [FaultSite; 9] = [
         FaultSite::ScanWorker,
         FaultSite::ScanCoordinator,
         FaultSite::StageWorker,
         FaultSite::ShardRouter,
         FaultSite::DistributorShard,
         FaultSite::ShardMerger,
+        FaultSite::WalAppend,
+        FaultSite::WalSync,
+        FaultSite::WalReplay,
     ];
 
     fn index(self) -> usize {
@@ -65,6 +74,9 @@ impl FaultSite {
             FaultSite::ShardRouter => 3,
             FaultSite::DistributorShard => 4,
             FaultSite::ShardMerger => 5,
+            FaultSite::WalAppend => 6,
+            FaultSite::WalSync => 7,
+            FaultSite::WalReplay => 8,
         }
     }
 }
@@ -78,6 +90,9 @@ impl fmt::Display for FaultSite {
             FaultSite::ShardRouter => "shard-router",
             FaultSite::DistributorShard => "distributor-shard",
             FaultSite::ShardMerger => "shard-merger",
+            FaultSite::WalAppend => "wal-append",
+            FaultSite::WalSync => "wal-sync",
+            FaultSite::WalReplay => "wal-replay",
         };
         f.write_str(name)
     }
@@ -104,7 +119,13 @@ pub struct FaultPlan {
     panics: Vec<PanicSpec>,
     delays: Vec<DelaySpec>,
     corrupt_groups: Vec<usize>,
-    hits: [AtomicU64; 6],
+    /// WAL-append ordinals at which the engine tears the log (truncates the
+    /// record mid-write) and simulates a crash. One-shot each.
+    torn_writes: Vec<(u64, AtomicBool)>,
+    /// Absolute WAL byte offsets the engine silently bit-flips after its next
+    /// commit — surfaces only at replay, as a checksum mismatch.
+    byte_flips: Vec<u64>,
+    hits: [AtomicU64; 9],
 }
 
 /// Plans are compared by their *schedule* (seed + declared faults), ignoring
@@ -114,6 +135,13 @@ impl PartialEq for FaultPlan {
     fn eq(&self, other: &Self) -> bool {
         self.seed == other.seed
             && self.corrupt_groups == other.corrupt_groups
+            && self.byte_flips == other.byte_flips
+            && self.torn_writes.len() == other.torn_writes.len()
+            && self
+                .torn_writes
+                .iter()
+                .zip(&other.torn_writes)
+                .all(|(a, b)| a.0 == b.0)
             && self.panics.len() == other.panics.len()
             && self
                 .panics
@@ -174,6 +202,24 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a torn write: at the `at_append`-th WAL append (0-based, as
+    /// counted by the [`FaultSite::WalAppend`] hit ordinal), the engine
+    /// truncates the log mid-record and simulates a crash of the ingest
+    /// session. One-shot, like scheduled panics.
+    pub fn torn_write_at(mut self, at_append: u64) -> Self {
+        self.torn_writes.push((at_append, AtomicBool::new(false)));
+        self
+    }
+
+    /// Schedules a silent bit-flip of the WAL byte at `offset`, applied by the
+    /// engine after its next durable commit. The corruption is *not* detected
+    /// at write time — that is the point: it must surface at replay as a
+    /// checksum-mismatch truncation.
+    pub fn flip_wal_byte(mut self, offset: u64) -> Self {
+        self.byte_flips.push(offset);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> Arc<Self> {
         Arc::new(self)
@@ -192,6 +238,21 @@ impl FaultPlan {
     /// Events observed at `site` so far (test introspection).
     pub fn hits(&self, site: FaultSite) -> u64 {
         self.hits[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Consumes (one-shot) a scheduled torn write due at WAL-append ordinal
+    /// `event`. The engine calls this with the current
+    /// [`FaultSite::WalAppend`] hit count; a `true` return means: tear the log
+    /// now and simulate the crash.
+    pub fn take_torn_write(&self, event: u64) -> bool {
+        self.torn_writes
+            .iter()
+            .any(|(at, fired)| event >= *at && !fired.swap(true, Ordering::AcqRel))
+    }
+
+    /// WAL byte offsets scheduled for silent bit-flips.
+    pub fn wal_byte_flips(&self) -> &[u64] {
+        &self.byte_flips
     }
 
     /// Records one event at `site`: applies scheduled delays, then panics if an
@@ -276,6 +337,39 @@ mod tests {
         assert_eq!(a, b);
         let c = FaultPlan::seeded(4).panic_at(FaultSite::StageWorker);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn wal_sites_are_injectable_and_displayed() {
+        assert_eq!(FaultSite::ALL.len(), 9);
+        let plan = FaultPlan::seeded(0).panic_at(FaultSite::WalSync).build();
+        plan.hit(FaultSite::WalAppend);
+        plan.hit(FaultSite::WalReplay);
+        assert_eq!(plan.hits(FaultSite::WalAppend), 1);
+        assert_eq!(plan.hits(FaultSite::WalReplay), 1);
+        assert_eq!(FaultSite::WalAppend.to_string(), "wal-append");
+        assert_eq!(FaultSite::WalSync.to_string(), "wal-sync");
+        assert_eq!(FaultSite::WalReplay.to_string(), "wal-replay");
+        assert!(std::panic::catch_unwind(move || plan.hit(FaultSite::WalSync)).is_err());
+    }
+
+    #[test]
+    fn torn_writes_are_one_shot_and_byte_flips_recorded() {
+        let plan = FaultPlan::seeded(0)
+            .torn_write_at(2)
+            .flip_wal_byte(17)
+            .build();
+        assert!(!plan.take_torn_write(0), "not due yet");
+        assert!(!plan.take_torn_write(1));
+        assert!(plan.take_torn_write(2), "due at its append ordinal");
+        assert!(!plan.take_torn_write(3), "one-shot latch");
+        assert_eq!(plan.wal_byte_flips(), &[17]);
+        // Schedule equality ignores the fired latch.
+        let a = FaultPlan::seeded(1).torn_write_at(5);
+        let b = FaultPlan::seeded(1).torn_write_at(5);
+        a.take_torn_write(5);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultPlan::seeded(1).torn_write_at(6));
     }
 
     #[test]

@@ -27,23 +27,97 @@
 //!   atomic increments per tuple per Filter via [`apply_filter`].
 //!
 //! Both produce identical surviving tuples and statistics totals; the
-//! `abl_probe_locking` benchmark quantifies the difference.
+//! `abl_probe_locking` benchmark quantifies the difference. (When dimension churn
+//! creates multi-version keys, split tuples are appended at the batch tail and the
+//! two paths may order those splits differently — survivors, bits and attached
+//! rows still agree, and downstream aggregation is order-insensitive.)
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use crate::dimension::{DimensionTable, FilterStats};
+use cjoin_common::QuerySet;
+
+use crate::dimension::{DimEntry, DimensionTable, FilterStats};
 use crate::tuple::{Batch, InFlightTuple};
+
+/// Combines a fact tuple with the content *versions* stored for its key when more
+/// than one exists (a dimension row was upserted while queries referencing the old
+/// contents are still live — see the snapshot-versioning notes in
+/// [`crate::dimension`]).
+///
+/// Claimed-split: walking versions oldest-first, each version takes the tuple bits
+/// it carries that no earlier version claimed (a referencing query's bit lives on
+/// exactly one version; an ignoring query's bit lives on all versions and is
+/// claimed by the first, whose attached row it never reads). The first version
+/// with a non-empty take keeps the tuple in place; every later take becomes a
+/// **split** — a clone of the tuple carrying that version's row in `dims[slot]` —
+/// so no downstream consumer ever sees one tuple mixing two versions' attribute
+/// values. Bits claimed by no version are dropped, exactly as a probe miss drops
+/// them. Returns whether the in-place tuple survives; splits (which always
+/// survive) are appended to `splits` and must be routed through the *remaining*
+/// filters by the caller.
+fn combine_versions(
+    versions: &[Arc<DimEntry>],
+    slot: usize,
+    tuple: &mut InFlightTuple,
+    splits: &mut Vec<InFlightTuple>,
+) -> bool {
+    debug_assert!(versions.len() > 1);
+    let mut claimed = QuerySet::new(tuple.bits.capacity());
+    let mut first: Option<(usize, QuerySet)> = None;
+    for (vi, version) in versions.iter().enumerate() {
+        let mut take = tuple.bits.clone();
+        version.bits.and_into(&mut take);
+        take.and_not_assign(&claimed);
+        if take.is_empty() {
+            continue;
+        }
+        claimed.or_assign(&take);
+        if first.is_none() {
+            first = Some((vi, take));
+        } else {
+            // Clone the tuple's pre-combine state (the in-place tuple is only
+            // mutated below, after the loop) with this version's row attached.
+            let mut split = tuple.clone();
+            split.bits = take;
+            split.ensure_slots(slot + 1);
+            split.dims[slot] = Some(version.row.clone());
+            splits.push(split);
+        }
+    }
+    match first {
+        None => {
+            tuple.bits.clear();
+            false
+        }
+        Some((vi, take)) => {
+            tuple.bits = take;
+            tuple.ensure_slots(slot + 1);
+            tuple.dims[slot] = Some(versions[vi].row.clone());
+            true
+        }
+    }
+}
 
 /// Applies one Filter to a single tuple (the `batched_probing = false` baseline).
 ///
 /// Returns `true` if the tuple survives (non-zero bit-vector). `early_skip` enables
 /// the §3.2.2 optimisation: when every query the tuple is still relevant to ignores
 /// this dimension (`bτ AND ¬bDj == 0`), the probe is skipped entirely.
+///
+/// When the key has several content versions (dimension churn), the tuple is
+/// claimed-split: extra surviving tuples — one per additional claiming version —
+/// are appended to `splits`, and the caller must run them through the filters
+/// *after* this one. A `false` return implies `splits` gained nothing.
 #[inline]
-pub fn apply_filter(dim: &DimensionTable, tuple: &mut InFlightTuple, early_skip: bool) -> bool {
+pub fn apply_filter(
+    dim: &DimensionTable,
+    tuple: &mut InFlightTuple,
+    early_skip: bool,
+    splits: &mut Vec<InFlightTuple>,
+) -> bool {
     let stats = &dim.stats;
     stats.tuples_in.fetch_add(1, Ordering::Relaxed);
 
@@ -55,8 +129,20 @@ pub fn apply_filter(dim: &DimensionTable, tuple: &mut InFlightTuple, early_skip:
 
     stats.probes.fetch_add(1, Ordering::Relaxed);
     let fk = tuple.row.int(dim.fact_fk_column);
-    match dim.probe(fk) {
-        Some(entry) => {
+    let versions = dim.probe_versions(fk);
+    match versions.as_slice() {
+        [] => {
+            // The joining dimension tuple is not stored: it satisfies no registered
+            // predicate, so only queries that ignore this dimension may keep the tuple.
+            dim.complement.and_into(&mut tuple.bits);
+            if tuple.bits.is_empty() {
+                stats.tuples_dropped.fetch_add(1, Ordering::Relaxed);
+                false
+            } else {
+                true
+            }
+        }
+        [entry] => {
             entry.bits.and_into(&mut tuple.bits);
             if tuple.bits.is_empty() {
                 stats.tuples_dropped.fetch_add(1, Ordering::Relaxed);
@@ -67,15 +153,12 @@ pub fn apply_filter(dim: &DimensionTable, tuple: &mut InFlightTuple, early_skip:
                 true
             }
         }
-        None => {
-            // The joining dimension tuple is not stored: it satisfies no registered
-            // predicate, so only queries that ignore this dimension may keep the tuple.
-            dim.complement.and_into(&mut tuple.bits);
-            if tuple.bits.is_empty() {
+        versions => {
+            if combine_versions(versions, dim.slot, tuple, splits) {
+                true
+            } else {
                 stats.tuples_dropped.fetch_add(1, Ordering::Relaxed);
                 false
-            } else {
-                true
             }
         }
     }
@@ -183,7 +266,10 @@ impl FilterChain {
         } else {
             Self::process_batch_per_tuple(filters, batch, early_skip);
         }
-        before - batch.len()
+        // Multi-version splits can grow the batch past its input size, in which
+        // case the net drop count floors at zero (per-filter drop statistics are
+        // tracked exactly in FilterStats either way).
+        before.saturating_sub(batch.len())
     }
 
     /// Filter-major batched hot path: one lock acquisition, borrowed entries and one
@@ -200,6 +286,11 @@ impl FilterChain {
             };
             let slot = dim.slot;
             let guard = dim.probe_batch();
+            // Splits produced by multi-version keys (dimension churn): appended to
+            // the batch tail after compaction, so the outer filter-major loop runs
+            // them through the *remaining* filters — they already carry this
+            // filter's outcome.
+            let mut splits: Vec<InFlightTuple> = Vec::new();
             // Stable swap-retention: survivors are compacted to the front in order;
             // dropped tuples end up beyond `kept` and become recyclable spares.
             let mut kept = 0usize;
@@ -212,7 +303,7 @@ impl FilterChain {
                     stats.probes += 1;
                     let fk = tuple.row.int(dim.fact_fk_column);
                     match guard.get(fk) {
-                        Some(entry) => {
+                        Some([entry]) => {
                             if entry.bits.and_into_with_zero_check(&mut tuple.bits) {
                                 stats.tuples_dropped += 1;
                                 false
@@ -220,6 +311,14 @@ impl FilterChain {
                                 tuple.ensure_slots(slot + 1);
                                 tuple.dims[slot] = Some(entry.row.clone());
                                 true
+                            }
+                        }
+                        Some(versions) => {
+                            if combine_versions(versions, slot, tuple, &mut splits) {
+                                true
+                            } else {
+                                stats.tuples_dropped += 1;
+                                false
                             }
                         }
                         None => {
@@ -241,6 +340,9 @@ impl FilterChain {
             }
             drop(guard);
             batch.truncate_live(kept);
+            for split in splits {
+                batch.push(split);
+            }
             stats.flush(&dim.stats);
         }
     }
@@ -254,11 +356,20 @@ impl FilterChain {
     ) {
         let live = batch.len();
         let mut kept = 0usize;
+        // Worklist of (split tuple, index of the first filter it still needs).
+        // Multi-version keys can split while a split is mid-chain, so this drains
+        // FIFO until no filter produces further splits.
+        let mut worklist: std::collections::VecDeque<(InFlightTuple, usize)> =
+            std::collections::VecDeque::new();
+        let mut splits: Vec<InFlightTuple> = Vec::new();
         for i in 0..live {
             let mut survives = true;
-            for dim in filters {
-                if !apply_filter(dim, &mut batch[i], early_skip) {
-                    survives = false;
+            for (fi, dim) in filters.iter().enumerate() {
+                survives = apply_filter(dim, &mut batch[i], early_skip, &mut splits);
+                for split in splits.drain(..) {
+                    worklist.push_back((split, fi + 1));
+                }
+                if !survives {
                     break;
                 }
             }
@@ -270,6 +381,21 @@ impl FilterChain {
             }
         }
         batch.truncate_live(kept);
+        while let Some((mut tuple, start)) = worklist.pop_front() {
+            let mut survives = true;
+            for (fi, dim) in filters.iter().enumerate().skip(start) {
+                survives = apply_filter(dim, &mut tuple, early_skip, &mut splits);
+                for split in splits.drain(..) {
+                    worklist.push_back((split, fi + 1));
+                }
+                if !survives {
+                    break;
+                }
+            }
+            if survives {
+                batch.push(tuple);
+            }
+        }
     }
 }
 
@@ -341,7 +467,7 @@ mod tests {
     fn hit_keeps_selected_queries_and_attaches_row() {
         let d = dim("color", 0, 0, &[7]);
         let mut t = fact_tuple(7, 0);
-        assert!(apply_filter(&d, &mut t, false));
+        assert!(apply_filter(&d, &mut t, false, &mut Vec::new()));
         assert_eq!(t.bits.iter().collect::<Vec<_>>(), vec![0, 1]);
         assert!(t.dims[0].is_some());
         assert_eq!(
@@ -354,7 +480,7 @@ mod tests {
     fn miss_keeps_only_unreferencing_queries() {
         let d = dim("color", 0, 0, &[7]);
         let mut t = fact_tuple(9, 0); // key 9 not selected by query 0
-        assert!(apply_filter(&d, &mut t, false));
+        assert!(apply_filter(&d, &mut t, false, &mut Vec::new()));
         assert_eq!(
             t.bits.iter().collect::<Vec<_>>(),
             vec![1],
@@ -374,7 +500,7 @@ mod tests {
             QuerySet::from_bits(8, [0]),
             1,
         );
-        assert!(!apply_filter(&d, &mut t, false));
+        assert!(!apply_filter(&d, &mut t, false, &mut Vec::new()));
         assert!(t.bits.is_empty());
         assert_eq!(d.stats.tuples_dropped.load(Ordering::Relaxed), 1);
     }
@@ -389,7 +515,7 @@ mod tests {
             QuerySet::from_bits(8, [1]),
             1,
         );
-        assert!(apply_filter(&d, &mut t, true));
+        assert!(apply_filter(&d, &mut t, true, &mut Vec::new()));
         let (_, _, probes, skips) = d.stats.snapshot();
         assert_eq!(probes, 0);
         assert_eq!(skips, 1);
@@ -400,7 +526,7 @@ mod tests {
             QuerySet::from_bits(8, [1]),
             1,
         );
-        assert!(apply_filter(&d, &mut t2, false));
+        assert!(apply_filter(&d, &mut t2, false, &mut Vec::new()));
         assert_eq!(t2.bits.iter().collect::<Vec<_>>(), vec![1]);
     }
 
@@ -502,6 +628,63 @@ mod tests {
             };
             assert_eq!(bits(&b1), bits(&b2));
         }
+    }
+
+    #[test]
+    fn dimension_churn_splits_tuples_instead_of_mixing_versions() {
+        // Query 0 was admitted before an upsert changed key 7's attributes and
+        // query 2 after it; query 1 ignores the dimension. A fact tuple joining
+        // key 7 must reach downstream as per-version tuples: one carrying "old"
+        // for queries 0 and 1, one carrying "new" for query 2 — never one tuple
+        // with a mixed bit-set.
+        let d = DimensionTable::new("color", 0, 0, 0, 8, &QuerySet::new(8));
+        d.register_query(
+            QueryId(0),
+            &[(7, Row::new(vec![Value::int(7), Value::str("old")]))],
+        );
+        d.register_unreferencing_query(QueryId(1));
+        d.register_query(
+            QueryId(2),
+            &[(7, Row::new(vec![Value::int(7), Value::str("new")]))],
+        );
+        let filters = [Arc::new(d)];
+        for batched in [true, false] {
+            for early_skip in [true, false] {
+                let mut batch = Batch::from(vec![InFlightTuple::new(
+                    RowId(0),
+                    Row::new(vec![Value::int(7)]),
+                    QuerySet::from_bits(8, [0, 1, 2]),
+                    1,
+                )]);
+                let dropped = FilterChain::process_batch(&filters, &mut batch, early_skip, batched);
+                assert_eq!(dropped, 0, "batched={batched}");
+                assert_eq!(batch.len(), 2, "tuple split into one per version");
+                let old = &batch[0];
+                assert_eq!(old.bits.iter().collect::<Vec<_>>(), vec![0, 1]);
+                assert_eq!(
+                    old.dims[0].as_ref().unwrap().get(1).as_str().unwrap(),
+                    "old"
+                );
+                let new = &batch[1];
+                assert_eq!(new.bits.iter().collect::<Vec<_>>(), vec![2]);
+                assert_eq!(
+                    new.dims[0].as_ref().unwrap().get(1).as_str().unwrap(),
+                    "new"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_version_path_is_unchanged_by_versioning() {
+        // With exactly one version per key the split machinery must not engage:
+        // no extra tuples, identical bits and stats to the pre-versioning path.
+        let d = dim("color", 0, 0, &[7]);
+        let mut batch = Batch::from(vec![fact_tuple(7, 0), fact_tuple(9, 0)]);
+        let dropped = FilterChain::process_batch(&[Arc::clone(&d)], &mut batch, false, true);
+        assert_eq!(dropped, 0);
+        assert_eq!(batch.len(), 2, "no splits appeared");
+        assert_eq!(d.stats.snapshot(), (2, 0, 2, 0));
     }
 
     #[test]

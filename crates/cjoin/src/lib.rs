@@ -84,11 +84,11 @@ pub mod stats;
 pub mod tuple;
 
 pub use config::{CjoinConfig, PinnedAxes, StageLayout};
-pub use engine::{CjoinEngine, QueryHandle};
+pub use engine::{CjoinEngine, IngestSession, QueryHandle};
 pub use fault::{FaultPlan, FaultSite};
 pub use progress::QueryProgress;
 pub use scheduler::{
     Axis, BottleneckVerdict, ResizeEvent, ResizeReason, SchedulerStats, SchedulerTick,
     StageScheduler,
 };
-pub use stats::PipelineStats;
+pub use stats::{IngestStats, PipelineStats};

@@ -259,6 +259,51 @@ impl ColumnarScanStats {
     }
 }
 
+/// Atomic counters of the durable ingestion path (WAL + `IngestSession`).
+#[derive(Debug, Default)]
+pub struct IngestCounters {
+    /// Mutation records appended to the WAL (commit markers not counted).
+    pub records_appended: AtomicU64,
+    /// Ingestion batches whose commit marker became durable.
+    pub commits: AtomicU64,
+    /// Cumulative nanoseconds spent waiting on WAL fsync (written with `store`
+    /// from the log's own clock).
+    pub sync_ns: AtomicU64,
+    /// Logs truncated during crash recovery because a torn or corrupt record
+    /// was found (0 or 1 per engine start; summed across restarts).
+    pub recovery_truncations: AtomicU64,
+    /// Columnar replica rebuilds triggered by row-store tail growth.
+    pub tail_compactions: AtomicU64,
+}
+
+impl IngestCounters {
+    /// A point-in-time snapshot.
+    pub fn snapshot(&self) -> IngestStats {
+        IngestStats {
+            records_appended: self.records_appended.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            sync_ns: self.sync_ns.load(Ordering::Relaxed),
+            recovery_truncations: self.recovery_truncations.load(Ordering::Relaxed),
+            tail_compactions: self.tail_compactions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time statistics of the durable ingestion path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Mutation records appended to the WAL (commit markers not counted).
+    pub records_appended: u64,
+    /// Ingestion batches whose commit marker became durable.
+    pub commits: u64,
+    /// Cumulative nanoseconds spent waiting on WAL fsync.
+    pub sync_ns: u64,
+    /// Logs truncated during crash recovery (torn tail / corrupt record).
+    pub recovery_truncations: u64,
+    /// Columnar replica rebuilds triggered by row-store tail growth.
+    pub tail_compactions: u64,
+}
+
 /// Point-in-time statistics of the whole pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineStats {
@@ -318,6 +363,9 @@ pub struct PipelineStats {
     /// Elastic stage-scheduler snapshot: current per-axis widths, governed
     /// axes, resize events and the tuning policy's last bottleneck verdict.
     pub scheduler: crate::scheduler::SchedulerStats,
+    /// Durable ingestion statistics (all zero unless the engine runs with a
+    /// WAL configured via `CjoinConfig::wal_path`).
+    pub ingest: IngestStats,
 }
 
 impl PipelineStats {
@@ -476,6 +524,7 @@ mod tests {
             pipeline_restarts: 0,
             columnar: None,
             scheduler: crate::scheduler::SchedulerStats::default(),
+            ingest: IngestStats::default(),
         };
         assert!((stats.survival_rate() - 0.25).abs() < 1e-12);
         assert!((stats.pool_hit_rate() - 0.5).abs() < 1e-12);

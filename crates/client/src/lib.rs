@@ -15,7 +15,7 @@
 //! query. A pool miss, or an I/O failure on a reused connection the server
 //! may have dropped while idle, falls back to the original
 //! one-connection-per-query path by opening a fresh socket. Control requests
-//! (`stats`, `shutdown`) each use a short-lived connection.
+//! (`stats`, `ingest`, `shutdown`) each use a short-lived connection.
 //!
 //! Admission identity travels with the engine handle: [`RemoteEngine::with_tenant`]
 //! names the tenant every submission is accounted against, and
@@ -32,8 +32,8 @@ use std::sync::{Arc, Mutex};
 use cjoin_common::{Error, Result};
 use cjoin_query::wire::{read_frame, write_frame, AdmissionPolicy, Request, Response, ServerStats};
 use cjoin_query::{
-    EngineStats, JoinEngine, QueryError, QueryOutcome, QueryTicket, ReadyTicket, SchedulerSummary,
-    StarQuery,
+    EngineStats, IngestBatch, IngestReceipt, JoinEngine, QueryError, QueryOutcome, QueryTicket,
+    ReadyTicket, SchedulerSummary, StarQuery,
 };
 
 /// How many idle connections the engine keeps warm for reuse. Beyond this,
@@ -64,6 +64,7 @@ fn unexpected_response(context: &str, response: &Response) -> Error {
         Response::Outcome(_) => "Outcome",
         Response::Stats(_) => "Stats",
         Response::Ack => "Ack",
+        Response::Ingested(_) => "Ingested",
         Response::Protocol { .. } => "Protocol",
     };
     Error::invalid_state(format!("unexpected server response to {context}: {what}"))
@@ -249,6 +250,27 @@ impl JoinEngine for RemoteEngine {
 
     fn scheduler_summary(&self) -> Option<SchedulerSummary> {
         self.server_stats().ok().and_then(|s| s.scheduler)
+    }
+
+    fn ingest(&self, batch: IngestBatch) -> Result<IngestReceipt> {
+        // A short-lived connection like the other control requests: the
+        // server answers only after the batch is durable and visible, so
+        // receiving the receipt *is* the durability acknowledgement.
+        let request = Request::Ingest {
+            tenant: self.tenant.clone(),
+            batch: Box::new(batch),
+        };
+        match self.roundtrip(&request)? {
+            Response::Ingested(receipt) => Ok(receipt),
+            Response::Outcome(Err(QueryError::Engine(e))) => Err(e),
+            Response::Outcome(Err(other)) => Err(Error::invalid_state(format!(
+                "server rejected ingest: {other}"
+            ))),
+            Response::Protocol { kind, message } => Err(Error::invalid_state(format!(
+                "server refused ingest ({kind}): {message}"
+            ))),
+            other => Err(unexpected_response("ingest", &other)),
+        }
     }
 
     fn shutdown(&self) {

@@ -27,6 +27,7 @@ use std::fmt;
 use std::time::Duration;
 
 use cjoin_common::{Error, Result};
+use cjoin_storage::Value;
 
 use crate::result::QueryResult;
 use crate::star::StarQuery;
@@ -196,6 +197,66 @@ pub struct SchedulerSummary {
     pub last_verdict: String,
 }
 
+/// One dimension row inserted or replaced by key (the row's `key_column`
+/// value identifies the row it replaces).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DimUpsert {
+    /// Dimension table name.
+    pub table: String,
+    /// Index of the column holding the dimension's key.
+    pub key_column: usize,
+    /// The new row.
+    pub row: Vec<Value>,
+}
+
+/// One dimension row deleted by key.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DimDelete {
+    /// Dimension table name.
+    pub table: String,
+    /// Index of the column holding the dimension's key.
+    pub key_column: usize,
+    /// Key of the row to delete.
+    pub key: i64,
+}
+
+/// One atomic ingestion batch: fact appends plus dimension mutations that
+/// become visible together under a single new snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IngestBatch {
+    /// Rows appended to the fact table.
+    pub facts: Vec<Vec<Value>>,
+    /// Dimension rows inserted or replaced by key.
+    pub dim_upserts: Vec<DimUpsert>,
+    /// Dimension rows deleted by key.
+    pub dim_deletes: Vec<DimDelete>,
+}
+
+impl IngestBatch {
+    /// Total mutation records in the batch.
+    pub fn len(&self) -> usize {
+        self.facts.len() + self.dim_upserts.len() + self.dim_deletes.len()
+    }
+
+    /// Whether the batch carries no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What an engine durably committed for one [`IngestBatch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestReceipt {
+    /// The snapshot epoch the batch became visible under (queries admitted
+    /// from now on see it; older snapshots never do).
+    pub epoch: u64,
+    /// Mutation records committed (the batch's length).
+    pub records: u64,
+    /// Logical WAL length after the batch's commit marker, in bytes (`0` for
+    /// engines without a log).
+    pub wal_bytes: u64,
+}
+
 /// The shared join-engine interface: submit / wait / shutdown / stats.
 pub trait JoinEngine: Send + Sync {
     /// Short display name used in experiment tables and reports.
@@ -236,6 +297,24 @@ pub trait JoinEngine: Send + Sync {
     /// server).
     fn scheduler_summary(&self) -> Option<SchedulerSummary> {
         None
+    }
+
+    /// Atomically applies one ingestion batch: every mutation becomes visible
+    /// together under a single new snapshot, and — for engines with a
+    /// write-ahead log — only after the batch's commit marker is durable.
+    /// Queries already in flight (pinned at older snapshots) never observe any
+    /// part of the batch.
+    ///
+    /// # Errors
+    /// The default rejects ingestion (engines without a mutation path); other
+    /// failures are engine-specific (schema mismatch, log I/O, shutdown). On
+    /// error nothing of the batch is visible.
+    fn ingest(&self, batch: IngestBatch) -> Result<IngestReceipt> {
+        let _ = batch;
+        Err(Error::invalid_state(format!(
+            "engine '{}' does not support ingestion",
+            self.name()
+        )))
     }
 
     /// Releases the engine's resources (threads, pipelines). Idempotent; after

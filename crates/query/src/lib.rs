@@ -33,7 +33,8 @@ pub mod wire;
 
 pub use aggregate::{AggFunc, AggValue, GroupedAggregator};
 pub use engine::{
-    EngineStats, JoinEngine, QueryError, QueryOutcome, QueryTicket, ReadyTicket, SchedulerSummary,
+    DimDelete, DimUpsert, EngineStats, IngestBatch, IngestReceipt, JoinEngine, QueryError,
+    QueryOutcome, QueryTicket, ReadyTicket, SchedulerSummary,
 };
 pub use expr::{BoundPredicate, CompareOp, Predicate};
 pub use result::QueryResult;

@@ -10,8 +10,8 @@
 //! # Framing
 //!
 //! A *frame* is a `u32` little-endian payload length followed by the payload.
-//! Payloads start with a one-byte message tag ([`Request`] uses `0x01..=0x05`,
-//! [`Response`] `0x81..=0x85`; the disjoint tag spaces make a desynchronised
+//! Payloads start with a one-byte message tag ([`Request`] uses `0x01..=0x06`,
+//! [`Response`] `0x81..=0x86`; the disjoint tag spaces make a desynchronised
 //! peer fail loudly instead of misparsing). Frames larger than
 //! [`MAX_FRAME_LEN`] are rejected before any allocation.
 //!
@@ -33,7 +33,10 @@ use cjoin_common::Error;
 use cjoin_storage::{SnapshotId, Value};
 
 use crate::aggregate::{AggFunc, AggValue};
-use crate::engine::{EngineStats, QueryError, QueryOutcome, SchedulerSummary};
+use crate::engine::{
+    DimDelete, DimUpsert, EngineStats, IngestBatch, IngestReceipt, QueryError, QueryOutcome,
+    SchedulerSummary,
+};
 use crate::expr::{CompareOp, Predicate};
 use crate::result::QueryResult;
 use crate::star::{AggregateSpec, ColumnRef, DimensionClause, StarQuery, TableRef};
@@ -805,6 +808,90 @@ fn decode_server_stats(cur: &mut Cursor<'_>) -> Result<ServerStats, WireError> {
 }
 
 // ---------------------------------------------------------------------------
+// Ingestion
+// ---------------------------------------------------------------------------
+
+fn encode_values(buf: &mut Vec<u8>, values: &[Value]) {
+    put_u32(buf, values.len() as u32);
+    for v in values {
+        encode_value(buf, v);
+    }
+}
+
+fn decode_values(cur: &mut Cursor<'_>) -> Result<Vec<Value>, WireError> {
+    let len = cur.collection_len(1)?;
+    let mut values = Vec::with_capacity(len);
+    for _ in 0..len {
+        values.push(decode_value(cur)?);
+    }
+    Ok(values)
+}
+
+fn encode_ingest_batch(buf: &mut Vec<u8>, b: &IngestBatch) {
+    put_u32(buf, b.facts.len() as u32);
+    for row in &b.facts {
+        encode_values(buf, row);
+    }
+    put_u32(buf, b.dim_upserts.len() as u32);
+    for u in &b.dim_upserts {
+        put_str(buf, &u.table);
+        put_u32(buf, u.key_column as u32);
+        encode_values(buf, &u.row);
+    }
+    put_u32(buf, b.dim_deletes.len() as u32);
+    for d in &b.dim_deletes {
+        put_str(buf, &d.table);
+        put_u32(buf, d.key_column as u32);
+        put_i64(buf, d.key);
+    }
+}
+
+fn decode_ingest_batch(cur: &mut Cursor<'_>) -> Result<IngestBatch, WireError> {
+    let len = cur.collection_len(4)?;
+    let mut facts = Vec::with_capacity(len);
+    for _ in 0..len {
+        facts.push(decode_values(cur)?);
+    }
+    let len = cur.collection_len(4)?;
+    let mut dim_upserts = Vec::with_capacity(len);
+    for _ in 0..len {
+        dim_upserts.push(DimUpsert {
+            table: cur.str()?,
+            key_column: cur.u32()? as usize,
+            row: decode_values(cur)?,
+        });
+    }
+    let len = cur.collection_len(4)?;
+    let mut dim_deletes = Vec::with_capacity(len);
+    for _ in 0..len {
+        dim_deletes.push(DimDelete {
+            table: cur.str()?,
+            key_column: cur.u32()? as usize,
+            key: cur.i64()?,
+        });
+    }
+    Ok(IngestBatch {
+        facts,
+        dim_upserts,
+        dim_deletes,
+    })
+}
+
+fn encode_ingest_receipt(buf: &mut Vec<u8>, r: &IngestReceipt) {
+    put_u64(buf, r.epoch);
+    put_u64(buf, r.records);
+    put_u64(buf, r.wal_bytes);
+}
+
+fn decode_ingest_receipt(cur: &mut Cursor<'_>) -> Result<IngestReceipt, WireError> {
+    Ok(IngestReceipt {
+        epoch: cur.u64()?,
+        records: cur.u64()?,
+        wal_bytes: cur.u64()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Messages
 // ---------------------------------------------------------------------------
 
@@ -845,6 +932,15 @@ pub enum Request {
     Stats,
     /// Stop the server: refuse new connections, then drain and exit.
     Shutdown,
+    /// Atomically apply one ingestion batch on behalf of `tenant`. Answered
+    /// synchronously with [`Response::Ingested`] once the batch is durable and
+    /// visible, or with [`Response::Outcome`] carrying the typed failure.
+    Ingest {
+        /// Tenant the mutation is accounted against.
+        tenant: String,
+        /// The batch (boxed: it dwarfs every other request variant).
+        batch: Box<IngestBatch>,
+    },
 }
 
 /// A typed protocol-level failure the server answers instead of dying.
@@ -923,6 +1019,8 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// The answer to a successful `ingest`: the batch is durable and visible.
+    Ingested(IngestReceipt),
 }
 
 impl Request {
@@ -956,6 +1054,11 @@ impl Request {
             }
             Request::Stats => put_u8(&mut buf, 0x04),
             Request::Shutdown => put_u8(&mut buf, 0x05),
+            Request::Ingest { tenant, batch } => {
+                put_u8(&mut buf, 0x06);
+                put_str(&mut buf, tenant);
+                encode_ingest_batch(&mut buf, batch);
+            }
         }
         buf
     }
@@ -990,6 +1093,10 @@ impl Request {
             0x03 => Request::Cancel { ticket: cur.u64()? },
             0x04 => Request::Stats,
             0x05 => Request::Shutdown,
+            0x06 => Request::Ingest {
+                tenant: cur.str()?,
+                batch: Box::new(decode_ingest_batch(&mut cur)?),
+            },
             tag => {
                 return Err(WireError::UnknownTag {
                     what: "Request",
@@ -1025,6 +1132,10 @@ impl Response {
                 put_u8(&mut buf, kind.code());
                 put_str(&mut buf, message);
             }
+            Response::Ingested(receipt) => {
+                put_u8(&mut buf, 0x86);
+                encode_ingest_receipt(&mut buf, receipt);
+            }
         }
         buf
     }
@@ -1044,6 +1155,7 @@ impl Response {
                 kind: ProtocolErrorKind::from_code(cur.u8()?)?,
                 message: cur.str()?,
             },
+            0x86 => Response::Ingested(decode_ingest_receipt(&mut cur)?),
             tag => {
                 return Err(WireError::UnknownTag {
                     what: "Response",
@@ -1214,6 +1326,22 @@ mod tests {
             Request::Cancel { ticket: 3 },
             Request::Stats,
             Request::Shutdown,
+            Request::Ingest {
+                tenant: "acme".into(),
+                batch: Box::new(IngestBatch {
+                    facts: vec![vec![Value::Int(1), Value::str("a")], vec![Value::Null]],
+                    dim_upserts: vec![DimUpsert {
+                        table: "part".into(),
+                        key_column: 0,
+                        row: vec![Value::Int(7), Value::str("crimson")],
+                    }],
+                    dim_deletes: vec![DimDelete {
+                        table: "supplier".into(),
+                        key_column: 0,
+                        key: 3,
+                    }],
+                }),
+            },
         ];
         for req in reqs {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
@@ -1253,6 +1381,11 @@ mod tests {
                 kind: ProtocolErrorKind::MalformedFrame,
                 message: "truncated".into(),
             },
+            Response::Ingested(IngestReceipt {
+                epoch: 42,
+                records: 4,
+                wal_bytes: 512,
+            }),
         ];
         for resp in resps {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
@@ -1276,6 +1409,27 @@ mod tests {
         let mut padded = Request::Stats.encode();
         padded.push(0);
         assert_eq!(Request::decode(&padded), Err(WireError::TrailingBytes(1)));
+        // Same discipline for ingestion frames.
+        let full = Request::Ingest {
+            tenant: "t".into(),
+            batch: Box::new(IngestBatch {
+                facts: vec![vec![Value::Int(1), Value::str("x")]],
+                dim_upserts: vec![DimUpsert {
+                    table: "d".into(),
+                    key_column: 0,
+                    row: vec![Value::Int(2)],
+                }],
+                dim_deletes: vec![DimDelete {
+                    table: "d".into(),
+                    key_column: 0,
+                    key: 9,
+                }],
+            }),
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(Request::decode(&full[..cut]).is_err());
+        }
     }
 
     #[test]

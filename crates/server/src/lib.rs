@@ -3,8 +3,10 @@
 //! CJOIN's promise is an always-on operator that many clients share; this crate
 //! is the serving layer that makes the sharing literal. A [`CjoinServer`] wraps
 //! any engine behind the length-prefixed binary protocol defined in
-//! [`cjoin_query::wire`] (submit / wait / cancel / stats / shutdown) and adds
-//! the one policy the engine itself cannot own: **multi-tenant admission**.
+//! [`cjoin_query::wire`] (submit / wait / cancel / stats / ingest / shutdown)
+//! and adds the one policy the engine itself cannot own: **multi-tenant
+//! admission**. Ingestion is answered synchronously, after the batch is
+//! durable and visible engine-side.
 //!
 //! The design is deliberately small and dependency-free — a threaded
 //! `std::net` accept loop, one handler thread per connection, no async
@@ -52,7 +54,7 @@ use cjoin_query::wire::{
     write_frame, AdmissionPolicy, ProtocolErrorKind, Request, Response, ServerStats, TenantStats,
     WireError, MAX_FRAME_LEN,
 };
-use cjoin_query::{JoinEngine, QueryError, QueryTicket, StarQuery};
+use cjoin_query::{IngestBatch, JoinEngine, QueryError, QueryTicket, StarQuery};
 
 // ---------------------------------------------------------------------------
 // Configuration
@@ -477,6 +479,7 @@ impl Connection {
                 let _ = TcpStream::connect(self.shared.addr);
                 (Response::Ack, true)
             }
+            Request::Ingest { tenant, batch } => (self.ingest(&tenant, *batch), false),
         }
     }
 
@@ -509,6 +512,22 @@ impl Connection {
                 self.shared.release(&slot.tenant, true);
                 Response::Outcome(outcome)
             }
+        }
+    }
+
+    /// Synchronous durable ingestion on the connection's handler thread: the
+    /// engine serializes commits internally, and the answer is sent only after
+    /// the batch is durable and visible — exactly the acknowledgement
+    /// semantics a feed client needs. Tenants are named for parity with
+    /// `submit` (and future per-tenant mutation accounting); ingestion does
+    /// not consume the tenant's query in-flight slots.
+    fn ingest(&mut self, _tenant: &str, batch: IngestBatch) -> Response {
+        if self.shared.shutting_down() {
+            return shutting_down_response();
+        }
+        match self.shared.engine.ingest(batch) {
+            Ok(receipt) => Response::Ingested(receipt),
+            Err(e) => Response::Outcome(Err(QueryError::Engine(e))),
         }
     }
 

@@ -22,6 +22,10 @@
 //!   "Compressed Tables" extensions: a read-optimised columnar replica with
 //!   dictionary/RLE compression and a projected continuous scan that only touches the
 //!   columns the current query mix accesses.
+//! * [`WarehouseLog`] — the write-ahead log behind the durable ingestion path:
+//!   checksummed, epoch-stamped records with group commit, torn-tail-tolerant
+//!   replay, and the snapshot commit protocol that makes each ingestion batch
+//!   visible atomically.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -37,6 +41,7 @@ pub mod schema;
 pub mod snapshot;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use catalog::Catalog;
 pub use columnar::{
@@ -52,3 +57,4 @@ pub use schema::{Column, ColumnId, ColumnType, Schema};
 pub use snapshot::{RowVersion, SnapshotId, SnapshotManager};
 pub use table::Table;
 pub use value::Value;
+pub use wal::{apply_record, ReplayReport, SyncPolicy, WalDefect, WalRecord, WarehouseLog};

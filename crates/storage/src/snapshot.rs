@@ -62,28 +62,80 @@ impl Default for RowVersion {
 }
 
 /// Hands out snapshot identifiers and tracks the latest committed snapshot.
+///
+/// Since PR 10 the manager implements a real two-phase commit protocol for the
+/// durable ingestion path: [`SnapshotManager::begin`] allocates a *pending*
+/// snapshot id (rows inserted under it are invisible to every reader, because
+/// readers are admitted at the *committed* watermark and `xmin > snapshot`
+/// fails their visibility check), and [`SnapshotManager::commit_through`]
+/// publishes the id once the batch's WAL commit marker is durable — the single
+/// atomic store that makes the whole batch visible to subsequently admitted
+/// queries. A query admitted at time T therefore never sees rows born after
+/// its pass began: its snapshot is the committed watermark at admission, and
+/// every later batch carries a strictly larger `xmin`.
 #[derive(Debug, Default)]
 pub struct SnapshotManager {
-    current: AtomicU64,
+    /// Pending-allocation high-water mark: the largest id ever handed out by
+    /// [`SnapshotManager::begin`] (or adopted by `commit_through` during WAL
+    /// replay, so recovered epochs are never re-allocated).
+    next: AtomicU64,
+    /// The committed watermark readers are admitted at.
+    committed: AtomicU64,
 }
 
 impl SnapshotManager {
     /// Creates a manager whose current snapshot is [`SnapshotId::INITIAL`].
     pub fn new() -> Self {
         Self {
-            current: AtomicU64::new(0),
+            next: AtomicU64::new(0),
+            committed: AtomicU64::new(0),
         }
     }
 
     /// Returns the latest committed snapshot (what a newly admitted read-only query
-    /// should run against).
+    /// should run against). Pending snapshots allocated by
+    /// [`SnapshotManager::begin`] but not yet published through
+    /// [`SnapshotManager::commit_through`] are never observable here.
     pub fn current(&self) -> SnapshotId {
-        SnapshotId(self.current.load(Ordering::Acquire))
+        SnapshotId(self.committed.load(Ordering::Acquire))
+    }
+
+    /// Allocates a fresh *pending* snapshot id, strictly larger than every id
+    /// allocated or committed before. Rows inserted with this id as their
+    /// `xmin` stay invisible to all readers until the id is published with
+    /// [`SnapshotManager::commit_through`]; an aborted batch simply never
+    /// publishes, leaving a harmless hole in the id sequence.
+    pub fn begin(&self) -> SnapshotId {
+        SnapshotId(self.next.fetch_add(1, Ordering::AcqRel) + 1)
+    }
+
+    /// Publishes every snapshot up to and including `id`: the committed
+    /// watermark (and the pending allocator, so replayed WAL epochs are never
+    /// re-allocated) is raised to `id` if it is not already past it. Raising
+    /// the watermark is the commit point — the single atomic store after which
+    /// newly admitted readers see the batch.
+    pub fn commit_through(&self, id: SnapshotId) {
+        for counter in [&self.committed, &self.next] {
+            let mut seen = counter.load(Ordering::Acquire);
+            while seen < id.0 {
+                match counter.compare_exchange_weak(seen, id.0, Ordering::AcqRel, Ordering::Acquire)
+                {
+                    Ok(_) => break,
+                    Err(actual) => seen = actual,
+                }
+            }
+        }
     }
 
     /// Commits a new snapshot (e.g. after an update batch) and returns its id.
+    ///
+    /// Equivalent to [`SnapshotManager::begin`] immediately followed by
+    /// [`SnapshotManager::commit_through`] — the legacy single-step path used
+    /// by callers that mutate tables directly without a WAL.
     pub fn commit(&self) -> SnapshotId {
-        SnapshotId(self.current.fetch_add(1, Ordering::AcqRel) + 1)
+        let id = self.begin();
+        self.commit_through(id);
+        id
     }
 }
 
@@ -152,5 +204,47 @@ mod tests {
     #[test]
     fn default_row_version_is_always_visible() {
         assert_eq!(RowVersion::default(), RowVersion::ALWAYS_VISIBLE);
+    }
+
+    #[test]
+    fn begin_is_pending_until_committed_through() {
+        let m = SnapshotManager::new();
+        let pending = m.begin();
+        assert_eq!(pending, SnapshotId(1));
+        assert_eq!(
+            m.current(),
+            SnapshotId(0),
+            "an uncommitted batch must not move the reader watermark"
+        );
+        // A row born in the pending snapshot is invisible to a reader admitted now.
+        let reader = m.current();
+        assert!(!RowVersion::inserted_at(pending).visible_at(reader));
+        m.commit_through(pending);
+        assert_eq!(m.current(), pending);
+        assert!(RowVersion::inserted_at(pending).visible_at(m.current()));
+    }
+
+    #[test]
+    fn commit_through_is_monotonic_and_adopts_replayed_epochs() {
+        let m = SnapshotManager::new();
+        // WAL replay publishes epochs it finds in the log without begin().
+        m.commit_through(SnapshotId(7));
+        assert_eq!(m.current(), SnapshotId(7));
+        // A stale commit never lowers the watermark.
+        m.commit_through(SnapshotId(3));
+        assert_eq!(m.current(), SnapshotId(7));
+        // Fresh allocations continue past the adopted epoch — never reusing it.
+        assert_eq!(m.begin(), SnapshotId(8));
+    }
+
+    #[test]
+    fn aborted_batches_leave_holes_but_keep_order() {
+        let m = SnapshotManager::new();
+        let a = m.begin(); // will be aborted: never committed
+        let b = m.begin();
+        m.commit_through(b);
+        assert_eq!(m.current(), b);
+        assert!(a < b);
+        assert_eq!(m.begin(), SnapshotId(3));
     }
 }

@@ -1,10 +1,12 @@
-//! Mixed queries and updates under snapshot isolation (§3.5).
+//! Durable near-real-time ingestion under snapshot isolation (§2.1, §3.5).
 //!
-//! The warehouse keeps loading new `lineorder` rows while analysts run star queries.
-//! Each query is tagged with the snapshot it reads; the CJOIN Preprocessor evaluates
-//! snapshot visibility as a virtual fact-table predicate, so queries pinned to an old
-//! snapshot keep returning consistent answers while newer queries see the fresh data
-//! — all inside the same shared pipeline.
+//! The full semi-stream scenario: a durable fact feed appends `lineorder`
+//! batches through the write-ahead log while a dimension update stream mutates
+//! `customer` rows — and a long-running report pinned to its admission
+//! snapshot keeps returning consistent answers through all of it. Every batch
+//! is logged, group-committed and only then made visible atomically; the
+//! example finishes by "crashing" (dropping the engine), recovering a fresh
+//! warehouse from the WAL and showing the recovered answer is identical.
 //!
 //! ```text
 //! cargo run --release --example realtime_updates
@@ -15,9 +17,9 @@ use std::sync::Arc;
 use cjoin_repro::cjoin::{CjoinConfig, CjoinEngine};
 use cjoin_repro::query::{AggFunc, AggregateSpec, ColumnRef, Predicate, StarQuery};
 use cjoin_repro::ssb::{schema::join_columns, SsbConfig, SsbDataSet};
-use cjoin_repro::storage::{Row, Value};
+use cjoin_repro::storage::Value;
 
-fn count_asia_revenue(name: &str, snapshot: Option<cjoin_repro::SnapshotId>) -> StarQuery {
+fn asia_revenue(name: &str, snapshot: Option<cjoin_repro::SnapshotId>) -> StarQuery {
     let (c_key, c_fk) = join_columns("customer").unwrap();
     let mut builder = StarQuery::builder(name)
         .join_dimension("customer", c_fk, c_key, Predicate::eq("c_region", "ASIA"))
@@ -33,47 +35,123 @@ fn count_asia_revenue(name: &str, snapshot: Option<cjoin_repro::SnapshotId>) -> 
 }
 
 fn main() -> cjoin_repro::Result<()> {
-    let data = SsbDataSet::generate(SsbConfig::new(0.005, 5));
+    let ssb_config = SsbConfig::new(0.005, 5);
+    let data = SsbDataSet::generate(ssb_config.clone());
     let catalog = data.catalog();
-    let engine = CjoinEngine::start(Arc::clone(&catalog), CjoinConfig::default())?;
 
-    // A long-running report pinned to the current snapshot.
+    let mut wal = std::env::temp_dir();
+    wal.push(format!("cjoin-realtime-updates-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+    let config = CjoinConfig::default().with_wal(&wal);
+    let engine = CjoinEngine::start(Arc::clone(&catalog), config)?;
+
+    // A long-running report pinned to the pre-ingest snapshot.
     let initial_snapshot = catalog.snapshots().current();
-    let before = engine.submit(count_asia_revenue(
-        "report_before_load",
-        Some(initial_snapshot),
-    ))?;
+    let pinned = engine.submit(asia_revenue("report_before_feed", Some(initial_snapshot)))?;
 
-    // Meanwhile, the nightly load commits a new batch of fact rows (an update
-    // transaction): 5 000 extra lineorder rows for customer 1 become visible only to
-    // later snapshots.
+    // Pick the feed's protagonists from the data: an ASIA customer whose new
+    // orders the fresh report must count, and a non-ASIA customer about to be
+    // moved into the region by the dimension stream.
+    let customer = catalog.table("customer")?;
+    let region = customer.schema().column_index("c_region")?;
+    let asia_key = customer
+        .select(initial_snapshot, |row| {
+            row.get(region).as_str() == Ok("ASIA")
+        })
+        .first()
+        .expect("an ASIA customer")
+        .1
+        .int(0);
+    let (_, moved_row) = customer
+        .select(initial_snapshot, |row| {
+            row.get(region).as_str() != Ok("ASIA")
+        })
+        .swap_remove(0);
+    let mut moved = moved_row.values().to_vec();
+    let moved_key = moved[0].as_int()?;
+
+    // The durable fact feed: three batches of new lineorder rows for the ASIA
+    // customer, each logged to the WAL and group-committed. The receipt
+    // arrives only once the batch is durable *and* atomically visible.
     let fact = catalog.fact_table()?;
-    let load_snapshot = catalog.snapshots().commit();
-    let template = fact.row(cjoin_repro::storage::RowId(0)).expect("row 0");
-    let new_rows = (0..5_000).map(|i| {
-        let mut values: Vec<Value> = template.values().to_vec();
-        values[2] = Value::int(1); // lo_custkey
-        values[12] = Value::int(1_000 + i); // lo_revenue
-        Row::new(values)
-    });
-    fact.insert_batch_unchecked(new_rows, load_snapshot);
-    println!("committed a load of 5000 rows at snapshot {load_snapshot:?}\n");
+    let template: Vec<Value> = fact
+        .row(cjoin_repro::storage::RowId(0))
+        .expect("row 0")
+        .values()
+        .to_vec();
+    let custkey = fact.schema().column_index("lo_custkey")?;
+    let revenue = fact.schema().column_index("lo_revenue")?;
+    for batch in 0..3i64 {
+        let mut session = engine.ingest_session();
+        for i in 0..1_000i64 {
+            let mut values = template.clone();
+            values[custkey] = Value::int(asia_key);
+            values[revenue] = Value::int(1_000 + batch * 1_000 + i);
+            session.append_fact(values);
+        }
+        let receipt = session.commit()?;
+        println!(
+            "fact feed: committed batch {batch} as epoch {} ({} records, wal at {} bytes)",
+            receipt.epoch, receipt.records, receipt.wal_bytes
+        );
+    }
 
-    // A fresh ad-hoc query sees the newly loaded data; the pinned report does not.
-    let after = engine.submit(count_asia_revenue("report_after_load", Some(load_snapshot)))?;
+    // The dimension update stream: a customer moves to ASIA. The upsert
+    // versions the dimension row — the pinned report keeps joining the old
+    // version, fresh queries join the new one (and start counting that
+    // customer's existing orders).
+    moved[region] = Value::str("ASIA");
+    let mut session = engine.ingest_session();
+    session.upsert_dimension("customer", 0, moved);
+    let receipt = session.commit()?;
+    println!(
+        "dimension stream: customer {moved_key} -> ASIA committed as epoch {}\n",
+        receipt.epoch
+    );
 
-    let before_result = before.wait()?;
-    let after_result = after.wait()?;
-    println!("pinned to snapshot {initial_snapshot:?} (before the load):");
-    print!("{before_result}");
-    println!("\nreading snapshot {load_snapshot:?} (after the load):");
-    print!("{after_result}");
+    // A fresh ad-hoc query sees the feed and the moved customer; the pinned
+    // report sees neither.
+    let feed_snapshot = catalog.snapshots().current();
+    let fresh = engine.submit(asia_revenue("report_after_feed", None))?;
+    let pinned_result = pinned.wait()?;
+    let fresh_result = fresh.wait()?;
+    println!("pinned to snapshot {initial_snapshot:?} (before the feed):");
+    print!("{pinned_result}");
+    println!("\nreading snapshot {feed_snapshot:?} (after the feed):");
+    print!("{fresh_result}");
 
     let stats = engine.stats();
-    println!("\nboth queries shared the same pipeline:");
-    println!("  scan passes: {}", stats.scan_passes);
-    println!("  queries completed: {}", stats.queries_completed);
-
+    println!("\ningest stats (durable path):");
+    println!("  records appended: {}", stats.ingest.records_appended);
+    println!("  batch commits:    {}", stats.ingest.commits);
+    println!("  fsync time:       {} ns", stats.ingest.sync_ns);
     engine.shutdown();
+    drop(engine);
+
+    // Crash-recovery: a fresh warehouse (same generator seed, none of the
+    // ingested rows) replays the WAL at startup and answers identically.
+    let recovered_data = SsbDataSet::generate(ssb_config);
+    let recovered_catalog = recovered_data.catalog();
+    let recovered_engine = CjoinEngine::start(
+        Arc::clone(&recovered_catalog),
+        CjoinConfig::default().with_wal(&wal),
+    )?;
+    let recovered_stats = recovered_engine.stats();
+    println!("\nrecovered a fresh warehouse from the WAL:");
+    println!(
+        "  replay truncations: {}",
+        recovered_stats.ingest.recovery_truncations
+    );
+    let recovered = recovered_engine
+        .submit(asia_revenue("report_recovered", None))?
+        .wait()?;
+    println!(
+        "  recovered answer matches pre-crash: {}",
+        recovered.approx_eq(&fresh_result)
+    );
+    print!("{recovered}");
+
+    recovered_engine.shutdown();
+    let _ = std::fs::remove_file(&wal);
     Ok(())
 }

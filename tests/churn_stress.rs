@@ -258,12 +258,19 @@ fn probe_batch_under_concurrent_registration_matches_oracle() {
         let mut batch = template.clone();
         let live = batch.len();
         let mut out = Vec::new();
+        let mut splits = Vec::new();
         for i in 0..live {
             let t = &mut batch[i];
-            if snapshot.iter().all(|dim| apply_filter(dim, t, true)) {
+            if snapshot
+                .iter()
+                .all(|dim| apply_filter(dim, t, true, &mut splits))
+            {
                 out.push((t.row_id.0, t.bits.iter().collect()));
             }
         }
+        // Query churn never creates multiple content versions of a key, so the
+        // claimed-split path must stay cold here.
+        assert!(splits.is_empty(), "churn produced versioned-key splits");
         out
     };
     assert!(!oracle.is_empty(), "stable queries keep some tuples alive");

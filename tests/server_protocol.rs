@@ -71,7 +71,7 @@ fn malformed_frames_answer_typed_errors_and_the_server_survives() {
         // Keep the fuzz on the malformed path: a random first byte that hits a
         // real request tag could legitimately parse (or shut the server down).
         if let Some(first) = payload.first_mut() {
-            if (0x01..=0x05).contains(first) {
+            if (0x01..=0x06).contains(first) {
                 *first = 0xAA;
             }
         }
@@ -277,6 +277,93 @@ fn cancel_over_the_wire_resolves_to_cancelled() {
     }
 
     server.shutdown();
+}
+
+/// Ingestion over the wire: the receipt arrives only after the batch is
+/// durable and visible server-side, so a query on the same client immediately
+/// observes it — and a schema-invalid batch is refused with nothing applied.
+#[test]
+fn ingest_over_the_wire_is_durable_visible_and_atomic() {
+    use cjoin_repro::query::{DimUpsert, IngestBatch};
+    use cjoin_repro::storage::{Column, Schema, Table, Value};
+    use cjoin_repro::Catalog;
+
+    let catalog = Arc::new(Catalog::new());
+    let dim = Table::new(Schema::new(
+        "region",
+        vec![Column::int("k"), Column::str("name")],
+    ));
+    dim.insert(vec![Value::int(1), Value::str("EU")], SnapshotId::INITIAL)
+        .unwrap();
+    catalog.add_table(Arc::new(dim));
+    let fact = Table::new(Schema::new(
+        "orders",
+        vec![Column::int("fk"), Column::int("amount")],
+    ));
+    for i in 0..10 {
+        fact.insert(vec![Value::int(1), Value::int(i)], SnapshotId::INITIAL)
+            .unwrap();
+    }
+    catalog.add_fact_table(Arc::new(fact));
+
+    let mut wal = std::env::temp_dir();
+    wal.push(format!("cjoin-served-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+    let engine: Arc<dyn JoinEngine> =
+        Arc::new(CjoinEngine::start(Arc::clone(&catalog), cjoin_config().with_wal(&wal)).unwrap());
+    let server = CjoinServer::start(engine, ServerConfig::default()).unwrap();
+    let client = RemoteEngine::connect(server.local_addr())
+        .unwrap()
+        .with_tenant("feed");
+
+    let count = |name: &str| {
+        let result = client.execute(&count_star(name)).unwrap();
+        let value = result.rows().next().unwrap().1[0].clone();
+        value
+    };
+    let before = count("before_ingest");
+
+    let receipt = client
+        .ingest(IngestBatch {
+            facts: vec![
+                vec![Value::int(1), Value::int(100)],
+                vec![Value::int(2), Value::int(200)],
+            ],
+            dim_upserts: vec![DimUpsert {
+                table: "region".into(),
+                key_column: 0,
+                row: vec![Value::int(2), Value::str("APAC")],
+            }],
+            dim_deletes: vec![],
+        })
+        .unwrap();
+    assert!(receipt.epoch > 0 && receipt.records >= 2 && receipt.wal_bytes > 0);
+
+    // The receipt means durable *and* visible: the very next query sees both
+    // fact rows.
+    assert_eq!(
+        count("after_ingest"),
+        cjoin_repro::query::AggValue::Int(12),
+        "served count must include the ingested rows (was {before:?} before)"
+    );
+
+    // A schema-invalid batch (wrong arity) is a typed refusal with nothing
+    // applied — atomic over the wire too.
+    let err = client
+        .ingest(IngestBatch {
+            facts: vec![vec![Value::int(1)]],
+            dim_upserts: vec![],
+            dim_deletes: vec![],
+        })
+        .unwrap_err();
+    assert!(!err.to_string().is_empty());
+    assert_eq!(
+        count("after_refused"),
+        cjoin_repro::query::AggValue::Int(12)
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&wal);
 }
 
 #[test]
